@@ -1,0 +1,36 @@
+//! End-to-end cleaning benchmarks: a full Algorithm 3 session on the
+//! paper-scale soccer database with planted noise, per strategy pair.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qoco_core::{clean_view, CleaningConfig, DeletionStrategy, SplitStrategyKind};
+use qoco_crowd::{PerfectOracle, SingleExpert};
+use qoco_datasets::{generate_soccer, plant_mixed, soccer_query, SoccerConfig};
+
+fn bench_clean(c: &mut Criterion) {
+    let ground = generate_soccer(SoccerConfig::default());
+    let q = soccer_query(ground.schema(), 1);
+    let planted = plant_mixed(&q, &ground, 2, 2, 17);
+    let mut group = c.benchmark_group("clean_view_q1");
+    group.sample_size(20);
+    for (label, deletion, split) in [
+        ("qoco+provenance", DeletionStrategy::Qoco, SplitStrategyKind::Provenance),
+        ("qoco+mincut", DeletionStrategy::Qoco, SplitStrategyKind::MinCut),
+        ("qoco-minus+provenance", DeletionStrategy::QocoMinus, SplitStrategyKind::Provenance),
+        ("random+naive", DeletionStrategy::Random(3), SplitStrategyKind::Naive),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut d = planted.db.clone();
+                let mut crowd = SingleExpert::new(PerfectOracle::new(ground.clone()));
+                let config = CleaningConfig { deletion, split, ..Default::default() };
+                black_box(clean_view(&q, &mut d, &mut crowd, config).unwrap().iterations)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clean);
+criterion_main!(benches);

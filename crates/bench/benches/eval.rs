@@ -1,0 +1,39 @@
+//! Query evaluation micro-benchmarks on the paper-scale soccer database:
+//! answer-set computation and witness extraction for Q1–Q5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qoco_datasets::{generate_soccer, soccer_queries, SoccerConfig};
+use qoco_engine::{answer_set, witnesses_for_answer};
+
+fn bench_answer_sets(c: &mut Criterion) {
+    let ground = generate_soccer(SoccerConfig::default());
+    let queries = soccer_queries(ground.schema());
+    let mut group = c.benchmark_group("answer_set");
+    for q in &queries {
+        let mut db = ground.clone();
+        group.bench_function(q.name(), |b| {
+            b.iter(|| black_box(answer_set(q, &mut db)).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_witnesses(c: &mut Criterion) {
+    let ground = generate_soccer(SoccerConfig::default());
+    let queries = soccer_queries(ground.schema());
+    let mut group = c.benchmark_group("witnesses_for_answer");
+    for q in &queries {
+        let mut db = ground.clone();
+        let answers = answer_set(q, &mut db);
+        let target = answers.first().cloned().expect("non-empty result");
+        group.bench_function(q.name(), |b| {
+            b.iter(|| black_box(witnesses_for_answer(q, &mut db, &target)).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_answer_sets, bench_witnesses);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Split-strategy micro-benchmarks: how long does each Split()
+//! implementation (Section 5.2) take on the embedded Q2|t?
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qoco_core::{MinCutSplit, NaiveSplit, ProvenanceSplit, RandomSplit, SplitStrategy};
+use qoco_datasets::{generate_soccer, plant_missing_answers, soccer_query, SoccerConfig};
+use qoco_engine::answer_set;
+use qoco_query::embed_answer;
+
+fn bench_splits(c: &mut Criterion) {
+    let ground = generate_soccer(SoccerConfig::default());
+    // Q2 has the biggest body (4 atoms incl. two Teams)
+    let q = soccer_query(ground.schema(), 2);
+    let planted = plant_missing_answers(&q, &ground, 1, 3);
+    let missing = planted.missing[0].clone();
+    let q_t = embed_answer(&q, missing.values()).expect("embedding succeeds");
+    let mut db = planted.db.clone();
+    // sanity: the answer is indeed missing
+    assert!(!answer_set(&q, &mut db).contains(&missing));
+
+    let mut group = c.benchmark_group("split");
+    group.bench_function("provenance", |b| {
+        b.iter(|| black_box(ProvenanceSplit.split(&q_t, &mut db)).is_some())
+    });
+    group.bench_function("min_cut", |b| {
+        b.iter(|| black_box(MinCutSplit.split(&q_t, &mut db)).is_some())
+    });
+    group.bench_function("random", |b| {
+        let mut s = RandomSplit::new(3);
+        b.iter(|| black_box(s.split(&q_t, &mut db)).is_some())
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| black_box(NaiveSplit.split(&q_t, &mut db)).is_none())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_splits);
+criterion_main!(benches);

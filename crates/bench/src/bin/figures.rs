@@ -1,0 +1,72 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p qoco-bench --bin figures -- all
+//! cargo run --release -p qoco-bench --bin figures -- fig3a fig3b
+//! ```
+//!
+//! Targets: fig3a fig3b fig3c fig3d fig3e fig3f fig4 dbgroup
+//!          ablation-hs ablation-umhs ablation-heur sweep-clean all
+
+use qoco_bench::{
+    ablation_composite, ablation_heuristics, ablation_hitting_set, ablation_umhs, dbgroup_case,
+    fig3a, fig3b, fig3c, fig3d, fig3e, fig3f, fig4, sweep_cleanliness, sweep_error_rate,
+    Experiments,
+};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // --out <dir>: also write each table as <dir>/<target>.tsv
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--out") {
+        if pos + 1 >= args.len() {
+            eprintln!("--out needs a directory argument");
+            std::process::exit(2);
+        }
+        out_dir = Some(std::path::PathBuf::from(args.remove(pos + 1)));
+        args.remove(pos);
+    }
+    let targets: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f", "fig4", "dbgroup",
+            "ablation-hs", "ablation-umhs", "ablation-heur", "ablation-composite",
+            "sweep-clean", "sweep-error",
+        ]
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+
+    let needs_soccer = targets.iter().any(|t| *t != "dbgroup");
+    let ex = needs_soccer.then(Experiments::soccer);
+
+    for target in targets {
+        let started = std::time::Instant::now();
+        let table = match target {
+            "fig3a" => fig3a(ex.as_ref().expect("soccer context")),
+            "fig3b" => fig3b(ex.as_ref().expect("soccer context")),
+            "fig3c" => fig3c(ex.as_ref().expect("soccer context")),
+            "fig3d" => fig3d(ex.as_ref().expect("soccer context")),
+            "fig3e" => fig3e(ex.as_ref().expect("soccer context")),
+            "fig3f" => fig3f(ex.as_ref().expect("soccer context")),
+            "fig4" => fig4(ex.as_ref().expect("soccer context")),
+            "dbgroup" => dbgroup_case(),
+            "ablation-hs" => ablation_hitting_set(ex.as_ref().expect("soccer context")),
+            "ablation-umhs" => ablation_umhs(ex.as_ref().expect("soccer context")),
+            "ablation-heur" => ablation_heuristics(ex.as_ref().expect("soccer context")),
+            "ablation-composite" => ablation_composite(ex.as_ref().expect("soccer context")),
+            "sweep-clean" => sweep_cleanliness(ex.as_ref().expect("soccer context")),
+            "sweep-error" => sweep_error_rate(ex.as_ref().expect("soccer context")),
+            other => {
+                eprintln!("unknown target `{other}`; see --help text in the source header");
+                std::process::exit(2);
+            }
+        };
+        println!("{table}");
+        println!("  [generated in {:.2?}]\n", started.elapsed());
+        if let Some(dir) = &out_dir {
+            std::fs::create_dir_all(dir).expect("create output directory");
+            let path = dir.join(format!("{target}.tsv"));
+            std::fs::write(&path, table.to_tsv()).expect("write TSV table");
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! # qoco-bench — the figure-regeneration harness
+//!
+//! One function per table/figure of the paper's evaluation (Section 7).
+//! Each returns a [`Table`] whose rows mirror the series the paper plots;
+//! the `figures` binary prints them. Absolute numbers differ from the paper
+//! (synthetic data, different noise placement) but the comparative shape —
+//! who asks fewer questions, by roughly what factor — is the reproduction
+//! target; see EXPERIMENTS.md for the side-by-side reading.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;
+pub use table::Table;

@@ -1,0 +1,314 @@
+//! Algorithm 3: the iterative mixed cleaner (paper Section 6.1).
+//!
+//! Repeatedly: verify every unverified answer of `Q(D)` against the crowd,
+//! removing the wrong ones (Algorithm 1); then ask the crowd for missing
+//! answers (`COMPL(Q(D))`) and add each (Algorithm 2). Fixing one kind of
+//! error can surface errors of the other kind (Example 6.1: inserting
+//! `Teams(ITA, EU)` adds the wrong answer `(Totti)` as a side effect), so
+//! the outer loop runs until the view is verified complete and correct. By
+//! Proposition 3.3 every edit moves `D` towards `D_G`, so with a truthful
+//! oracle the loop converges.
+
+use std::collections::BTreeSet;
+
+use qoco_crowd::{CompletenessEstimator, CrowdAccess, GroundTruthEstimator};
+use qoco_data::{Database, Tuple};
+use qoco_engine::answer_set;
+use qoco_query::ConjunctiveQuery;
+
+use crate::deletion::{crowd_remove_wrong_answer, DeletionStrategy};
+use crate::error::CleanError;
+use crate::insertion::{crowd_add_missing_answer, InsertionOptions};
+pub use crate::report::CleaningReport;
+use crate::split::SplitStrategyKind;
+
+/// Configuration for a full cleaning session.
+#[derive(Debug, Clone, Copy)]
+pub struct CleaningConfig {
+    /// Deletion algorithm (Section 7.2 competitors).
+    pub deletion: DeletionStrategy,
+    /// Split strategy for insertions.
+    pub split: SplitStrategyKind,
+    /// Insertion options.
+    pub insertion: InsertionOptions,
+    /// Outer-loop budget; exceeded only with untruthful crowds.
+    pub max_iterations: usize,
+}
+
+impl Default for CleaningConfig {
+    fn default() -> Self {
+        CleaningConfig {
+            deletion: DeletionStrategy::Qoco,
+            split: SplitStrategyKind::Provenance,
+            insertion: InsertionOptions::default(),
+            max_iterations: 25,
+        }
+    }
+}
+
+
+/// Run Algorithm 3: clean `db` until `Q(D′) = Q(D_G)` as certified by the
+/// crowd, using the ground-truth-free protocol (the crowd is the only
+/// source of truth; `db` is never compared to `D_G` directly).
+///
+/// The `estimator` is the enumeration black-box of Section 6.1 deciding
+/// when the result is complete; pass a
+/// [`GroundTruthEstimator`] for oracle-grade stopping or a
+/// [`Chao92Estimator`](qoco_crowd::Chao92Estimator) for the statistical
+/// variant. The crowd's `None` reply to `COMPL(Q(D))` also ends the
+/// insertion phase.
+pub fn clean_view_with_estimator<C: CrowdAccess + ?Sized>(
+    q: &ConjunctiveQuery,
+    db: &mut Database,
+    crowd: &mut C,
+    config: CleaningConfig,
+    estimator: &mut dyn CompletenessEstimator,
+) -> Result<CleaningReport, CleanError> {
+    let mut report = CleaningReport::new();
+    let mut verified: BTreeSet<Tuple> = BTreeSet::new();
+    let mut split = config.split.build();
+    let mut first = true;
+
+    loop {
+        let unverified: Vec<Tuple> = answer_set(q, db)
+            .into_iter()
+            .filter(|t| !verified.contains(t))
+            .collect();
+        if !first && unverified.is_empty() {
+            break;
+        }
+        first = false;
+        report.iterations += 1;
+        if report.iterations > config.max_iterations {
+            return Err(CleanError::IterationBudget { budget: config.max_iterations });
+        }
+
+        // ---- Deletion part (lines 2–6) ----
+        let del_before = crowd.stats();
+        for t in unverified {
+            // the answer may already have disappeared through earlier edits
+            if !answer_set(q, db).contains(&t) {
+                continue;
+            }
+            if crowd.verify_answer(q, &t) {
+                verified.insert(t);
+            } else {
+                report.wrong_answers += 1;
+                let out = crowd_remove_wrong_answer(q, db, &t, crowd, config.deletion)?;
+                report.deletion_upper_bound += out.upper_bound;
+                report.anomalies += out.anomalies;
+                report.edits.extend(out.edits);
+            }
+        }
+        report.deletion_stats.absorb(&crowd.stats().since(&del_before));
+
+        // ---- Insertion part (lines 7–9) ----
+        let ins_before = crowd.stats();
+        loop {
+            let known = answer_set(q, db);
+            if estimator.likely_complete(known.len()) {
+                break;
+            }
+            let Some(t) = crowd.next_missing_answer(q, &known) else {
+                break;
+            };
+            estimator.observe(&t);
+            report.missing_answers += 1;
+            let out = crowd_add_missing_answer(q, db, &t, crowd, &mut *split, config.insertion)?;
+            report.insertion_upper_bound += out.upper_bound;
+            if out.achieved {
+                verified.insert(t);
+            } else {
+                report.anomalies += 1;
+            }
+            report.edits.extend(out.edits);
+        }
+        report.insertion_stats.absorb(&crowd.stats().since(&ins_before));
+    }
+
+    report.total_stats = report.deletion_stats;
+    report.total_stats.absorb(&report.insertion_stats);
+    Ok(report)
+}
+
+/// [`clean_view_with_estimator`] with a permissive estimator: the crowd's
+/// `COMPL(Q(D))` replies alone decide completeness — the setting of the
+/// paper's simulated-oracle experiments.
+pub fn clean_view<C: CrowdAccess + ?Sized>(
+    q: &ConjunctiveQuery,
+    db: &mut Database,
+    crowd: &mut C,
+    config: CleaningConfig,
+) -> Result<CleaningReport, CleanError> {
+    // usize::MAX distinct answers will never be reached: defer fully to the
+    // crowd's completeness judgement.
+    let mut estimator = GroundTruthEstimator::new(usize::MAX);
+    clean_view_with_estimator(q, db, crowd, config, &mut estimator)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoco_crowd::{PerfectOracle, SingleExpert};
+    use qoco_data::{diff, tup, Schema};
+    use qoco_query::parse_query;
+    use std::sync::Arc;
+
+    /// Example 6.1's full scenario: the dirty D has
+    ///  * missing Teams(ITA, EU) → (Pirlo) and (Totti) missing from Q2(D);
+    ///  * false Goals(Totti, 09.06.06) → once Teams(ITA,EU) is added,
+    ///    (Totti) would wrongly appear — unless QOCO removes the false
+    ///    goal when it surfaces.
+    fn setup() -> (Arc<Schema>, Database, Database, ConjunctiveQuery) {
+        let schema = Schema::builder()
+            .relation("Games", &["date", "winner", "runner_up", "stage", "result"])
+            .relation("Teams", &["country", "continent"])
+            .relation("Players", &["name", "team", "birth_year", "birth_place"])
+            .relation("Goals", &["name", "date"])
+            .build()
+            .unwrap();
+        let mut d = Database::empty(schema.clone());
+        d.insert_named("Games", tup!["09.06.06", "ITA", "FRA", "Final", "5:3"]).unwrap();
+        for (c, k) in [("GER", "EU"), ("ESP", "EU")] {
+            d.insert_named("Teams", tup![c, k]).unwrap();
+        }
+        d.insert_named("Players", tup!["Pirlo", "ITA", 1979, "ITA"]).unwrap();
+        d.insert_named("Players", tup!["Totti", "ITA", 1976, "ITA"]).unwrap();
+        d.insert_named("Goals", tup!["Pirlo", "09.06.06"]).unwrap();
+        d.insert_named("Goals", tup!["Totti", "09.06.06"]).unwrap(); // false
+
+        let mut g = Database::empty(schema.clone());
+        g.insert_named("Games", tup!["09.06.06", "ITA", "FRA", "Final", "5:3"]).unwrap();
+        for (c, k) in [("GER", "EU"), ("ESP", "EU"), ("ITA", "EU")] {
+            g.insert_named("Teams", tup![c, k]).unwrap();
+        }
+        g.insert_named("Players", tup!["Pirlo", "ITA", 1979, "ITA"]).unwrap();
+        g.insert_named("Players", tup!["Totti", "ITA", 1976, "ITA"]).unwrap();
+        g.insert_named("Goals", tup!["Pirlo", "09.06.06"]).unwrap();
+
+        let q = parse_query(
+            &schema,
+            r#"Q2(x) :- Players(x, y, z, w), Goals(x, d), Games(d, y, v, "Final", u), Teams(y, "EU")."#,
+        )
+        .unwrap();
+        (schema, d, g, q)
+    }
+
+    #[test]
+    fn converges_to_the_true_result() {
+        let (_, mut d, g, q) = setup();
+        let true_answers = {
+            let mut gm = g.clone();
+            answer_set(&q, &mut gm)
+        };
+        let mut crowd = SingleExpert::new(PerfectOracle::new(g.clone()));
+        let report = clean_view(&q, &mut d, &mut crowd, CleaningConfig::default()).unwrap();
+        assert_eq!(answer_set(&q, &mut d), true_answers);
+        // Pirlo was missing; inserting Teams(ITA, EU) surfaced the wrong
+        // (Totti) in a later iteration, which got removed.
+        assert!(report.missing_answers >= 1);
+        assert!(report.wrong_answers >= 1);
+        assert!(report.iterations >= 2);
+        // Q(D') = Q(D_G) even though D' ≠ D_G is allowed; here the false
+        // goal fact must have been deleted:
+        let goals = q.schema().rel_id("Goals").unwrap();
+        assert!(!d.contains(&qoco_data::Fact::new(goals, tup!["Totti", "09.06.06"])));
+    }
+
+    #[test]
+    fn every_edit_moves_towards_ground_truth() {
+        // Proposition 3.3: replay the edit log and check the distance to
+        // D_G never increases.
+        let (_, d0, g, q) = setup();
+        let mut d = d0.clone();
+        let mut crowd = SingleExpert::new(PerfectOracle::new(g.clone()));
+        let report = clean_view(&q, &mut d, &mut crowd, CleaningConfig::default()).unwrap();
+        let mut replay = d0.clone();
+        let mut dist = diff(&replay, &g).unwrap().distance();
+        for e in report.edits.edits() {
+            replay.apply(e).unwrap();
+            let next = diff(&replay, &g).unwrap().distance();
+            assert!(next <= dist, "edit {e:?} increased the distance");
+            dist = next;
+        }
+    }
+
+    #[test]
+    fn clean_database_needs_no_edits() {
+        let (_, _, g, q) = setup();
+        let mut d = g.clone();
+        let mut crowd = SingleExpert::new(PerfectOracle::new(g));
+        let report = clean_view(&q, &mut d, &mut crowd, CleaningConfig::default()).unwrap();
+        assert!(report.edits.is_empty());
+        assert_eq!(report.wrong_answers, 0);
+        assert_eq!(report.missing_answers, 0);
+        // the single true answer (Pirlo; Totti has no goal in D_G) was
+        // verified exactly once
+        assert_eq!(report.total_stats.verify_answer_questions, 1);
+    }
+
+    #[test]
+    fn empty_view_with_missing_answers_is_filled() {
+        // first-iteration case: Q(D) empty but Q(D_G) not (line 1's
+        // FirstIter flag).
+        let (_, mut d, g, q) = setup();
+        // remove everything that supports answers in D
+        let goals = q.schema().rel_id("Goals").unwrap();
+        d.remove(&qoco_data::Fact::new(goals, tup!["Pirlo", "09.06.06"])).unwrap();
+        d.remove(&qoco_data::Fact::new(goals, tup!["Totti", "09.06.06"])).unwrap();
+        assert!(answer_set(&q, &mut d).is_empty());
+        let mut crowd = SingleExpert::new(PerfectOracle::new(g.clone()));
+        let report = clean_view(&q, &mut d, &mut crowd, CleaningConfig::default()).unwrap();
+        let true_answers = {
+            let mut gm = g.clone();
+            answer_set(&q, &mut gm)
+        };
+        assert_eq!(answer_set(&q, &mut d), true_answers);
+        assert!(report.missing_answers >= 1);
+    }
+
+    #[test]
+    fn ground_truth_estimator_stops_insertions_early() {
+        let (_, mut d, g, q) = setup();
+        // an estimator that claims completeness at 0 answers: no insertion
+        // questions at all
+        let mut crowd = SingleExpert::new(PerfectOracle::new(g));
+        let mut estimator = GroundTruthEstimator::new(0);
+        let report = clean_view_with_estimator(
+            &q,
+            &mut d,
+            &mut crowd,
+            CleaningConfig::default(),
+            &mut estimator,
+        )
+        .unwrap();
+        assert_eq!(report.missing_answers, 0);
+        assert_eq!(report.total_stats.complete_result_tasks, 0);
+    }
+
+    #[test]
+    fn all_strategy_combinations_converge() {
+        let (_, d, g, q) = setup();
+        let strategies = [
+            (DeletionStrategy::Qoco, SplitStrategyKind::Provenance),
+            (DeletionStrategy::QocoMinus, SplitStrategyKind::MinCut),
+            (DeletionStrategy::Random(3), SplitStrategyKind::Random(3)),
+            (DeletionStrategy::Qoco, SplitStrategyKind::Naive),
+        ];
+        let true_answers = {
+            let mut gm = g.clone();
+            answer_set(&q, &mut gm)
+        };
+        for (deletion, split) in strategies {
+            let mut di = d.clone();
+            let mut crowd = SingleExpert::new(PerfectOracle::new(g.clone()));
+            let config = CleaningConfig { deletion, split, ..Default::default() };
+            clean_view(&q, &mut di, &mut crowd, config).unwrap();
+            assert_eq!(
+                answer_set(&q, &mut di),
+                true_answers,
+                "strategy {deletion:?}/{split:?} failed to converge"
+            );
+        }
+    }
+}

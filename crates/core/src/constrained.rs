@@ -1,0 +1,345 @@
+//! Constraint-aware edit application (paper Section 9 future work).
+//!
+//! When the cleaner derives an edit that would violate a declared key or
+//! foreign-key constraint, the violation itself is information: two facts
+//! conflicting on a key cannot both be true, and a referencing fact needs
+//! its referenced tuple. This module resolves each violation through crowd
+//! questions:
+//!
+//! * **key conflict on insert** — ask `TRUE(existing)?`: a NO deletes the
+//!   stale fact and admits the new one; a YES re-checks the new fact and
+//!   drops it when the crowd rejects it (two YES answers are recorded as an
+//!   unresolved anomaly and the existing fact wins);
+//! * **dangling reference on insert** — ask the crowd to complete the
+//!   referenced tuple (`COMPL` over a single-atom query with the key
+//!   columns fixed) and insert it first, recursively applying constraints;
+//! * **stranding delete** — each stranded referencing fact is verified;
+//!   false ones are cascade-deleted, true ones are kept and reported (the
+//!   database temporarily violates the constraint, which the paper's model
+//!   permits for a dirty database).
+
+use qoco_crowd::CrowdAccess;
+use qoco_data::{ConstraintSet, Database, Edit, EditKind, EditLog, Violation};
+use qoco_engine::Assignment;
+use qoco_query::{Atom, ConjunctiveQuery, Term, Var};
+
+use crate::error::CleanError;
+
+/// The result of constraint-aware edit application.
+#[derive(Debug, Clone)]
+pub struct ConstrainedOutcome {
+    /// Every edit applied, including repairs, in order.
+    pub edits: EditLog,
+    /// Violations the crowd could not resolve (kept in the database).
+    pub unresolved: Vec<Violation>,
+}
+
+/// Apply `edit` to `db`, resolving any key/foreign-key violations through
+/// crowd questions. Recursive repairs are depth-limited to guard against
+/// cyclic foreign keys.
+pub fn apply_edit_with_constraints<C: CrowdAccess + ?Sized>(
+    db: &mut Database,
+    edit: &Edit,
+    constraints: &ConstraintSet,
+    crowd: &mut C,
+) -> Result<ConstrainedOutcome, CleanError> {
+    let mut outcome = ConstrainedOutcome { edits: EditLog::new(), unresolved: Vec::new() };
+    apply_rec(db, edit, constraints, crowd, &mut outcome, 8)?;
+    Ok(outcome)
+}
+
+fn apply_rec<C: CrowdAccess + ?Sized>(
+    db: &mut Database,
+    edit: &Edit,
+    constraints: &ConstraintSet,
+    crowd: &mut C,
+    outcome: &mut ConstrainedOutcome,
+    depth: usize,
+) -> Result<(), CleanError> {
+    if depth == 0 {
+        // cyclic dependencies: apply the edit and report remaining
+        // violations unresolved
+        outcome.unresolved.extend(constraints.edit_violations(db, edit));
+        if db.apply(edit)? {
+            outcome.edits.push(edit.clone());
+        }
+        return Ok(());
+    }
+    let violations = constraints.edit_violations(db, edit);
+    let mut admit = true;
+    for v in violations {
+        match v {
+            Violation::KeyConflict { existing, .. } => {
+                if crowd.verify_fact(&existing) {
+                    // existing is true; is the new fact also claimed true?
+                    if edit.kind == EditKind::Insert && crowd.verify_fact(&edit.fact) {
+                        // both true: impossible under the key — keep the
+                        // existing fact, report, and skip the insert
+                        outcome.unresolved.push(Violation::KeyConflict {
+                            rel: existing.rel,
+                            fact: edit.fact.clone(),
+                            existing,
+                        });
+                    }
+                    admit = false;
+                } else {
+                    let repair = Edit::delete(existing);
+                    apply_rec(db, &repair, constraints, crowd, outcome, depth - 1)?;
+                }
+            }
+            Violation::DanglingReference { to_rel, missing_key, fact } => {
+                match edit.kind {
+                    EditKind::Insert => {
+                        // complete the referenced tuple with the crowd
+                        let fk = constraints
+                            .foreign_keys()
+                            .iter()
+                            .find(|f| f.to_rel == to_rel && f.from_rel == fact.rel)
+                            .expect("violation stems from a declared FK");
+                        let q = reference_query(db, fk.to_rel, &fk.to_cols, &missing_key);
+                        match crowd.complete(&q, &Assignment::new()) {
+                            Some(total) => {
+                                let referenced = total
+                                    .ground_atom(&q.atoms()[0])
+                                    .expect("completion is total");
+                                let repair = Edit::insert(referenced);
+                                apply_rec(db, &repair, constraints, crowd, outcome, depth - 1)?;
+                            }
+                            None => {
+                                // no true referenced tuple exists: the
+                                // insert itself must be false
+                                outcome.unresolved.push(Violation::DanglingReference {
+                                    fact,
+                                    to_rel,
+                                    missing_key,
+                                });
+                                admit = false;
+                            }
+                        }
+                    }
+                    EditKind::Delete => {
+                        // stranded referencing fact: false → cascade delete
+                        if crowd.verify_fact(&fact) {
+                            outcome.unresolved.push(Violation::DanglingReference {
+                                fact,
+                                to_rel,
+                                missing_key,
+                            });
+                        } else {
+                            let repair = Edit::delete(fact);
+                            apply_rec(db, &repair, constraints, crowd, outcome, depth - 1)?;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if admit && db.apply(edit)? {
+        outcome.edits.push(edit.clone());
+    }
+    Ok(())
+}
+
+/// A single-atom query selecting the referenced tuple: key columns fixed to
+/// `key`, all other columns fresh variables.
+fn reference_query(
+    db: &Database,
+    to_rel: qoco_data::RelId,
+    to_cols: &[usize],
+    key: &[qoco_data::Value],
+) -> ConjunctiveQuery {
+    let arity = db.schema().arity(to_rel);
+    let mut terms = Vec::with_capacity(arity);
+    let mut head = Vec::new();
+    for col in 0..arity {
+        match to_cols.iter().position(|&c| c == col) {
+            Some(i) => terms.push(Term::Const(key[i].clone())),
+            None => {
+                let v = Var::new(format!("c{col}"));
+                head.push(Term::Var(v.clone()));
+                terms.push(Term::Var(v));
+            }
+        }
+    }
+    ConjunctiveQuery::new(
+        db.schema().clone(),
+        "ref",
+        head,
+        vec![Atom::new(to_rel, terms)],
+        vec![],
+    )
+    .expect("reference queries are well-formed")
+}
+
+/// Apply a whole edit log under constraints.
+pub fn apply_all_with_constraints<C: CrowdAccess + ?Sized>(
+    db: &mut Database,
+    edits: &EditLog,
+    constraints: &ConstraintSet,
+    crowd: &mut C,
+) -> Result<ConstrainedOutcome, CleanError> {
+    let mut outcome = ConstrainedOutcome { edits: EditLog::new(), unresolved: Vec::new() };
+    for e in edits.edits() {
+        apply_rec(db, e, constraints, crowd, &mut outcome, 8)?;
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoco_crowd::{PerfectOracle, SingleExpert};
+    use qoco_data::{Fact, tup};
+    use qoco_data::Schema;
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Schema::builder()
+            .relation("Teams", &["country", "continent"])
+            .relation("Games", &["date", "winner", "runner_up", "stage", "result"])
+            .build()
+            .unwrap()
+    }
+
+    fn constraints(s: &Arc<Schema>) -> ConstraintSet {
+        let teams = s.rel_id("Teams").unwrap();
+        let games = s.rel_id("Games").unwrap();
+        ConstraintSet::new()
+            .key(teams, vec![0])
+            .foreign_key(games, vec![1], teams, vec![0])
+    }
+
+    #[test]
+    fn key_conflict_repair_deletes_the_false_row() {
+        let s = schema();
+        let cs = constraints(&s);
+        let teams = s.rel_id("Teams").unwrap();
+        let mut d = Database::empty(s.clone());
+        d.insert_named("Teams", tup!["BRA", "EU"]).unwrap(); // false
+        let mut g = Database::empty(s.clone());
+        g.insert_named("Teams", tup!["BRA", "SA"]).unwrap();
+        let mut crowd = SingleExpert::new(PerfectOracle::new(g));
+        let edit = Edit::insert(Fact::new(teams, tup!["BRA", "SA"]));
+        let out = apply_edit_with_constraints(&mut d, &edit, &cs, &mut crowd).unwrap();
+        assert!(out.unresolved.is_empty());
+        assert!(d.contains(&Fact::new(teams, tup!["BRA", "SA"])));
+        assert!(!d.contains(&Fact::new(teams, tup!["BRA", "EU"])));
+        // repair delete + the insert
+        assert_eq!(out.edits.len(), 2);
+    }
+
+    #[test]
+    fn key_conflict_with_true_existing_rejects_false_insert() {
+        let s = schema();
+        let cs = constraints(&s);
+        let teams = s.rel_id("Teams").unwrap();
+        let mut d = Database::empty(s.clone());
+        d.insert_named("Teams", tup!["BRA", "SA"]).unwrap(); // true
+        let mut g = Database::empty(s.clone());
+        g.insert_named("Teams", tup!["BRA", "SA"]).unwrap();
+        let mut crowd = SingleExpert::new(PerfectOracle::new(g));
+        let edit = Edit::insert(Fact::new(teams, tup!["BRA", "EU"])); // false
+        let out = apply_edit_with_constraints(&mut d, &edit, &cs, &mut crowd).unwrap();
+        assert!(out.edits.is_empty());
+        assert!(out.unresolved.is_empty());
+        assert!(!d.contains(&Fact::new(teams, tup!["BRA", "EU"])));
+    }
+
+    #[test]
+    fn dangling_insert_pulls_in_the_referenced_tuple() {
+        let s = schema();
+        let cs = constraints(&s);
+        let teams = s.rel_id("Teams").unwrap();
+        let games = s.rel_id("Games").unwrap();
+        let d0 = Database::empty(s.clone());
+        let mut g = Database::empty(s.clone());
+        g.insert_named("Teams", tup!["GER", "EU"]).unwrap();
+        g.insert_named("Games", tup!["13.07.14", "GER", "ARG", "Final", "1:0"]).unwrap();
+        let mut d = d0.clone();
+        let mut crowd = SingleExpert::new(PerfectOracle::new(g));
+        let edit =
+            Edit::insert(Fact::new(games, tup!["13.07.14", "GER", "ARG", "Final", "1:0"]));
+        let out = apply_edit_with_constraints(&mut d, &edit, &cs, &mut crowd).unwrap();
+        assert!(out.unresolved.is_empty());
+        assert!(d.contains(&Fact::new(teams, tup!["GER", "EU"])), "referenced tuple fetched");
+        assert!(d.contains(&edit.fact));
+        assert_eq!(out.edits.len(), 2);
+        assert!(crowd.stats().complete_tasks >= 1);
+    }
+
+    #[test]
+    fn dangling_insert_without_true_reference_is_rejected() {
+        let s = schema();
+        let cs = constraints(&s);
+        let games = s.rel_id("Games").unwrap();
+        let mut d = Database::empty(s.clone());
+        let g = Database::empty(s.clone()); // ground truth has no teams at all
+        let mut crowd = SingleExpert::new(PerfectOracle::new(g));
+        let edit = Edit::insert(Fact::new(games, tup!["d", "XX", "YY", "Final", "1:0"]));
+        let out = apply_edit_with_constraints(&mut d, &edit, &cs, &mut crowd).unwrap();
+        assert!(out.edits.is_empty());
+        assert_eq!(out.unresolved.len(), 1);
+        assert!(!d.contains(&edit.fact));
+    }
+
+    #[test]
+    fn stranding_delete_cascades_over_false_referents() {
+        let s = schema();
+        let cs = constraints(&s);
+        let teams = s.rel_id("Teams").unwrap();
+        let games = s.rel_id("Games").unwrap();
+        let mut d = Database::empty(s.clone());
+        d.insert_named("Teams", tup!["XX", "EU"]).unwrap(); // false
+        d.insert_named("Games", tup!["d", "XX", "YY", "Final", "1:0"]).unwrap(); // false
+        let g = Database::empty(s.clone());
+        let mut crowd = SingleExpert::new(PerfectOracle::new(g));
+        let edit = Edit::delete(Fact::new(teams, tup!["XX", "EU"]));
+        let out = apply_edit_with_constraints(&mut d, &edit, &cs, &mut crowd).unwrap();
+        assert!(out.unresolved.is_empty());
+        assert!(d.is_empty(), "both false facts removed");
+        assert_eq!(out.edits.len(), 2);
+        assert!(!d.contains(&Fact::new(games, tup!["d", "XX", "YY", "Final", "1:0"])));
+    }
+
+    #[test]
+    fn stranding_delete_keeps_true_referents_and_reports() {
+        let s = schema();
+        let cs = constraints(&s);
+        let teams = s.rel_id("Teams").unwrap();
+        let games = s.rel_id("Games").unwrap();
+        let mut d = Database::empty(s.clone());
+        d.insert_named("Teams", tup!["GER", "SA"]).unwrap(); // false continent
+        d.insert_named("Games", tup!["13.07.14", "GER", "ARG", "Final", "1:0"]).unwrap(); // true
+        let mut g = Database::empty(s.clone());
+        g.insert_named("Teams", tup!["GER", "EU"]).unwrap();
+        g.insert_named("Games", tup!["13.07.14", "GER", "ARG", "Final", "1:0"]).unwrap();
+        let mut crowd = SingleExpert::new(PerfectOracle::new(g));
+        let edit = Edit::delete(Fact::new(teams, tup!["GER", "SA"]));
+        let out = apply_edit_with_constraints(&mut d, &edit, &cs, &mut crowd).unwrap();
+        // the game is true and must survive; the constraint stays violated
+        assert!(d.contains(&Fact::new(games, tup!["13.07.14", "GER", "ARG", "Final", "1:0"])));
+        assert_eq!(out.unresolved.len(), 1);
+    }
+
+    #[test]
+    fn apply_all_threads_the_log() {
+        let s = schema();
+        let cs = constraints(&s);
+        let games = s.rel_id("Games").unwrap();
+        let mut d = Database::empty(s.clone());
+        let mut g = Database::empty(s.clone());
+        g.insert_named("Teams", tup!["GER", "EU"]).unwrap();
+        g.insert_named("Teams", tup!["ESP", "EU"]).unwrap();
+        g.insert_named("Games", tup!["a", "GER", "ARG", "Final", "1:0"]).unwrap();
+        g.insert_named("Games", tup!["b", "ESP", "NED", "Final", "1:0"]).unwrap();
+        let mut crowd = SingleExpert::new(PerfectOracle::new(g));
+        let mut log = EditLog::new();
+        log.push(Edit::insert(Fact::new(games, tup!["a", "GER", "ARG", "Final", "1:0"])));
+        log.push(Edit::insert(Fact::new(games, tup!["b", "ESP", "NED", "Final", "1:0"])));
+        let out = apply_all_with_constraints(&mut d, &log, &cs, &mut crowd).unwrap();
+        // 2 game inserts + 2 referenced team inserts
+        assert_eq!(out.edits.len(), 4);
+        assert!(out.unresolved.is_empty());
+        assert!(cs.violations(&d).is_empty());
+    }
+}

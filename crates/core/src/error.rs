@@ -1,0 +1,77 @@
+//! Errors raised by the cleaning algorithms.
+
+use std::fmt;
+
+use qoco_data::DataError;
+use qoco_query::QueryError;
+
+/// Errors raised while cleaning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CleanError {
+    /// Underlying data-layer failure.
+    Data(DataError),
+    /// Query transformation failure (embedding, splitting).
+    Query(QueryError),
+    /// The crowd could not produce a witness for a missing answer (with a
+    /// perfect oracle this means the target tuple is not a true answer).
+    NoWitness(String),
+    /// The iteration budget was exhausted before convergence (only possible
+    /// with imperfect crowds).
+    IterationBudget {
+        /// The configured budget.
+        budget: usize,
+    },
+    /// The naïve enumeration exhausted its question budget.
+    QuestionBudget {
+        /// The configured budget.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for CleanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CleanError::Data(e) => write!(f, "data error: {e}"),
+            CleanError::Query(e) => write!(f, "query error: {e}"),
+            CleanError::NoWitness(t) => {
+                write!(f, "the crowd could not provide a witness for {t}")
+            }
+            CleanError::IterationBudget { budget } => {
+                write!(f, "cleaning did not converge within {budget} iterations")
+            }
+            CleanError::QuestionBudget { budget } => {
+                write!(f, "enumeration exceeded the {budget}-question budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CleanError {}
+
+impl From<DataError> for CleanError {
+    fn from(e: DataError) -> Self {
+        CleanError::Data(e)
+    }
+}
+
+impl From<QueryError> for CleanError {
+    fn from(e: QueryError) -> Self {
+        CleanError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(CleanError::NoWitness("(ITA)".into()).to_string().contains("ITA"));
+        assert!(CleanError::IterationBudget { budget: 5 }.to_string().contains('5'));
+        assert!(CleanError::QuestionBudget { budget: 9 }.to_string().contains('9'));
+        let d: CleanError = DataError::SchemaMismatch.into();
+        assert!(d.to_string().contains("schema"));
+        let q: CleanError = QueryError::EmptyBody.into();
+        assert!(q.to_string().contains("query"));
+    }
+}

@@ -1,0 +1,234 @@
+//! Tuple-selection heuristics for the deletion algorithm.
+//!
+//! Algorithm 1 "employs a greedy heuristic, asking the crowd first about
+//! tuples that occur in the highest number of witnesses. This heuristic
+//! could be replaced by others, such as asking the crowd first about
+//! influential tuples, or tuples with high causality/responsibility, or
+//! tuples which are least trustworthy (assuming that they have trust
+//! scores)" (Section 4). Each alternative is a [`TupleSelector`]; the
+//! ablation bench compares them.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qoco_data::Fact;
+
+use crate::hitting_set::HittingSetInstance;
+
+/// Chooses which witness tuple to verify next.
+pub trait TupleSelector {
+    /// Pick a fact from the remaining witness sets, or `None` if no sets
+    /// remain.
+    fn select(&mut self, instance: &HittingSetInstance<Fact>) -> Option<Fact>;
+
+    /// Label for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's default: the most frequent tuple across witnesses.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MostFrequentSelector;
+
+impl TupleSelector for MostFrequentSelector {
+    fn select(&mut self, instance: &HittingSetInstance<Fact>) -> Option<Fact> {
+        instance.most_frequent()
+    }
+
+    fn name(&self) -> &'static str {
+        "most-frequent"
+    }
+}
+
+/// Uniform random choice among the remaining witness tuples (the Random
+/// baseline of Section 7.2).
+#[derive(Debug)]
+pub struct RandomSelector {
+    rng: StdRng,
+}
+
+impl RandomSelector {
+    /// Seeded random selector (seed fixed per experiment for
+    /// reproducibility).
+    pub fn new(seed: u64) -> Self {
+        RandomSelector { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl TupleSelector for RandomSelector {
+    fn select(&mut self, instance: &HittingSetInstance<Fact>) -> Option<Fact> {
+        let universe: Vec<Fact> = instance.universe().into_iter().collect();
+        if universe.is_empty() {
+            return None;
+        }
+        let i = self.rng.random_range(0..universe.len());
+        Some(universe[i].clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Responsibility-style selection (after Meliou et al. \[46\]): the
+/// responsibility of a fact for the wrong answer is `1 / (1 + k)` where `k`
+/// is the size of the smallest contingency — here, the smallest witness
+/// containing the fact minus the fact itself. Higher responsibility first;
+/// ties broken by frequency, then by fact order.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ResponsibilitySelector;
+
+impl TupleSelector for ResponsibilitySelector {
+    fn select(&mut self, instance: &HittingSetInstance<Fact>) -> Option<Fact> {
+        let mut best: Option<(usize, usize, Fact)> = None; // (min witness size, -freq, fact)
+        for f in instance.universe() {
+            let min_size = instance
+                .sets()
+                .iter()
+                .filter(|s| s.contains(&f))
+                .map(|s| s.len())
+                .min()
+                .unwrap_or(usize::MAX);
+            let freq = instance.frequency(&f);
+            let key = (min_size, usize::MAX - freq, f);
+            match &best {
+                Some(b) if *b <= key => {}
+                _ => best = Some(key),
+            }
+        }
+        best.map(|(_, _, f)| f)
+    }
+
+    fn name(&self) -> &'static str {
+        "responsibility"
+    }
+}
+
+/// Least-trustworthy-first selection using externally supplied trust
+/// scores (e.g. from the extraction pipeline); unknown facts default to
+/// trust 0.5. Ties broken by frequency then fact order.
+#[derive(Debug, Clone)]
+pub struct TrustSelector {
+    trust: HashMap<Fact, f64>,
+}
+
+impl TrustSelector {
+    /// Build from a score table; scores should lie in `[0, 1]`
+    /// (1 = fully trusted).
+    pub fn new(trust: HashMap<Fact, f64>) -> Self {
+        TrustSelector { trust }
+    }
+
+    fn score(&self, f: &Fact) -> f64 {
+        self.trust.get(f).copied().unwrap_or(0.5)
+    }
+}
+
+impl TupleSelector for TrustSelector {
+    fn select(&mut self, instance: &HittingSetInstance<Fact>) -> Option<Fact> {
+        let mut best: Option<(f64, usize, Fact)> = None;
+        for f in instance.universe() {
+            let s = self.score(&f);
+            let freq = instance.frequency(&f);
+            let replace = match &best {
+                None => true,
+                Some((bs, bf, bfact)) => {
+                    s < *bs
+                        || (s == *bs && freq > *bf)
+                        || (s == *bs && freq == *bf && f < *bfact)
+                }
+            };
+            if replace {
+                best = Some((s, freq, f));
+            }
+        }
+        best.map(|(_, _, f)| f)
+    }
+
+    fn name(&self) -> &'static str {
+        "trust"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoco_data::{tup, RelId};
+    use std::collections::BTreeSet;
+
+    fn fact(i: i64) -> Fact {
+        Fact::new(RelId::from_index(0), tup![i])
+    }
+
+    fn inst(sets: &[&[i64]]) -> HittingSetInstance<Fact> {
+        HittingSetInstance::new(
+            sets.iter().map(|s| s.iter().map(|&i| fact(i)).collect::<BTreeSet<_>>()),
+        )
+    }
+
+    #[test]
+    fn most_frequent_selector_matches_instance() {
+        let h = inst(&[&[1, 2], &[1, 3], &[4]]);
+        assert_eq!(MostFrequentSelector.select(&h), Some(fact(1)));
+        assert_eq!(MostFrequentSelector.name(), "most-frequent");
+    }
+
+    #[test]
+    fn random_selector_is_seeded_and_in_universe() {
+        let h = inst(&[&[1, 2], &[3]]);
+        let picks1: Vec<_> = {
+            let mut s = RandomSelector::new(7);
+            (0..10).map(|_| s.select(&h).unwrap()).collect()
+        };
+        let picks2: Vec<_> = {
+            let mut s = RandomSelector::new(7);
+            (0..10).map(|_| s.select(&h).unwrap()).collect()
+        };
+        assert_eq!(picks1, picks2);
+        let universe = h.universe();
+        assert!(picks1.iter().all(|f| universe.contains(f)));
+    }
+
+    #[test]
+    fn random_selector_on_empty_instance() {
+        let h = inst(&[]);
+        assert_eq!(RandomSelector::new(1).select(&h), None);
+    }
+
+    #[test]
+    fn responsibility_prefers_small_witnesses() {
+        // fact 9 sits in a 2-element witness (contingency 1); fact 1 is
+        // more frequent but only in 3-element witnesses (contingency 2).
+        let h = inst(&[&[1, 2, 3], &[1, 4, 5], &[1, 6, 7], &[9, 8]]);
+        assert_eq!(ResponsibilitySelector.select(&h), Some(fact(8)));
+        // fact 8 vs 9: same witness (size 2), same frequency → Ord tie-break
+    }
+
+    #[test]
+    fn trust_selector_targets_least_trusted() {
+        let h = inst(&[&[1, 2], &[2, 3]]);
+        let mut trust = HashMap::new();
+        trust.insert(fact(1), 0.9);
+        trust.insert(fact(2), 0.9);
+        trust.insert(fact(3), 0.1);
+        let mut s = TrustSelector::new(trust);
+        assert_eq!(s.select(&h), Some(fact(3)));
+    }
+
+    #[test]
+    fn trust_selector_defaults_to_half() {
+        let h = inst(&[&[1, 2]]);
+        let mut trust = HashMap::new();
+        trust.insert(fact(1), 0.8); // fact 2 unknown → 0.5 < 0.8
+        let mut s = TrustSelector::new(trust);
+        assert_eq!(s.select(&h), Some(fact(2)));
+    }
+
+    #[test]
+    fn trust_ties_break_by_frequency() {
+        let h = inst(&[&[1, 2], &[2, 3]]);
+        let mut s = TrustSelector::new(HashMap::new()); // all 0.5
+        assert_eq!(s.select(&h), Some(fact(2))); // most frequent among ties
+    }
+}

@@ -1,0 +1,319 @@
+//! Hitting-set machinery (paper Section 4).
+//!
+//! The witnesses of a wrong answer form a set system `(U, S)`: `U` is the
+//! facts of `D` appearing in witnesses and `S` the witnesses themselves.
+//! Because the answer is wrong, every witness contains at least one false
+//! fact, so the false facts form a hitting set. Algorithm 1 exploits two
+//! observations:
+//!
+//! * **Theorem 4.5** — a *unique minimal hitting set* exists iff the
+//!   elements of the singleton sets hit every set; when it does, those
+//!   elements must be false and can be deleted without any crowd question;
+//! * **greedy frequency** — verifying the most frequent element first
+//!   either destroys many witnesses at once (if false) or shrinks many
+//!   witnesses at once (if true).
+//!
+//! The module is generic over the element type so the same machinery is
+//! reusable (and directly testable) outside the fact domain, and also
+//! provides an exact branch-and-bound minimum hitting set used by the
+//! ablation benchmarks to quantify how close the greedy question policy
+//! gets to the optimum.
+
+use std::collections::BTreeSet;
+
+/// A mutable hitting-set instance: a collection of non-empty sets to hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HittingSetInstance<T: Ord + Clone> {
+    sets: Vec<BTreeSet<T>>,
+}
+
+impl<T: Ord + Clone> HittingSetInstance<T> {
+    /// Build an instance from sets; empty sets are dropped (they cannot be
+    /// hit and, in the witness interpretation, cannot occur for a wrong
+    /// answer with a truthful oracle).
+    pub fn new(sets: impl IntoIterator<Item = BTreeSet<T>>) -> Self {
+        let mut sets: Vec<BTreeSet<T>> = sets.into_iter().filter(|s| !s.is_empty()).collect();
+        sets.sort();
+        sets.dedup();
+        HittingSetInstance { sets }
+    }
+
+    /// The remaining sets.
+    pub fn sets(&self) -> &[BTreeSet<T>] {
+        &self.sets
+    }
+
+    /// True if every set has been destroyed (hit).
+    pub fn is_done(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// All distinct elements over the remaining sets.
+    pub fn universe(&self) -> BTreeSet<T> {
+        self.sets.iter().flatten().cloned().collect()
+    }
+
+    /// Elements of the singleton sets.
+    pub fn singleton_elements(&self) -> BTreeSet<T> {
+        self.sets
+            .iter()
+            .filter(|s| s.len() == 1)
+            .map(|s| s.iter().next().expect("singleton").clone())
+            .collect()
+    }
+
+    /// Theorem 4.5: a unique minimal hitting set exists iff the singleton
+    /// elements form a hitting set; returns it when it does.
+    pub fn unique_minimal_hitting_set(&self) -> Option<BTreeSet<T>> {
+        let m = self.singleton_elements();
+        let hits_all = self.sets.iter().all(|s| s.iter().any(|e| m.contains(e)));
+        (hits_all && !self.sets.is_empty()).then_some(m)
+    }
+
+    /// The element occurring in the most sets; ties broken by `Ord` for
+    /// determinism. `None` when no sets remain.
+    pub fn most_frequent(&self) -> Option<T> {
+        let mut counts: std::collections::BTreeMap<&T, usize> = Default::default();
+        for s in &self.sets {
+            for e in s {
+                *counts.entry(e).or_insert(0) += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .max_by(|(ea, ca), (eb, cb)| ca.cmp(cb).then(eb.cmp(ea)))
+            .map(|(e, _)| e.clone())
+    }
+
+    /// Frequency of one element across the remaining sets.
+    pub fn frequency(&self, e: &T) -> usize {
+        self.sets.iter().filter(|s| s.contains(e)).count()
+    }
+
+    /// The element was confirmed *true* (not deletable): remove it from
+    /// every set. Sets that become empty are dropped and reported (an
+    /// anomaly with a perfect oracle — a wrong answer's witness must hold a
+    /// false fact).
+    pub fn confirm_true(&mut self, e: &T) -> usize {
+        for s in &mut self.sets {
+            s.remove(e);
+        }
+        let before = self.sets.len();
+        self.sets.retain(|s| !s.is_empty());
+        let emptied = before - self.sets.len();
+        self.sets.sort();
+        self.sets.dedup();
+        emptied
+    }
+
+    /// The element was confirmed *false* (deleted): drop every set that
+    /// contains it. Returns how many sets were destroyed.
+    pub fn confirm_false(&mut self, e: &T) -> usize {
+        let before = self.sets.len();
+        self.sets.retain(|s| !s.contains(e));
+        before - self.sets.len()
+    }
+
+    /// Greedy hitting set (max frequency first) — used as a baseline in
+    /// ablations, not by the interactive algorithm (which cannot know which
+    /// elements are false without asking).
+    pub fn greedy_hitting_set(&self) -> BTreeSet<T> {
+        let mut work = self.clone();
+        let mut out = BTreeSet::new();
+        while let Some(e) = work.most_frequent() {
+            work.confirm_false(&e);
+            out.insert(e);
+        }
+        out
+    }
+
+    /// Exact minimum hitting set by branch and bound. Exponential in the
+    /// worst case — intended for the instance sizes the deletion algorithm
+    /// actually sees (a handful of witnesses) and for ablation benches.
+    pub fn minimum_hitting_set(&self) -> BTreeSet<T> {
+        let mut best: Option<BTreeSet<T>> = None;
+        let mut chosen = BTreeSet::new();
+        Self::branch(&self.sets, &mut chosen, &mut best);
+        best.unwrap_or_default()
+    }
+
+    fn branch(
+        sets: &[BTreeSet<T>],
+        chosen: &mut BTreeSet<T>,
+        best: &mut Option<BTreeSet<T>>,
+    ) {
+        if let Some(b) = best {
+            if chosen.len() >= b.len() {
+                return; // bound
+            }
+        }
+        // first un-hit set
+        let unhit = sets.iter().find(|s| !s.iter().any(|e| chosen.contains(e)));
+        match unhit {
+            None => {
+                let better = match best {
+                    Some(b) => chosen.len() < b.len(),
+                    None => true,
+                };
+                if better {
+                    *best = Some(chosen.clone());
+                }
+            }
+            Some(s) => {
+                for e in s.iter().cloned().collect::<Vec<_>>() {
+                    chosen.insert(e.clone());
+                    Self::branch(sets, chosen, best);
+                    chosen.remove(&e);
+                }
+            }
+        }
+    }
+
+    /// Does `h` hit every set?
+    pub fn is_hitting_set(&self, h: &BTreeSet<T>) -> bool {
+        self.sets.iter().all(|s| s.iter().any(|e| h.contains(e)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(sets: &[&[u32]]) -> HittingSetInstance<u32> {
+        HittingSetInstance::new(sets.iter().map(|s| s.iter().copied().collect()))
+    }
+
+    #[test]
+    fn example_4_4_unique_minimal() {
+        // witnesses {t1} and {t1, t2}: {t1} is the unique minimal hitting set
+        let h = inst(&[&[1], &[1, 2]]);
+        assert_eq!(h.unique_minimal_hitting_set(), Some([1].into()));
+    }
+
+    #[test]
+    fn example_4_4_no_unique_minimal() {
+        // witnesses {t1,t2} and {t1,t3}: minimal hitting sets {t1} and
+        // {t2,t3} — no unique one
+        let h = inst(&[&[1, 2], &[1, 3]]);
+        assert_eq!(h.unique_minimal_hitting_set(), None);
+    }
+
+    #[test]
+    fn theorem_4_5_singletons_must_cover() {
+        // singletons {1} and {2}; set {1,3} is hit by 1; set {4,5} is not
+        // hit by singletons → no unique minimal hitting set
+        let h = inst(&[&[1], &[2], &[1, 3], &[4, 5]]);
+        assert_eq!(h.singleton_elements(), [1, 2].into());
+        assert_eq!(h.unique_minimal_hitting_set(), None);
+        // remove the problem set → unique minimal = {1, 2}
+        let h2 = inst(&[&[1], &[2], &[1, 3], &[2, 5]]);
+        assert_eq!(h2.unique_minimal_hitting_set(), Some([1, 2].into()));
+    }
+
+    #[test]
+    fn most_frequent_prefers_high_coverage() {
+        let h = inst(&[&[1, 2], &[1, 3], &[1, 4], &[5, 6]]);
+        assert_eq!(h.most_frequent(), Some(1));
+        assert_eq!(h.frequency(&1), 3);
+    }
+
+    #[test]
+    fn most_frequent_tie_breaks_deterministically() {
+        let h = inst(&[&[2, 1]]);
+        // both occur once; the smaller element wins
+        assert_eq!(h.most_frequent(), Some(1));
+    }
+
+    #[test]
+    fn confirm_true_strips_element_everywhere() {
+        let mut h = inst(&[&[1, 2], &[1, 3]]);
+        let emptied = h.confirm_true(&1);
+        assert_eq!(emptied, 0);
+        assert_eq!(h.sets(), &[[2].into(), [3].into()]);
+    }
+
+    #[test]
+    fn confirm_true_reports_emptied_sets() {
+        let mut h = inst(&[&[1], &[1, 2]]);
+        let emptied = h.confirm_true(&1);
+        assert_eq!(emptied, 1);
+        assert_eq!(h.sets().len(), 1);
+    }
+
+    #[test]
+    fn confirm_false_destroys_covering_sets() {
+        let mut h = inst(&[&[1, 2], &[1, 3], &[4]]);
+        assert_eq!(h.confirm_false(&1), 2);
+        assert_eq!(h.sets(), &[[4].into()]);
+        assert!(!h.is_done());
+        assert_eq!(h.confirm_false(&4), 1);
+        assert!(h.is_done());
+    }
+
+    #[test]
+    fn example_4_6_walkthrough() {
+        // After t3 confirmed true, the six witnesses become the six pairs
+        // over {t1, t2, t4, t5} minus... (paper Example 4.6):
+        let mut h = inst(&[
+            &[1, 2, 3],
+            &[2, 4, 3],
+            &[4, 1, 3],
+            &[1, 5, 3],
+            &[2, 5, 3],
+            &[4, 5, 3],
+        ]);
+        assert_eq!(h.most_frequent(), Some(3));
+        h.confirm_true(&3);
+        assert_eq!(h.sets().len(), 6);
+        // t5 confirmed false → 3 witnesses destroyed
+        assert_eq!(h.confirm_false(&5), 3);
+        // t1 confirmed true → sets {2}, {2,4}, {4}
+        h.confirm_true(&1);
+        // unique minimal hitting set now exists: {2, 4}
+        assert_eq!(h.unique_minimal_hitting_set(), Some([2, 4].into()));
+    }
+
+    #[test]
+    fn minimum_hitting_set_is_optimal() {
+        let h = inst(&[&[1, 2], &[1, 3], &[2, 3]]);
+        let m = h.minimum_hitting_set();
+        assert_eq!(m.len(), 2); // any pair hits all three
+        assert!(h.is_hitting_set(&m));
+    }
+
+    #[test]
+    fn minimum_beats_or_matches_greedy() {
+        // classic greedy-trap structure
+        let h = inst(&[&[1, 4], &[1, 5], &[2, 4], &[2, 6], &[3, 5], &[3, 6], &[4, 5, 6]]);
+        let greedy = h.greedy_hitting_set();
+        let exact = h.minimum_hitting_set();
+        assert!(h.is_hitting_set(&greedy));
+        assert!(h.is_hitting_set(&exact));
+        assert!(exact.len() <= greedy.len());
+    }
+
+    #[test]
+    fn empty_instance_is_done() {
+        let h = inst(&[]);
+        assert!(h.is_done());
+        assert_eq!(h.most_frequent(), None);
+        assert_eq!(h.unique_minimal_hitting_set(), None);
+        assert!(h.minimum_hitting_set().is_empty());
+    }
+
+    #[test]
+    fn duplicate_and_empty_sets_are_normalized() {
+        let h = HittingSetInstance::new(vec![
+            BTreeSet::from([1u32, 2]),
+            BTreeSet::from([1, 2]),
+            BTreeSet::new(),
+        ]);
+        assert_eq!(h.sets().len(), 1);
+    }
+
+    #[test]
+    fn universe_collects_all_elements() {
+        let h = inst(&[&[1, 2], &[3]]);
+        assert_eq!(h.universe(), [1, 2, 3].into());
+    }
+}

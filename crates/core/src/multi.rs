@@ -1,0 +1,494 @@
+//! Multiple imperfect experts, in parallel (paper Section 6.2).
+//!
+//! Two ingredients:
+//!
+//! * **imperfection** — every closed question goes to a fixed-size panel
+//!   with majority voting and early stop; open answers are re-verified with
+//!   closed questions (this part is shared with
+//!   [`qoco_crowd::MajorityCrowd`]);
+//! * **parallelism** — "we verify the correctness of all tuples in `Q(D)`
+//!   at the same time": [`ParallelMajorityCrowd`] fans a batch of
+//!   verification questions out over worker threads (crossbeam scoped
+//!   threads, one lock per expert), and [`clean_view_parallel`] is the
+//!   Algorithm 3 variant that uses the batch API for the deletion-phase
+//!   verification sweep while edits stay sequential (edits mutate `D`, and
+//!   Proposition 3.3's monotonicity argument is per-edit).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use qoco_crowd::{CrowdAccess, CrowdStats, Oracle, Question};
+use qoco_data::{Database, Fact, Tuple};
+use qoco_engine::{answer_set, Assignment};
+use qoco_query::ConjunctiveQuery;
+
+use crate::cleaner::{CleaningConfig, CleaningReport};
+use crate::deletion::crowd_remove_wrong_answer;
+use crate::error::CleanError;
+use crate::insertion::crowd_add_missing_answer;
+
+/// A panel of experts usable from multiple threads: each expert sits behind
+/// its own lock, so distinct questions proceed concurrently on distinct
+/// experts.
+pub struct ParallelMajorityCrowd<O: Oracle + Send> {
+    experts: Vec<Mutex<O>>,
+    stats: Mutex<CrowdStats>,
+    rotation: AtomicUsize,
+}
+
+impl<O: Oracle + Send> ParallelMajorityCrowd<O> {
+    /// Build from a panel (odd-sized panels make every majority decisive).
+    ///
+    /// # Panics
+    /// Panics on an empty panel.
+    pub fn new(experts: Vec<O>) -> Self {
+        assert!(!experts.is_empty(), "the crowd needs at least one expert");
+        ParallelMajorityCrowd {
+            experts: experts.into_iter().map(Mutex::new).collect(),
+            stats: Mutex::new(CrowdStats::new()),
+            rotation: AtomicUsize::new(0),
+        }
+    }
+
+    /// Panel size.
+    pub fn size(&self) -> usize {
+        self.experts.len()
+    }
+
+    /// The interaction ledger so far.
+    pub fn current_stats(&self) -> CrowdStats {
+        *self.stats.lock()
+    }
+
+    /// Majority-vote one closed question (early stop at a strict majority).
+    fn majority_bool(&self, q: &Question) -> bool {
+        let need = self.experts.len() / 2 + 1;
+        let mut yes = 0usize;
+        let mut no = 0usize;
+        for expert in &self.experts {
+            let b = expert.lock().answer(q).expect_bool();
+            {
+                let mut s = self.stats.lock();
+                s.closed_answers += 1;
+                match q {
+                    Question::VerifyAnswer { .. } => s.verify_answer_crowd_answers += 1,
+                    Question::VerifyFact(_) => s.verify_fact_crowd_answers += 1,
+                    Question::VerifySatisfiable { .. } => s.satisfiable_crowd_answers += 1,
+                    _ => {}
+                }
+            }
+            if b {
+                yes += 1;
+            } else {
+                no += 1;
+            }
+            if yes >= need || no >= need {
+                break;
+            }
+        }
+        yes >= need
+    }
+
+    /// Verify a whole batch of `TRUE(Q, t)?` questions concurrently — the
+    /// "parallel foreach" of Section 6.2. Order of results matches the
+    /// input order. Worker count is `min(batch, experts)`, so each worker
+    /// tends to have an uncontended expert available.
+    pub fn verify_answers_parallel(
+        &self,
+        q: &ConjunctiveQuery,
+        answers: &[Tuple],
+    ) -> Vec<bool> {
+        if answers.is_empty() {
+            return Vec::new();
+        }
+        {
+            let mut s = self.stats.lock();
+            s.verify_answer_questions += answers.len();
+        }
+        let verdicts: Vec<Mutex<bool>> = answers.iter().map(|_| Mutex::new(false)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.experts.len().min(answers.len()).max(1);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= answers.len() {
+                        break;
+                    }
+                    let question =
+                        Question::VerifyAnswer { query: q.clone(), answer: answers[i].clone() };
+                    let verdict = self.majority_bool(&question);
+                    *verdicts[i].lock() = verdict;
+                });
+            }
+        })
+        .expect("verification workers do not panic");
+        verdicts.into_iter().map(|m| m.into_inner()).collect()
+    }
+}
+
+impl<O: Oracle + Send> CrowdAccess for ParallelMajorityCrowd<O> {
+    fn verify_fact(&mut self, f: &Fact) -> bool {
+        self.stats.lock().verify_fact_questions += 1;
+        self.majority_bool(&Question::VerifyFact(f.clone()))
+    }
+
+    fn verify_answer(&mut self, q: &ConjunctiveQuery, t: &Tuple) -> bool {
+        self.stats.lock().verify_answer_questions += 1;
+        self.majority_bool(&Question::VerifyAnswer { query: q.clone(), answer: t.clone() })
+    }
+
+    fn verify_satisfiable(&mut self, q: &ConjunctiveQuery, partial: &Assignment) -> bool {
+        self.stats.lock().satisfiable_questions += 1;
+        self.majority_bool(&Question::VerifySatisfiable {
+            query: q.clone(),
+            partial: partial.clone(),
+        })
+    }
+
+    fn complete(&mut self, q: &ConjunctiveQuery, partial: &Assignment) -> Option<Assignment> {
+        let n = self.experts.len();
+        let start = self.rotation.fetch_add(1, Ordering::Relaxed);
+        for i in 0..n {
+            let idx = (start + i) % n;
+            self.stats.lock().complete_tasks += 1;
+            let reply = self.experts[idx]
+                .lock()
+                .answer(&Question::Complete { query: q.clone(), partial: partial.clone() })
+                .expect_completion();
+            let Some(total) = reply else { continue };
+            let filled = total.len().saturating_sub(partial.len());
+            {
+                let mut s = self.stats.lock();
+                s.filled_variables += filled;
+                s.open_answer_variables += filled;
+            }
+            // re-verify the provided witness facts with closed questions
+            let mut ok = true;
+            for atom in q.atoms() {
+                let Some(fact) = total.ground_atom(atom) else {
+                    ok = false;
+                    break;
+                };
+                self.stats.lock().verify_fact_questions += 1;
+                if !self.majority_bool(&Question::VerifyFact(fact)) {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok && q.inequalities().iter().all(|e| total.check_inequality(e) == Some(true)) {
+                return Some(total);
+            }
+        }
+        None
+    }
+
+    fn next_missing_answer(&mut self, q: &ConjunctiveQuery, known: &[Tuple]) -> Option<Tuple> {
+        let n = self.experts.len();
+        let start = self.rotation.fetch_add(1, Ordering::Relaxed);
+        for i in 0..n {
+            let idx = (start + i) % n;
+            self.stats.lock().complete_result_tasks += 1;
+            let reply = self.experts[idx]
+                .lock()
+                .answer(&Question::CompleteResult { query: q.clone(), known: known.to_vec() })
+                .expect_missing();
+            let Some(t) = reply else { continue };
+            {
+                let mut s = self.stats.lock();
+                s.open_answer_variables += q.head().len();
+                s.verify_answer_questions += 1;
+            }
+            if self.majority_bool(&Question::VerifyAnswer { query: q.clone(), answer: t.clone() })
+            {
+                self.stats.lock().missing_answers_provided += 1;
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn stats(&self) -> CrowdStats {
+        *self.stats.lock()
+    }
+}
+
+impl<O: Oracle + Send> ParallelMajorityCrowd<O> {
+    /// Post `COMPL(Q(D))` to every expert concurrently ("post together
+    /// multiple completion questions", Section 6.2), deduplicate the
+    /// replies and majority-verify each candidate. Returns the verified
+    /// missing answers.
+    pub fn missing_answers_parallel(
+        &self,
+        q: &ConjunctiveQuery,
+        known: &[Tuple],
+    ) -> Vec<Tuple> {
+        let replies: Vec<Mutex<Option<Tuple>>> =
+            self.experts.iter().map(|_| Mutex::new(None)).collect();
+        crossbeam::thread::scope(|scope| {
+            for (i, expert) in self.experts.iter().enumerate() {
+                let slot = &replies[i];
+                scope.spawn(move |_| {
+                    let reply = expert
+                        .lock()
+                        .answer(&Question::CompleteResult {
+                            query: q.clone(),
+                            known: known.to_vec(),
+                        })
+                        .expect_missing();
+                    *slot.lock() = reply;
+                });
+            }
+        })
+        .expect("completion workers do not panic");
+        {
+            let mut s = self.stats.lock();
+            s.complete_result_tasks += self.experts.len();
+        }
+        let mut candidates: Vec<Tuple> =
+            replies.into_iter().filter_map(|m| m.into_inner()).collect();
+        candidates.sort();
+        candidates.dedup();
+        let mut verified = Vec::new();
+        for t in candidates {
+            {
+                let mut s = self.stats.lock();
+                s.open_answer_variables += q.head().len();
+                s.verify_answer_questions += 1;
+            }
+            if self.majority_bool(&Question::VerifyAnswer {
+                query: q.clone(),
+                answer: t.clone(),
+            }) {
+                self.stats.lock().missing_answers_provided += 1;
+                verified.push(t);
+            }
+        }
+        verified
+    }
+}
+
+/// Algorithm 3 with the Section 6.2 parallel verification sweep: all
+/// unverified answers of `Q(D)` are verified concurrently, then the wrong
+/// ones are removed and the missing ones added sequentially.
+pub fn clean_view_parallel<O: Oracle + Send>(
+    q: &ConjunctiveQuery,
+    db: &mut Database,
+    crowd: &mut ParallelMajorityCrowd<O>,
+    config: CleaningConfig,
+) -> Result<CleaningReport, CleanError> {
+    let mut report = CleaningReport::new();
+    let mut verified: std::collections::BTreeSet<Tuple> = Default::default();
+    let mut split = config.split.build();
+    let mut first = true;
+
+    loop {
+        let unverified: Vec<Tuple> = answer_set(q, db)
+            .into_iter()
+            .filter(|t| !verified.contains(t))
+            .collect();
+        if !first && unverified.is_empty() {
+            break;
+        }
+        first = false;
+        report.iterations += 1;
+        if report.iterations > config.max_iterations {
+            return Err(CleanError::IterationBudget { budget: config.max_iterations });
+        }
+
+        // ---- parallel verification sweep + sequential deletions ----
+        let del_before = crowd.stats();
+        let verdicts = crowd.verify_answers_parallel(q, &unverified);
+        for (t, ok) in unverified.into_iter().zip(verdicts) {
+            if ok {
+                verified.insert(t);
+            } else if answer_set(q, db).contains(&t) {
+                report.wrong_answers += 1;
+                let out = crowd_remove_wrong_answer(q, db, &t, crowd, config.deletion)?;
+                report.deletion_upper_bound += out.upper_bound;
+                report.anomalies += out.anomalies;
+                report.edits.extend(out.edits);
+            }
+        }
+        report.deletion_stats.absorb(&crowd.stats().since(&del_before));
+
+        // ---- insertion phase: batch-post completion questions ----
+        let ins_before = crowd.stats();
+        loop {
+            let known = answer_set(q, db);
+            let batch = crowd.missing_answers_parallel(q, &known);
+            if batch.is_empty() {
+                break;
+            }
+            for t in batch {
+                // an earlier insertion of this round may have added it
+                if answer_set(q, db).contains(&t) {
+                    verified.insert(t);
+                    continue;
+                }
+                report.missing_answers += 1;
+                let out =
+                    crowd_add_missing_answer(q, db, &t, crowd, &mut *split, config.insertion)?;
+                report.insertion_upper_bound += out.upper_bound;
+                if out.achieved {
+                    verified.insert(t);
+                } else {
+                    report.anomalies += 1;
+                }
+                report.edits.extend(out.edits);
+            }
+        }
+        report.insertion_stats.absorb(&crowd.stats().since(&ins_before));
+    }
+
+    report.total_stats = report.deletion_stats;
+    report.total_stats.absorb(&report.insertion_stats);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoco_crowd::{ImperfectOracle, PerfectOracle};
+    use qoco_data::{tup, Schema};
+    use qoco_query::parse_query;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Schema>, Database, Database, ConjunctiveQuery) {
+        let schema = Schema::builder()
+            .relation("Games", &["date", "winner", "runner_up", "stage", "result"])
+            .relation("Teams", &["country", "continent"])
+            .build()
+            .unwrap();
+        let mut d = Database::empty(schema.clone());
+        for (dt, w, r, s, u) in [
+            ("11.07.10", "ESP", "NED", "Final", "1:0"),
+            ("12.07.98", "ESP", "NED", "Final", "4:2"), // false
+            ("13.07.14", "GER", "ARG", "Final", "1:0"),
+            ("08.07.90", "GER", "ARG", "Final", "1:0"),
+        ] {
+            d.insert_named("Games", tup![dt, w, r, s, u]).unwrap();
+        }
+        d.insert_named("Teams", tup!["ESP", "EU"]).unwrap();
+        d.insert_named("Teams", tup!["GER", "EU"]).unwrap();
+        // ITA missing entirely
+        let mut g = Database::empty(schema.clone());
+        for (dt, w, r, s, u) in [
+            ("11.07.10", "ESP", "NED", "Final", "1:0"),
+            ("13.07.14", "GER", "ARG", "Final", "1:0"),
+            ("08.07.90", "GER", "ARG", "Final", "1:0"),
+            ("09.07.06", "ITA", "FRA", "Final", "5:3"),
+            ("11.07.82", "ITA", "GER", "Final", "3:1"),
+        ] {
+            g.insert_named("Games", tup![dt, w, r, s, u]).unwrap();
+        }
+        for c in ["ESP", "GER", "ITA"] {
+            g.insert_named("Teams", tup![c, "EU"]).unwrap();
+        }
+        let q = parse_query(
+            &schema,
+            r#"Q1(x) :- Games(d1, x, y, "Final", u1), Games(d2, x, z, "Final", u2), Teams(x, "EU"), d1 != d2."#,
+        )
+        .unwrap();
+        (schema, d, g, q)
+    }
+
+    fn true_answers(g: &Database, q: &ConjunctiveQuery) -> Vec<Tuple> {
+        let mut gm = g.clone();
+        answer_set(q, &mut gm)
+    }
+
+    #[test]
+    fn parallel_batch_verification_matches_sequential() {
+        let (_, mut d, g, q) = setup();
+        let crowd =
+            ParallelMajorityCrowd::new((0..3).map(|_| PerfectOracle::new(g.clone())).collect::<Vec<_>>());
+        let answers = answer_set(&q, &mut d);
+        let verdicts = crowd.verify_answers_parallel(&q, &answers);
+        assert_eq!(verdicts.len(), answers.len());
+        let truth = true_answers(&g, &q);
+        for (t, v) in answers.iter().zip(&verdicts) {
+            assert_eq!(*v, truth.contains(t), "verdict for {t}");
+        }
+        // early stop: 2 answers per question with unanimous experts
+        assert_eq!(crowd.current_stats().closed_answers, 2 * answers.len());
+    }
+
+    #[test]
+    fn parallel_cleaner_converges_with_perfect_panel() {
+        let (_, mut d, g, q) = setup();
+        let mut crowd =
+            ParallelMajorityCrowd::new((0..3).map(|_| PerfectOracle::new(g.clone())).collect::<Vec<_>>());
+        let report =
+            clean_view_parallel(&q, &mut d, &mut crowd, CleaningConfig::default()).unwrap();
+        assert_eq!(answer_set(&q, &mut d), true_answers(&g, &q));
+        assert!(report.wrong_answers >= 1, "ESP must be caught");
+        assert!(report.missing_answers >= 1, "ITA must be added");
+    }
+
+    #[test]
+    fn parallel_cleaner_survives_one_liar() {
+        let (_, mut d, g, q) = setup();
+        // one always-lying expert outvoted by two perfect ones
+        let experts: Vec<Box<dyn Oracle + Send>> = vec![
+            Box::new(ImperfectOracle::new(g.clone(), 1.0, 99)),
+            Box::new(PerfectOracle::new(g.clone())),
+            Box::new(PerfectOracle::new(g.clone())),
+        ];
+        let mut crowd = ParallelMajorityCrowd::new(experts);
+        let report =
+            clean_view_parallel(&q, &mut d, &mut crowd, CleaningConfig::default()).unwrap();
+        assert_eq!(answer_set(&q, &mut d), true_answers(&g, &q));
+        assert_eq!(report.anomalies, 0);
+    }
+
+    #[test]
+    fn parallel_cleaner_with_noisy_experts_converges() {
+        let (_, mut d, g, q) = setup();
+        let experts: Vec<ImperfectOracle> = (0..5)
+            .map(|i| ImperfectOracle::new(g.clone(), 0.1, 1000 + i))
+            .collect();
+        let mut crowd = ParallelMajorityCrowd::new(experts);
+        let report = clean_view_parallel(
+            &q,
+            &mut d,
+            &mut crowd,
+            CleaningConfig { max_iterations: 50, ..Default::default() },
+        );
+        // with 5 experts at 10% error, majority voting virtually always
+        // converges to the truth
+        let report = report.expect("cleaning should converge");
+        assert_eq!(answer_set(&q, &mut d), true_answers(&g, &q));
+        assert!(report.total_stats.closed_answers > 0);
+    }
+
+    #[test]
+    fn parallel_missing_answer_batch_collects_and_verifies() {
+        let (_, mut d, g, q) = setup();
+        let crowd = ParallelMajorityCrowd::new(
+            (0..3).map(|_| PerfectOracle::new(g.clone())).collect::<Vec<_>>(),
+        );
+        let known = answer_set(&q, &mut d);
+        let batch = crowd.missing_answers_parallel(&q, &known);
+        // ITA is missing from the view; all experts report it, deduped
+        assert_eq!(batch, vec![tup!["ITA"]]);
+        let st = crowd.current_stats();
+        assert_eq!(st.complete_result_tasks, 3, "one task per expert");
+        assert_eq!(st.missing_answers_provided, 1, "deduplicated");
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let (_, _, g, q) = setup();
+        let crowd = ParallelMajorityCrowd::new(vec![PerfectOracle::new(g)]);
+        assert!(crowd.verify_answers_parallel(&q, &[]).is_empty());
+        assert_eq!(crowd.current_stats().closed_answers, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one expert")]
+    fn empty_panel_panics() {
+        let _ = ParallelMajorityCrowd::<PerfectOracle>::new(vec![]);
+    }
+}

@@ -1,0 +1,215 @@
+//! The naïve systematic-enumeration strategy of Proposition 3.4.
+//!
+//! "Since the domain consists of values with an order, one can
+//! systematically enumerate all possible facts. For every fact `f`, we ask
+//! the question `TRUE(f)?` to the crowd and apply the corresponding edits to
+//! the database until the target action is achieved." The proposition
+//! guarantees termination; the paper immediately dismisses the strategy as
+//! "too expensive to be practical", and this module exists to demonstrate
+//! exactly that (see the ablation bench comparing its question counts with
+//! Algorithm 1/2's).
+
+use qoco_crowd::CrowdAccess;
+use qoco_data::{Database, Edit, EditLog, Fact, Tuple, Value};
+use qoco_engine::answer_set;
+use qoco_query::ConjunctiveQuery;
+
+use crate::error::CleanError;
+
+/// A target action on the view (Section 3.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TargetAction {
+    /// Remove a wrong answer from `Q(D)`.
+    RemoveAnswer(Tuple),
+    /// Add a missing answer to `Q(D)`.
+    AddAnswer(Tuple),
+}
+
+impl TargetAction {
+    /// Is the target achieved on the current database?
+    pub fn achieved(&self, q: &ConjunctiveQuery, db: &mut Database) -> bool {
+        let answers = answer_set(q, db);
+        match self {
+            TargetAction::RemoveAnswer(t) => !answers.contains(t),
+            TargetAction::AddAnswer(t) => answers.contains(t),
+        }
+    }
+}
+
+/// Systematically enumerate candidate facts over `domain` (the ordered
+/// vocabulary), asking `TRUE(f)?` for each and applying the resulting edit,
+/// until the target action is achieved or `max_questions` is exhausted.
+///
+/// Enumerates every relation × every tuple over the domain in lexicographic
+/// order — exponential in arity, exactly as the paper warns.
+pub fn naive_enumeration<C: CrowdAccess + ?Sized>(
+    q: &ConjunctiveQuery,
+    db: &mut Database,
+    crowd: &mut C,
+    target: TargetAction,
+    domain: &[Value],
+    max_questions: usize,
+) -> Result<(EditLog, usize), CleanError> {
+    let mut edits = EditLog::new();
+    let mut questions = 0usize;
+    if target.achieved(q, db) {
+        return Ok((edits, questions));
+    }
+    if domain.is_empty() {
+        return Err(CleanError::NoWitness(format!("{target:?}")));
+    }
+    let schema = db.schema().clone();
+    for rel in schema.rel_ids() {
+        let arity = schema.arity(rel) as u32;
+        let total = (domain.len() as u128).pow(arity);
+        for counter in 0..total {
+            // decode `counter` as a base-|domain| number, most significant
+            // digit first, giving lexicographic tuple order
+            let mut rem = counter;
+            let mut values = vec![domain[0].clone(); arity as usize];
+            for pos in (0..arity as usize).rev() {
+                values[pos] = domain[(rem % domain.len() as u128) as usize].clone();
+                rem /= domain.len() as u128;
+            }
+            let fact = Fact::new(rel, Tuple::new(values));
+            if questions >= max_questions {
+                return Err(CleanError::QuestionBudget { budget: max_questions });
+            }
+            questions += 1;
+            let in_db = db.contains(&fact);
+            let truth = crowd.verify_fact(&fact);
+            let edit = if truth && !in_db {
+                Some(Edit::insert(fact))
+            } else if !truth && in_db {
+                Some(Edit::delete(fact))
+            } else {
+                None
+            };
+            if let Some(e) = edit {
+                db.apply(&e)?;
+                edits.push(e);
+                if target.achieved(q, db) {
+                    return Ok((edits, questions));
+                }
+            }
+        }
+    }
+    // the whole domain was enumerated; with a truthful crowd and a target
+    // achievable over this domain we cannot get here
+    Err(CleanError::NoWitness(format!("{target:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoco_crowd::{PerfectOracle, SingleExpert};
+    use qoco_data::{tup, Schema};
+    use qoco_query::parse_query;
+
+    fn setup() -> (Database, Database, ConjunctiveQuery, Vec<Value>) {
+        let schema = Schema::builder().relation("T", &["c", "k"]).build().unwrap();
+        let mut d = Database::empty(schema.clone());
+        d.insert_named("T", tup!["BRA", "EU"]).unwrap(); // false
+        let mut g = Database::empty(schema.clone());
+        g.insert_named("T", tup!["ITA", "EU"]).unwrap();
+        let q = parse_query(&schema, r#"(x) :- T(x, "EU")"#).unwrap();
+        let domain =
+            vec![Value::text("BRA"), Value::text("EU"), Value::text("ITA")];
+        (d, g, q, domain)
+    }
+
+    #[test]
+    fn enumeration_achieves_removal() {
+        let (mut d, g, q, domain) = setup();
+        let mut crowd = SingleExpert::new(PerfectOracle::new(g));
+        let (edits, questions) = naive_enumeration(
+            &q,
+            &mut d,
+            &mut crowd,
+            TargetAction::RemoveAnswer(tup!["BRA"]),
+            &domain,
+            1000,
+        )
+        .unwrap();
+        assert!(answer_set(&q, &mut d).is_empty() || !answer_set(&q, &mut d).contains(&tup!["BRA"]));
+        assert!(edits.deletions() >= 1);
+        assert!(questions >= 1);
+    }
+
+    #[test]
+    fn enumeration_achieves_insertion_but_expensively() {
+        let (mut d, g, q, domain) = setup();
+        let mut crowd = SingleExpert::new(PerfectOracle::new(g));
+        let (edits, questions) = naive_enumeration(
+            &q,
+            &mut d,
+            &mut crowd,
+            TargetAction::AddAnswer(tup!["ITA"]),
+            &domain,
+            1000,
+        )
+        .unwrap();
+        assert!(answer_set(&q, &mut d).contains(&tup!["ITA"]));
+        assert!(edits.insertions() >= 1);
+        // 3×3 = 9 candidate facts; (ITA, EU) is the 8th in lexicographic
+        // order over (BRA, EU, ITA) — far worse than Algorithm 2's 1 task
+        assert!(questions >= 8, "asked only {questions}");
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let (mut d, g, q, domain) = setup();
+        let mut crowd = SingleExpert::new(PerfectOracle::new(g));
+        let err = naive_enumeration(
+            &q,
+            &mut d,
+            &mut crowd,
+            TargetAction::AddAnswer(tup!["ITA"]),
+            &domain,
+            3,
+        )
+        .unwrap_err();
+        assert_eq!(err, CleanError::QuestionBudget { budget: 3 });
+    }
+
+    #[test]
+    fn achieved_target_asks_nothing() {
+        let (mut d, g, q, domain) = setup();
+        let mut crowd = SingleExpert::new(PerfectOracle::new(g));
+        let (edits, questions) = naive_enumeration(
+            &q,
+            &mut d,
+            &mut crowd,
+            TargetAction::AddAnswer(tup!["BRA"]), // already an answer
+            &domain,
+            10,
+        )
+        .unwrap();
+        assert!(edits.is_empty());
+        assert_eq!(questions, 0);
+    }
+
+    #[test]
+    fn unachievable_target_is_detected_after_full_enumeration() {
+        let (mut d, g, q, domain) = setup();
+        let mut crowd = SingleExpert::new(PerfectOracle::new(g));
+        let err = naive_enumeration(
+            &q,
+            &mut d,
+            &mut crowd,
+            TargetAction::AddAnswer(tup!["FRA"]), // FRA not in D_G
+            &domain,
+            1000,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CleanError::NoWitness(_)));
+    }
+
+    #[test]
+    fn target_action_achieved_checks() {
+        let (mut d, _, q, _) = setup();
+        assert!(TargetAction::AddAnswer(tup!["BRA"]).achieved(&q, &mut d));
+        assert!(!TargetAction::RemoveAnswer(tup!["BRA"]).achieved(&q, &mut d));
+        assert!(TargetAction::RemoveAnswer(tup!["XYZ"]).achieved(&q, &mut d));
+    }
+}

@@ -1,0 +1,124 @@
+//! Cleaning-session reports.
+
+use std::fmt;
+
+use qoco_crowd::CrowdStats;
+use qoco_data::EditLog;
+
+/// Everything a cleaning session did, for auditing and for the figures.
+#[derive(Debug, Clone)]
+pub struct CleaningReport {
+    /// All edits applied, in order.
+    pub edits: EditLog,
+    /// Iterations of the outer loop (Algorithm 3).
+    pub iterations: usize,
+    /// Wrong answers discovered and removed.
+    pub wrong_answers: usize,
+    /// Missing answers discovered and added.
+    pub missing_answers: usize,
+    /// Crowd-interaction ledger for the deletion phases.
+    pub deletion_stats: CrowdStats,
+    /// Crowd-interaction ledger for the insertion phases.
+    pub insertion_stats: CrowdStats,
+    /// Combined ledger (equals the session's total).
+    pub total_stats: CrowdStats,
+    /// Sum of the per-answer naïve upper bounds for deletion (distinct
+    /// witness tuples).
+    pub deletion_upper_bound: usize,
+    /// Sum of the per-answer naïve upper bounds for insertion (variables
+    /// of `Q|t`).
+    pub insertion_upper_bound: usize,
+    /// Oracle inconsistencies observed (always 0 with a perfect oracle).
+    pub anomalies: usize,
+}
+
+impl CleaningReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        CleaningReport {
+            edits: EditLog::new(),
+            iterations: 0,
+            wrong_answers: 0,
+            missing_answers: 0,
+            deletion_stats: CrowdStats::new(),
+            insertion_stats: CrowdStats::new(),
+            total_stats: CrowdStats::new(),
+            deletion_upper_bound: 0,
+            insertion_upper_bound: 0,
+            anomalies: 0,
+        }
+    }
+
+    /// The paper's three Figure 3f categories:
+    /// (verify-answers, verify-tuples, fill-missing).
+    pub fn question_breakdown(&self) -> (usize, usize, usize) {
+        let verify_answers = self.total_stats.verify_answer_questions;
+        let verify_tuples =
+            self.total_stats.verify_fact_questions + self.total_stats.satisfiable_questions;
+        let fill_missing =
+            self.total_stats.filled_variables + self.total_stats.missing_answers_provided;
+        (verify_answers, verify_tuples, fill_missing)
+    }
+}
+
+impl Default for CleaningReport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Display for CleaningReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cleaning finished in {} iteration(s): {} wrong answer(s) removed, {} missing answer(s) added",
+            self.iterations, self.wrong_answers, self.missing_answers
+        )?;
+        writeln!(
+            f,
+            "edits: {} deletions, {} insertions",
+            self.edits.deletions(),
+            self.edits.insertions()
+        )?;
+        writeln!(f, "deletion questions:  {}", self.deletion_stats)?;
+        writeln!(f, "insertion questions: {}", self.insertion_stats)?;
+        if self.anomalies > 0 {
+            writeln!(f, "anomalies (oracle inconsistencies): {}", self.anomalies)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_summarizes() {
+        let mut r = CleaningReport::new();
+        r.iterations = 2;
+        r.wrong_answers = 3;
+        r.missing_answers = 1;
+        let out = r.to_string();
+        assert!(out.contains("2 iteration"));
+        assert!(out.contains("3 wrong"));
+        assert!(out.contains("1 missing"));
+        assert!(!out.contains("anomalies"));
+        r.anomalies = 1;
+        assert!(r.to_string().contains("anomalies"));
+    }
+
+    #[test]
+    fn breakdown_pulls_from_total_stats() {
+        let mut r = CleaningReport::new();
+        r.total_stats.verify_answer_questions = 4;
+        r.total_stats.verify_fact_questions = 5;
+        r.total_stats.satisfiable_questions = 2;
+        r.total_stats.filled_variables = 7;
+        r.total_stats.missing_answers_provided = 2;
+        let (a, t, m) = r.question_breakdown();
+        assert_eq!(a, 4);
+        assert_eq!(t, 7);
+        assert_eq!(m, 9);
+    }
+}

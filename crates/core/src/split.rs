@@ -1,0 +1,290 @@
+//! The `Split()` implementations of Section 5.2.
+//!
+//! Splitting breaks a query into two subqueries whose partial assignments
+//! over `D` guide the crowd toward a witness for a missing answer. The
+//! paper examines four approaches:
+//!
+//! * **Provenance** — consult the why-not analysis (our stand-in for the
+//!   WhyNot? system \[60\]) and split at the join operator responsible for
+//!   excluding the missing answer;
+//! * **Min-Cut** — cut the weighted query graph (shared variables +
+//!   inequalities) with a global min-cut, preferring splits that keep both
+//!   sides connected and lose few inequalities;
+//! * **Random** — a random bipartition of the atoms;
+//! * **Naïve** — no split at all: ask the crowd for the whole witness.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qoco_data::Database;
+use qoco_engine::frontier_split;
+use qoco_graph::{global_min_cut, WeightedGraph};
+use qoco_query::{split_by_atom_partition, ConjunctiveQuery, QueryGraph};
+
+/// A strategy for splitting a query into two subqueries.
+pub trait SplitStrategy {
+    /// Split `q` (evaluated against `db` where the strategy is
+    /// data-directed). `None` means "do not split" — the insertion
+    /// algorithm then falls back to asking for the whole witness.
+    fn split(
+        &mut self,
+        q: &ConjunctiveQuery,
+        db: &mut Database,
+    ) -> Option<(ConjunctiveQuery, ConjunctiveQuery)>;
+
+    /// Label used in figures.
+    fn name(&self) -> &'static str;
+}
+
+/// Identifier for constructing strategies from experiment configs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitStrategyKind {
+    /// No split ([`NaiveSplit`]).
+    Naive,
+    /// Random bipartition with the given seed ([`RandomSplit`]).
+    Random(u64),
+    /// Query-graph min-cut ([`MinCutSplit`]).
+    MinCut,
+    /// Why-not-guided split ([`ProvenanceSplit`]).
+    Provenance,
+}
+
+impl SplitStrategyKind {
+    /// Instantiate the strategy.
+    pub fn build(self) -> Box<dyn SplitStrategy> {
+        match self {
+            SplitStrategyKind::Naive => Box::new(NaiveSplit),
+            SplitStrategyKind::Random(seed) => Box::new(RandomSplit::new(seed)),
+            SplitStrategyKind::MinCut => Box::new(MinCutSplit),
+            SplitStrategyKind::Provenance => Box::new(ProvenanceSplit),
+        }
+    }
+
+    /// Label used in figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SplitStrategyKind::Naive => "Naive",
+            SplitStrategyKind::Random(_) => "Random",
+            SplitStrategyKind::MinCut => "Min-Cut",
+            SplitStrategyKind::Provenance => "Provenance",
+        }
+    }
+}
+
+/// The naïve approach: never split; the crowd completes the whole witness.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NaiveSplit;
+
+impl SplitStrategy for NaiveSplit {
+    fn split(
+        &mut self,
+        _q: &ConjunctiveQuery,
+        _db: &mut Database,
+    ) -> Option<(ConjunctiveQuery, ConjunctiveQuery)> {
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "Naive"
+    }
+}
+
+/// Random bipartition of the body atoms (both sides non-empty).
+#[derive(Debug)]
+pub struct RandomSplit {
+    rng: StdRng,
+}
+
+impl RandomSplit {
+    /// Seeded random splitter.
+    pub fn new(seed: u64) -> Self {
+        RandomSplit { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl SplitStrategy for RandomSplit {
+    fn split(
+        &mut self,
+        q: &ConjunctiveQuery,
+        _db: &mut Database,
+    ) -> Option<(ConjunctiveQuery, ConjunctiveQuery)> {
+        let n = q.atoms().len();
+        if n < 2 {
+            return None;
+        }
+        // draw masks until non-trivial (n ≥ 2 ⇒ succeeds quickly)
+        let mask: Vec<bool> = loop {
+            let m: Vec<bool> = (0..n).map(|_| self.rng.random::<bool>()).collect();
+            if m.iter().any(|&b| b) && m.iter().any(|&b| !b) {
+                break m;
+            }
+        };
+        split_by_atom_partition(q, &mask).ok()
+    }
+
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+}
+
+/// Query-directed split: global min-cut of the weighted query graph
+/// (Section 5.2, Figure 2 left).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MinCutSplit;
+
+impl SplitStrategy for MinCutSplit {
+    fn split(
+        &mut self,
+        q: &ConjunctiveQuery,
+        _db: &mut Database,
+    ) -> Option<(ConjunctiveQuery, ConjunctiveQuery)> {
+        let n = q.atoms().len();
+        if n < 2 {
+            return None;
+        }
+        let qg = QueryGraph::build(q);
+        let mut wg = WeightedGraph::new(n);
+        for e in qg.edges() {
+            wg.add_edge(e.a, e.b, e.weight);
+        }
+        let cut = global_min_cut(&wg)?;
+        split_by_atom_partition(q, &cut.side).ok()
+    }
+
+    fn name(&self) -> &'static str {
+        "Min-Cut"
+    }
+}
+
+/// Data-directed split: ask the why-not analysis which join excluded the
+/// missing answer and cut there (Section 5.2, Figure 2 right).
+///
+/// When the why-not analysis has nothing to blame (the query is satisfiable
+/// or has a single atom) we fall back to a min-cut split so that recursive
+/// splitting still makes progress.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ProvenanceSplit;
+
+impl SplitStrategy for ProvenanceSplit {
+    fn split(
+        &mut self,
+        q: &ConjunctiveQuery,
+        db: &mut Database,
+    ) -> Option<(ConjunctiveQuery, ConjunctiveQuery)> {
+        if q.atoms().len() < 2 {
+            return None;
+        }
+        match frontier_split(q, db) {
+            Some(mask) => split_by_atom_partition(q, &mask).ok(),
+            None => MinCutSplit.split(q, db),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Provenance"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoco_data::{tup, Schema};
+    use qoco_query::{embed_answer, parse_query};
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Schema>, Database, ConjunctiveQuery) {
+        let schema = Schema::builder()
+            .relation("Games", &["date", "winner", "runner_up", "stage", "result"])
+            .relation("Teams", &["country", "continent"])
+            .relation("Players", &["name", "team", "birth_year", "birth_place"])
+            .relation("Goals", &["name", "date"])
+            .build()
+            .unwrap();
+        let mut db = Database::empty(schema.clone());
+        db.insert_named("Games", tup!["09.06.06", "ITA", "FRA", "Final", "5:3"]).unwrap();
+        db.insert_named("Teams", tup!["GER", "EU"]).unwrap();
+        db.insert_named("Players", tup!["Pirlo", "ITA", 1979, "ITA"]).unwrap();
+        db.insert_named("Goals", tup!["Pirlo", "09.06.06"]).unwrap();
+        let q = parse_query(
+            &schema,
+            r#"Q2(x) :- Players(x, y, z, w), Goals(x, d), Games(d, y, v, "Final", u), Teams(y, "EU")."#,
+        )
+        .unwrap();
+        (schema, db, q)
+    }
+
+    #[test]
+    fn naive_never_splits() {
+        let (_, mut db, q) = setup();
+        assert!(NaiveSplit.split(&q, &mut db).is_none());
+        assert_eq!(NaiveSplit.name(), "Naive");
+    }
+
+    #[test]
+    fn random_split_covers_all_atoms_once() {
+        let (_, mut db, q) = setup();
+        let mut s = RandomSplit::new(11);
+        let (a, b) = s.split(&q, &mut db).unwrap();
+        assert_eq!(a.atoms().len() + b.atoms().len(), q.atoms().len());
+        assert!(!a.atoms().is_empty() && !b.atoms().is_empty());
+    }
+
+    #[test]
+    fn random_split_is_seeded() {
+        let (_, mut db, q) = setup();
+        let r1 = RandomSplit::new(3).split(&q, &mut db).unwrap();
+        let r2 = RandomSplit::new(3).split(&q, &mut db).unwrap();
+        assert_eq!(r1.0.atoms(), r2.0.atoms());
+    }
+
+    #[test]
+    fn single_atom_queries_are_never_split() {
+        let (schema, mut db, _) = setup();
+        let q = parse_query(&schema, r#"(x) :- Teams(x, "EU")"#).unwrap();
+        assert!(RandomSplit::new(0).split(&q, &mut db).is_none());
+        assert!(MinCutSplit.split(&q, &mut db).is_none());
+        assert!(ProvenanceSplit.split(&q, &mut db).is_none());
+    }
+
+    #[test]
+    fn mincut_split_cuts_cheaply() {
+        let (_, mut db, q) = setup();
+        let (a, b) = MinCutSplit.split(&q, &mut db).unwrap();
+        assert_eq!(a.atoms().len() + b.atoms().len(), 4);
+        // Teams(y, EU) hangs off the rest by the single variable y, so a
+        // min cut isolates it (weight 1 vs ≥ 2 elsewhere).
+        let single_side = if a.atoms().len() == 1 { &a } else { &b };
+        assert_eq!(single_side.atoms().len(), 1);
+    }
+
+    #[test]
+    fn provenance_split_blames_the_missing_side() {
+        let (_, mut db, q) = setup();
+        let q_t = embed_answer(&q, &[qoco_data::Value::text("Pirlo")]).unwrap();
+        let (sat, exc) = ProvenanceSplit.split(&q_t, &mut db).unwrap();
+        // Teams(ITA, EU) is the missing fact: the excluded side is exactly
+        // the Teams atom.
+        assert_eq!(exc.atoms().len(), 1);
+        let teams = q.schema().rel_id("Teams").unwrap();
+        assert_eq!(exc.atoms()[0].rel, teams);
+        assert_eq!(sat.atoms().len(), 3);
+    }
+
+    #[test]
+    fn provenance_falls_back_to_mincut_when_satisfiable() {
+        let (_, mut db, q) = setup();
+        // make the whole query satisfiable
+        db.insert_named("Teams", tup!["ITA", "EU"]).unwrap();
+        let split = ProvenanceSplit.split(&q, &mut db);
+        assert!(split.is_some(), "fallback must still split");
+    }
+
+    #[test]
+    fn kind_builds_matching_strategy() {
+        assert_eq!(SplitStrategyKind::Naive.build().name(), "Naive");
+        assert_eq!(SplitStrategyKind::Random(1).build().name(), "Random");
+        assert_eq!(SplitStrategyKind::MinCut.build().name(), "Min-Cut");
+        assert_eq!(SplitStrategyKind::Provenance.build().name(), "Provenance");
+        assert_eq!(SplitStrategyKind::MinCut.label(), "Min-Cut");
+    }
+}

@@ -1,0 +1,210 @@
+//! The enumeration black-box (paper Section 6.1, citing Trushkowsky et
+//! al. \[61\]).
+//!
+//! `CrowdComplete(Q(D))` "needs to know when to stop posting these questions
+//! (i.e., when Q(D) is complete)". The paper uses the statistical tools of
+//! \[61\] as a black box. We provide two implementations:
+//!
+//! * [`GroundTruthEstimator`] — knows `|Q(D_G)|` and stops exactly when
+//!   every true answer is present (the simulated-oracle experiments do
+//!   this implicitly: a perfect oracle answers `None` when nothing is
+//!   missing);
+//! * [`Chao92Estimator`] — the species-richness estimator of \[61\]: from the
+//!   stream of crowd-provided answers, estimate the total number of
+//!   distinct answers and declare completeness when the estimate is
+//!   reached.
+
+use std::collections::HashMap;
+
+use qoco_data::Tuple;
+
+/// Decides when a crowd-enumerated result is likely complete.
+pub trait CompletenessEstimator {
+    /// Record one crowd-provided answer (duplicates allowed — duplicate
+    /// frequency is the signal the statistical estimator uses).
+    fn observe(&mut self, answer: &Tuple);
+    /// Is the result likely complete given `distinct_known` answers
+    /// currently in the (repaired) view?
+    fn likely_complete(&self, distinct_known: usize) -> bool;
+    /// The estimated total number of distinct true answers, if available.
+    fn estimated_total(&self) -> Option<f64>;
+}
+
+/// Oracle-grade completeness: knows the true distinct-answer count.
+#[derive(Debug, Clone)]
+pub struct GroundTruthEstimator {
+    true_count: usize,
+}
+
+impl GroundTruthEstimator {
+    /// Build with the true number of distinct answers `|Q(D_G)|`.
+    pub fn new(true_count: usize) -> Self {
+        GroundTruthEstimator { true_count }
+    }
+}
+
+impl CompletenessEstimator for GroundTruthEstimator {
+    fn observe(&mut self, _answer: &Tuple) {}
+
+    fn likely_complete(&self, distinct_known: usize) -> bool {
+        distinct_known >= self.true_count
+    }
+
+    fn estimated_total(&self) -> Option<f64> {
+        Some(self.true_count as f64)
+    }
+}
+
+/// The Chao92 species-richness estimator used by crowd-enumeration systems.
+///
+/// With `n` observations of `c` distinct answers of which `f₁` were seen
+/// exactly once, sample coverage is `Ĉ = 1 − f₁/n` and the richness
+/// estimate is `N̂ = c / Ĉ` (with a coefficient-of-variation correction
+/// term for skewed answer popularity). Completeness is declared when the
+/// distinct answers reach the estimate.
+#[derive(Debug, Clone, Default)]
+pub struct Chao92Estimator {
+    counts: HashMap<Tuple, usize>,
+    observations: usize,
+}
+
+impl Chao92Estimator {
+    /// Fresh estimator with no observations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of observations so far.
+    pub fn observations(&self) -> usize {
+        self.observations
+    }
+
+    /// Number of distinct answers observed.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    fn f1(&self) -> usize {
+        self.counts.values().filter(|&&c| c == 1).count()
+    }
+
+    /// The Chao92 estimate `N̂`, or `None` before any observation.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.observations == 0 {
+            return None;
+        }
+        let n = self.observations as f64;
+        let c = self.counts.len() as f64;
+        let f1 = self.f1() as f64;
+        // sample coverage; when every observation is a singleton the raw
+        // value hits zero, so fall back to a small positive floor that
+        // keeps the richness estimate finite (and large)
+        let raw = 1.0 - f1 / n;
+        let coverage = if raw > 0.0 { raw } else { 1.0 / (n + 1.0) };
+        // coefficient of variation γ² of the answer frequencies
+        let mean = n / c;
+        let var: f64 = self
+            .counts
+            .values()
+            .map(|&k| {
+                let d = k as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / c;
+        let cv2 = (var / (mean * mean)).max(0.0);
+        let n_hat = c / coverage + (n * (1.0 - coverage) / coverage) * cv2;
+        Some(n_hat)
+    }
+}
+
+impl CompletenessEstimator for Chao92Estimator {
+    fn observe(&mut self, answer: &Tuple) {
+        *self.counts.entry(answer.clone()).or_insert(0) += 1;
+        self.observations += 1;
+    }
+
+    fn likely_complete(&self, distinct_known: usize) -> bool {
+        // a handful of observations cannot support a completeness claim:
+        // require a few multiples of the distinct count before trusting
+        // the coverage statistics
+        if self.observations < 2 * self.counts.len().max(1) + 4 {
+            return false;
+        }
+        match self.estimate() {
+            // round to the nearest whole answer: the estimator converges to
+            // the true count from above as coverage → 1
+            Some(n_hat) => (distinct_known as f64) + 0.5 >= n_hat,
+            None => false,
+        }
+    }
+
+    fn estimated_total(&self) -> Option<f64> {
+        self.estimate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoco_data::tup;
+
+    #[test]
+    fn ground_truth_estimator_is_exact() {
+        let e = GroundTruthEstimator::new(3);
+        assert!(!e.likely_complete(2));
+        assert!(e.likely_complete(3));
+        assert!(e.likely_complete(4));
+        assert_eq!(e.estimated_total(), Some(3.0));
+    }
+
+    #[test]
+    fn chao92_with_no_observations_is_inconclusive() {
+        let e = Chao92Estimator::new();
+        assert!(!e.likely_complete(0));
+        assert_eq!(e.estimate(), None);
+    }
+
+    #[test]
+    fn chao92_converges_when_every_answer_repeats() {
+        let mut e = Chao92Estimator::new();
+        for _ in 0..5 {
+            for t in ["a", "b", "c"] {
+                e.observe(&tup![t]);
+            }
+        }
+        // no singletons → coverage 1 → estimate = distinct = 3
+        let est = e.estimate().unwrap();
+        assert!((est - 3.0).abs() < 1e-9, "estimate {est}");
+        assert!(e.likely_complete(3));
+        assert_eq!(e.distinct(), 3);
+        assert_eq!(e.observations(), 15);
+    }
+
+    #[test]
+    fn chao92_all_singletons_predicts_more() {
+        let mut e = Chao92Estimator::new();
+        for i in 0..10i64 {
+            e.observe(&tup![i]);
+        }
+        // everything seen once → coverage near zero → big estimate
+        let est = e.estimate().unwrap();
+        assert!(est > 10.0, "estimate {est}");
+        assert!(!e.likely_complete(10));
+    }
+
+    #[test]
+    fn chao92_mixed_frequencies_are_sane() {
+        let mut e = Chao92Estimator::new();
+        // "a" popular, "b" seen twice, "c" a singleton
+        for _ in 0..8 {
+            e.observe(&tup!["a"]);
+        }
+        e.observe(&tup!["b"]);
+        e.observe(&tup!["b"]);
+        e.observe(&tup!["c"]);
+        let est = e.estimate().unwrap();
+        assert!(est >= 3.0, "estimate {est} must be ≥ distinct count");
+        assert!(est < 20.0, "estimate {est} should stay plausible");
+    }
+}

@@ -1,0 +1,221 @@
+//! Imperfect experts (Section 6.2).
+//!
+//! "Humans, even if experts, are imperfect and may make mistakes." An
+//! [`ImperfectOracle`] wraps a [`PerfectOracle`] and corrupts answers with a
+//! configurable Bernoulli error rate:
+//!
+//! * boolean answers are flipped;
+//! * completions are either withheld (claimed unsatisfiable) or corrupted in
+//!   one binding;
+//! * missing-answer reports are either withheld or perturbed.
+//!
+//! The RNG is injected, so experiments are reproducible by seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qoco_data::{Database, Tuple, Value};
+use qoco_engine::Assignment;
+
+use crate::oracle::Oracle;
+use crate::perfect::PerfectOracle;
+use crate::question::{Answer, Question};
+
+/// A crowd expert that errs with probability `error_rate` per question.
+pub struct ImperfectOracle {
+    inner: PerfectOracle,
+    error_rate: f64,
+    rng: StdRng,
+    label: String,
+    /// Values used to corrupt completions; drawn from the ground truth's
+    /// active domain at construction.
+    domain: Vec<Value>,
+}
+
+impl ImperfectOracle {
+    /// Build an imperfect expert over `ground` with the given per-question
+    /// error probability and RNG seed.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 ≤ error_rate ≤ 1.0`.
+    pub fn new(ground: Database, error_rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&error_rate), "error rate must be a probability");
+        let domain = ground.active_domain();
+        ImperfectOracle {
+            inner: PerfectOracle::new(ground),
+            error_rate,
+            rng: StdRng::seed_from_u64(seed),
+            label: format!("imperfect-expert-{seed}"),
+            domain,
+        }
+    }
+
+    /// Build with a custom label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    fn errs(&mut self) -> bool {
+        self.rng.random::<f64>() < self.error_rate
+    }
+
+    fn random_domain_value(&mut self) -> Option<Value> {
+        if self.domain.is_empty() {
+            return None;
+        }
+        let i = self.rng.random_range(0..self.domain.len());
+        Some(self.domain[i].clone())
+    }
+
+    fn corrupt_assignment(&mut self, a: &Assignment) -> Assignment {
+        let pairs: Vec<_> = a.iter().map(|(v, val)| (v.clone(), val.clone())).collect();
+        if pairs.is_empty() {
+            return a.clone();
+        }
+        let idx = self.rng.random_range(0..pairs.len());
+        let mut out = Assignment::new();
+        for (i, (v, val)) in pairs.into_iter().enumerate() {
+            let value = if i == idx {
+                self.random_domain_value().unwrap_or(val)
+            } else {
+                val
+            };
+            out.bind(v, value);
+        }
+        out
+    }
+
+    fn corrupt_tuple(&mut self, t: &Tuple) -> Tuple {
+        if t.arity() == 0 {
+            return t.clone();
+        }
+        let idx = self.rng.random_range(0..t.arity());
+        match self.random_domain_value() {
+            Some(v) => t.with(idx, v),
+            None => t.clone(),
+        }
+    }
+}
+
+impl Oracle for ImperfectOracle {
+    fn answer(&mut self, q: &Question) -> Answer {
+        let truth = self.inner.answer(q);
+        if !self.errs() {
+            return truth;
+        }
+        match truth {
+            Answer::Bool(b) => Answer::Bool(!b),
+            Answer::Completion(Some(a)) => {
+                if self.rng.random::<bool>() {
+                    Answer::Completion(None) // fails to complete
+                } else {
+                    Answer::Completion(Some(self.corrupt_assignment(&a)))
+                }
+            }
+            Answer::Completion(None) => Answer::Completion(None),
+            Answer::MissingAnswer(Some(t)) => {
+                if self.rng.random::<bool>() {
+                    Answer::MissingAnswer(None)
+                } else {
+                    let corrupted = self.corrupt_tuple(&t);
+                    Answer::MissingAnswer(Some(corrupted))
+                }
+            }
+            Answer::MissingAnswer(None) => Answer::MissingAnswer(None),
+        }
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoco_data::{tup, Fact, Schema};
+
+    fn ground() -> Database {
+        let s = Schema::builder().relation("T", &["a", "b"]).build().unwrap();
+        let mut g = Database::empty(s);
+        for i in 0..20i64 {
+            g.insert_named("T", tup![i, i + 100]).unwrap();
+        }
+        g
+    }
+
+    fn a_fact(g: &Database, present: bool) -> Question {
+        let rel = g.schema().rel_id("T").unwrap();
+        let t = if present { tup![0, 100] } else { tup![0, 0] };
+        Question::VerifyFact(Fact::new(rel, t))
+    }
+
+    #[test]
+    fn zero_error_rate_is_perfect() {
+        let g = ground();
+        let q_yes = a_fact(&g, true);
+        let q_no = a_fact(&g, false);
+        let mut o = ImperfectOracle::new(g, 0.0, 7);
+        for _ in 0..50 {
+            assert!(o.answer(&q_yes).expect_bool());
+            assert!(!o.answer(&q_no).expect_bool());
+        }
+    }
+
+    #[test]
+    fn full_error_rate_always_flips_booleans() {
+        let g = ground();
+        let q_yes = a_fact(&g, true);
+        let mut o = ImperfectOracle::new(g, 1.0, 7);
+        for _ in 0..20 {
+            assert!(!o.answer(&q_yes).expect_bool());
+        }
+    }
+
+    #[test]
+    fn intermediate_error_rate_errs_sometimes() {
+        let g = ground();
+        let q_yes = a_fact(&g, true);
+        let mut o = ImperfectOracle::new(g, 0.3, 42);
+        let wrong = (0..500).filter(|_| !o.answer(&q_yes).expect_bool()).count();
+        // ~150 expected; accept a broad band
+        assert!((75..=225).contains(&wrong), "observed {wrong} errors");
+    }
+
+    #[test]
+    fn same_seed_is_reproducible() {
+        let g = ground();
+        let q_yes = a_fact(&g, true);
+        let run = |seed| {
+            let mut o = ImperfectOracle::new(ground(), 0.5, seed);
+            (0..50).map(|_| o.answer(&q_yes).expect_bool()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_error_rate_panics() {
+        let _ = ImperfectOracle::new(ground(), 1.5, 0);
+    }
+
+    #[test]
+    fn corrupted_completion_stays_total() {
+        use qoco_query::parse_query;
+        let g = ground();
+        let q = parse_query(g.schema(), "(x, y) :- T(x, y)").unwrap();
+        let mut o = ImperfectOracle::new(g, 1.0, 3);
+        // with error rate 1, a completion is withheld or corrupted — if
+        // returned, it must still bind both variables
+        for _ in 0..20 {
+            if let Some(a) = o
+                .answer(&Question::Complete { query: q.clone(), partial: Assignment::new() })
+                .expect_completion()
+            {
+                assert_eq!(a.len(), 2);
+            }
+        }
+    }
+}

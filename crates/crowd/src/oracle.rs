@@ -1,0 +1,27 @@
+//! The oracle trait.
+
+use crate::question::{Answer, Question};
+
+/// A crowd member that can be asked QOCO's question types.
+///
+/// A *perfect* oracle "always speaks the truth and knows about `D_G`"
+/// (Section 3.2); imperfect experts may err. Implementations must answer
+/// every question variant with the matching [`Answer`] variant.
+pub trait Oracle {
+    /// Answer one question.
+    fn answer(&mut self, q: &Question) -> Answer;
+
+    /// A short label for reports ("oracle", "expert-2", …).
+    fn label(&self) -> String {
+        "oracle".to_string()
+    }
+}
+
+impl<T: Oracle + ?Sized> Oracle for Box<T> {
+    fn answer(&mut self, q: &Question) -> Answer {
+        (**self).answer(q)
+    }
+    fn label(&self) -> String {
+        (**self).label()
+    }
+}

@@ -1,0 +1,172 @@
+//! The perfect oracle: a simulator consulting the ground truth `D_G`.
+//!
+//! This is the paper's own measurement instrument: "a simulated perfect
+//! oracle, namely an implemented oracle that consults with the ground truth
+//! Soccer database" (Section 7.2) — and the paper reports that real perfect
+//! experts gave results identical to it.
+
+use qoco_data::Database;
+use qoco_engine::{all_assignments, answer_set, is_satisfiable, EvalOptions};
+
+use crate::oracle::Oracle;
+use crate::question::{Answer, Question};
+
+/// A perfect oracle backed by a private copy of the ground truth database.
+pub struct PerfectOracle {
+    ground: Database,
+    label: String,
+}
+
+impl PerfectOracle {
+    /// Build a perfect oracle over `ground`.
+    pub fn new(ground: Database) -> Self {
+        PerfectOracle { ground, label: "perfect-oracle".to_string() }
+    }
+
+    /// Build with a custom label.
+    pub fn with_label(ground: Database, label: impl Into<String>) -> Self {
+        PerfectOracle { ground, label: label.into() }
+    }
+
+    /// Read access to the ground truth (used by tests and the ground-truth
+    /// enumeration black-box).
+    pub fn ground(&self) -> &Database {
+        &self.ground
+    }
+}
+
+impl Oracle for PerfectOracle {
+    fn answer(&mut self, q: &Question) -> Answer {
+        match q {
+            Question::VerifyFact(f) => Answer::Bool(self.ground.contains(f)),
+            Question::VerifyAllFacts(facts) => {
+                Answer::Bool(facts.iter().all(|f| self.ground.contains(f)))
+            }
+            Question::VerifyAnswer { query, answer } => {
+                let answers = answer_set(query, &mut self.ground);
+                Answer::Bool(answers.contains(answer))
+            }
+            Question::VerifySatisfiable { query, partial } => {
+                Answer::Bool(is_satisfiable(query, &mut self.ground, partial))
+            }
+            Question::Complete { query, partial } => {
+                // the minimal (in assignment order) valid extension keeps
+                // the simulator deterministic
+                let res = all_assignments(query, &mut self.ground, partial, EvalOptions::default());
+                Answer::Completion(res.assignments.into_iter().next())
+            }
+            Question::CompleteResult { query, known } => {
+                let answers = answer_set(query, &mut self.ground);
+                let missing = answers.into_iter().find(|t| !known.contains(t));
+                Answer::MissingAnswer(missing)
+            }
+        }
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoco_data::{tup, Fact, Schema};
+    use qoco_engine::Assignment;
+    use qoco_query::parse_query;
+
+    fn ground() -> Database {
+        let s = Schema::builder()
+            .relation("Teams", &["country", "continent"])
+            .build()
+            .unwrap();
+        let mut g = Database::empty(s);
+        for (c, k) in [("GER", "EU"), ("ITA", "EU"), ("BRA", "SA")] {
+            g.insert_named("Teams", tup![c, k]).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn verify_fact_consults_ground_truth() {
+        let g = ground();
+        let teams = g.schema().rel_id("Teams").unwrap();
+        let mut o = PerfectOracle::new(g);
+        assert_eq!(
+            o.answer(&Question::VerifyFact(Fact::new(teams, tup!["GER", "EU"]))),
+            Answer::Bool(true)
+        );
+        assert_eq!(
+            o.answer(&Question::VerifyFact(Fact::new(teams, tup!["BRA", "EU"]))),
+            Answer::Bool(false)
+        );
+    }
+
+    #[test]
+    fn verify_answer_evaluates_query_on_ground_truth() {
+        let g = ground();
+        let q = parse_query(g.schema(), r#"(x) :- Teams(x, "EU")"#).unwrap();
+        let mut o = PerfectOracle::new(g);
+        assert!(o.answer(&Question::VerifyAnswer { query: q.clone(), answer: tup!["ITA"] }).expect_bool());
+        assert!(!o.answer(&Question::VerifyAnswer { query: q, answer: tup!["BRA"] }).expect_bool());
+    }
+
+    #[test]
+    fn satisfiability_and_completion() {
+        let g = ground();
+        let q = parse_query(g.schema(), r#"(x, k) :- Teams(x, k)"#).unwrap();
+        let mut o = PerfectOracle::new(g);
+        let partial = Assignment::from_pairs([(qoco_query::Var::new("x"), qoco_data::Value::text("ITA"))]);
+        assert!(o
+            .answer(&Question::VerifySatisfiable { query: q.clone(), partial: partial.clone() })
+            .expect_bool());
+        let completion = o
+            .answer(&Question::Complete { query: q.clone(), partial })
+            .expect_completion()
+            .unwrap();
+        assert_eq!(completion.get(&qoco_query::Var::new("k")), Some(&qoco_data::Value::text("EU")));
+        // unsatisfiable partial → None
+        let bad = Assignment::from_pairs([(qoco_query::Var::new("x"), qoco_data::Value::text("FRA"))]);
+        assert!(!o
+            .answer(&Question::VerifySatisfiable { query: q.clone(), partial: bad.clone() })
+            .expect_bool());
+        assert_eq!(o.answer(&Question::Complete { query: q, partial: bad }).expect_completion(), None);
+    }
+
+    #[test]
+    fn complete_result_reports_one_missing_answer_then_none() {
+        let g = ground();
+        let q = parse_query(g.schema(), r#"(x) :- Teams(x, "EU")"#).unwrap();
+        let mut o = PerfectOracle::new(g);
+        let known = vec![tup!["GER"]];
+        let miss = o
+            .answer(&Question::CompleteResult { query: q.clone(), known })
+            .expect_missing();
+        assert_eq!(miss, Some(tup!["ITA"]));
+        let all_known = vec![tup!["GER"], tup!["ITA"]];
+        let done = o
+            .answer(&Question::CompleteResult { query: q, known: all_known })
+            .expect_missing();
+        assert_eq!(done, None);
+    }
+
+    #[test]
+    fn completion_is_deterministic() {
+        let g = ground();
+        let q = parse_query(g.schema(), r#"(x, k) :- Teams(x, k)"#).unwrap();
+        let mut o = PerfectOracle::new(g);
+        let c1 = o
+            .answer(&Question::Complete { query: q.clone(), partial: Assignment::new() })
+            .expect_completion();
+        let c2 = o
+            .answer(&Question::Complete { query: q, partial: Assignment::new() })
+            .expect_completion();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn label_round_trips() {
+        let o = PerfectOracle::with_label(ground(), "alice");
+        assert_eq!(o.label(), "alice");
+    }
+}

@@ -1,0 +1,143 @@
+//! Crowd questions and answers.
+
+use std::fmt;
+
+use qoco_data::{Fact, Tuple};
+use qoco_engine::Assignment;
+use qoco_query::ConjunctiveQuery;
+
+/// A question posed to a crowd member.
+#[derive(Clone)]
+pub enum Question {
+    /// `TRUE(R(ā))?` — is this fact in the ground truth? (Section 3.2)
+    VerifyFact(Fact),
+    /// A *composite* question (Section 9's future-work extension): are ALL
+    /// of these facts true? One crowd interaction verifies a whole set.
+    VerifyAllFacts(Vec<Fact>),
+    /// `TRUE(Q, t)?` — is `t ∈ Q(D_G)`? (Section 6.1)
+    VerifyAnswer {
+        /// The query.
+        query: ConjunctiveQuery,
+        /// The candidate answer.
+        answer: Tuple,
+    },
+    /// Is the partial assignment satisfiable w.r.t. `Q` and `D_G` — i.e.
+    /// can `α(body(Q))` be completed into a witness? This is `CrowdVerify`
+    /// applied to a (partially-)ground body in Algorithm 2.
+    VerifySatisfiable {
+        /// The query (typically `Q|t` or one of its subqueries).
+        query: ConjunctiveQuery,
+        /// The partial assignment to test.
+        partial: Assignment,
+    },
+    /// `COMPL(α, Q)` — complete `α(body(Q))` into a witness through a total
+    /// valid assignment extending `α`, if one exists (Section 5).
+    Complete {
+        /// The query to complete against.
+        query: ConjunctiveQuery,
+        /// The partial assignment to extend.
+        partial: Assignment,
+    },
+    /// `COMPL(Q(D))` — provide an answer of `Q(D_G)` that is missing from
+    /// the known result, or report completeness (Section 6.1).
+    CompleteResult {
+        /// The query.
+        query: ConjunctiveQuery,
+        /// The answers already known (i.e. `Q(D)` plus already-reported
+        /// missing answers).
+        known: Vec<Tuple>,
+    },
+}
+
+impl fmt::Debug for Question {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Question::VerifyFact(fact) => write!(f, "TRUE({fact:?})?"),
+            Question::VerifyAllFacts(facts) => write!(f, "TRUE-ALL({} facts)?", facts.len()),
+            Question::VerifyAnswer { query, answer } => {
+                write!(f, "TRUE({}, {answer})?", query.name())
+            }
+            Question::VerifySatisfiable { query, partial } => {
+                write!(f, "SAT({partial:?}, {})?", query.name())
+            }
+            Question::Complete { query, partial } => {
+                write!(f, "COMPL({partial:?}, {})", query.name())
+            }
+            Question::CompleteResult { query, known } => {
+                write!(f, "COMPL({}(D)) given {} known answers", query.name(), known.len())
+            }
+        }
+    }
+}
+
+/// An answer from a crowd member.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Answer {
+    /// YES/NO to a boolean question.
+    Bool(bool),
+    /// For [`Question::Complete`]: the extended total valid assignment, or
+    /// `None` when the partial assignment is unsatisfiable.
+    Completion(Option<Assignment>),
+    /// For [`Question::CompleteResult`]: a missing answer, or `None` when
+    /// the result is believed complete.
+    MissingAnswer(Option<Tuple>),
+}
+
+impl Answer {
+    /// The boolean payload; panics on a non-boolean answer (a protocol
+    /// violation by the oracle implementation).
+    pub fn expect_bool(&self) -> bool {
+        match self {
+            Answer::Bool(b) => *b,
+            other => panic!("expected a boolean answer, got {other:?}"),
+        }
+    }
+
+    /// The completion payload; panics on other variants.
+    pub fn expect_completion(&self) -> Option<Assignment> {
+        match self {
+            Answer::Completion(c) => c.clone(),
+            other => panic!("expected a completion answer, got {other:?}"),
+        }
+    }
+
+    /// The missing-answer payload; panics on other variants.
+    pub fn expect_missing(&self) -> Option<Tuple> {
+        match self {
+            Answer::MissingAnswer(t) => t.clone(),
+            other => panic!("expected a missing-answer reply, got {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoco_data::{tup, RelId, Schema};
+    use qoco_query::parse_query;
+
+    #[test]
+    fn debug_formats_name_the_question_type() {
+        let s = Schema::builder().relation("T", &["a"]).build().unwrap();
+        let q = parse_query(&s, "(x) :- T(x)").unwrap();
+        let vf = Question::VerifyFact(Fact::new(RelId::from_index(0), tup!["a"]));
+        assert!(format!("{vf:?}").starts_with("TRUE("));
+        let va = Question::VerifyAnswer { query: q.clone(), answer: tup!["a"] };
+        assert!(format!("{va:?}").contains("TRUE(Q"));
+        let cr = Question::CompleteResult { query: q, known: vec![] };
+        assert!(format!("{cr:?}").contains("COMPL"));
+    }
+
+    #[test]
+    fn expect_accessors() {
+        assert!(Answer::Bool(true).expect_bool());
+        assert_eq!(Answer::MissingAnswer(Some(tup!["x"])).expect_missing(), Some(tup!["x"]));
+        assert_eq!(Answer::Completion(None).expect_completion(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a boolean")]
+    fn expect_bool_panics_on_completion() {
+        Answer::Completion(None).expect_bool();
+    }
+}

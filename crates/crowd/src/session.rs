@@ -1,0 +1,419 @@
+//! Crowd sessions: the typed interface the cleaning algorithms use.
+//!
+//! [`CrowdAccess`] wraps oracles behind typed ask-methods and records every
+//! interaction in a [`CrowdStats`] ledger. Two implementations:
+//!
+//! * [`SingleExpert`] — one oracle, each question asked once (the perfect
+//!   oracle setting of Figure 3);
+//! * [`MajorityCrowd`] — a panel of experts with majority voting and early
+//!   stop, plus closed-question re-verification of every open answer
+//!   (Section 6.2, Figure 4). This is the "simple estimation method where
+//!   each question is posed to a fixed-size sample of the crowd members"
+//!   with majority aggregation; any other black-box aggregator could be
+//!   slotted in the same way.
+
+use qoco_data::{Fact, Tuple};
+use qoco_engine::Assignment;
+use qoco_query::ConjunctiveQuery;
+
+use crate::oracle::Oracle;
+use crate::question::Question;
+use crate::stats::CrowdStats;
+
+/// The typed crowd interface used by the cleaning algorithms.
+pub trait CrowdAccess {
+    /// `TRUE(R(ā))?`
+    fn verify_fact(&mut self, f: &Fact) -> bool;
+    /// `TRUE(Q, t)?`
+    fn verify_answer(&mut self, q: &ConjunctiveQuery, t: &Tuple) -> bool;
+    /// Is `α` satisfiable w.r.t. `q` and the ground truth?
+    fn verify_satisfiable(&mut self, q: &ConjunctiveQuery, partial: &Assignment) -> bool;
+    /// Composite question (Section 9 extension): are ALL of these facts
+    /// true? The default asks each fact individually; sessions that support
+    /// composite questions override it with a single interaction.
+    fn verify_facts_all(&mut self, facts: &[Fact]) -> bool {
+        facts.iter().all(|f| self.verify_fact(f))
+    }
+    /// `COMPL(α, Q)`: extend `α` into a total valid assignment, if possible.
+    fn complete(&mut self, q: &ConjunctiveQuery, partial: &Assignment) -> Option<Assignment>;
+    /// `COMPL(Q(D))`: one answer missing from `known`, or `None`.
+    fn next_missing_answer(&mut self, q: &ConjunctiveQuery, known: &[Tuple]) -> Option<Tuple>;
+    /// The interaction ledger so far.
+    fn stats(&self) -> CrowdStats;
+}
+
+/// One oracle; every question asked exactly once.
+pub struct SingleExpert<O: Oracle> {
+    oracle: O,
+    stats: CrowdStats,
+}
+
+impl<O: Oracle> SingleExpert<O> {
+    /// Wrap an oracle.
+    pub fn new(oracle: O) -> Self {
+        SingleExpert { oracle, stats: CrowdStats::new() }
+    }
+
+    /// The wrapped oracle.
+    pub fn oracle(&self) -> &O {
+        &self.oracle
+    }
+}
+
+impl<O: Oracle> CrowdAccess for SingleExpert<O> {
+    fn verify_fact(&mut self, f: &Fact) -> bool {
+        self.stats.verify_fact_questions += 1;
+        self.stats.closed_answers += 1;
+        self.stats.verify_fact_crowd_answers += 1;
+        self.oracle.answer(&Question::VerifyFact(f.clone())).expect_bool()
+    }
+
+    fn verify_answer(&mut self, q: &ConjunctiveQuery, t: &Tuple) -> bool {
+        self.stats.verify_answer_questions += 1;
+        self.stats.closed_answers += 1;
+        self.stats.verify_answer_crowd_answers += 1;
+        self.oracle
+            .answer(&Question::VerifyAnswer { query: q.clone(), answer: t.clone() })
+            .expect_bool()
+    }
+
+    fn verify_satisfiable(&mut self, q: &ConjunctiveQuery, partial: &Assignment) -> bool {
+        self.stats.satisfiable_questions += 1;
+        self.stats.closed_answers += 1;
+        self.stats.satisfiable_crowd_answers += 1;
+        self.oracle
+            .answer(&Question::VerifySatisfiable { query: q.clone(), partial: partial.clone() })
+            .expect_bool()
+    }
+
+    fn verify_facts_all(&mut self, facts: &[Fact]) -> bool {
+        self.stats.composite_questions += 1;
+        self.stats.closed_answers += 1;
+        self.oracle
+            .answer(&Question::VerifyAllFacts(facts.to_vec()))
+            .expect_bool()
+    }
+
+    fn complete(&mut self, q: &ConjunctiveQuery, partial: &Assignment) -> Option<Assignment> {
+        self.stats.complete_tasks += 1;
+        let reply = self
+            .oracle
+            .answer(&Question::Complete { query: q.clone(), partial: partial.clone() })
+            .expect_completion();
+        if let Some(total) = &reply {
+            let filled = total.len().saturating_sub(partial.len());
+            self.stats.filled_variables += filled;
+            self.stats.open_answer_variables += filled;
+        }
+        reply
+    }
+
+    fn next_missing_answer(&mut self, q: &ConjunctiveQuery, known: &[Tuple]) -> Option<Tuple> {
+        self.stats.complete_result_tasks += 1;
+        let reply = self
+            .oracle
+            .answer(&Question::CompleteResult { query: q.clone(), known: known.to_vec() })
+            .expect_missing();
+        if reply.is_some() {
+            self.stats.missing_answers_provided += 1;
+            self.stats.open_answer_variables += q.head().len();
+        }
+        reply
+    }
+
+    fn stats(&self) -> CrowdStats {
+        self.stats
+    }
+}
+
+/// A fixed-size panel of experts with majority voting and early stop.
+pub struct MajorityCrowd<O: Oracle> {
+    experts: Vec<O>,
+    stats: CrowdStats,
+    /// round-robin cursor for open questions
+    next_open: usize,
+}
+
+impl<O: Oracle> MajorityCrowd<O> {
+    /// Build a majority-vote crowd. The panel size should be odd so a
+    /// majority always exists.
+    ///
+    /// # Panics
+    /// Panics on an empty panel.
+    pub fn new(experts: Vec<O>) -> Self {
+        assert!(!experts.is_empty(), "the crowd needs at least one expert");
+        MajorityCrowd { experts, stats: CrowdStats::new(), next_open: 0 }
+    }
+
+    /// Number of experts on the panel.
+    pub fn size(&self) -> usize {
+        self.experts.len()
+    }
+
+    /// Ask a closed question to experts until a majority of the full panel
+    /// agrees (e.g. 2 of 3), counting each individual answer.
+    fn majority_bool(&mut self, q: &Question) -> bool {
+        let need = self.experts.len() / 2 + 1;
+        let mut yes = 0usize;
+        let mut no = 0usize;
+        for expert in self.experts.iter_mut() {
+            let b = expert.answer(q).expect_bool();
+            self.stats.closed_answers += 1;
+            match q {
+                Question::VerifyAnswer { .. } => self.stats.verify_answer_crowd_answers += 1,
+                Question::VerifyFact(_) => self.stats.verify_fact_crowd_answers += 1,
+                Question::VerifySatisfiable { .. } => {
+                    self.stats.satisfiable_crowd_answers += 1
+                }
+                _ => {}
+            }
+            if b {
+                yes += 1;
+            } else {
+                no += 1;
+            }
+            if yes >= need || no >= need {
+                break;
+            }
+        }
+        yes >= need
+    }
+
+    fn verify_completion(&mut self, q: &ConjunctiveQuery, total: &Assignment) -> bool {
+        // Section 6.2: "if a set of tuples S is the answer to some question
+        // COMPL(α,Q), the system poses the question TRUE(R(ā))? for each
+        // tuple R(ā) ∈ S."
+        for atom in q.atoms() {
+            let Some(fact) = total.ground_atom(atom) else {
+                return false;
+            };
+            self.stats.verify_fact_questions += 1;
+            if !self.majority_bool(&Question::VerifyFact(fact)) {
+                return false;
+            }
+        }
+        // inequalities must hold on a valid assignment
+        q.inequalities().iter().all(|e| total.check_inequality(e) == Some(true))
+    }
+}
+
+impl<O: Oracle> CrowdAccess for MajorityCrowd<O> {
+    fn verify_fact(&mut self, f: &Fact) -> bool {
+        self.stats.verify_fact_questions += 1;
+        self.majority_bool(&Question::VerifyFact(f.clone()))
+    }
+
+    fn verify_answer(&mut self, q: &ConjunctiveQuery, t: &Tuple) -> bool {
+        self.stats.verify_answer_questions += 1;
+        self.majority_bool(&Question::VerifyAnswer { query: q.clone(), answer: t.clone() })
+    }
+
+    fn verify_satisfiable(&mut self, q: &ConjunctiveQuery, partial: &Assignment) -> bool {
+        self.stats.satisfiable_questions += 1;
+        self.majority_bool(&Question::VerifySatisfiable {
+            query: q.clone(),
+            partial: partial.clone(),
+        })
+    }
+
+    fn verify_facts_all(&mut self, facts: &[Fact]) -> bool {
+        self.stats.composite_questions += 1;
+        self.majority_bool(&Question::VerifyAllFacts(facts.to_vec()))
+    }
+
+    fn complete(&mut self, q: &ConjunctiveQuery, partial: &Assignment) -> Option<Assignment> {
+        // Ask experts in rotation; accept the first completion whose facts
+        // survive closed-question verification.
+        for i in 0..self.experts.len() {
+            let idx = (self.next_open + i) % self.experts.len();
+            self.stats.complete_tasks += 1;
+            let reply = self.experts[idx]
+                .answer(&Question::Complete { query: q.clone(), partial: partial.clone() })
+                .expect_completion();
+            let Some(total) = reply else { continue };
+            let filled = total.len().saturating_sub(partial.len());
+            self.stats.open_answer_variables += filled;
+            self.stats.filled_variables += filled;
+            if self.verify_completion(q, &total) {
+                self.next_open = (idx + 1) % self.experts.len();
+                return Some(total);
+            }
+        }
+        self.next_open = (self.next_open + 1) % self.experts.len();
+        None
+    }
+
+    fn next_missing_answer(&mut self, q: &ConjunctiveQuery, known: &[Tuple]) -> Option<Tuple> {
+        for i in 0..self.experts.len() {
+            let idx = (self.next_open + i) % self.experts.len();
+            self.stats.complete_result_tasks += 1;
+            let reply = self.experts[idx]
+                .answer(&Question::CompleteResult { query: q.clone(), known: known.to_vec() })
+                .expect_missing();
+            let Some(t) = reply else { continue };
+            self.stats.open_answer_variables += q.head().len();
+            // Section 6.2: verify with the closed question TRUE(Q, t)?
+            self.stats.verify_answer_questions += 1;
+            if self.majority_bool(&Question::VerifyAnswer { query: q.clone(), answer: t.clone() })
+            {
+                self.stats.missing_answers_provided += 1;
+                self.next_open = (idx + 1) % self.experts.len();
+                return Some(t);
+            }
+        }
+        self.next_open = (self.next_open + 1) % self.experts.len();
+        None
+    }
+
+    fn stats(&self) -> CrowdStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::imperfect::ImperfectOracle;
+    use crate::perfect::PerfectOracle;
+    use qoco_data::{tup, Database, Schema};
+    use qoco_query::parse_query;
+    use std::sync::Arc;
+
+    fn ground() -> Database {
+        let s = Schema::builder()
+            .relation("Teams", &["country", "continent"])
+            .build()
+            .unwrap();
+        let mut g = Database::empty(s);
+        for (c, k) in [("GER", "EU"), ("ITA", "EU"), ("BRA", "SA")] {
+            g.insert_named("Teams", tup![c, k]).unwrap();
+        }
+        g
+    }
+
+    fn schema() -> Arc<Schema> {
+        ground().schema().clone()
+    }
+
+    #[test]
+    fn single_expert_counts_closed_questions() {
+        let g = ground();
+        let teams = g.schema().rel_id("Teams").unwrap();
+        let mut crowd = SingleExpert::new(PerfectOracle::new(g));
+        assert!(crowd.verify_fact(&Fact::new(teams, tup!["GER", "EU"])));
+        assert!(!crowd.verify_fact(&Fact::new(teams, tup!["GER", "SA"])));
+        let st = crowd.stats();
+        assert_eq!(st.verify_fact_questions, 2);
+        assert_eq!(st.closed_answers, 2);
+    }
+
+    #[test]
+    fn single_expert_counts_filled_variables() {
+        let g = ground();
+        let q = parse_query(g.schema(), "(x, k) :- Teams(x, k)").unwrap();
+        let mut crowd = SingleExpert::new(PerfectOracle::new(g));
+        let partial = Assignment::from_pairs([(
+            qoco_query::Var::new("x"),
+            qoco_data::Value::text("ITA"),
+        )]);
+        let total = crowd.complete(&q, &partial).unwrap();
+        assert_eq!(total.len(), 2);
+        let st = crowd.stats();
+        assert_eq!(st.complete_tasks, 1);
+        assert_eq!(st.filled_variables, 1); // only k was filled
+        assert_eq!(st.open_answer_variables, 1);
+    }
+
+    #[test]
+    fn single_expert_missing_answer_counts_head_vars() {
+        let g = ground();
+        let q = parse_query(g.schema(), r#"(x) :- Teams(x, "EU")"#).unwrap();
+        let mut crowd = SingleExpert::new(PerfectOracle::new(g));
+        let t = crowd.next_missing_answer(&q, &[tup!["GER"]]).unwrap();
+        assert_eq!(t, tup!["ITA"]);
+        assert_eq!(crowd.stats().missing_answers_provided, 1);
+        assert_eq!(crowd.stats().open_answer_variables, 1);
+        assert_eq!(crowd.next_missing_answer(&q, &[tup!["GER"], tup!["ITA"]]), None);
+    }
+
+    #[test]
+    fn majority_early_stops_with_perfect_experts() {
+        let experts: Vec<PerfectOracle> =
+            (0..3).map(|_| PerfectOracle::new(ground())).collect();
+        let mut crowd = MajorityCrowd::new(experts);
+        let teams = schema().rel_id("Teams").unwrap();
+        assert!(crowd.verify_fact(&Fact::new(teams, tup!["GER", "EU"])));
+        // early stop: only 2 of 3 experts answered
+        assert_eq!(crowd.stats().closed_answers, 2);
+        assert_eq!(crowd.stats().verify_fact_questions, 1);
+    }
+
+    #[test]
+    fn majority_overrules_one_liar() {
+        // experts 1 and 2 perfect, expert 0 always lies
+        let experts: Vec<Box<dyn Oracle>> = vec![
+            Box::new(ImperfectOracle::new(ground(), 1.0, 1)),
+            Box::new(PerfectOracle::new(ground())),
+            Box::new(PerfectOracle::new(ground())),
+        ];
+        let mut crowd = MajorityCrowd::new(experts);
+        let teams = schema().rel_id("Teams").unwrap();
+        assert!(crowd.verify_fact(&Fact::new(teams, tup!["GER", "EU"])));
+        // liar disagreed, so all 3 answered
+        assert_eq!(crowd.stats().closed_answers, 3);
+    }
+
+    #[test]
+    fn majority_completion_is_verified_with_closed_questions() {
+        let experts: Vec<PerfectOracle> =
+            (0..3).map(|_| PerfectOracle::new(ground())).collect();
+        let mut crowd = MajorityCrowd::new(experts);
+        let q = parse_query(&schema(), "(x, k) :- Teams(x, k)").unwrap();
+        let total = crowd.complete(&q, &Assignment::new()).unwrap();
+        assert_eq!(total.len(), 2);
+        let st = crowd.stats();
+        // one atom in the body → 1 verification fact question
+        assert_eq!(st.verify_fact_questions, 1);
+        assert!(st.closed_answers >= 2);
+        assert_eq!(st.filled_variables, 2);
+    }
+
+    #[test]
+    fn majority_rejects_corrupt_completions() {
+        // A completing expert that always corrupts; verifiers perfect. The
+        // corrupted completion usually fails fact verification; either the
+        // next (perfect) expert's completion is accepted, or (if the
+        // corruption happens to be the true fact) it passes — in both cases
+        // the result must be a valid completion w.r.t. the ground truth.
+        let experts: Vec<Box<dyn Oracle>> = vec![
+            Box::new(ImperfectOracle::new(ground(), 1.0, 5)),
+            Box::new(PerfectOracle::new(ground())),
+            Box::new(PerfectOracle::new(ground())),
+        ];
+        let mut crowd = MajorityCrowd::new(experts);
+        let q = parse_query(&schema(), "(x, k) :- Teams(x, k)").unwrap();
+        let total = crowd.complete(&q, &Assignment::new());
+        let total = total.expect("a perfect expert is on the panel");
+        // the accepted completion grounds to a true fact
+        let fact = total.ground_atom(&q.atoms()[0]).unwrap();
+        assert!(ground().contains(&fact));
+    }
+
+    #[test]
+    fn majority_missing_answer_is_verified() {
+        let experts: Vec<PerfectOracle> =
+            (0..3).map(|_| PerfectOracle::new(ground())).collect();
+        let mut crowd = MajorityCrowd::new(experts);
+        let q = parse_query(&schema(), r#"(x) :- Teams(x, "EU")"#).unwrap();
+        let t = crowd.next_missing_answer(&q, &[]).unwrap();
+        assert!(t == tup!["GER"] || t == tup!["ITA"]);
+        assert_eq!(crowd.stats().verify_answer_questions, 1);
+        assert_eq!(crowd.stats().missing_answers_provided, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one expert")]
+    fn empty_panel_panics() {
+        let _ = MajorityCrowd::<PerfectOracle>::new(vec![]);
+    }
+}

@@ -1,0 +1,240 @@
+//! Transcript recording: an auditable log of every crowd interaction.
+//!
+//! The paper's system shows its questions to real people; a production
+//! deployment needs an audit trail of what was asked and answered (e.g. to
+//! compute worker rewards, Section 9's incentive model, or to debug a
+//! cleaning session). [`RecordingCrowd`] wraps any [`CrowdAccess`] and
+//! appends one [`TranscriptEntry`] per interaction.
+
+use std::fmt;
+
+use qoco_data::{Fact, Tuple};
+use qoco_engine::Assignment;
+use qoco_query::ConjunctiveQuery;
+
+use crate::session::CrowdAccess;
+use crate::stats::CrowdStats;
+
+/// One recorded interaction.
+#[derive(Clone, Debug)]
+pub enum TranscriptEntry {
+    /// `TRUE(R(ā))?` and its answer.
+    VerifyFact {
+        /// The fact asked about.
+        fact: Fact,
+        /// The crowd's verdict.
+        answer: bool,
+    },
+    /// Composite `TRUE-ALL`? and its answer.
+    VerifyAllFacts {
+        /// How many facts the composite covered.
+        group_size: usize,
+        /// The crowd's verdict.
+        answer: bool,
+    },
+    /// `TRUE(Q, t)?` and its answer.
+    VerifyAnswer {
+        /// The query's name.
+        query: String,
+        /// The candidate answer.
+        tuple: Tuple,
+        /// The crowd's verdict.
+        answer: bool,
+    },
+    /// A satisfiability check and its answer.
+    VerifySatisfiable {
+        /// The query's name.
+        query: String,
+        /// Number of bound variables in the partial assignment.
+        bound_vars: usize,
+        /// The crowd's verdict.
+        answer: bool,
+    },
+    /// `COMPL(α, Q)` and whether it was completed (+ variables filled).
+    Complete {
+        /// The query's name.
+        query: String,
+        /// Variables the crowd filled (0 when unsatisfiable).
+        filled: usize,
+        /// Whether a completion was returned.
+        completed: bool,
+    },
+    /// `COMPL(Q(D))` and the reported missing answer, if any.
+    CompleteResult {
+        /// The query's name.
+        query: String,
+        /// The missing answer, if one was provided.
+        missing: Option<Tuple>,
+    },
+}
+
+impl fmt::Display for TranscriptEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranscriptEntry::VerifyFact { fact, answer } => {
+                write!(f, "TRUE({fact:?})? → {answer}")
+            }
+            TranscriptEntry::VerifyAllFacts { group_size, answer } => {
+                write!(f, "TRUE-ALL({group_size} facts)? → {answer}")
+            }
+            TranscriptEntry::VerifyAnswer { query, tuple, answer } => {
+                write!(f, "TRUE({query}, {tuple})? → {answer}")
+            }
+            TranscriptEntry::VerifySatisfiable { query, bound_vars, answer } => {
+                write!(f, "SAT({query}, {bound_vars} bound)? → {answer}")
+            }
+            TranscriptEntry::Complete { query, filled, completed } => {
+                write!(f, "COMPL(α, {query}) → completed={completed} ({filled} vars)")
+            }
+            TranscriptEntry::CompleteResult { query, missing } => match missing {
+                Some(t) => write!(f, "COMPL({query}(D)) → {t}"),
+                None => write!(f, "COMPL({query}(D)) → complete"),
+            },
+        }
+    }
+}
+
+/// A [`CrowdAccess`] wrapper that records every interaction.
+pub struct RecordingCrowd<C: CrowdAccess> {
+    inner: C,
+    transcript: Vec<TranscriptEntry>,
+}
+
+impl<C: CrowdAccess> RecordingCrowd<C> {
+    /// Wrap a crowd session.
+    pub fn new(inner: C) -> Self {
+        RecordingCrowd { inner, transcript: Vec::new() }
+    }
+
+    /// The recorded interactions, in order.
+    pub fn transcript(&self) -> &[TranscriptEntry] {
+        &self.transcript
+    }
+
+    /// Consume the wrapper, returning the inner session and the transcript.
+    pub fn into_parts(self) -> (C, Vec<TranscriptEntry>) {
+        (self.inner, self.transcript)
+    }
+}
+
+impl<C: CrowdAccess> CrowdAccess for RecordingCrowd<C> {
+    fn verify_fact(&mut self, f: &Fact) -> bool {
+        let answer = self.inner.verify_fact(f);
+        self.transcript.push(TranscriptEntry::VerifyFact { fact: f.clone(), answer });
+        answer
+    }
+
+    fn verify_facts_all(&mut self, facts: &[Fact]) -> bool {
+        let answer = self.inner.verify_facts_all(facts);
+        self.transcript
+            .push(TranscriptEntry::VerifyAllFacts { group_size: facts.len(), answer });
+        answer
+    }
+
+    fn verify_answer(&mut self, q: &ConjunctiveQuery, t: &Tuple) -> bool {
+        let answer = self.inner.verify_answer(q, t);
+        self.transcript.push(TranscriptEntry::VerifyAnswer {
+            query: q.name().to_string(),
+            tuple: t.clone(),
+            answer,
+        });
+        answer
+    }
+
+    fn verify_satisfiable(&mut self, q: &ConjunctiveQuery, partial: &Assignment) -> bool {
+        let answer = self.inner.verify_satisfiable(q, partial);
+        self.transcript.push(TranscriptEntry::VerifySatisfiable {
+            query: q.name().to_string(),
+            bound_vars: partial.len(),
+            answer,
+        });
+        answer
+    }
+
+    fn complete(&mut self, q: &ConjunctiveQuery, partial: &Assignment) -> Option<Assignment> {
+        let reply = self.inner.complete(q, partial);
+        let filled = reply.as_ref().map(|r| r.len().saturating_sub(partial.len())).unwrap_or(0);
+        self.transcript.push(TranscriptEntry::Complete {
+            query: q.name().to_string(),
+            filled,
+            completed: reply.is_some(),
+        });
+        reply
+    }
+
+    fn next_missing_answer(&mut self, q: &ConjunctiveQuery, known: &[Tuple]) -> Option<Tuple> {
+        let reply = self.inner.next_missing_answer(q, known);
+        self.transcript.push(TranscriptEntry::CompleteResult {
+            query: q.name().to_string(),
+            missing: reply.clone(),
+        });
+        reply
+    }
+
+    fn stats(&self) -> CrowdStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perfect::PerfectOracle;
+    use crate::session::SingleExpert;
+    use qoco_data::{tup, Database, Schema};
+    use qoco_query::parse_query;
+
+    fn ground() -> Database {
+        let s = Schema::builder()
+            .relation("Teams", &["country", "continent"])
+            .build()
+            .unwrap();
+        let mut g = Database::empty(s);
+        g.insert_named("Teams", tup!["GER", "EU"]).unwrap();
+        g.insert_named("Teams", tup!["ITA", "EU"]).unwrap();
+        g
+    }
+
+    #[test]
+    fn records_every_interaction_in_order() {
+        let g = ground();
+        let teams = g.schema().rel_id("Teams").unwrap();
+        let q = parse_query(g.schema(), r#"(x) :- Teams(x, "EU")"#).unwrap();
+        let mut crowd = RecordingCrowd::new(SingleExpert::new(PerfectOracle::new(g)));
+        assert!(crowd.verify_fact(&Fact::new(teams, tup!["GER", "EU"])));
+        assert!(crowd.verify_answer(&q, &tup!["ITA"]));
+        assert_eq!(crowd.next_missing_answer(&q, &[tup!["GER"], tup!["ITA"]]), None);
+        let t = crowd.transcript();
+        assert_eq!(t.len(), 3);
+        assert!(matches!(t[0], TranscriptEntry::VerifyFact { answer: true, .. }));
+        assert!(matches!(t[1], TranscriptEntry::VerifyAnswer { answer: true, .. }));
+        assert!(matches!(t[2], TranscriptEntry::CompleteResult { missing: None, .. }));
+        // stats pass through to the inner session
+        assert_eq!(crowd.stats().verify_fact_questions, 1);
+        assert_eq!(crowd.stats().complete_result_tasks, 1);
+    }
+
+    #[test]
+    fn transcript_renders_readably() {
+        let g = ground();
+        let q = parse_query(g.schema(), r#"(x) :- Teams(x, "EU")"#).unwrap();
+        let mut crowd = RecordingCrowd::new(SingleExpert::new(PerfectOracle::new(g)));
+        let _ = crowd.next_missing_answer(&q, &[]);
+        let _ = crowd.complete(&q, &Assignment::new());
+        let rendered: Vec<String> =
+            crowd.transcript().iter().map(|e| e.to_string()).collect();
+        assert!(rendered[0].starts_with("COMPL(Q(D))"), "{rendered:?}");
+        assert!(rendered[1].contains("completed=true"), "{rendered:?}");
+    }
+
+    #[test]
+    fn into_parts_returns_inner_and_log() {
+        let g = ground();
+        let teams = g.schema().rel_id("Teams").unwrap();
+        let mut crowd = RecordingCrowd::new(SingleExpert::new(PerfectOracle::new(g)));
+        let _ = crowd.verify_fact(&Fact::new(teams, tup!["GER", "EU"]));
+        let (inner, log) = crowd.into_parts();
+        assert_eq!(inner.stats().verify_fact_questions, 1);
+        assert_eq!(log.len(), 1);
+    }
+}

@@ -1,0 +1,392 @@
+//! Key and foreign-key constraints.
+//!
+//! The paper's future work (Section 9): "we plan to investigate how
+//! constraints such as key and foreign key constraints can be incorporated
+//! into our framework. The presence of such constraints will require a more
+//! nuanced calculation of the (potential) interactions with the crowd, that
+//! take into account the dependencies among tuples and possible constraints
+//! violation." This module provides the declarative side — declaring
+//! constraints and detecting the violations an edit would introduce; the
+//! crowd-interaction side lives in `qoco_core::constrained`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::database::Database;
+use crate::edit::{Edit, EditKind};
+use crate::schema::RelId;
+use crate::tuple::{Fact, Tuple};
+use crate::value::Value;
+
+/// A key constraint: no two tuples of `rel` agree on all `key` columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyConstraint {
+    /// The constrained relation.
+    pub rel: RelId,
+    /// The key column positions.
+    pub key: Vec<usize>,
+}
+
+/// An inclusion dependency: every `(from_rel, from_cols)` projection must
+/// appear as a `(to_rel, to_cols)` projection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// The referencing relation.
+    pub from_rel: RelId,
+    /// The referencing columns.
+    pub from_cols: Vec<usize>,
+    /// The referenced relation.
+    pub to_rel: RelId,
+    /// The referenced columns.
+    pub to_cols: Vec<usize>,
+}
+
+/// A constraint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Two facts share a key.
+    KeyConflict {
+        /// The constraint violated.
+        rel: RelId,
+        /// The new (or first) fact.
+        fact: Fact,
+        /// The conflicting existing fact.
+        existing: Fact,
+    },
+    /// A referencing fact has no referenced counterpart.
+    DanglingReference {
+        /// The referencing fact.
+        fact: Fact,
+        /// The relation that should contain the referenced tuple.
+        to_rel: RelId,
+        /// The missing referenced key values.
+        missing_key: Vec<Value>,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::KeyConflict { fact, existing, .. } => {
+                write!(f, "key conflict: {fact:?} vs existing {existing:?}")
+            }
+            Violation::DanglingReference { fact, to_rel, missing_key } => {
+                write!(f, "dangling reference from {fact:?}: no {to_rel:?} tuple with key {missing_key:?}")
+            }
+        }
+    }
+}
+
+/// A set of declared constraints over one schema.
+#[derive(Debug, Clone, Default)]
+pub struct ConstraintSet {
+    keys: Vec<KeyConstraint>,
+    fks: Vec<ForeignKey>,
+}
+
+impl ConstraintSet {
+    /// An empty constraint set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a key constraint.
+    pub fn key(mut self, rel: RelId, key: Vec<usize>) -> Self {
+        assert!(!key.is_empty(), "a key needs at least one column");
+        self.keys.push(KeyConstraint { rel, key });
+        self
+    }
+
+    /// Declare a foreign key.
+    pub fn foreign_key(
+        mut self,
+        from_rel: RelId,
+        from_cols: Vec<usize>,
+        to_rel: RelId,
+        to_cols: Vec<usize>,
+    ) -> Self {
+        assert_eq!(from_cols.len(), to_cols.len(), "column lists must align");
+        assert!(!from_cols.is_empty(), "a foreign key needs at least one column");
+        self.fks.push(ForeignKey { from_rel, from_cols, to_rel, to_cols });
+        self
+    }
+
+    /// The declared keys.
+    pub fn keys(&self) -> &[KeyConstraint] {
+        &self.keys
+    }
+
+    /// The declared foreign keys.
+    pub fn foreign_keys(&self) -> &[ForeignKey] {
+        &self.fks
+    }
+
+    /// All violations in the database as it stands.
+    pub fn violations(&self, db: &Database) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for kc in &self.keys {
+            let mut seen: HashMap<Vec<Value>, Tuple> = HashMap::new();
+            let mut tuples = db.relation(kc.rel).sorted();
+            tuples.sort();
+            for t in tuples {
+                let kv: Vec<Value> = kc.key.iter().map(|&i| t.values()[i].clone()).collect();
+                if let Some(prev) = seen.get(&kv) {
+                    out.push(Violation::KeyConflict {
+                        rel: kc.rel,
+                        fact: Fact::new(kc.rel, t.clone()),
+                        existing: Fact::new(kc.rel, prev.clone()),
+                    });
+                } else {
+                    seen.insert(kv, t);
+                }
+            }
+        }
+        for fk in &self.fks {
+            for t in db.relation(fk.from_rel).sorted() {
+                let kv: Vec<Value> =
+                    fk.from_cols.iter().map(|&i| t.values()[i].clone()).collect();
+                if !self.referenced_exists(db, fk, &kv) {
+                    out.push(Violation::DanglingReference {
+                        fact: Fact::new(fk.from_rel, t),
+                        to_rel: fk.to_rel,
+                        missing_key: kv,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Violations that applying `edit` to `db` would introduce (beyond any
+    /// already present). Checks the edited fact against keys (insert) and
+    /// referential integrity in both directions (insert and delete).
+    pub fn edit_violations(&self, db: &Database, edit: &Edit) -> Vec<Violation> {
+        let mut out = Vec::new();
+        match edit.kind {
+            EditKind::Insert => {
+                if db.contains(&edit.fact) {
+                    return out; // idempotent no-op
+                }
+                for kc in self.keys.iter().filter(|k| k.rel == edit.fact.rel) {
+                    let kv: Vec<Value> =
+                        kc.key.iter().map(|&i| edit.fact.tuple.values()[i].clone()).collect();
+                    for existing in db.relation(kc.rel).sorted() {
+                        let ek: Vec<Value> =
+                            kc.key.iter().map(|&i| existing.values()[i].clone()).collect();
+                        if ek == kv {
+                            out.push(Violation::KeyConflict {
+                                rel: kc.rel,
+                                fact: edit.fact.clone(),
+                                existing: Fact::new(kc.rel, existing),
+                            });
+                        }
+                    }
+                }
+                for fk in self.fks.iter().filter(|f| f.from_rel == edit.fact.rel) {
+                    let kv: Vec<Value> = fk
+                        .from_cols
+                        .iter()
+                        .map(|&i| edit.fact.tuple.values()[i].clone())
+                        .collect();
+                    if !self.referenced_exists(db, fk, &kv) {
+                        out.push(Violation::DanglingReference {
+                            fact: edit.fact.clone(),
+                            to_rel: fk.to_rel,
+                            missing_key: kv,
+                        });
+                    }
+                }
+            }
+            EditKind::Delete => {
+                if !db.contains(&edit.fact) {
+                    return out; // idempotent no-op
+                }
+                // deleting a referenced tuple can strand referencing ones
+                for fk in self.fks.iter().filter(|f| f.to_rel == edit.fact.rel) {
+                    let deleted_key: Vec<Value> = fk
+                        .to_cols
+                        .iter()
+                        .map(|&i| edit.fact.tuple.values()[i].clone())
+                        .collect();
+                    // does another tuple still provide this key?
+                    let still_provided = db.relation(fk.to_rel).iter().any(|t| {
+                        *t != edit.fact.tuple
+                            && fk
+                                .to_cols
+                                .iter()
+                                .zip(&deleted_key)
+                                .all(|(&i, v)| &t.values()[i] == v)
+                    });
+                    if still_provided {
+                        continue;
+                    }
+                    for t in db.relation(fk.from_rel).sorted() {
+                        let kv: Vec<Value> =
+                            fk.from_cols.iter().map(|&i| t.values()[i].clone()).collect();
+                        if kv == deleted_key {
+                            out.push(Violation::DanglingReference {
+                                fact: Fact::new(fk.from_rel, t),
+                                to_rel: fk.to_rel,
+                                missing_key: kv,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn referenced_exists(&self, db: &Database, fk: &ForeignKey, key: &[Value]) -> bool {
+        db.relation(fk.to_rel)
+            .iter()
+            .any(|t| fk.to_cols.iter().zip(key).all(|(&i, v)| &t.values()[i] == v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::tup;
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Schema::builder()
+            .relation("Teams", &["country", "continent"])
+            .relation("Games", &["date", "winner", "runner_up", "stage", "result"])
+            .build()
+            .unwrap()
+    }
+
+    fn constraints(s: &Arc<Schema>) -> ConstraintSet {
+        let teams = s.rel_id("Teams").unwrap();
+        let games = s.rel_id("Games").unwrap();
+        ConstraintSet::new()
+            .key(teams, vec![0]) // country is a key
+            .foreign_key(games, vec![1], teams, vec![0]) // winner references Teams
+    }
+
+    #[test]
+    fn clean_database_has_no_violations() {
+        let s = schema();
+        let cs = constraints(&s);
+        let mut db = Database::empty(s.clone());
+        db.insert_named("Teams", tup!["GER", "EU"]).unwrap();
+        db.insert_named("Games", tup!["13.07.14", "GER", "ARG", "Final", "1:0"]).unwrap();
+        assert!(cs.violations(&db).is_empty());
+    }
+
+    #[test]
+    fn duplicate_key_is_detected() {
+        let s = schema();
+        let cs = constraints(&s);
+        let mut db = Database::empty(s.clone());
+        db.insert_named("Teams", tup!["GER", "EU"]).unwrap();
+        db.insert_named("Teams", tup!["GER", "SA"]).unwrap();
+        let v = cs.violations(&db);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], Violation::KeyConflict { .. }));
+    }
+
+    #[test]
+    fn dangling_reference_is_detected() {
+        let s = schema();
+        let cs = constraints(&s);
+        let mut db = Database::empty(s.clone());
+        db.insert_named("Games", tup!["13.07.14", "GER", "ARG", "Final", "1:0"]).unwrap();
+        let v = cs.violations(&db);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], Violation::DanglingReference { .. }));
+    }
+
+    #[test]
+    fn insert_edit_violations_are_predicted() {
+        let s = schema();
+        let cs = constraints(&s);
+        let teams = s.rel_id("Teams").unwrap();
+        let games = s.rel_id("Games").unwrap();
+        let mut db = Database::empty(s.clone());
+        db.insert_named("Teams", tup!["GER", "EU"]).unwrap();
+        // key conflict: GER already present with another continent
+        let e = Edit::insert(Fact::new(teams, tup!["GER", "SA"]));
+        assert_eq!(cs.edit_violations(&db, &e).len(), 1);
+        // dangling winner
+        let e2 = Edit::insert(Fact::new(games, tup!["d", "ITA", "FRA", "Final", "1:0"]));
+        assert_eq!(cs.edit_violations(&db, &e2).len(), 1);
+        // fine insert
+        let e3 = Edit::insert(Fact::new(games, tup!["d", "GER", "FRA", "Final", "1:0"]));
+        assert!(cs.edit_violations(&db, &e3).is_empty());
+    }
+
+    #[test]
+    fn delete_edit_stranding_is_predicted() {
+        let s = schema();
+        let cs = constraints(&s);
+        let teams = s.rel_id("Teams").unwrap();
+        let mut db = Database::empty(s.clone());
+        db.insert_named("Teams", tup!["GER", "EU"]).unwrap();
+        db.insert_named("Games", tup!["13.07.14", "GER", "ARG", "Final", "1:0"]).unwrap();
+        let e = Edit::delete(Fact::new(teams, tup!["GER", "EU"]));
+        let v = cs.edit_violations(&db, &e);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], Violation::DanglingReference { .. }));
+    }
+
+    #[test]
+    fn idempotent_noop_edits_violate_nothing() {
+        let s = schema();
+        let cs = constraints(&s);
+        let teams = s.rel_id("Teams").unwrap();
+        let mut db = Database::empty(s.clone());
+        db.insert_named("Teams", tup!["GER", "EU"]).unwrap();
+        // re-inserting the same fact: no violation
+        let e = Edit::insert(Fact::new(teams, tup!["GER", "EU"]));
+        assert!(cs.edit_violations(&db, &e).is_empty());
+        // deleting an absent fact: no violation
+        let e2 = Edit::delete(Fact::new(teams, tup!["ITA", "EU"]));
+        assert!(cs.edit_violations(&db, &e2).is_empty());
+    }
+
+    #[test]
+    fn delete_with_surviving_provider_is_fine() {
+        // composite "provider" situation: two Teams rows share the key
+        // column value only if the key is (country, continent)
+        let s = schema();
+        let teams = s.rel_id("Teams").unwrap();
+        let games = s.rel_id("Games").unwrap();
+        let cs = ConstraintSet::new().foreign_key(games, vec![1], teams, vec![0]);
+        let mut db = Database::empty(s.clone());
+        db.insert_named("Teams", tup!["GER", "EU"]).unwrap();
+        db.insert_named("Teams", tup!["GER", "EU-WEST"]).unwrap();
+        db.insert_named("Games", tup!["13.07.14", "GER", "ARG", "Final", "1:0"]).unwrap();
+        let e = Edit::delete(Fact::new(teams, tup!["GER", "EU"]));
+        assert!(cs.edit_violations(&db, &e).is_empty(), "the other GER row still provides");
+    }
+
+    #[test]
+    fn violation_display() {
+        let s = schema();
+        let teams = s.rel_id("Teams").unwrap();
+        let v = Violation::KeyConflict {
+            rel: teams,
+            fact: Fact::new(teams, tup!["GER", "SA"]),
+            existing: Fact::new(teams, tup!["GER", "EU"]),
+        };
+        assert!(v.to_string().contains("key conflict"));
+        let d = Violation::DanglingReference {
+            fact: Fact::new(teams, tup!["GER", "EU"]),
+            to_rel: teams,
+            missing_key: vec![Value::text("GER")],
+        };
+        assert!(d.to_string().contains("dangling"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_key_panics() {
+        let s = schema();
+        let teams = s.rel_id("Teams").unwrap();
+        let _ = ConstraintSet::new().key(teams, vec![]);
+    }
+}

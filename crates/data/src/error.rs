@@ -1,0 +1,59 @@
+//! Error type for the data layer.
+
+use std::fmt;
+
+use crate::schema::RelId;
+
+/// Errors raised by the relational substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A relation name was not found in the schema.
+    UnknownRelation(String),
+    /// A relation id does not belong to this schema.
+    BadRelId(RelId),
+    /// A tuple's arity does not match its relation's declared arity.
+    ArityMismatch {
+        /// The relation involved.
+        rel: String,
+        /// The declared arity.
+        expected: usize,
+        /// The arity of the offending tuple.
+        got: usize,
+    },
+    /// Two databases were combined that do not share a schema.
+    SchemaMismatch,
+    /// A relation with this name was declared twice.
+    DuplicateRelation(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            DataError::BadRelId(id) => write!(f, "relation id {id:?} not in schema"),
+            DataError::ArityMismatch { rel, expected, got } => {
+                write!(f, "arity mismatch for `{rel}`: expected {expected}, got {got}")
+            }
+            DataError::SchemaMismatch => write!(f, "databases do not share a schema"),
+            DataError::DuplicateRelation(name) => {
+                write!(f, "relation `{name}` declared more than once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DataError::ArityMismatch { rel: "Games".into(), expected: 5, got: 4 };
+        let msg = e.to_string();
+        assert!(msg.contains("Games") && msg.contains('5') && msg.contains('4'));
+        assert!(DataError::UnknownRelation("X".into()).to_string().contains("X"));
+        assert!(DataError::SchemaMismatch.to_string().contains("schema"));
+    }
+}

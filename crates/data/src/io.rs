@@ -1,0 +1,314 @@
+//! Plain-text persistence: one TSV file per relation.
+//!
+//! A database saves to a directory with `<relation>.tsv` files. The first
+//! line is the header (attribute names); each following line is one tuple.
+//! Values round-trip exactly: integers are written as `#<digits>` and text
+//! escapes tab, newline, carriage return, backslash and a leading `#`.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+use crate::database::Database;
+use crate::error::DataError;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Errors from loading/saving databases.
+#[derive(Debug)]
+pub enum IoError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// A file's contents do not fit the schema.
+    Format {
+        /// The offending file.
+        file: String,
+        /// Line number (1-based).
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// Data-layer failure while rebuilding the database.
+    Data(DataError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Format { file, line, message } => {
+                write!(f, "{file}:{line}: {message}")
+            }
+            IoError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<DataError> for IoError {
+    fn from(e: DataError) -> Self {
+        IoError::Data(e)
+    }
+}
+
+fn encode(v: &Value) -> String {
+    match v {
+        Value::Int(i) => format!("#{i}"),
+        Value::Text(s) => {
+            if s.is_empty() {
+                // an empty cell in an arity-1 relation would read as an
+                // empty (skipped) line; use an explicit marker
+                return "\\e".to_string();
+            }
+            let mut out = String::with_capacity(s.len());
+            if s.starts_with('#') {
+                out.push('\\');
+            }
+            for ch in s.chars() {
+                match ch {
+                    '\t' => out.push_str("\\t"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\\' => out.push_str("\\\\"),
+                    other => out.push(other),
+                }
+            }
+            out
+        }
+    }
+}
+
+fn decode(cell: &str) -> Result<Value, String> {
+    if let Some(num) = cell.strip_prefix('#') {
+        return num
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| format!("bad integer literal `{cell}`"));
+    }
+    if cell == "\\e" {
+        return Ok(Value::text(""));
+    }
+    let mut out = String::with_capacity(cell.len());
+    let mut chars = cell.chars();
+    while let Some(ch) = chars.next() {
+        if ch == '\\' {
+            match chars.next() {
+                Some('t') => out.push('\t'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('\\') => out.push('\\'),
+                Some('#') => out.push('#'),
+                Some(other) => {
+                    // a leading `\#` guard writes `\` + `#…`; other escapes
+                    // are errors
+                    if out.is_empty() && other == '#' {
+                        out.push('#');
+                    } else {
+                        return Err(format!("bad escape `\\{other}`"));
+                    }
+                }
+                None => return Err("dangling backslash".to_string()),
+            }
+        } else {
+            out.push(ch);
+        }
+    }
+    Ok(Value::text(out))
+}
+
+/// Save `db` into `dir` (created if absent), one `<relation>.tsv` each.
+pub fn save_dir(db: &Database, dir: &Path) -> Result<(), IoError> {
+    fs::create_dir_all(dir)?;
+    for (rel, decl) in db.schema().iter() {
+        let path = dir.join(format!("{}.tsv", decl.name()));
+        let mut file = fs::File::create(&path)?;
+        writeln!(file, "{}", decl.attrs().join("\t"))?;
+        for tuple in db.relation(rel).sorted() {
+            let cells: Vec<String> = tuple.values().iter().map(encode).collect();
+            writeln!(file, "{}", cells.join("\t"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Load a database over `schema` from a directory written by [`save_dir`].
+/// Missing relation files load as empty relations.
+pub fn load_dir(schema: std::sync::Arc<Schema>, dir: &Path) -> Result<Database, IoError> {
+    let mut db = Database::empty(schema.clone());
+    for (rel, decl) in schema.iter() {
+        let path = dir.join(format!("{}.tsv", decl.name()));
+        if !path.exists() {
+            continue;
+        }
+        let file_label = path.display().to_string();
+        let content = fs::read_to_string(&path)?;
+        let mut lines = content.lines().enumerate();
+        // header (validated loosely: column count must match)
+        if let Some((_, header)) = lines.next() {
+            let cols = header.split('\t').count();
+            if cols != decl.arity() {
+                return Err(IoError::Format {
+                    file: file_label,
+                    line: 1,
+                    message: format!(
+                        "header has {cols} columns, schema arity is {}",
+                        decl.arity()
+                    ),
+                });
+            }
+        }
+        for (idx, line) in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let cells: Vec<&str> = line.split('\t').collect();
+            if cells.len() != decl.arity() {
+                return Err(IoError::Format {
+                    file: file_label,
+                    line: idx + 1,
+                    message: format!(
+                        "row has {} cells, schema arity is {}",
+                        cells.len(),
+                        decl.arity()
+                    ),
+                });
+            }
+            let mut values = Vec::with_capacity(cells.len());
+            for cell in cells {
+                values.push(decode(cell).map_err(|message| IoError::Format {
+                    file: file_label.clone(),
+                    line: idx + 1,
+                    message,
+                })?);
+            }
+            db.insert(crate::tuple::Fact::new(rel, Tuple::new(values)))?;
+        }
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tup;
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Schema::builder()
+            .relation("Teams", &["country", "continent"])
+            .relation("Players", &["name", "team", "birth_year", "birth_place"])
+            .build()
+            .unwrap()
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "qoco-io-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trip_preserves_facts() {
+        let s = schema();
+        let mut db = Database::empty(s.clone());
+        db.insert_named("Teams", tup!["GER", "EU"]).unwrap();
+        db.insert_named("Teams", tup!["BRA", "SA"]).unwrap();
+        db.insert_named("Players", tup!["Mario Götze", "GER", 1992, "GER"]).unwrap();
+        let dir = tmpdir("roundtrip");
+        save_dir(&db, &dir).unwrap();
+        let loaded = load_dir(s, &dir).unwrap();
+        assert_eq!(db.sorted_facts(), loaded.sorted_facts());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tricky_values_round_trip() {
+        let s = Schema::builder().relation("T", &["v"]).build().unwrap();
+        let mut db = Database::empty(s.clone());
+        for v in [
+            Value::text("tab\there"),
+            Value::text("new\nline"),
+            Value::text("back\\slash"),
+            Value::text("#leading-hash"),
+            Value::text("carriage\rreturn"),
+            Value::Int(-42),
+            Value::Int(i64::MAX),
+            Value::text(""),
+        ] {
+            db.insert(crate::tuple::Fact::new(
+                s.rel_id("T").unwrap(),
+                Tuple::new(vec![v]),
+            ))
+            .unwrap();
+        }
+        let dir = tmpdir("tricky");
+        save_dir(&db, &dir).unwrap();
+        let loaded = load_dir(s, &dir).unwrap();
+        assert_eq!(db.sorted_facts(), loaded.sorted_facts());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_files_load_empty() {
+        let s = schema();
+        let dir = tmpdir("missing");
+        fs::create_dir_all(&dir).unwrap();
+        let loaded = load_dir(s, &dir).unwrap();
+        assert!(loaded.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported_with_position() {
+        let s = schema();
+        let dir = tmpdir("badrow");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("Teams.tsv"), "country\tcontinent\nGER\n").unwrap();
+        let err = load_dir(s, &dir).unwrap_err();
+        match err {
+            IoError::Format { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_header_is_reported() {
+        let s = schema();
+        let dir = tmpdir("badheader");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("Teams.tsv"), "only-one-column\n").unwrap();
+        assert!(matches!(load_dir(s, &dir), Err(IoError::Format { line: 1, .. })));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_integer_is_reported() {
+        let s = Schema::builder().relation("T", &["v"]).build().unwrap();
+        let dir = tmpdir("badint");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("T.tsv"), "v\n#not-a-number\n").unwrap();
+        assert!(matches!(load_dir(s, &dir), Err(IoError::Format { line: 2, .. })));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn encode_decode_unit() {
+        assert_eq!(encode(&Value::Int(5)), "#5");
+        assert_eq!(decode("#5").unwrap(), Value::Int(5));
+        assert_eq!(decode(&encode(&Value::text("#x"))).unwrap(), Value::text("#x"));
+        assert!(decode("\\q").is_err());
+        assert!(decode("x\\").is_err());
+    }
+}

@@ -1,0 +1,212 @@
+//! Indexed in-memory relations.
+//!
+//! A [`Relation`] stores a set of [`Tuple`]s plus lazily-built per-column
+//! hash indexes. The query engine's backtracking join probes these indexes
+//! with `(column, value)` keys; the cleaning algorithms mutate relations
+//! through edits, which invalidates the indexes (they are rebuilt on the
+//! next probe). At the paper's scale (2 k–5 k tuples) a full rebuild is
+//! microseconds, and correctness under interleaved reads/edits stays simple.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// A set of tuples of a fixed arity with lazy per-column indexes.
+#[derive(Debug, Default, Clone)]
+pub struct Relation {
+    tuples: HashSet<Tuple>,
+    /// `indexes[col][value]` = tuples whose `col`-th value equals `value`.
+    /// Rebuilt lazily; `None` means stale.
+    indexes: Vec<Option<HashMap<Value, Vec<Tuple>>>>,
+    arity: usize,
+}
+
+impl Relation {
+    /// Create an empty relation of the given arity.
+    pub fn new(arity: usize) -> Self {
+        Relation { tuples: HashSet::new(), indexes: vec![None; arity], arity }
+    }
+
+    /// The declared arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Insert a tuple. Returns `true` if the relation changed
+    /// (idempotent-edit semantics of Section 3.1).
+    ///
+    /// # Panics
+    /// Panics if the tuple's arity differs from the relation's; arity is
+    /// validated at the [`Database`](crate::Database) boundary, so a
+    /// mismatch here is a logic error.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        assert_eq!(t.arity(), self.arity, "tuple arity must match relation arity");
+        let changed = self.tuples.insert(t);
+        if changed {
+            self.invalidate();
+        }
+        changed
+    }
+
+    /// Remove a tuple. Returns `true` if the relation changed.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        let changed = self.tuples.remove(t);
+        if changed {
+            self.invalidate();
+        }
+        changed
+    }
+
+    /// Iterate over all tuples (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// All tuples, sorted, for deterministic output.
+    pub fn sorted(&self) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> = self.tuples.iter().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Tuples whose `col`-th value equals `value`, via the (lazily rebuilt)
+    /// column index. Returns an empty slice if no tuple matches.
+    pub fn probe(&mut self, col: usize, value: &Value) -> &[Tuple] {
+        assert!(col < self.arity, "column {col} out of range for arity {}", self.arity);
+        if self.indexes[col].is_none() {
+            let mut idx: HashMap<Value, Vec<Tuple>> = HashMap::new();
+            for t in &self.tuples {
+                idx.entry(t.values()[col].clone()).or_default().push(t.clone());
+            }
+            self.indexes[col] = Some(idx);
+        }
+        self.indexes[col]
+            .as_ref()
+            .expect("just built")
+            .get(value)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Estimated number of distinct values in a column (builds the index).
+    pub fn distinct_in_column(&mut self, col: usize) -> usize {
+        self.probe(col, &Value::int(i64::MIN)); // force index build
+        self.indexes[col].as_ref().map(|m| m.len()).unwrap_or(0)
+    }
+
+    fn invalidate(&mut self) {
+        for idx in &mut self.indexes {
+            *idx = None;
+        }
+    }
+}
+
+impl FromIterator<Tuple> for Relation {
+    /// Build a relation from tuples; the arity is taken from the first
+    /// tuple (0 if empty).
+    fn from_iter<T: IntoIterator<Item = Tuple>>(iter: T) -> Self {
+        let mut it = iter.into_iter().peekable();
+        let arity = it.peek().map(|t| t.arity()).unwrap_or(0);
+        let mut rel = Relation::new(arity);
+        for t in it {
+            rel.insert(t);
+        }
+        rel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tup;
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(tup!["ESP", "EU"]));
+        assert!(!r.insert(tup!["ESP", "EU"]));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn remove_is_idempotent() {
+        let mut r = Relation::new(1);
+        r.insert(tup!["x"]);
+        assert!(r.remove(&tup!["x"]));
+        assert!(!r.remove(&tup!["x"]));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn probe_finds_matching_tuples() {
+        let mut r = Relation::new(2);
+        r.insert(tup!["GER", "EU"]);
+        r.insert(tup!["ESP", "EU"]);
+        r.insert(tup!["BRA", "SA"]);
+        let eu = r.probe(1, &Value::text("EU"));
+        assert_eq!(eu.len(), 2);
+        let sa = r.probe(1, &Value::text("SA"));
+        assert_eq!(sa.len(), 1);
+        assert_eq!(sa[0], tup!["BRA", "SA"]);
+        assert!(r.probe(0, &Value::text("ITA")).is_empty());
+    }
+
+    #[test]
+    fn probe_sees_mutations() {
+        let mut r = Relation::new(2);
+        r.insert(tup!["GER", "EU"]);
+        assert_eq!(r.probe(1, &Value::text("EU")).len(), 1);
+        r.insert(tup!["ITA", "EU"]);
+        assert_eq!(r.probe(1, &Value::text("EU")).len(), 2);
+        r.remove(&tup!["GER", "EU"]);
+        assert_eq!(r.probe(1, &Value::text("EU")).len(), 1);
+    }
+
+    #[test]
+    fn distinct_counts_column_values() {
+        let mut r = Relation::new(2);
+        r.insert(tup!["a", "x"]);
+        r.insert(tup!["b", "x"]);
+        r.insert(tup!["c", "y"]);
+        assert_eq!(r.distinct_in_column(0), 3);
+        assert_eq!(r.distinct_in_column(1), 2);
+    }
+
+    #[test]
+    fn sorted_is_deterministic() {
+        let mut r = Relation::new(1);
+        r.insert(tup!["b"]);
+        r.insert(tup!["a"]);
+        assert_eq!(r.sorted(), vec![tup!["a"], tup!["b"]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut r = Relation::new(2);
+        r.insert(tup!["only-one"]);
+    }
+
+    #[test]
+    fn from_iterator_infers_arity() {
+        let r: Relation = vec![tup![1, 2], tup![3, 4]].into_iter().collect();
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.len(), 2);
+    }
+}

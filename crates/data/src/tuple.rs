@@ -1,0 +1,188 @@
+//! Tuples and facts.
+//!
+//! A [`Tuple`] is an ordered sequence of constants; a [`Fact`] `R(ā)` pairs a
+//! tuple with the relation it belongs to. The paper treats "a tuple `t` of a
+//! relation `R`" and "a fact `R(t)`" interchangeably (Section 2); we make the
+//! pairing explicit because witness sets and edits mix facts from different
+//! relations.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::schema::RelId;
+use crate::value::Value;
+
+/// An immutable tuple of constants.
+///
+/// The payload is a shared slice so that the witness sets built by the
+/// deletion algorithm (which may hold the same fact in dozens of witnesses)
+/// clone in O(1).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple(Arc<[Value]>);
+
+impl Tuple {
+    /// Build a tuple from a vector of values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple(values.into())
+    }
+
+    /// The arity of the tuple.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The values of the tuple.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// The value at position `i`, if in range.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.0.get(i)
+    }
+
+    /// A copy of this tuple with position `i` replaced by `v`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn with(&self, i: usize, v: Value) -> Tuple {
+        assert!(i < self.0.len(), "index {i} out of range for arity {}", self.0.len());
+        let mut vals: Vec<Value> = self.0.to_vec();
+        vals[i] = v;
+        Tuple::new(vals)
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Tuple::new(iter.into_iter().collect())
+    }
+}
+
+impl<const N: usize> From<[Value; N]> for Tuple {
+    fn from(values: [Value; N]) -> Self {
+        Tuple::new(values.into())
+    }
+}
+
+/// A fact `R(ā)`: a tuple together with the relation it belongs to.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fact {
+    /// The relation this fact belongs to.
+    pub rel: RelId,
+    /// The tuple of the fact.
+    pub tuple: Tuple,
+}
+
+impl Fact {
+    /// Build a fact.
+    pub fn new(rel: RelId, tuple: Tuple) -> Self {
+        Fact { rel, tuple }
+    }
+}
+
+impl fmt::Debug for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}{:?}", self.rel, self.tuple)
+    }
+}
+
+/// Convenience macro for building a [`Tuple`] from heterogeneous literals.
+///
+/// ```
+/// use qoco_data::tup;
+/// let t = tup!["ESP", "EU"];
+/// assert_eq!(t.arity(), 2);
+/// ```
+#[macro_export]
+macro_rules! tup {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(i: usize) -> RelId {
+        RelId::from_index(i)
+    }
+
+    #[test]
+    fn tuple_equality_is_structural() {
+        let a = tup!["GER", 1990];
+        let b = tup!["GER", 1990];
+        assert_eq!(a, b);
+        assert_ne!(a, tup!["GER", 1991]);
+    }
+
+    #[test]
+    fn tuple_accessors() {
+        let t = tup!["a", 1, "b"];
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get(1), Some(&Value::int(1)));
+        assert_eq!(t.get(3), None);
+        assert_eq!(t.values().len(), 3);
+    }
+
+    #[test]
+    fn with_replaces_a_single_position() {
+        let t = tup!["a", "b"];
+        let u = t.with(1, Value::text("c"));
+        assert_eq!(u, tup!["a", "c"]);
+        // original untouched
+        assert_eq!(t, tup!["a", "b"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn with_panics_out_of_range() {
+        let _ = tup!["a"].with(5, Value::int(0));
+    }
+
+    #[test]
+    fn facts_differ_by_relation() {
+        let t = tup!["x"];
+        assert_ne!(Fact::new(rel(0), t.clone()), Fact::new(rel(1), t));
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = tup!["ESP", 3];
+        assert_eq!(format!("{t}"), "(ESP, 3)");
+        assert_eq!(format!("{t:?}"), "(\"ESP\", 3)");
+    }
+
+    #[test]
+    fn from_iterator_and_array() {
+        let t: Tuple = vec![Value::int(1), Value::int(2)].into_iter().collect();
+        assert_eq!(t, Tuple::from([Value::int(1), Value::int(2)]));
+    }
+}

@@ -1,0 +1,244 @@
+//! The DBGroup database (~2000 tuples) of Section 7.1.
+//!
+//! A research-group records database: members and their roles, grants and
+//! the topics they cover, publications (one row per author), conference
+//! travel with its sponsor, and invited talks. The paper's four grant-report
+//! queries (keynotes/tutorials on ERC topics, current ERC-funded members,
+//! ERC-sponsored student travel, recent crowdsourcing papers) run over it.
+//!
+//! Time windows ("in the past 30 months") are materialized as a
+//! `period ∈ {recent, old}` attribute, since the view language has no
+//! arithmetic comparisons — the same modelling the paper's form-based
+//! report generator would do when preparing the view.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qoco_data::{Database, Schema, Tuple};
+
+/// Configuration for the DBGroup generator.
+#[derive(Debug, Clone, Copy)]
+pub struct DbGroupConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of group members.
+    pub members: usize,
+    /// Number of publications.
+    pub publications: usize,
+    /// Number of conference travels.
+    pub travels: usize,
+    /// Number of invited talks.
+    pub talks: usize,
+}
+
+impl Default for DbGroupConfig {
+    fn default() -> Self {
+        DbGroupConfig { seed: 42, members: 50, publications: 650, travels: 220, talks: 120 }
+    }
+}
+
+const ROLES: [&str; 4] = ["Faculty", "Postdoc", "PhD", "MSc"];
+const TOPICS: [&str; 8] = [
+    "crowdsourcing",
+    "data-cleaning",
+    "provenance",
+    "query-optimization",
+    "data-integration",
+    "streams",
+    "privacy",
+    "graph-data",
+];
+/// Topics covered by the ERC grant (MoDaS, per the acknowledgements).
+const ERC_TOPICS: [&str; 3] = ["crowdsourcing", "data-cleaning", "provenance"];
+const GRANTS: [&str; 3] = ["ERC", "ISF", "BSF"];
+const CONFS: [&str; 8] =
+    ["SIGMOD", "VLDB", "ICDE", "EDBT", "PODS", "ICDT", "WWW", "KDD"];
+const KINDS: [&str; 3] = ["Keynote", "Tutorial", "Regular"];
+const PERIODS: [&str; 2] = ["recent", "old"];
+
+/// The DBGroup schema.
+pub fn dbgroup_schema() -> Arc<Schema> {
+    Schema::builder()
+        .relation("Members", &["name", "role", "status"])
+        .relation("Funding", &["member", "grant"])
+        .relation("GrantTopics", &["grant", "topic"])
+        .relation("Publications", &["title", "author", "period", "topic"])
+        .relation("Travels", &["member", "conf", "period", "sponsor"])
+        .relation("Talks", &["member", "event", "period", "kind", "topic"])
+        .build()
+        .expect("static schema is valid")
+}
+
+/// Generate the ground-truth DBGroup database.
+pub fn generate_dbgroup(config: DbGroupConfig) -> Database {
+    let schema = dbgroup_schema();
+    let mut db = Database::empty(schema);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // grant topic coverage
+    for t in ERC_TOPICS {
+        db.insert_named("GrantTopics", Tuple::new(vec!["ERC".into(), t.into()])).unwrap();
+    }
+    for t in ["query-optimization", "privacy"] {
+        db.insert_named("GrantTopics", Tuple::new(vec!["ISF".into(), t.into()])).unwrap();
+    }
+    db.insert_named("GrantTopics", Tuple::new(vec!["BSF".into(), "graph-data".into()]))
+        .unwrap();
+
+    // members
+    let mut member_names = Vec::with_capacity(config.members);
+    for i in 0..config.members {
+        let name = format!("member-{i:02}");
+        let role = ROLES[rng.random_range(0..ROLES.len())];
+        let status = if rng.random_range(0..3) == 0 { "alumni" } else { "current" };
+        db.insert_named(
+            "Members",
+            Tuple::new(vec![name.as_str().into(), role.into(), status.into()]),
+        )
+        .unwrap();
+        // funding: each member holds 1–2 grants
+        let g1 = GRANTS[rng.random_range(0..GRANTS.len())];
+        db.insert_named("Funding", Tuple::new(vec![name.as_str().into(), g1.into()]))
+            .unwrap();
+        if rng.random::<bool>() {
+            let g2 = GRANTS[rng.random_range(0..GRANTS.len())];
+            db.insert_named("Funding", Tuple::new(vec![name.as_str().into(), g2.into()]))
+                .unwrap();
+        }
+        member_names.push(name);
+    }
+
+    // publications: one row per (title, author); 1–3 authors each
+    for i in 0..config.publications {
+        let title = format!("paper-{i:03}");
+        let topic = TOPICS[rng.random_range(0..TOPICS.len())];
+        let period = PERIODS[rng.random_range(0..PERIODS.len())];
+        let nauthors = 1 + rng.random_range(0..3);
+        let mut chosen: Vec<&String> = Vec::new();
+        while chosen.len() < nauthors {
+            let m = &member_names[rng.random_range(0..member_names.len())];
+            if !chosen.contains(&m) {
+                chosen.push(m);
+            }
+        }
+        for author in chosen {
+            db.insert_named(
+                "Publications",
+                Tuple::new(vec![
+                    title.as_str().into(),
+                    author.as_str().into(),
+                    period.into(),
+                    topic.into(),
+                ]),
+            )
+            .unwrap();
+        }
+    }
+
+    // travels
+    for _ in 0..config.travels {
+        let m = &member_names[rng.random_range(0..member_names.len())];
+        let conf = CONFS[rng.random_range(0..CONFS.len())];
+        let period = PERIODS[rng.random_range(0..PERIODS.len())];
+        let sponsor = GRANTS[rng.random_range(0..GRANTS.len())];
+        db.insert_named(
+            "Travels",
+            Tuple::new(vec![m.as_str().into(), conf.into(), period.into(), sponsor.into()]),
+        )
+        .unwrap();
+    }
+
+    // talks
+    for _ in 0..config.talks {
+        let m = &member_names[rng.random_range(0..member_names.len())];
+        let event = CONFS[rng.random_range(0..CONFS.len())];
+        let period = PERIODS[rng.random_range(0..PERIODS.len())];
+        let kind = KINDS[rng.random_range(0..KINDS.len())];
+        let topic = TOPICS[rng.random_range(0..TOPICS.len())];
+        db.insert_named(
+            "Talks",
+            Tuple::new(vec![
+                m.as_str().into(),
+                event.into(),
+                period.into(),
+                kind.into(),
+                topic.into(),
+            ]),
+        )
+        .unwrap();
+    }
+
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoco_data::Value;
+
+    fn db() -> Database {
+        generate_dbgroup(DbGroupConfig::default())
+    }
+
+    #[test]
+    fn size_is_about_two_thousand_tuples() {
+        let n = db().len();
+        assert!((1200..=2800).contains(&n), "paper's DBGroup is ~2000 tuples; generated {n}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(db().sorted_facts(), db().sorted_facts());
+    }
+
+    #[test]
+    fn members_have_funding() {
+        let d = db();
+        let members = d.schema().rel_id("Members").unwrap();
+        let funding = d.schema().rel_id("Funding").unwrap();
+        let funded: std::collections::HashSet<Value> =
+            d.relation(funding).iter().map(|t| t.values()[0].clone()).collect();
+        for m in d.relation(members).iter() {
+            assert!(funded.contains(&m.values()[0]), "unfunded member {m}");
+        }
+    }
+
+    #[test]
+    fn erc_topics_are_declared() {
+        let d = db();
+        let gt = d.schema().rel_id("GrantTopics").unwrap();
+        let erc_rows = d
+            .relation(gt)
+            .iter()
+            .filter(|t| t.values()[0] == Value::text("ERC"))
+            .count();
+        assert_eq!(erc_rows, 3);
+    }
+
+    #[test]
+    fn publications_reference_members() {
+        let d = db();
+        let members = d.schema().rel_id("Members").unwrap();
+        let pubs = d.schema().rel_id("Publications").unwrap();
+        let names: std::collections::HashSet<Value> =
+            d.relation(members).iter().map(|t| t.values()[0].clone()).collect();
+        for p in d.relation(pubs).iter() {
+            assert!(names.contains(&p.values()[1]), "unknown author in {p}");
+        }
+    }
+
+    #[test]
+    fn periods_are_recent_or_old() {
+        let d = db();
+        for rel_name in ["Publications", "Travels", "Talks"] {
+            let rel = d.schema().rel_id(rel_name).unwrap();
+            let idx = d.schema().relation(rel).unwrap().attr_index("period").unwrap();
+            for t in d.relation(rel).iter() {
+                let p = t.values()[idx].as_text().unwrap();
+                assert!(p == "recent" || p == "old");
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # qoco-datasets — the evaluation datasets of the paper, synthesized
+//!
+//! The paper evaluates QOCO on two real databases: a World-Cup Soccer
+//! database (~5000 tuples scraped from sports sites, cleaned against FIFA
+//! official data to obtain the ground truth) and the authors' DBGroup
+//! database (~2000 tuples of group members, publications and activities).
+//! Neither is distributed, so this crate regenerates faithful synthetic
+//! equivalents (see DESIGN.md §5 for the substitution argument):
+//!
+//! * [`soccer`] — a deterministic World-Cup generator seeded with the real
+//!   final results 1930–2014 plus generated group/knockout games, squads,
+//!   goals and club affiliations (~5000 tuples);
+//! * [`dbgroup`] — a research-group database with members, publications,
+//!   talks, travels and grants (~2000 tuples);
+//! * [`noise`] — controlled noise: the cleanliness/skewness parameters of
+//!   Section 7.2, plus *query-aware planting* of exactly `k` wrong or
+//!   missing answers (what Figures 3d–3f vary);
+//! * [`queries`] — the five soccer trivia queries Q1–Q5 and the four
+//!   DBGroup report queries of Section 7.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dbgroup;
+pub mod noise;
+pub mod queries;
+pub mod soccer;
+
+pub use dbgroup::{generate_dbgroup, DbGroupConfig};
+pub use noise::{
+    inject_noise, plant_missing_answers, plant_mixed, plant_wrong_answers,
+    plant_wrong_answers_excluding, NoiseSpec,
+    PlantOutcome,
+};
+pub use queries::{dbgroup_queries, soccer_queries, soccer_query};
+pub use soccer::{generate_soccer, soccer_schema, SoccerConfig};

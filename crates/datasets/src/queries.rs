@@ -1,0 +1,184 @@
+//! The evaluation queries of Section 7.
+//!
+//! Soccer (inspired by World-Cup trivia quizzes, Section 7.2):
+//!
+//! * **Q1** European teams who lost at least two finals;
+//! * **Q2** teams from the same continent that played (lost) at least twice
+//!   against each other;
+//! * **Q3** non-Asian teams that reached the knockout phase and won at
+//!   least once;
+//! * **Q4** teams that lost two games with the same score;
+//! * **Q5** teams that won at least two games, one opponent South American.
+//!
+//! DBGroup (the grant-report queries of Section 7.1):
+//!
+//! * **DQ1** keynotes and tutorials on topics related to ERC;
+//! * **DQ2** current group members financed by ERC;
+//! * **DQ3** students whose recent conference travel was ERC-sponsored;
+//! * **DQ4** recent publications on crowdsourcing.
+
+use std::sync::Arc;
+
+use qoco_data::Schema;
+use qoco_query::{parse_query, ConjunctiveQuery};
+
+/// The five soccer queries over the given (soccer) schema.
+pub fn soccer_queries(schema: &Arc<Schema>) -> Vec<ConjunctiveQuery> {
+    let texts = [
+        (
+            "Q1",
+            r#"Q1(x) :- Games(d1, y, x, "Final", u1), Games(d2, z, x, "Final", u2), Teams(x, "EU"), d1 != d2."#,
+        ),
+        (
+            "Q2",
+            r#"Q2(x, y) :- Games(d1, x, y, s1, u1), Games(d2, x, y, s2, u2), Teams(x, c), Teams(y, c), d1 != d2."#,
+        ),
+        (
+            "Q3",
+            r#"Q3(x) :- Games(d, x, y, s, u), Teams(x, c), s != "Group", c != "AS"."#,
+        ),
+        (
+            "Q4",
+            r#"Q4(x) :- Games(d1, y, x, s1, u), Games(d2, z, x, s2, u), Teams(x, c), d1 != d2."#,
+        ),
+        (
+            "Q5",
+            r#"Q5(x) :- Games(d1, x, y, s1, u1), Games(d2, x, z, s2, u2), Teams(y, "SA"), d1 != d2."#,
+        ),
+    ];
+    texts
+        .into_iter()
+        .map(|(name, text)| {
+            parse_query(schema, text).unwrap_or_else(|e| panic!("{name} must parse: {e}"))
+        })
+        .collect()
+}
+
+/// One soccer query by 1-based index (`1..=5`).
+///
+/// # Panics
+/// Panics when `idx` is out of range.
+pub fn soccer_query(schema: &Arc<Schema>, idx: usize) -> ConjunctiveQuery {
+    assert!((1..=5).contains(&idx), "soccer queries are Q1..Q5");
+    soccer_queries(schema).remove(idx - 1)
+}
+
+/// The four DBGroup report queries over the given (dbgroup) schema.
+pub fn dbgroup_queries(schema: &Arc<Schema>) -> Vec<ConjunctiveQuery> {
+    let texts = [
+        (
+            "DQ1",
+            r#"DQ1(m, e) :- Talks(m, e, p, k, t), GrantTopics("ERC", t), k != "Regular"."#,
+        ),
+        (
+            "DQ2",
+            r#"DQ2(m) :- Members(m, r, "current"), Funding(m, "ERC")."#,
+        ),
+        (
+            "DQ3",
+            r#"DQ3(m, c) :- Members(m, r, s), Travels(m, c, "recent", "ERC"), r != "Faculty", r != "Postdoc"."#,
+        ),
+        (
+            "DQ4",
+            r#"DQ4(t) :- Publications(t, a, "recent", "crowdsourcing")."#,
+        ),
+    ];
+    texts
+        .into_iter()
+        .map(|(name, text)| {
+            parse_query(schema, text).unwrap_or_else(|e| panic!("{name} must parse: {e}"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbgroup::{generate_dbgroup, DbGroupConfig};
+    use crate::soccer::{generate_soccer, SoccerConfig};
+    use qoco_data::tup;
+    use qoco_engine::answer_set;
+
+    #[test]
+    fn soccer_queries_parse_and_have_answers() {
+        let mut db = generate_soccer(SoccerConfig::default());
+        let queries = soccer_queries(db.schema());
+        assert_eq!(queries.len(), 5);
+        for q in &queries {
+            let answers = answer_set(q, &mut db);
+            assert!(!answers.is_empty(), "{} has no answers on the ground truth", q.name());
+        }
+    }
+
+    #[test]
+    fn q1_losers_of_two_finals() {
+        let mut db = generate_soccer(SoccerConfig::default());
+        let q1 = soccer_query(db.schema(), 1);
+        let answers = answer_set(&q1, &mut db);
+        // GER lost the 1966, 1982, 1986, 2002 finals; NED lost 1974, 1978,
+        // 2010; ITA lost 1970, 1994; HUN lost 1938, 1954 — all European.
+        for team in ["GER", "NED", "ITA", "HUN"] {
+            assert!(answers.contains(&tup![team]), "{team} missing from Q1: {answers:?}");
+        }
+        // ARG lost three finals but is South American.
+        assert!(!answers.contains(&tup!["ARG"]));
+    }
+
+    #[test]
+    fn q3_excludes_asian_teams() {
+        let mut db = generate_soccer(SoccerConfig::default());
+        let q3 = soccer_query(db.schema(), 3);
+        let answers = answer_set(&q3, &mut db);
+        for t in &answers {
+            let country = t.values()[0].as_text().unwrap();
+            assert!(
+                !["JPN", "KOR", "KSA", "IRN", "CHN", "AUS"].contains(&country),
+                "Asian team {country} in Q3"
+            );
+        }
+        assert!(answers.contains(&tup!["GER"]));
+    }
+
+    #[test]
+    fn q2_same_continent_rematches() {
+        let mut db = generate_soccer(SoccerConfig::default());
+        let q2 = soccer_query(db.schema(), 2);
+        let answers = answer_set(&q2, &mut db);
+        // the planted rivalry: ESP beat POR in 2010 and 2014, both EU
+        assert!(answers.contains(&tup!["ESP", "POR"]), "{answers:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "Q1..Q5")]
+    fn out_of_range_index_panics() {
+        let db = generate_soccer(SoccerConfig::default());
+        let _ = soccer_query(db.schema(), 6);
+    }
+
+    #[test]
+    fn dbgroup_queries_parse_and_have_answers() {
+        let mut db = generate_dbgroup(DbGroupConfig::default());
+        let queries = dbgroup_queries(db.schema());
+        assert_eq!(queries.len(), 4);
+        for q in &queries {
+            let answers = answer_set(q, &mut db);
+            assert!(!answers.is_empty(), "{} has no answers on the ground truth", q.name());
+        }
+    }
+
+    #[test]
+    fn dq3_only_returns_students() {
+        let mut db = generate_dbgroup(DbGroupConfig::default());
+        let q = dbgroup_queries(db.schema()).remove(2);
+        let members = db.schema().rel_id("Members").unwrap();
+        let roles: std::collections::HashMap<qoco_data::Value, String> = db
+            .relation(members)
+            .iter()
+            .map(|t| (t.values()[0].clone(), t.values()[1].as_text().unwrap().to_string()))
+            .collect();
+        for t in answer_set(&q, &mut db) {
+            let role = &roles[&t.values()[0]];
+            assert!(role == "PhD" || role == "MSc", "non-student {role} in DQ3");
+        }
+    }
+}

@@ -1,0 +1,441 @@
+//! The synthetic World-Cup Soccer database (~5000 tuples).
+//!
+//! Real anchor data: the twenty World-Cup finals 1930–2014 (public record —
+//! the same facts the paper's Figure 1 samples). Around this skeleton the
+//! generator adds, deterministically from a seed: group and knockout games
+//! per tournament (with the bracket arranged so the real finalists indeed
+//! reach the final), a fixed set of rivalry rematches (so that "played at
+//! least twice against each other" queries have answers), squads of players
+//! per national team, goal records consistent with the game scores, and
+//! club affiliations.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qoco_data::{Database, Schema, Tuple, Value};
+
+/// `(date, winner, runner-up, score)` of every World-Cup final 1930–2014.
+/// Scores of the 1994 and 2006 finals follow the paper's Figure 1
+/// convention of recording the deciding (penalty) score.
+pub const WORLD_CUP_FINALS: [(&str, &str, &str, &str); 20] = [
+    ("30.07.1930", "URU", "ARG", "4:2"),
+    ("10.06.1934", "ITA", "TCH", "2:1"),
+    ("19.06.1938", "ITA", "HUN", "4:2"),
+    ("16.07.1950", "URU", "BRA", "2:1"),
+    ("04.07.1954", "GER", "HUN", "3:2"),
+    ("29.06.1958", "BRA", "SWE", "5:2"),
+    ("17.06.1962", "BRA", "TCH", "3:1"),
+    ("30.07.1966", "ENG", "GER", "4:2"),
+    ("21.06.1970", "BRA", "ITA", "4:1"),
+    ("07.07.1974", "GER", "NED", "2:1"),
+    ("25.06.1978", "ARG", "NED", "3:1"),
+    ("11.07.1982", "ITA", "GER", "3:1"),
+    ("29.06.1986", "ARG", "GER", "3:2"),
+    ("08.07.1990", "GER", "ARG", "1:0"),
+    ("17.07.1994", "BRA", "ITA", "3:2"),
+    ("12.07.1998", "FRA", "BRA", "3:0"),
+    ("30.06.2002", "BRA", "GER", "2:0"),
+    ("09.07.2006", "ITA", "FRA", "5:3"),
+    ("11.07.2010", "ESP", "NED", "1:0"),
+    ("13.07.2014", "GER", "ARG", "1:0"),
+];
+
+/// `(country, continent)` for every national team in the generator.
+pub const TEAMS: [(&str, &str); 48] = [
+    ("GER", "EU"), ("ITA", "EU"), ("FRA", "EU"), ("ESP", "EU"), ("NED", "EU"),
+    ("ENG", "EU"), ("POR", "EU"), ("SWE", "EU"), ("HUN", "EU"), ("TCH", "EU"),
+    ("POL", "EU"), ("BEL", "EU"), ("AUT", "EU"), ("SUI", "EU"), ("CRO", "EU"),
+    ("DEN", "EU"), ("RUS", "EU"), ("ROU", "EU"), ("BUL", "EU"), ("SCO", "EU"),
+    ("BRA", "SA"), ("ARG", "SA"), ("URU", "SA"), ("CHI", "SA"), ("COL", "SA"),
+    ("PER", "SA"), ("PAR", "SA"), ("ECU", "SA"),
+    ("MEX", "NA"), ("USA", "NA"), ("CRC", "NA"), ("HON", "NA"),
+    ("CMR", "AF"), ("NGA", "AF"), ("GHA", "AF"), ("SEN", "AF"), ("EGY", "AF"),
+    ("MAR", "AF"), ("ALG", "AF"), ("TUN", "AF"), ("RSA", "AF"), ("CIV", "AF"),
+    ("JPN", "AS"), ("KOR", "AS"), ("KSA", "AS"), ("IRN", "AS"), ("CHN", "AS"),
+    ("AUS", "AS"),
+];
+
+const FIRST_NAMES: [&str; 24] = [
+    "Luca", "Marco", "Diego", "Juan", "Carlos", "Pedro", "Miguel", "Hans",
+    "Karl", "Fritz", "Pierre", "Michel", "Johan", "Ruud", "Gary", "Bobby",
+    "Zoltan", "Pavel", "Sven", "Erik", "Kofi", "Samuel", "Hiro", "Jin",
+];
+
+const LAST_NAMES: [&str; 24] = [
+    "Rossi", "Bianchi", "Silva", "Santos", "Garcia", "Lopez", "Muller",
+    "Schmidt", "Weber", "Dupont", "Martin", "Vries", "Bakker", "Smith",
+    "Jones", "Nagy", "Novak", "Larsson", "Berg", "Mensah", "Osei", "Tanaka",
+    "Kim", "Fernandez",
+];
+
+const CLUBS: [&str; 16] = [
+    "Real Madrid", "Barcelona", "Bayern Munich", "Juventus", "AC Milan",
+    "Inter", "Ajax", "PSV", "Porto", "Benfica", "Liverpool", "Manchester United",
+    "Boca Juniors", "River Plate", "Santos FC", "Flamengo",
+];
+
+/// Rivalry rematches guaranteeing non-empty answers for the "played at
+/// least twice against each other / lost twice with the same score" style
+/// queries: `(date, winner, runner_up, stage, result)`.
+const RIVALRIES: [(&str, &str, &str, &str, &str); 6] = [
+    ("18.06.1990", "GER", "NED", "Round16", "2:1"),
+    ("22.06.1998", "FRA", "ITA", "Quarter", "1:0"),
+    ("02.07.2006", "ITA", "FRA", "Group", "2:0"),
+    ("27.06.2010", "ESP", "POR", "Round16", "1:0"),
+    ("05.07.2014", "ESP", "POR", "Group", "1:0"),
+    ("28.06.2002", "BRA", "ARG", "Quarter", "2:1"),
+];
+
+/// Configuration for the soccer generator.
+#[derive(Debug, Clone, Copy)]
+pub struct SoccerConfig {
+    /// RNG seed (full determinism per seed).
+    pub seed: u64,
+    /// Squad size per national team.
+    pub players_per_team: usize,
+    /// Group games generated per tournament.
+    pub group_games_per_cup: usize,
+}
+
+impl Default for SoccerConfig {
+    fn default() -> Self {
+        SoccerConfig { seed: 2015, players_per_team: 23, group_games_per_cup: 12 }
+    }
+}
+
+/// The soccer schema (Figure 1 plus Clubs).
+pub fn soccer_schema() -> Arc<Schema> {
+    Schema::builder()
+        .relation("Games", &["date", "winner", "runner_up", "stage", "result"])
+        .relation("Teams", &["country", "continent"])
+        .relation("Players", &["name", "team", "birth_year", "birth_place"])
+        .relation("Goals", &["player", "date"])
+        .relation("Clubs", &["player", "club"])
+        .build()
+        .expect("static schema is valid")
+}
+
+/// Generate the ground-truth soccer database.
+pub fn generate_soccer(config: SoccerConfig) -> Database {
+    let schema = soccer_schema();
+    let mut db = Database::empty(schema);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Teams
+    for (country, continent) in TEAMS {
+        db.insert_named("Teams", Tuple::new(vec![country.into(), continent.into()]))
+            .expect("teams arity");
+    }
+
+    // Players: deterministic unique names per team
+    let mut squads: Vec<(String, Vec<String>)> = Vec::new();
+    let mut used_names: std::collections::HashSet<String> = Default::default();
+    for (country, _) in TEAMS {
+        let mut squad = Vec::new();
+        for _ in 0..config.players_per_team {
+            let name;
+            loop {
+                let f = FIRST_NAMES[rng.random_range(0..FIRST_NAMES.len())];
+                let l = LAST_NAMES[rng.random_range(0..LAST_NAMES.len())];
+                let candidate = format!("{f} {l}");
+                if used_names.insert(candidate.clone()) {
+                    name = candidate;
+                    break;
+                }
+                // on collision, qualify with a numeral suffix
+                let qualified = format!("{f} {l} {}", used_names.len());
+                if used_names.insert(qualified.clone()) {
+                    name = qualified;
+                    break;
+                }
+            }
+            let birth_year = 1950 + rng.random_range(0..45) as i64;
+            let birth_place = if rng.random_range(0..10) == 0 {
+                TEAMS[rng.random_range(0..TEAMS.len())].0
+            } else {
+                country
+            };
+            db.insert_named(
+                "Players",
+                Tuple::new(vec![
+                    name.as_str().into(),
+                    country.into(),
+                    Value::Int(birth_year),
+                    birth_place.into(),
+                ]),
+            )
+            .expect("players arity");
+            let club = CLUBS[rng.random_range(0..CLUBS.len())];
+            db.insert_named("Clubs", Tuple::new(vec![name.as_str().into(), club.into()]))
+                .expect("clubs arity");
+            squad.push(name);
+        }
+        squads.push((country.to_string(), squad));
+    }
+    let squad_of = |team: &str| -> &[String] {
+        squads
+            .iter()
+            .find(|(c, _)| c == team)
+            .map(|(_, s)| s.as_slice())
+            .expect("every game team has a squad")
+    };
+
+    // Games + Goals per tournament
+    let mut games: Vec<(String, String, String, String, String)> = Vec::new();
+    for (final_date, winner, runner_up, score) in WORLD_CUP_FINALS {
+        let year: u32 = final_date[6..].parse().expect("final dates end in a year");
+        games.push((
+            final_date.to_string(),
+            winner.to_string(),
+            runner_up.to_string(),
+            "Final".to_string(),
+            score.to_string(),
+        ));
+        // choose 16 participants: both finalists plus a deterministic
+        // rotation of the pool
+        let mut participants: Vec<&str> = vec![winner, runner_up];
+        let mut i = (year as usize) % TEAMS.len();
+        while participants.len() < 16 {
+            let cand = TEAMS[i].0;
+            if !participants.contains(&cand) {
+                participants.push(cand);
+            }
+            i = (i + 1) % TEAMS.len();
+        }
+        // bracket: finalists placed in opposite halves and always advancing
+        let mut day = 1u32;
+        let date = |day: &mut u32| {
+            let d = format!("{:02}.06.{}", *day, year);
+            *day += 1;
+            d
+        };
+        // round of 16: pairs (0,8), (1,9), … with finalists at 0 and 8
+        let mut quarter: Vec<&str> = Vec::new();
+        for g in 0..8 {
+            let (a, b) = (participants[g], participants[g + 8]);
+            let w = if a == winner || a == runner_up {
+                a
+            } else if b == winner || b == runner_up {
+                b
+            } else if rng.random::<bool>() {
+                a
+            } else {
+                b
+            };
+            let l = if w == a { b } else { a };
+            let (ws, ls) = random_score(&mut rng);
+            games.push((date(&mut day), w.to_string(), l.to_string(), "Round16".into(), format!("{ws}:{ls}")));
+            quarter.push(w);
+        }
+        // quarters: (0,1),(2,3),(4,5),(6,7) — finalists are at 0 and 4
+        let mut semi: Vec<&str> = Vec::new();
+        for g in 0..4 {
+            let (a, b) = (quarter[2 * g], quarter[2 * g + 1]);
+            let w = if a == winner || a == runner_up {
+                a
+            } else if b == winner || b == runner_up {
+                b
+            } else if rng.random::<bool>() {
+                a
+            } else {
+                b
+            };
+            let l = if w == a { b } else { a };
+            let (ws, ls) = random_score(&mut rng);
+            games.push((date(&mut day), w.to_string(), l.to_string(), "Quarter".into(), format!("{ws}:{ls}")));
+            semi.push(w);
+        }
+        // semis: (0,1) and (2,3) — finalists at 0 and 2 always advance
+        for g in 0..2 {
+            let (a, b) = (semi[2 * g], semi[2 * g + 1]);
+            let w = if a == winner || a == runner_up { a } else { b };
+            let l = if w == a { b } else { a };
+            let (ws, ls) = random_score(&mut rng);
+            games.push((date(&mut day), w.to_string(), l.to_string(), "Semi".into(), format!("{ws}:{ls}")));
+        }
+        // group games among the participants
+        for _ in 0..config.group_games_per_cup {
+            let a = participants[rng.random_range(0..participants.len())];
+            let b = participants[rng.random_range(0..participants.len())];
+            if a == b {
+                continue;
+            }
+            let (ws, ls) = random_score(&mut rng);
+            games.push((date(&mut day), a.to_string(), b.to_string(), "Group".into(), format!("{ws}:{ls}")));
+        }
+    }
+    for (d, w, r, s, u) in RIVALRIES {
+        games.push((d.into(), w.into(), r.into(), s.into(), u.into()));
+    }
+
+    for (d, w, r, s, u) in &games {
+        db.insert_named(
+            "Games",
+            Tuple::new(vec![
+                d.as_str().into(),
+                w.as_str().into(),
+                r.as_str().into(),
+                s.as_str().into(),
+                u.as_str().into(),
+            ]),
+        )
+        .expect("games arity");
+        // goals: one Goals fact per goal, attributed to squad members
+        let (ws, ls) = parse_score(u);
+        for (team, count) in [(w, ws), (r, ls)] {
+            let squad = squad_of(team);
+            for _ in 0..count {
+                let scorer = &squad[rng.random_range(0..squad.len())];
+                db.insert_named(
+                    "Goals",
+                    Tuple::new(vec![scorer.as_str().into(), d.as_str().into()]),
+                )
+                .expect("goals arity");
+            }
+        }
+    }
+
+    db
+}
+
+fn random_score(rng: &mut StdRng) -> (u32, u32) {
+    let winner = 1 + rng.random_range(0..4);
+    let loser = rng.random_range(0..winner);
+    (winner, loser)
+}
+
+fn parse_score(s: &str) -> (u32, u32) {
+    let (a, b) = s.split_once(':').expect("scores look like w:l");
+    (a.parse().expect("numeric score"), b.parse().expect("numeric score"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoco_data::tup;
+
+    fn db() -> Database {
+        generate_soccer(SoccerConfig::default())
+    }
+
+    #[test]
+    fn size_is_about_five_thousand_tuples() {
+        let d = db();
+        let n = d.len();
+        assert!(
+            (3500..=7000).contains(&n),
+            "paper's soccer DB is ~5000 tuples; generated {n}"
+        );
+    }
+
+    #[test]
+    fn real_finals_are_present() {
+        let d = db();
+        let games = d.schema().rel_id("Games").unwrap();
+        for (dt, w, r, s) in [
+            ("13.07.2014", "GER", "ARG", "1:0"),
+            ("11.07.2010", "ESP", "NED", "1:0"),
+            ("09.07.2006", "ITA", "FRA", "5:3"),
+        ] {
+            assert!(
+                d.contains(&qoco_data::Fact::new(games, tup![dt, w, r, "Final", s])),
+                "missing final {dt}"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_soccer(SoccerConfig::default());
+        let b = generate_soccer(SoccerConfig::default());
+        assert_eq!(a.sorted_facts(), b.sorted_facts());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_soccer(SoccerConfig::default());
+        let b = generate_soccer(SoccerConfig { seed: 7, ..Default::default() });
+        assert_ne!(a.sorted_facts(), b.sorted_facts());
+    }
+
+    #[test]
+    fn goals_match_game_scores() {
+        let d = db();
+        let games = d.schema().rel_id("Games").unwrap();
+        let goals = d.schema().rel_id("Goals").unwrap();
+        // total goals = sum of scores over all games
+        let total_score: u32 = d
+            .relation(games)
+            .iter()
+            .map(|t| {
+                let (a, b) = parse_score(t.values()[4].as_text().unwrap());
+                a + b
+            })
+            .sum();
+        // Goals is a set; the same player may score twice in a game and
+        // collapse into one fact, so Goals ≤ total and reasonably close.
+        let recorded = d.relation(goals).len() as u32;
+        assert!(recorded <= total_score);
+        assert!(recorded as f64 >= total_score as f64 * 0.5, "{recorded} vs {total_score}");
+    }
+
+    #[test]
+    fn every_game_team_exists() {
+        let d = db();
+        let games = d.schema().rel_id("Games").unwrap();
+        let teams = d.schema().rel_id("Teams").unwrap();
+        let team_names: std::collections::HashSet<Value> =
+            d.relation(teams).iter().map(|t| t.values()[0].clone()).collect();
+        for g in d.relation(games).iter() {
+            assert!(team_names.contains(&g.values()[1]), "unknown winner in {g}");
+            assert!(team_names.contains(&g.values()[2]), "unknown runner-up in {g}");
+        }
+    }
+
+    #[test]
+    fn every_scorer_is_a_player() {
+        let d = db();
+        let players = d.schema().rel_id("Players").unwrap();
+        let goals = d.schema().rel_id("Goals").unwrap();
+        let player_names: std::collections::HashSet<Value> =
+            d.relation(players).iter().map(|t| t.values()[0].clone()).collect();
+        for g in d.relation(goals).iter() {
+            assert!(player_names.contains(&g.values()[0]), "unknown scorer {g}");
+        }
+    }
+
+    #[test]
+    fn stages_are_well_formed() {
+        let d = db();
+        let games = d.schema().rel_id("Games").unwrap();
+        let stages: std::collections::HashSet<&str> =
+            ["Final", "Semi", "Quarter", "Round16", "Group"].into();
+        for g in d.relation(games).iter() {
+            assert!(stages.contains(g.values()[3].as_text().unwrap()));
+        }
+        // exactly 20 finals
+        let finals = d
+            .relation(games)
+            .iter()
+            .filter(|t| t.values()[3].as_text() == Some("Final"))
+            .count();
+        assert_eq!(finals, 20);
+    }
+
+    #[test]
+    fn rivalry_rematches_exist() {
+        let d = db();
+        let games = d.schema().rel_id("Games").unwrap();
+        // ESP beat POR twice (2010 + 2014)
+        let esp_por = d
+            .relation(games)
+            .iter()
+            .filter(|t| {
+                t.values()[1] == Value::text("ESP") && t.values()[2] == Value::text("POR")
+            })
+            .count();
+        assert!(esp_por >= 2);
+    }
+}

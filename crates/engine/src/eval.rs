@@ -1,0 +1,522 @@
+//! Query evaluation: enumerate the valid assignments `A(Q, D)`.
+//!
+//! The engine runs a backtracking *generic join*: atoms are ordered greedily
+//! (most-bound-variables first, ties broken by smaller relation), candidate
+//! tuples are fetched through the per-column hash indexes of
+//! [`qoco_data::Relation`], and inequalities are checked as soon as both
+//! sides are ground. Enumeration is exhaustive because the deletion
+//! algorithm needs *every* witness of a wrong answer, not just one.
+//!
+//! Candidate lists are sorted, so evaluation order — and everything
+//! downstream: witness order, crowd-question order, figures — is
+//! deterministic.
+
+use std::collections::HashMap;
+
+use qoco_data::{Database, Tuple, Value};
+use qoco_query::{ConjunctiveQuery, Term};
+
+use crate::assignment::Assignment;
+
+/// Options controlling evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalOptions {
+    /// Stop after this many valid assignments (safety valve for pathological
+    /// joins; `usize::MAX` = unlimited).
+    pub max_assignments: usize,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions { max_assignments: usize::MAX }
+    }
+}
+
+/// The result of evaluating a query.
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    /// All valid assignments, in deterministic order.
+    pub assignments: Vec<Assignment>,
+    /// True if enumeration stopped at `max_assignments`.
+    pub truncated: bool,
+}
+
+impl EvalResult {
+    /// The distinct answers `Q(D) = ∪ α(head(Q))`, sorted.
+    pub fn answers(&self, q: &ConjunctiveQuery) -> Vec<Tuple> {
+        let mut out: Vec<Tuple> = self
+            .assignments
+            .iter()
+            .map(|a| a.ground_head(q).expect("valid assignments are total"))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+struct Search<'a> {
+    q: &'a ConjunctiveQuery,
+    db: &'a mut Database,
+    order: Vec<usize>,
+    opts: EvalOptions,
+    early_exit: bool,
+    out: Vec<Assignment>,
+    truncated: bool,
+}
+
+impl<'a> Search<'a> {
+    /// Greedy atom order: at each step pick the atom maximizing the number
+    /// of bound terms (constants + already-bound variables), breaking ties
+    /// by smaller relation cardinality, then by index for determinism.
+    fn plan(q: &ConjunctiveQuery, db: &Database, seed: &Assignment) -> Vec<usize> {
+        let n = q.atoms().len();
+        let mut bound_vars: std::collections::BTreeSet<qoco_query::Var> =
+            seed.iter().map(|(v, _)| v.clone()).collect();
+        let mut remaining: Vec<usize> = (0..n).collect();
+        let mut order = Vec::with_capacity(n);
+        while !remaining.is_empty() {
+            let best = remaining
+                .iter()
+                .copied()
+                .min_by_key(|&i| {
+                    let a = &q.atoms()[i];
+                    let bound = a
+                        .terms
+                        .iter()
+                        .filter(|t| match t {
+                            Term::Const(_) => true,
+                            Term::Var(v) => bound_vars.contains(v),
+                        })
+                        .count();
+                    let size = db.relation(a.rel).len();
+                    // minimize (-bound, size, i)
+                    (usize::MAX - bound, size, i)
+                })
+                .expect("remaining is non-empty");
+            order.push(best);
+            for v in q.atoms()[best].vars() {
+                bound_vars.insert(v);
+            }
+            remaining.retain(|&i| i != best);
+        }
+        order
+    }
+
+    fn run(&mut self, seed: Assignment) {
+        self.descend(0, seed);
+    }
+
+    fn descend(&mut self, depth: usize, current: Assignment) {
+        if self.truncated || (self.early_exit && !self.out.is_empty()) {
+            return;
+        }
+        if depth == self.order.len() {
+            // all atoms matched; all inequalities must be ground and true
+            let ok = self
+                .q
+                .inequalities()
+                .iter()
+                .all(|e| current.check_inequality(e) == Some(true));
+            if ok {
+                if self.out.len() >= self.opts.max_assignments {
+                    self.truncated = true;
+                } else {
+                    self.out.push(current);
+                }
+            }
+            return;
+        }
+        let atom = &self.q.atoms()[self.order[depth]];
+        // choose the probe column: prefer a bound column with an index
+        let mut probe_col: Option<(usize, Value)> = None;
+        for (col, term) in atom.terms.iter().enumerate() {
+            if let Some(v) = current.ground_term(term) {
+                probe_col = Some((col, v));
+                break;
+            }
+        }
+        let mut candidates: Vec<Tuple> = match &probe_col {
+            Some((col, v)) => self.db.relation_mut(atom.rel).probe(*col, v).to_vec(),
+            None => self.db.relation(atom.rel).iter().cloned().collect(),
+        };
+        candidates.sort();
+        'cand: for tuple in candidates {
+            if self.truncated || (self.early_exit && !self.out.is_empty()) {
+                return;
+            }
+            let mut next = current.clone();
+            for (term, value) in atom.terms.iter().zip(tuple.values()) {
+                match term {
+                    Term::Const(c) => {
+                        if c != value {
+                            continue 'cand;
+                        }
+                    }
+                    Term::Var(v) => {
+                        if !next.bind(v.clone(), value.clone()) {
+                            continue 'cand;
+                        }
+                    }
+                }
+            }
+            // prune on any inequality already violated
+            for e in self.q.inequalities() {
+                if next.check_inequality(e) == Some(false) {
+                    continue 'cand;
+                }
+            }
+            self.descend(depth + 1, next);
+        }
+    }
+}
+
+/// Enumerate all valid assignments of `q` over `db` extending `seed`
+/// (pass [`Assignment::new`] for `A(Q, D)` itself).
+pub fn all_assignments(
+    q: &ConjunctiveQuery,
+    db: &mut Database,
+    seed: &Assignment,
+    opts: EvalOptions,
+) -> EvalResult {
+    let order = Search::plan(q, db, seed);
+    let mut s = Search { q, db, order, opts, early_exit: false, out: Vec::new(), truncated: false };
+    s.run(seed.clone());
+    let mut assignments = s.out;
+    assignments.sort();
+    assignments.dedup();
+    EvalResult { assignments, truncated: s.truncated }
+}
+
+/// Evaluate `q` over `db`: all valid assignments, default options.
+pub fn evaluate(q: &ConjunctiveQuery, db: &mut Database) -> EvalResult {
+    all_assignments(q, db, &Assignment::new(), EvalOptions::default())
+}
+
+/// The answer set `Q(D)`, sorted and deduplicated.
+pub fn answer_set(q: &ConjunctiveQuery, db: &mut Database) -> Vec<Tuple> {
+    evaluate(q, db).answers(q)
+}
+
+/// `A(t, Q, D)`: the valid assignments yielding answer `t`. Empty if `t` is
+/// not an answer (including arity mismatches).
+pub fn assignments_for_answer(
+    q: &ConjunctiveQuery,
+    db: &mut Database,
+    t: &Tuple,
+) -> Vec<Assignment> {
+    let Some(seed) = Assignment::from_answer(q, t) else {
+        return Vec::new();
+    };
+    all_assignments(q, db, &seed, EvalOptions::default()).assignments
+}
+
+/// Is the partial assignment `seed` *satisfiable* w.r.t. `q` and `db`
+/// (extends to a valid total assignment, paper Section 2)? Short-circuits
+/// on the first witness.
+pub fn is_satisfiable(q: &ConjunctiveQuery, db: &mut Database, seed: &Assignment) -> bool {
+    let order = Search::plan(q, db, seed);
+    let mut s = Search {
+        q,
+        db,
+        order,
+        opts: EvalOptions::default(),
+        early_exit: true,
+        out: Vec::new(),
+        truncated: false,
+    };
+    s.run(seed.clone());
+    !s.out.is_empty()
+}
+
+/// Render the evaluation plan for `q` over `db`: the greedy atom order and,
+/// per step, which terms are bound when the step runs. Useful for
+/// understanding why the engine probes in a particular order.
+pub fn explain(q: &ConjunctiveQuery, db: &Database) -> String {
+    let order = Search::plan(q, db, &Assignment::new());
+    let mut bound: std::collections::BTreeSet<qoco_query::Var> = Default::default();
+    let mut out = String::new();
+    out.push_str(&format!("plan for {} ({} atoms):\n", q.name(), q.atoms().len()));
+    for (step, &idx) in order.iter().enumerate() {
+        let atom = &q.atoms()[idx];
+        let rel_name = db.schema().rel_name(atom.rel);
+        let bound_terms: Vec<String> = atom
+            .terms
+            .iter()
+            .enumerate()
+            .filter_map(|(col, term)| match term {
+                Term::Const(c) => Some(format!("col{col}={c}")),
+                Term::Var(v) if bound.contains(v) => Some(format!("col{col}=?{v}")),
+                Term::Var(_) => None,
+            })
+            .collect();
+        let access = if bound_terms.is_empty() {
+            format!("scan ({} tuples)", db.relation(atom.rel).len())
+        } else {
+            format!("probe [{}]", bound_terms.join(", "))
+        };
+        out.push_str(&format!("  {}. {} — {}\n", step + 1, rel_name, access));
+        for v in atom.vars() {
+            bound.insert(v);
+        }
+    }
+    if !q.inequalities().is_empty() {
+        out.push_str(&format!("  filter: {} inequalit(ies)\n", q.inequalities().len()));
+    }
+    out
+}
+
+/// Group all valid assignments by the answer they produce.
+pub fn assignments_by_answer(
+    q: &ConjunctiveQuery,
+    db: &mut Database,
+) -> HashMap<Tuple, Vec<Assignment>> {
+    let res = evaluate(q, db);
+    let mut map: HashMap<Tuple, Vec<Assignment>> = HashMap::new();
+    for a in res.assignments {
+        let head = a.ground_head(q).expect("valid assignments are total");
+        map.entry(head).or_default().push(a);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoco_data::{tup, Schema};
+    use qoco_query::parse_query;
+    use std::sync::Arc;
+
+    /// Build the Figure 1 World Cup database (the dirty instance `D`).
+    fn world_cup() -> (Arc<Schema>, Database) {
+        let schema = Schema::builder()
+            .relation("Games", &["date", "winner", "runner_up", "stage", "result"])
+            .relation("Teams", &["country", "continent"])
+            .relation("Players", &["name", "team", "birth_year", "birth_place"])
+            .relation("Goals", &["name", "date"])
+            .build()
+            .unwrap();
+        let mut db = Database::empty(schema.clone());
+        let games = [
+            ("13.07.14", "GER", "ARG", "Final", "1:0"),
+            ("11.07.10", "ESP", "NED", "Final", "1:0"),
+            ("09.07.06", "ITA", "FRA", "Final", "5:3"),
+            ("30.06.02", "BRA", "GER", "Final", "2:0"),
+            ("12.07.98", "ESP", "NED", "Final", "4:2"),
+            ("17.07.94", "ESP", "NED", "Final", "3:1"),
+            ("08.07.90", "GER", "ARG", "Final", "1:0"),
+            ("11.07.82", "ITA", "GER", "Final", "4:1"),
+            ("25.06.78", "ESP", "NED", "Final", "1:0"),
+        ];
+        for (d, w, r, s, u) in games {
+            db.insert_named("Games", tup![d, w, r, s, u]).unwrap();
+        }
+        // Figure 1 Teams: BRA marked EU and NED marked SA are the planted
+        // errors; ITA is missing.
+        for (c, k) in [("GER", "EU"), ("ESP", "EU"), ("BRA", "EU"), ("NED", "SA")] {
+            db.insert_named("Teams", tup![c, k]).unwrap();
+        }
+        for (n, t, y, p) in [
+            ("Mario Götze", "GER", 1992, "GER"),
+            ("Andrea Pirlo", "ITA", 1979, "ITA"),
+            ("Francesco Totti", "ITA", 1976, "ITA"),
+        ] {
+            db.insert_named("Players", tup![n, t, y, p]).unwrap();
+        }
+        for (n, d) in [
+            ("Mario Götze", "13.07.14"),
+            ("Andrea Pirlo", "09.06.06"),
+            ("Francesco Totti", "09.06.06"),
+        ] {
+            db.insert_named("Goals", tup![n, d]).unwrap();
+        }
+        (schema, db)
+    }
+
+    fn q1(s: &Arc<Schema>) -> ConjunctiveQuery {
+        parse_query(
+            s,
+            r#"Q1(x) :- Games(d1, x, y, "Final", u1), Games(d2, x, z, "Final", u2), Teams(x, "EU"), d1 != d2."#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn q1_on_figure_1_returns_ger_and_esp() {
+        let (s, mut db) = world_cup();
+        let q = q1(&s);
+        let answers = answer_set(&q, &mut db);
+        assert_eq!(answers, vec![tup!["ESP"], tup!["GER"]]);
+    }
+
+    #[test]
+    fn ger_has_two_assignments_as_in_example_2_2() {
+        let (s, mut db) = world_cup();
+        let q = q1(&s);
+        let a = assignments_for_answer(&q, &mut db, &tup!["GER"]);
+        // α1 and α2: the two orderings of 13.07.14 / 08.07.90.
+        assert_eq!(a.len(), 2);
+        for asg in &a {
+            assert_eq!(asg.get(&qoco_query::Var::new("x")), Some(&qoco_data::Value::text("GER")));
+        }
+    }
+
+    #[test]
+    fn esp_has_many_assignments() {
+        let (s, mut db) = world_cup();
+        let q = q1(&s);
+        // ESP won 4 finals in D → ordered pairs of distinct dates: 4·3 = 12.
+        let a = assignments_for_answer(&q, &mut db, &tup!["ESP"]);
+        assert_eq!(a.len(), 12);
+    }
+
+    #[test]
+    fn inequality_excludes_single_win_teams() {
+        let (s, mut db) = world_cup();
+        let q = q1(&s);
+        // BRA is (wrongly) in Teams as EU but won only once → the d1 != d2
+        // inequality must exclude it.
+        let answers = answer_set(&q, &mut db);
+        assert!(!answers.contains(&tup!["BRA"]));
+    }
+
+    #[test]
+    fn non_satisfiable_partial_assignment_example_2_2() {
+        let (s, mut db) = world_cup();
+        let q = q1(&s);
+        // β = {x ↦ ITA, y ↦ FRA} is non-satisfiable w.r.t. D (ITA missing
+        // from Teams).
+        let beta = Assignment::from_pairs([
+            (qoco_query::Var::new("x"), qoco_data::Value::text("ITA")),
+            (qoco_query::Var::new("y"), qoco_data::Value::text("FRA")),
+        ]);
+        assert!(!is_satisfiable(&q, &mut db, &beta));
+        // but {x ↦ GER} is satisfiable
+        let ger = Assignment::from_pairs([(qoco_query::Var::new("x"), qoco_data::Value::text("GER"))]);
+        assert!(is_satisfiable(&q, &mut db, &ger));
+    }
+
+    #[test]
+    fn constants_filter_candidates() {
+        let (s, mut db) = world_cup();
+        let q = parse_query(&s, r#"(x) :- Games(d, x, y, "Semi", u)"#).unwrap();
+        assert!(answer_set(&q, &mut db).is_empty());
+    }
+
+    #[test]
+    fn repeated_variable_in_atom_enforces_equality() {
+        let s = Schema::builder().relation("E", &["a", "b"]).build().unwrap();
+        let mut db = Database::empty(s.clone());
+        db.insert_named("E", tup!["x", "x"]).unwrap();
+        db.insert_named("E", tup!["x", "y"]).unwrap();
+        let q = parse_query(&s, "(v) :- E(v, v)").unwrap();
+        assert_eq!(answer_set(&q, &mut db), vec![tup!["x"]]);
+    }
+
+    #[test]
+    fn cross_product_when_no_shared_vars() {
+        let s = Schema::builder()
+            .relation("A", &["a"])
+            .relation("B", &["b"])
+            .build()
+            .unwrap();
+        let mut db = Database::empty(s.clone());
+        for v in ["1", "2"] {
+            db.insert_named("A", tup![v]).unwrap();
+            db.insert_named("B", tup![v]).unwrap();
+        }
+        let q = parse_query(&s, "(x, y) :- A(x), B(y)").unwrap();
+        assert_eq!(answer_set(&q, &mut db).len(), 4);
+    }
+
+    #[test]
+    fn empty_relation_gives_empty_result() {
+        let s = Schema::builder().relation("A", &["a"]).build().unwrap();
+        let mut db = Database::empty(s.clone());
+        let q = parse_query(&s, "(x) :- A(x)").unwrap();
+        assert!(answer_set(&q, &mut db).is_empty());
+        assert!(!is_satisfiable(&q, &mut db, &Assignment::new()));
+    }
+
+    #[test]
+    fn max_assignments_truncates() {
+        let s = Schema::builder()
+            .relation("A", &["a"])
+            .relation("B", &["b"])
+            .build()
+            .unwrap();
+        let mut db = Database::empty(s.clone());
+        for i in 0..10i64 {
+            db.insert_named("A", tup![i]).unwrap();
+            db.insert_named("B", tup![i]).unwrap();
+        }
+        let q = parse_query(&s, "(x, y) :- A(x), B(y)").unwrap();
+        let res = all_assignments(&q, &mut db, &Assignment::new(), EvalOptions { max_assignments: 5 });
+        assert!(res.truncated);
+        assert_eq!(res.assignments.len(), 5);
+        let full = evaluate(&q, &mut db);
+        assert!(!full.truncated);
+        assert_eq!(full.assignments.len(), 100);
+    }
+
+    #[test]
+    fn inequality_with_constant() {
+        let s = Schema::builder().relation("T", &["c", "k"]).build().unwrap();
+        let mut db = Database::empty(s.clone());
+        db.insert_named("T", tup!["GER", "EU"]).unwrap();
+        db.insert_named("T", tup!["BRA", "SA"]).unwrap();
+        let q = parse_query(&s, r#"(x) :- T(x, k), k != "EU""#).unwrap();
+        assert_eq!(answer_set(&q, &mut db), vec![tup!["BRA"]]);
+    }
+
+    #[test]
+    fn assignments_by_answer_groups() {
+        let (s, mut db) = world_cup();
+        let q = q1(&s);
+        let map = assignments_by_answer(&q, &mut db);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map[&tup!["GER"]].len(), 2);
+        assert_eq!(map[&tup!["ESP"]].len(), 12);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let (s, mut db) = world_cup();
+        let q = q1(&s);
+        let r1 = evaluate(&q, &mut db).assignments;
+        let r2 = evaluate(&q, &mut db).assignments;
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn explain_orders_selective_atoms_first() {
+        let (s, db) = world_cup();
+        let q = q1(&s);
+        let plan = explain(&q, &db);
+        // Teams (48 rows max, one constant) or a Games atom with the Final
+        // constant goes first; every later step shows a probe
+        assert!(plan.contains("plan for Q1"), "{plan}");
+        assert!(plan.contains("probe ["), "{plan}");
+        assert!(plan.contains("filter: 1 inequalit"), "{plan}");
+        // the first step has a constant binding
+        let first_line = plan.lines().nth(1).unwrap();
+        assert!(first_line.contains("col"), "{first_line}");
+    }
+
+    #[test]
+    fn explain_reports_scans_for_unconstrained_atoms() {
+        let s = Schema::builder().relation("A", &["a"]).build().unwrap();
+        let mut db = Database::empty(s.clone());
+        db.insert_named("A", tup!["x"]).unwrap();
+        let q = parse_query(&s, "(v) :- A(v)").unwrap();
+        let plan = explain(&q, &db);
+        assert!(plan.contains("scan (1 tuples)"), "{plan}");
+    }
+
+    #[test]
+    fn seed_conflicting_with_head_constant_yields_nothing() {
+        let (s, mut db) = world_cup();
+        let q = q1(&s);
+        assert!(assignments_for_answer(&q, &mut db, &tup!["GER", "extra"]).is_empty());
+    }
+}

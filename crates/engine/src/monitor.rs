@@ -1,0 +1,307 @@
+//! View monitoring with incremental deltas.
+//!
+//! The paper's deployment story (Section 1): "after the data is cleaned
+//! with traditional techniques, QOCO can be activated to *monitor the
+//! views* that are served to users/applications. Whenever an error is
+//! reported in a view, QOCO can take over." A [`ViewMonitor`] keeps the
+//! materialized answers of one query and updates them per edit without full
+//! re-evaluation:
+//!
+//! * an **insertion** can only create answers whose witness uses the new
+//!   fact, so the monitor evaluates the query seeded by unifying each
+//!   matching body atom with the new fact (semi-naïve delta);
+//! * a **deletion** can only remove answers, so the monitor re-checks the
+//!   satisfiability of each cached answer (fast per-answer probes);
+//! * edits on relations the query never mentions are free.
+
+use std::collections::BTreeSet;
+
+use qoco_data::{Database, Edit, EditKind, Fact, Tuple};
+use qoco_query::{Atom, ConjunctiveQuery, Term};
+
+use crate::assignment::Assignment;
+use crate::eval::{all_assignments, answer_set, is_satisfiable, EvalOptions};
+
+/// Answers that appeared and disappeared after an edit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ViewDelta {
+    /// Answers newly present.
+    pub added: Vec<Tuple>,
+    /// Answers no longer present.
+    pub removed: Vec<Tuple>,
+}
+
+impl ViewDelta {
+    /// True if the view did not change.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// A monitored materialized view.
+#[derive(Debug, Clone)]
+pub struct ViewMonitor {
+    query: ConjunctiveQuery,
+    answers: BTreeSet<Tuple>,
+}
+
+impl ViewMonitor {
+    /// Materialize `q` over `db`.
+    pub fn new(query: ConjunctiveQuery, db: &mut Database) -> Self {
+        let answers = answer_set(&query, db).into_iter().collect();
+        ViewMonitor { query, answers }
+    }
+
+    /// The monitored query.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.query
+    }
+
+    /// The current materialized answers, sorted.
+    pub fn answers(&self) -> Vec<Tuple> {
+        self.answers.iter().cloned().collect()
+    }
+
+    /// Does the query mention the relation of this fact?
+    pub fn is_relevant(&self, fact: &Fact) -> bool {
+        self.query.atoms().iter().any(|a| a.rel == fact.rel)
+    }
+
+    /// Update the materialization after `edit` was applied to `db`
+    /// (`db` must already reflect the edit). Returns the delta.
+    pub fn apply_edit(&mut self, db: &mut Database, edit: &Edit) -> ViewDelta {
+        if !self.is_relevant(&edit.fact) {
+            return ViewDelta::default();
+        }
+        match edit.kind {
+            EditKind::Insert => self.delta_insert(db, &edit.fact),
+            EditKind::Delete => self.delta_delete(db),
+        }
+    }
+
+    /// Full re-materialization (used as a fallback and by tests as the
+    /// correctness oracle).
+    pub fn refresh(&mut self, db: &mut Database) -> ViewDelta {
+        let fresh: BTreeSet<Tuple> = answer_set(&self.query, db).into_iter().collect();
+        let added = fresh.difference(&self.answers).cloned().collect();
+        let removed = self.answers.difference(&fresh).cloned().collect();
+        self.answers = fresh;
+        ViewDelta { added, removed }
+    }
+
+    fn delta_insert(&mut self, db: &mut Database, fact: &Fact) -> ViewDelta {
+        let mut added = Vec::new();
+        for atom in self.query.atoms().to_vec() {
+            if atom.rel != fact.rel {
+                continue;
+            }
+            let Some(seed) = unify(&atom, fact) else { continue };
+            let result = all_assignments(&self.query, db, &seed, EvalOptions::default());
+            for a in result.assignments {
+                let head = a.ground_head(&self.query).expect("valid assignments are total");
+                if self.answers.insert(head.clone()) {
+                    added.push(head);
+                }
+            }
+        }
+        added.sort();
+        added.dedup();
+        ViewDelta { added, removed: Vec::new() }
+    }
+
+    fn delta_delete(&mut self, db: &mut Database) -> ViewDelta {
+        let mut removed = Vec::new();
+        for t in self.answers.iter().cloned().collect::<Vec<_>>() {
+            let Some(seed) = Assignment::from_answer(&self.query, &t) else {
+                // cannot happen for cached answers, but degrade gracefully
+                continue;
+            };
+            if !is_satisfiable(&self.query, db, &seed) {
+                self.answers.remove(&t);
+                removed.push(t);
+            }
+        }
+        removed.sort();
+        ViewDelta { added: Vec::new(), removed }
+    }
+}
+
+/// Unify an atom with a fact: constants must match, variables bind
+/// consistently. Returns the induced partial assignment.
+fn unify(atom: &Atom, fact: &Fact) -> Option<Assignment> {
+    let mut seed = Assignment::new();
+    for (term, value) in atom.terms.iter().zip(fact.tuple.values()) {
+        match term {
+            Term::Const(c) => {
+                if c != value {
+                    return None;
+                }
+            }
+            Term::Var(v) => {
+                if !seed.bind(v.clone(), value.clone()) {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoco_data::{tup, Schema, Value};
+    use qoco_query::parse_query;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Schema>, Database, ConjunctiveQuery) {
+        let schema = Schema::builder()
+            .relation("Games", &["date", "winner", "runner_up", "stage", "result"])
+            .relation("Teams", &["country", "continent"])
+            .relation("Clubs", &["player", "club"])
+            .build()
+            .unwrap();
+        let mut db = Database::empty(schema.clone());
+        db.insert_named("Games", tup!["13.07.14", "GER", "ARG", "Final", "1:0"]).unwrap();
+        db.insert_named("Games", tup!["08.07.90", "GER", "ARG", "Final", "1:0"]).unwrap();
+        db.insert_named("Teams", tup!["GER", "EU"]).unwrap();
+        let q = parse_query(
+            &schema,
+            r#"Q1(x) :- Games(d1, x, y, "Final", u1), Games(d2, x, z, "Final", u2), Teams(x, "EU"), d1 != d2."#,
+        )
+        .unwrap();
+        (schema, db, q)
+    }
+
+    #[test]
+    fn initial_materialization() {
+        let (_, mut db, q) = setup();
+        let m = ViewMonitor::new(q, &mut db);
+        assert_eq!(m.answers(), vec![tup!["GER"]]);
+    }
+
+    #[test]
+    fn irrelevant_edits_are_free() {
+        let (schema, mut db, q) = setup();
+        let clubs = schema.rel_id("Clubs").unwrap();
+        let mut m = ViewMonitor::new(q, &mut db);
+        let e = Edit::insert(Fact::new(clubs, tup!["X", "Bayern"]));
+        db.apply(&e).unwrap();
+        let delta = m.apply_edit(&mut db, &e);
+        assert!(delta.is_empty());
+        assert!(!m.is_relevant(&e.fact));
+    }
+
+    #[test]
+    fn insertion_delta_detects_new_answer() {
+        let (schema, mut db, q) = setup();
+        let mut m = ViewMonitor::new(q, &mut db);
+        // ESP needs two finals and a Teams row; add them one by one
+        let games = schema.rel_id("Games").unwrap();
+        let teams = schema.rel_id("Teams").unwrap();
+        let edits = [
+            Edit::insert(Fact::new(games, tup!["11.07.10", "ESP", "NED", "Final", "1:0"])),
+            Edit::insert(Fact::new(games, tup!["12.07.98", "ESP", "NED", "Final", "4:2"])),
+            Edit::insert(Fact::new(teams, tup!["ESP", "EU"])),
+        ];
+        let mut last = ViewDelta::default();
+        for e in &edits {
+            db.apply(e).unwrap();
+            last = m.apply_edit(&mut db, e);
+        }
+        assert_eq!(last.added, vec![tup!["ESP"]]);
+        assert_eq!(m.answers(), vec![tup!["ESP"], tup!["GER"]]);
+    }
+
+    #[test]
+    fn deletion_delta_detects_removed_answer() {
+        let (schema, mut db, q) = setup();
+        let games = schema.rel_id("Games").unwrap();
+        let mut m = ViewMonitor::new(q, &mut db);
+        let e = Edit::delete(Fact::new(games, tup!["08.07.90", "GER", "ARG", "Final", "1:0"]));
+        db.apply(&e).unwrap();
+        let delta = m.apply_edit(&mut db, &e);
+        assert_eq!(delta.removed, vec![tup!["GER"]]);
+        assert!(m.answers().is_empty());
+    }
+
+    #[test]
+    fn surviving_answers_stay_on_deletion() {
+        let (schema, mut db, q) = setup();
+        let games = schema.rel_id("Games").unwrap();
+        // a third GER final: deleting one still leaves two
+        let extra = Fact::new(games, tup!["30.06.02", "GER", "BRA", "Final", "2:0"]);
+        db.insert(extra.clone()).unwrap();
+        let mut m = ViewMonitor::new(q, &mut db);
+        let e = Edit::delete(extra);
+        db.apply(&e).unwrap();
+        let delta = m.apply_edit(&mut db, &e);
+        assert!(delta.is_empty());
+        assert_eq!(m.answers(), vec![tup!["GER"]]);
+    }
+
+    #[test]
+    fn incremental_matches_full_recompute_on_random_edit_sequences() {
+        let (schema, db0, q) = setup();
+        let games = schema.rel_id("Games").unwrap();
+        let teams = schema.rel_id("Teams").unwrap();
+        // a deterministic pseudo-random edit stream
+        let mut state = 0xDEADBEEFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let countries = ["GER", "ESP", "ITA", "BRA"];
+        let dates = ["01.01.01", "02.02.02", "03.03.03", "04.04.04"];
+        let mut db = db0.clone();
+        let mut m = ViewMonitor::new(q.clone(), &mut db);
+        for step in 0..200 {
+            let c = countries[(next() % 4) as usize];
+            let e = if next() % 3 == 0 {
+                let fact = Fact::new(teams, tup![c, "EU"]);
+                if next() % 2 == 0 { Edit::insert(fact) } else { Edit::delete(fact) }
+            } else {
+                let d = dates[(next() % 4) as usize];
+                let fact = Fact::new(games, tup![d, c, "ARG", "Final", "1:0"]);
+                if next() % 2 == 0 { Edit::insert(fact) } else { Edit::delete(fact) }
+            };
+            db.apply(&e).unwrap();
+            m.apply_edit(&mut db, &e);
+            let expected: Vec<Tuple> = answer_set(&q, &mut db);
+            assert_eq!(m.answers(), expected, "divergence at step {step} after {e:?}");
+        }
+    }
+
+    #[test]
+    fn unify_respects_constants_and_repeated_vars() {
+        let (schema, _, q) = setup();
+        let games_atom = &q.atoms()[0];
+        let games = schema.rel_id("Games").unwrap();
+        // stage constant "Final" must match
+        let non_final = Fact::new(games, tup!["d", "X", "Y", "Group", "1:0"]);
+        assert!(unify(games_atom, &non_final).is_none());
+        let final_game = Fact::new(games, tup!["d", "X", "Y", "Final", "1:0"]);
+        let seed = unify(games_atom, &final_game).unwrap();
+        assert_eq!(seed.get(&qoco_query::Var::new("x")), Some(&Value::text("X")));
+        // repeated variables: E(v, v) unifies only with equal columns
+        let s2 = Schema::builder().relation("E", &["a", "b"]).build().unwrap();
+        let q2 = parse_query(&s2, "(v) :- E(v, v)").unwrap();
+        let e_rel = s2.rel_id("E").unwrap();
+        assert!(unify(&q2.atoms()[0], &Fact::new(e_rel, tup!["p", "q"])).is_none());
+        assert!(unify(&q2.atoms()[0], &Fact::new(e_rel, tup!["p", "p"])).is_some());
+    }
+
+    #[test]
+    fn refresh_resynchronizes() {
+        let (schema, mut db, q) = setup();
+        let teams = schema.rel_id("Teams").unwrap();
+        let mut m = ViewMonitor::new(q, &mut db);
+        // mutate behind the monitor's back
+        db.remove(&Fact::new(teams, tup!["GER", "EU"])).unwrap();
+        let delta = m.refresh(&mut db);
+        assert_eq!(delta.removed, vec![tup!["GER"]]);
+        assert!(m.answers().is_empty());
+    }
+}

@@ -1,0 +1,125 @@
+//! Witnesses (paper Section 2).
+//!
+//! For a valid assignment `α` of `Q` w.r.t. `D`, the *witness* is the set of
+//! facts `α(body(Q))`. The witnesses of an answer `t ∈ Q(D)` are the
+//! witnesses of the assignments in `A(t, Q, D)`; they are the universe the
+//! deletion algorithm's hitting-set reasoning runs over (Section 4).
+
+use std::collections::BTreeSet;
+
+use qoco_data::{Database, Fact, Tuple};
+use qoco_query::ConjunctiveQuery;
+
+use crate::assignment::Assignment;
+use crate::eval::assignments_for_answer;
+
+/// A witness: the set of facts supporting one valid assignment.
+///
+/// `BTreeSet` keeps fact order deterministic for crowd-question selection.
+pub type Witness = BTreeSet<Fact>;
+
+/// The witness of a (total, valid) assignment: all facts in `α(body(Q))`.
+///
+/// Returns `None` if `α` leaves some atom variable unbound.
+pub fn witness_of(q: &ConjunctiveQuery, alpha: &Assignment) -> Option<Witness> {
+    let mut w = Witness::new();
+    for atom in q.atoms() {
+        w.insert(alpha.ground_atom(atom)?);
+    }
+    Some(w)
+}
+
+/// All witnesses for answer `t` of `q` w.r.t. `db`, deduplicated (distinct
+/// assignments may ground to the same fact set — e.g. the two date-orderings
+/// of Example 2.2 give different assignments but the same witness only when
+/// the body is symmetric; we keep set semantics as the hitting-set structure
+/// requires).
+pub fn witnesses_for_answer(
+    q: &ConjunctiveQuery,
+    db: &mut Database,
+    t: &Tuple,
+) -> Vec<Witness> {
+    let mut out: Vec<Witness> = assignments_for_answer(q, db, t)
+        .iter()
+        .map(|a| witness_of(q, a).expect("valid assignments are total"))
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoco_data::{tup, Schema, Value};
+    use qoco_query::{parse_query, Var};
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Schema>, Database, ConjunctiveQuery) {
+        let schema = Schema::builder()
+            .relation("Games", &["date", "winner", "runner_up", "stage", "result"])
+            .relation("Teams", &["country", "continent"])
+            .build()
+            .unwrap();
+        let mut db = Database::empty(schema.clone());
+        for (d, w, r, s, u) in [
+            ("11.07.10", "ESP", "NED", "Final", "1:0"),
+            ("12.07.98", "ESP", "NED", "Final", "4:2"),
+            ("17.07.94", "ESP", "NED", "Final", "3:1"),
+            ("25.06.78", "ESP", "NED", "Final", "1:0"),
+        ] {
+            db.insert_named("Games", tup![d, w, r, s, u]).unwrap();
+        }
+        db.insert_named("Teams", tup!["ESP", "EU"]).unwrap();
+        let q = parse_query(
+            &schema,
+            r#"Q1(x) :- Games(d1, x, y, "Final", u1), Games(d2, x, z, "Final", u2), Teams(x, "EU"), d1 != d2."#,
+        )
+        .unwrap();
+        (schema, db, q)
+    }
+
+    #[test]
+    fn example_4_6_esp_has_six_witnesses() {
+        // ESP won 4 finals in D; unordered pairs of distinct dates = C(4,2)
+        // = 6 witnesses (the paper's w1…w6), each of 3 facts.
+        let (_, mut db, q) = setup();
+        let ws = witnesses_for_answer(&q, &mut db, &tup!["ESP"]);
+        assert_eq!(ws.len(), 6);
+        for w in &ws {
+            assert_eq!(w.len(), 3, "each witness has two Games facts plus Teams(ESP,EU)");
+        }
+    }
+
+    #[test]
+    fn teams_fact_occurs_in_every_witness() {
+        let (schema, mut db, q) = setup();
+        let teams = schema.rel_id("Teams").unwrap();
+        let t3 = Fact::new(teams, tup!["ESP", "EU"]);
+        let ws = witnesses_for_answer(&q, &mut db, &tup!["ESP"]);
+        assert!(ws.iter().all(|w| w.contains(&t3)));
+    }
+
+    #[test]
+    fn witness_of_partial_assignment_is_none() {
+        let (_, _, q) = setup();
+        let partial = Assignment::from_pairs([(Var::new("x"), Value::text("ESP"))]);
+        assert!(witness_of(&q, &partial).is_none());
+    }
+
+    #[test]
+    fn witness_of_total_assignment_collects_ground_atoms() {
+        let (schema, mut db, q) = setup();
+        let asgs = assignments_for_answer(&q, &mut db, &tup!["ESP"]);
+        let w = witness_of(&q, &asgs[0]).unwrap();
+        assert_eq!(w.len(), 3);
+        let games = schema.rel_id("Games").unwrap();
+        assert_eq!(w.iter().filter(|f| f.rel == games).count(), 2);
+    }
+
+    #[test]
+    fn no_witnesses_for_non_answer() {
+        let (_, mut db, q) = setup();
+        assert!(witnesses_for_answer(&q, &mut db, &tup!["ITA"]).is_empty());
+    }
+}

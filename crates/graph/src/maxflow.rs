@@ -1,0 +1,258 @@
+//! Edmonds–Karp maximum flow and minimum s-t cut.
+//!
+//! The paper cites Edmonds & Karp \[20\] for the Min-Cut split. We implement
+//! the classical BFS-augmenting-path algorithm over an adjacency-list
+//! residual network with integer capacities; it runs in `O(V · E²)`, far
+//! more than enough for query graphs with a handful of atoms, and is also
+//! exercised by the test suite on larger random networks.
+
+use std::collections::VecDeque;
+
+/// A directed flow network with integer capacities.
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    n: usize,
+    /// Edge list: `(to, capacity)`. Edge `i^1` is the residual twin of `i`.
+    to: Vec<usize>,
+    cap: Vec<i64>,
+    /// adjacency: node → indexes into `to`/`cap`.
+    adj: Vec<Vec<usize>>,
+}
+
+impl FlowNetwork {
+    /// A network with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork { n, to: Vec::new(), cap: Vec::new(), adj: vec![Vec::new(); n] }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Add a directed edge `u → v` with capacity `c ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics if `u`/`v` are out of range or `c < 0`.
+    pub fn add_edge(&mut self, u: usize, v: usize, c: i64) {
+        assert!(u < self.n && v < self.n, "edge endpoints out of range");
+        assert!(c >= 0, "capacity must be non-negative");
+        self.adj[u].push(self.to.len());
+        self.to.push(v);
+        self.cap.push(c);
+        self.adj[v].push(self.to.len());
+        self.to.push(u);
+        self.cap.push(0);
+    }
+
+    /// Add an undirected edge with capacity `c` in both directions.
+    pub fn add_undirected_edge(&mut self, u: usize, v: usize, c: i64) {
+        assert!(u < self.n && v < self.n, "edge endpoints out of range");
+        assert!(c >= 0, "capacity must be non-negative");
+        self.adj[u].push(self.to.len());
+        self.to.push(v);
+        self.cap.push(c);
+        self.adj[v].push(self.to.len());
+        self.to.push(u);
+        self.cap.push(c);
+    }
+
+    /// BFS over positive-residual edges; returns parent-edge indexes or
+    /// `None` if `t` unreachable.
+    fn bfs(&self, s: usize, t: usize) -> Option<Vec<usize>> {
+        let mut parent_edge = vec![usize::MAX; self.n];
+        let mut seen = vec![false; self.n];
+        seen[s] = true;
+        let mut q = VecDeque::from([s]);
+        while let Some(u) = q.pop_front() {
+            for &e in &self.adj[u] {
+                let v = self.to[e];
+                if !seen[v] && self.cap[e] > 0 {
+                    seen[v] = true;
+                    parent_edge[v] = e;
+                    if v == t {
+                        return Some(parent_edge);
+                    }
+                    q.push_back(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Nodes reachable from `s` in the residual network (the source side of
+    /// the min cut after `run`).
+    fn residual_reachable(&self, s: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.n];
+        seen[s] = true;
+        let mut q = VecDeque::from([s]);
+        while let Some(u) = q.pop_front() {
+            for &e in &self.adj[u] {
+                let v = self.to[e];
+                if !seen[v] && self.cap[e] > 0 {
+                    seen[v] = true;
+                    q.push_back(v);
+                }
+            }
+        }
+        seen
+    }
+
+    fn run(&mut self, s: usize, t: usize) -> i64 {
+        assert!(s < self.n && t < self.n, "terminals out of range");
+        assert_ne!(s, t, "source and sink must differ");
+        let mut flow = 0i64;
+        while let Some(parent_edge) = self.bfs(s, t) {
+            // bottleneck along the path
+            let mut bottleneck = i64::MAX;
+            let mut v = t;
+            while v != s {
+                let e = parent_edge[v];
+                bottleneck = bottleneck.min(self.cap[e]);
+                v = self.to[e ^ 1];
+            }
+            // apply
+            let mut v = t;
+            while v != s {
+                let e = parent_edge[v];
+                self.cap[e] -= bottleneck;
+                self.cap[e ^ 1] += bottleneck;
+                v = self.to[e ^ 1];
+            }
+            flow += bottleneck;
+        }
+        flow
+    }
+}
+
+/// Maximum flow from `s` to `t` (consumes a copy of the network's
+/// capacities; the input is unchanged).
+pub fn max_flow(net: &FlowNetwork, s: usize, t: usize) -> i64 {
+    net.clone().run(s, t)
+}
+
+/// Minimum s-t cut: returns `(cut_value, side_mask)` where `side_mask[v]`
+/// is `true` iff `v` is on the source side.
+pub fn min_st_cut(net: &FlowNetwork, s: usize, t: usize) -> (i64, Vec<bool>) {
+    let mut residual = net.clone();
+    let value = residual.run(s, t);
+    (value, residual.residual_reachable(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic CLRS example network.
+    fn clrs() -> FlowNetwork {
+        let mut g = FlowNetwork::new(6);
+        g.add_edge(0, 1, 16);
+        g.add_edge(0, 2, 13);
+        g.add_edge(1, 2, 10);
+        g.add_edge(2, 1, 4);
+        g.add_edge(1, 3, 12);
+        g.add_edge(3, 2, 9);
+        g.add_edge(2, 4, 14);
+        g.add_edge(4, 3, 7);
+        g.add_edge(3, 5, 20);
+        g.add_edge(4, 5, 4);
+        g
+    }
+
+    #[test]
+    fn clrs_max_flow_is_23() {
+        assert_eq!(max_flow(&clrs(), 0, 5), 23);
+    }
+
+    #[test]
+    fn min_cut_value_equals_max_flow() {
+        let g = clrs();
+        let (value, mask) = min_st_cut(&g, 0, 5);
+        assert_eq!(value, 23);
+        assert!(mask[0]);
+        assert!(!mask[5]);
+        // cut capacity across the mask equals the flow value
+        let mut cut = 0i64;
+        for u in 0..g.n {
+            for &e in &g.adj[u] {
+                // only count forward (even-index) edges
+                if e % 2 == 0 && mask[u] && !mask[g.to[e]] {
+                    cut += g.cap[e];
+                }
+            }
+        }
+        assert_eq!(cut, 23);
+    }
+
+    #[test]
+    fn disconnected_terminals_have_zero_flow() {
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, 5);
+        g.add_edge(2, 3, 5);
+        assert_eq!(max_flow(&g, 0, 3), 0);
+        let (v, mask) = min_st_cut(&g, 0, 3);
+        assert_eq!(v, 0);
+        assert!(mask[0] && mask[1]);
+        assert!(!mask[2] && !mask[3]);
+    }
+
+    #[test]
+    fn single_edge() {
+        let mut g = FlowNetwork::new(2);
+        g.add_edge(0, 1, 7);
+        assert_eq!(max_flow(&g, 0, 1), 7);
+    }
+
+    #[test]
+    fn parallel_paths_add_up() {
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, 3);
+        g.add_edge(1, 3, 3);
+        g.add_edge(0, 2, 4);
+        g.add_edge(2, 3, 4);
+        assert_eq!(max_flow(&g, 0, 3), 7);
+    }
+
+    #[test]
+    fn bottleneck_limits_flow() {
+        let mut g = FlowNetwork::new(3);
+        g.add_edge(0, 1, 100);
+        g.add_edge(1, 2, 1);
+        assert_eq!(max_flow(&g, 0, 2), 1);
+    }
+
+    #[test]
+    fn undirected_edges_carry_flow_both_ways() {
+        let mut g = FlowNetwork::new(3);
+        g.add_undirected_edge(0, 1, 5);
+        g.add_undirected_edge(1, 2, 5);
+        assert_eq!(max_flow(&g, 0, 2), 5);
+        assert_eq!(max_flow(&g, 2, 0), 5);
+    }
+
+    #[test]
+    fn zigzag_residual_path_is_used() {
+        // Flow must route back over a used edge via the residual.
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, 1);
+        g.add_edge(0, 2, 1);
+        g.add_edge(1, 3, 1);
+        g.add_edge(2, 1, 1);
+        g.add_edge(1, 2, 0);
+        g.add_edge(2, 3, 1);
+        assert_eq!(max_flow(&g, 0, 3), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edge_panics() {
+        FlowNetwork::new(2).add_edge(0, 5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn same_terminals_panic() {
+        let g = FlowNetwork::new(2);
+        let _ = max_flow(&g, 1, 1);
+    }
+}

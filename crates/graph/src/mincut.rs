@@ -1,0 +1,299 @@
+//! Stoer–Wagner global minimum cut.
+//!
+//! The query-directed split (paper Section 5.2) partitions the query graph
+//! into two halves minimizing the weight of cut edges — a *global* min-cut,
+//! i.e. over all non-trivial bipartitions, with no distinguished terminals.
+//! Stoer–Wagner computes it in `O(V³)` with simple arrays, which is ideal at
+//! query-graph scale and robust at test scale.
+
+/// An undirected weighted graph on `n` vertices (adjacency matrix).
+#[derive(Debug, Clone)]
+pub struct WeightedGraph {
+    n: usize,
+    w: Vec<Vec<u64>>,
+}
+
+impl WeightedGraph {
+    /// An edgeless graph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        WeightedGraph { n, w: vec![vec![0; n]; n] }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Add `weight` to the undirected edge `{u, v}` (accumulates on
+    /// repeated calls).
+    ///
+    /// # Panics
+    /// Panics if `u == v` or either endpoint is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize, weight: u64) {
+        assert!(u < self.n && v < self.n, "edge endpoints out of range");
+        assert_ne!(u, v, "self-loops are not allowed");
+        self.w[u][v] += weight;
+        self.w[v][u] += weight;
+    }
+
+    /// The weight of edge `{u, v}` (0 if absent).
+    pub fn weight(&self, u: usize, v: usize) -> u64 {
+        self.w[u][v]
+    }
+}
+
+/// The result of a global min-cut.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CutResult {
+    /// Total weight of edges crossing the cut.
+    pub weight: u64,
+    /// `side[v]` is `true` iff vertex `v` is in the first part. Both parts
+    /// are non-empty.
+    pub side: Vec<bool>,
+}
+
+/// Compute a global minimum cut of `g` with the Stoer–Wagner algorithm.
+///
+/// Returns `None` for graphs with fewer than two vertices (no non-trivial
+/// bipartition exists). Disconnected graphs yield weight 0 with one
+/// component on each side.
+pub fn global_min_cut(g: &WeightedGraph) -> Option<CutResult> {
+    let n = g.n;
+    if n < 2 {
+        return None;
+    }
+    // `groups[v]` = original vertices merged into the current super-vertex v.
+    let mut groups: Vec<Vec<usize>> = (0..n).map(|v| vec![v]).collect();
+    let mut w = g.w.clone();
+    let mut active: Vec<usize> = (0..n).collect();
+
+    let mut best: Option<(u64, Vec<usize>)> = None;
+
+    while active.len() > 1 {
+        // Minimum-cut-phase: maximum-adjacency ordering.
+        let mut in_a = vec![false; n];
+        let mut weights_to_a = vec![0u64; n];
+        let first = active[0];
+        in_a[first] = true;
+        for &v in &active {
+            if v != first {
+                weights_to_a[v] = w[first][v];
+            }
+        }
+        let mut prev = first;
+        let mut last = first;
+        for _ in 1..active.len() {
+            // pick the most tightly connected remaining vertex
+            let next = active
+                .iter()
+                .copied()
+                .filter(|&v| !in_a[v])
+                .max_by_key(|&v| weights_to_a[v])
+                .expect("at least one inactive vertex remains");
+            in_a[next] = true;
+            prev = last;
+            last = next;
+            for &v in &active {
+                if !in_a[v] {
+                    weights_to_a[v] += w[next][v];
+                }
+            }
+        }
+        // cut-of-the-phase: `last` alone vs the rest
+        let phase_weight = weights_to_a[last];
+        let candidate = groups[last].clone();
+        match &best {
+            Some((bw, _)) if *bw <= phase_weight => {}
+            _ => best = Some((phase_weight, candidate)),
+        }
+        // merge `last` into `prev`
+        for &v in &active {
+            if v != last && v != prev {
+                w[prev][v] += w[last][v];
+                w[v][prev] = w[prev][v];
+            }
+        }
+        let moved = std::mem::take(&mut groups[last]);
+        groups[prev].extend(moved);
+        active.retain(|&v| v != last);
+    }
+
+    let (weight, part) = best.expect("graph has ≥ 2 vertices, at least one phase ran");
+    let mut side = vec![false; n];
+    for v in part {
+        side[v] = true;
+    }
+    Some(CutResult { weight, side })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The example graph from the Stoer–Wagner paper (8 vertices,
+    /// min cut weight 4).
+    fn stoer_wagner_paper_graph() -> WeightedGraph {
+        let mut g = WeightedGraph::new(8);
+        let edges = [
+            (0, 1, 2),
+            (0, 4, 3),
+            (1, 2, 3),
+            (1, 4, 2),
+            (1, 5, 2),
+            (2, 3, 4),
+            (2, 6, 2),
+            (3, 6, 2),
+            (3, 7, 2),
+            (4, 5, 3),
+            (5, 6, 1),
+            (6, 7, 3),
+        ];
+        for (u, v, w) in edges {
+            g.add_edge(u, v, w);
+        }
+        g
+    }
+
+    fn check_cut(g: &WeightedGraph, cut: &CutResult) {
+        // weight reported matches edges crossing the side mask
+        let mut total = 0;
+        for u in 0..g.vertex_count() {
+            for v in (u + 1)..g.vertex_count() {
+                if cut.side[u] != cut.side[v] {
+                    total += g.weight(u, v);
+                }
+            }
+        }
+        assert_eq!(total, cut.weight, "reported weight must match the mask");
+        assert!(cut.side.iter().any(|&s| s));
+        assert!(cut.side.iter().any(|&s| !s));
+    }
+
+    #[test]
+    fn paper_graph_min_cut_is_4() {
+        let g = stoer_wagner_paper_graph();
+        let cut = global_min_cut(&g).unwrap();
+        assert_eq!(cut.weight, 4);
+        check_cut(&g, &cut);
+    }
+
+    #[test]
+    fn two_vertices() {
+        let mut g = WeightedGraph::new(2);
+        g.add_edge(0, 1, 5);
+        let cut = global_min_cut(&g).unwrap();
+        assert_eq!(cut.weight, 5);
+        check_cut(&g, &cut);
+    }
+
+    #[test]
+    fn single_vertex_has_no_cut() {
+        assert!(global_min_cut(&WeightedGraph::new(1)).is_none());
+        assert!(global_min_cut(&WeightedGraph::new(0)).is_none());
+    }
+
+    #[test]
+    fn disconnected_graph_cuts_for_free() {
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(0, 1, 10);
+        g.add_edge(2, 3, 10);
+        let cut = global_min_cut(&g).unwrap();
+        assert_eq!(cut.weight, 0);
+        check_cut(&g, &cut);
+    }
+
+    #[test]
+    fn path_graph_cuts_lightest_edge() {
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(0, 1, 5);
+        g.add_edge(1, 2, 1);
+        g.add_edge(2, 3, 5);
+        let cut = global_min_cut(&g).unwrap();
+        assert_eq!(cut.weight, 1);
+        check_cut(&g, &cut);
+        // the cut separates {0,1} from {2,3}
+        assert_eq!(cut.side[0], cut.side[1]);
+        assert_eq!(cut.side[2], cut.side[3]);
+        assert_ne!(cut.side[0], cut.side[2]);
+    }
+
+    #[test]
+    fn star_graph_isolates_a_leaf() {
+        let mut g = WeightedGraph::new(5);
+        for v in 1..5 {
+            g.add_edge(0, v, 2);
+        }
+        let cut = global_min_cut(&g).unwrap();
+        assert_eq!(cut.weight, 2);
+        check_cut(&g, &cut);
+    }
+
+    #[test]
+    fn complete_graph_min_cut_isolates_one_vertex() {
+        let n = 6;
+        let mut g = WeightedGraph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                g.add_edge(u, v, 1);
+            }
+        }
+        let cut = global_min_cut(&g).unwrap();
+        assert_eq!(cut.weight, (n - 1) as u64);
+        check_cut(&g, &cut);
+    }
+
+    #[test]
+    fn parallel_edges_accumulate() {
+        let mut g = WeightedGraph::new(2);
+        g.add_edge(0, 1, 3);
+        g.add_edge(0, 1, 4);
+        assert_eq!(g.weight(0, 1), 7);
+        assert_eq!(global_min_cut(&g).unwrap().weight, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        WeightedGraph::new(2).add_edge(1, 1, 1);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_graphs() {
+        // deterministic LCG so the test is reproducible without rand
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..30 {
+            let n = 3 + (trial % 5);
+            let mut g = WeightedGraph::new(n);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    let w = next() % 6;
+                    if w > 0 {
+                        g.add_edge(u, v, w);
+                    }
+                }
+            }
+            let cut = global_min_cut(&g).unwrap();
+            // brute force all bipartitions
+            let mut best = u64::MAX;
+            for mask in 1..(1u32 << n) - 1 {
+                let mut total = 0;
+                for u in 0..n {
+                    for v in (u + 1)..n {
+                        if ((mask >> u) & 1) != ((mask >> v) & 1) {
+                            total += g.weight(u, v);
+                        }
+                    }
+                }
+                best = best.min(total);
+            }
+            assert_eq!(cut.weight, best, "trial {trial}, n={n}");
+            check_cut(&g, &cut);
+        }
+    }
+}

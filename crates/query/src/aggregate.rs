@@ -1,0 +1,180 @@
+//! The count-threshold aggregate fragment.
+//!
+//! The paper's first future-work item (Section 9) is views with aggregates,
+//! noting that "aggregates introduce significant complications". One
+//! well-behaved fragment needs no new machinery at all: `COUNT(distinct
+//! witness) ≥ k` conditions desugar into conjunctive queries with
+//! inequalities — the paper's own Q1 ("won the World Cup *at least twice*")
+//! is exactly the `k = 2` unfolding, two copies of the winning-game atom
+//! with `d1 ≠ d2`. [`unfold_at_least`] performs that desugaring for any
+//! body and threshold, so threshold views can be authored declaratively and
+//! cleaned with the unchanged Algorithms 1–3.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{Atom, ConjunctiveQuery, Inequality, QueryError, Term, Var};
+
+/// Desugar "`head` such that at least `k` *distinct* witnesses of `body`
+/// exist, where distinctness is measured on `distinct_var`":
+/// the body is cloned `k` times with non-head variables renamed per copy,
+/// and the copies of `distinct_var` are made pairwise unequal.
+///
+/// `unfold_at_least(Q, d, 2)` on `Q(x) :- Games(d, x, y, "Final", u)`
+/// yields the paper's Q1 (up to variable names):
+/// `(x) :- Games(d_1, x, …), Games(d_2, x, …), d_1 ≠ d_2`.
+///
+/// # Errors
+/// * [`QueryError::UnboundInequalityVar`] if `distinct_var` does not occur
+///   in the body;
+/// * [`QueryError::EmptyBody`] if `k == 0` (an "at least zero" view is the
+///   constant-true query, which the CQ language cannot express).
+pub fn unfold_at_least(
+    q: &ConjunctiveQuery,
+    distinct_var: &Var,
+    k: usize,
+) -> Result<ConjunctiveQuery, QueryError> {
+    if k == 0 {
+        return Err(QueryError::EmptyBody);
+    }
+    if !q.vars().contains(distinct_var) {
+        return Err(QueryError::UnboundInequalityVar(distinct_var.name().to_string()));
+    }
+    let head_vars: std::collections::BTreeSet<Var> = q.head_vars().into_iter().collect();
+    if head_vars.contains(distinct_var) {
+        // a head variable is fixed per answer; k ≥ 2 distinct copies could
+        // never agree with the head
+        return Err(QueryError::UnsafeHeadVar(distinct_var.name().to_string()));
+    }
+
+    let mut atoms = Vec::with_capacity(q.atoms().len() * k);
+    let mut inequalities = Vec::new();
+    let mut distinct_copies: Vec<Var> = Vec::with_capacity(k);
+
+    for copy in 1..=k {
+        // rename every non-head variable of this copy
+        let mut rename: BTreeMap<Var, Var> = BTreeMap::new();
+        for v in q.vars() {
+            if !head_vars.contains(&v) {
+                rename.insert(v.clone(), Var::new(format!("{}_{copy}", v.name())));
+            }
+        }
+        let map_term = |t: &Term| -> Term {
+            match t {
+                Term::Const(_) => t.clone(),
+                Term::Var(v) => Term::Var(rename.get(v).cloned().unwrap_or_else(|| v.clone())),
+            }
+        };
+        for a in q.atoms() {
+            atoms.push(Atom::new(a.rel, a.terms.iter().map(map_term).collect()));
+        }
+        for e in q.inequalities() {
+            let lhs = match rename.get(&e.lhs) {
+                Some(r) => r.clone(),
+                None => e.lhs.clone(),
+            };
+            inequalities.push(Inequality::new(lhs, map_term(&e.rhs)));
+        }
+        distinct_copies
+            .push(rename.get(distinct_var).cloned().unwrap_or_else(|| distinct_var.clone()));
+    }
+    // pairwise distinctness across copies
+    for i in 0..k {
+        for j in (i + 1)..k {
+            inequalities.push(Inequality::new(
+                distinct_copies[i].clone(),
+                Term::Var(distinct_copies[j].clone()),
+            ));
+        }
+    }
+    ConjunctiveQuery::new(
+        q.schema().clone(),
+        format!("{}≥{k}", q.name()),
+        q.head().to_vec(),
+        atoms,
+        inequalities,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use qoco_data::Schema;
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Schema::builder()
+            .relation("Games", &["date", "winner", "runner_up", "stage", "result"])
+            .relation("Teams", &["country", "continent"])
+            .build()
+            .unwrap()
+    }
+
+    /// The single-witness template: teams with a final win.
+    fn template(s: &Arc<Schema>) -> ConjunctiveQuery {
+        parse_query(s, r#"W(x) :- Games(d, x, y, "Final", u), Teams(x, "EU")"#).unwrap()
+    }
+
+    #[test]
+    fn k2_unfolding_matches_the_papers_q1_shape() {
+        let s = schema();
+        let q = template(&s);
+        let q2 = unfold_at_least(&q, &Var::new("d"), 2).unwrap();
+        // 2 copies of 2 atoms, one pairwise inequality
+        assert_eq!(q2.atoms().len(), 4);
+        assert_eq!(q2.inequalities().len(), 1);
+        assert_eq!(q2.head(), q.head());
+        assert_eq!(q2.name(), "W≥2");
+        // the two Games copies share x (head var) but have distinct dates
+        let e = &q2.inequalities()[0];
+        assert_eq!(e.lhs.name(), "d_1");
+        assert_eq!(e.rhs, Term::var("d_2"));
+    }
+
+    #[test]
+    fn k3_has_three_pairwise_inequalities() {
+        let s = schema();
+        let q = template(&s);
+        let q3 = unfold_at_least(&q, &Var::new("d"), 3).unwrap();
+        assert_eq!(q3.atoms().len(), 6);
+        assert_eq!(q3.inequalities().len(), 3); // C(3,2)
+    }
+
+    #[test]
+    fn k1_is_a_pure_renaming() {
+        let s = schema();
+        let q = template(&s);
+        let q1 = unfold_at_least(&q, &Var::new("d"), 1).unwrap();
+        assert_eq!(q1.atoms().len(), q.atoms().len());
+        assert!(q1.inequalities().is_empty());
+        // semantically equivalent to the template
+        assert!(crate::homomorphism::equivalent(&q, &q1));
+    }
+
+    #[test]
+    fn k0_is_rejected() {
+        let s = schema();
+        let q = template(&s);
+        assert!(matches!(
+            unfold_at_least(&q, &Var::new("d"), 0),
+            Err(QueryError::EmptyBody)
+        ));
+    }
+
+    #[test]
+    fn unknown_distinct_var_is_rejected() {
+        let s = schema();
+        let q = template(&s);
+        assert!(matches!(
+            unfold_at_least(&q, &Var::new("nope"), 2),
+            Err(QueryError::UnboundInequalityVar(_))
+        ));
+    }
+
+    #[test]
+    fn head_var_as_distinct_var_is_rejected() {
+        let s = schema();
+        let q = template(&s);
+        assert!(unfold_at_least(&q, &Var::new("x"), 2).is_err());
+    }
+}

@@ -1,0 +1,349 @@
+//! `qoco-cli` — a scriptable shell around the QOCO library.
+//!
+//! Reads commands from stdin (one per line), so it works interactively and
+//! in pipelines. A session declares a schema, loads a dirty database (and
+//! optionally a ground-truth database that backs a simulated oracle),
+//! defines conjunctive queries, inspects answers, and runs cleaning.
+//!
+//! ```text
+//! relation Teams country continent
+//! relation Games date winner runner_up stage result
+//! load data/dirty
+//! ground data/truth
+//! query Q1(x) :- Games(d1, x, y, "Final", u1), Games(d2, x, z, "Final", u2), Teams(x, "EU"), d1 != d2.
+//! show Q1
+//! clean Q1 qoco provenance
+//! save data/cleaned
+//! quit
+//! ```
+//!
+//! Commands: `relation <name> <attrs…>`, `load <dir>`, `ground <dir>`,
+//! `query <datalog>`, `show <name>`, `witnesses <name> <v1> [v2 …]`,
+//! `explain <name>` (the evaluation plan), `minimize <name>` (the query
+//! core), `clean <name> [qoco|qoco-|random]
+//! [provenance|mincut|random|naive]`, `transcript` (the crowd Q/A log of
+//! the last clean), `diff`, `facts`, `save <dir>`, `help`, `quit`.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use qoco::core::{clean_view, CleaningConfig, DeletionStrategy, SplitStrategyKind};
+use qoco::crowd::{PerfectOracle, RecordingCrowd, SingleExpert, TranscriptEntry};
+use qoco::data::{diff, load_dir, save_dir, Database, Schema, SchemaBuilder, Value};
+use qoco::engine::{answer_set, explain, witnesses_for_answer};
+use qoco::query::{parse_query, ConjunctiveQuery};
+
+struct Session {
+    builder: Option<SchemaBuilder>,
+    schema: Option<Arc<Schema>>,
+    db: Option<Database>,
+    ground: Option<Database>,
+    queries: BTreeMap<String, ConjunctiveQuery>,
+    last_transcript: Vec<TranscriptEntry>,
+}
+
+impl Session {
+    fn new() -> Self {
+        Session {
+            builder: Some(Schema::builder()),
+            schema: None,
+            db: None,
+            ground: None,
+            queries: BTreeMap::new(),
+            last_transcript: Vec::new(),
+        }
+    }
+
+    /// Freeze the schema on first use.
+    fn schema(&mut self) -> Result<Arc<Schema>, String> {
+        if self.schema.is_none() {
+            let builder = self.builder.take().ok_or("schema already frozen")?;
+            let schema = builder.build().map_err(|e| e.to_string())?;
+            if schema.is_empty() {
+                return Err("declare at least one relation first".into());
+            }
+            self.schema = Some(schema);
+        }
+        Ok(self.schema.clone().expect("just set"))
+    }
+
+    fn db(&mut self) -> Result<&mut Database, String> {
+        if self.db.is_none() {
+            let schema = self.schema()?;
+            self.db = Some(Database::empty(schema));
+        }
+        Ok(self.db.as_mut().expect("just set"))
+    }
+
+    fn run(&mut self, line: &str, out: &mut impl Write) -> io::Result<bool> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(true);
+        }
+        let (cmd, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let rest = rest.trim();
+        let result: Result<(), String> = match cmd {
+            "quit" | "exit" => return Ok(false),
+            "help" => {
+                writeln!(out, "commands: relation load ground query show witnesses explain minimize clean transcript diff facts save help quit")?;
+                Ok(())
+            }
+            "relation" => self.cmd_relation(rest),
+            "load" => self.cmd_load(rest, false),
+            "ground" => self.cmd_load(rest, true),
+            "query" => self.cmd_query(rest, out)?,
+            "show" => self.cmd_show(rest, out)?,
+            "witnesses" => self.cmd_witnesses(rest, out)?,
+            "explain" => self.cmd_explain(rest, out)?,
+            "minimize" => self.cmd_minimize(rest, out)?,
+            "transcript" => self.cmd_transcript(out)?,
+            "clean" => self.cmd_clean(rest, out)?,
+            "diff" => self.cmd_diff(out)?,
+            "facts" => self.cmd_facts(out)?,
+            "save" => self.cmd_save(rest),
+            other => Err(format!("unknown command `{other}` (try `help`)")),
+        };
+        if let Err(e) = result {
+            writeln!(out, "error: {e}")?;
+        }
+        Ok(true)
+    }
+
+    fn cmd_relation(&mut self, rest: &str) -> Result<(), String> {
+        if self.schema.is_some() {
+            return Err("schema is frozen after the first load/query".into());
+        }
+        let mut parts = rest.split_whitespace();
+        let name = parts.next().ok_or("usage: relation <name> <attrs…>")?;
+        let attrs: Vec<&str> = parts.collect();
+        if attrs.is_empty() {
+            return Err("a relation needs at least one attribute".into());
+        }
+        let builder = self.builder.take().ok_or("schema already frozen")?;
+        self.builder = Some(builder.relation(name, &attrs));
+        Ok(())
+    }
+
+    fn cmd_load(&mut self, dir: &str, as_ground: bool) -> Result<(), String> {
+        if dir.is_empty() {
+            return Err("usage: load|ground <dir>".into());
+        }
+        let schema = self.schema()?;
+        let db = load_dir(schema, Path::new(dir)).map_err(|e| e.to_string())?;
+        if as_ground {
+            self.ground = Some(db);
+        } else {
+            self.db = Some(db);
+        }
+        Ok(())
+    }
+
+    fn cmd_query(&mut self, text: &str, out: &mut impl Write) -> io::Result<Result<(), String>> {
+        let schema = match self.schema() {
+            Ok(s) => s,
+            Err(e) => return Ok(Err(e)),
+        };
+        match parse_query(&schema, text) {
+            Ok(q) => {
+                writeln!(out, "defined {}", q.name())?;
+                self.queries.insert(q.name().to_string(), q);
+                Ok(Ok(()))
+            }
+            Err(e) => Ok(Err(e.to_string())),
+        }
+    }
+
+    fn cmd_show(&mut self, name: &str, out: &mut impl Write) -> io::Result<Result<(), String>> {
+        let Some(q) = self.queries.get(name).cloned() else {
+            return Ok(Err(format!("unknown query `{name}`")));
+        };
+        let db = match self.db() {
+            Ok(d) => d,
+            Err(e) => return Ok(Err(e)),
+        };
+        let answers = answer_set(&q, db);
+        writeln!(out, "{}(D): {} answer(s)", q.name(), answers.len())?;
+        for a in answers {
+            writeln!(out, "  {a}")?;
+        }
+        Ok(Ok(()))
+    }
+
+    fn cmd_witnesses(
+        &mut self,
+        rest: &str,
+        out: &mut impl Write,
+    ) -> io::Result<Result<(), String>> {
+        let mut parts = rest.split_whitespace();
+        let Some(name) = parts.next() else {
+            return Ok(Err("usage: witnesses <query> <v1> [v2 …]".into()));
+        };
+        let Some(q) = self.queries.get(name).cloned() else {
+            return Ok(Err(format!("unknown query `{name}`")));
+        };
+        let tuple: qoco::data::Tuple = parts.map(Value::text).collect();
+        let db = match self.db() {
+            Ok(d) => d,
+            Err(e) => return Ok(Err(e)),
+        };
+        let ws = witnesses_for_answer(&q, db, &tuple);
+        writeln!(out, "{} witness(es) for {tuple}", ws.len())?;
+        for (i, w) in ws.iter().enumerate() {
+            writeln!(out, "  witness {}:", i + 1)?;
+            for f in w {
+                writeln!(out, "    {f:?}")?;
+            }
+        }
+        Ok(Ok(()))
+    }
+
+    fn cmd_explain(&mut self, name: &str, out: &mut impl Write) -> io::Result<Result<(), String>> {
+        let Some(q) = self.queries.get(name).cloned() else {
+            return Ok(Err(format!("unknown query `{name}`")));
+        };
+        let db = match self.db() {
+            Ok(d) => d,
+            Err(e) => return Ok(Err(e)),
+        };
+        write!(out, "{}", explain(&q, db))?;
+        Ok(Ok(()))
+    }
+
+    fn cmd_minimize(&mut self, name: &str, out: &mut impl Write) -> io::Result<Result<(), String>> {
+        let Some(q) = self.queries.get(name).cloned() else {
+            return Ok(Err(format!("unknown query `{name}`")));
+        };
+        let m = qoco::query::minimize(&q);
+        if m.atoms().len() == q.atoms().len() {
+            writeln!(out, "{name} is already minimal ({} atoms)", q.atoms().len())?;
+        } else {
+            writeln!(
+                out,
+                "{name} minimized from {} to {} atoms:",
+                q.atoms().len(),
+                m.atoms().len()
+            )?;
+            writeln!(out, "  {}", m.display())?;
+            self.queries.insert(name.to_string(), m);
+        }
+        Ok(Ok(()))
+    }
+
+    fn cmd_transcript(&mut self, out: &mut impl Write) -> io::Result<Result<(), String>> {
+        if self.last_transcript.is_empty() {
+            writeln!(out, "no cleaning session recorded yet")?;
+        } else {
+            writeln!(out, "{} interaction(s):", self.last_transcript.len())?;
+            for e in &self.last_transcript {
+                writeln!(out, "  {e}")?;
+            }
+        }
+        Ok(Ok(()))
+    }
+
+    fn cmd_clean(&mut self, rest: &str, out: &mut impl Write) -> io::Result<Result<(), String>> {
+        let mut parts = rest.split_whitespace();
+        let Some(name) = parts.next() else {
+            return Ok(Err("usage: clean <query> [deletion] [split]".into()));
+        };
+        let Some(q) = self.queries.get(name).cloned() else {
+            return Ok(Err(format!("unknown query `{name}`")));
+        };
+        let deletion = match parts.next().unwrap_or("qoco") {
+            "qoco" => DeletionStrategy::Qoco,
+            "qoco-" => DeletionStrategy::QocoMinus,
+            "random" => DeletionStrategy::Random(1),
+            other => return Ok(Err(format!("unknown deletion strategy `{other}`"))),
+        };
+        let split = match parts.next().unwrap_or("provenance") {
+            "provenance" => SplitStrategyKind::Provenance,
+            "mincut" => SplitStrategyKind::MinCut,
+            "random" => SplitStrategyKind::Random(1),
+            "naive" => SplitStrategyKind::Naive,
+            other => return Ok(Err(format!("unknown split strategy `{other}`"))),
+        };
+        let Some(ground) = self.ground.clone() else {
+            return Ok(Err("no ground truth loaded (the oracle needs `ground <dir>`)".into()));
+        };
+        let db = match self.db() {
+            Ok(d) => d,
+            Err(e) => return Ok(Err(e)),
+        };
+        let mut crowd = RecordingCrowd::new(SingleExpert::new(PerfectOracle::new(ground)));
+        let config = CleaningConfig { deletion, split, ..Default::default() };
+        let result = clean_view(&q, db, &mut crowd, config);
+        let (_, transcript) = crowd.into_parts();
+        self.last_transcript = transcript;
+        match result {
+            Ok(report) => {
+                write!(out, "{report}")?;
+                Ok(Ok(()))
+            }
+            Err(e) => Ok(Err(e.to_string())),
+        }
+    }
+
+    fn cmd_diff(&mut self, out: &mut impl Write) -> io::Result<Result<(), String>> {
+        let Some(ground) = self.ground.clone() else {
+            return Ok(Err("no ground truth loaded".into()));
+        };
+        let db = match self.db() {
+            Ok(d) => d.clone(),
+            Err(e) => return Ok(Err(e)),
+        };
+        match diff(&db, &ground) {
+            Ok(r) => {
+                writeln!(
+                    out,
+                    "distance {} ({} false, {} missing); cleanliness {:.1}%",
+                    r.distance(),
+                    r.false_facts.len(),
+                    r.missing_facts.len(),
+                    r.cleanliness() * 100.0
+                )?;
+                Ok(Ok(()))
+            }
+            Err(e) => Ok(Err(e.to_string())),
+        }
+    }
+
+    fn cmd_facts(&mut self, out: &mut impl Write) -> io::Result<Result<(), String>> {
+        let schema = match self.schema() {
+            Ok(s) => s,
+            Err(e) => return Ok(Err(e)),
+        };
+        let db = match self.db() {
+            Ok(d) => d,
+            Err(e) => return Ok(Err(e)),
+        };
+        for (rel, decl) in schema.iter() {
+            writeln!(out, "{}: {} fact(s)", decl.name(), db.relation(rel).len())?;
+        }
+        Ok(Ok(()))
+    }
+
+    fn cmd_save(&mut self, dir: &str) -> Result<(), String> {
+        if dir.is_empty() {
+            return Err("usage: save <dir>".into());
+        }
+        let db = self.db()?.clone();
+        save_dir(&db, Path::new(dir)).map_err(|e| e.to_string())
+    }
+}
+
+fn main() -> io::Result<()> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+    let mut session = Session::new();
+    for line in stdin.lock().lines() {
+        let line = line?;
+        if !session.run(&line, &mut out)? {
+            break;
+        }
+        out.flush()?;
+    }
+    Ok(())
+}

@@ -1,0 +1,249 @@
+//! Property tests for the extension modules: parser round-trips on
+//! generated queries, group-testing correctness, view-monitor equivalence
+//! with full recomputation, constraint-repair soundness, and TSV
+//! persistence round-trips.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use qoco::core::find_false_facts;
+use qoco::crowd::{PerfectOracle, SingleExpert};
+use qoco::data::{load_dir, save_dir, tup, Database, Edit, Fact, Schema, Value};
+use qoco::engine::{answer_set, ViewMonitor};
+use qoco::query::{parse_query, Atom, ConjunctiveQuery, Inequality, Term, UnionQuery, Var};
+
+fn small_schema() -> std::sync::Arc<Schema> {
+    Schema::builder()
+        .relation("E", &["a", "b"])
+        .relation("L", &["a"])
+        .build()
+        .unwrap()
+}
+
+const DOMAIN: [&str; 4] = ["v0", "v1", "v2", "v3"];
+const VARS: [&str; 4] = ["x", "y", "z", "w"];
+
+/// Strategy: a random well-formed conjunctive query over the small schema.
+fn query_strategy() -> impl Strategy<Value = ConjunctiveQuery> {
+    // atoms encoded as (relation_choice, term codes); term code < 4 = var,
+    // ≥ 4 = constant
+    let atom = (0..2usize, proptest::collection::vec(0..8usize, 2));
+    (proptest::collection::vec(atom, 1..4), 0..4usize, any::<bool>()).prop_filter_map(
+        "query must be well-formed",
+        |(atom_specs, ineq_seed, with_ineq)| {
+            let s = small_schema();
+            let e = s.rel_id("E").unwrap();
+            let l = s.rel_id("L").unwrap();
+            let term = |code: usize| -> Term {
+                if code < 4 {
+                    Term::var(VARS[code])
+                } else {
+                    Term::cons(DOMAIN[code - 4])
+                }
+            };
+            let mut atoms = Vec::new();
+            for (rel_choice, codes) in atom_specs {
+                if rel_choice == 0 {
+                    atoms.push(Atom::new(e, vec![term(codes[0]), term(codes[1])]));
+                } else {
+                    atoms.push(Atom::new(l, vec![term(codes[0])]));
+                }
+            }
+            // head: every variable that occurs (keeps the query safe)
+            let mut head = Vec::new();
+            let mut seen = BTreeSet::new();
+            for a in &atoms {
+                for v in a.vars() {
+                    if seen.insert(v.clone()) {
+                        head.push(Term::Var(v));
+                    }
+                }
+            }
+            if head.is_empty() {
+                return None; // all-constant query: legal but dull for the parser test
+            }
+            let vars: Vec<Var> = seen.into_iter().collect();
+            let inequalities = if with_ineq && vars.len() >= 2 {
+                let a = vars[ineq_seed % vars.len()].clone();
+                let b = vars[(ineq_seed + 1) % vars.len()].clone();
+                if a == b {
+                    vec![]
+                } else {
+                    vec![Inequality::new(a, Term::Var(b))]
+                }
+            } else {
+                vec![]
+            };
+            ConjunctiveQuery::new(s, "G", head, atoms, inequalities).ok()
+        },
+    )
+}
+
+fn db_strategy(max: usize) -> impl Strategy<Value = Database> {
+    let e_facts = proptest::collection::vec((0..4usize, 0..4usize), 0..max);
+    let l_facts = proptest::collection::vec(0..4usize, 0..max);
+    (e_facts, l_facts).prop_map(|(es, ls)| {
+        let mut db = Database::empty(small_schema());
+        for (a, b) in es {
+            db.insert_named("E", tup![DOMAIN[a], DOMAIN[b]]).unwrap();
+        }
+        for a in ls {
+            db.insert_named("L", tup![DOMAIN[a]]).unwrap();
+        }
+        db
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parser_round_trips_generated_queries(q in query_strategy()) {
+        let rendered = q.display();
+        let reparsed = parse_query(q.schema(), &rendered)
+            .unwrap_or_else(|e| panic!("reparse of `{rendered}` failed: {e}"));
+        prop_assert_eq!(q.atoms(), reparsed.atoms());
+        prop_assert_eq!(q.inequalities(), reparsed.inequalities());
+        prop_assert_eq!(q.head(), reparsed.head());
+    }
+
+    #[test]
+    fn generated_queries_evaluate_identically_after_round_trip(
+        q in query_strategy(),
+        db in db_strategy(10),
+    ) {
+        let reparsed = parse_query(q.schema(), &q.display()).unwrap();
+        let mut d1 = db.clone();
+        let mut d2 = db.clone();
+        prop_assert_eq!(answer_set(&q, &mut d1), answer_set(&reparsed, &mut d2));
+    }
+
+    #[test]
+    fn group_testing_finds_exactly_the_false_facts(
+        facts in proptest::collection::btree_set((0..4usize, 0..4usize), 1..12),
+        truth_mask in proptest::collection::vec(any::<bool>(), 12),
+    ) {
+        let s = small_schema();
+        let e = s.rel_id("E").unwrap();
+        let mut ground = Database::empty(s.clone());
+        let all: Vec<Fact> = facts
+            .iter()
+            .map(|(a, b)| Fact::new(e, tup![DOMAIN[*a], DOMAIN[*b]]))
+            .collect();
+        let mut expected_false = BTreeSet::new();
+        for (i, f) in all.iter().enumerate() {
+            if truth_mask[i % truth_mask.len()] {
+                ground.insert(f.clone()).unwrap();
+            } else {
+                expected_false.insert(f.clone());
+            }
+        }
+        let mut crowd = SingleExpert::new(PerfectOracle::new(ground));
+        let (found, questions) = find_false_facts(&mut crowd, &all);
+        let found: BTreeSet<Fact> = found.into_iter().collect();
+        prop_assert_eq!(found, expected_false);
+        prop_assert!(questions <= 2 * all.len() + 1, "group testing asked {questions} about {} facts", all.len());
+    }
+
+    #[test]
+    fn monitor_tracks_full_recompute(
+        db in db_strategy(8),
+        edits in proptest::collection::vec(
+            (any::<bool>(), 0..2usize, 0..4usize, 0..4usize),
+            1..20,
+        ),
+        qi in 0..3usize,
+    ) {
+        let s = small_schema();
+        let queries = [
+            parse_query(&s, "(x) :- E(x, y), L(y)").unwrap(),
+            parse_query(&s, "(x, z) :- E(x, y), E(y, z), x != z").unwrap(),
+            parse_query(&s, r#"(x) :- E(x, x)"#).unwrap(),
+        ];
+        let q = &queries[qi];
+        let mut live = db.clone();
+        let mut monitor = ViewMonitor::new(q.clone(), &mut live);
+        for (del, rel_choice, a, b) in edits {
+            let fact = if rel_choice == 0 {
+                Fact::new(s.rel_id("E").unwrap(), tup![DOMAIN[a], DOMAIN[b]])
+            } else {
+                Fact::new(s.rel_id("L").unwrap(), tup![DOMAIN[a]])
+            };
+            let e = if del { Edit::delete(fact) } else { Edit::insert(fact) };
+            live.apply(&e).unwrap();
+            let delta = monitor.apply_edit(&mut live, &e);
+            let expected = answer_set(q, &mut live);
+            prop_assert_eq!(monitor.answers(), expected, "after {:?}", e);
+            // deltas are consistent: added ∩ removed = ∅
+            for t in &delta.added {
+                prop_assert!(!delta.removed.contains(t));
+            }
+        }
+    }
+
+    #[test]
+    fn minimized_union_is_answer_equivalent(
+        disjunct_picks in proptest::collection::vec(0..5usize, 1..4),
+        db in db_strategy(10),
+    ) {
+        let s = small_schema();
+        let pool = [
+            parse_query(&s, "(x) :- E(x, y)").unwrap(),
+            parse_query(&s, "(x) :- E(x, y), E(y, z)").unwrap(),
+            parse_query(&s, "(x) :- L(x)").unwrap(),
+            parse_query(&s, "(x) :- E(x, x)").unwrap(),
+            parse_query(&s, "(x) :- E(x, y), L(y)").unwrap(),
+        ];
+        let disjuncts: Vec<ConjunctiveQuery> =
+            disjunct_picks.iter().map(|&i| pool[i].clone()).collect();
+        let u = UnionQuery::new("U", disjuncts).unwrap();
+        let m = u.minimized();
+        prop_assert!(m.disjuncts().len() <= u.disjuncts().len());
+        prop_assert!(!m.disjuncts().is_empty());
+        let answers = |uq: &UnionQuery| -> BTreeSet<qoco::data::Tuple> {
+            let mut d = db.clone();
+            uq.disjuncts()
+                .iter()
+                .flat_map(|q| answer_set(q, &mut d))
+                .collect()
+        };
+        prop_assert_eq!(answers(&u), answers(&m));
+    }
+
+    #[test]
+    fn tsv_round_trip_any_database(db in db_strategy(12), tag in 0u32..1_000_000) {
+        let dir = std::env::temp_dir().join(format!(
+            "qoco-prop-io-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        save_dir(&db, &dir).unwrap();
+        let loaded = load_dir(small_schema(), &dir).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        prop_assert_eq!(db.sorted_facts(), loaded.sorted_facts());
+    }
+
+    #[test]
+    fn tsv_round_trip_arbitrary_text(texts in proptest::collection::vec(".*", 1..8)) {
+        let s = Schema::builder().relation("T", &["v"]).build().unwrap();
+        let mut db = Database::empty(s.clone());
+        for t in &texts {
+            db.insert(Fact::new(
+                s.rel_id("T").unwrap(),
+                qoco::data::Tuple::new(vec![Value::text(t)]),
+            ))
+            .unwrap();
+        }
+        let dir = std::env::temp_dir().join(format!(
+            "qoco-prop-text-{}-{}",
+            std::process::id(),
+            texts.len() * 31 + texts.first().map(|t| t.len()).unwrap_or(0),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        save_dir(&db, &dir).unwrap();
+        let loaded = load_dir(s, &dir).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        prop_assert_eq!(db.sorted_facts(), loaded.sorted_facts());
+    }
+}
