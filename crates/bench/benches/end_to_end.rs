@@ -15,17 +15,41 @@ fn bench_clean(c: &mut Criterion) {
     let mut group = c.benchmark_group("clean_view_q1");
     group.sample_size(20);
     for (label, deletion, split) in [
-        ("qoco+provenance", DeletionStrategy::Qoco, SplitStrategyKind::Provenance),
-        ("qoco+mincut", DeletionStrategy::Qoco, SplitStrategyKind::MinCut),
-        ("qoco-minus+provenance", DeletionStrategy::QocoMinus, SplitStrategyKind::Provenance),
-        ("random+naive", DeletionStrategy::Random(3), SplitStrategyKind::Naive),
+        (
+            "qoco+provenance",
+            DeletionStrategy::Qoco,
+            SplitStrategyKind::Provenance,
+        ),
+        (
+            "qoco+mincut",
+            DeletionStrategy::Qoco,
+            SplitStrategyKind::MinCut,
+        ),
+        (
+            "qoco-minus+provenance",
+            DeletionStrategy::QocoMinus,
+            SplitStrategyKind::Provenance,
+        ),
+        (
+            "random+naive",
+            DeletionStrategy::Random(3),
+            SplitStrategyKind::Naive,
+        ),
     ] {
         group.bench_function(label, |b| {
             b.iter(|| {
                 let mut d = planted.db.clone();
                 let mut crowd = SingleExpert::new(PerfectOracle::new(ground.clone()));
-                let config = CleaningConfig { deletion, split, ..Default::default() };
-                black_box(clean_view(&q, &mut d, &mut crowd, config).unwrap().iterations)
+                let config = CleaningConfig {
+                    deletion,
+                    split,
+                    ..Default::default()
+                };
+                black_box(
+                    clean_view(&q, &mut d, &mut crowd, config)
+                        .unwrap()
+                        .iterations,
+                )
             })
         });
     }

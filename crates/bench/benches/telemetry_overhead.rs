@@ -1,0 +1,50 @@
+//! The zero-cost claim, measured: span creation, counter bumps and events
+//! with telemetry disabled (the production default) versus enabled with an
+//! in-memory collector. The disabled numbers should sit within a few
+//! nanoseconds of the empty-loop baseline; the hard guard lives in
+//! `tests/telemetry_noop_guard.rs`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_disabled(c: &mut Criterion) {
+    assert!(
+        !qoco_telemetry::enabled(),
+        "benches must start with telemetry off"
+    );
+    let mut group = c.benchmark_group("telemetry_disabled");
+    group.bench_function("span", |b| {
+        b.iter(|| {
+            let span = qoco_telemetry::span(black_box("bench.noop"));
+            span.finish();
+        })
+    });
+    group.bench_function("counter_add", |b| {
+        b.iter(|| qoco_telemetry::counter_add("bench.noop", black_box(1)))
+    });
+    group.bench_function("event", |b| {
+        b.iter(|| qoco_telemetry::event("bench.noop", || unreachable!("lazy detail must not run")))
+    });
+    group.finish();
+}
+
+fn bench_enabled(c: &mut Criterion) {
+    let collector = Arc::new(qoco_telemetry::InMemoryCollector::new());
+    let _session = qoco_telemetry::session(collector.clone());
+    let mut group = c.benchmark_group("telemetry_enabled");
+    group.bench_function("span", |b| {
+        b.iter(|| {
+            let span = qoco_telemetry::span(black_box("bench.live"));
+            span.finish();
+        })
+    });
+    group.bench_function("counter_add", |b| {
+        b.iter(|| qoco_telemetry::counter_add("bench.live", black_box(1)))
+    });
+    group.finish();
+    collector.clear();
+}
+
+criterion_group!(benches, bench_disabled, bench_enabled);
+criterion_main!(benches);

@@ -6,12 +6,12 @@
 //! ```
 //!
 //! Targets: fig3a fig3b fig3c fig3d fig3e fig3f fig4 dbgroup
-//!          ablation-hs ablation-umhs ablation-heur sweep-clean all
+//!          ablation-hs ablation-umhs ablation-heur sweep-clean phases all
 
 use qoco_bench::{
     ablation_composite, ablation_heuristics, ablation_hitting_set, ablation_umhs, dbgroup_case,
-    fig3a, fig3b, fig3c, fig3d, fig3e, fig3f, fig4, sweep_cleanliness, sweep_error_rate,
-    Experiments,
+    fig3a, fig3b, fig3c, fig3d, fig3e, fig3f, fig4, phase_breakdown, sweep_cleanliness,
+    sweep_error_rate, Experiments,
 };
 
 fn main() {
@@ -28,9 +28,21 @@ fn main() {
     }
     let targets: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f", "fig4", "dbgroup",
-            "ablation-hs", "ablation-umhs", "ablation-heur", "ablation-composite",
-            "sweep-clean", "sweep-error",
+            "fig3a",
+            "fig3b",
+            "fig3c",
+            "fig3d",
+            "fig3e",
+            "fig3f",
+            "fig4",
+            "dbgroup",
+            "ablation-hs",
+            "ablation-umhs",
+            "ablation-heur",
+            "ablation-composite",
+            "sweep-clean",
+            "sweep-error",
+            "phases",
         ]
     } else {
         args.iter().map(|s| s.as_str()).collect()
@@ -56,6 +68,7 @@ fn main() {
             "ablation-composite" => ablation_composite(ex.as_ref().expect("soccer context")),
             "sweep-clean" => sweep_cleanliness(ex.as_ref().expect("soccer context")),
             "sweep-error" => sweep_error_rate(ex.as_ref().expect("soccer context")),
+            "phases" => phase_breakdown(ex.as_ref().expect("soccer context")),
             other => {
                 eprintln!("unknown target `{other}`; see --help text in the source header");
                 std::process::exit(2);

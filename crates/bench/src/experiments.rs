@@ -16,9 +16,8 @@ use qoco_core::{
 use qoco_crowd::{ImperfectOracle, MajorityCrowd, PerfectOracle, SingleExpert};
 use qoco_data::{Database, Fact};
 use qoco_datasets::{
-    dbgroup_queries, generate_dbgroup, generate_soccer, inject_noise, plant_mixed,
-    plant_missing_answers, plant_wrong_answers, soccer_queries, DbGroupConfig, NoiseSpec,
-    SoccerConfig,
+    dbgroup_queries, generate_dbgroup, generate_soccer, inject_noise, plant_missing_answers,
+    plant_mixed, plant_wrong_answers, soccer_queries, DbGroupConfig, NoiseSpec, SoccerConfig,
 };
 use qoco_engine::{answer_set, witnesses_for_answer};
 use qoco_query::ConjunctiveQuery;
@@ -65,7 +64,10 @@ fn deletion_run(
     let mut d = planted.db;
     let results = answer_set(q, &mut d).len();
     let mut crowd = SingleExpert::new(PerfectOracle::new(ground.clone()));
-    let config = CleaningConfig { deletion: strategy, ..Default::default() };
+    let config = CleaningConfig {
+        deletion: strategy,
+        ..Default::default()
+    };
     let report = clean_view(q, &mut d, &mut crowd, config).expect("perfect oracle converges");
     DeletionRun {
         results,
@@ -99,7 +101,14 @@ fn deletion_avg(
 pub fn fig3a(ex: &Experiments) -> Table {
     let mut t = Table::new(
         "Figure 3a — Deletion, multiple queries (perfect oracle)",
-        &["query", "strategy", "#results", "#questions", "#avoided", "naive upper bound"],
+        &[
+            "query",
+            "strategy",
+            "#results",
+            "#questions",
+            "#avoided",
+            "naive upper bound",
+        ],
     );
     let settings = [(1usize, 2usize), (2, 3), (3, 5)];
     for (qi, k) in settings {
@@ -107,9 +116,14 @@ pub fn fig3a(ex: &Experiments) -> Table {
         for strategy in ["QOCO", "QOCO-", "Random"] {
             let run = match strategy {
                 "QOCO" => deletion_run(&ex.ground, q, k, 3, DeletionStrategy::Qoco, 40 + qi as u64),
-                "QOCO-" => {
-                    deletion_run(&ex.ground, q, k, 3, DeletionStrategy::QocoMinus, 40 + qi as u64)
-                }
+                "QOCO-" => deletion_run(
+                    &ex.ground,
+                    q,
+                    k,
+                    3,
+                    DeletionStrategy::QocoMinus,
+                    40 + qi as u64,
+                ),
                 _ => deletion_avg(
                     &ex.ground,
                     q,
@@ -137,16 +151,28 @@ pub fn fig3a(ex: &Experiments) -> Table {
 pub fn fig3d(ex: &Experiments) -> Table {
     let mut t = Table::new(
         "Figure 3d — Deletion, varying #wrong answers (Q3, perfect oracle)",
-        &["#wrong", "strategy", "#results", "#questions", "#avoided", "naive upper bound"],
+        &[
+            "#wrong",
+            "strategy",
+            "#results",
+            "#questions",
+            "#avoided",
+            "naive upper bound",
+        ],
     );
     let q = ex.q(3);
     for k in [2usize, 5, 10] {
         for strategy in ["QOCO", "QOCO-", "Random"] {
             let run = match strategy {
                 "QOCO" => deletion_run(&ex.ground, q, k, 3, DeletionStrategy::Qoco, 60 + k as u64),
-                "QOCO-" => {
-                    deletion_run(&ex.ground, q, k, 3, DeletionStrategy::QocoMinus, 60 + k as u64)
-                }
+                "QOCO-" => deletion_run(
+                    &ex.ground,
+                    q,
+                    k,
+                    3,
+                    DeletionStrategy::QocoMinus,
+                    60 + k as u64,
+                ),
                 _ => deletion_avg(
                     &ex.ground,
                     q,
@@ -189,7 +215,10 @@ fn insertion_run(
     let missing = planted.missing.len();
     let mut d = planted.db;
     let mut crowd = SingleExpert::new(PerfectOracle::new(ground.clone()));
-    let config = CleaningConfig { split, ..Default::default() };
+    let config = CleaningConfig {
+        split,
+        ..Default::default()
+    };
     let report = clean_view(q, &mut d, &mut crowd, config).expect("perfect oracle converges");
     InsertionRun {
         missing,
@@ -204,7 +233,15 @@ fn insertion_run(
 pub fn fig3b(ex: &Experiments) -> Table {
     let mut t = Table::new(
         "Figure 3b — Insertion, multiple queries (perfect oracle)",
-        &["query", "split", "#missing", "#filled vars", "#sat checks", "#avoided", "naive upper bound"],
+        &[
+            "query",
+            "split",
+            "#missing",
+            "#filled vars",
+            "#sat checks",
+            "#avoided",
+            "naive upper bound",
+        ],
     );
     for qi in [3usize, 4, 5] {
         let q = ex.q(qi);
@@ -233,7 +270,14 @@ pub fn fig3b(ex: &Experiments) -> Table {
 pub fn fig3e(ex: &Experiments) -> Table {
     let mut t = Table::new(
         "Figure 3e — Insertion, varying #missing answers (Q3, perfect oracle)",
-        &["#missing", "split", "#filled vars", "#sat checks", "#avoided", "naive upper bound"],
+        &[
+            "#missing",
+            "split",
+            "#filled vars",
+            "#sat checks",
+            "#avoided",
+            "naive upper bound",
+        ],
     );
     let q = ex.q(3);
     for k in [2usize, 5, 10] {
@@ -261,7 +305,14 @@ pub fn fig3e(ex: &Experiments) -> Table {
 pub fn fig3c(ex: &Experiments) -> Table {
     let mut t = Table::new(
         "Figure 3c — Mixed, multiple queries (perfect oracle; insertion = Provenance)",
-        &["query", "deletion", "#results+#missing", "#questions", "#avoided", "upper bound"],
+        &[
+            "query",
+            "deletion",
+            "#results+#missing",
+            "#questions",
+            "#avoided",
+            "upper bound",
+        ],
     );
     let settings = [(1usize, 2usize, 1usize), (2, 3, 2), (3, 5, 3)];
     for (qi, kw, km) in settings {
@@ -303,7 +354,12 @@ pub fn fig3c(ex: &Experiments) -> Table {
 pub fn fig3f(ex: &Experiments) -> Table {
     let mut t = Table::new(
         "Figure 3f — Mixed, types of questions (Q3, QOCO + Provenance)",
-        &["#missing,#wrong", "verify answers", "verify tuples", "fill missing"],
+        &[
+            "#missing,#wrong",
+            "verify answers",
+            "verify tuples",
+            "fill missing",
+        ],
     );
     let q = ex.q(3);
     for k in [2usize, 5, 10] {
@@ -330,7 +386,14 @@ pub fn fig3f(ex: &Experiments) -> Table {
 pub fn fig4(ex: &Experiments) -> Table {
     let mut t = Table::new(
         "Figure 4 — Imperfect experts (3-expert panel, 10% error, majority vote)",
-        &["query", "deletion", "verify answers", "verify tuples", "fill missing", "total answers"],
+        &[
+            "query",
+            "deletion",
+            "verify answers",
+            "verify tuples",
+            "fill missing",
+            "total answers",
+        ],
     );
     for qi in [2usize, 3] {
         let q = ex.q(qi);
@@ -366,7 +429,7 @@ pub fn fig4(ex: &Experiments) -> Table {
                     sums.0 += s.verify_answer_crowd_answers;
                     sums.1 += s.verify_fact_crowd_answers + s.satisfiable_crowd_answers;
                     sums.2 += s.open_answer_variables;
-                    sums.3 += s.total_crowd_answers();
+                    sums.3 += s.total_cost();
                     converged += 1;
                 }
             }
@@ -405,7 +468,14 @@ pub fn dbgroup_case() -> Table {
     }
     let mut t = Table::new(
         "Section 7.1 — DBGroup case study (4 report queries, perfect oracle)",
-        &["query", "wrong found", "missing found", "tuples deleted", "tuples inserted", "closed questions"],
+        &[
+            "query",
+            "wrong found",
+            "missing found",
+            "tuples deleted",
+            "tuples inserted",
+            "closed questions",
+        ],
     );
     let mut tot = (0usize, 0usize, 0usize, 0usize, 0usize);
     for q in &queries {
@@ -443,7 +513,13 @@ pub fn dbgroup_case() -> Table {
 pub fn ablation_hitting_set(ex: &Experiments) -> Table {
     let mut t = Table::new(
         "Ablation A1 — greedy vs exact minimum hitting set",
-        &["query", "#wrong", "QOCO deletions", "minimum deletions", "QOCO questions"],
+        &[
+            "query",
+            "#wrong",
+            "QOCO deletions",
+            "minimum deletions",
+            "QOCO questions",
+        ],
     );
     for qi in [1usize, 2, 3] {
         let q = ex.q(qi);
@@ -457,7 +533,10 @@ pub fn ablation_hitting_set(ex: &Experiments) -> Table {
             let false_only: Vec<std::collections::BTreeSet<Fact>> = witnesses
                 .iter()
                 .map(|set| {
-                    set.iter().filter(|f| !ex.ground.contains(f)).cloned().collect()
+                    set.iter()
+                        .filter(|f| !ex.ground.contains(f))
+                        .cloned()
+                        .collect()
                 })
                 .collect();
             minimum += qoco_core::HittingSetInstance::new(false_only)
@@ -490,13 +569,16 @@ pub fn ablation_hitting_set(ex: &Experiments) -> Table {
 pub fn ablation_umhs(ex: &Experiments) -> Table {
     let mut t = Table::new(
         "Ablation A2 — unique-minimal-hitting-set shortcut (Q1)",
-        &["witnesses/answer", "QOCO questions", "QOCO- questions", "saved"],
+        &[
+            "witnesses/answer",
+            "QOCO questions",
+            "QOCO- questions",
+            "saved",
+        ],
     );
     let q = ex.q(1);
     for w in [2usize, 4, 6] {
-        let run = |strategy| {
-            deletion_run(&ex.ground, q, 3, w, strategy, 200 + w as u64).questions
-        };
+        let run = |strategy| deletion_run(&ex.ground, q, 3, w, strategy, 200 + w as u64).questions;
         let qoco = run(DeletionStrategy::Qoco);
         let minus = run(DeletionStrategy::QocoMinus);
         t.row(vec![
@@ -546,12 +628,17 @@ pub fn ablation_heuristics(ex: &Experiments) -> Table {
         let mut deletions = 0usize;
         for w in &planted.wrong {
             let mut crowd = SingleExpert::new(PerfectOracle::new(ex.ground.clone()));
-            let out = crowd_remove_wrong_answer_with(q, &mut d, w, &mut crowd, &mut *selector, true)
-                .expect("removal succeeds");
+            let out =
+                crowd_remove_wrong_answer_with(q, &mut d, w, &mut crowd, &mut *selector, true)
+                    .expect("removal succeeds");
             questions += out.questions;
             deletions += out.edits.deletions();
         }
-        t.row(vec![name.to_string(), questions.to_string(), deletions.to_string()]);
+        t.row(vec![
+            name.to_string(),
+            questions.to_string(),
+            deletions.to_string(),
+        ]);
     }
     t
 }
@@ -605,7 +692,12 @@ pub fn ablation_composite(ex: &Experiments) -> Table {
 pub fn sweep_error_rate(ex: &Experiments) -> Table {
     let mut t = Table::new(
         "Sweep S2 — expert error rate (Q3, 3 wrong + 3 missing, 3-expert panel)",
-        &["error rate", "total crowd answers", "iterations", "converged"],
+        &[
+            "error rate",
+            "total crowd answers",
+            "iterations",
+            "converged",
+        ],
     );
     let q = ex.q(3);
     let planted = plant_mixed(q, &ex.ground, 3, 3, 44);
@@ -630,13 +722,16 @@ pub fn sweep_error_rate(ex: &Experiments) -> Table {
                 })
                 .collect();
             let mut crowd = MajorityCrowd::new(experts);
-            let config = CleaningConfig { max_iterations: 80, ..Default::default() };
+            let config = CleaningConfig {
+                max_iterations: 80,
+                ..Default::default()
+            };
             if let Ok(report) = clean_view(q, &mut d, &mut crowd, config) {
                 let now: std::collections::BTreeSet<qoco_data::Tuple> = {
                     let mut dm = d.clone();
                     answer_set(q, &mut dm).into_iter().collect()
                 };
-                answers_sum += report.total_stats.total_crowd_answers();
+                answers_sum += report.total_stats.total_cost();
                 iter_sum += report.iterations;
                 if now == truth {
                     converged += 1;
@@ -654,18 +749,84 @@ pub fn sweep_error_rate(ex: &Experiments) -> Table {
     t
 }
 
+/// Telemetry T1: the per-phase breakdown of one full cleaning session,
+/// derived from the span timeline rather than the report's own counters —
+/// the observability cross-check that the instrumentation sees the same
+/// session the algorithms ran.
+pub fn phase_breakdown(ex: &Experiments) -> Table {
+    let mut t = Table::new(
+        "Telemetry T1 — phase breakdown of one cleaning session (Q3, 3 wrong + 3 missing)",
+        &[
+            "phase (span name)",
+            "spans",
+            "total time",
+            "share of session",
+        ],
+    );
+    let q = ex.q(3);
+    let planted = plant_mixed(q, &ex.ground, 3, 3, 33);
+    let mut d = planted.db;
+    let collector = std::sync::Arc::new(qoco_telemetry::InMemoryCollector::new());
+    let timeline = {
+        let _session = qoco_telemetry::session(collector.clone());
+        let mut crowd = SingleExpert::new(PerfectOracle::new(ex.ground.clone()));
+        let report = clean_view(q, &mut d, &mut crowd, CleaningConfig::default())
+            .expect("perfect oracle converges");
+        drop(report);
+        collector.timeline(Vec::new(), qoco_telemetry::metrics().snapshot())
+    };
+    let session_ns = timeline
+        .phase_totals()
+        .get("clean.session")
+        .map(|p| p.total_ns)
+        .unwrap_or_else(|| timeline.total_ns())
+        .max(1);
+    for (name, total) in timeline.phase_totals() {
+        t.row(vec![
+            name.to_string(),
+            total.count.to_string(),
+            qoco_telemetry::fmt_ns(total.total_ns),
+            format!("{:.1}%", 100.0 * total.total_ns as f64 / session_ns as f64),
+        ]);
+    }
+    let m = timeline.metrics();
+    t.note(format!(
+        "counters: eval.assignments_tried={}, deletion.witnesses_enumerated={}, insertion.splits_generated={}, crowd.questions_asked={}",
+        m.counter("eval.assignments_tried"),
+        m.counter("deletion.witnesses_enumerated"),
+        m.counter("insertion.splits_generated"),
+        m.counter("crowd.questions_asked"),
+    ));
+    t.note("shares exceed 100% in total because nested spans (iteration ⊂ session, phases ⊂ iteration) each count their full extent");
+    t
+}
+
 /// Sweep S1: the cleanliness parameter of Section 7.2 (global noise).
 pub fn sweep_cleanliness(ex: &Experiments) -> Table {
     let mut t = Table::new(
         "Sweep S1 — data cleanliness 60–95% (Q3, skew 50%, QOCO + Provenance)",
-        &["cleanliness", "wrong found", "missing found", "closed questions", "filled vars", "edits"],
+        &[
+            "cleanliness",
+            "wrong found",
+            "missing found",
+            "closed questions",
+            "filled vars",
+            "edits",
+        ],
     );
     let q = ex.q(3);
     for pct in [60u32, 70, 80, 90, 95] {
-        let spec = NoiseSpec { cleanliness: pct as f64 / 100.0, skewness: 0.5, seed: 4 };
+        let spec = NoiseSpec {
+            cleanliness: pct as f64 / 100.0,
+            skewness: 0.5,
+            seed: 4,
+        };
         let mut d = inject_noise(&ex.ground, spec);
         let mut crowd = SingleExpert::new(PerfectOracle::new(ex.ground.clone()));
-        let config = CleaningConfig { max_iterations: 120, ..Default::default() };
+        let config = CleaningConfig {
+            max_iterations: 120,
+            ..Default::default()
+        };
         let report = clean_view(q, &mut d, &mut crowd, config).expect("converges");
         t.row(vec![
             format!("{pct}%"),
@@ -689,7 +850,7 @@ mod tests {
         let ex = Experiments::soccer();
         let t = fig3a(&ex);
         assert_eq!(t.rows.len(), 9); // 3 queries × 3 strategies
-        // QOCO ≤ QOCO- for each query
+                                     // QOCO ≤ QOCO- for each query
         for chunk in t.rows.chunks(3) {
             let qoco: usize = chunk[0][3].parse().unwrap();
             let minus: usize = chunk[1][3].parse().unwrap();
@@ -719,7 +880,10 @@ mod tests {
         // within each noise level, QOCO ≤ QOCO⁻ ≤-ish Random; and QOCO's
         // questions grow monotonically across levels
         let q_at = |row: usize| t.rows[row][3].parse::<usize>().unwrap();
-        assert!(q_at(0) <= q_at(3) && q_at(3) <= q_at(6), "QOCO questions grow with #wrong");
+        assert!(
+            q_at(0) <= q_at(3) && q_at(3) <= q_at(6),
+            "QOCO questions grow with #wrong"
+        );
         for chunk in t.rows.chunks(3) {
             let qoco: usize = chunk[0][3].parse().unwrap();
             let minus: usize = chunk[1][3].parse().unwrap();
@@ -733,8 +897,14 @@ mod tests {
         let t = fig3f(&ex);
         assert_eq!(t.rows.len(), 3);
         let col = |row: usize, col: usize| t.rows[row][col].parse::<usize>().unwrap();
-        assert!(col(0, 2) <= col(1, 2) && col(1, 2) <= col(2, 2), "verify tuples grows");
-        assert!(col(0, 3) <= col(1, 3) && col(1, 3) <= col(2, 3), "fill missing grows");
+        assert!(
+            col(0, 2) <= col(1, 2) && col(1, 2) <= col(2, 2),
+            "verify tuples grows"
+        );
+        assert!(
+            col(0, 3) <= col(1, 3) && col(1, 3) <= col(2, 3),
+            "fill missing grows"
+        );
     }
 
     #[test]
@@ -747,10 +917,35 @@ mod tests {
     }
 
     #[test]
+    fn phase_breakdown_covers_the_session() {
+        let ex = Experiments::soccer();
+        let t = phase_breakdown(&ex);
+        let phases: Vec<&str> = t.rows.iter().map(|r| r[0].as_str()).collect();
+        for expected in [
+            "clean.session",
+            "clean.deletion_phase",
+            "clean.insertion_phase",
+            "eval.assignments",
+        ] {
+            assert!(
+                phases.contains(&expected),
+                "missing {expected} in {phases:?}"
+            );
+        }
+        // the counters note proves the registry saw the same session
+        let note = t.notes.first().expect("counters note");
+        assert!(!note.contains("eval.assignments_tried=0"), "{note}");
+        assert!(!note.contains("crowd.questions_asked=0"), "{note}");
+    }
+
+    #[test]
     fn dbgroup_case_totals_add_up() {
         let t = dbgroup_case();
         assert_eq!(t.rows.len(), 5); // 4 queries + total
-        let sum: usize = t.rows[..4].iter().map(|r| r[1].parse::<usize>().unwrap()).sum();
+        let sum: usize = t.rows[..4]
+            .iter()
+            .map(|r| r[1].parse::<usize>().unwrap())
+            .sum();
         assert_eq!(sum.to_string(), t.rows[4][1]);
     }
 }

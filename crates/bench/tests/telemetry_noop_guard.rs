@@ -1,0 +1,43 @@
+//! The benchmark guard for the telemetry fast path: with no collector
+//! installed, spans, counters and events must be branch-cheap. The bound is
+//! deliberately loose (debug builds, loaded CI machines) — it exists to
+//! catch a regression that puts allocation, locking or clock reads on the
+//! disabled path, which would show up as a >100× slowdown, not a 2× one.
+//!
+//! Lives in its own integration-test binary so no sibling test can have a
+//! telemetry session installed while it runs.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const ITERATIONS: u64 = 1_000_000;
+// ~10M cheap ops/sec even under a debug build on a busy machine; the
+// disabled path is two relaxed atomic loads per op.
+const BUDGET: Duration = Duration::from_millis(1_500);
+
+#[test]
+fn disabled_telemetry_is_a_noop_fast_path() {
+    assert!(
+        !qoco_telemetry::enabled(),
+        "no collector must be installed in this process"
+    );
+    let start = Instant::now();
+    for i in 0..ITERATIONS {
+        let span = qoco_telemetry::span(black_box("guard.noop"));
+        qoco_telemetry::counter_add("guard.noop", black_box(i));
+        qoco_telemetry::event("guard.noop", || unreachable!("lazy detail must not run"));
+        span.finish();
+    }
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < BUDGET,
+        "{ITERATIONS} disabled span+counter+event ops took {elapsed:?} (budget {BUDGET:?}) — \
+         something expensive crept onto the disabled path"
+    );
+    // and the disabled ops must leave no trace
+    assert_eq!(qoco_telemetry::now_ns(), 0);
+    assert_eq!(
+        qoco_telemetry::metrics().snapshot().counter("guard.noop"),
+        0
+    );
+}

@@ -46,7 +46,6 @@ impl Default for CleaningConfig {
     }
 }
 
-
 /// Run Algorithm 3: clean `db` until `Q(D′) = Q(D_G)` as certified by the
 /// crowd, using the ground-truth-free protocol (the crowd is the only
 /// source of truth; `db` is never compared to `D_G` directly).
@@ -64,6 +63,10 @@ pub fn clean_view_with_estimator<C: CrowdAccess + ?Sized>(
     config: CleaningConfig,
     estimator: &mut dyn CompletenessEstimator,
 ) -> Result<CleaningReport, CleanError> {
+    let session_span = qoco_telemetry::span("clean.session")
+        .field("query", q.name().to_string())
+        .field("deletion", format!("{:?}", config.deletion))
+        .field("split", format!("{:?}", config.split));
     let mut report = CleaningReport::new();
     let mut verified: BTreeSet<Tuple> = BTreeSet::new();
     let mut split = config.split.build();
@@ -80,10 +83,16 @@ pub fn clean_view_with_estimator<C: CrowdAccess + ?Sized>(
         first = false;
         report.iterations += 1;
         if report.iterations > config.max_iterations {
-            return Err(CleanError::IterationBudget { budget: config.max_iterations });
+            return Err(CleanError::IterationBudget {
+                budget: config.max_iterations,
+            });
         }
+        let iter_span =
+            qoco_telemetry::span("clean.iteration").field("iteration", report.iterations);
 
         // ---- Deletion part (lines 2–6) ----
+        let del_span =
+            qoco_telemetry::span("clean.deletion_phase").field("unverified", unverified.len());
         let del_before = crowd.stats();
         for t in unverified {
             // the answer may already have disappeared through earlier edits
@@ -94,15 +103,20 @@ pub fn clean_view_with_estimator<C: CrowdAccess + ?Sized>(
                 verified.insert(t);
             } else {
                 report.wrong_answers += 1;
+                qoco_telemetry::event("clean.wrong_answer", || format!("{t}"));
                 let out = crowd_remove_wrong_answer(q, db, &t, crowd, config.deletion)?;
                 report.deletion_upper_bound += out.upper_bound;
                 report.anomalies += out.anomalies;
                 report.edits.extend(out.edits);
             }
         }
-        report.deletion_stats.absorb(&crowd.stats().since(&del_before));
+        report
+            .deletion_stats
+            .absorb(&crowd.stats().since(&del_before));
+        del_span.finish();
 
         // ---- Insertion part (lines 7–9) ----
+        let ins_span = qoco_telemetry::span("clean.insertion_phase");
         let ins_before = crowd.stats();
         loop {
             let known = answer_set(q, db);
@@ -114,6 +128,7 @@ pub fn clean_view_with_estimator<C: CrowdAccess + ?Sized>(
             };
             estimator.observe(&t);
             report.missing_answers += 1;
+            qoco_telemetry::event("clean.missing_answer", || format!("{t}"));
             let out = crowd_add_missing_answer(q, db, &t, crowd, &mut *split, config.insertion)?;
             report.insertion_upper_bound += out.upper_bound;
             if out.achieved {
@@ -123,11 +138,19 @@ pub fn clean_view_with_estimator<C: CrowdAccess + ?Sized>(
             }
             report.edits.extend(out.edits);
         }
-        report.insertion_stats.absorb(&crowd.stats().since(&ins_before));
+        report
+            .insertion_stats
+            .absorb(&crowd.stats().since(&ins_before));
+        ins_span.finish();
+        iter_span.finish();
     }
 
     report.total_stats = report.deletion_stats;
     report.total_stats.absorb(&report.insertion_stats);
+    session_span
+        .field("iterations", report.iterations)
+        .field("edits", report.edits.len())
+        .finish();
     Ok(report)
 }
 
@@ -168,22 +191,28 @@ mod tests {
             .build()
             .unwrap();
         let mut d = Database::empty(schema.clone());
-        d.insert_named("Games", tup!["09.06.06", "ITA", "FRA", "Final", "5:3"]).unwrap();
+        d.insert_named("Games", tup!["09.06.06", "ITA", "FRA", "Final", "5:3"])
+            .unwrap();
         for (c, k) in [("GER", "EU"), ("ESP", "EU")] {
             d.insert_named("Teams", tup![c, k]).unwrap();
         }
-        d.insert_named("Players", tup!["Pirlo", "ITA", 1979, "ITA"]).unwrap();
-        d.insert_named("Players", tup!["Totti", "ITA", 1976, "ITA"]).unwrap();
+        d.insert_named("Players", tup!["Pirlo", "ITA", 1979, "ITA"])
+            .unwrap();
+        d.insert_named("Players", tup!["Totti", "ITA", 1976, "ITA"])
+            .unwrap();
         d.insert_named("Goals", tup!["Pirlo", "09.06.06"]).unwrap();
         d.insert_named("Goals", tup!["Totti", "09.06.06"]).unwrap(); // false
 
         let mut g = Database::empty(schema.clone());
-        g.insert_named("Games", tup!["09.06.06", "ITA", "FRA", "Final", "5:3"]).unwrap();
+        g.insert_named("Games", tup!["09.06.06", "ITA", "FRA", "Final", "5:3"])
+            .unwrap();
         for (c, k) in [("GER", "EU"), ("ESP", "EU"), ("ITA", "EU")] {
             g.insert_named("Teams", tup![c, k]).unwrap();
         }
-        g.insert_named("Players", tup!["Pirlo", "ITA", 1979, "ITA"]).unwrap();
-        g.insert_named("Players", tup!["Totti", "ITA", 1976, "ITA"]).unwrap();
+        g.insert_named("Players", tup!["Pirlo", "ITA", 1979, "ITA"])
+            .unwrap();
+        g.insert_named("Players", tup!["Totti", "ITA", 1976, "ITA"])
+            .unwrap();
         g.insert_named("Goals", tup!["Pirlo", "09.06.06"]).unwrap();
 
         let q = parse_query(
@@ -254,8 +283,10 @@ mod tests {
         let (_, mut d, g, q) = setup();
         // remove everything that supports answers in D
         let goals = q.schema().rel_id("Goals").unwrap();
-        d.remove(&qoco_data::Fact::new(goals, tup!["Pirlo", "09.06.06"])).unwrap();
-        d.remove(&qoco_data::Fact::new(goals, tup!["Totti", "09.06.06"])).unwrap();
+        d.remove(&qoco_data::Fact::new(goals, tup!["Pirlo", "09.06.06"]))
+            .unwrap();
+        d.remove(&qoco_data::Fact::new(goals, tup!["Totti", "09.06.06"]))
+            .unwrap();
         assert!(answer_set(&q, &mut d).is_empty());
         let mut crowd = SingleExpert::new(PerfectOracle::new(g.clone()));
         let report = clean_view(&q, &mut d, &mut crowd, CleaningConfig::default()).unwrap();
@@ -302,7 +333,11 @@ mod tests {
         for (deletion, split) in strategies {
             let mut di = d.clone();
             let mut crowd = SingleExpert::new(PerfectOracle::new(g.clone()));
-            let config = CleaningConfig { deletion, split, ..Default::default() };
+            let config = CleaningConfig {
+                deletion,
+                split,
+                ..Default::default()
+            };
             clean_view(&q, &mut di, &mut crowd, config).unwrap();
             assert_eq!(
                 answer_set(&q, &mut di),

@@ -91,7 +91,12 @@ pub fn crowd_remove_wrong_answer_composite<C: CrowdAccess + ?Sized>(
     // instance must now be destroyed; surviving sets are anomalies
     let anomalies = check.sets().len();
     db.apply_all(edits.edits())?;
-    Ok(DeletionOutcome { edits, questions, upper_bound, anomalies })
+    Ok(DeletionOutcome {
+        edits,
+        questions,
+        upper_bound,
+        anomalies,
+    })
 }
 
 #[cfg(test)]
@@ -122,7 +127,8 @@ mod tests {
         }
         d.insert_named("Teams", tup!["ESP", "EU"]).unwrap();
         let mut g = Database::empty(schema.clone());
-        g.insert_named("Games", tup!["11.07.10", "ESP", "NED", "Final", "1:0"]).unwrap();
+        g.insert_named("Games", tup!["11.07.10", "ESP", "NED", "Final", "1:0"])
+            .unwrap();
         g.insert_named("Teams", tup!["ESP", "EU"]).unwrap();
         let q = parse_query(
             &schema,
@@ -154,8 +160,10 @@ mod tests {
     fn all_true_group_costs_one_question() {
         let (schema, _, g, _) = setup();
         let games = schema.rel_id("Games").unwrap();
-        let facts =
-            vec![Fact::new(games, tup!["11.07.10", "ESP", "NED", "Final", "1:0"])];
+        let facts = vec![Fact::new(
+            games,
+            tup!["11.07.10", "ESP", "NED", "Final", "1:0"],
+        )];
         let mut crowd = SingleExpert::new(PerfectOracle::new(g));
         let (false_facts, questions) = find_false_facts(&mut crowd, &facts);
         assert!(false_facts.is_empty());
@@ -187,16 +195,21 @@ mod tests {
         // a single long witness of uniform-frequency facts, exactly one of
         // them false: individual questions pay ~n, group testing ~log n
         let n = 16usize;
-        let schema = Schema::builder().relation("E", &["a", "b"]).build().unwrap();
+        let schema = Schema::builder()
+            .relation("E", &["a", "b"])
+            .build()
+            .unwrap();
         let mut d = Database::empty(schema.clone());
         let mut g = Database::empty(schema.clone());
         let node = |i: usize| format!("n{i:02}");
         for i in 0..n {
-            d.insert_named("E", tup![node(i).as_str(), node(i + 1).as_str()]).unwrap();
+            d.insert_named("E", tup![node(i).as_str(), node(i + 1).as_str()])
+                .unwrap();
             if i != n - 1 {
                 // the LAST edge is false (sorted last, so the tie-breaking
                 // individual strategy asks about it last)
-                g.insert_named("E", tup![node(i).as_str(), node(i + 1).as_str()]).unwrap();
+                g.insert_named("E", tup![node(i).as_str(), node(i + 1).as_str()])
+                    .unwrap();
             }
         }
         // chain query: (x0) :- E(x0,x1), E(x1,x2), …, E(x15,x16)
@@ -212,7 +225,11 @@ mod tests {
         let mut d2 = d.clone();
         let mut crowd2 = SingleExpert::new(PerfectOracle::new(g.clone()));
         let singles = crowd_remove_wrong_answer(
-            &q, &mut d2, &target, &mut crowd2, DeletionStrategy::QocoMinus,
+            &q,
+            &mut d2,
+            &target,
+            &mut crowd2,
+            DeletionStrategy::QocoMinus,
         )
         .unwrap();
         assert!(answer_set(&q, &mut d1).is_empty());

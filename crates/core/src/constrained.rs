@@ -43,7 +43,10 @@ pub fn apply_edit_with_constraints<C: CrowdAccess + ?Sized>(
     constraints: &ConstraintSet,
     crowd: &mut C,
 ) -> Result<ConstrainedOutcome, CleanError> {
-    let mut outcome = ConstrainedOutcome { edits: EditLog::new(), unresolved: Vec::new() };
+    let mut outcome = ConstrainedOutcome {
+        edits: EditLog::new(),
+        unresolved: Vec::new(),
+    };
     apply_rec(db, edit, constraints, crowd, &mut outcome, 8)?;
     Ok(outcome)
 }
@@ -59,7 +62,9 @@ fn apply_rec<C: CrowdAccess + ?Sized>(
     if depth == 0 {
         // cyclic dependencies: apply the edit and report remaining
         // violations unresolved
-        outcome.unresolved.extend(constraints.edit_violations(db, edit));
+        outcome
+            .unresolved
+            .extend(constraints.edit_violations(db, edit));
         if db.apply(edit)? {
             outcome.edits.push(edit.clone());
         }
@@ -87,7 +92,11 @@ fn apply_rec<C: CrowdAccess + ?Sized>(
                     apply_rec(db, &repair, constraints, crowd, outcome, depth - 1)?;
                 }
             }
-            Violation::DanglingReference { to_rel, missing_key, fact } => {
+            Violation::DanglingReference {
+                to_rel,
+                missing_key,
+                fact,
+            } => {
                 match edit.kind {
                     EditKind::Insert => {
                         // complete the referenced tuple with the crowd
@@ -178,7 +187,10 @@ pub fn apply_all_with_constraints<C: CrowdAccess + ?Sized>(
     constraints: &ConstraintSet,
     crowd: &mut C,
 ) -> Result<ConstrainedOutcome, CleanError> {
-    let mut outcome = ConstrainedOutcome { edits: EditLog::new(), unresolved: Vec::new() };
+    let mut outcome = ConstrainedOutcome {
+        edits: EditLog::new(),
+        unresolved: Vec::new(),
+    };
     for e in edits.edits() {
         apply_rec(db, e, constraints, crowd, &mut outcome, 8)?;
     }
@@ -189,8 +201,8 @@ pub fn apply_all_with_constraints<C: CrowdAccess + ?Sized>(
 mod tests {
     use super::*;
     use qoco_crowd::{PerfectOracle, SingleExpert};
-    use qoco_data::{Fact, tup};
     use qoco_data::Schema;
+    use qoco_data::{tup, Fact};
     use std::sync::Arc;
 
     fn schema() -> Arc<Schema> {
@@ -254,14 +266,20 @@ mod tests {
         let d0 = Database::empty(s.clone());
         let mut g = Database::empty(s.clone());
         g.insert_named("Teams", tup!["GER", "EU"]).unwrap();
-        g.insert_named("Games", tup!["13.07.14", "GER", "ARG", "Final", "1:0"]).unwrap();
+        g.insert_named("Games", tup!["13.07.14", "GER", "ARG", "Final", "1:0"])
+            .unwrap();
         let mut d = d0.clone();
         let mut crowd = SingleExpert::new(PerfectOracle::new(g));
-        let edit =
-            Edit::insert(Fact::new(games, tup!["13.07.14", "GER", "ARG", "Final", "1:0"]));
+        let edit = Edit::insert(Fact::new(
+            games,
+            tup!["13.07.14", "GER", "ARG", "Final", "1:0"],
+        ));
         let out = apply_edit_with_constraints(&mut d, &edit, &cs, &mut crowd).unwrap();
         assert!(out.unresolved.is_empty());
-        assert!(d.contains(&Fact::new(teams, tup!["GER", "EU"])), "referenced tuple fetched");
+        assert!(
+            d.contains(&Fact::new(teams, tup!["GER", "EU"])),
+            "referenced tuple fetched"
+        );
         assert!(d.contains(&edit.fact));
         assert_eq!(out.edits.len(), 2);
         assert!(crowd.stats().complete_tasks >= 1);
@@ -290,7 +308,8 @@ mod tests {
         let games = s.rel_id("Games").unwrap();
         let mut d = Database::empty(s.clone());
         d.insert_named("Teams", tup!["XX", "EU"]).unwrap(); // false
-        d.insert_named("Games", tup!["d", "XX", "YY", "Final", "1:0"]).unwrap(); // false
+        d.insert_named("Games", tup!["d", "XX", "YY", "Final", "1:0"])
+            .unwrap(); // false
         let g = Database::empty(s.clone());
         let mut crowd = SingleExpert::new(PerfectOracle::new(g));
         let edit = Edit::delete(Fact::new(teams, tup!["XX", "EU"]));
@@ -309,15 +328,20 @@ mod tests {
         let games = s.rel_id("Games").unwrap();
         let mut d = Database::empty(s.clone());
         d.insert_named("Teams", tup!["GER", "SA"]).unwrap(); // false continent
-        d.insert_named("Games", tup!["13.07.14", "GER", "ARG", "Final", "1:0"]).unwrap(); // true
+        d.insert_named("Games", tup!["13.07.14", "GER", "ARG", "Final", "1:0"])
+            .unwrap(); // true
         let mut g = Database::empty(s.clone());
         g.insert_named("Teams", tup!["GER", "EU"]).unwrap();
-        g.insert_named("Games", tup!["13.07.14", "GER", "ARG", "Final", "1:0"]).unwrap();
+        g.insert_named("Games", tup!["13.07.14", "GER", "ARG", "Final", "1:0"])
+            .unwrap();
         let mut crowd = SingleExpert::new(PerfectOracle::new(g));
         let edit = Edit::delete(Fact::new(teams, tup!["GER", "SA"]));
         let out = apply_edit_with_constraints(&mut d, &edit, &cs, &mut crowd).unwrap();
         // the game is true and must survive; the constraint stays violated
-        assert!(d.contains(&Fact::new(games, tup!["13.07.14", "GER", "ARG", "Final", "1:0"])));
+        assert!(d.contains(&Fact::new(
+            games,
+            tup!["13.07.14", "GER", "ARG", "Final", "1:0"]
+        )));
         assert_eq!(out.unresolved.len(), 1);
     }
 
@@ -330,12 +354,20 @@ mod tests {
         let mut g = Database::empty(s.clone());
         g.insert_named("Teams", tup!["GER", "EU"]).unwrap();
         g.insert_named("Teams", tup!["ESP", "EU"]).unwrap();
-        g.insert_named("Games", tup!["a", "GER", "ARG", "Final", "1:0"]).unwrap();
-        g.insert_named("Games", tup!["b", "ESP", "NED", "Final", "1:0"]).unwrap();
+        g.insert_named("Games", tup!["a", "GER", "ARG", "Final", "1:0"])
+            .unwrap();
+        g.insert_named("Games", tup!["b", "ESP", "NED", "Final", "1:0"])
+            .unwrap();
         let mut crowd = SingleExpert::new(PerfectOracle::new(g));
         let mut log = EditLog::new();
-        log.push(Edit::insert(Fact::new(games, tup!["a", "GER", "ARG", "Final", "1:0"])));
-        log.push(Edit::insert(Fact::new(games, tup!["b", "ESP", "NED", "Final", "1:0"])));
+        log.push(Edit::insert(Fact::new(
+            games,
+            tup!["a", "GER", "ARG", "Final", "1:0"],
+        )));
+        log.push(Edit::insert(Fact::new(
+            games,
+            tup!["b", "ESP", "NED", "Final", "1:0"],
+        )));
         let out = apply_all_with_constraints(&mut d, &log, &cs, &mut crowd).unwrap();
         // 2 game inserts + 2 referenced team inserts
         assert_eq!(out.edits.len(), 4);

@@ -12,8 +12,8 @@
 //!    edit and destroys the witnesses containing it;
 //! 4. repeat until no witnesses remain, then apply the deletion edits.
 
-use qoco_data::{Database, Edit, EditLog, Fact, Tuple};
 use qoco_crowd::CrowdAccess;
+use qoco_data::{Database, Edit, EditLog, Fact, Tuple};
 use qoco_engine::witnesses_for_answer;
 use qoco_query::ConjunctiveQuery;
 
@@ -95,7 +95,9 @@ pub fn crowd_remove_wrong_answer_with<C: CrowdAccess + ?Sized>(
     selector: &mut dyn TupleSelector,
     use_singleton_shortcut: bool,
 ) -> Result<DeletionOutcome, CleanError> {
+    let span = qoco_telemetry::span("deletion.remove_answer").field("answer", t.to_string());
     let witnesses = witnesses_for_answer(q, db, t);
+    qoco_telemetry::counter_add("deletion.witnesses_enumerated", witnesses.len() as u64);
     let mut instance = HittingSetInstance::new(witnesses);
     let upper_bound = instance.universe().len();
 
@@ -140,7 +142,15 @@ pub fn crowd_remove_wrong_answer_with<C: CrowdAccess + ?Sized>(
     }
 
     db.apply_all(edits.edits())?;
-    Ok(DeletionOutcome { edits, questions, upper_bound, anomalies })
+    span.field("questions", questions)
+        .field("deletions", edits.deletions())
+        .finish();
+    Ok(DeletionOutcome {
+        edits,
+        questions,
+        upper_bound,
+        anomalies,
+    })
 }
 
 /// Pick the selector's choice, skipping facts already confirmed true.
@@ -192,10 +202,14 @@ mod tests {
         d.insert_named("Teams", tup!["ESP", "EU"]).unwrap();
 
         let mut g = Database::empty(schema.clone());
-        g.insert_named("Games", tup!["11.07.10", "ESP", "NED", "Final", "1:0"]).unwrap();
-        g.insert_named("Games", tup!["12.07.98", "FRA", "BRA", "Final", "3:0"]).unwrap();
-        g.insert_named("Games", tup!["17.07.94", "BRA", "ITA", "Final", "3:2"]).unwrap();
-        g.insert_named("Games", tup!["25.06.78", "ARG", "NED", "Final", "3:1"]).unwrap();
+        g.insert_named("Games", tup!["11.07.10", "ESP", "NED", "Final", "1:0"])
+            .unwrap();
+        g.insert_named("Games", tup!["12.07.98", "FRA", "BRA", "Final", "3:0"])
+            .unwrap();
+        g.insert_named("Games", tup!["17.07.94", "BRA", "ITA", "Final", "3:2"])
+            .unwrap();
+        g.insert_named("Games", tup!["25.06.78", "ARG", "NED", "Final", "3:1"])
+            .unwrap();
         g.insert_named("Teams", tup!["ESP", "EU"]).unwrap();
 
         let q = parse_query(
@@ -234,7 +248,11 @@ mod tests {
                 .unwrap();
         // universe = 4 Games facts + Teams fact = 5
         assert_eq!(out.upper_bound, 5);
-        assert!(out.questions < out.upper_bound, "{} questions", out.questions);
+        assert!(
+            out.questions < out.upper_bound,
+            "{} questions",
+            out.questions
+        );
         assert_eq!(out.questions, crowd.stats().verify_fact_questions);
     }
 
@@ -244,13 +262,21 @@ mod tests {
         let mut d1 = d.clone();
         let mut crowd1 = SingleExpert::new(PerfectOracle::new(g.clone()));
         let qoco = crowd_remove_wrong_answer(
-            &q, &mut d1, &tup!["ESP"], &mut crowd1, DeletionStrategy::Qoco,
+            &q,
+            &mut d1,
+            &tup!["ESP"],
+            &mut crowd1,
+            DeletionStrategy::Qoco,
         )
         .unwrap();
         let mut d2 = d.clone();
         let mut crowd2 = SingleExpert::new(PerfectOracle::new(g));
         let minus = crowd_remove_wrong_answer(
-            &q, &mut d2, &tup!["ESP"], &mut crowd2, DeletionStrategy::QocoMinus,
+            &q,
+            &mut d2,
+            &tup!["ESP"],
+            &mut crowd2,
+            DeletionStrategy::QocoMinus,
         )
         .unwrap();
         assert!(qoco.questions <= minus.questions);
@@ -280,7 +306,11 @@ mod tests {
         let mut dq = d.clone();
         let mut crowd = SingleExpert::new(PerfectOracle::new(g.clone()));
         let qoco = crowd_remove_wrong_answer(
-            &q, &mut dq, &tup!["ESP"], &mut crowd, DeletionStrategy::Qoco,
+            &q,
+            &mut dq,
+            &tup!["ESP"],
+            &mut crowd,
+            DeletionStrategy::Qoco,
         )
         .unwrap();
         assert!(
@@ -295,7 +325,10 @@ mod tests {
     fn singleton_witnesses_need_no_questions() {
         // Q over a single atom: each witness is a singleton → unique
         // minimal hitting set exists immediately (Example 4.4).
-        let schema = Schema::builder().relation("T", &["c", "k"]).build().unwrap();
+        let schema = Schema::builder()
+            .relation("T", &["c", "k"])
+            .build()
+            .unwrap();
         let mut d = Database::empty(schema.clone());
         d.insert_named("T", tup!["BRA", "EU"]).unwrap();
         let g = Database::empty(schema.clone());

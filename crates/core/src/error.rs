@@ -66,9 +66,15 @@ mod tests {
 
     #[test]
     fn display_covers_variants() {
-        assert!(CleanError::NoWitness("(ITA)".into()).to_string().contains("ITA"));
-        assert!(CleanError::IterationBudget { budget: 5 }.to_string().contains('5'));
-        assert!(CleanError::QuestionBudget { budget: 9 }.to_string().contains('9'));
+        assert!(CleanError::NoWitness("(ITA)".into())
+            .to_string()
+            .contains("ITA"));
+        assert!(CleanError::IterationBudget { budget: 5 }
+            .to_string()
+            .contains('5'));
+        assert!(CleanError::QuestionBudget { budget: 9 }
+            .to_string()
+            .contains('9'));
         let d: CleanError = DataError::SchemaMismatch.into();
         assert!(d.to_string().contains("schema"));
         let q: CleanError = QueryError::EmptyBody.into();

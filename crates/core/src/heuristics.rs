@@ -52,7 +52,9 @@ impl RandomSelector {
     /// Seeded random selector (seed fixed per experiment for
     /// reproducibility).
     pub fn new(seed: u64) -> Self {
-        RandomSelector { rng: StdRng::seed_from_u64(seed) }
+        RandomSelector {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -134,9 +136,7 @@ impl TupleSelector for TrustSelector {
             let replace = match &best {
                 None => true,
                 Some((bs, bf, bfact)) => {
-                    s < *bs
-                        || (s == *bs && freq > *bf)
-                        || (s == *bs && freq == *bf && f < *bfact)
+                    s < *bs || (s == *bs && freq > *bf) || (s == *bs && freq == *bf && f < *bfact)
                 }
             };
             if replace {
@@ -163,7 +163,8 @@ mod tests {
 
     fn inst(sets: &[&[i64]]) -> HittingSetInstance<Fact> {
         HittingSetInstance::new(
-            sets.iter().map(|s| s.iter().map(|&i| fact(i)).collect::<BTreeSet<_>>()),
+            sets.iter()
+                .map(|s| s.iter().map(|&i| fact(i)).collect::<BTreeSet<_>>()),
         )
     }
 

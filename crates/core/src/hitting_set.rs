@@ -131,17 +131,15 @@ impl<T: Ord + Clone> HittingSetInstance<T> {
     /// worst case — intended for the instance sizes the deletion algorithm
     /// actually sees (a handful of witnesses) and for ablation benches.
     pub fn minimum_hitting_set(&self) -> BTreeSet<T> {
-        let mut best: Option<BTreeSet<T>> = None;
-        let mut chosen = BTreeSet::new();
-        Self::branch(&self.sets, &mut chosen, &mut best);
-        best.unwrap_or_default()
+        qoco_telemetry::timed("hitting_set.exact_ns", || {
+            let mut best: Option<BTreeSet<T>> = None;
+            let mut chosen = BTreeSet::new();
+            Self::branch(&self.sets, &mut chosen, &mut best);
+            best.unwrap_or_default()
+        })
     }
 
-    fn branch(
-        sets: &[BTreeSet<T>],
-        chosen: &mut BTreeSet<T>,
-        best: &mut Option<BTreeSet<T>>,
-    ) {
+    fn branch(sets: &[BTreeSet<T>], chosen: &mut BTreeSet<T>, best: &mut Option<BTreeSet<T>>) {
         if let Some(b) = best {
             if chosen.len() >= b.len() {
                 return; // bound
@@ -284,7 +282,15 @@ mod tests {
     #[test]
     fn minimum_beats_or_matches_greedy() {
         // classic greedy-trap structure
-        let h = inst(&[&[1, 4], &[1, 5], &[2, 4], &[2, 6], &[3, 5], &[3, 6], &[4, 5, 6]]);
+        let h = inst(&[
+            &[1, 4],
+            &[1, 5],
+            &[2, 4],
+            &[2, 6],
+            &[3, 5],
+            &[3, 6],
+            &[4, 5, 6],
+        ]);
         let greedy = h.greedy_hitting_set();
         let exact = h.minimum_hitting_set();
         assert!(h.is_hitting_set(&greedy));

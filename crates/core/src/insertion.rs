@@ -33,7 +33,9 @@ pub struct InsertionOptions {
 
 impl Default for InsertionOptions {
     fn default() -> Self {
-        InsertionOptions { max_assignments_per_subquery: 256 }
+        InsertionOptions {
+            max_assignments_per_subquery: 256,
+        }
     }
 }
 
@@ -64,6 +66,9 @@ pub fn crowd_add_missing_answer<C: CrowdAccess + ?Sized>(
     split: &mut dyn SplitStrategy,
     opts: InsertionOptions,
 ) -> Result<InsertionOutcome, CleanError> {
+    let span = qoco_telemetry::span("insertion.add_answer")
+        .field("answer", t.to_string())
+        .field("split", split.name());
     let q_t = embed_answer(q, t.values())?;
     let upper_bound = q_t.vars().len();
     let mut edits = EditLog::new();
@@ -138,6 +143,9 @@ pub fn crowd_add_missing_answer<C: CrowdAccess + ?Sized>(
     }
 
     let stats = crowd.stats().since(&stats_before);
+    span.field("achieved", achieved)
+        .field("insertions", edits.insertions())
+        .finish();
     Ok(InsertionOutcome {
         edits,
         satisfiability_questions: stats.satisfiable_questions,
@@ -194,11 +202,13 @@ mod tests {
             .build()
             .unwrap();
         let mut d = Database::empty(schema.clone());
-        d.insert_named("Games", tup!["09.06.06", "ITA", "FRA", "Final", "5:3"]).unwrap();
+        d.insert_named("Games", tup!["09.06.06", "ITA", "FRA", "Final", "5:3"])
+            .unwrap();
         for (c, k) in [("GER", "EU"), ("ESP", "EU"), ("BRA", "SA")] {
             d.insert_named("Teams", tup![c, k]).unwrap();
         }
-        d.insert_named("Players", tup!["Pirlo", "ITA", 1979, "ITA"]).unwrap();
+        d.insert_named("Players", tup!["Pirlo", "ITA", 1979, "ITA"])
+            .unwrap();
         d.insert_named("Goals", tup!["Pirlo", "09.06.06"]).unwrap();
         // ground truth: D plus the missing Teams fact
         let mut g = d.clone();
@@ -257,8 +267,12 @@ mod tests {
         // variable (y) — and the final completion costs nothing extra
         // because the winning partial assignment was already total.
         assert_eq!(naive.filled_variables, q.vars().len() - 1); // x is bound by t
-        assert!(prov.filled_variables < naive.filled_variables,
-            "prov {} vs naive {}", prov.filled_variables, naive.filled_variables);
+        assert!(
+            prov.filled_variables < naive.filled_variables,
+            "prov {} vs naive {}",
+            prov.filled_variables,
+            naive.filled_variables
+        );
     }
 
     #[test]
@@ -375,7 +389,10 @@ mod tests {
 
     #[test]
     fn violated_embedding_is_an_error() {
-        let schema = Schema::builder().relation("G", &["w", "r"]).build().unwrap();
+        let schema = Schema::builder()
+            .relation("G", &["w", "r"])
+            .build()
+            .unwrap();
         let d = Database::empty(schema.clone());
         let g = Database::empty(schema.clone());
         let q = parse_query(&schema, "(x, y) :- G(x, y), x != y").unwrap();

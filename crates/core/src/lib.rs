@@ -42,7 +42,9 @@ pub mod ucq_clean;
 
 pub use cleaner::{clean_view, clean_view_with_estimator, CleaningConfig, CleaningReport};
 pub use composite::{crowd_remove_wrong_answer_composite, find_false_facts};
-pub use constrained::{apply_all_with_constraints, apply_edit_with_constraints, ConstrainedOutcome};
+pub use constrained::{
+    apply_all_with_constraints, apply_edit_with_constraints, ConstrainedOutcome,
+};
 pub use deletion::{
     crowd_remove_wrong_answer, crowd_remove_wrong_answer_with, DeletionOutcome, DeletionStrategy,
 };
@@ -54,7 +56,8 @@ pub use hitting_set::HittingSetInstance;
 pub use insertion::{crowd_add_missing_answer, InsertionOptions, InsertionOutcome};
 pub use multi::ParallelMajorityCrowd;
 pub use naive::{naive_enumeration, TargetAction};
-pub use ucq_clean::{clean_union_view, union_answer_set};
 pub use split::{
-    MinCutSplit, NaiveSplit, ProvenanceSplit, RandomSplit, SplitStrategy, SplitStrategyKind,
+    InstrumentedSplit, MinCutSplit, NaiveSplit, ProvenanceSplit, RandomSplit, SplitStrategy,
+    SplitStrategyKind,
 };
+pub use ucq_clean::{clean_union_view, union_answer_set};

@@ -94,11 +94,7 @@ impl<O: Oracle + Send> ParallelMajorityCrowd<O> {
     /// "parallel foreach" of Section 6.2. Order of results matches the
     /// input order. Worker count is `min(batch, experts)`, so each worker
     /// tends to have an uncontended expert available.
-    pub fn verify_answers_parallel(
-        &self,
-        q: &ConjunctiveQuery,
-        answers: &[Tuple],
-    ) -> Vec<bool> {
+    pub fn verify_answers_parallel(&self, q: &ConjunctiveQuery, answers: &[Tuple]) -> Vec<bool> {
         if answers.is_empty() {
             return Vec::new();
         }
@@ -116,8 +112,10 @@ impl<O: Oracle + Send> ParallelMajorityCrowd<O> {
                     if i >= answers.len() {
                         break;
                     }
-                    let question =
-                        Question::VerifyAnswer { query: q.clone(), answer: answers[i].clone() };
+                    let question = Question::VerifyAnswer {
+                        query: q.clone(),
+                        answer: answers[i].clone(),
+                    };
                     let verdict = self.majority_bool(&question);
                     *verdicts[i].lock() = verdict;
                 });
@@ -136,7 +134,10 @@ impl<O: Oracle + Send> CrowdAccess for ParallelMajorityCrowd<O> {
 
     fn verify_answer(&mut self, q: &ConjunctiveQuery, t: &Tuple) -> bool {
         self.stats.lock().verify_answer_questions += 1;
-        self.majority_bool(&Question::VerifyAnswer { query: q.clone(), answer: t.clone() })
+        self.majority_bool(&Question::VerifyAnswer {
+            query: q.clone(),
+            answer: t.clone(),
+        })
     }
 
     fn verify_satisfiable(&mut self, q: &ConjunctiveQuery, partial: &Assignment) -> bool {
@@ -155,7 +156,10 @@ impl<O: Oracle + Send> CrowdAccess for ParallelMajorityCrowd<O> {
             self.stats.lock().complete_tasks += 1;
             let reply = self.experts[idx]
                 .lock()
-                .answer(&Question::Complete { query: q.clone(), partial: partial.clone() })
+                .answer(&Question::Complete {
+                    query: q.clone(),
+                    partial: partial.clone(),
+                })
                 .expect_completion();
             let Some(total) = reply else { continue };
             let filled = total.len().saturating_sub(partial.len());
@@ -177,7 +181,11 @@ impl<O: Oracle + Send> CrowdAccess for ParallelMajorityCrowd<O> {
                     break;
                 }
             }
-            if ok && q.inequalities().iter().all(|e| total.check_inequality(e) == Some(true)) {
+            if ok
+                && q.inequalities()
+                    .iter()
+                    .all(|e| total.check_inequality(e) == Some(true))
+            {
                 return Some(total);
             }
         }
@@ -192,7 +200,10 @@ impl<O: Oracle + Send> CrowdAccess for ParallelMajorityCrowd<O> {
             self.stats.lock().complete_result_tasks += 1;
             let reply = self.experts[idx]
                 .lock()
-                .answer(&Question::CompleteResult { query: q.clone(), known: known.to_vec() })
+                .answer(&Question::CompleteResult {
+                    query: q.clone(),
+                    known: known.to_vec(),
+                })
                 .expect_missing();
             let Some(t) = reply else { continue };
             {
@@ -200,8 +211,10 @@ impl<O: Oracle + Send> CrowdAccess for ParallelMajorityCrowd<O> {
                 s.open_answer_variables += q.head().len();
                 s.verify_answer_questions += 1;
             }
-            if self.majority_bool(&Question::VerifyAnswer { query: q.clone(), answer: t.clone() })
-            {
+            if self.majority_bool(&Question::VerifyAnswer {
+                query: q.clone(),
+                answer: t.clone(),
+            }) {
                 self.stats.lock().missing_answers_provided += 1;
                 return Some(t);
             }
@@ -219,11 +232,7 @@ impl<O: Oracle + Send> ParallelMajorityCrowd<O> {
     /// multiple completion questions", Section 6.2), deduplicate the
     /// replies and majority-verify each candidate. Returns the verified
     /// missing answers.
-    pub fn missing_answers_parallel(
-        &self,
-        q: &ConjunctiveQuery,
-        known: &[Tuple],
-    ) -> Vec<Tuple> {
+    pub fn missing_answers_parallel(&self, q: &ConjunctiveQuery, known: &[Tuple]) -> Vec<Tuple> {
         let replies: Vec<Mutex<Option<Tuple>>> =
             self.experts.iter().map(|_| Mutex::new(None)).collect();
         crossbeam::thread::scope(|scope| {
@@ -294,7 +303,9 @@ pub fn clean_view_parallel<O: Oracle + Send>(
         first = false;
         report.iterations += 1;
         if report.iterations > config.max_iterations {
-            return Err(CleanError::IterationBudget { budget: config.max_iterations });
+            return Err(CleanError::IterationBudget {
+                budget: config.max_iterations,
+            });
         }
 
         // ---- parallel verification sweep + sequential deletions ----
@@ -311,7 +322,9 @@ pub fn clean_view_parallel<O: Oracle + Send>(
                 report.edits.extend(out.edits);
             }
         }
-        report.deletion_stats.absorb(&crowd.stats().since(&del_before));
+        report
+            .deletion_stats
+            .absorb(&crowd.stats().since(&del_before));
 
         // ---- insertion phase: batch-post completion questions ----
         let ins_before = crowd.stats();
@@ -339,7 +352,9 @@ pub fn clean_view_parallel<O: Oracle + Send>(
                 report.edits.extend(out.edits);
             }
         }
-        report.insertion_stats.absorb(&crowd.stats().since(&ins_before));
+        report
+            .insertion_stats
+            .absorb(&crowd.stats().since(&ins_before));
     }
 
     report.total_stats = report.deletion_stats;
@@ -402,8 +417,11 @@ mod tests {
     #[test]
     fn parallel_batch_verification_matches_sequential() {
         let (_, mut d, g, q) = setup();
-        let crowd =
-            ParallelMajorityCrowd::new((0..3).map(|_| PerfectOracle::new(g.clone())).collect::<Vec<_>>());
+        let crowd = ParallelMajorityCrowd::new(
+            (0..3)
+                .map(|_| PerfectOracle::new(g.clone()))
+                .collect::<Vec<_>>(),
+        );
         let answers = answer_set(&q, &mut d);
         let verdicts = crowd.verify_answers_parallel(&q, &answers);
         assert_eq!(verdicts.len(), answers.len());
@@ -418,8 +436,11 @@ mod tests {
     #[test]
     fn parallel_cleaner_converges_with_perfect_panel() {
         let (_, mut d, g, q) = setup();
-        let mut crowd =
-            ParallelMajorityCrowd::new((0..3).map(|_| PerfectOracle::new(g.clone())).collect::<Vec<_>>());
+        let mut crowd = ParallelMajorityCrowd::new(
+            (0..3)
+                .map(|_| PerfectOracle::new(g.clone()))
+                .collect::<Vec<_>>(),
+        );
         let report =
             clean_view_parallel(&q, &mut d, &mut crowd, CleaningConfig::default()).unwrap();
         assert_eq!(answer_set(&q, &mut d), true_answers(&g, &q));
@@ -454,7 +475,10 @@ mod tests {
             &q,
             &mut d,
             &mut crowd,
-            CleaningConfig { max_iterations: 50, ..Default::default() },
+            CleaningConfig {
+                max_iterations: 50,
+                ..Default::default()
+            },
         );
         // with 5 experts at 10% error, majority voting virtually always
         // converges to the truth
@@ -467,7 +491,9 @@ mod tests {
     fn parallel_missing_answer_batch_collects_and_verifies() {
         let (_, mut d, g, q) = setup();
         let crowd = ParallelMajorityCrowd::new(
-            (0..3).map(|_| PerfectOracle::new(g.clone())).collect::<Vec<_>>(),
+            (0..3)
+                .map(|_| PerfectOracle::new(g.clone()))
+                .collect::<Vec<_>>(),
         );
         let known = answer_set(&q, &mut d);
         let batch = crowd.missing_answers_parallel(&q, &known);

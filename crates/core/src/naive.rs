@@ -73,7 +73,9 @@ pub fn naive_enumeration<C: CrowdAccess + ?Sized>(
             }
             let fact = Fact::new(rel, Tuple::new(values));
             if questions >= max_questions {
-                return Err(CleanError::QuestionBudget { budget: max_questions });
+                return Err(CleanError::QuestionBudget {
+                    budget: max_questions,
+                });
             }
             questions += 1;
             let in_db = db.contains(&fact);
@@ -107,14 +109,16 @@ mod tests {
     use qoco_query::parse_query;
 
     fn setup() -> (Database, Database, ConjunctiveQuery, Vec<Value>) {
-        let schema = Schema::builder().relation("T", &["c", "k"]).build().unwrap();
+        let schema = Schema::builder()
+            .relation("T", &["c", "k"])
+            .build()
+            .unwrap();
         let mut d = Database::empty(schema.clone());
         d.insert_named("T", tup!["BRA", "EU"]).unwrap(); // false
         let mut g = Database::empty(schema.clone());
         g.insert_named("T", tup!["ITA", "EU"]).unwrap();
         let q = parse_query(&schema, r#"(x) :- T(x, "EU")"#).unwrap();
-        let domain =
-            vec![Value::text("BRA"), Value::text("EU"), Value::text("ITA")];
+        let domain = vec![Value::text("BRA"), Value::text("EU"), Value::text("ITA")];
         (d, g, q, domain)
     }
 
@@ -131,7 +135,9 @@ mod tests {
             1000,
         )
         .unwrap();
-        assert!(answer_set(&q, &mut d).is_empty() || !answer_set(&q, &mut d).contains(&tup!["BRA"]));
+        assert!(
+            answer_set(&q, &mut d).is_empty() || !answer_set(&q, &mut d).contains(&tup!["BRA"])
+        );
         assert!(edits.deletions() >= 1);
         assert!(questions >= 1);
     }

@@ -50,14 +50,16 @@ pub enum SplitStrategyKind {
 }
 
 impl SplitStrategyKind {
-    /// Instantiate the strategy.
+    /// Instantiate the strategy, wrapped for telemetry (split timings and
+    /// the `insertion.splits_generated` counter).
     pub fn build(self) -> Box<dyn SplitStrategy> {
-        match self {
+        let inner: Box<dyn SplitStrategy> = match self {
             SplitStrategyKind::Naive => Box::new(NaiveSplit),
             SplitStrategyKind::Random(seed) => Box::new(RandomSplit::new(seed)),
             SplitStrategyKind::MinCut => Box::new(MinCutSplit),
             SplitStrategyKind::Provenance => Box::new(ProvenanceSplit),
-        }
+        };
+        Box::new(InstrumentedSplit { inner })
     }
 
     /// Label used in figures.
@@ -98,7 +100,9 @@ pub struct RandomSplit {
 impl RandomSplit {
     /// Seeded random splitter.
     pub fn new(seed: u64) -> Self {
-        RandomSplit { rng: StdRng::seed_from_u64(seed) }
+        RandomSplit {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -185,6 +189,47 @@ impl SplitStrategy for ProvenanceSplit {
     }
 }
 
+/// Decorator that reports each split to the telemetry layer: a
+/// `split.compute_ns` histogram observation per call and one
+/// `insertion.splits_generated` count per successful split. Inert (two
+/// atomic loads) while telemetry is disabled.
+pub struct InstrumentedSplit {
+    inner: Box<dyn SplitStrategy>,
+}
+
+impl InstrumentedSplit {
+    /// Wrap an existing strategy.
+    pub fn new(inner: Box<dyn SplitStrategy>) -> Self {
+        InstrumentedSplit { inner }
+    }
+}
+
+impl SplitStrategy for InstrumentedSplit {
+    fn split(
+        &mut self,
+        q: &ConjunctiveQuery,
+        db: &mut Database,
+    ) -> Option<(ConjunctiveQuery, ConjunctiveQuery)> {
+        if !qoco_telemetry::enabled() {
+            return self.inner.split(q, db);
+        }
+        let start = qoco_telemetry::now_ns();
+        let out = self.inner.split(q, db);
+        qoco_telemetry::histogram_record(
+            "split.compute_ns",
+            qoco_telemetry::now_ns().saturating_sub(start),
+        );
+        if out.is_some() {
+            qoco_telemetry::counter_add("insertion.splits_generated", 1);
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,9 +246,11 @@ mod tests {
             .build()
             .unwrap();
         let mut db = Database::empty(schema.clone());
-        db.insert_named("Games", tup!["09.06.06", "ITA", "FRA", "Final", "5:3"]).unwrap();
+        db.insert_named("Games", tup!["09.06.06", "ITA", "FRA", "Final", "5:3"])
+            .unwrap();
         db.insert_named("Teams", tup!["GER", "EU"]).unwrap();
-        db.insert_named("Players", tup!["Pirlo", "ITA", 1979, "ITA"]).unwrap();
+        db.insert_named("Players", tup!["Pirlo", "ITA", 1979, "ITA"])
+            .unwrap();
         db.insert_named("Goals", tup!["Pirlo", "09.06.06"]).unwrap();
         let q = parse_query(
             &schema,

@@ -38,11 +38,7 @@ pub fn union_answer_set(uq: &UnionQuery, db: &mut Database) -> Vec<Tuple> {
 
 /// Verify a union answer: true iff some disjunct certifies it. Asks the
 /// crowd per disjunct, stopping at the first YES.
-fn verify_union_answer<C: CrowdAccess + ?Sized>(
-    uq: &UnionQuery,
-    crowd: &mut C,
-    t: &Tuple,
-) -> bool {
+fn verify_union_answer<C: CrowdAccess + ?Sized>(uq: &UnionQuery, crowd: &mut C, t: &Tuple) -> bool {
     uq.disjuncts().iter().any(|q| crowd.verify_answer(q, t))
 }
 
@@ -70,7 +66,9 @@ pub fn clean_union_view<C: CrowdAccess + ?Sized>(
         first = false;
         report.iterations += 1;
         if report.iterations > config.max_iterations {
-            return Err(CleanError::IterationBudget { budget: config.max_iterations });
+            return Err(CleanError::IterationBudget {
+                budget: config.max_iterations,
+            });
         }
 
         // ---- deletion: purge a wrong answer from every producing disjunct
@@ -93,7 +91,9 @@ pub fn clean_union_view<C: CrowdAccess + ?Sized>(
                 }
             }
         }
-        report.deletion_stats.absorb(&crowd.stats().since(&del_before));
+        report
+            .deletion_stats
+            .absorb(&crowd.stats().since(&del_before));
 
         // ---- insertion: find missing answers via any disjunct
         let ins_before = crowd.stats();
@@ -113,11 +113,14 @@ pub fn clean_union_view<C: CrowdAccess + ?Sized>(
             // query must be satisfiable w.r.t. the ground truth
             let mut achieved = false;
             for q in uq.disjuncts() {
-                let Ok(q_t) = embed_answer(q, t.values()) else { continue };
+                let Ok(q_t) = embed_answer(q, t.values()) else {
+                    continue;
+                };
                 if !crowd.verify_satisfiable(&q_t, &Assignment::new()) {
                     continue;
                 }
-                let out = crowd_add_missing_answer(q, db, &t, crowd, &mut *split, config.insertion)?;
+                let out =
+                    crowd_add_missing_answer(q, db, &t, crowd, &mut *split, config.insertion)?;
                 report.insertion_upper_bound += out.upper_bound;
                 report.edits.extend(out.edits);
                 if out.achieved {
@@ -130,7 +133,9 @@ pub fn clean_union_view<C: CrowdAccess + ?Sized>(
                 report.anomalies += 1;
             }
         }
-        report.insertion_stats.absorb(&crowd.stats().since(&ins_before));
+        report
+            .insertion_stats
+            .absorb(&crowd.stats().since(&ins_before));
     }
 
     report.total_stats = report.deletion_stats;
@@ -154,13 +159,17 @@ mod tests {
             .build()
             .unwrap();
         let mut d = Database::empty(schema.clone());
-        d.insert_named("Games", tup!["13.07.14", "GER", "ARG", "Final", "1:0"]).unwrap();
+        d.insert_named("Games", tup!["13.07.14", "GER", "ARG", "Final", "1:0"])
+            .unwrap();
         // false: BRA never beat FRA in a final
-        d.insert_named("Games", tup!["99.99.99", "BRA", "FRA", "Final", "9:0"]).unwrap();
+        d.insert_named("Games", tup!["99.99.99", "BRA", "FRA", "Final", "9:0"])
+            .unwrap();
 
         let mut g = Database::empty(schema.clone());
-        g.insert_named("Games", tup!["13.07.14", "GER", "ARG", "Final", "1:0"]).unwrap();
-        g.insert_named("Games", tup!["11.07.10", "ESP", "NED", "Final", "1:0"]).unwrap();
+        g.insert_named("Games", tup!["13.07.14", "GER", "ARG", "Final", "1:0"])
+            .unwrap();
+        g.insert_named("Games", tup!["11.07.10", "ESP", "NED", "Final", "1:0"])
+            .unwrap();
 
         let q_win = parse_query(&schema, r#"W(x) :- Games(d, x, y, "Final", u)"#).unwrap();
         let q_lose = parse_query(&schema, r#"L(x) :- Games(d, y, x, "Final", u)"#).unwrap();
@@ -187,8 +196,7 @@ mod tests {
             union_answer_set(&uq, &mut gm)
         };
         let mut crowd = SingleExpert::new(PerfectOracle::new(g));
-        let report =
-            clean_union_view(&uq, &mut d, &mut crowd, CleaningConfig::default()).unwrap();
+        let report = clean_union_view(&uq, &mut d, &mut crowd, CleaningConfig::default()).unwrap();
         assert_eq!(union_answer_set(&uq, &mut d), truth);
         // BRA and FRA were wrong (and fixed by the same fact deletion);
         // ESP and NED were missing — inserting the 2010 final for ESP
@@ -213,8 +221,7 @@ mod tests {
         let (_, _, g, uq) = setup();
         let mut d = g.clone();
         let mut crowd = SingleExpert::new(PerfectOracle::new(g));
-        let report =
-            clean_union_view(&uq, &mut d, &mut crowd, CleaningConfig::default()).unwrap();
+        let report = clean_union_view(&uq, &mut d, &mut crowd, CleaningConfig::default()).unwrap();
         assert!(report.edits.is_empty());
     }
 }

@@ -39,7 +39,10 @@ impl ImperfectOracle {
     /// # Panics
     /// Panics unless `0.0 ≤ error_rate ≤ 1.0`.
     pub fn new(ground: Database, error_rate: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&error_rate), "error rate must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&error_rate),
+            "error rate must be a probability"
+        );
         let domain = ground.active_domain();
         ImperfectOracle {
             inner: PerfectOracle::new(ground),
@@ -137,7 +140,10 @@ mod tests {
     use qoco_data::{tup, Fact, Schema};
 
     fn ground() -> Database {
-        let s = Schema::builder().relation("T", &["a", "b"]).build().unwrap();
+        let s = Schema::builder()
+            .relation("T", &["a", "b"])
+            .build()
+            .unwrap();
         let mut g = Database::empty(s);
         for i in 0..20i64 {
             g.insert_named("T", tup![i, i + 100]).unwrap();
@@ -189,7 +195,9 @@ mod tests {
         let q_yes = a_fact(&g, true);
         let run = |seed| {
             let mut o = ImperfectOracle::new(ground(), 0.5, seed);
-            (0..50).map(|_| o.answer(&q_yes).expect_bool()).collect::<Vec<_>>()
+            (0..50)
+                .map(|_| o.answer(&q_yes).expect_bool())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));
@@ -211,7 +219,10 @@ mod tests {
         // returned, it must still bind both variables
         for _ in 0..20 {
             if let Some(a) = o
-                .answer(&Question::Complete { query: q.clone(), partial: Assignment::new() })
+                .answer(&Question::Complete {
+                    query: q.clone(),
+                    partial: Assignment::new(),
+                })
                 .expect_completion()
             {
                 assert_eq!(a.len(), 2);

@@ -20,12 +20,18 @@ pub struct PerfectOracle {
 impl PerfectOracle {
     /// Build a perfect oracle over `ground`.
     pub fn new(ground: Database) -> Self {
-        PerfectOracle { ground, label: "perfect-oracle".to_string() }
+        PerfectOracle {
+            ground,
+            label: "perfect-oracle".to_string(),
+        }
     }
 
     /// Build with a custom label.
     pub fn with_label(ground: Database, label: impl Into<String>) -> Self {
-        PerfectOracle { ground, label: label.into() }
+        PerfectOracle {
+            ground,
+            label: label.into(),
+        }
     }
 
     /// Read access to the ground truth (used by tests and the ground-truth
@@ -107,8 +113,18 @@ mod tests {
         let g = ground();
         let q = parse_query(g.schema(), r#"(x) :- Teams(x, "EU")"#).unwrap();
         let mut o = PerfectOracle::new(g);
-        assert!(o.answer(&Question::VerifyAnswer { query: q.clone(), answer: tup!["ITA"] }).expect_bool());
-        assert!(!o.answer(&Question::VerifyAnswer { query: q, answer: tup!["BRA"] }).expect_bool());
+        assert!(o
+            .answer(&Question::VerifyAnswer {
+                query: q.clone(),
+                answer: tup!["ITA"]
+            })
+            .expect_bool());
+        assert!(!o
+            .answer(&Question::VerifyAnswer {
+                query: q,
+                answer: tup!["BRA"]
+            })
+            .expect_bool());
     }
 
     #[test]
@@ -116,21 +132,42 @@ mod tests {
         let g = ground();
         let q = parse_query(g.schema(), r#"(x, k) :- Teams(x, k)"#).unwrap();
         let mut o = PerfectOracle::new(g);
-        let partial = Assignment::from_pairs([(qoco_query::Var::new("x"), qoco_data::Value::text("ITA"))]);
+        let partial =
+            Assignment::from_pairs([(qoco_query::Var::new("x"), qoco_data::Value::text("ITA"))]);
         assert!(o
-            .answer(&Question::VerifySatisfiable { query: q.clone(), partial: partial.clone() })
+            .answer(&Question::VerifySatisfiable {
+                query: q.clone(),
+                partial: partial.clone()
+            })
             .expect_bool());
         let completion = o
-            .answer(&Question::Complete { query: q.clone(), partial })
+            .answer(&Question::Complete {
+                query: q.clone(),
+                partial,
+            })
             .expect_completion()
             .unwrap();
-        assert_eq!(completion.get(&qoco_query::Var::new("k")), Some(&qoco_data::Value::text("EU")));
+        assert_eq!(
+            completion.get(&qoco_query::Var::new("k")),
+            Some(&qoco_data::Value::text("EU"))
+        );
         // unsatisfiable partial → None
-        let bad = Assignment::from_pairs([(qoco_query::Var::new("x"), qoco_data::Value::text("FRA"))]);
+        let bad =
+            Assignment::from_pairs([(qoco_query::Var::new("x"), qoco_data::Value::text("FRA"))]);
         assert!(!o
-            .answer(&Question::VerifySatisfiable { query: q.clone(), partial: bad.clone() })
+            .answer(&Question::VerifySatisfiable {
+                query: q.clone(),
+                partial: bad.clone()
+            })
             .expect_bool());
-        assert_eq!(o.answer(&Question::Complete { query: q, partial: bad }).expect_completion(), None);
+        assert_eq!(
+            o.answer(&Question::Complete {
+                query: q,
+                partial: bad
+            })
+            .expect_completion(),
+            None
+        );
     }
 
     #[test]
@@ -140,12 +177,18 @@ mod tests {
         let mut o = PerfectOracle::new(g);
         let known = vec![tup!["GER"]];
         let miss = o
-            .answer(&Question::CompleteResult { query: q.clone(), known })
+            .answer(&Question::CompleteResult {
+                query: q.clone(),
+                known,
+            })
             .expect_missing();
         assert_eq!(miss, Some(tup!["ITA"]));
         let all_known = vec![tup!["GER"], tup!["ITA"]];
         let done = o
-            .answer(&Question::CompleteResult { query: q, known: all_known })
+            .answer(&Question::CompleteResult {
+                query: q,
+                known: all_known,
+            })
             .expect_missing();
         assert_eq!(done, None);
     }
@@ -156,10 +199,16 @@ mod tests {
         let q = parse_query(g.schema(), r#"(x, k) :- Teams(x, k)"#).unwrap();
         let mut o = PerfectOracle::new(g);
         let c1 = o
-            .answer(&Question::Complete { query: q.clone(), partial: Assignment::new() })
+            .answer(&Question::Complete {
+                query: q.clone(),
+                partial: Assignment::new(),
+            })
             .expect_completion();
         let c2 = o
-            .answer(&Question::Complete { query: q, partial: Assignment::new() })
+            .answer(&Question::Complete {
+                query: q,
+                partial: Assignment::new(),
+            })
             .expect_completion();
         assert_eq!(c1, c2);
     }

@@ -64,7 +64,12 @@ impl fmt::Debug for Question {
                 write!(f, "COMPL({partial:?}, {})", query.name())
             }
             Question::CompleteResult { query, known } => {
-                write!(f, "COMPL({}(D)) given {} known answers", query.name(), known.len())
+                write!(
+                    f,
+                    "COMPL({}(D)) given {} known answers",
+                    query.name(),
+                    known.len()
+                )
             }
         }
     }
@@ -122,16 +127,25 @@ mod tests {
         let q = parse_query(&s, "(x) :- T(x)").unwrap();
         let vf = Question::VerifyFact(Fact::new(RelId::from_index(0), tup!["a"]));
         assert!(format!("{vf:?}").starts_with("TRUE("));
-        let va = Question::VerifyAnswer { query: q.clone(), answer: tup!["a"] };
+        let va = Question::VerifyAnswer {
+            query: q.clone(),
+            answer: tup!["a"],
+        };
         assert!(format!("{va:?}").contains("TRUE(Q"));
-        let cr = Question::CompleteResult { query: q, known: vec![] };
+        let cr = Question::CompleteResult {
+            query: q,
+            known: vec![],
+        };
         assert!(format!("{cr:?}").contains("COMPL"));
     }
 
     #[test]
     fn expect_accessors() {
         assert!(Answer::Bool(true).expect_bool());
-        assert_eq!(Answer::MissingAnswer(Some(tup!["x"])).expect_missing(), Some(tup!["x"]));
+        assert_eq!(
+            Answer::MissingAnswer(Some(tup!["x"])).expect_missing(),
+            Some(tup!["x"])
+        );
         assert_eq!(Answer::Completion(None).expect_completion(), None);
     }
 

@@ -36,7 +36,11 @@ impl SamplingOracle {
     /// (`0.0` = uniform; `1.0` = strongly skewed).
     pub fn new(ground: Database, seed: u64, skew: f64) -> Self {
         assert!((0.0..=1.0).contains(&skew), "skew must be in [0, 1]");
-        SamplingOracle { inner: PerfectOracle::new(ground), rng: StdRng::seed_from_u64(seed), skew }
+        SamplingOracle {
+            inner: PerfectOracle::new(ground),
+            rng: StdRng::seed_from_u64(seed),
+            skew,
+        }
     }
 }
 
@@ -78,7 +82,8 @@ mod tests {
         let s = Schema::builder().relation("T", &["a"]).build().unwrap();
         let mut g = Database::empty(s);
         for i in 0..n {
-            g.insert_named("T", tup![format!("t{i:02}").as_str()]).unwrap();
+            g.insert_named("T", tup![format!("t{i:02}").as_str()])
+                .unwrap();
         }
         g
     }
@@ -91,13 +96,19 @@ mod tests {
         let mut seen = std::collections::HashMap::new();
         for _ in 0..100 {
             let t = o
-                .answer(&Question::CompleteResult { query: q.clone(), known: vec![] })
+                .answer(&Question::CompleteResult {
+                    query: q.clone(),
+                    known: vec![],
+                })
                 .expect_missing()
                 .expect("non-empty answer set");
             *seen.entry(t).or_insert(0usize) += 1;
         }
         assert!(seen.len() <= 5);
-        assert!(seen.values().any(|&c| c > 1), "100 draws over 5 answers must repeat");
+        assert!(
+            seen.values().any(|&c| c > 1),
+            "100 draws over 5 answers must repeat"
+        );
         let mut gm = g.clone();
         let truth = answer_set(&q, &mut gm);
         assert!(seen.keys().all(|t| truth.contains(t)));
@@ -114,7 +125,10 @@ mod tests {
         while !est.likely_complete(distinct.len()) && rounds < 500 {
             rounds += 1;
             let t = o
-                .answer(&Question::CompleteResult { query: q.clone(), known: vec![] })
+                .answer(&Question::CompleteResult {
+                    query: q.clone(),
+                    known: vec![],
+                })
                 .expect_missing()
                 .expect("answers exist");
             est.observe(&t);
@@ -123,7 +137,11 @@ mod tests {
         assert!(rounds < 500, "estimator must converge");
         // the statistical stopping rule may fire slightly early; it must be
         // close to (and is usually exactly) full coverage
-        assert!(distinct.len() >= 5, "declared complete at {} of 6", distinct.len());
+        assert!(
+            distinct.len() >= 5,
+            "declared complete at {} of 6",
+            distinct.len()
+        );
     }
 
     #[test]
@@ -132,7 +150,10 @@ mod tests {
         let rel = g.schema().rel_id("T").unwrap();
         let mut o = SamplingOracle::new(g, 1, 0.2);
         assert!(o
-            .answer(&Question::VerifyFact(qoco_data::Fact::new(rel, tup!["t00"])))
+            .answer(&Question::VerifyFact(qoco_data::Fact::new(
+                rel,
+                tup!["t00"]
+            )))
             .expect_bool());
         assert!(!o
             .answer(&Question::VerifyFact(qoco_data::Fact::new(rel, tup!["zz"])))
@@ -153,7 +174,11 @@ mod tests {
         let q = parse_query(&s, "(x) :- T(x)").unwrap();
         let mut o = SamplingOracle::new(g, 0, 0.0);
         assert_eq!(
-            o.answer(&Question::CompleteResult { query: q, known: vec![] }).expect_missing(),
+            o.answer(&Question::CompleteResult {
+                query: q,
+                known: vec![]
+            })
+            .expect_missing(),
             None
         );
     }

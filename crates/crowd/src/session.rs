@@ -20,6 +20,14 @@ use crate::oracle::Oracle;
 use crate::question::Question;
 use crate::stats::CrowdStats;
 
+/// Report one crowd interaction to the telemetry layer: bump the
+/// `crowd.questions_asked` counter and emit a timeline event. Inert (one
+/// atomic load each) while telemetry is disabled.
+fn tel_question(name: &'static str, detail: impl FnOnce() -> String) {
+    qoco_telemetry::counter_add("crowd.questions_asked", 1);
+    qoco_telemetry::event(name, detail);
+}
+
 /// The typed crowd interface used by the cleaning algorithms.
 pub trait CrowdAccess {
     /// `TRUE(R(ā))?`
@@ -51,7 +59,10 @@ pub struct SingleExpert<O: Oracle> {
 impl<O: Oracle> SingleExpert<O> {
     /// Wrap an oracle.
     pub fn new(oracle: O) -> Self {
-        SingleExpert { oracle, stats: CrowdStats::new() }
+        SingleExpert {
+            oracle,
+            stats: CrowdStats::new(),
+        }
     }
 
     /// The wrapped oracle.
@@ -65,15 +76,22 @@ impl<O: Oracle> CrowdAccess for SingleExpert<O> {
         self.stats.verify_fact_questions += 1;
         self.stats.closed_answers += 1;
         self.stats.verify_fact_crowd_answers += 1;
-        self.oracle.answer(&Question::VerifyFact(f.clone())).expect_bool()
+        tel_question("crowd.verify_fact", || format!("{f:?}"));
+        self.oracle
+            .answer(&Question::VerifyFact(f.clone()))
+            .expect_bool()
     }
 
     fn verify_answer(&mut self, q: &ConjunctiveQuery, t: &Tuple) -> bool {
         self.stats.verify_answer_questions += 1;
         self.stats.closed_answers += 1;
         self.stats.verify_answer_crowd_answers += 1;
+        tel_question("crowd.verify_answer", || format!("{}({t})", q.name()));
         self.oracle
-            .answer(&Question::VerifyAnswer { query: q.clone(), answer: t.clone() })
+            .answer(&Question::VerifyAnswer {
+                query: q.clone(),
+                answer: t.clone(),
+            })
             .expect_bool()
     }
 
@@ -81,14 +99,23 @@ impl<O: Oracle> CrowdAccess for SingleExpert<O> {
         self.stats.satisfiable_questions += 1;
         self.stats.closed_answers += 1;
         self.stats.satisfiable_crowd_answers += 1;
+        tel_question("crowd.verify_satisfiable", || {
+            format!("{} with {} bound vars", q.name(), partial.len())
+        });
         self.oracle
-            .answer(&Question::VerifySatisfiable { query: q.clone(), partial: partial.clone() })
+            .answer(&Question::VerifySatisfiable {
+                query: q.clone(),
+                partial: partial.clone(),
+            })
             .expect_bool()
     }
 
     fn verify_facts_all(&mut self, facts: &[Fact]) -> bool {
         self.stats.composite_questions += 1;
         self.stats.closed_answers += 1;
+        tel_question("crowd.verify_facts_all", || {
+            format!("{} facts", facts.len())
+        });
         self.oracle
             .answer(&Question::VerifyAllFacts(facts.to_vec()))
             .expect_bool()
@@ -96,9 +123,15 @@ impl<O: Oracle> CrowdAccess for SingleExpert<O> {
 
     fn complete(&mut self, q: &ConjunctiveQuery, partial: &Assignment) -> Option<Assignment> {
         self.stats.complete_tasks += 1;
+        tel_question("crowd.complete", || {
+            format!("{} from {} bound vars", q.name(), partial.len())
+        });
         let reply = self
             .oracle
-            .answer(&Question::Complete { query: q.clone(), partial: partial.clone() })
+            .answer(&Question::Complete {
+                query: q.clone(),
+                partial: partial.clone(),
+            })
             .expect_completion();
         if let Some(total) = &reply {
             let filled = total.len().saturating_sub(partial.len());
@@ -110,9 +143,15 @@ impl<O: Oracle> CrowdAccess for SingleExpert<O> {
 
     fn next_missing_answer(&mut self, q: &ConjunctiveQuery, known: &[Tuple]) -> Option<Tuple> {
         self.stats.complete_result_tasks += 1;
+        tel_question("crowd.complete_result", || {
+            format!("{} with {} known answers", q.name(), known.len())
+        });
         let reply = self
             .oracle
-            .answer(&Question::CompleteResult { query: q.clone(), known: known.to_vec() })
+            .answer(&Question::CompleteResult {
+                query: q.clone(),
+                known: known.to_vec(),
+            })
             .expect_missing();
         if reply.is_some() {
             self.stats.missing_answers_provided += 1;
@@ -142,7 +181,11 @@ impl<O: Oracle> MajorityCrowd<O> {
     /// Panics on an empty panel.
     pub fn new(experts: Vec<O>) -> Self {
         assert!(!experts.is_empty(), "the crowd needs at least one expert");
-        MajorityCrowd { experts, stats: CrowdStats::new(), next_open: 0 }
+        MajorityCrowd {
+            experts,
+            stats: CrowdStats::new(),
+            next_open: 0,
+        }
     }
 
     /// Number of experts on the panel.
@@ -153,6 +196,17 @@ impl<O: Oracle> MajorityCrowd<O> {
     /// Ask a closed question to experts until a majority of the full panel
     /// agrees (e.g. 2 of 3), counting each individual answer.
     fn majority_bool(&mut self, q: &Question) -> bool {
+        tel_question("crowd.majority_question", || {
+            let kind = match q {
+                Question::VerifyFact(_) => "verify_fact",
+                Question::VerifyAllFacts(_) => "verify_facts_all",
+                Question::VerifyAnswer { .. } => "verify_answer",
+                Question::VerifySatisfiable { .. } => "verify_satisfiable",
+                Question::Complete { .. } => "complete",
+                Question::CompleteResult { .. } => "complete_result",
+            };
+            kind.to_string()
+        });
         let need = self.experts.len() / 2 + 1;
         let mut yes = 0usize;
         let mut no = 0usize;
@@ -162,9 +216,7 @@ impl<O: Oracle> MajorityCrowd<O> {
             match q {
                 Question::VerifyAnswer { .. } => self.stats.verify_answer_crowd_answers += 1,
                 Question::VerifyFact(_) => self.stats.verify_fact_crowd_answers += 1,
-                Question::VerifySatisfiable { .. } => {
-                    self.stats.satisfiable_crowd_answers += 1
-                }
+                Question::VerifySatisfiable { .. } => self.stats.satisfiable_crowd_answers += 1,
                 _ => {}
             }
             if b {
@@ -193,7 +245,9 @@ impl<O: Oracle> MajorityCrowd<O> {
             }
         }
         // inequalities must hold on a valid assignment
-        q.inequalities().iter().all(|e| total.check_inequality(e) == Some(true))
+        q.inequalities()
+            .iter()
+            .all(|e| total.check_inequality(e) == Some(true))
     }
 }
 
@@ -205,7 +259,10 @@ impl<O: Oracle> CrowdAccess for MajorityCrowd<O> {
 
     fn verify_answer(&mut self, q: &ConjunctiveQuery, t: &Tuple) -> bool {
         self.stats.verify_answer_questions += 1;
-        self.majority_bool(&Question::VerifyAnswer { query: q.clone(), answer: t.clone() })
+        self.majority_bool(&Question::VerifyAnswer {
+            query: q.clone(),
+            answer: t.clone(),
+        })
     }
 
     fn verify_satisfiable(&mut self, q: &ConjunctiveQuery, partial: &Assignment) -> bool {
@@ -227,8 +284,14 @@ impl<O: Oracle> CrowdAccess for MajorityCrowd<O> {
         for i in 0..self.experts.len() {
             let idx = (self.next_open + i) % self.experts.len();
             self.stats.complete_tasks += 1;
+            tel_question("crowd.complete", || {
+                format!("{} from {} bound vars", q.name(), partial.len())
+            });
             let reply = self.experts[idx]
-                .answer(&Question::Complete { query: q.clone(), partial: partial.clone() })
+                .answer(&Question::Complete {
+                    query: q.clone(),
+                    partial: partial.clone(),
+                })
                 .expect_completion();
             let Some(total) = reply else { continue };
             let filled = total.len().saturating_sub(partial.len());
@@ -247,15 +310,23 @@ impl<O: Oracle> CrowdAccess for MajorityCrowd<O> {
         for i in 0..self.experts.len() {
             let idx = (self.next_open + i) % self.experts.len();
             self.stats.complete_result_tasks += 1;
+            tel_question("crowd.complete_result", || {
+                format!("{} with {} known answers", q.name(), known.len())
+            });
             let reply = self.experts[idx]
-                .answer(&Question::CompleteResult { query: q.clone(), known: known.to_vec() })
+                .answer(&Question::CompleteResult {
+                    query: q.clone(),
+                    known: known.to_vec(),
+                })
                 .expect_missing();
             let Some(t) = reply else { continue };
             self.stats.open_answer_variables += q.head().len();
             // Section 6.2: verify with the closed question TRUE(Q, t)?
             self.stats.verify_answer_questions += 1;
-            if self.majority_bool(&Question::VerifyAnswer { query: q.clone(), answer: t.clone() })
-            {
+            if self.majority_bool(&Question::VerifyAnswer {
+                query: q.clone(),
+                answer: t.clone(),
+            }) {
                 self.stats.missing_answers_provided += 1;
                 self.next_open = (idx + 1) % self.experts.len();
                 return Some(t);
@@ -312,10 +383,8 @@ mod tests {
         let g = ground();
         let q = parse_query(g.schema(), "(x, k) :- Teams(x, k)").unwrap();
         let mut crowd = SingleExpert::new(PerfectOracle::new(g));
-        let partial = Assignment::from_pairs([(
-            qoco_query::Var::new("x"),
-            qoco_data::Value::text("ITA"),
-        )]);
+        let partial =
+            Assignment::from_pairs([(qoco_query::Var::new("x"), qoco_data::Value::text("ITA"))]);
         let total = crowd.complete(&q, &partial).unwrap();
         assert_eq!(total.len(), 2);
         let st = crowd.stats();
@@ -333,13 +402,15 @@ mod tests {
         assert_eq!(t, tup!["ITA"]);
         assert_eq!(crowd.stats().missing_answers_provided, 1);
         assert_eq!(crowd.stats().open_answer_variables, 1);
-        assert_eq!(crowd.next_missing_answer(&q, &[tup!["GER"], tup!["ITA"]]), None);
+        assert_eq!(
+            crowd.next_missing_answer(&q, &[tup!["GER"], tup!["ITA"]]),
+            None
+        );
     }
 
     #[test]
     fn majority_early_stops_with_perfect_experts() {
-        let experts: Vec<PerfectOracle> =
-            (0..3).map(|_| PerfectOracle::new(ground())).collect();
+        let experts: Vec<PerfectOracle> = (0..3).map(|_| PerfectOracle::new(ground())).collect();
         let mut crowd = MajorityCrowd::new(experts);
         let teams = schema().rel_id("Teams").unwrap();
         assert!(crowd.verify_fact(&Fact::new(teams, tup!["GER", "EU"])));
@@ -365,8 +436,7 @@ mod tests {
 
     #[test]
     fn majority_completion_is_verified_with_closed_questions() {
-        let experts: Vec<PerfectOracle> =
-            (0..3).map(|_| PerfectOracle::new(ground())).collect();
+        let experts: Vec<PerfectOracle> = (0..3).map(|_| PerfectOracle::new(ground())).collect();
         let mut crowd = MajorityCrowd::new(experts);
         let q = parse_query(&schema(), "(x, k) :- Teams(x, k)").unwrap();
         let total = crowd.complete(&q, &Assignment::new()).unwrap();
@@ -401,8 +471,7 @@ mod tests {
 
     #[test]
     fn majority_missing_answer_is_verified() {
-        let experts: Vec<PerfectOracle> =
-            (0..3).map(|_| PerfectOracle::new(ground())).collect();
+        let experts: Vec<PerfectOracle> = (0..3).map(|_| PerfectOracle::new(ground())).collect();
         let mut crowd = MajorityCrowd::new(experts);
         let q = parse_query(&schema(), r#"(x) :- Teams(x, "EU")"#).unwrap();
         let t = crowd.next_missing_answer(&q, &[]).unwrap();

@@ -72,6 +72,16 @@ impl CrowdStats {
         self.closed_answers + self.open_answer_variables
     }
 
+    /// The session's total cost under the Section 7.2 accounting: each
+    /// answer to a closed question costs 1, and each open (completion)
+    /// answer costs the number of variables the expert filled in. This is
+    /// what the paper charges the crowd for a whole cleaning session and is
+    /// identical to [`total_crowd_answers`](Self::total_crowd_answers) —
+    /// kept as its own name so call sites say what they mean.
+    pub fn total_cost(&self) -> usize {
+        self.total_crowd_answers()
+    }
+
     /// Merge another ledger into this one.
     pub fn absorb(&mut self, other: &CrowdStats) {
         self.verify_answer_questions += other.verify_answer_questions;
@@ -109,7 +119,9 @@ impl CrowdStats {
             complete_result_tasks: self
                 .complete_result_tasks
                 .saturating_sub(baseline.complete_result_tasks),
-            filled_variables: self.filled_variables.saturating_sub(baseline.filled_variables),
+            filled_variables: self
+                .filled_variables
+                .saturating_sub(baseline.filled_variables),
             missing_answers_provided: self
                 .missing_answers_provided
                 .saturating_sub(baseline.missing_answers_provided),
@@ -152,8 +164,16 @@ mod tests {
 
     #[test]
     fn absorb_adds_fieldwise() {
-        let mut a = CrowdStats { verify_fact_questions: 2, filled_variables: 3, ..Default::default() };
-        let b = CrowdStats { verify_fact_questions: 1, closed_answers: 5, ..Default::default() };
+        let mut a = CrowdStats {
+            verify_fact_questions: 2,
+            filled_variables: 3,
+            ..Default::default()
+        };
+        let b = CrowdStats {
+            verify_fact_questions: 1,
+            closed_answers: 5,
+            ..Default::default()
+        };
         a.absorb(&b);
         assert_eq!(a.verify_fact_questions, 3);
         assert_eq!(a.filled_variables, 3);
@@ -162,8 +182,15 @@ mod tests {
 
     #[test]
     fn since_is_a_saturating_difference() {
-        let a = CrowdStats { verify_fact_questions: 5, ..Default::default() };
-        let b = CrowdStats { verify_fact_questions: 2, closed_answers: 10, ..Default::default() };
+        let a = CrowdStats {
+            verify_fact_questions: 5,
+            ..Default::default()
+        };
+        let b = CrowdStats {
+            verify_fact_questions: 2,
+            closed_answers: 10,
+            ..Default::default()
+        };
         let d = a.since(&b);
         assert_eq!(d.verify_fact_questions, 3);
         assert_eq!(d.closed_answers, 0);
@@ -184,13 +211,19 @@ mod tests {
         assert_eq!(s.deletion_questions(), 2);
         assert_eq!(s.insertion_questions(), 7);
         assert_eq!(s.total_crowd_answers(), 10);
+        assert_eq!(s.total_cost(), 10);
     }
 
     #[test]
     fn display_mentions_all_counters() {
         let s = CrowdStats::default();
         let out = s.to_string();
-        for key in ["verify-answer", "verify-fact", "satisfiable", "complete-result"] {
+        for key in [
+            "verify-answer",
+            "verify-fact",
+            "satisfiable",
+            "complete-result",
+        ] {
             assert!(out.contains(key), "missing {key} in {out}");
         }
     }

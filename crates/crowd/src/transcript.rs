@@ -68,6 +68,20 @@ pub enum TranscriptEntry {
     },
 }
 
+impl TranscriptEntry {
+    /// Short dotted label for timelines and grouping.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TranscriptEntry::VerifyFact { .. } => "crowd.verify_fact",
+            TranscriptEntry::VerifyAllFacts { .. } => "crowd.verify_facts_all",
+            TranscriptEntry::VerifyAnswer { .. } => "crowd.verify_answer",
+            TranscriptEntry::VerifySatisfiable { .. } => "crowd.verify_satisfiable",
+            TranscriptEntry::Complete { .. } => "crowd.complete",
+            TranscriptEntry::CompleteResult { .. } => "crowd.complete_result",
+        }
+    }
+}
+
 impl fmt::Display for TranscriptEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -77,14 +91,29 @@ impl fmt::Display for TranscriptEntry {
             TranscriptEntry::VerifyAllFacts { group_size, answer } => {
                 write!(f, "TRUE-ALL({group_size} facts)? → {answer}")
             }
-            TranscriptEntry::VerifyAnswer { query, tuple, answer } => {
+            TranscriptEntry::VerifyAnswer {
+                query,
+                tuple,
+                answer,
+            } => {
                 write!(f, "TRUE({query}, {tuple})? → {answer}")
             }
-            TranscriptEntry::VerifySatisfiable { query, bound_vars, answer } => {
+            TranscriptEntry::VerifySatisfiable {
+                query,
+                bound_vars,
+                answer,
+            } => {
                 write!(f, "SAT({query}, {bound_vars} bound)? → {answer}")
             }
-            TranscriptEntry::Complete { query, filled, completed } => {
-                write!(f, "COMPL(α, {query}) → completed={completed} ({filled} vars)")
+            TranscriptEntry::Complete {
+                query,
+                filled,
+                completed,
+            } => {
+                write!(
+                    f,
+                    "COMPL(α, {query}) → completed={completed} ({filled} vars)"
+                )
             }
             TranscriptEntry::CompleteResult { query, missing } => match missing {
                 Some(t) => write!(f, "COMPL({query}(D)) → {t}"),
@@ -98,17 +127,45 @@ impl fmt::Display for TranscriptEntry {
 pub struct RecordingCrowd<C: CrowdAccess> {
     inner: C,
     transcript: Vec<TranscriptEntry>,
+    /// Session-epoch timestamp (ns) per entry; 0 while telemetry is off.
+    timestamps: Vec<u64>,
 }
 
 impl<C: CrowdAccess> RecordingCrowd<C> {
     /// Wrap a crowd session.
     pub fn new(inner: C) -> Self {
-        RecordingCrowd { inner, transcript: Vec::new() }
+        RecordingCrowd {
+            inner,
+            transcript: Vec::new(),
+            timestamps: Vec::new(),
+        }
     }
 
     /// The recorded interactions, in order.
     pub fn transcript(&self) -> &[TranscriptEntry] {
         &self.transcript
+    }
+
+    fn record(&mut self, entry: TranscriptEntry) {
+        self.timestamps.push(qoco_telemetry::now_ns());
+        self.transcript.push(entry);
+    }
+
+    /// Bridge the transcript into [`qoco_telemetry::TimelineEvent`]s so a
+    /// [`qoco_telemetry::SessionTimeline`] can merge crowd interactions with
+    /// spans and metrics. Timestamps are meaningful only for interactions
+    /// recorded while telemetry was enabled (otherwise they are 0 and sort
+    /// to the front).
+    pub fn timeline_events(&self) -> Vec<qoco_telemetry::TimelineEvent> {
+        self.transcript
+            .iter()
+            .zip(&self.timestamps)
+            .map(|(e, &at_ns)| qoco_telemetry::TimelineEvent {
+                at_ns,
+                label: e.label().to_string(),
+                detail: e.to_string(),
+            })
+            .collect()
     }
 
     /// Consume the wrapper, returning the inner session and the transcript.
@@ -120,20 +177,25 @@ impl<C: CrowdAccess> RecordingCrowd<C> {
 impl<C: CrowdAccess> CrowdAccess for RecordingCrowd<C> {
     fn verify_fact(&mut self, f: &Fact) -> bool {
         let answer = self.inner.verify_fact(f);
-        self.transcript.push(TranscriptEntry::VerifyFact { fact: f.clone(), answer });
+        self.record(TranscriptEntry::VerifyFact {
+            fact: f.clone(),
+            answer,
+        });
         answer
     }
 
     fn verify_facts_all(&mut self, facts: &[Fact]) -> bool {
         let answer = self.inner.verify_facts_all(facts);
-        self.transcript
-            .push(TranscriptEntry::VerifyAllFacts { group_size: facts.len(), answer });
+        self.record(TranscriptEntry::VerifyAllFacts {
+            group_size: facts.len(),
+            answer,
+        });
         answer
     }
 
     fn verify_answer(&mut self, q: &ConjunctiveQuery, t: &Tuple) -> bool {
         let answer = self.inner.verify_answer(q, t);
-        self.transcript.push(TranscriptEntry::VerifyAnswer {
+        self.record(TranscriptEntry::VerifyAnswer {
             query: q.name().to_string(),
             tuple: t.clone(),
             answer,
@@ -143,7 +205,7 @@ impl<C: CrowdAccess> CrowdAccess for RecordingCrowd<C> {
 
     fn verify_satisfiable(&mut self, q: &ConjunctiveQuery, partial: &Assignment) -> bool {
         let answer = self.inner.verify_satisfiable(q, partial);
-        self.transcript.push(TranscriptEntry::VerifySatisfiable {
+        self.record(TranscriptEntry::VerifySatisfiable {
             query: q.name().to_string(),
             bound_vars: partial.len(),
             answer,
@@ -153,8 +215,11 @@ impl<C: CrowdAccess> CrowdAccess for RecordingCrowd<C> {
 
     fn complete(&mut self, q: &ConjunctiveQuery, partial: &Assignment) -> Option<Assignment> {
         let reply = self.inner.complete(q, partial);
-        let filled = reply.as_ref().map(|r| r.len().saturating_sub(partial.len())).unwrap_or(0);
-        self.transcript.push(TranscriptEntry::Complete {
+        let filled = reply
+            .as_ref()
+            .map(|r| r.len().saturating_sub(partial.len()))
+            .unwrap_or(0);
+        self.record(TranscriptEntry::Complete {
             query: q.name().to_string(),
             filled,
             completed: reply.is_some(),
@@ -164,7 +229,7 @@ impl<C: CrowdAccess> CrowdAccess for RecordingCrowd<C> {
 
     fn next_missing_answer(&mut self, q: &ConjunctiveQuery, known: &[Tuple]) -> Option<Tuple> {
         let reply = self.inner.next_missing_answer(q, known);
-        self.transcript.push(TranscriptEntry::CompleteResult {
+        self.record(TranscriptEntry::CompleteResult {
             query: q.name().to_string(),
             missing: reply.clone(),
         });
@@ -203,12 +268,24 @@ mod tests {
         let mut crowd = RecordingCrowd::new(SingleExpert::new(PerfectOracle::new(g)));
         assert!(crowd.verify_fact(&Fact::new(teams, tup!["GER", "EU"])));
         assert!(crowd.verify_answer(&q, &tup!["ITA"]));
-        assert_eq!(crowd.next_missing_answer(&q, &[tup!["GER"], tup!["ITA"]]), None);
+        assert_eq!(
+            crowd.next_missing_answer(&q, &[tup!["GER"], tup!["ITA"]]),
+            None
+        );
         let t = crowd.transcript();
         assert_eq!(t.len(), 3);
-        assert!(matches!(t[0], TranscriptEntry::VerifyFact { answer: true, .. }));
-        assert!(matches!(t[1], TranscriptEntry::VerifyAnswer { answer: true, .. }));
-        assert!(matches!(t[2], TranscriptEntry::CompleteResult { missing: None, .. }));
+        assert!(matches!(
+            t[0],
+            TranscriptEntry::VerifyFact { answer: true, .. }
+        ));
+        assert!(matches!(
+            t[1],
+            TranscriptEntry::VerifyAnswer { answer: true, .. }
+        ));
+        assert!(matches!(
+            t[2],
+            TranscriptEntry::CompleteResult { missing: None, .. }
+        ));
         // stats pass through to the inner session
         assert_eq!(crowd.stats().verify_fact_questions, 1);
         assert_eq!(crowd.stats().complete_result_tasks, 1);
@@ -221,8 +298,7 @@ mod tests {
         let mut crowd = RecordingCrowd::new(SingleExpert::new(PerfectOracle::new(g)));
         let _ = crowd.next_missing_answer(&q, &[]);
         let _ = crowd.complete(&q, &Assignment::new());
-        let rendered: Vec<String> =
-            crowd.transcript().iter().map(|e| e.to_string()).collect();
+        let rendered: Vec<String> = crowd.transcript().iter().map(|e| e.to_string()).collect();
         assert!(rendered[0].starts_with("COMPL(Q(D))"), "{rendered:?}");
         assert!(rendered[1].contains("completed=true"), "{rendered:?}");
     }

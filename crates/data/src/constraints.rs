@@ -70,7 +70,11 @@ impl fmt::Display for Violation {
             Violation::KeyConflict { fact, existing, .. } => {
                 write!(f, "key conflict: {fact:?} vs existing {existing:?}")
             }
-            Violation::DanglingReference { fact, to_rel, missing_key } => {
+            Violation::DanglingReference {
+                fact,
+                to_rel,
+                missing_key,
+            } => {
                 write!(f, "dangling reference from {fact:?}: no {to_rel:?} tuple with key {missing_key:?}")
             }
         }
@@ -106,8 +110,16 @@ impl ConstraintSet {
         to_cols: Vec<usize>,
     ) -> Self {
         assert_eq!(from_cols.len(), to_cols.len(), "column lists must align");
-        assert!(!from_cols.is_empty(), "a foreign key needs at least one column");
-        self.fks.push(ForeignKey { from_rel, from_cols, to_rel, to_cols });
+        assert!(
+            !from_cols.is_empty(),
+            "a foreign key needs at least one column"
+        );
+        self.fks.push(ForeignKey {
+            from_rel,
+            from_cols,
+            to_rel,
+            to_cols,
+        });
         self
     }
 
@@ -143,8 +155,11 @@ impl ConstraintSet {
         }
         for fk in &self.fks {
             for t in db.relation(fk.from_rel).sorted() {
-                let kv: Vec<Value> =
-                    fk.from_cols.iter().map(|&i| t.values()[i].clone()).collect();
+                let kv: Vec<Value> = fk
+                    .from_cols
+                    .iter()
+                    .map(|&i| t.values()[i].clone())
+                    .collect();
                 if !self.referenced_exists(db, fk, &kv) {
                     out.push(Violation::DanglingReference {
                         fact: Fact::new(fk.from_rel, t),
@@ -168,11 +183,17 @@ impl ConstraintSet {
                     return out; // idempotent no-op
                 }
                 for kc in self.keys.iter().filter(|k| k.rel == edit.fact.rel) {
-                    let kv: Vec<Value> =
-                        kc.key.iter().map(|&i| edit.fact.tuple.values()[i].clone()).collect();
+                    let kv: Vec<Value> = kc
+                        .key
+                        .iter()
+                        .map(|&i| edit.fact.tuple.values()[i].clone())
+                        .collect();
                     for existing in db.relation(kc.rel).sorted() {
-                        let ek: Vec<Value> =
-                            kc.key.iter().map(|&i| existing.values()[i].clone()).collect();
+                        let ek: Vec<Value> = kc
+                            .key
+                            .iter()
+                            .map(|&i| existing.values()[i].clone())
+                            .collect();
                         if ek == kv {
                             out.push(Violation::KeyConflict {
                                 rel: kc.rel,
@@ -221,8 +242,11 @@ impl ConstraintSet {
                         continue;
                     }
                     for t in db.relation(fk.from_rel).sorted() {
-                        let kv: Vec<Value> =
-                            fk.from_cols.iter().map(|&i| t.values()[i].clone()).collect();
+                        let kv: Vec<Value> = fk
+                            .from_cols
+                            .iter()
+                            .map(|&i| t.values()[i].clone())
+                            .collect();
                         if kv == deleted_key {
                             out.push(Violation::DanglingReference {
                                 fact: Fact::new(fk.from_rel, t),
@@ -238,9 +262,12 @@ impl ConstraintSet {
     }
 
     fn referenced_exists(&self, db: &Database, fk: &ForeignKey, key: &[Value]) -> bool {
-        db.relation(fk.to_rel)
-            .iter()
-            .any(|t| fk.to_cols.iter().zip(key).all(|(&i, v)| &t.values()[i] == v))
+        db.relation(fk.to_rel).iter().any(|t| {
+            fk.to_cols
+                .iter()
+                .zip(key)
+                .all(|(&i, v)| &t.values()[i] == v)
+        })
     }
 }
 
@@ -273,7 +300,8 @@ mod tests {
         let cs = constraints(&s);
         let mut db = Database::empty(s.clone());
         db.insert_named("Teams", tup!["GER", "EU"]).unwrap();
-        db.insert_named("Games", tup!["13.07.14", "GER", "ARG", "Final", "1:0"]).unwrap();
+        db.insert_named("Games", tup!["13.07.14", "GER", "ARG", "Final", "1:0"])
+            .unwrap();
         assert!(cs.violations(&db).is_empty());
     }
 
@@ -294,7 +322,8 @@ mod tests {
         let s = schema();
         let cs = constraints(&s);
         let mut db = Database::empty(s.clone());
-        db.insert_named("Games", tup!["13.07.14", "GER", "ARG", "Final", "1:0"]).unwrap();
+        db.insert_named("Games", tup!["13.07.14", "GER", "ARG", "Final", "1:0"])
+            .unwrap();
         let v = cs.violations(&db);
         assert_eq!(v.len(), 1);
         assert!(matches!(v[0], Violation::DanglingReference { .. }));
@@ -326,7 +355,8 @@ mod tests {
         let teams = s.rel_id("Teams").unwrap();
         let mut db = Database::empty(s.clone());
         db.insert_named("Teams", tup!["GER", "EU"]).unwrap();
-        db.insert_named("Games", tup!["13.07.14", "GER", "ARG", "Final", "1:0"]).unwrap();
+        db.insert_named("Games", tup!["13.07.14", "GER", "ARG", "Final", "1:0"])
+            .unwrap();
         let e = Edit::delete(Fact::new(teams, tup!["GER", "EU"]));
         let v = cs.edit_violations(&db, &e);
         assert_eq!(v.len(), 1);
@@ -359,9 +389,13 @@ mod tests {
         let mut db = Database::empty(s.clone());
         db.insert_named("Teams", tup!["GER", "EU"]).unwrap();
         db.insert_named("Teams", tup!["GER", "EU-WEST"]).unwrap();
-        db.insert_named("Games", tup!["13.07.14", "GER", "ARG", "Final", "1:0"]).unwrap();
+        db.insert_named("Games", tup!["13.07.14", "GER", "ARG", "Final", "1:0"])
+            .unwrap();
         let e = Edit::delete(Fact::new(teams, tup!["GER", "EU"]));
-        assert!(cs.edit_violations(&db, &e).is_empty(), "the other GER row still provides");
+        assert!(
+            cs.edit_violations(&db, &e).is_empty(),
+            "the other GER row still provides"
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ pub struct Database {
 impl Database {
     /// An empty instance of `schema`.
     pub fn empty(schema: Arc<Schema>) -> Self {
-        let relations = schema.iter().map(|(_, r)| Relation::new(r.arity())).collect();
+        let relations = schema
+            .iter()
+            .map(|(_, r)| Relation::new(r.arity()))
+            .collect();
         Database { schema, relations }
     }
 
@@ -208,7 +211,14 @@ mod tests {
     fn arity_is_validated() {
         let mut db = Database::empty(schema());
         let err = db.insert_named("Teams", tup!["GER"]).unwrap_err();
-        assert!(matches!(err, DataError::ArityMismatch { expected: 2, got: 1, .. }));
+        assert!(matches!(
+            err,
+            DataError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -222,7 +232,8 @@ mod tests {
         let mut db = Database::empty(schema());
         db.insert_named("Teams", tup!["GER", "EU"]).unwrap();
         db.insert_named("Teams", tup!["BRA", "SA"]).unwrap();
-        db.insert_named("Games", tup!["13.07.14", "GER", "ARG", "Final", "1:0"]).unwrap();
+        db.insert_named("Games", tup!["13.07.14", "GER", "ARG", "Final", "1:0"])
+            .unwrap();
         assert_eq!(db.facts().count(), 3);
         assert_eq!(db.sorted_facts().len(), 3);
     }
@@ -233,7 +244,10 @@ mod tests {
         db.insert_named("Teams", tup!["GER", "EU"]).unwrap();
         db.insert_named("Teams", tup!["ITA", "EU"]).unwrap();
         let dom = db.active_domain();
-        assert_eq!(dom, vec![Value::text("EU"), Value::text("GER"), Value::text("ITA")]);
+        assert_eq!(
+            dom,
+            vec![Value::text("EU"), Value::text("GER"), Value::text("ITA")]
+        );
     }
 
     #[test]

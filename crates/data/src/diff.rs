@@ -71,7 +71,11 @@ pub fn diff(d: &Database, ground: &Database) -> Result<DiffReport, DataError> {
     false_facts.sort();
     missing_facts.sort();
     let common = d_facts.intersection(&g_facts).count();
-    Ok(DiffReport { false_facts, missing_facts, common })
+    Ok(DiffReport {
+        false_facts,
+        missing_facts,
+        common,
+    })
 }
 
 /// `|D − D_G|` symmetric-difference distance (Proposition 3.3's measure).

@@ -30,12 +30,18 @@ pub struct Edit {
 impl Edit {
     /// An insertion edit `R(ā)+`.
     pub fn insert(fact: Fact) -> Self {
-        Edit { kind: EditKind::Insert, fact }
+        Edit {
+            kind: EditKind::Insert,
+            fact,
+        }
     }
 
     /// A deletion edit `R(ā)−`.
     pub fn delete(fact: Fact) -> Self {
-        Edit { kind: EditKind::Delete, fact }
+        Edit {
+            kind: EditKind::Delete,
+            fact,
+        }
     }
 
     /// The edit that undoes this one.
@@ -103,12 +109,18 @@ impl EditLog {
 
     /// Count of insertion edits.
     pub fn insertions(&self) -> usize {
-        self.edits.iter().filter(|e| e.kind == EditKind::Insert).count()
+        self.edits
+            .iter()
+            .filter(|e| e.kind == EditKind::Insert)
+            .count()
     }
 
     /// Count of deletion edits.
     pub fn deletions(&self) -> usize {
-        self.edits.iter().filter(|e| e.kind == EditKind::Delete).count()
+        self.edits
+            .iter()
+            .filter(|e| e.kind == EditKind::Delete)
+            .count()
     }
 }
 

@@ -32,7 +32,10 @@ impl fmt::Display for DataError {
             DataError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
             DataError::BadRelId(id) => write!(f, "relation id {id:?} not in schema"),
             DataError::ArityMismatch { rel, expected, got } => {
-                write!(f, "arity mismatch for `{rel}`: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "arity mismatch for `{rel}`: expected {expected}, got {got}"
+                )
             }
             DataError::SchemaMismatch => write!(f, "databases do not share a schema"),
             DataError::DuplicateRelation(name) => {
@@ -50,10 +53,16 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = DataError::ArityMismatch { rel: "Games".into(), expected: 5, got: 4 };
+        let e = DataError::ArityMismatch {
+            rel: "Games".into(),
+            expected: 5,
+            got: 4,
+        };
         let msg = e.to_string();
         assert!(msg.contains("Games") && msg.contains('5') && msg.contains('4'));
-        assert!(DataError::UnknownRelation("X".into()).to_string().contains("X"));
+        assert!(DataError::UnknownRelation("X".into())
+            .to_string()
+            .contains("X"));
         assert!(DataError::SchemaMismatch.to_string().contains("schema"));
     }
 }

@@ -37,7 +37,11 @@ impl std::fmt::Display for IoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             IoError::Io(e) => write!(f, "io error: {e}"),
-            IoError::Format { file, line, message } => {
+            IoError::Format {
+                file,
+                line,
+                message,
+            } => {
                 write!(f, "{file}:{line}: {message}")
             }
             IoError::Data(e) => write!(f, "data error: {e}"),
@@ -210,10 +214,7 @@ mod tests {
     }
 
     fn tmpdir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "qoco-io-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("qoco-io-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -224,7 +225,8 @@ mod tests {
         let mut db = Database::empty(s.clone());
         db.insert_named("Teams", tup!["GER", "EU"]).unwrap();
         db.insert_named("Teams", tup!["BRA", "SA"]).unwrap();
-        db.insert_named("Players", tup!["Mario Götze", "GER", 1992, "GER"]).unwrap();
+        db.insert_named("Players", tup!["Mario Götze", "GER", 1992, "GER"])
+            .unwrap();
         let dir = tmpdir("roundtrip");
         save_dir(&db, &dir).unwrap();
         let loaded = load_dir(s, &dir).unwrap();
@@ -289,7 +291,10 @@ mod tests {
         let dir = tmpdir("badheader");
         fs::create_dir_all(&dir).unwrap();
         fs::write(dir.join("Teams.tsv"), "only-one-column\n").unwrap();
-        assert!(matches!(load_dir(s, &dir), Err(IoError::Format { line: 1, .. })));
+        assert!(matches!(
+            load_dir(s, &dir),
+            Err(IoError::Format { line: 1, .. })
+        ));
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -299,7 +304,10 @@ mod tests {
         let dir = tmpdir("badint");
         fs::create_dir_all(&dir).unwrap();
         fs::write(dir.join("T.tsv"), "v\n#not-a-number\n").unwrap();
-        assert!(matches!(load_dir(s, &dir), Err(IoError::Format { line: 2, .. })));
+        assert!(matches!(
+            load_dir(s, &dir),
+            Err(IoError::Format { line: 2, .. })
+        ));
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -307,7 +315,10 @@ mod tests {
     fn encode_decode_unit() {
         assert_eq!(encode(&Value::Int(5)), "#5");
         assert_eq!(decode("#5").unwrap(), Value::Int(5));
-        assert_eq!(decode(&encode(&Value::text("#x"))).unwrap(), Value::text("#x"));
+        assert_eq!(
+            decode(&encode(&Value::text("#x"))).unwrap(),
+            Value::text("#x")
+        );
         assert!(decode("\\q").is_err());
         assert!(decode("x\\").is_err());
     }

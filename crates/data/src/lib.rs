@@ -20,8 +20,8 @@ pub mod constraints;
 pub mod database;
 pub mod diff;
 pub mod edit;
-pub mod io;
 pub mod error;
+pub mod io;
 pub mod relation;
 pub mod schema;
 pub mod tuple;

@@ -25,7 +25,11 @@ pub struct Relation {
 impl Relation {
     /// Create an empty relation of the given arity.
     pub fn new(arity: usize) -> Self {
-        Relation { tuples: HashSet::new(), indexes: vec![None; arity], arity }
+        Relation {
+            tuples: HashSet::new(),
+            indexes: vec![None; arity],
+            arity,
+        }
     }
 
     /// The declared arity.
@@ -56,7 +60,11 @@ impl Relation {
     /// validated at the [`Database`](crate::Database) boundary, so a
     /// mismatch here is a logic error.
     pub fn insert(&mut self, t: Tuple) -> bool {
-        assert_eq!(t.arity(), self.arity, "tuple arity must match relation arity");
+        assert_eq!(
+            t.arity(),
+            self.arity,
+            "tuple arity must match relation arity"
+        );
         let changed = self.tuples.insert(t);
         if changed {
             self.invalidate();
@@ -88,11 +96,17 @@ impl Relation {
     /// Tuples whose `col`-th value equals `value`, via the (lazily rebuilt)
     /// column index. Returns an empty slice if no tuple matches.
     pub fn probe(&mut self, col: usize, value: &Value) -> &[Tuple] {
-        assert!(col < self.arity, "column {col} out of range for arity {}", self.arity);
+        assert!(
+            col < self.arity,
+            "column {col} out of range for arity {}",
+            self.arity
+        );
         if self.indexes[col].is_none() {
             let mut idx: HashMap<Value, Vec<Tuple>> = HashMap::new();
             for t in &self.tuples {
-                idx.entry(t.values()[col].clone()).or_default().push(t.clone());
+                idx.entry(t.values()[col].clone())
+                    .or_default()
+                    .push(t.clone());
             }
             self.indexes[col] = Some(idx);
         }

@@ -47,7 +47,10 @@ pub struct RelationSchema {
 impl RelationSchema {
     /// Create a relation schema with the given attribute names.
     pub fn new(name: impl Into<String>, attrs: Vec<String>) -> Self {
-        RelationSchema { name: name.into(), attrs }
+        RelationSchema {
+            name: name.into(),
+            attrs,
+        }
     }
 
     /// The relation's name.
@@ -104,7 +107,9 @@ impl Schema {
 
     /// The declaration of a relation.
     pub fn relation(&self, id: RelId) -> Result<&RelationSchema, DataError> {
-        self.relations.get(id.index()).ok_or(DataError::BadRelId(id))
+        self.relations
+            .get(id.index())
+            .ok_or(DataError::BadRelId(id))
     }
 
     /// The name of a relation (panics on a foreign id — ids are only minted
@@ -152,8 +157,10 @@ impl SchemaBuilder {
         }
         let id = RelId::from_index(self.relations.len());
         self.by_name.insert(name.to_string(), id);
-        self.relations
-            .push(RelationSchema::new(name, attrs.iter().map(|s| s.to_string()).collect()));
+        self.relations.push(RelationSchema::new(
+            name,
+            attrs.iter().map(|s| s.to_string()).collect(),
+        ));
         self
     }
 
@@ -170,7 +177,10 @@ impl SchemaBuilder {
         if let Some(e) = self.error {
             return Err(e);
         }
-        Ok(Arc::new(Schema { relations: self.relations, by_name: self.by_name }))
+        Ok(Arc::new(Schema {
+            relations: self.relations,
+            by_name: self.by_name,
+        }))
     }
 }
 
@@ -212,7 +222,10 @@ mod tests {
             .relation("A", &["x"])
             .relation("A", &["y"])
             .build();
-        assert_eq!(r.unwrap_err(), DataError::DuplicateRelation("A".to_string()));
+        assert_eq!(
+            r.unwrap_err(),
+            DataError::DuplicateRelation("A".to_string())
+        );
     }
 
     #[test]

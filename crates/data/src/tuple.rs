@@ -46,7 +46,11 @@ impl Tuple {
     /// # Panics
     /// Panics if `i` is out of range.
     pub fn with(&self, i: usize, v: Value) -> Tuple {
-        assert!(i < self.0.len(), "index {i} out of range for arity {}", self.0.len());
+        assert!(
+            i < self.0.len(),
+            "index {i} out of range for arity {}",
+            self.0.len()
+        );
         let mut vals: Vec<Value> = self.0.to_vec();
         vals[i] = v;
         Tuple::new(vals)

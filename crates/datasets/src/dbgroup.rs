@@ -35,7 +35,13 @@ pub struct DbGroupConfig {
 
 impl Default for DbGroupConfig {
     fn default() -> Self {
-        DbGroupConfig { seed: 42, members: 50, publications: 650, travels: 220, talks: 120 }
+        DbGroupConfig {
+            seed: 42,
+            members: 50,
+            publications: 650,
+            travels: 220,
+            talks: 120,
+        }
     }
 }
 
@@ -53,8 +59,9 @@ const TOPICS: [&str; 8] = [
 /// Topics covered by the ERC grant (MoDaS, per the acknowledgements).
 const ERC_TOPICS: [&str; 3] = ["crowdsourcing", "data-cleaning", "provenance"];
 const GRANTS: [&str; 3] = ["ERC", "ISF", "BSF"];
-const CONFS: [&str; 8] =
-    ["SIGMOD", "VLDB", "ICDE", "EDBT", "PODS", "ICDT", "WWW", "KDD"];
+const CONFS: [&str; 8] = [
+    "SIGMOD", "VLDB", "ICDE", "EDBT", "PODS", "ICDT", "WWW", "KDD",
+];
 const KINDS: [&str; 3] = ["Keynote", "Tutorial", "Regular"];
 const PERIODS: [&str; 2] = ["recent", "old"];
 
@@ -79,20 +86,29 @@ pub fn generate_dbgroup(config: DbGroupConfig) -> Database {
 
     // grant topic coverage
     for t in ERC_TOPICS {
-        db.insert_named("GrantTopics", Tuple::new(vec!["ERC".into(), t.into()])).unwrap();
+        db.insert_named("GrantTopics", Tuple::new(vec!["ERC".into(), t.into()]))
+            .unwrap();
     }
     for t in ["query-optimization", "privacy"] {
-        db.insert_named("GrantTopics", Tuple::new(vec!["ISF".into(), t.into()])).unwrap();
+        db.insert_named("GrantTopics", Tuple::new(vec!["ISF".into(), t.into()]))
+            .unwrap();
     }
-    db.insert_named("GrantTopics", Tuple::new(vec!["BSF".into(), "graph-data".into()]))
-        .unwrap();
+    db.insert_named(
+        "GrantTopics",
+        Tuple::new(vec!["BSF".into(), "graph-data".into()]),
+    )
+    .unwrap();
 
     // members
     let mut member_names = Vec::with_capacity(config.members);
     for i in 0..config.members {
         let name = format!("member-{i:02}");
         let role = ROLES[rng.random_range(0..ROLES.len())];
-        let status = if rng.random_range(0..3) == 0 { "alumni" } else { "current" };
+        let status = if rng.random_range(0..3) == 0 {
+            "alumni"
+        } else {
+            "current"
+        };
         db.insert_named(
             "Members",
             Tuple::new(vec![name.as_str().into(), role.into(), status.into()]),
@@ -145,7 +161,12 @@ pub fn generate_dbgroup(config: DbGroupConfig) -> Database {
         let sponsor = GRANTS[rng.random_range(0..GRANTS.len())];
         db.insert_named(
             "Travels",
-            Tuple::new(vec![m.as_str().into(), conf.into(), period.into(), sponsor.into()]),
+            Tuple::new(vec![
+                m.as_str().into(),
+                conf.into(),
+                period.into(),
+                sponsor.into(),
+            ]),
         )
         .unwrap();
     }
@@ -185,7 +206,10 @@ mod tests {
     #[test]
     fn size_is_about_two_thousand_tuples() {
         let n = db().len();
-        assert!((1200..=2800).contains(&n), "paper's DBGroup is ~2000 tuples; generated {n}");
+        assert!(
+            (1200..=2800).contains(&n),
+            "paper's DBGroup is ~2000 tuples; generated {n}"
+        );
     }
 
     #[test]
@@ -198,8 +222,11 @@ mod tests {
         let d = db();
         let members = d.schema().rel_id("Members").unwrap();
         let funding = d.schema().rel_id("Funding").unwrap();
-        let funded: std::collections::HashSet<Value> =
-            d.relation(funding).iter().map(|t| t.values()[0].clone()).collect();
+        let funded: std::collections::HashSet<Value> = d
+            .relation(funding)
+            .iter()
+            .map(|t| t.values()[0].clone())
+            .collect();
         for m in d.relation(members).iter() {
             assert!(funded.contains(&m.values()[0]), "unfunded member {m}");
         }
@@ -222,8 +249,11 @@ mod tests {
         let d = db();
         let members = d.schema().rel_id("Members").unwrap();
         let pubs = d.schema().rel_id("Publications").unwrap();
-        let names: std::collections::HashSet<Value> =
-            d.relation(members).iter().map(|t| t.values()[0].clone()).collect();
+        let names: std::collections::HashSet<Value> = d
+            .relation(members)
+            .iter()
+            .map(|t| t.values()[0].clone())
+            .collect();
         for p in d.relation(pubs).iter() {
             assert!(names.contains(&p.values()[1]), "unknown author in {p}");
         }
@@ -234,7 +264,12 @@ mod tests {
         let d = db();
         for rel_name in ["Publications", "Travels", "Talks"] {
             let rel = d.schema().rel_id(rel_name).unwrap();
-            let idx = d.schema().relation(rel).unwrap().attr_index("period").unwrap();
+            let idx = d
+                .schema()
+                .relation(rel)
+                .unwrap()
+                .attr_index("period")
+                .unwrap();
             for t in d.relation(rel).iter() {
                 let p = t.values()[idx].as_text().unwrap();
                 assert!(p == "recent" || p == "old");

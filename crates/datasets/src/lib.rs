@@ -28,8 +28,7 @@ pub mod soccer;
 pub use dbgroup::{generate_dbgroup, DbGroupConfig};
 pub use noise::{
     inject_noise, plant_missing_answers, plant_mixed, plant_wrong_answers,
-    plant_wrong_answers_excluding, NoiseSpec,
-    PlantOutcome,
+    plant_wrong_answers_excluding, NoiseSpec, PlantOutcome,
 };
 pub use queries::{dbgroup_queries, soccer_queries, soccer_query};
 pub use soccer::{generate_soccer, soccer_schema, SoccerConfig};

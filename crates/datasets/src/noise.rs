@@ -38,7 +38,11 @@ pub struct NoiseSpec {
 impl Default for NoiseSpec {
     fn default() -> Self {
         // the paper's defaults: cleanliness 80%
-        NoiseSpec { cleanliness: 0.8, skewness: 1.0, seed: 1 }
+        NoiseSpec {
+            cleanliness: 0.8,
+            skewness: 1.0,
+            seed: 1,
+        }
     }
 }
 
@@ -224,9 +228,12 @@ pub fn plant_wrong_answers_excluding(
                 .iter()
                 .map(|term| match term {
                     Term::Const(c) => c.clone(),
-                    Term::Var(v) => {
-                        fresh.iter().find(|(f, _)| f == v).expect("head var").1.clone()
-                    }
+                    Term::Var(v) => fresh
+                        .iter()
+                        .find(|(f, _)| f == v)
+                        .expect("head var")
+                        .1
+                        .clone(),
                 })
                 .collect();
             if truth.contains(&head) || planted.contains(&head) || exclude.contains(&head) {
@@ -283,7 +290,9 @@ pub fn plant_wrong_answers_excluding(
                     &sub,
                     &mut gm,
                     &qoco_engine::Assignment::new(),
-                    qoco_engine::EvalOptions { max_assignments: witnesses_per_answer.max(1) * 4 },
+                    qoco_engine::EvalOptions {
+                        max_assignments: witnesses_per_answer.max(1) * 4,
+                    },
                 )
                 .assignments
             };
@@ -327,7 +336,8 @@ pub fn plant_wrong_answers_excluding(
                 for atom in q_v.atoms() {
                     let fact = total.ground_atom(atom).expect("total assignment");
                     if !db.contains(&fact) {
-                        db.insert(fact.clone()).expect("planted fact matches schema");
+                        db.insert(fact.clone())
+                            .expect("planted fact matches schema");
                         inserted.push(fact);
                     }
                 }
@@ -360,7 +370,11 @@ pub fn plant_wrong_answers_excluding(
     }
     wrong.sort();
     wrong.dedup();
-    PlantOutcome { db, wrong, missing: Vec::new() }
+    PlantOutcome {
+        db,
+        wrong,
+        missing: Vec::new(),
+    }
 }
 
 /// Plant up to `k` missing answers for `q` by deleting, per chosen answer,
@@ -429,7 +443,11 @@ pub fn plant_missing_answers(
         }
     }
     missing.sort();
-    PlantOutcome { db, wrong: Vec::new(), missing }
+    PlantOutcome {
+        db,
+        wrong: Vec::new(),
+        missing,
+    }
 }
 
 /// Plant both kinds: first `k_missing` missing answers, then `k_wrong`
@@ -443,14 +461,8 @@ pub fn plant_mixed(
 ) -> PlantOutcome {
     let missing_outcome = plant_missing_answers(q, ground, k_missing, seed);
     let exclude: BTreeSet<Tuple> = missing_outcome.missing.iter().cloned().collect();
-    let wrong_outcome = plant_wrong_answers_excluding(
-        q,
-        &missing_outcome.db,
-        k_wrong,
-        2,
-        seed ^ 0x9e37,
-        &exclude,
-    );
+    let wrong_outcome =
+        plant_wrong_answers_excluding(q, &missing_outcome.db, k_wrong, 2, seed ^ 0x9e37, &exclude);
     PlantOutcome {
         db: wrong_outcome.db,
         wrong: wrong_outcome.wrong,
@@ -473,7 +485,14 @@ mod tests {
     fn cleanliness_target_is_met() {
         let g = ground();
         for target in [0.6, 0.8, 0.95] {
-            let d = inject_noise(&g, NoiseSpec { cleanliness: target, skewness: 1.0, seed: 3 });
+            let d = inject_noise(
+                &g,
+                NoiseSpec {
+                    cleanliness: target,
+                    skewness: 1.0,
+                    seed: 3,
+                },
+            );
             let r = diff(&d, &g).unwrap();
             assert!(
                 (r.cleanliness() - target).abs() < 0.02,
@@ -488,7 +507,14 @@ mod tests {
     fn skewness_target_is_met() {
         let g = ground();
         for skew in [0.0, 0.5, 1.0] {
-            let d = inject_noise(&g, NoiseSpec { cleanliness: 0.8, skewness: skew, seed: 4 });
+            let d = inject_noise(
+                &g,
+                NoiseSpec {
+                    cleanliness: 0.8,
+                    skewness: skew,
+                    seed: 4,
+                },
+            );
             let r = diff(&d, &g).unwrap();
             if r.distance() > 0 {
                 assert!(
@@ -516,7 +542,14 @@ mod tests {
     #[should_panic(expected = "cleanliness")]
     fn bad_cleanliness_panics() {
         let g = ground();
-        let _ = inject_noise(&g, NoiseSpec { cleanliness: 0.0, skewness: 1.0, seed: 1 });
+        let _ = inject_noise(
+            &g,
+            NoiseSpec {
+                cleanliness: 0.0,
+                skewness: 1.0,
+                seed: 1,
+            },
+        );
     }
 
     #[test]
@@ -567,7 +600,10 @@ mod tests {
             let dirty: BTreeSet<Tuple> = answer_set(&q, &mut d).into_iter().collect();
             let truth: BTreeSet<Tuple> = answer_set(&q, &mut gm).into_iter().collect();
             let missing: Vec<Tuple> = truth.difference(&dirty).cloned().collect();
-            assert_eq!(missing, outcome.missing, "exactly the planted answers are missing");
+            assert_eq!(
+                missing, outcome.missing,
+                "exactly the planted answers are missing"
+            );
             // no wrong answers introduced
             assert!(dirty.is_subset(&truth));
         }

@@ -106,7 +106,11 @@ mod tests {
         assert_eq!(queries.len(), 5);
         for q in &queries {
             let answers = answer_set(q, &mut db);
-            assert!(!answers.is_empty(), "{} has no answers on the ground truth", q.name());
+            assert!(
+                !answers.is_empty(),
+                "{} has no answers on the ground truth",
+                q.name()
+            );
         }
     }
 
@@ -118,7 +122,10 @@ mod tests {
         // GER lost the 1966, 1982, 1986, 2002 finals; NED lost 1974, 1978,
         // 2010; ITA lost 1970, 1994; HUN lost 1938, 1954 — all European.
         for team in ["GER", "NED", "ITA", "HUN"] {
-            assert!(answers.contains(&tup![team]), "{team} missing from Q1: {answers:?}");
+            assert!(
+                answers.contains(&tup![team]),
+                "{team} missing from Q1: {answers:?}"
+            );
         }
         // ARG lost three finals but is South American.
         assert!(!answers.contains(&tup!["ARG"]));
@@ -162,7 +169,11 @@ mod tests {
         assert_eq!(queries.len(), 4);
         for q in &queries {
             let answers = answer_set(q, &mut db);
-            assert!(!answers.is_empty(), "{} has no answers on the ground truth", q.name());
+            assert!(
+                !answers.is_empty(),
+                "{} has no answers on the ground truth",
+                q.name()
+            );
         }
     }
 
@@ -174,7 +185,12 @@ mod tests {
         let roles: std::collections::HashMap<qoco_data::Value, String> = db
             .relation(members)
             .iter()
-            .map(|t| (t.values()[0].clone(), t.values()[1].as_text().unwrap().to_string()))
+            .map(|t| {
+                (
+                    t.values()[0].clone(),
+                    t.values()[1].as_text().unwrap().to_string(),
+                )
+            })
             .collect();
         for t in answer_set(&q, &mut db) {
             let role = &roles[&t.values()[0]];

@@ -44,36 +44,106 @@ pub const WORLD_CUP_FINALS: [(&str, &str, &str, &str); 20] = [
 
 /// `(country, continent)` for every national team in the generator.
 pub const TEAMS: [(&str, &str); 48] = [
-    ("GER", "EU"), ("ITA", "EU"), ("FRA", "EU"), ("ESP", "EU"), ("NED", "EU"),
-    ("ENG", "EU"), ("POR", "EU"), ("SWE", "EU"), ("HUN", "EU"), ("TCH", "EU"),
-    ("POL", "EU"), ("BEL", "EU"), ("AUT", "EU"), ("SUI", "EU"), ("CRO", "EU"),
-    ("DEN", "EU"), ("RUS", "EU"), ("ROU", "EU"), ("BUL", "EU"), ("SCO", "EU"),
-    ("BRA", "SA"), ("ARG", "SA"), ("URU", "SA"), ("CHI", "SA"), ("COL", "SA"),
-    ("PER", "SA"), ("PAR", "SA"), ("ECU", "SA"),
-    ("MEX", "NA"), ("USA", "NA"), ("CRC", "NA"), ("HON", "NA"),
-    ("CMR", "AF"), ("NGA", "AF"), ("GHA", "AF"), ("SEN", "AF"), ("EGY", "AF"),
-    ("MAR", "AF"), ("ALG", "AF"), ("TUN", "AF"), ("RSA", "AF"), ("CIV", "AF"),
-    ("JPN", "AS"), ("KOR", "AS"), ("KSA", "AS"), ("IRN", "AS"), ("CHN", "AS"),
+    ("GER", "EU"),
+    ("ITA", "EU"),
+    ("FRA", "EU"),
+    ("ESP", "EU"),
+    ("NED", "EU"),
+    ("ENG", "EU"),
+    ("POR", "EU"),
+    ("SWE", "EU"),
+    ("HUN", "EU"),
+    ("TCH", "EU"),
+    ("POL", "EU"),
+    ("BEL", "EU"),
+    ("AUT", "EU"),
+    ("SUI", "EU"),
+    ("CRO", "EU"),
+    ("DEN", "EU"),
+    ("RUS", "EU"),
+    ("ROU", "EU"),
+    ("BUL", "EU"),
+    ("SCO", "EU"),
+    ("BRA", "SA"),
+    ("ARG", "SA"),
+    ("URU", "SA"),
+    ("CHI", "SA"),
+    ("COL", "SA"),
+    ("PER", "SA"),
+    ("PAR", "SA"),
+    ("ECU", "SA"),
+    ("MEX", "NA"),
+    ("USA", "NA"),
+    ("CRC", "NA"),
+    ("HON", "NA"),
+    ("CMR", "AF"),
+    ("NGA", "AF"),
+    ("GHA", "AF"),
+    ("SEN", "AF"),
+    ("EGY", "AF"),
+    ("MAR", "AF"),
+    ("ALG", "AF"),
+    ("TUN", "AF"),
+    ("RSA", "AF"),
+    ("CIV", "AF"),
+    ("JPN", "AS"),
+    ("KOR", "AS"),
+    ("KSA", "AS"),
+    ("IRN", "AS"),
+    ("CHN", "AS"),
     ("AUS", "AS"),
 ];
 
 const FIRST_NAMES: [&str; 24] = [
-    "Luca", "Marco", "Diego", "Juan", "Carlos", "Pedro", "Miguel", "Hans",
-    "Karl", "Fritz", "Pierre", "Michel", "Johan", "Ruud", "Gary", "Bobby",
-    "Zoltan", "Pavel", "Sven", "Erik", "Kofi", "Samuel", "Hiro", "Jin",
+    "Luca", "Marco", "Diego", "Juan", "Carlos", "Pedro", "Miguel", "Hans", "Karl", "Fritz",
+    "Pierre", "Michel", "Johan", "Ruud", "Gary", "Bobby", "Zoltan", "Pavel", "Sven", "Erik",
+    "Kofi", "Samuel", "Hiro", "Jin",
 ];
 
 const LAST_NAMES: [&str; 24] = [
-    "Rossi", "Bianchi", "Silva", "Santos", "Garcia", "Lopez", "Muller",
-    "Schmidt", "Weber", "Dupont", "Martin", "Vries", "Bakker", "Smith",
-    "Jones", "Nagy", "Novak", "Larsson", "Berg", "Mensah", "Osei", "Tanaka",
-    "Kim", "Fernandez",
+    "Rossi",
+    "Bianchi",
+    "Silva",
+    "Santos",
+    "Garcia",
+    "Lopez",
+    "Muller",
+    "Schmidt",
+    "Weber",
+    "Dupont",
+    "Martin",
+    "Vries",
+    "Bakker",
+    "Smith",
+    "Jones",
+    "Nagy",
+    "Novak",
+    "Larsson",
+    "Berg",
+    "Mensah",
+    "Osei",
+    "Tanaka",
+    "Kim",
+    "Fernandez",
 ];
 
 const CLUBS: [&str; 16] = [
-    "Real Madrid", "Barcelona", "Bayern Munich", "Juventus", "AC Milan",
-    "Inter", "Ajax", "PSV", "Porto", "Benfica", "Liverpool", "Manchester United",
-    "Boca Juniors", "River Plate", "Santos FC", "Flamengo",
+    "Real Madrid",
+    "Barcelona",
+    "Bayern Munich",
+    "Juventus",
+    "AC Milan",
+    "Inter",
+    "Ajax",
+    "PSV",
+    "Porto",
+    "Benfica",
+    "Liverpool",
+    "Manchester United",
+    "Boca Juniors",
+    "River Plate",
+    "Santos FC",
+    "Flamengo",
 ];
 
 /// Rivalry rematches guaranteeing non-empty answers for the "played at
@@ -101,7 +171,11 @@ pub struct SoccerConfig {
 
 impl Default for SoccerConfig {
     fn default() -> Self {
-        SoccerConfig { seed: 2015, players_per_team: 23, group_games_per_cup: 12 }
+        SoccerConfig {
+            seed: 2015,
+            players_per_team: 23,
+            group_games_per_cup: 12,
+        }
     }
 }
 
@@ -226,7 +300,13 @@ pub fn generate_soccer(config: SoccerConfig) -> Database {
             };
             let l = if w == a { b } else { a };
             let (ws, ls) = random_score(&mut rng);
-            games.push((date(&mut day), w.to_string(), l.to_string(), "Round16".into(), format!("{ws}:{ls}")));
+            games.push((
+                date(&mut day),
+                w.to_string(),
+                l.to_string(),
+                "Round16".into(),
+                format!("{ws}:{ls}"),
+            ));
             quarter.push(w);
         }
         // quarters: (0,1),(2,3),(4,5),(6,7) — finalists are at 0 and 4
@@ -244,7 +324,13 @@ pub fn generate_soccer(config: SoccerConfig) -> Database {
             };
             let l = if w == a { b } else { a };
             let (ws, ls) = random_score(&mut rng);
-            games.push((date(&mut day), w.to_string(), l.to_string(), "Quarter".into(), format!("{ws}:{ls}")));
+            games.push((
+                date(&mut day),
+                w.to_string(),
+                l.to_string(),
+                "Quarter".into(),
+                format!("{ws}:{ls}"),
+            ));
             semi.push(w);
         }
         // semis: (0,1) and (2,3) — finalists at 0 and 2 always advance
@@ -253,7 +339,13 @@ pub fn generate_soccer(config: SoccerConfig) -> Database {
             let w = if a == winner || a == runner_up { a } else { b };
             let l = if w == a { b } else { a };
             let (ws, ls) = random_score(&mut rng);
-            games.push((date(&mut day), w.to_string(), l.to_string(), "Semi".into(), format!("{ws}:{ls}")));
+            games.push((
+                date(&mut day),
+                w.to_string(),
+                l.to_string(),
+                "Semi".into(),
+                format!("{ws}:{ls}"),
+            ));
         }
         // group games among the participants
         for _ in 0..config.group_games_per_cup {
@@ -263,7 +355,13 @@ pub fn generate_soccer(config: SoccerConfig) -> Database {
                 continue;
             }
             let (ws, ls) = random_score(&mut rng);
-            games.push((date(&mut day), a.to_string(), b.to_string(), "Group".into(), format!("{ws}:{ls}")));
+            games.push((
+                date(&mut day),
+                a.to_string(),
+                b.to_string(),
+                "Group".into(),
+                format!("{ws}:{ls}"),
+            ));
         }
     }
     for (d, w, r, s, u) in RIVALRIES {
@@ -308,7 +406,10 @@ fn random_score(rng: &mut StdRng) -> (u32, u32) {
 
 fn parse_score(s: &str) -> (u32, u32) {
     let (a, b) = s.split_once(':').expect("scores look like w:l");
-    (a.parse().expect("numeric score"), b.parse().expect("numeric score"))
+    (
+        a.parse().expect("numeric score"),
+        b.parse().expect("numeric score"),
+    )
 }
 
 #[cfg(test)]
@@ -356,7 +457,10 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = generate_soccer(SoccerConfig::default());
-        let b = generate_soccer(SoccerConfig { seed: 7, ..Default::default() });
+        let b = generate_soccer(SoccerConfig {
+            seed: 7,
+            ..Default::default()
+        });
         assert_ne!(a.sorted_facts(), b.sorted_facts());
     }
 
@@ -378,7 +482,10 @@ mod tests {
         // collapse into one fact, so Goals ≤ total and reasonably close.
         let recorded = d.relation(goals).len() as u32;
         assert!(recorded <= total_score);
-        assert!(recorded as f64 >= total_score as f64 * 0.5, "{recorded} vs {total_score}");
+        assert!(
+            recorded as f64 >= total_score as f64 * 0.5,
+            "{recorded} vs {total_score}"
+        );
     }
 
     #[test]
@@ -386,11 +493,17 @@ mod tests {
         let d = db();
         let games = d.schema().rel_id("Games").unwrap();
         let teams = d.schema().rel_id("Teams").unwrap();
-        let team_names: std::collections::HashSet<Value> =
-            d.relation(teams).iter().map(|t| t.values()[0].clone()).collect();
+        let team_names: std::collections::HashSet<Value> = d
+            .relation(teams)
+            .iter()
+            .map(|t| t.values()[0].clone())
+            .collect();
         for g in d.relation(games).iter() {
             assert!(team_names.contains(&g.values()[1]), "unknown winner in {g}");
-            assert!(team_names.contains(&g.values()[2]), "unknown runner-up in {g}");
+            assert!(
+                team_names.contains(&g.values()[2]),
+                "unknown runner-up in {g}"
+            );
         }
     }
 
@@ -399,8 +512,11 @@ mod tests {
         let d = db();
         let players = d.schema().rel_id("Players").unwrap();
         let goals = d.schema().rel_id("Goals").unwrap();
-        let player_names: std::collections::HashSet<Value> =
-            d.relation(players).iter().map(|t| t.values()[0].clone()).collect();
+        let player_names: std::collections::HashSet<Value> = d
+            .relation(players)
+            .iter()
+            .map(|t| t.values()[0].clone())
+            .collect();
         for g in d.relation(goals).iter() {
             assert!(player_names.contains(&g.values()[0]), "unknown scorer {g}");
         }
@@ -432,9 +548,7 @@ mod tests {
         let esp_por = d
             .relation(games)
             .iter()
-            .filter(|t| {
-                t.values()[1] == Value::text("ESP") && t.values()[2] == Value::text("POR")
-            })
+            .filter(|t| t.values()[1] == Value::text("ESP") && t.values()[2] == Value::text("POR"))
             .count();
         assert!(esp_por >= 2);
     }

@@ -28,7 +28,9 @@ impl Assignment {
 
     /// Build from pairs.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (Var, Value)>) -> Self {
-        Assignment { map: pairs.into_iter().collect() }
+        Assignment {
+            map: pairs.into_iter().collect(),
+        }
     }
 
     /// The value bound to `v`, if any.
@@ -71,7 +73,10 @@ impl Assignment {
 
     /// The unbound variables of `q` under this assignment.
     pub fn unbound_vars(&self, q: &ConjunctiveQuery) -> Vec<Var> {
-        q.vars().into_iter().filter(|v| !self.map.contains_key(v)).collect()
+        q.vars()
+            .into_iter()
+            .filter(|v| !self.map.contains_key(v))
+            .collect()
     }
 
     /// Ground a term: constants pass through, bound variables are replaced,
@@ -272,7 +277,10 @@ mod tests {
     #[test]
     fn merge_detects_conflicts() {
         let mut a = Assignment::from_pairs([(Var::new("x"), Value::text("1"))]);
-        let b = Assignment::from_pairs([(Var::new("x"), Value::text("1")), (Var::new("y"), Value::text("2"))]);
+        let b = Assignment::from_pairs([
+            (Var::new("x"), Value::text("1")),
+            (Var::new("y"), Value::text("2")),
+        ]);
         assert!(a.merge(&b));
         assert_eq!(a.len(), 2);
         let c = Assignment::from_pairs([(Var::new("y"), Value::text("3"))]);

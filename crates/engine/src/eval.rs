@@ -28,7 +28,9 @@ pub struct EvalOptions {
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { max_assignments: usize::MAX }
+        EvalOptions {
+            max_assignments: usize::MAX,
+        }
     }
 }
 
@@ -63,6 +65,9 @@ struct Search<'a> {
     early_exit: bool,
     out: Vec<Assignment>,
     truncated: bool,
+    /// Candidate tuples examined across the whole search; flushed to the
+    /// `eval.assignments_tried` counter by the public entry points.
+    tried: u64,
 }
 
 impl<'a> Search<'a> {
@@ -145,6 +150,7 @@ impl<'a> Search<'a> {
             if self.truncated || (self.early_exit && !self.out.is_empty()) {
                 return;
             }
+            self.tried += 1;
             let mut next = current.clone();
             for (term, value) in atom.terms.iter().zip(tuple.values()) {
                 match term {
@@ -179,13 +185,28 @@ pub fn all_assignments(
     seed: &Assignment,
     opts: EvalOptions,
 ) -> EvalResult {
+    let span = qoco_telemetry::span("eval.assignments").field("atoms", q.atoms().len());
     let order = Search::plan(q, db, seed);
-    let mut s = Search { q, db, order, opts, early_exit: false, out: Vec::new(), truncated: false };
+    let mut s = Search {
+        q,
+        db,
+        order,
+        opts,
+        early_exit: false,
+        out: Vec::new(),
+        truncated: false,
+        tried: 0,
+    };
     s.run(seed.clone());
+    qoco_telemetry::counter_add("eval.assignments_tried", s.tried);
     let mut assignments = s.out;
     assignments.sort();
     assignments.dedup();
-    EvalResult { assignments, truncated: s.truncated }
+    span.field("valid", assignments.len()).finish();
+    EvalResult {
+        assignments,
+        truncated: s.truncated,
+    }
 }
 
 /// Evaluate `q` over `db`: all valid assignments, default options.
@@ -224,8 +245,10 @@ pub fn is_satisfiable(q: &ConjunctiveQuery, db: &mut Database, seed: &Assignment
         early_exit: true,
         out: Vec::new(),
         truncated: false,
+        tried: 0,
     };
     s.run(seed.clone());
+    qoco_telemetry::counter_add("eval.assignments_tried", s.tried);
     !s.out.is_empty()
 }
 
@@ -236,7 +259,11 @@ pub fn explain(q: &ConjunctiveQuery, db: &Database) -> String {
     let order = Search::plan(q, db, &Assignment::new());
     let mut bound: std::collections::BTreeSet<qoco_query::Var> = Default::default();
     let mut out = String::new();
-    out.push_str(&format!("plan for {} ({} atoms):\n", q.name(), q.atoms().len()));
+    out.push_str(&format!(
+        "plan for {} ({} atoms):\n",
+        q.name(),
+        q.atoms().len()
+    ));
     for (step, &idx) in order.iter().enumerate() {
         let atom = &q.atoms()[idx];
         let rel_name = db.schema().rel_name(atom.rel);
@@ -261,7 +288,10 @@ pub fn explain(q: &ConjunctiveQuery, db: &Database) -> String {
         }
     }
     if !q.inequalities().is_empty() {
-        out.push_str(&format!("  filter: {} inequalit(ies)\n", q.inequalities().len()));
+        out.push_str(&format!(
+            "  filter: {} inequalit(ies)\n",
+            q.inequalities().len()
+        ));
     }
     out
 }
@@ -357,7 +387,10 @@ mod tests {
         // α1 and α2: the two orderings of 13.07.14 / 08.07.90.
         assert_eq!(a.len(), 2);
         for asg in &a {
-            assert_eq!(asg.get(&qoco_query::Var::new("x")), Some(&qoco_data::Value::text("GER")));
+            assert_eq!(
+                asg.get(&qoco_query::Var::new("x")),
+                Some(&qoco_data::Value::text("GER"))
+            );
         }
     }
 
@@ -392,7 +425,8 @@ mod tests {
         ]);
         assert!(!is_satisfiable(&q, &mut db, &beta));
         // but {x ↦ GER} is satisfiable
-        let ger = Assignment::from_pairs([(qoco_query::Var::new("x"), qoco_data::Value::text("GER"))]);
+        let ger =
+            Assignment::from_pairs([(qoco_query::Var::new("x"), qoco_data::Value::text("GER"))]);
         assert!(is_satisfiable(&q, &mut db, &ger));
     }
 
@@ -405,7 +439,10 @@ mod tests {
 
     #[test]
     fn repeated_variable_in_atom_enforces_equality() {
-        let s = Schema::builder().relation("E", &["a", "b"]).build().unwrap();
+        let s = Schema::builder()
+            .relation("E", &["a", "b"])
+            .build()
+            .unwrap();
         let mut db = Database::empty(s.clone());
         db.insert_named("E", tup!["x", "x"]).unwrap();
         db.insert_named("E", tup!["x", "y"]).unwrap();
@@ -451,7 +488,12 @@ mod tests {
             db.insert_named("B", tup![i]).unwrap();
         }
         let q = parse_query(&s, "(x, y) :- A(x), B(y)").unwrap();
-        let res = all_assignments(&q, &mut db, &Assignment::new(), EvalOptions { max_assignments: 5 });
+        let res = all_assignments(
+            &q,
+            &mut db,
+            &Assignment::new(),
+            EvalOptions { max_assignments: 5 },
+        );
         assert!(res.truncated);
         assert_eq!(res.assignments.len(), 5);
         let full = evaluate(&q, &mut db);
@@ -461,7 +503,10 @@ mod tests {
 
     #[test]
     fn inequality_with_constant() {
-        let s = Schema::builder().relation("T", &["c", "k"]).build().unwrap();
+        let s = Schema::builder()
+            .relation("T", &["c", "k"])
+            .build()
+            .unwrap();
         let mut db = Database::empty(s.clone());
         db.insert_named("T", tup!["GER", "EU"]).unwrap();
         db.insert_named("T", tup!["BRA", "SA"]).unwrap();

@@ -73,10 +73,22 @@ impl ViewMonitor {
         if !self.is_relevant(&edit.fact) {
             return ViewDelta::default();
         }
-        match edit.kind {
+        let span = qoco_telemetry::span("monitor.apply_edit");
+        let probe_start = qoco_telemetry::now_ns();
+        let delta = match edit.kind {
             EditKind::Insert => self.delta_insert(db, &edit.fact),
             EditKind::Delete => self.delta_delete(db),
+        };
+        if qoco_telemetry::enabled() {
+            qoco_telemetry::histogram_record(
+                "monitor.delta_probe_ns",
+                qoco_telemetry::now_ns().saturating_sub(probe_start),
+            );
         }
+        span.field("added", delta.added.len())
+            .field("removed", delta.removed.len())
+            .finish();
+        delta
     }
 
     /// Full re-materialization (used as a fallback and by tests as the
@@ -95,10 +107,14 @@ impl ViewMonitor {
             if atom.rel != fact.rel {
                 continue;
             }
-            let Some(seed) = unify(&atom, fact) else { continue };
+            let Some(seed) = unify(&atom, fact) else {
+                continue;
+            };
             let result = all_assignments(&self.query, db, &seed, EvalOptions::default());
             for a in result.assignments {
-                let head = a.ground_head(&self.query).expect("valid assignments are total");
+                let head = a
+                    .ground_head(&self.query)
+                    .expect("valid assignments are total");
                 if self.answers.insert(head.clone()) {
                     added.push(head);
                 }
@@ -106,7 +122,10 @@ impl ViewMonitor {
         }
         added.sort();
         added.dedup();
-        ViewDelta { added, removed: Vec::new() }
+        ViewDelta {
+            added,
+            removed: Vec::new(),
+        }
     }
 
     fn delta_delete(&mut self, db: &mut Database) -> ViewDelta {
@@ -122,7 +141,10 @@ impl ViewMonitor {
             }
         }
         removed.sort();
-        ViewDelta { added: Vec::new(), removed }
+        ViewDelta {
+            added: Vec::new(),
+            removed,
+        }
     }
 }
 
@@ -162,8 +184,10 @@ mod tests {
             .build()
             .unwrap();
         let mut db = Database::empty(schema.clone());
-        db.insert_named("Games", tup!["13.07.14", "GER", "ARG", "Final", "1:0"]).unwrap();
-        db.insert_named("Games", tup!["08.07.90", "GER", "ARG", "Final", "1:0"]).unwrap();
+        db.insert_named("Games", tup!["13.07.14", "GER", "ARG", "Final", "1:0"])
+            .unwrap();
+        db.insert_named("Games", tup!["08.07.90", "GER", "ARG", "Final", "1:0"])
+            .unwrap();
         db.insert_named("Teams", tup!["GER", "EU"]).unwrap();
         let q = parse_query(
             &schema,
@@ -200,8 +224,14 @@ mod tests {
         let games = schema.rel_id("Games").unwrap();
         let teams = schema.rel_id("Teams").unwrap();
         let edits = [
-            Edit::insert(Fact::new(games, tup!["11.07.10", "ESP", "NED", "Final", "1:0"])),
-            Edit::insert(Fact::new(games, tup!["12.07.98", "ESP", "NED", "Final", "4:2"])),
+            Edit::insert(Fact::new(
+                games,
+                tup!["11.07.10", "ESP", "NED", "Final", "1:0"],
+            )),
+            Edit::insert(Fact::new(
+                games,
+                tup!["12.07.98", "ESP", "NED", "Final", "4:2"],
+            )),
             Edit::insert(Fact::new(teams, tup!["ESP", "EU"])),
         ];
         let mut last = ViewDelta::default();
@@ -218,7 +248,10 @@ mod tests {
         let (schema, mut db, q) = setup();
         let games = schema.rel_id("Games").unwrap();
         let mut m = ViewMonitor::new(q, &mut db);
-        let e = Edit::delete(Fact::new(games, tup!["08.07.90", "GER", "ARG", "Final", "1:0"]));
+        let e = Edit::delete(Fact::new(
+            games,
+            tup!["08.07.90", "GER", "ARG", "Final", "1:0"],
+        ));
         db.apply(&e).unwrap();
         let delta = m.apply_edit(&mut db, &e);
         assert_eq!(delta.removed, vec![tup!["GER"]]);
@@ -261,16 +294,28 @@ mod tests {
             let c = countries[(next() % 4) as usize];
             let e = if next() % 3 == 0 {
                 let fact = Fact::new(teams, tup![c, "EU"]);
-                if next() % 2 == 0 { Edit::insert(fact) } else { Edit::delete(fact) }
+                if next() % 2 == 0 {
+                    Edit::insert(fact)
+                } else {
+                    Edit::delete(fact)
+                }
             } else {
                 let d = dates[(next() % 4) as usize];
                 let fact = Fact::new(games, tup![d, c, "ARG", "Final", "1:0"]);
-                if next() % 2 == 0 { Edit::insert(fact) } else { Edit::delete(fact) }
+                if next() % 2 == 0 {
+                    Edit::insert(fact)
+                } else {
+                    Edit::delete(fact)
+                }
             };
             db.apply(&e).unwrap();
             m.apply_edit(&mut db, &e);
             let expected: Vec<Tuple> = answer_set(&q, &mut db);
-            assert_eq!(m.answers(), expected, "divergence at step {step} after {e:?}");
+            assert_eq!(
+                m.answers(),
+                expected,
+                "divergence at step {step} after {e:?}"
+            );
         }
     }
 
@@ -284,9 +329,15 @@ mod tests {
         assert!(unify(games_atom, &non_final).is_none());
         let final_game = Fact::new(games, tup!["d", "X", "Y", "Final", "1:0"]);
         let seed = unify(games_atom, &final_game).unwrap();
-        assert_eq!(seed.get(&qoco_query::Var::new("x")), Some(&Value::text("X")));
+        assert_eq!(
+            seed.get(&qoco_query::Var::new("x")),
+            Some(&Value::text("X"))
+        );
         // repeated variables: E(v, v) unifies only with equal columns
-        let s2 = Schema::builder().relation("E", &["a", "b"]).build().unwrap();
+        let s2 = Schema::builder()
+            .relation("E", &["a", "b"])
+            .build()
+            .unwrap();
         let q2 = parse_query(&s2, "(v) :- E(v, v)").unwrap();
         let e_rel = s2.rel_id("E").unwrap();
         assert!(unify(&q2.atoms()[0], &Fact::new(e_rel, tup!["p", "q"])).is_none());

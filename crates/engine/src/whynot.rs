@@ -35,8 +35,11 @@ fn subset_satisfiable(q: &ConjunctiveQuery, db: &mut Database, keep: &[usize]) -
 /// index for determinism.
 fn frontier_order(q: &ConjunctiveQuery) -> Vec<usize> {
     let n = q.atoms().len();
-    let atom_vars: Vec<BTreeSet<Var>> =
-        q.atoms().iter().map(|a| a.vars().into_iter().collect()).collect();
+    let atom_vars: Vec<BTreeSet<Var>> = q
+        .atoms()
+        .iter()
+        .map(|a| a.vars().into_iter().collect())
+        .collect();
     let mut chosen: Vec<usize> = Vec::with_capacity(n);
     let mut chosen_vars: BTreeSet<Var> = BTreeSet::new();
     let mut remaining: Vec<usize> = (0..n).collect();
@@ -74,6 +77,7 @@ pub fn frontier_split(q: &ConjunctiveQuery, db: &mut Database) -> Option<Vec<boo
     if n < 2 {
         return None;
     }
+    let _span = qoco_telemetry::span("engine.why_not").field("atoms", n);
     if is_satisfiable(q, db, &Assignment::new()) {
         return None;
     }
@@ -124,7 +128,10 @@ pub fn why_not(q: &ConjunctiveQuery, db: &mut Database) -> Option<WhyNot> {
     let mask = frontier_split(q, db)?;
     let satisfiable = (0..mask.len()).filter(|&i| mask[i]).collect();
     let excluded = (0..mask.len()).filter(|&i| !mask[i]).collect();
-    Some(WhyNot { satisfiable, excluded })
+    Some(WhyNot {
+        satisfiable,
+        excluded,
+    })
 }
 
 #[cfg(test)]
@@ -145,11 +152,13 @@ mod tests {
             .build()
             .unwrap();
         let mut db = Database::empty(schema.clone());
-        db.insert_named("Games", tup!["09.06.06", "ITA", "FRA", "Final", "5:3"]).unwrap();
+        db.insert_named("Games", tup!["09.06.06", "ITA", "FRA", "Final", "5:3"])
+            .unwrap();
         for (c, k) in [("GER", "EU"), ("ESP", "EU"), ("BRA", "EU")] {
             db.insert_named("Teams", tup![c, k]).unwrap();
         }
-        db.insert_named("Players", tup!["Pirlo", "ITA", 1979, "ITA"]).unwrap();
+        db.insert_named("Players", tup!["Pirlo", "ITA", 1979, "ITA"])
+            .unwrap();
         db.insert_named("Goals", tup!["Pirlo", "09.06.06"]).unwrap();
         let q = parse_query(
             &schema,
@@ -228,7 +237,11 @@ mod tests {
         db.insert_named("R2", tup!["b", "c1"]).unwrap();
         db.insert_named("R3", tup!["c2", "d"]).unwrap();
         db.insert_named("R4", tup!["c2", "e"]).unwrap();
-        let q = parse_query(&schema, "(x, y, z, w) :- R1(x, y), R2(y, z), R3(z, w), R4(z, v)").unwrap();
+        let q = parse_query(
+            &schema,
+            "(x, y, z, w) :- R1(x, y), R2(y, z), R3(z, w), R4(z, v)",
+        )
+        .unwrap();
         let mask = frontier_split(&q, &mut db).unwrap();
         let sat: Vec<usize> = (0..4).filter(|&i| mask[i]).collect();
         let exc: Vec<usize> = (0..4).filter(|&i| !mask[i]).collect();

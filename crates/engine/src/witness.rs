@@ -34,17 +34,15 @@ pub fn witness_of(q: &ConjunctiveQuery, alpha: &Assignment) -> Option<Witness> {
 /// of Example 2.2 give different assignments but the same witness only when
 /// the body is symmetric; we keep set semantics as the hitting-set structure
 /// requires).
-pub fn witnesses_for_answer(
-    q: &ConjunctiveQuery,
-    db: &mut Database,
-    t: &Tuple,
-) -> Vec<Witness> {
+pub fn witnesses_for_answer(q: &ConjunctiveQuery, db: &mut Database, t: &Tuple) -> Vec<Witness> {
+    let span = qoco_telemetry::span("engine.witnesses");
     let mut out: Vec<Witness> = assignments_for_answer(q, db, t)
         .iter()
         .map(|a| witness_of(q, a).expect("valid assignments are total"))
         .collect();
     out.sort();
     out.dedup();
+    span.field("witnesses", out.len()).finish();
     out
 }
 
@@ -87,7 +85,11 @@ mod tests {
         let ws = witnesses_for_answer(&q, &mut db, &tup!["ESP"]);
         assert_eq!(ws.len(), 6);
         for w in &ws {
-            assert_eq!(w.len(), 3, "each witness has two Games facts plus Teams(ESP,EU)");
+            assert_eq!(
+                w.len(),
+                3,
+                "each witness has two Games facts plus Teams(ESP,EU)"
+            );
         }
     }
 

@@ -22,7 +22,12 @@ pub struct FlowNetwork {
 impl FlowNetwork {
     /// A network with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
-        FlowNetwork { n, to: Vec::new(), cap: Vec::new(), adj: vec![Vec::new(); n] }
+        FlowNetwork {
+            n,
+            to: Vec::new(),
+            cap: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Number of nodes.

@@ -16,7 +16,10 @@ pub struct WeightedGraph {
 impl WeightedGraph {
     /// An edgeless graph with `n` vertices.
     pub fn new(n: usize) -> Self {
-        WeightedGraph { n, w: vec![vec![0; n]; n] }
+        WeightedGraph {
+            n,
+            w: vec![vec![0; n]; n],
+        }
     }
 
     /// Number of vertices.

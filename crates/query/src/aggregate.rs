@@ -37,7 +37,9 @@ pub fn unfold_at_least(
         return Err(QueryError::EmptyBody);
     }
     if !q.vars().contains(distinct_var) {
-        return Err(QueryError::UnboundInequalityVar(distinct_var.name().to_string()));
+        return Err(QueryError::UnboundInequalityVar(
+            distinct_var.name().to_string(),
+        ));
     }
     let head_vars: std::collections::BTreeSet<Var> = q.head_vars().into_iter().collect();
     if head_vars.contains(distinct_var) {
@@ -74,8 +76,12 @@ pub fn unfold_at_least(
             };
             inequalities.push(Inequality::new(lhs, map_term(&e.rhs)));
         }
-        distinct_copies
-            .push(rename.get(distinct_var).cloned().unwrap_or_else(|| distinct_var.clone()));
+        distinct_copies.push(
+            rename
+                .get(distinct_var)
+                .cloned()
+                .unwrap_or_else(|| distinct_var.clone()),
+        );
     }
     // pairwise distinctness across copies
     for i in 0..k {

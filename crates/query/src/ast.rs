@@ -214,7 +214,10 @@ impl fmt::Display for QueryError {
                 write!(f, "inequality variable `{v}` does not occur in any atom")
             }
             QueryError::AtomArity { rel, expected, got } => {
-                write!(f, "atom over `{rel}` has {got} terms but arity is {expected}")
+                write!(
+                    f,
+                    "atom over `{rel}` has {got} terms but arity is {expected}"
+                )
             }
             QueryError::EmptyBody => write!(f, "query body has no relational atoms"),
             QueryError::FalseInequality(e) => {
@@ -282,7 +285,13 @@ impl ConjunctiveQuery {
                 }
             }
         }
-        Ok(ConjunctiveQuery { schema, name: name.into(), head, atoms, inequalities })
+        Ok(ConjunctiveQuery {
+            schema,
+            name: name.into(),
+            head,
+            atoms,
+            inequalities,
+        })
     }
 
     /// The schema the query is over.
@@ -565,8 +574,7 @@ mod tests {
     #[test]
     fn empty_body_is_rejected() {
         let s = schema();
-        let err =
-            ConjunctiveQuery::new(s, "bad", vec![], vec![], vec![]).unwrap_err();
+        let err = ConjunctiveQuery::new(s, "bad", vec![], vec![], vec![]).unwrap_err();
         assert_eq!(err, QueryError::EmptyBody);
     }
 
@@ -582,7 +590,14 @@ mod tests {
             vec![],
         )
         .unwrap_err();
-        assert!(matches!(err, QueryError::AtomArity { expected: 2, got: 1, .. }));
+        assert!(matches!(
+            err,
+            QueryError::AtomArity {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -621,9 +636,7 @@ mod tests {
         let q = q1(&s);
         // bind d1 only: inequality becomes d2 != "x-date" with var on the left
         let q2 = q
-            .substitute(&|v: &Var| {
-                (v.name() == "d1").then(|| Value::text("13.07.14"))
-            })
+            .substitute(&|v: &Var| (v.name() == "d1").then(|| Value::text("13.07.14")))
             .unwrap();
         assert_eq!(q2.inequalities().len(), 1);
         let e = &q2.inequalities()[0];

@@ -33,8 +33,11 @@ pub struct QueryGraph {
 impl QueryGraph {
     /// Build the query graph of `q`.
     pub fn build(q: &ConjunctiveQuery) -> Self {
-        let atom_vars: Vec<BTreeSet<Var>> =
-            q.atoms().iter().map(|a| a.vars().into_iter().collect()).collect();
+        let atom_vars: Vec<BTreeSet<Var>> = q
+            .atoms()
+            .iter()
+            .map(|a| a.vars().into_iter().collect())
+            .collect();
         let n = atom_vars.len();
         let mut edges = Vec::new();
         for i in 0..n {
@@ -61,7 +64,11 @@ impl QueryGraph {
                 }
                 let w = shared + ineq;
                 if w > 0 {
-                    edges.push(QueryGraphEdge { a: i, b: j, weight: w });
+                    edges.push(QueryGraphEdge {
+                        a: i,
+                        b: j,
+                        weight: w,
+                    });
                 }
             }
         }

@@ -147,8 +147,7 @@ pub fn minimize(q: &ConjunctiveQuery) -> ConjunctiveQuery {
             if current.atoms().len() == 1 {
                 break;
             }
-            let keep: Vec<usize> =
-                (0..current.atoms().len()).filter(|&i| i != skip).collect();
+            let keep: Vec<usize> = (0..current.atoms().len()).filter(|&i| i != skip).collect();
             let atoms: Vec<_> = keep.iter().map(|&i| current.atoms()[i].clone()).collect();
             // candidate keeps the original head and all inequalities
             let Ok(candidate) = ConjunctiveQuery::new(
@@ -206,7 +205,10 @@ mod tests {
         let s = schema();
         let p2 = parse_query(&s, "(x) :- E(x, y), E(y, z)").unwrap();
         let p3 = parse_query(&s, "(x) :- E(x, y), E(y, z), E(z, w)").unwrap();
-        assert!(contains(&p2, &p3), "longer paths are special cases of shorter ones");
+        assert!(
+            contains(&p2, &p3),
+            "longer paths are special cases of shorter ones"
+        );
         assert!(!contains(&p3, &p2), "a 2-path need not extend to a 3-path");
     }
 

@@ -58,10 +58,16 @@ impl fmt::Display for ParseError {
             ParseError::Lex { at, found } => {
                 write!(f, "unexpected character {found:?} at offset {at}")
             }
-            ParseError::Unexpected { at, found, expected } => {
+            ParseError::Unexpected {
+                at,
+                found,
+                expected,
+            } => {
                 write!(f, "expected {expected} but found `{found}` at offset {at}")
             }
-            ParseError::Eof { expected } => write!(f, "unexpected end of input; expected {expected}"),
+            ParseError::Eof { expected } => {
+                write!(f, "unexpected end of input; expected {expected}")
+            }
             ParseError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
             ParseError::Invalid(e) => write!(f, "invalid query: {e}"),
         }
@@ -135,12 +141,18 @@ fn lex(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
                             s.push(c);
                             i += 1;
                         }
-                        None => return Err(ParseError::Eof { expected: "closing quote" }),
+                        None => {
+                            return Err(ParseError::Eof {
+                                expected: "closing quote",
+                            })
+                        }
                     }
                 }
                 toks.push((start, Tok::Str(s)));
             }
-            c if c.is_ascii_digit() || (c == '-' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())) => {
+            c if c.is_ascii_digit()
+                || (c == '-' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
                 let start = i;
                 let mut s = String::new();
                 if c == '-' {
@@ -155,7 +167,10 @@ fn lex(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
                         break;
                     }
                 }
-                let n: i64 = s.parse().map_err(|_| ParseError::Lex { at: start, found: c })?;
+                let n: i64 = s.parse().map_err(|_| ParseError::Lex {
+                    at: start,
+                    found: c,
+                })?;
                 toks.push((start, Tok::Int(n)));
             }
             c if c.is_alphanumeric() || c == '_' => {
@@ -171,7 +186,12 @@ fn lex(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
                 }
                 toks.push((start, Tok::Ident(s)));
             }
-            other => return Err(ParseError::Lex { at: i, found: other }),
+            other => {
+                return Err(ParseError::Lex {
+                    at: i,
+                    found: other,
+                })
+            }
         }
     }
     Ok(toks)
@@ -189,7 +209,11 @@ impl<'a> Parser<'a> {
     }
 
     fn next(&mut self, expected: &'static str) -> Result<(usize, Tok), ParseError> {
-        let item = self.toks.get(self.pos).cloned().ok_or(ParseError::Eof { expected })?;
+        let item = self
+            .toks
+            .get(self.pos)
+            .cloned()
+            .ok_or(ParseError::Eof { expected })?;
         self.pos += 1;
         Ok(item)
     }
@@ -199,7 +223,11 @@ impl<'a> Parser<'a> {
         if got == want {
             Ok(())
         } else {
-            Err(ParseError::Unexpected { at, found: format!("{got:?}"), expected })
+            Err(ParseError::Unexpected {
+                at,
+                found: format!("{got:?}"),
+                expected,
+            })
         }
     }
 
@@ -293,9 +321,17 @@ impl<'a> Parser<'a> {
                 Some(other) => {
                     let found = format!("{other:?}");
                     let at = self.toks[self.pos].0;
-                    return Err(ParseError::Unexpected { at, found, expected: "a literal" });
+                    return Err(ParseError::Unexpected {
+                        at,
+                        found,
+                        expected: "a literal",
+                    });
                 }
-                None => return Err(ParseError::Eof { expected: "a literal" }),
+                None => {
+                    return Err(ParseError::Eof {
+                        expected: "a literal",
+                    })
+                }
             }
             match self.peek() {
                 Some(Tok::Comma) => {
@@ -310,14 +346,22 @@ impl<'a> Parser<'a> {
                 Some(other) => {
                     let found = format!("{other:?}");
                     let at = self.toks[self.pos].0;
-                    return Err(ParseError::Unexpected { at, found, expected: "`,` or `.`" });
+                    return Err(ParseError::Unexpected {
+                        at,
+                        found,
+                        expected: "`,` or `.`",
+                    });
                 }
             }
         }
         if let Some(t) = self.peek() {
             let found = format!("{t:?}");
             let at = self.toks[self.pos].0;
-            return Err(ParseError::Unexpected { at, found, expected: "end of input" });
+            return Err(ParseError::Unexpected {
+                at,
+                found,
+                expected: "end of input",
+            });
         }
         ConjunctiveQuery::new(self.schema.clone(), name, head, atoms, inequalities)
             .map_err(ParseError::from)
@@ -346,7 +390,11 @@ impl<'a> Parser<'a> {
 /// ```
 pub fn parse_query(schema: &Arc<Schema>, input: &str) -> Result<ConjunctiveQuery, ParseError> {
     let toks = lex(input)?;
-    let mut p = Parser { toks, pos: 0, schema };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        schema,
+    };
     p.query()
 }
 
@@ -437,14 +485,20 @@ mod tests {
     fn arity_mismatch_is_reported() {
         let s = schema();
         let err = parse_query(&s, r#"(x) :- Teams(x)"#).unwrap_err();
-        assert!(matches!(err, ParseError::Invalid(QueryError::AtomArity { .. })));
+        assert!(matches!(
+            err,
+            ParseError::Invalid(QueryError::AtomArity { .. })
+        ));
     }
 
     #[test]
     fn unsafe_head_is_reported() {
         let s = schema();
         let err = parse_query(&s, r#"(w) :- Teams(x, y)"#).unwrap_err();
-        assert!(matches!(err, ParseError::Invalid(QueryError::UnsafeHeadVar(_))));
+        assert!(matches!(
+            err,
+            ParseError::Invalid(QueryError::UnsafeHeadVar(_))
+        ));
     }
 
     #[test]
@@ -472,7 +526,13 @@ mod tests {
     fn missing_turnstile() {
         let s = schema();
         let err = parse_query(&s, r#"(x) Teams(x, "EU")"#).unwrap_err();
-        assert!(matches!(err, ParseError::Unexpected { expected: "`:-`", .. }));
+        assert!(matches!(
+            err,
+            ParseError::Unexpected {
+                expected: "`:-`",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -491,8 +551,14 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = ParseError::Unexpected { at: 3, found: "x".into(), expected: "`,`" };
+        let e = ParseError::Unexpected {
+            at: 3,
+            found: "x".into(),
+            expected: "`,`",
+        };
         assert!(e.to_string().contains("offset 3"));
-        assert!(ParseError::UnknownRelation("R".into()).to_string().contains('R'));
+        assert!(ParseError::UnknownRelation("R".into())
+            .to_string()
+            .contains('R'));
     }
 }

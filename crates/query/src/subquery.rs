@@ -56,7 +56,10 @@ impl From<QueryError> for SplitError {
 /// `q`'s atoms and its inequalities a subset of `q`'s inequalities.)
 pub fn is_subquery(sub: &ConjunctiveQuery, q: &ConjunctiveQuery) -> bool {
     sub.atoms().iter().all(|a| q.atoms().contains(a))
-        && sub.inequalities().iter().all(|e| q.inequalities().contains(e))
+        && sub
+            .inequalities()
+            .iter()
+            .all(|e| q.inequalities().contains(e))
 }
 
 /// Build a subquery from a subset of `q`'s atoms. The head is all variables
@@ -95,12 +98,12 @@ fn project_subquery(
 /// Build the subquery of `q` induced by the atom indexes `keep` (all
 /// variables in the head, inequalities kept when fully covered). Used by the
 /// why-not analysis to test joint satisfiability of atom subsets.
-pub fn split_subset(
-    q: &ConjunctiveQuery,
-    keep: &[usize],
-) -> Result<ConjunctiveQuery, SplitError> {
+pub fn split_subset(q: &ConjunctiveQuery, keep: &[usize]) -> Result<ConjunctiveQuery, SplitError> {
     if keep.iter().any(|&i| i >= q.atoms().len()) {
-        return Err(SplitError::BadMask { atoms: q.atoms().len(), mask: keep.len() });
+        return Err(SplitError::BadMask {
+            atoms: q.atoms().len(),
+            mask: keep.len(),
+        });
     }
     project_subquery(q, keep, &format!("{}⊆", q.name()))
 }
@@ -113,7 +116,10 @@ pub fn split_by_atom_partition(
     mask: &[bool],
 ) -> Result<(ConjunctiveQuery, ConjunctiveQuery), SplitError> {
     if mask.len() != q.atoms().len() {
-        return Err(SplitError::BadMask { atoms: q.atoms().len(), mask: mask.len() });
+        return Err(SplitError::BadMask {
+            atoms: q.atoms().len(),
+            mask: mask.len(),
+        });
     }
     let left: Vec<usize> = (0..mask.len()).filter(|&i| mask[i]).collect();
     let right: Vec<usize> = (0..mask.len()).filter(|&i| !mask[i]).collect();
@@ -132,12 +138,12 @@ pub fn split_by_atom_partition(
 /// Errors if `t`'s arity differs from the head's, or if the embedding makes
 /// an inequality ground and false (then `t` cannot be an answer of any
 /// database).
-pub fn embed_answer(
-    q: &ConjunctiveQuery,
-    t: &[Value],
-) -> Result<ConjunctiveQuery, QueryError> {
+pub fn embed_answer(q: &ConjunctiveQuery, t: &[Value]) -> Result<ConjunctiveQuery, QueryError> {
     if t.len() != q.head().len() {
-        return Err(QueryError::AnswerArity { expected: q.head().len(), got: t.len() });
+        return Err(QueryError::AnswerArity {
+            expected: q.head().len(),
+            got: t.len(),
+        });
     }
     // The unique partial assignment induced by t maps each head variable to
     // the corresponding value. If the same variable occurs twice in the head
@@ -166,7 +172,10 @@ pub fn embed_answer(
         }
     }
     let q_t = q.substitute(&|v: &Var| {
-        binding.iter().find(|(b, _)| b == v).map(|(_, val)| val.clone())
+        binding
+            .iter()
+            .find(|(b, _)| b == v)
+            .map(|(_, val)| val.clone())
     })?;
     Ok(q_t.with_name(format!("{}|{:?}", q.name(), t)))
 }
@@ -218,19 +227,20 @@ mod tests {
         let s = schema();
         let q = q2(&s);
         let err = embed_answer(&q, &[Value::text("a"), Value::text("b")]).unwrap_err();
-        assert_eq!(err, QueryError::AnswerArity { expected: 1, got: 2 });
+        assert_eq!(
+            err,
+            QueryError::AnswerArity {
+                expected: 1,
+                got: 2
+            }
+        );
     }
 
     #[test]
     fn embed_detects_violated_inequality() {
         let s = schema();
-        let q = parse_query(
-            &s,
-            r#"(x, y) :- Games(d, x, y, "Final", u), x != y."#,
-        )
-        .unwrap();
-        let err =
-            embed_answer(&q, &[Value::text("GER"), Value::text("GER")]).unwrap_err();
+        let q = parse_query(&s, r#"(x, y) :- Games(d, x, y, "Final", u), x != y."#).unwrap();
+        let err = embed_answer(&q, &[Value::text("GER"), Value::text("GER")]).unwrap_err();
         assert!(matches!(err, QueryError::FalseInequality(_)));
     }
 
@@ -315,8 +325,7 @@ mod tests {
         let q = q2(&s);
         let (l, r) = split_by_atom_partition(&q, &[true, true, false, false]).unwrap();
         for sq in [&l, &r] {
-            let body_vars: BTreeSet<Var> =
-                sq.atoms().iter().flat_map(|a| a.vars()).collect();
+            let body_vars: BTreeSet<Var> = sq.atoms().iter().flat_map(|a| a.vars()).collect();
             let head_vars: BTreeSet<Var> = sq.head_vars().into_iter().collect();
             assert_eq!(body_vars, head_vars);
         }

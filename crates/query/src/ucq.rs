@@ -29,10 +29,16 @@ impl UnionQuery {
         let width = disjuncts[0].head().len();
         for d in &disjuncts[1..] {
             if d.head().len() != width {
-                return Err(QueryError::AnswerArity { expected: width, got: d.head().len() });
+                return Err(QueryError::AnswerArity {
+                    expected: width,
+                    got: d.head().len(),
+                });
             }
         }
-        Ok(UnionQuery { name: name.into(), disjuncts })
+        Ok(UnionQuery {
+            name: name.into(),
+            disjuncts,
+        })
     }
 
     /// The union's label.
@@ -73,7 +79,10 @@ impl UnionQuery {
             }
             kept.push(crate::homomorphism::minimize(d));
         }
-        UnionQuery { name: self.name.clone(), disjuncts: kept }
+        UnionQuery {
+            name: self.name.clone(),
+            disjuncts: kept,
+        }
     }
 }
 

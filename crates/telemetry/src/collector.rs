@@ -1,0 +1,252 @@
+//! Collector backends: where finished spans and events go.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::json::push_json_str;
+use crate::metrics::MetricsSnapshot;
+use crate::span::{EventRecord, SpanRecord};
+use crate::timeline::{SessionTimeline, TimelineEvent};
+
+/// A sink for telemetry records. Implementations must be thread-safe: the
+/// cleaner's parallel crowd finishes spans from worker threads.
+pub trait Collector: Send + Sync {
+    /// Accept a finished span.
+    fn record_span(&self, span: &SpanRecord);
+    /// Accept a point event.
+    fn record_event(&self, event: &EventRecord);
+}
+
+fn unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Thread-safe in-memory collector; the backing store for
+/// [`SessionTimeline`] assembly and for tests.
+#[derive(Default)]
+pub struct InMemoryCollector {
+    spans: Mutex<Vec<SpanRecord>>,
+    events: Mutex<Vec<EventRecord>>,
+}
+
+impl InMemoryCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of all spans recorded so far.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        unpoisoned(&self.spans).clone()
+    }
+
+    /// Snapshot of all events recorded so far.
+    pub fn events(&self) -> Vec<EventRecord> {
+        unpoisoned(&self.events).clone()
+    }
+
+    /// Drop everything recorded so far.
+    pub fn clear(&self) {
+        unpoisoned(&self.spans).clear();
+        unpoisoned(&self.events).clear();
+    }
+
+    /// Assemble a [`SessionTimeline`] from the recorded spans and events,
+    /// a metrics snapshot, and any additional caller-supplied events (for
+    /// example a crowd transcript bridged to [`TimelineEvent`]s).
+    pub fn timeline(
+        &self,
+        extra_events: Vec<TimelineEvent>,
+        metrics: MetricsSnapshot,
+    ) -> SessionTimeline {
+        let mut events: Vec<TimelineEvent> = self
+            .events()
+            .into_iter()
+            .map(TimelineEvent::from_record)
+            .collect();
+        events.extend(extra_events);
+        SessionTimeline::new(self.spans(), events, metrics)
+    }
+}
+
+impl Collector for InMemoryCollector {
+    fn record_span(&self, span: &SpanRecord) {
+        unpoisoned(&self.spans).push(span.clone());
+    }
+
+    fn record_event(&self, event: &EventRecord) {
+        unpoisoned(&self.events).push(event.clone());
+    }
+}
+
+/// Streaming JSON-lines exporter: one JSON object per span/event/metric,
+/// one per line, suitable for `jq` and for replaying sessions offline.
+pub struct JsonlCollector {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonlCollector {
+    /// Create (truncate) `path` and stream records to it.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self::from_writer(Box::new(BufWriter::new(file))))
+    }
+
+    /// Stream records to an arbitrary writer.
+    pub fn from_writer(writer: Box<dyn Write + Send>) -> Self {
+        JsonlCollector {
+            out: Mutex::new(writer),
+        }
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut out = unpoisoned(&self.out);
+        // Telemetry must never take the session down: I/O errors are
+        // swallowed (the exporter is best-effort by design).
+        let _ = writeln!(out, "{line}");
+    }
+
+    /// Append every metric in `snapshot` as a `"metric"` line; call once
+    /// at session end.
+    pub fn write_metrics(&self, snapshot: &MetricsSnapshot) {
+        for line in snapshot.to_jsonl_lines() {
+            self.write_line(&line);
+        }
+    }
+
+    /// Flush buffered output.
+    pub fn flush(&self) {
+        let _ = unpoisoned(&self.out).flush();
+    }
+}
+
+impl Drop for JsonlCollector {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+impl Collector for JsonlCollector {
+    fn record_span(&self, span: &SpanRecord) {
+        let mut line = String::with_capacity(128);
+        line.push_str("{\"type\":\"span\",\"id\":");
+        line.push_str(&span.id.to_string());
+        if let Some(parent) = span.parent {
+            line.push_str(",\"parent\":");
+            line.push_str(&parent.to_string());
+        }
+        line.push_str(",\"name\":");
+        push_json_str(&mut line, span.name);
+        line.push_str(",\"start_ns\":");
+        line.push_str(&span.start_ns.to_string());
+        line.push_str(",\"dur_ns\":");
+        line.push_str(&span.duration_ns.to_string());
+        if !span.fields.is_empty() {
+            line.push_str(",\"fields\":{");
+            for (i, (k, v)) in span.fields.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                push_json_str(&mut line, k);
+                line.push(':');
+                push_json_str(&mut line, v);
+            }
+            line.push('}');
+        }
+        line.push('}');
+        self.write_line(&line);
+    }
+
+    fn record_event(&self, event: &EventRecord) {
+        let mut line = String::with_capacity(96);
+        line.push_str("{\"type\":\"event\",\"at_ns\":");
+        line.push_str(&event.at_ns.to_string());
+        if let Some(span) = event.span {
+            line.push_str(",\"span\":");
+            line.push_str(&span.to_string());
+        }
+        line.push_str(",\"name\":");
+        push_json_str(&mut line, event.name);
+        line.push_str(",\"detail\":");
+        push_json_str(&mut line, &event.detail);
+        line.push('}');
+        self.write_line(&line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[derive(Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            unpoisoned(&self.0).extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn sample_span() -> SpanRecord {
+        SpanRecord {
+            id: 2,
+            parent: Some(1),
+            name: "clean.deletion_phase",
+            start_ns: 100,
+            duration_ns: 250,
+            fields: vec![("answer", "(\"BRA\")".to_string())],
+        }
+    }
+
+    #[test]
+    fn in_memory_collects_and_clears() {
+        let c = InMemoryCollector::new();
+        c.record_span(&sample_span());
+        c.record_event(&EventRecord {
+            at_ns: 120,
+            span: Some(2),
+            name: "crowd.verify_fact",
+            detail: "Teams(BRA, EU)".to_string(),
+        });
+        assert_eq!(c.spans().len(), 1);
+        assert_eq!(c.events().len(), 1);
+        c.clear();
+        assert!(c.spans().is_empty());
+        assert!(c.events().is_empty());
+    }
+
+    #[test]
+    fn jsonl_lines_are_well_formed() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let c = JsonlCollector::from_writer(Box::new(SharedBuf(buf.clone())));
+        c.record_span(&sample_span());
+        c.record_event(&EventRecord {
+            at_ns: 120,
+            span: None,
+            name: "crowd.complete",
+            detail: "tab\there".to_string(),
+        });
+        c.flush();
+        let text = String::from_utf8(unpoisoned(&buf).clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            r#"{"type":"span","id":2,"parent":1,"name":"clean.deletion_phase","start_ns":100,"dur_ns":250,"fields":{"answer":"(\"BRA\")"}}"#
+        );
+        assert_eq!(
+            lines[1],
+            r#"{"type":"event","at_ns":120,"name":"crowd.complete","detail":"tab\there"}"#
+        );
+    }
+}

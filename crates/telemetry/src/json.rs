@@ -1,0 +1,43 @@
+//! Hand-rolled JSON string escaping (the crate is dependency-free, so no
+//! serde). Only string escaping is needed; numbers are written with
+//! `Display`, which already produces valid JSON for the integer types used.
+
+/// Append `s` to `out` as a JSON string literal, including the quotes.
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn esc(s: &str) -> String {
+        let mut out = String::new();
+        push_json_str(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn escapes_quotes_backslashes_and_control() {
+        assert_eq!(esc("plain"), r#""plain""#);
+        assert_eq!(esc("a\"b"), r#""a\"b""#);
+        assert_eq!(esc("a\\b"), r#""a\\b""#);
+        assert_eq!(esc("a\tb\nc"), r#""a\tb\nc""#);
+        assert_eq!(esc("\u{1}"), r#""\u0001""#);
+        assert_eq!(esc("雪→🦀"), "\"雪→🦀\"");
+    }
+}

@@ -1,0 +1,355 @@
+//! # qoco-telemetry — spans, counters, and session timelines
+//!
+//! A dependency-free instrumentation substrate for the QOCO cleaning
+//! pipeline. The paper's evaluation is entirely about *cost* (crowd
+//! questions per algorithm); this crate makes the other costs visible too:
+//! where wall-clock time goes (witness enumeration, hitting-set detection,
+//! query splitting, delta maintenance) and how the question budget is
+//! spent per phase.
+//!
+//! Three pieces:
+//!
+//! 1. **Spans** — [`span`] opens a named interval with `key=value` fields
+//!    and parent linkage (per-thread stack); dropping the guard reports a
+//!    [`SpanRecord`] to the installed [`Collector`]. Backends:
+//!    [`InMemoryCollector`] (thread-safe, feeds timelines and tests) and
+//!    [`JsonlCollector`] (streaming JSON-lines file exporter).
+//! 2. **Metrics** — a global [`MetricsRegistry`] of named counters, gauges
+//!    and histograms ([`counter_add`], [`gauge_set`],
+//!    [`histogram_record`]), snapshotted at session end.
+//! 3. **Timelines** — [`SessionTimeline`] merges spans, bridged events
+//!    (e.g. crowd transcripts), and a metrics snapshot into one ordered,
+//!    renderable report.
+//!
+//! ## Zero-cost when disabled
+//!
+//! No collector is installed by default. In that state [`span`] returns an
+//! inert guard and every metric call returns after a single relaxed atomic
+//! load — no allocation, no locking, no clock read. `cargo bench` in
+//! `qoco-bench` carries a guard asserting this stays cheap.
+//!
+//! ## Sessions
+//!
+//! [`session`] installs a collector, resets the global metrics, and holds
+//! a process-wide lock so concurrent tests cannot interleave their
+//! telemetry; dropping the [`SessionGuard`] uninstalls the collector.
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! let collector = Arc::new(qoco_telemetry::InMemoryCollector::new());
+//! let session = qoco_telemetry::session(collector.clone());
+//! {
+//!     let _outer = qoco_telemetry::span("clean.session").field("query", "Q1");
+//!     let _inner = qoco_telemetry::span("clean.deletion_phase");
+//!     qoco_telemetry::counter_add("crowd.questions_asked", 3);
+//! }
+//! let timeline = collector.timeline(Vec::new(), qoco_telemetry::metrics().snapshot());
+//! drop(session);
+//! assert_eq!(timeline.spans().len(), 2);
+//! assert_eq!(timeline.metrics().counter("crowd.questions_asked"), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collector;
+mod json;
+mod metrics;
+mod span;
+mod timeline;
+
+pub use collector::{Collector, InMemoryCollector, JsonlCollector};
+pub use metrics::{HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use span::{EventRecord, SpanGuard, SpanRecord};
+pub use timeline::{fmt_ns, PhaseTotal, SessionTimeline, TimelineEvent};
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
+
+use span::ActiveSpan;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static COLLECTOR: RwLock<Option<Arc<dyn Collector>>> = RwLock::new(None);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static GLOBAL_METRICS: MetricsRegistry = MetricsRegistry::new();
+static SESSION_LOCK: Mutex<()> = Mutex::new(());
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Monotonic epoch shared by all sessions in this process; set once on the
+/// first install so offsets stay comparable across a session's records.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Whether a collector is currently installed. One relaxed atomic load:
+/// this is the disabled fast path's entire cost.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Nanoseconds since the telemetry epoch (0 before any install).
+pub fn now_ns() -> u64 {
+    if !enabled() {
+        return 0;
+    }
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// Install `collector` as the process-global sink and enable telemetry.
+/// Prefer [`session`], which also resets metrics and serializes sessions.
+pub fn install(collector: Arc<dyn Collector>) {
+    epoch(); // pin the epoch before any record is stamped
+    let mut slot = COLLECTOR.write().unwrap_or_else(|p| p.into_inner());
+    *slot = Some(collector);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Disable telemetry and return the previously installed collector.
+pub fn uninstall() -> Option<Arc<dyn Collector>> {
+    ENABLED.store(false, Ordering::Relaxed);
+    let mut slot = COLLECTOR.write().unwrap_or_else(|p| p.into_inner());
+    slot.take()
+}
+
+fn with_collector(f: impl FnOnce(&dyn Collector)) {
+    let slot = COLLECTOR.read().unwrap_or_else(|p| p.into_inner());
+    if let Some(c) = slot.as_ref() {
+        f(c.as_ref());
+    }
+}
+
+/// Guard for one exclusive telemetry session; see [`session`].
+pub struct SessionGuard {
+    _lock: std::sync::MutexGuard<'static, ()>,
+}
+
+/// Start an exclusive telemetry session: takes the process-wide session
+/// lock (so parallel tests cannot mix their records), resets the global
+/// metrics, and installs `collector`. Dropping the guard uninstalls it.
+pub fn session(collector: Arc<dyn Collector>) -> SessionGuard {
+    let lock = SESSION_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    GLOBAL_METRICS.reset();
+    install(collector);
+    SessionGuard { _lock: lock }
+}
+
+impl Drop for SessionGuard {
+    fn drop(&mut self) {
+        uninstall();
+    }
+}
+
+/// Open a span named `name`. Returns an inert guard when telemetry is
+/// disabled; otherwise the guard records a [`SpanRecord`] on drop, parented
+/// to the innermost live span on this thread.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::noop();
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = SPAN_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        let parent = stack.last().copied();
+        stack.push(id);
+        parent
+    });
+    let start = Instant::now();
+    SpanGuard {
+        inner: Some(ActiveSpan {
+            id,
+            parent,
+            name,
+            start,
+            start_ns: start.duration_since(epoch()).as_nanos() as u64,
+            fields: Vec::new(),
+        }),
+    }
+}
+
+pub(crate) fn finish_span(active: ActiveSpan) {
+    SPAN_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        if let Some(pos) = stack.iter().rposition(|id| *id == active.id) {
+            stack.remove(pos);
+        }
+    });
+    let record = SpanRecord {
+        id: active.id,
+        parent: active.parent,
+        name: active.name,
+        start_ns: active.start_ns,
+        duration_ns: active.start.elapsed().as_nanos() as u64,
+        fields: active.fields,
+    };
+    with_collector(|c| c.record_span(&record));
+}
+
+/// Emit a point event. `detail` is only invoked when telemetry is enabled,
+/// so callers may format freely inside the closure.
+pub fn event(name: &'static str, detail: impl FnOnce() -> String) {
+    if !enabled() {
+        return;
+    }
+    let record = EventRecord {
+        at_ns: now_ns(),
+        span: SPAN_STACK.with(|s| s.borrow().last().copied()),
+        name,
+        detail: detail(),
+    };
+    with_collector(|c| c.record_event(&record));
+}
+
+/// The global metrics registry (live values; snapshot to read them out).
+pub fn metrics() -> &'static MetricsRegistry {
+    &GLOBAL_METRICS
+}
+
+/// Add to a global counter; no-op while telemetry is disabled.
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if enabled() {
+        GLOBAL_METRICS.counter_add(name, delta);
+    }
+}
+
+/// Set a global gauge; no-op while telemetry is disabled.
+#[inline]
+pub fn gauge_set(name: &'static str, value: f64) {
+    if enabled() {
+        GLOBAL_METRICS.gauge_set(name, value);
+    }
+}
+
+/// Record a histogram observation; no-op while telemetry is disabled.
+#[inline]
+pub fn histogram_record(name: &'static str, value: u64) {
+    if enabled() {
+        GLOBAL_METRICS.histogram_record(name, value);
+    }
+}
+
+/// Time `f` and record its duration (ns) into histogram `name`. When
+/// disabled, runs `f` with no clock reads.
+pub fn timed<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
+    if !enabled() {
+        return f();
+    }
+    let start = Instant::now();
+    let out = f();
+    GLOBAL_METRICS.histogram_record(name, start.elapsed().as_nanos() as u64);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_paths_are_inert() {
+        let _serial = SESSION_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        assert!(!enabled());
+        let g = span("should.not.record");
+        assert!(!g.is_live());
+        drop(g);
+        counter_add("never", 1);
+        event("never", || {
+            unreachable!("detail must not run when disabled")
+        });
+        assert_eq!(metrics().snapshot().counter("never"), 0);
+    }
+
+    #[test]
+    fn session_records_nested_spans_fields_events_and_counters() {
+        let collector = Arc::new(InMemoryCollector::new());
+        let session = session(collector.clone());
+        {
+            let mut outer = span("clean.session").field("query", "Q1");
+            {
+                let _inner = span("clean.deletion_phase").field("answer", "(BRA)");
+                counter_add("crowd.questions_asked", 2);
+                event("crowd.verify_fact", || "Teams(BRA, EU)".to_string());
+            }
+            outer.record("iterations", 1);
+        }
+        let snapshot = metrics().snapshot();
+        drop(session);
+
+        let spans = collector.spans();
+        assert_eq!(spans.len(), 2);
+        // inner finishes first; parent link points at the outer span
+        let inner = &spans[0];
+        let outer = &spans[1];
+        assert_eq!(inner.name, "clean.deletion_phase");
+        assert_eq!(outer.name, "clean.session");
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(outer.parent, None);
+        assert_eq!(inner.field("answer"), Some("(BRA)"));
+        assert_eq!(outer.field("query"), Some("Q1"));
+        assert_eq!(outer.field("iterations"), Some("1"));
+        assert!(outer.duration_ns >= inner.duration_ns);
+
+        let events = collector.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].span, Some(inner.id));
+
+        assert_eq!(snapshot.counter("crowd.questions_asked"), 2);
+        // the session guard reset metrics on entry and uninstalled on drop
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn timeline_assembles_from_collector_and_metrics() {
+        let collector = Arc::new(InMemoryCollector::new());
+        let session = session(collector.clone());
+        {
+            let _s = span("eval.evaluate");
+            counter_add("eval.assignments_tried", 7);
+        }
+        let timeline = collector.timeline(Vec::new(), metrics().snapshot());
+        drop(session);
+        assert_eq!(timeline.spans().len(), 1);
+        assert_eq!(timeline.metrics().counter("eval.assignments_tried"), 7);
+        assert!(timeline.render().contains("eval.evaluate"));
+    }
+
+    #[test]
+    fn sibling_spans_share_a_parent() {
+        let collector = Arc::new(InMemoryCollector::new());
+        let session = session(collector.clone());
+        {
+            let _root = span("root");
+            span("a").finish();
+            span("b").finish();
+        }
+        drop(session);
+        let spans = collector.spans();
+        assert_eq!(spans.len(), 3);
+        let root_id = spans.iter().find(|s| s.name == "root").unwrap().id;
+        for name in ["a", "b"] {
+            let s = spans.iter().find(|s| s.name == name).unwrap();
+            assert_eq!(s.parent, Some(root_id), "span {name} parented to root");
+        }
+    }
+
+    #[test]
+    fn timed_records_histogram_only_when_enabled() {
+        {
+            let _serial = SESSION_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+            assert_eq!(timed("t.ns", || 5), 5);
+        }
+        let collector = Arc::new(InMemoryCollector::new());
+        let session = session(collector);
+        assert_eq!(timed("t.ns", || 6), 6);
+        let snap = metrics().snapshot();
+        drop(session);
+        assert_eq!(snap.histograms["t.ns"].count, 1);
+    }
+}

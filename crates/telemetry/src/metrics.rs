@@ -1,0 +1,260 @@
+//! Named counters, gauges, and histograms.
+//!
+//! A [`MetricsRegistry`] is a thread-safe map from static metric names to
+//! values. The crate keeps one global registry (see [`crate::metrics`])
+//! fed by the free functions [`crate::counter_add`], [`crate::gauge_set`],
+//! and [`crate::histogram_record`], all of which are no-ops while
+//! telemetry is disabled; local registries can be created for tests.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Mutex;
+
+use crate::json::push_json_str;
+
+fn unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Histo {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// A registry of named metrics. Names are expected to be dotted paths like
+/// `eval.assignments_tried`; the registry itself imposes no scheme.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    gauges: Mutex<BTreeMap<&'static str, f64>>,
+    histograms: Mutex<BTreeMap<&'static str, Histo>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry (const, so it can back a `static`).
+    pub const fn new() -> Self {
+        MetricsRegistry {
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Add `delta` to the named monotonic counter.
+    pub fn counter_add(&self, name: &'static str, delta: u64) {
+        *unpoisoned(&self.counters).entry(name).or_insert(0) += delta;
+    }
+
+    /// Set the named gauge to `value`.
+    pub fn gauge_set(&self, name: &'static str, value: f64) {
+        unpoisoned(&self.gauges).insert(name, value);
+    }
+
+    /// Record one observation into the named histogram.
+    pub fn histogram_record(&self, name: &'static str, value: u64) {
+        let mut h = unpoisoned(&self.histograms);
+        let e = h.entry(name).or_insert(Histo {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        });
+        e.count += 1;
+        e.sum += value;
+        e.min = e.min.min(value);
+        e.max = e.max.max(value);
+    }
+
+    /// Clear every metric (start of a fresh session).
+    pub fn reset(&self) {
+        unpoisoned(&self.counters).clear();
+        unpoisoned(&self.gauges).clear();
+        unpoisoned(&self.histograms).clear();
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: unpoisoned(&self.counters)
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            gauges: unpoisoned(&self.gauges)
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            histograms: unpoisoned(&self.histograms)
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.to_string(),
+                        HistogramSummary {
+                            count: h.count,
+                            sum: h.sum,
+                            min: if h.count == 0 { 0 } else { h.min },
+                            max: h.max,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Aggregate view of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSummary {
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl MetricsSnapshot {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// The value of a counter, defaulting to 0.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// One `{"type":"metric",...}` JSON line per metric.
+    pub fn to_jsonl_lines(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        for (name, value) in &self.counters {
+            let mut l = String::from("{\"type\":\"metric\",\"kind\":\"counter\",\"name\":");
+            push_json_str(&mut l, name);
+            l.push_str(",\"value\":");
+            l.push_str(&value.to_string());
+            l.push('}');
+            lines.push(l);
+        }
+        for (name, value) in &self.gauges {
+            let mut l = String::from("{\"type\":\"metric\",\"kind\":\"gauge\",\"name\":");
+            push_json_str(&mut l, name);
+            l.push_str(",\"value\":");
+            l.push_str(&format!("{value}"));
+            l.push('}');
+            lines.push(l);
+        }
+        for (name, h) in &self.histograms {
+            let mut l = String::from("{\"type\":\"metric\",\"kind\":\"histogram\",\"name\":");
+            push_json_str(&mut l, name);
+            l.push_str(&format!(
+                ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{}}}",
+                h.count, h.sum, h.min, h.max
+            ));
+            lines.push(l);
+        }
+        lines
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, v) in &self.counters {
+            writeln!(f, "  {name:<36} {v}")?;
+        }
+        for (name, v) in &self.gauges {
+            writeln!(f, "  {name:<36} {v}")?;
+        }
+        for (name, h) in &self.histograms {
+            writeln!(
+                f,
+                "  {name:<36} n={} mean={:.0} min={} max={}",
+                h.count,
+                h.mean(),
+                h.min,
+                h.max
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let r = MetricsRegistry::new();
+        r.counter_add("a.b", 2);
+        r.counter_add("a.b", 3);
+        r.gauge_set("g", 1.5);
+        assert_eq!(r.snapshot().counter("a.b"), 5);
+        assert_eq!(r.snapshot().gauges["g"], 1.5);
+        r.reset();
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn histograms_track_count_sum_min_max() {
+        let r = MetricsRegistry::new();
+        for v in [10, 30, 20] {
+            r.histogram_record("h.ns", v);
+        }
+        let snap = r.snapshot();
+        let h = snap.histograms["h.ns"];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 60);
+        assert_eq!(h.min, 10);
+        assert_eq!(h.max, 30);
+        assert!((h.mean() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jsonl_lines_cover_all_kinds() {
+        let r = MetricsRegistry::new();
+        r.counter_add("c", 1);
+        r.gauge_set("g", 0.5);
+        r.histogram_record("h", 7);
+        let lines = r.snapshot().to_jsonl_lines();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"kind\":\"counter\""));
+        assert!(lines[1].contains("\"kind\":\"gauge\""));
+        assert!(lines[2].contains("\"kind\":\"histogram\""));
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+}

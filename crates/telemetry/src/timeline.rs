@@ -1,0 +1,261 @@
+//! Session timelines: spans + events + metrics in one renderable report.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::metrics::MetricsSnapshot;
+use crate::span::{EventRecord, SpanRecord};
+
+/// A timeline entry that happened at a point in time. Collector events map
+/// directly; other sources (e.g. crowd transcripts) are bridged into this
+/// shape by their own crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineEvent {
+    /// Offset in nanoseconds since the session epoch.
+    pub at_ns: u64,
+    /// Short category label, e.g. `crowd.verify_fact`.
+    pub label: String,
+    /// Human-readable payload.
+    pub detail: String,
+}
+
+impl TimelineEvent {
+    /// Bridge a collector [`EventRecord`] into a timeline event.
+    pub fn from_record(e: EventRecord) -> Self {
+        TimelineEvent {
+            at_ns: e.at_ns,
+            label: e.name.to_string(),
+            detail: e.detail,
+        }
+    }
+}
+
+/// Aggregate duration/count of all spans sharing a name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseTotal {
+    /// Number of spans with this name.
+    pub count: usize,
+    /// Summed duration across them, in nanoseconds.
+    pub total_ns: u64,
+}
+
+/// An ordered, renderable record of one cleaning session: the span tree,
+/// the merged event stream, and a metrics snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct SessionTimeline {
+    spans: Vec<SpanRecord>,
+    events: Vec<TimelineEvent>,
+    metrics: MetricsSnapshot,
+}
+
+impl SessionTimeline {
+    /// Build a timeline; spans and events are sorted chronologically.
+    pub fn new(
+        mut spans: Vec<SpanRecord>,
+        mut events: Vec<TimelineEvent>,
+        metrics: MetricsSnapshot,
+    ) -> Self {
+        spans.sort_by_key(|s| (s.start_ns, s.id));
+        events.sort_by(|a, b| a.at_ns.cmp(&b.at_ns).then(a.label.cmp(&b.label)));
+        SessionTimeline {
+            spans,
+            events,
+            metrics,
+        }
+    }
+
+    /// All spans, ordered by start time.
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.spans
+    }
+
+    /// All events, ordered by time.
+    pub fn events(&self) -> &[TimelineEvent] {
+        &self.events
+    }
+
+    /// The metrics snapshot taken at session end.
+    pub fn metrics(&self) -> &MetricsSnapshot {
+        &self.metrics
+    }
+
+    /// Spans with no parent (session roots), in start order.
+    pub fn roots(&self) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.parent.is_none()).collect()
+    }
+
+    /// Direct children of span `id`, in start order.
+    pub fn children_of(&self, id: u64) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.parent == Some(id)).collect()
+    }
+
+    /// Aggregate span durations by span name.
+    pub fn phase_totals(&self) -> BTreeMap<&'static str, PhaseTotal> {
+        let mut out: BTreeMap<&'static str, PhaseTotal> = BTreeMap::new();
+        for s in &self.spans {
+            let e = out.entry(s.name).or_default();
+            e.count += 1;
+            e.total_ns += s.duration_ns;
+        }
+        out
+    }
+
+    /// Wall-clock extent covered by the recorded spans and events, in
+    /// nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        let start = self
+            .spans
+            .iter()
+            .map(|s| s.start_ns)
+            .chain(self.events.iter().map(|e| e.at_ns))
+            .min()
+            .unwrap_or(0);
+        let end = self
+            .spans
+            .iter()
+            .map(|s| s.end_ns())
+            .chain(self.events.iter().map(|e| e.at_ns))
+            .max()
+            .unwrap_or(0);
+        end.saturating_sub(start)
+    }
+
+    fn render_span(&self, s: &SpanRecord, depth: usize, out: &mut String) {
+        let indent = "  ".repeat(depth);
+        out.push_str(&format!("{indent}- {} {}", s.name, fmt_ns(s.duration_ns)));
+        if !s.fields.is_empty() {
+            let fields: Vec<String> = s.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            out.push_str(&format!(" [{}]", fields.join(", ")));
+        }
+        out.push('\n');
+        for child in self.children_of(s.id) {
+            self.render_span(child, depth + 1, out);
+        }
+    }
+
+    /// Render the whole session as indented text: span tree, event stream,
+    /// metrics.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "session timeline: {} spans, {} events, {} total\n",
+            self.spans.len(),
+            self.events.len(),
+            fmt_ns(self.total_ns())
+        ));
+        if !self.spans.is_empty() {
+            out.push_str("spans:\n");
+            for root in self.roots() {
+                self.render_span(root, 1, &mut out);
+            }
+        }
+        if !self.events.is_empty() {
+            out.push_str("events:\n");
+            for e in &self.events {
+                out.push_str(&format!(
+                    "  +{:<12} {:<24} {}\n",
+                    fmt_ns(e.at_ns),
+                    e.label,
+                    e.detail
+                ));
+            }
+        }
+        if !self.metrics.is_empty() {
+            out.push_str("metrics:\n");
+            out.push_str(&self.metrics.to_string());
+        }
+        out
+    }
+}
+
+impl fmt::Display for SessionTimeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Format a nanosecond quantity at a human scale (ns/µs/ms/s).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: Option<u64>, name: &'static str, start: u64, dur: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name,
+            start_ns: start,
+            duration_ns: dur,
+            fields: Vec::new(),
+        }
+    }
+
+    fn sample() -> SessionTimeline {
+        SessionTimeline::new(
+            vec![
+                span(2, Some(1), "clean.deletion_phase", 100, 400),
+                span(1, None, "clean.session", 0, 1_000),
+                span(3, Some(1), "clean.insertion_phase", 600, 300),
+            ],
+            vec![TimelineEvent {
+                at_ns: 150,
+                label: "crowd.verify_fact".to_string(),
+                detail: "Goals(...)".to_string(),
+            }],
+            MetricsSnapshot::default(),
+        )
+    }
+
+    #[test]
+    fn nesting_is_reconstructed_from_parent_links() {
+        let t = sample();
+        let roots = t.roots();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, "clean.session");
+        let kids = t.children_of(1);
+        assert_eq!(kids.len(), 2);
+        // chronological order within the parent
+        assert_eq!(kids[0].name, "clean.deletion_phase");
+        assert_eq!(kids[1].name, "clean.insertion_phase");
+    }
+
+    #[test]
+    fn phase_totals_aggregate_by_name() {
+        let t = sample();
+        let totals = t.phase_totals();
+        assert_eq!(totals["clean.session"].count, 1);
+        assert_eq!(totals["clean.deletion_phase"].total_ns, 400);
+        assert_eq!(t.total_ns(), 1_000);
+    }
+
+    #[test]
+    fn render_shows_tree_events_and_durations() {
+        let t = sample();
+        let text = t.render();
+        assert!(text.contains("3 spans, 1 events"));
+        // child indented under root
+        assert!(text.contains("\n  - clean.session"));
+        assert!(text.contains("\n    - clean.deletion_phase"));
+        assert!(text.contains("crowd.verify_fact"));
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(950), "950ns");
+        assert_eq!(fmt_ns(1_500), "1.5µs");
+        assert_eq!(fmt_ns(2_500_000), "2.5ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

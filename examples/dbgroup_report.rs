@@ -50,7 +50,12 @@ fn main() {
             let mut gm = ground.clone();
             answer_set(q, &mut gm)
         };
-        assert_eq!(answer_set(q, &mut dirty), truth, "{} must match the truth", q.name());
+        assert_eq!(
+            answer_set(q, &mut dirty),
+            truth,
+            "{} must match the truth",
+            q.name()
+        );
         println!(
             "{}: {} wrong answer(s) removed, {} missing answer(s) added ({} deletions, {} insertions, {} closed questions)",
             q.name(),
@@ -72,7 +77,5 @@ fn main() {
          removed {total_deleted} false tuples and inserted {total_inserted} missing ones\n\
          using {total_questions} closed crowd questions in total"
     );
-    println!(
-        "(the paper's run: 5 wrong + 7 missing answers; 6 tuples removed, 8 added)"
-    );
+    println!("(the paper's run: 5 wrong + 7 missing answers; 6 tuples removed, 8 added)");
 }

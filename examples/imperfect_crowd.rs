@@ -52,7 +52,10 @@ fn main() {
             .map(|i| ImperfectOracle::new(ground.clone(), error_rate, 500 + i))
             .collect();
         let mut crowd = ParallelMajorityCrowd::new(experts);
-        let config = CleaningConfig { max_iterations: 60, ..Default::default() };
+        let config = CleaningConfig {
+            max_iterations: 60,
+            ..Default::default()
+        };
         match clean_view_parallel(&q, &mut d, &mut crowd, config) {
             Ok(report) => {
                 let converged = answer_set(&q, &mut d) == truth;

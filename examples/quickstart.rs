@@ -55,7 +55,15 @@ fn main() {
     ] {
         g.insert_named("Games", tup![dt, w, r, s, u]).unwrap();
     }
-    for (c, k) in [("GER", "EU"), ("ESP", "EU"), ("BRA", "SA"), ("NED", "EU"), ("ITA", "EU"), ("FRA", "EU"), ("ARG", "SA")] {
+    for (c, k) in [
+        ("GER", "EU"),
+        ("ESP", "EU"),
+        ("BRA", "SA"),
+        ("NED", "EU"),
+        ("ITA", "EU"),
+        ("FRA", "EU"),
+        ("ARG", "SA"),
+    ] {
         g.insert_named("Teams", tup![c, k]).unwrap();
     }
 

@@ -1,0 +1,80 @@
+//! Telemetry tour: clean a noisy soccer view with a full observability
+//! session attached, then print the merged timeline — span tree, crowd
+//! interaction events, per-phase time totals and the metric counters.
+//!
+//! The pipeline itself is the same as `quickstart`; what this example adds
+//! is the `qoco::telemetry` session around it: an [`InMemoryCollector`]
+//! captures every span and event, the [`RecordingCrowd`] transcript is
+//! bridged into timeline events, and a [`SessionTimeline`] merges the two
+//! with the metrics snapshot into one report.
+//!
+//! Run with: `cargo run --example telemetry_report`
+
+use std::sync::Arc;
+
+use qoco::core::{clean_view, CleaningConfig};
+use qoco::crowd::{PerfectOracle, RecordingCrowd, SingleExpert};
+use qoco::datasets::{generate_soccer, plant_mixed, soccer_queries, SoccerConfig};
+use qoco::engine::answer_set;
+use qoco::telemetry::{fmt_ns, InMemoryCollector};
+
+fn main() {
+    // ---- a noisy soccer view: 3 wrong + 3 missing answers on Q3 ----
+    let ground = generate_soccer(SoccerConfig::default());
+    let q = soccer_queries(ground.schema()).remove(2);
+    let planted = plant_mixed(&q, &ground, 3, 3, 7);
+    let mut d = planted.db;
+    println!("query: {}", q.display());
+    println!("{} answers before cleaning\n", answer_set(&q, &mut d).len());
+
+    // ---- clean under a telemetry session ----
+    let collector = Arc::new(InMemoryCollector::new());
+    let (timeline, report) = {
+        let _session = qoco::telemetry::session(collector.clone());
+        let mut crowd = RecordingCrowd::new(SingleExpert::new(PerfectOracle::new(ground)));
+        let report = clean_view(&q, &mut d, &mut crowd, CleaningConfig::default())
+            .expect("perfect-oracle cleaning converges");
+        // merge spans + crowd transcript + metrics into one record
+        let timeline = collector.timeline(
+            crowd.timeline_events(),
+            qoco::telemetry::metrics().snapshot(),
+        );
+        (timeline, report)
+    };
+
+    println!("{} answers after cleaning", answer_set(&q, &mut d).len());
+    println!(
+        "{} wrong removed, {} missing added, {} edits, {} iterations\n",
+        report.wrong_answers,
+        report.missing_answers,
+        report.edits.len(),
+        report.iterations
+    );
+
+    // ---- the merged timeline: span tree + events + metrics ----
+    println!("{}", timeline.render());
+
+    // ---- the phase-by-phase breakdown ----
+    println!("phase breakdown (time and questions):");
+    let questions = timeline.metrics().counter("crowd.questions_asked");
+    for (name, total) in timeline.phase_totals() {
+        println!(
+            "  {name:<24} {:>4} span(s)  {:>10}",
+            total.count,
+            fmt_ns(total.total_ns)
+        );
+    }
+    println!(
+        "  crowd questions asked: {questions} ({} verification events, {} completion events)",
+        timeline
+            .events()
+            .iter()
+            .filter(|e| e.label.starts_with("crowd.verify"))
+            .count(),
+        timeline
+            .events()
+            .iter()
+            .filter(|e| e.label.starts_with("crowd.complete"))
+            .count(),
+    );
+}

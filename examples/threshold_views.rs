@@ -32,7 +32,10 @@ fn main() {
 
     let union = UnionQuery::new("Decorated", vec![champions, unlucky]).unwrap();
     let union = union.minimized();
-    println!("union has {} disjunct(s) after minimization\n", union.disjuncts().len());
+    println!(
+        "union has {} disjunct(s) after minimization\n",
+        union.disjuncts().len()
+    );
 
     // dirty database: plant a wrong answer in each disjunct's view
     let mut dirty = ground.clone();

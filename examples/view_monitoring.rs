@@ -33,8 +33,14 @@ fn main() {
     let clubs = db.schema().rel_id("Clubs").unwrap();
     let updates = vec![
         Edit::insert(Fact::new(clubs, tup!["New Signing", "Ajax"])),
-        Edit::insert(Fact::new(games, tup!["01.06.1999", "BRA", "SUI", "Final", "2:0"])),
-        Edit::insert(Fact::new(games, tup!["01.06.2003", "ARG", "SUI", "Final", "1:0"])),
+        Edit::insert(Fact::new(
+            games,
+            tup!["01.06.1999", "BRA", "SUI", "Final", "2:0"],
+        )),
+        Edit::insert(Fact::new(
+            games,
+            tup!["01.06.2003", "ARG", "SUI", "Final", "1:0"],
+        )),
     ];
 
     let mut crowd = SingleExpert::new(PerfectOracle::new(ground.clone()));
@@ -45,7 +51,10 @@ fn main() {
             println!("update {edit:?} — irrelevant to the view, no work");
             continue;
         }
-        println!("update {edit:?} — delta: +{:?} -{:?}", delta.added, delta.removed);
+        println!(
+            "update {edit:?} — delta: +{:?} -{:?}",
+            delta.added, delta.removed
+        );
         if delta.added.is_empty() {
             continue;
         }

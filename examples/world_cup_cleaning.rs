@@ -48,11 +48,12 @@ fn main() {
             ..Default::default()
         };
         let report = clean_view(&q, &mut d, &mut crowd, config).expect("cleaning converges");
-        assert_eq!(answer_set(&q, &mut d), true_answers, "view must equal the truth");
-        println!(
-            "\n=== deletion strategy: {} ===",
-            deletion.label()
+        assert_eq!(
+            answer_set(&q, &mut d),
+            true_answers,
+            "view must equal the truth"
         );
+        println!("\n=== deletion strategy: {} ===", deletion.label());
         println!(
             "converged in {} iteration(s); removed {} wrong, added {} missing",
             report.iterations, report.wrong_answers, report.missing_answers

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# The full local CI gate: build, tests, lints, formatting, and a telemetry
+# smoke-run. Run from anywhere; operates on the repository root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q (tier-1) =="
+cargo test -q
+
+echo "== cargo test -q --workspace =="
+cargo test -q --workspace
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== telemetry smoke-run =="
+# the quickstart example must run clean...
+cargo run --release --example quickstart > /dev/null
+# ...and the same Figure 1 scenario through qoco-cli --telemetry must emit
+# a non-trivial JSONL trace covering the cleaning phases
+work="$(mktemp -d -t qoco-ci-XXXXXX)"
+trap 'rm -rf "$work"' EXIT
+trace="$work/trace.jsonl"
+mkdir -p "$work/dirty" "$work/ground"
+
+printf 'date\twinner\trunner_up\tstage\tresult\n11.07.10\tESP\tNED\tFinal\t1:0\n12.07.98\tESP\tNED\tFinal\t4:2\n13.07.14\tGER\tARG\tFinal\t1:0\n08.07.90\tGER\tARG\tFinal\t1:0\n' > "$work/dirty/Games.tsv"
+printf 'country\tcontinent\nESP\tEU\nGER\tEU\n' > "$work/dirty/Teams.tsv"
+printf 'date\twinner\trunner_up\tstage\tresult\n11.07.10\tESP\tNED\tFinal\t1:0\n13.07.14\tGER\tARG\tFinal\t1:0\n08.07.90\tGER\tARG\tFinal\t1:0\n' > "$work/ground/Games.tsv"
+printf 'country\tcontinent\nESP\tEU\nGER\tEU\n' > "$work/ground/Teams.tsv"
+
+printf '%s\n' \
+  'relation Games date winner runner_up stage result' \
+  'relation Teams country continent' \
+  "load $work/dirty" \
+  "ground $work/ground" \
+  'query Q1(x) :- Games(d1, x, y, "Final", u1), Games(d2, x, z, "Final", u2), Teams(x, "EU"), d1 != d2.' \
+  'clean Q1 qoco provenance' \
+  'quit' \
+  | ./target/release/qoco-cli --telemetry "$trace" > /dev/null
+
+for needle in clean.session clean.deletion_phase clean.insertion_phase eval.assignments crowd.questions_asked; do
+  grep -q "$needle" "$trace" || { echo "telemetry smoke-run: missing $needle in trace" >&2; exit 1; }
+done
+echo "telemetry trace OK ($(wc -l < "$trace") JSONL lines)"
+
+echo "== all CI gates passed =="

@@ -1,0 +1,145 @@
+//! Offline stand-in for `criterion` (0.5 API subset).
+//!
+//! Implements just enough for the workspace's benches to compile and run
+//! under `cargo bench`: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] (with `sample_size` accepted and
+//! ignored), [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurement is a plain wall-clock mean over
+//! an adaptively chosen iteration count — no statistics, no reports.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to each benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes samples adaptively.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name.into());
+        run_one(&label, &mut f);
+        self
+    }
+
+    /// Close the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timing driver passed to the benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    mean_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Measure the mean wall-clock time of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up.
+        for _ in 0..3 {
+            std::hint::black_box(routine());
+        }
+        // Measure batches until ~50 ms of samples or 10k iterations.
+        let budget = Duration::from_millis(50);
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < budget && iters < 10_000 {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        self.mean_ns = Some(start.elapsed().as_nanos() as f64 / iters.max(1) as f64);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let mut b = Bencher { mean_ns: None };
+    f(&mut b);
+    match b.mean_ns {
+        Some(ns) => println!("bench {label:<48} {:>14.1} ns/iter", ns),
+        None => println!("bench {label:<48} (no measurement)"),
+    }
+}
+
+/// Re-export of `std::hint::black_box` for benches that import it from
+/// criterion.
+pub use std::hint::black_box;
+
+/// Bundle benchmark functions under one runner name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Produce `main` for a bench binary from [`criterion_group!`] bundles.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("one", |b| b.iter(|| ()));
+        group.finish();
+    }
+}

@@ -1,0 +1,89 @@
+//! Offline stand-in for `crossbeam` (0.8 API subset).
+//!
+//! Only `crossbeam::thread::scope` is provided, implemented on top of
+//! `std::thread::scope` (stable since Rust 1.63). The crossbeam calling
+//! convention is preserved: the scope closure and every spawned closure
+//! receive a `&Scope` argument (crossbeam passes it so nested spawns can
+//! borrow the same scope), and `scope` returns a `Result`.
+//!
+//! One semantic difference: if a spawned thread panics and its handle is
+//! never joined, `std::thread::scope` propagates the panic instead of
+//! returning `Err`. The workspace immediately `.expect()`s the result, so
+//! both behaviours abort the caller identically.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope for spawning borrowing threads; mirrors
+    /// `crossbeam::thread::Scope`.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the scope
+        /// (crossbeam convention), enabling nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let captured = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&captured)),
+            }
+        }
+    }
+
+    /// Handle to a scoped thread; joined implicitly when the scope ends.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish and return its result.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    /// Create a scope whose spawned threads may borrow from the enclosing
+    /// environment; all are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        let out = super::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        });
+        assert!(out.is_ok());
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn join_returns_value() {
+        let r = super::thread::scope(|scope| {
+            let h = scope.spawn(|_| 21 * 2);
+            h.join().expect("no panic")
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+}

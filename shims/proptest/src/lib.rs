@@ -1,0 +1,121 @@
+//! Offline stand-in for `proptest` (API subset, no shrinking).
+//!
+//! The workspace's property tests need: the [`proptest!`] macro with an
+//! optional `#![proptest_config(...)]` header, [`prop_assert!`] /
+//! [`prop_assert_eq!`], the [`Strategy`](strategy::Strategy) trait with
+//! `prop_map` / `prop_filter_map`, integer-range and tuple strategies,
+//! [`collection::vec`] / [`collection::btree_set`], `any::<bool>()`, and
+//! string strategies from `&str` patterns. All of that is provided here on
+//! top of a deterministic SplitMix64 runner seeded from the test name, so
+//! failures reproduce exactly. Counterexamples are reported as generated —
+//! there is no shrinking.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Assert a condition inside a `proptest!` body, failing the current case
+/// (not the whole process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body, with `Debug` output of both
+/// sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                    left, right
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\nassertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                    format!($($fmt)+),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+}
+
+/// Define property tests: each `fn name(input in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$attr:meta])*
+        fn $name:ident($($p:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        #[allow(unreachable_code)]
+        fn $name() {
+            let config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $(let $p = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "property `{}` failed at case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+}

@@ -1,0 +1,197 @@
+//! The [`Strategy`] trait and its combinators and primitive impls.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// How many draws `prop_filter_map` attempts before giving up on a case.
+const FILTER_MAP_RETRIES: usize = 10_000;
+
+/// A generator of test-case values.
+///
+/// Unlike real proptest there is no value tree: strategies produce plain
+/// values and rejected cases are simply re-drawn, so no shrinking occurs.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every generated value with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Transform generated values, re-drawing whenever `f` returns `None`.
+    /// `whence` labels the filter in the panic raised if every retry is
+    /// rejected.
+    fn prop_filter_map<O, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, O, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        for _ in 0..FILTER_MAP_RETRIES {
+            if let Some(v) = (self.f)(self.inner.generate(rng)) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter_map exhausted {FILTER_MAP_RETRIES} draws: {}",
+            self.whence
+        );
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, G);
+
+/// Characters used by string-pattern strategies: plain ASCII plus the
+/// whitespace, escape and multibyte characters most likely to stress
+/// parsers and round-trip codecs.
+const CHAR_POOL: &[char] = &[
+    'a', 'b', 'c', 'z', 'A', 'Z', '0', '9', ' ', '\t', '\n', '\r', '\\', '#', '"', '\'', ',', ':',
+    '|', '-', '_', '.', '(', ')', 'é', 'ß', '雪', '→', '🦀',
+];
+
+/// A `&str` used as a strategy stands for "arbitrary text" (the workspace
+/// only uses the `".*"` pattern); the regex itself is not interpreted.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let len = rng.below(0, 13) as usize;
+        (0..len)
+            .map(|_| CHAR_POOL[rng.below(0, CHAR_POOL.len() as u64) as usize])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::deterministic("t");
+        for _ in 0..500 {
+            let (a, b) = (0..4usize, 10u32..=12).generate(&mut rng);
+            assert!(a < 4);
+            assert!((10..=12).contains(&b));
+        }
+    }
+
+    #[test]
+    fn map_and_filter_map_compose() {
+        let mut rng = TestRng::deterministic("m");
+        let even = (0..100u32).prop_filter_map("even only", |v| (v % 2 == 0).then_some(v));
+        let doubled = (0..10u32).prop_map(|v| v * 2);
+        for _ in 0..200 {
+            assert_eq!(even.generate(&mut rng) % 2, 0);
+            assert_eq!(doubled.generate(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn string_pattern_generates_varied_text() {
+        let mut rng = TestRng::deterministic("s");
+        let strat = ".*";
+        let samples: Vec<String> = (0..50).map(|_| strat.generate(&mut rng)).collect();
+        assert!(samples.iter().any(|s| s.is_empty()));
+        assert!(samples.iter().any(|s| !s.is_ascii()));
+    }
+
+    #[test]
+    #[should_panic(expected = "prop_filter_map exhausted")]
+    fn filter_map_reports_exhaustion() {
+        let mut rng = TestRng::deterministic("x");
+        let never = (0..4u32).prop_filter_map("impossible", |_| None::<u32>);
+        let _ = never.generate(&mut rng);
+    }
+}

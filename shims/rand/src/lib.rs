@@ -1,0 +1,192 @@
+//! Offline stand-in for the `rand` crate (0.9 API subset).
+//!
+//! The workspace builds without registry access, so this shim provides the
+//! exact surface the qoco crates use: [`rngs::StdRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], [`Rng::random`] for `bool`/`f64`, and
+//! [`Rng::random_range`] over half-open and inclusive integer ranges. The
+//! generator is SplitMix64: deterministic, fast, and good enough for
+//! synthetic-data generation and randomized baselines — not for statistics
+//! or cryptography.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Random number generator types.
+pub mod rngs {
+    /// A deterministic 64-bit PRNG (SplitMix64); stands in for
+    /// `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+use rngs::StdRng;
+
+/// Core entropy source: a stream of `u64` words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64 step (Steele, Lea, Flood; public-domain constants).
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Construction of RNGs from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+}
+
+/// Sampling helpers layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from its standard distribution.
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a range (half-open or inclusive).
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types sampleable via [`Rng::random`].
+pub trait Standard {
+    /// Draw one value.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        // 53 uniform bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+/// Ranges sampleable via [`Rng::random_range`]. The output type is a
+/// trait parameter (mirroring rand) so it can be inferred from the call
+/// site's expected type.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+fn sample_span<R: RngCore>(rng: &mut R, lo: i128, span: u128) -> i128 {
+    debug_assert!(span > 0);
+    // Modulo with a 64-bit draw; bias is negligible for the small spans the
+    // workspace uses and irrelevant for its deterministic tests.
+    lo + (rng.next_u64() as u128 % span) as i128
+}
+
+/// Integer types uniformly sampleable within a range; the blanket
+/// [`SampleRange`] impls below hang off this, which lets the compiler
+/// unify a literal range's element type with the call site's expected
+/// output type (as real rand does).
+pub trait SampleUniform: Copy {
+    /// Convert to the wide intermediate used for span arithmetic.
+    fn to_i128(self) -> i128;
+    /// Convert back from the wide intermediate.
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start.to_i128(), self.end.to_i128());
+        assert!(lo < hi, "empty range in random_range");
+        T::from_i128(sample_span(rng, lo, (hi - lo) as u128))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start().to_i128(), self.end().to_i128());
+        assert!(lo <= hi, "empty range in random_range");
+        T::from_i128(sample_span(rng, lo, (hi - lo + 1) as u128))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.random_range(0..7usize);
+            assert!(v < 7);
+            let w = rng.random_range(3..=5u32);
+            assert!((3..=5).contains(&w));
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bools_take_both_values() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let draws: Vec<bool> = (0..64).map(|_| rng.random::<bool>()).collect();
+        assert!(draws.iter().any(|b| *b));
+        assert!(draws.iter().any(|b| !*b));
+    }
+}

@@ -17,6 +17,10 @@
 //! quit
 //! ```
 //!
+//! Run with `--telemetry <path>` to export a JSON-lines trace of the
+//! session (spans, events and a final metrics snapshot) for offline
+//! inspection.
+//!
 //! Commands: `relation <name> <attrs…>`, `load <dir>`, `ground <dir>`,
 //! `query <datalog>`, `show <name>`, `witnesses <name> <v1> [v2 …]`,
 //! `explain <name>` (the evaluation plan), `minimize <name>` (the query
@@ -265,14 +269,20 @@ impl Session {
             other => return Ok(Err(format!("unknown split strategy `{other}`"))),
         };
         let Some(ground) = self.ground.clone() else {
-            return Ok(Err("no ground truth loaded (the oracle needs `ground <dir>`)".into()));
+            return Ok(Err(
+                "no ground truth loaded (the oracle needs `ground <dir>`)".into(),
+            ));
         };
         let db = match self.db() {
             Ok(d) => d,
             Err(e) => return Ok(Err(e)),
         };
         let mut crowd = RecordingCrowd::new(SingleExpert::new(PerfectOracle::new(ground)));
-        let config = CleaningConfig { deletion, split, ..Default::default() };
+        let config = CleaningConfig {
+            deletion,
+            split,
+            ..Default::default()
+        };
         let result = clean_view(&q, db, &mut crowd, config);
         let (_, transcript) = crowd.into_parts();
         self.last_transcript = transcript;
@@ -334,6 +344,31 @@ impl Session {
 }
 
 fn main() -> io::Result<()> {
+    let mut telemetry_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--telemetry" => {
+                telemetry_path = Some(args.next().ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidInput, "--telemetry needs a file path")
+                })?);
+            }
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("unknown argument `{other}` (supported: --telemetry <path>)"),
+                ));
+            }
+        }
+    }
+    let telemetry = match &telemetry_path {
+        Some(path) => {
+            let collector = Arc::new(qoco::telemetry::JsonlCollector::create(path)?);
+            let guard = qoco::telemetry::session(collector.clone());
+            Some((guard, collector))
+        }
+        None => None,
+    };
     let stdin = io::stdin();
     let stdout = io::stdout();
     let mut out = stdout.lock();
@@ -344,6 +379,10 @@ fn main() -> io::Result<()> {
             break;
         }
         out.flush()?;
+    }
+    if let Some((_guard, collector)) = &telemetry {
+        collector.write_metrics(&qoco::telemetry::metrics().snapshot());
+        collector.flush();
     }
     Ok(())
 }

@@ -49,6 +49,7 @@
 //! | [`crowd`] | question types, perfect/imperfect oracles, majority voting, cost ledger, enumeration black-box |
 //! | [`core`] | Algorithms 1–3, hitting sets, split strategies, baselines, the parallel multi-expert cleaner |
 //! | [`datasets`] | the Soccer and DBGroup generators, noise injection, the evaluation queries |
+//! | [`telemetry`] | spans, counters/histograms, JSONL export, session timelines (zero-cost when disabled) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -60,6 +61,7 @@ pub use qoco_datasets as datasets;
 pub use qoco_engine as engine;
 pub use qoco_graph as graph;
 pub use qoco_query as query;
+pub use qoco_telemetry as telemetry;
 
 /// Commonly used items in one import.
 pub mod prelude {
@@ -73,9 +75,10 @@ pub mod prelude {
     };
     pub use qoco_data::{Database, Edit, EditLog, Fact, Schema, Tuple, Value};
     pub use qoco_datasets::{
-        generate_dbgroup, generate_soccer, inject_noise, soccer_queries, DbGroupConfig,
-        NoiseSpec, SoccerConfig,
+        generate_dbgroup, generate_soccer, inject_noise, soccer_queries, DbGroupConfig, NoiseSpec,
+        SoccerConfig,
     };
     pub use qoco_engine::{answer_set, evaluate, witnesses_for_answer, Assignment, ViewMonitor};
     pub use qoco_query::{parse_query, ConjunctiveQuery};
+    pub use qoco_telemetry::{InMemoryCollector, JsonlCollector, SessionTimeline};
 }

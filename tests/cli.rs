@@ -116,6 +116,71 @@ fn full_session_cleans_and_saves() {
 }
 
 #[test]
+fn telemetry_flag_exports_jsonl_trace() {
+    let (dirty, ground, _) = fixtures();
+    let trace =
+        std::env::temp_dir().join(format!("qoco-cli-test-trace-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&trace);
+    let script = format!(
+        "relation Games date winner runner_up stage result\n\
+         relation Teams country continent\n\
+         load {dirty}\n\
+         ground {ground}\n\
+         query Q1(x) :- Games(d1, x, y, \"Final\", u1), Games(d2, x, z, \"Final\", u2), Teams(x, \"EU\"), d1 != d2.\n\
+         clean Q1 qoco provenance\n\
+         quit\n",
+        dirty = dirty.display(),
+        ground = ground.display(),
+    );
+    let mut child = Command::new(env!("CARGO_BIN_EXE_qoco-cli"))
+        .arg("--telemetry")
+        .arg(&trace)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn qoco-cli");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(script.as_bytes())
+        .expect("write");
+    let output = child.wait_with_output().expect("cli exits");
+    assert!(output.status.success(), "cli failed: {output:?}");
+
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    assert!(!text.trim().is_empty(), "trace must not be empty");
+    // every line is a single JSON object
+    for line in text.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "not JSONL: {line}"
+        );
+    }
+    // spans cover the eval, deletion, insertion and crowd phases
+    for name in [
+        "\"name\":\"clean.session\"",
+        "\"name\":\"eval.assignments\"",
+        "\"name\":\"clean.deletion_phase\"",
+        "\"name\":\"clean.insertion_phase\"",
+        "\"name\":\"deletion.remove_answer\"",
+    ] {
+        assert!(text.contains(name), "missing {name} in trace:\n{text}");
+    }
+    assert!(text.contains("\"type\":\"span\""), "{text}");
+    assert!(text.contains("\"type\":\"event\""), "{text}");
+    assert!(text.contains("crowd."), "crowd events missing:\n{text}");
+    // the final metrics snapshot is appended
+    assert!(text.contains("eval.assignments_tried"), "{text}");
+    assert!(text.contains("crowd.questions_asked"), "{text}");
+
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_dir_all(dirty);
+    let _ = std::fs::remove_dir_all(ground);
+}
+
+#[test]
 fn errors_are_reported_not_fatal() {
     let script = "bogus-command\n\
                   relation Teams country continent\n\
@@ -149,9 +214,15 @@ fn explain_minimize_and_transcript_commands() {
         ground = ground.display(),
     );
     let output = run_cli(&script);
-    assert!(output.contains("QM minimized from 2 to 1 atoms"), "{output}");
+    assert!(
+        output.contains("QM minimized from 2 to 1 atoms"),
+        "{output}"
+    );
     assert!(output.contains("plan for Q1"), "{output}");
-    assert!(output.contains("no cleaning session recorded yet"), "{output}");
+    assert!(
+        output.contains("no cleaning session recorded yet"),
+        "{output}"
+    );
     assert!(output.contains("interaction(s):"), "{output}");
     assert!(output.contains("TRUE("), "{output}");
     let _ = std::fs::remove_dir_all(dirty);

@@ -7,8 +7,8 @@ use qoco::core::{clean_view, CleaningConfig, DeletionStrategy, SplitStrategyKind
 use qoco::crowd::{Chao92Estimator, PerfectOracle, SamplingOracle, SingleExpert};
 use qoco::data::{diff, Database, Tuple};
 use qoco::datasets::{
-    dbgroup_queries, generate_dbgroup, generate_soccer, inject_noise, plant_mixed,
-    soccer_queries, DbGroupConfig, NoiseSpec, SoccerConfig,
+    dbgroup_queries, generate_dbgroup, generate_soccer, inject_noise, plant_mixed, soccer_queries,
+    DbGroupConfig, NoiseSpec, SoccerConfig,
 };
 use qoco::engine::answer_set;
 use qoco::query::ConjunctiveQuery;
@@ -53,7 +53,12 @@ fn every_dbgroup_query_converges_after_planted_noise() {
         let mut crowd = SingleExpert::new(PerfectOracle::new(ground.clone()));
         clean_view(q, &mut d, &mut crowd, CleaningConfig::default())
             .unwrap_or_else(|e| panic!("{} failed: {e}", q.name()));
-        assert_eq!(answer_set(q, &mut d), true_answers(&ground, q), "{}", q.name());
+        assert_eq!(
+            answer_set(q, &mut d),
+            true_answers(&ground, q),
+            "{}",
+            q.name()
+        );
     }
 }
 
@@ -62,9 +67,19 @@ fn cleanliness_noise_cleans_up_on_q1() {
     // global (query-oblivious) noise at the paper's default 80% cleanliness
     let ground = generate_soccer(SoccerConfig::default());
     let q = &soccer_queries(ground.schema())[0];
-    let mut d = inject_noise(&ground, NoiseSpec { cleanliness: 0.9, skewness: 0.5, seed: 5 });
+    let mut d = inject_noise(
+        &ground,
+        NoiseSpec {
+            cleanliness: 0.9,
+            skewness: 0.5,
+            seed: 5,
+        },
+    );
     let mut crowd = SingleExpert::new(PerfectOracle::new(ground.clone()));
-    let config = CleaningConfig { max_iterations: 60, ..Default::default() };
+    let config = CleaningConfig {
+        max_iterations: 60,
+        ..Default::default()
+    };
     clean_view(q, &mut d, &mut crowd, config).expect("perfect-oracle cleaning converges");
     assert_eq!(answer_set(q, &mut d), true_answers(&ground, q));
 }
@@ -108,7 +123,11 @@ fn all_strategy_combinations_converge_on_q4() {
         ] {
             let mut d = planted.db.clone();
             let mut crowd = SingleExpert::new(PerfectOracle::new(ground.clone()));
-            let config = CleaningConfig { deletion, split, ..Default::default() };
+            let config = CleaningConfig {
+                deletion,
+                split,
+                ..Default::default()
+            };
             clean_view(q, &mut d, &mut crowd, config)
                 .unwrap_or_else(|e| panic!("{deletion:?}/{split:?}: {e}"));
             assert_eq!(answer_set(q, &mut d), truth, "{deletion:?}/{split:?}");
@@ -125,7 +144,10 @@ fn qoco_never_asks_more_deletion_questions_than_qoco_minus() {
         let run = |strategy| {
             let mut d = planted.db.clone();
             let mut crowd = SingleExpert::new(PerfectOracle::new(ground.clone()));
-            let config = CleaningConfig { deletion: strategy, ..Default::default() };
+            let config = CleaningConfig {
+                deletion: strategy,
+                ..Default::default()
+            };
             let report = clean_view(q, &mut d, &mut crowd, config).unwrap();
             report.deletion_stats.verify_fact_questions
         };
@@ -150,7 +172,10 @@ fn statistical_stopping_rule_with_a_sampling_crowd() {
     let mut d = planted.db;
     let mut crowd = SingleExpert::new(SamplingOracle::new(ground.clone(), 5, 0.0));
     let mut estimator = Chao92Estimator::new();
-    let config = CleaningConfig { max_iterations: 40, ..Default::default() };
+    let config = CleaningConfig {
+        max_iterations: 40,
+        ..Default::default()
+    };
     let report = qoco::core::cleaner::clean_view_with_estimator(
         q,
         &mut d,
@@ -163,7 +188,10 @@ fn statistical_stopping_rule_with_a_sampling_crowd() {
     // planted missing answers and repeated sampling the repaired view must
     // reach the truth
     assert_eq!(answer_set(q, &mut d), true_answers(&ground, q));
-    assert!(report.total_stats.complete_result_tasks >= 2, "sampling asks repeatedly");
+    assert!(
+        report.total_stats.complete_result_tasks >= 2,
+        "sampling asks repeatedly"
+    );
     assert!(estimator.estimate().is_some());
 }
 
@@ -198,7 +226,11 @@ fn cleaning_one_view_may_leave_the_database_dirty() {
     let mut crowd = SingleExpert::new(PerfectOracle::new(ground.clone()));
     let report = clean_view(q, &mut d, &mut crowd, CleaningConfig::default()).unwrap();
     assert!(report.edits.is_empty(), "Q1 does not read Clubs");
-    assert_ne!(diff(&d, &ground).unwrap().distance(), 0, "D' is still not D_G");
+    assert_ne!(
+        diff(&d, &ground).unwrap().distance(),
+        0,
+        "D' is still not D_G"
+    );
     assert_eq!(answer_set(q, &mut d), true_answers(&ground, q));
 }
 
@@ -222,7 +254,7 @@ fn planted_answer_sets_are_disjoint_from_truth() {
 fn count_threshold_unfolding_matches_aggregate_semantics() {
     // Section 9's aggregate fragment: `at least k distinct d` unfolds into
     // a self-join CQ; checked against real counting on the soccer DB.
-    use qoco::query::{unfold_at_least, parse_query, Var};
+    use qoco::query::{parse_query, unfold_at_least, Var};
     let ground = generate_soccer(SoccerConfig::default());
     let template = parse_query(
         ground.schema(),
@@ -242,7 +274,9 @@ fn count_threshold_unfolding_matches_aggregate_semantics() {
         Default::default();
     for g in ground.relation(games).iter() {
         if g.values()[3] == qoco::data::Value::text("Final") && eu.contains(&g.values()[1]) {
-            wins.entry(g.values()[1].clone()).or_default().insert(g.values()[0].clone());
+            wins.entry(g.values()[1].clone())
+                .or_default()
+                .insert(g.values()[0].clone());
         }
     }
     for k in 1..=4usize {
@@ -264,7 +298,7 @@ fn count_threshold_unfolding_matches_aggregate_semantics() {
 #[test]
 fn count_threshold_view_cleans_like_any_other() {
     // the unfolded aggregate view runs through the unchanged Algorithm 3
-    use qoco::query::{unfold_at_least, parse_query, Var};
+    use qoco::query::{parse_query, unfold_at_least, Var};
     let ground = generate_soccer(SoccerConfig::default());
     let template = parse_query(
         ground.schema(),

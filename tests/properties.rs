@@ -80,9 +80,10 @@ fn brute_force_answers(q: &ConjunctiveQuery, db: &Database) -> BTreeSet<qoco::da
             rem /= domain.len();
         }
         // valid? every atom grounds to a fact, every inequality holds
-        let atoms_ok = q.atoms().iter().all(|a| {
-            asg.ground_atom(a).map(|f| db.contains(&f)).unwrap_or(false)
-        });
+        let atoms_ok = q
+            .atoms()
+            .iter()
+            .all(|a| asg.ground_atom(a).map(|f| db.contains(&f)).unwrap_or(false));
         let ineq_ok = q
             .inequalities()
             .iter()

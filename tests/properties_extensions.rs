@@ -29,55 +29,60 @@ fn query_strategy() -> impl Strategy<Value = ConjunctiveQuery> {
     // atoms encoded as (relation_choice, term codes); term code < 4 = var,
     // ≥ 4 = constant
     let atom = (0..2usize, proptest::collection::vec(0..8usize, 2));
-    (proptest::collection::vec(atom, 1..4), 0..4usize, any::<bool>()).prop_filter_map(
-        "query must be well-formed",
-        |(atom_specs, ineq_seed, with_ineq)| {
-            let s = small_schema();
-            let e = s.rel_id("E").unwrap();
-            let l = s.rel_id("L").unwrap();
-            let term = |code: usize| -> Term {
-                if code < 4 {
-                    Term::var(VARS[code])
-                } else {
-                    Term::cons(DOMAIN[code - 4])
-                }
-            };
-            let mut atoms = Vec::new();
-            for (rel_choice, codes) in atom_specs {
-                if rel_choice == 0 {
-                    atoms.push(Atom::new(e, vec![term(codes[0]), term(codes[1])]));
-                } else {
-                    atoms.push(Atom::new(l, vec![term(codes[0])]));
-                }
-            }
-            // head: every variable that occurs (keeps the query safe)
-            let mut head = Vec::new();
-            let mut seen = BTreeSet::new();
-            for a in &atoms {
-                for v in a.vars() {
-                    if seen.insert(v.clone()) {
-                        head.push(Term::Var(v));
+    (
+        proptest::collection::vec(atom, 1..4),
+        0..4usize,
+        any::<bool>(),
+    )
+        .prop_filter_map(
+            "query must be well-formed",
+            |(atom_specs, ineq_seed, with_ineq)| {
+                let s = small_schema();
+                let e = s.rel_id("E").unwrap();
+                let l = s.rel_id("L").unwrap();
+                let term = |code: usize| -> Term {
+                    if code < 4 {
+                        Term::var(VARS[code])
+                    } else {
+                        Term::cons(DOMAIN[code - 4])
+                    }
+                };
+                let mut atoms = Vec::new();
+                for (rel_choice, codes) in atom_specs {
+                    if rel_choice == 0 {
+                        atoms.push(Atom::new(e, vec![term(codes[0]), term(codes[1])]));
+                    } else {
+                        atoms.push(Atom::new(l, vec![term(codes[0])]));
                     }
                 }
-            }
-            if head.is_empty() {
-                return None; // all-constant query: legal but dull for the parser test
-            }
-            let vars: Vec<Var> = seen.into_iter().collect();
-            let inequalities = if with_ineq && vars.len() >= 2 {
-                let a = vars[ineq_seed % vars.len()].clone();
-                let b = vars[(ineq_seed + 1) % vars.len()].clone();
-                if a == b {
-                    vec![]
-                } else {
-                    vec![Inequality::new(a, Term::Var(b))]
+                // head: every variable that occurs (keeps the query safe)
+                let mut head = Vec::new();
+                let mut seen = BTreeSet::new();
+                for a in &atoms {
+                    for v in a.vars() {
+                        if seen.insert(v.clone()) {
+                            head.push(Term::Var(v));
+                        }
+                    }
                 }
-            } else {
-                vec![]
-            };
-            ConjunctiveQuery::new(s, "G", head, atoms, inequalities).ok()
-        },
-    )
+                if head.is_empty() {
+                    return None; // all-constant query: legal but dull for the parser test
+                }
+                let vars: Vec<Var> = seen.into_iter().collect();
+                let inequalities = if with_ineq && vars.len() >= 2 {
+                    let a = vars[ineq_seed % vars.len()].clone();
+                    let b = vars[(ineq_seed + 1) % vars.len()].clone();
+                    if a == b {
+                        vec![]
+                    } else {
+                        vec![Inequality::new(a, Term::Var(b))]
+                    }
+                } else {
+                    vec![]
+                };
+                ConjunctiveQuery::new(s, "G", head, atoms, inequalities).ok()
+            },
+        )
 }
 
 fn db_strategy(max: usize) -> impl Strategy<Value = Database> {
@@ -179,6 +184,58 @@ proptest! {
             for t in &delta.added {
                 prop_assert!(!delta.removed.contains(t));
             }
+        }
+    }
+
+    /// The incremental deltas of [`ViewMonitor::apply_edit`] must be
+    /// exactly the set difference between consecutive full re-evaluations
+    /// — not just leave the maintained answer set correct.
+    #[test]
+    fn monitor_deltas_agree_with_full_reevaluation(
+        db in db_strategy(8),
+        edits in proptest::collection::vec(
+            (any::<bool>(), 0..2usize, 0..4usize, 0..4usize),
+            1..24,
+        ),
+        qi in 0..3usize,
+    ) {
+        let s = small_schema();
+        let queries = [
+            parse_query(&s, "(x) :- E(x, y), L(y)").unwrap(),
+            parse_query(&s, "(x, z) :- E(x, y), E(y, z), x != z").unwrap(),
+            parse_query(&s, r#"(x) :- E(x, x)"#).unwrap(),
+        ];
+        let q = &queries[qi];
+        let mut live = db.clone();
+        let mut monitor = ViewMonitor::new(q.clone(), &mut live);
+        let mut previous: BTreeSet<qoco::data::Tuple> =
+            answer_set(q, &mut live).into_iter().collect();
+        for (del, rel_choice, a, b) in edits {
+            let fact = if rel_choice == 0 {
+                Fact::new(s.rel_id("E").unwrap(), tup![DOMAIN[a], DOMAIN[b]])
+            } else {
+                Fact::new(s.rel_id("L").unwrap(), tup![DOMAIN[a]])
+            };
+            let e = if del { Edit::delete(fact) } else { Edit::insert(fact) };
+            live.apply(&e).unwrap();
+            let delta = monitor.apply_edit(&mut live, &e);
+            let expected: BTreeSet<qoco::data::Tuple> =
+                answer_set(q, &mut live).into_iter().collect();
+            let added: BTreeSet<qoco::data::Tuple> =
+                expected.difference(&previous).cloned().collect();
+            let removed: BTreeSet<qoco::data::Tuple> =
+                previous.difference(&expected).cloned().collect();
+            prop_assert_eq!(
+                delta.added.iter().cloned().collect::<BTreeSet<_>>(),
+                added,
+                "added delta diverged from full re-evaluation after {:?}", e
+            );
+            prop_assert_eq!(
+                delta.removed.iter().cloned().collect::<BTreeSet<_>>(),
+                removed,
+                "removed delta diverged from full re-evaluation after {:?}", e
+            );
+            previous = expected;
         }
     }
 

@@ -10,7 +10,10 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use qoco::core::{crowd_remove_wrong_answer, crowd_add_missing_answer, DeletionStrategy, InsertionOptions, NaiveSplit};
+use qoco::core::{
+    crowd_add_missing_answer, crowd_remove_wrong_answer, DeletionStrategy, InsertionOptions,
+    NaiveSplit,
+};
 use qoco::crowd::{PerfectOracle, SingleExpert};
 use qoco::data::{Database, Schema, Tuple, Value};
 use qoco::engine::answer_set;
@@ -48,7 +51,9 @@ fn hitting_set_gadget(
         let rel = format!("R{i}");
         db.insert_named(&rel, Tuple::new(vec![u(i)])).unwrap();
         db.insert_named(&rel, Tuple::new(vec![d.clone()])).unwrap();
-        ground.insert_named(&rel, Tuple::new(vec![d.clone()])).unwrap();
+        ground
+            .insert_named(&rel, Tuple::new(vec![d.clone()]))
+            .unwrap();
     }
     // characteristic vector per set
     for (si, set) in sets.iter().enumerate() {
@@ -71,20 +76,23 @@ fn hitting_set_gadget(
 #[test]
 fn theorem_4_2_gadget_shape() {
     // the proof's example instance
-    let sets = vec![
-        BTreeSet::from([2usize, 3, 4]),
-        BTreeSet::from([1usize, 2]),
-    ];
+    let sets = vec![BTreeSet::from([2usize, 3, 4]), BTreeSet::from([1usize, 2])];
     let (mut db, mut ground, q) = hitting_set_gadget(4, &sets);
     // Q(D) = {(d)}, Q(D_G) = ∅ — exactly as the proof states
-    assert_eq!(answer_set(&q, &mut db), vec![Tuple::new(vec![Value::text("d")])]);
+    assert_eq!(
+        answer_set(&q, &mut db),
+        vec![Tuple::new(vec![Value::text("d")])]
+    );
     assert!(answer_set(&q, &mut ground).is_empty());
 }
 
 #[test]
 fn theorem_4_2_deletions_form_a_hitting_set() {
     for (n, sets) in [
-        (4usize, vec![BTreeSet::from([2usize, 3, 4]), BTreeSet::from([1usize, 2])]),
+        (
+            4usize,
+            vec![BTreeSet::from([2usize, 3, 4]), BTreeSet::from([1usize, 2])],
+        ),
         (
             5,
             vec![
@@ -97,15 +105,22 @@ fn theorem_4_2_deletions_form_a_hitting_set() {
         let (mut db, ground, q) = hitting_set_gadget(n, &sets);
         let target = Tuple::new(vec![Value::text("d")]);
         let mut crowd = SingleExpert::new(PerfectOracle::new(ground.clone()));
-        let out = crowd_remove_wrong_answer(&q, &mut db, &target, &mut crowd, DeletionStrategy::Qoco)
-            .unwrap();
-        assert!(answer_set(&q, &mut db).is_empty(), "the wrong answer must be gone");
+        let out =
+            crowd_remove_wrong_answer(&q, &mut db, &target, &mut crowd, DeletionStrategy::Qoco)
+                .unwrap();
+        assert!(
+            answer_set(&q, &mut db).is_empty(),
+            "the wrong answer must be gone"
+        );
         // the deleted facts, projected to the elements u_i, must hit every
         // set of the instance (the proof's ⇐ direction)
         let mut hit: BTreeSet<usize> = BTreeSet::new();
         for e in out.edits.edits() {
             let rel_name = db.schema().rel_name(e.fact.rel).to_string();
-            if let Some(i) = rel_name.strip_prefix('R').and_then(|s| s.parse::<usize>().ok()) {
+            if let Some(i) = rel_name
+                .strip_prefix('R')
+                .and_then(|s| s.parse::<usize>().ok())
+            {
                 if e.fact.tuple.values()[0] == Value::text(format!("u{i}")) {
                     hit.insert(i);
                 }
@@ -138,10 +153,7 @@ type Clause = [(usize, bool); 3];
 /// Build the proof's instance for the formula `clauses` over `nvars`
 /// boolean variables: one relation `R_i(A, X_i1, X_i2, X_i3)` per clause,
 /// ground truth = the satisfying rows of each clause, dirty DB empty.
-fn one_3sat_gadget(
-    nvars: usize,
-    clauses: &[Clause],
-) -> (Database, Database, ConjunctiveQuery) {
+fn one_3sat_gadget(nvars: usize, clauses: &[Clause]) -> (Database, Database, ConjunctiveQuery) {
     let mut builder = Schema::builder();
     for i in 0..clauses.len() {
         builder = builder.relation(&format!("C{i}"), &["a", "l1", "l2", "l3"]);
@@ -159,7 +171,9 @@ fn one_3sat_gadget(
             if satisfied {
                 let mut row = vec![Value::text("d")];
                 row.extend(vals.iter().map(|&v| Value::Int(v as i64)));
-                ground.insert_named(&format!("C{i}"), Tuple::new(row)).unwrap();
+                ground
+                    .insert_named(&format!("C{i}"), Tuple::new(row))
+                    .unwrap();
             }
         }
     }
@@ -184,7 +198,10 @@ fn theorem_5_2_gadget_shape() {
         [(1, false), (3, true), (4, true)],
     ];
     let (mut db, mut ground, q) = one_3sat_gadget(4, &clauses);
-    assert!(answer_set(&q, &mut db).is_empty(), "Q(D) = ∅ on the empty DB");
+    assert!(
+        answer_set(&q, &mut db).is_empty(),
+        "Q(D) = ∅ on the empty DB"
+    );
     assert_eq!(
         answer_set(&q, &mut ground),
         vec![Tuple::new(vec![Value::text("d")])],
@@ -228,7 +245,9 @@ fn theorem_5_2_insertion_encodes_a_satisfying_assignment() {
         }
     }
     for (i, clause) in clauses.iter().enumerate() {
-        let sat = clause.iter().any(|(var, positive)| assignment[var] == *positive);
+        let sat = clause
+            .iter()
+            .any(|(var, positive)| assignment[var] == *positive);
         assert!(sat, "clause {i} unsatisfied by {assignment:?}");
     }
 }
@@ -242,7 +261,10 @@ fn theorem_5_2_unsatisfiable_formula_cannot_be_inserted() {
         [(1, false), (1, false), (1, false)],
     ];
     let (mut db, mut ground, q) = one_3sat_gadget(1, &clauses);
-    assert!(answer_set(&q, &mut ground).is_empty(), "no satisfying assignment ⇒ (d) ∉ Q(D_G)");
+    assert!(
+        answer_set(&q, &mut ground).is_empty(),
+        "no satisfying assignment ⇒ (d) ∉ Q(D_G)"
+    );
     let target = Tuple::new(vec![Value::text("d")]);
     let mut crowd = SingleExpert::new(PerfectOracle::new(ground));
     let out = crowd_add_missing_answer(
@@ -254,6 +276,9 @@ fn theorem_5_2_unsatisfiable_formula_cannot_be_inserted() {
         InsertionOptions::default(),
     )
     .unwrap();
-    assert!(!out.achieved, "the oracle must refuse to witness an unsatisfiable formula");
+    assert!(
+        !out.achieved,
+        "the oracle must refuse to witness an unsatisfiable formula"
+    );
     assert!(out.edits.is_empty());
 }
