@@ -17,18 +17,18 @@ fn bench_selection(c: &mut Criterion) {
     let q = soccer_query(ground.schema(), 3);
     let planted = plant_wrong_answers(&q, &ground, 1, 4, 7);
     let target = planted.wrong[0].clone();
-    let mut db = planted.db.clone();
+    let db = planted.db.clone();
 
     c.bench_function("witnesses+greedy_pick(Q3)", |b| {
         b.iter(|| {
-            let sets = witnesses_for_answer(&q, &mut db, &target);
+            let sets = witnesses_for_answer(&q, &db, &target);
             let instance = HittingSetInstance::new(sets);
             black_box(instance.most_frequent())
         })
     });
 
     c.bench_function("unique_minimal_hitting_set(Q3)", |b| {
-        let sets = witnesses_for_answer(&q, &mut db, &target);
+        let sets = witnesses_for_answer(&q, &db, &target);
         let instance = HittingSetInstance::new(sets);
         b.iter(|| black_box(instance.unique_minimal_hitting_set()))
     });

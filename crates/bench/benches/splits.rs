@@ -16,23 +16,23 @@ fn bench_splits(c: &mut Criterion) {
     let planted = plant_missing_answers(&q, &ground, 1, 3);
     let missing = planted.missing[0].clone();
     let q_t = embed_answer(&q, missing.values()).expect("embedding succeeds");
-    let mut db = planted.db.clone();
+    let db = planted.db.clone();
     // sanity: the answer is indeed missing
-    assert!(!answer_set(&q, &mut db).contains(&missing));
+    assert!(!answer_set(&q, &db).contains(&missing));
 
     let mut group = c.benchmark_group("split");
     group.bench_function("provenance", |b| {
-        b.iter(|| black_box(ProvenanceSplit.split(&q_t, &mut db)).is_some())
+        b.iter(|| black_box(ProvenanceSplit.split(&q_t, &db)).is_some())
     });
     group.bench_function("min_cut", |b| {
-        b.iter(|| black_box(MinCutSplit.split(&q_t, &mut db)).is_some())
+        b.iter(|| black_box(MinCutSplit.split(&q_t, &db)).is_some())
     });
     group.bench_function("random", |b| {
         let mut s = RandomSplit::new(3);
-        b.iter(|| black_box(s.split(&q_t, &mut db)).is_some())
+        b.iter(|| black_box(s.split(&q_t, &db)).is_some())
     });
     group.bench_function("naive", |b| {
-        b.iter(|| black_box(NaiveSplit.split(&q_t, &mut db)).is_none())
+        b.iter(|| black_box(NaiveSplit.split(&q_t, &db)).is_none())
     });
     group.finish();
 }

@@ -62,7 +62,7 @@ fn deletion_run(
 ) -> DeletionRun {
     let planted = plant_wrong_answers(q, ground, k_wrong, witnesses, seed);
     let mut d = planted.db;
-    let results = answer_set(q, &mut d).len();
+    let results = answer_set(q, &d).len();
     let mut crowd = SingleExpert::new(PerfectOracle::new(ground.clone()));
     let config = CleaningConfig {
         deletion: strategy,
@@ -324,7 +324,7 @@ pub fn fig3c(ex: &Experiments) -> Table {
         ] {
             let planted = plant_mixed(q, &ex.ground, kw, km, 70 + qi as u64);
             let mut d = planted.db;
-            let results = answer_set(q, &mut d).len();
+            let results = answer_set(q, &d).len();
             let mut crowd = SingleExpert::new(PerfectOracle::new(ex.ground.clone()));
             let config = CleaningConfig {
                 deletion: strategy,
@@ -527,7 +527,7 @@ pub fn ablation_hitting_set(ex: &Experiments) -> Table {
         let mut d = planted.db.clone();
         let mut minimum = 0usize;
         for w in &planted.wrong {
-            let witnesses = witnesses_for_answer(q, &mut d, w);
+            let witnesses = witnesses_for_answer(q, &d, w);
             // restrict the exact solver to false facts (the true optimum
             // must delete only false ones)
             let false_only: Vec<std::collections::BTreeSet<Fact>> = witnesses
@@ -604,10 +604,10 @@ pub fn ablation_heuristics(ex: &Experiments) -> Table {
     // with noise so the signal is imperfect
     let mut trust: HashMap<Fact, f64> = HashMap::new();
     {
-        let mut d = planted.db.clone();
+        let d = planted.db.clone();
         let mut h = 0.0f64;
         for w in &planted.wrong {
-            for set in witnesses_for_answer(q, &mut d, w) {
+            for set in witnesses_for_answer(q, &d, w) {
                 for f in set {
                     h = (h * 7.13 + 0.37).fract();
                     let base = if ex.ground.contains(&f) { 0.75 } else { 0.25 };
@@ -702,8 +702,8 @@ pub fn sweep_error_rate(ex: &Experiments) -> Table {
     let q = ex.q(3);
     let planted = plant_mixed(q, &ex.ground, 3, 3, 44);
     let truth: std::collections::BTreeSet<qoco_data::Tuple> = {
-        let mut gm = ex.ground.clone();
-        answer_set(q, &mut gm).into_iter().collect()
+        let gm = ex.ground.clone();
+        answer_set(q, &gm).into_iter().collect()
     };
     for pct in [0u32, 5, 10, 20, 30] {
         let mut answers_sum = 0usize;
@@ -728,8 +728,8 @@ pub fn sweep_error_rate(ex: &Experiments) -> Table {
             };
             if let Ok(report) = clean_view(q, &mut d, &mut crowd, config) {
                 let now: std::collections::BTreeSet<qoco_data::Tuple> = {
-                    let mut dm = d.clone();
-                    answer_set(q, &mut dm).into_iter().collect()
+                    let dm = d.clone();
+                    answer_set(q, &dm).into_iter().collect()
                 };
                 answers_sum += report.total_stats.total_cost();
                 iter_sum += report.iterations;

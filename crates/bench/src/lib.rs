@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod seed_eval;
 pub mod table;
 
 pub use experiments::*;

@@ -1,0 +1,189 @@
+//! The pre-optimization evaluation algorithm, preserved verbatim as a
+//! benchmark baseline.
+//!
+//! This module re-implements the engine's original backtracking join: eager
+//! `HashMap<Value, Vec<Tuple>>` column indexes (built lazily, cached across
+//! evaluations like the old `Relation` did), a full `to_vec()` clone of the
+//! candidate posting list at every descend, and a `candidates.sort()` per
+//! descend to recover determinism. The scaling bench measures the current
+//! zero-copy engine against this to quantify the speedup; nothing outside
+//! `benches/eval.rs` should use it.
+
+use std::collections::HashMap;
+
+use qoco_data::{Database, RelId, Tuple, Value};
+use qoco_engine::Assignment;
+use qoco_query::{ConjunctiveQuery, Term};
+
+/// The old engine's evaluation state: a database plus lazily built
+/// owned-tuple column indexes, cached across calls the way the old
+/// `Relation` cached them across probes.
+pub struct SeedEval<'a> {
+    db: &'a Database,
+    indexes: HashMap<(RelId, usize), HashMap<Value, Vec<Tuple>>>,
+}
+
+impl<'a> SeedEval<'a> {
+    /// Wrap `db`; indexes build on first probe of each column.
+    pub fn new(db: &'a Database) -> Self {
+        SeedEval {
+            db,
+            indexes: HashMap::new(),
+        }
+    }
+
+    fn probe(&mut self, rel: RelId, col: usize, value: &Value) -> &[Tuple] {
+        let index = self.indexes.entry((rel, col)).or_insert_with(|| {
+            let mut map: HashMap<Value, Vec<Tuple>> = HashMap::new();
+            for t in self.db.relation(rel).iter() {
+                map.entry(t.values()[col].clone())
+                    .or_default()
+                    .push(t.clone());
+            }
+            map
+        });
+        index.get(value).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All valid assignments of `q`, sorted and deduplicated — the old
+    /// `all_assignments` with default options.
+    pub fn all_assignments(&mut self, q: &ConjunctiveQuery) -> Vec<Assignment> {
+        let order = plan(q, self.db);
+        let mut out = Vec::new();
+        self.descend(q, &order, 0, Assignment::new(), &mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The answer set `Q(D)`, sorted and deduplicated.
+    pub fn answer_set(&mut self, q: &ConjunctiveQuery) -> Vec<Tuple> {
+        let mut answers: Vec<Tuple> = self
+            .all_assignments(q)
+            .iter()
+            .map(|a| a.ground_head(q).expect("valid assignments are total"))
+            .collect();
+        answers.sort();
+        answers.dedup();
+        answers
+    }
+
+    fn descend(
+        &mut self,
+        q: &ConjunctiveQuery,
+        order: &[usize],
+        depth: usize,
+        current: Assignment,
+        out: &mut Vec<Assignment>,
+    ) {
+        if depth == order.len() {
+            let ok = q
+                .inequalities()
+                .iter()
+                .all(|e| current.check_inequality(e) == Some(true));
+            if ok {
+                out.push(current);
+            }
+            return;
+        }
+        let atom = &q.atoms()[order[depth]];
+        let mut probe_col: Option<(usize, Value)> = None;
+        for (col, term) in atom.terms.iter().enumerate() {
+            if let Some(v) = current.ground_term(term) {
+                probe_col = Some((col, v));
+                break;
+            }
+        }
+        // the seed's per-descend costs: a full clone of the posting list,
+        // then a sort to recover deterministic order
+        let mut candidates: Vec<Tuple> = match &probe_col {
+            Some((col, v)) => self.probe(atom.rel, *col, v).to_vec(),
+            None => self.db.relation(atom.rel).iter().cloned().collect(),
+        };
+        candidates.sort();
+        'cand: for tuple in candidates {
+            let mut next = current.clone();
+            for (term, value) in atom.terms.iter().zip(tuple.values()) {
+                match term {
+                    Term::Const(c) => {
+                        if c != value {
+                            continue 'cand;
+                        }
+                    }
+                    Term::Var(v) => {
+                        if !next.bind(v.clone(), value.clone()) {
+                            continue 'cand;
+                        }
+                    }
+                }
+            }
+            for e in q.inequalities() {
+                if next.check_inequality(e) == Some(false) {
+                    continue 'cand;
+                }
+            }
+            self.descend(q, order, depth + 1, next, out);
+        }
+    }
+}
+
+/// The seed's greedy atom order, including its original
+/// `usize::MAX - bound` sort-key encoding.
+fn plan(q: &ConjunctiveQuery, db: &Database) -> Vec<usize> {
+    let n = q.atoms().len();
+    let mut bound_vars: std::collections::BTreeSet<qoco_query::Var> = Default::default();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut order = Vec::with_capacity(n);
+    while !remaining.is_empty() {
+        let best = remaining
+            .iter()
+            .copied()
+            .min_by_key(|&i| {
+                let a = &q.atoms()[i];
+                let bound = a
+                    .terms
+                    .iter()
+                    .filter(|t| match t {
+                        Term::Const(_) => true,
+                        Term::Var(v) => bound_vars.contains(v),
+                    })
+                    .count();
+                let size = db.relation(a.rel).len();
+                (usize::MAX - bound, size, i)
+            })
+            .expect("remaining is non-empty");
+        order.push(best);
+        for v in q.atoms()[best].vars() {
+            bound_vars.insert(v);
+        }
+        remaining.retain(|&i| i != best);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoco_data::{tup, Schema};
+    use qoco_engine::answer_set;
+    use qoco_query::parse_query;
+
+    #[test]
+    fn seed_baseline_matches_current_engine() {
+        let schema = Schema::builder()
+            .relation("A", &["x", "g"])
+            .relation("B", &["y", "g"])
+            .build()
+            .unwrap();
+        let mut db = Database::empty(schema.clone());
+        for i in 0..40u32 {
+            db.insert_named("A", tup![format!("a{i}"), format!("g{}", i % 5)])
+                .unwrap();
+            db.insert_named("B", tup![format!("b{i}"), format!("g{}", i % 5)])
+                .unwrap();
+        }
+        let q = parse_query(&schema, "Q(x, y) :- A(x, g), B(y, g).").unwrap();
+        let mut seed = SeedEval::new(&db);
+        assert_eq!(seed.answer_set(&q), answer_set(&q, &db));
+    }
+}

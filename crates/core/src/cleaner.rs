@@ -227,12 +227,12 @@ mod tests {
     fn converges_to_the_true_result() {
         let (_, mut d, g, q) = setup();
         let true_answers = {
-            let mut gm = g.clone();
-            answer_set(&q, &mut gm)
+            let gm = g.clone();
+            answer_set(&q, &gm)
         };
         let mut crowd = SingleExpert::new(PerfectOracle::new(g.clone()));
         let report = clean_view(&q, &mut d, &mut crowd, CleaningConfig::default()).unwrap();
-        assert_eq!(answer_set(&q, &mut d), true_answers);
+        assert_eq!(answer_set(&q, &d), true_answers);
         // Pirlo was missing; inserting Teams(ITA, EU) surfaced the wrong
         // (Totti) in a later iteration, which got removed.
         assert!(report.missing_answers >= 1);
@@ -287,14 +287,14 @@ mod tests {
             .unwrap();
         d.remove(&qoco_data::Fact::new(goals, tup!["Totti", "09.06.06"]))
             .unwrap();
-        assert!(answer_set(&q, &mut d).is_empty());
+        assert!(answer_set(&q, &d).is_empty());
         let mut crowd = SingleExpert::new(PerfectOracle::new(g.clone()));
         let report = clean_view(&q, &mut d, &mut crowd, CleaningConfig::default()).unwrap();
         let true_answers = {
-            let mut gm = g.clone();
-            answer_set(&q, &mut gm)
+            let gm = g.clone();
+            answer_set(&q, &gm)
         };
-        assert_eq!(answer_set(&q, &mut d), true_answers);
+        assert_eq!(answer_set(&q, &d), true_answers);
         assert!(report.missing_answers >= 1);
     }
 
@@ -327,8 +327,8 @@ mod tests {
             (DeletionStrategy::Qoco, SplitStrategyKind::Naive),
         ];
         let true_answers = {
-            let mut gm = g.clone();
-            answer_set(&q, &mut gm)
+            let gm = g.clone();
+            answer_set(&q, &gm)
         };
         for (deletion, split) in strategies {
             let mut di = d.clone();
@@ -340,7 +340,7 @@ mod tests {
             };
             clean_view(&q, &mut di, &mut crowd, config).unwrap();
             assert_eq!(
-                answer_set(&q, &mut di),
+                answer_set(&q, &di),
                 true_answers,
                 "strategy {deletion:?}/{split:?} failed to converge"
             );

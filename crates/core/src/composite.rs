@@ -185,7 +185,7 @@ mod tests {
         let mut crowd = SingleExpert::new(PerfectOracle::new(g));
         let out =
             crowd_remove_wrong_answer_composite(&q, &mut d, &tup!["ESP"], &mut crowd).unwrap();
-        assert!(answer_set(&q, &mut d).is_empty());
+        assert!(answer_set(&q, &d).is_empty());
         assert_eq!(out.anomalies, 0);
         assert_eq!(out.edits.deletions(), 3);
     }
@@ -232,8 +232,8 @@ mod tests {
             DeletionStrategy::QocoMinus,
         )
         .unwrap();
-        assert!(answer_set(&q, &mut d1).is_empty());
-        assert!(answer_set(&q, &mut d2).is_empty());
+        assert!(answer_set(&q, &d1).is_empty());
+        assert!(answer_set(&q, &d2).is_empty());
         assert!(
             composite.questions < singles.questions,
             "composite {} vs singles {}",

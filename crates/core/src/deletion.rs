@@ -223,12 +223,12 @@ mod tests {
     #[test]
     fn qoco_removes_the_wrong_answer() {
         let (_, mut d, g, q) = setup();
-        assert_eq!(answer_set(&q, &mut d), vec![tup!["ESP"]]);
+        assert_eq!(answer_set(&q, &d), vec![tup!["ESP"]]);
         let mut crowd = SingleExpert::new(PerfectOracle::new(g));
         let out =
             crowd_remove_wrong_answer(&q, &mut d, &tup!["ESP"], &mut crowd, DeletionStrategy::Qoco)
                 .unwrap();
-        assert!(answer_set(&q, &mut d).is_empty(), "ESP must be gone");
+        assert!(answer_set(&q, &d).is_empty(), "ESP must be gone");
         assert_eq!(out.anomalies, 0);
         // exactly the three false finals are deleted (never Teams(ESP,EU)
         // or the true 2010 final)
@@ -281,8 +281,8 @@ mod tests {
         .unwrap();
         assert!(qoco.questions <= minus.questions);
         // both clean the view
-        assert!(answer_set(&q, &mut d1).is_empty());
-        assert!(answer_set(&q, &mut d2).is_empty());
+        assert!(answer_set(&q, &d1).is_empty());
+        assert!(answer_set(&q, &d2).is_empty());
     }
 
     #[test]
@@ -300,7 +300,7 @@ mod tests {
                 DeletionStrategy::Random(seed),
             )
             .unwrap();
-            assert!(answer_set(&q, &mut di).is_empty());
+            assert!(answer_set(&q, &di).is_empty());
             total_random += out.questions;
         }
         let mut dq = d.clone();
@@ -339,7 +339,7 @@ mod tests {
                 .unwrap();
         assert_eq!(out.questions, 0);
         assert_eq!(out.edits.deletions(), 1);
-        assert!(answer_set(&q, &mut d).is_empty());
+        assert!(answer_set(&q, &d).is_empty());
     }
 
     #[test]

@@ -156,7 +156,7 @@ pub fn crowd_add_missing_answer<C: CrowdAccess + ?Sized>(
 }
 
 /// Is `Q|t(D)` still empty (the answer still missing)?
-fn qt_missing(q_t: &ConjunctiveQuery, db: &mut Database) -> bool {
+fn qt_missing(q_t: &ConjunctiveQuery, db: &Database) -> bool {
     !is_satisfiable(q_t, db, &Assignment::new())
 }
 
@@ -224,7 +224,7 @@ mod tests {
     #[test]
     fn provenance_split_adds_pirlo_with_one_insertion() {
         let (_, mut d, g, q) = setup();
-        assert!(!answer_set(&q, &mut d).contains(&tup!["Pirlo"]));
+        assert!(!answer_set(&q, &d).contains(&tup!["Pirlo"]));
         let mut crowd = SingleExpert::new(PerfectOracle::new(g));
         let out = crowd_add_missing_answer(
             &q,
@@ -236,7 +236,7 @@ mod tests {
         )
         .unwrap();
         assert!(out.achieved);
-        assert!(answer_set(&q, &mut d).contains(&tup!["Pirlo"]));
+        assert!(answer_set(&q, &d).contains(&tup!["Pirlo"]));
         // only Teams(ITA, EU) needed inserting (Example 5.4's conclusion)
         assert_eq!(out.edits.insertions(), 1);
         let inserted = &out.edits.edits()[0].fact;
@@ -297,7 +297,7 @@ mod tests {
             )
             .unwrap();
             assert!(out.achieved, "strategy {} failed", s.name());
-            assert!(answer_set(&q, &mut di).contains(&tup!["Pirlo"]));
+            assert!(answer_set(&q, &di).contains(&tup!["Pirlo"]));
         }
     }
 

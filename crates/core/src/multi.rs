@@ -410,19 +410,19 @@ mod tests {
     }
 
     fn true_answers(g: &Database, q: &ConjunctiveQuery) -> Vec<Tuple> {
-        let mut gm = g.clone();
-        answer_set(q, &mut gm)
+        let gm = g.clone();
+        answer_set(q, &gm)
     }
 
     #[test]
     fn parallel_batch_verification_matches_sequential() {
-        let (_, mut d, g, q) = setup();
+        let (_, d, g, q) = setup();
         let crowd = ParallelMajorityCrowd::new(
             (0..3)
                 .map(|_| PerfectOracle::new(g.clone()))
                 .collect::<Vec<_>>(),
         );
-        let answers = answer_set(&q, &mut d);
+        let answers = answer_set(&q, &d);
         let verdicts = crowd.verify_answers_parallel(&q, &answers);
         assert_eq!(verdicts.len(), answers.len());
         let truth = true_answers(&g, &q);
@@ -443,7 +443,7 @@ mod tests {
         );
         let report =
             clean_view_parallel(&q, &mut d, &mut crowd, CleaningConfig::default()).unwrap();
-        assert_eq!(answer_set(&q, &mut d), true_answers(&g, &q));
+        assert_eq!(answer_set(&q, &d), true_answers(&g, &q));
         assert!(report.wrong_answers >= 1, "ESP must be caught");
         assert!(report.missing_answers >= 1, "ITA must be added");
     }
@@ -460,7 +460,7 @@ mod tests {
         let mut crowd = ParallelMajorityCrowd::new(experts);
         let report =
             clean_view_parallel(&q, &mut d, &mut crowd, CleaningConfig::default()).unwrap();
-        assert_eq!(answer_set(&q, &mut d), true_answers(&g, &q));
+        assert_eq!(answer_set(&q, &d), true_answers(&g, &q));
         assert_eq!(report.anomalies, 0);
     }
 
@@ -483,19 +483,19 @@ mod tests {
         // with 5 experts at 10% error, majority voting virtually always
         // converges to the truth
         let report = report.expect("cleaning should converge");
-        assert_eq!(answer_set(&q, &mut d), true_answers(&g, &q));
+        assert_eq!(answer_set(&q, &d), true_answers(&g, &q));
         assert!(report.total_stats.closed_answers > 0);
     }
 
     #[test]
     fn parallel_missing_answer_batch_collects_and_verifies() {
-        let (_, mut d, g, q) = setup();
+        let (_, d, g, q) = setup();
         let crowd = ParallelMajorityCrowd::new(
             (0..3)
                 .map(|_| PerfectOracle::new(g.clone()))
                 .collect::<Vec<_>>(),
         );
-        let known = answer_set(&q, &mut d);
+        let known = answer_set(&q, &d);
         let batch = crowd.missing_answers_parallel(&q, &known);
         // ITA is missing from the view; all experts report it, deduped
         assert_eq!(batch, vec![tup!["ITA"]]);

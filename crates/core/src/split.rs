@@ -29,7 +29,7 @@ pub trait SplitStrategy {
     fn split(
         &mut self,
         q: &ConjunctiveQuery,
-        db: &mut Database,
+        db: &Database,
     ) -> Option<(ConjunctiveQuery, ConjunctiveQuery)>;
 
     /// Label used in figures.
@@ -81,7 +81,7 @@ impl SplitStrategy for NaiveSplit {
     fn split(
         &mut self,
         _q: &ConjunctiveQuery,
-        _db: &mut Database,
+        _db: &Database,
     ) -> Option<(ConjunctiveQuery, ConjunctiveQuery)> {
         None
     }
@@ -110,7 +110,7 @@ impl SplitStrategy for RandomSplit {
     fn split(
         &mut self,
         q: &ConjunctiveQuery,
-        _db: &mut Database,
+        _db: &Database,
     ) -> Option<(ConjunctiveQuery, ConjunctiveQuery)> {
         let n = q.atoms().len();
         if n < 2 {
@@ -140,7 +140,7 @@ impl SplitStrategy for MinCutSplit {
     fn split(
         &mut self,
         q: &ConjunctiveQuery,
-        _db: &mut Database,
+        _db: &Database,
     ) -> Option<(ConjunctiveQuery, ConjunctiveQuery)> {
         let n = q.atoms().len();
         if n < 2 {
@@ -173,7 +173,7 @@ impl SplitStrategy for ProvenanceSplit {
     fn split(
         &mut self,
         q: &ConjunctiveQuery,
-        db: &mut Database,
+        db: &Database,
     ) -> Option<(ConjunctiveQuery, ConjunctiveQuery)> {
         if q.atoms().len() < 2 {
             return None;
@@ -208,7 +208,7 @@ impl SplitStrategy for InstrumentedSplit {
     fn split(
         &mut self,
         q: &ConjunctiveQuery,
-        db: &mut Database,
+        db: &Database,
     ) -> Option<(ConjunctiveQuery, ConjunctiveQuery)> {
         if !qoco_telemetry::enabled() {
             return self.inner.split(q, db);
@@ -262,41 +262,41 @@ mod tests {
 
     #[test]
     fn naive_never_splits() {
-        let (_, mut db, q) = setup();
-        assert!(NaiveSplit.split(&q, &mut db).is_none());
+        let (_, db, q) = setup();
+        assert!(NaiveSplit.split(&q, &db).is_none());
         assert_eq!(NaiveSplit.name(), "Naive");
     }
 
     #[test]
     fn random_split_covers_all_atoms_once() {
-        let (_, mut db, q) = setup();
+        let (_, db, q) = setup();
         let mut s = RandomSplit::new(11);
-        let (a, b) = s.split(&q, &mut db).unwrap();
+        let (a, b) = s.split(&q, &db).unwrap();
         assert_eq!(a.atoms().len() + b.atoms().len(), q.atoms().len());
         assert!(!a.atoms().is_empty() && !b.atoms().is_empty());
     }
 
     #[test]
     fn random_split_is_seeded() {
-        let (_, mut db, q) = setup();
-        let r1 = RandomSplit::new(3).split(&q, &mut db).unwrap();
-        let r2 = RandomSplit::new(3).split(&q, &mut db).unwrap();
+        let (_, db, q) = setup();
+        let r1 = RandomSplit::new(3).split(&q, &db).unwrap();
+        let r2 = RandomSplit::new(3).split(&q, &db).unwrap();
         assert_eq!(r1.0.atoms(), r2.0.atoms());
     }
 
     #[test]
     fn single_atom_queries_are_never_split() {
-        let (schema, mut db, _) = setup();
+        let (schema, db, _) = setup();
         let q = parse_query(&schema, r#"(x) :- Teams(x, "EU")"#).unwrap();
-        assert!(RandomSplit::new(0).split(&q, &mut db).is_none());
-        assert!(MinCutSplit.split(&q, &mut db).is_none());
-        assert!(ProvenanceSplit.split(&q, &mut db).is_none());
+        assert!(RandomSplit::new(0).split(&q, &db).is_none());
+        assert!(MinCutSplit.split(&q, &db).is_none());
+        assert!(ProvenanceSplit.split(&q, &db).is_none());
     }
 
     #[test]
     fn mincut_split_cuts_cheaply() {
-        let (_, mut db, q) = setup();
-        let (a, b) = MinCutSplit.split(&q, &mut db).unwrap();
+        let (_, db, q) = setup();
+        let (a, b) = MinCutSplit.split(&q, &db).unwrap();
         assert_eq!(a.atoms().len() + b.atoms().len(), 4);
         // Teams(y, EU) hangs off the rest by the single variable y, so a
         // min cut isolates it (weight 1 vs ≥ 2 elsewhere).
@@ -306,9 +306,9 @@ mod tests {
 
     #[test]
     fn provenance_split_blames_the_missing_side() {
-        let (_, mut db, q) = setup();
+        let (_, db, q) = setup();
         let q_t = embed_answer(&q, &[qoco_data::Value::text("Pirlo")]).unwrap();
-        let (sat, exc) = ProvenanceSplit.split(&q_t, &mut db).unwrap();
+        let (sat, exc) = ProvenanceSplit.split(&q_t, &db).unwrap();
         // Teams(ITA, EU) is the missing fact: the excluded side is exactly
         // the Teams atom.
         assert_eq!(exc.atoms().len(), 1);
@@ -322,7 +322,7 @@ mod tests {
         let (_, mut db, q) = setup();
         // make the whole query satisfiable
         db.insert_named("Teams", tup!["ITA", "EU"]).unwrap();
-        let split = ProvenanceSplit.split(&q, &mut db);
+        let split = ProvenanceSplit.split(&q, &db);
         assert!(split.is_some(), "fallback must still split");
     }
 

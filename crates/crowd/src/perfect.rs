@@ -49,20 +49,20 @@ impl Oracle for PerfectOracle {
                 Answer::Bool(facts.iter().all(|f| self.ground.contains(f)))
             }
             Question::VerifyAnswer { query, answer } => {
-                let answers = answer_set(query, &mut self.ground);
+                let answers = answer_set(query, &self.ground);
                 Answer::Bool(answers.contains(answer))
             }
             Question::VerifySatisfiable { query, partial } => {
-                Answer::Bool(is_satisfiable(query, &mut self.ground, partial))
+                Answer::Bool(is_satisfiable(query, &self.ground, partial))
             }
             Question::Complete { query, partial } => {
                 // the minimal (in assignment order) valid extension keeps
                 // the simulator deterministic
-                let res = all_assignments(query, &mut self.ground, partial, EvalOptions::default());
+                let res = all_assignments(query, &self.ground, partial, EvalOptions::default());
                 Answer::Completion(res.assignments.into_iter().next())
             }
             Question::CompleteResult { query, known } => {
-                let answers = answer_set(query, &mut self.ground);
+                let answers = answer_set(query, &self.ground);
                 let missing = answers.into_iter().find(|t| !known.contains(t));
                 Answer::MissingAnswer(missing)
             }

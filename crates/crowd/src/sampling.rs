@@ -50,8 +50,7 @@ impl Oracle for SamplingOracle {
             Question::CompleteResult { query, .. } => {
                 // sample from the full true answer set, ignoring `known` —
                 // a worker names an answer they know, possibly a duplicate
-                let mut ground = self.inner.ground().clone();
-                let answers = answer_set(query, &mut ground);
+                let answers = answer_set(query, self.inner.ground());
                 if answers.is_empty() {
                     return Answer::MissingAnswer(None);
                 }
@@ -109,8 +108,8 @@ mod tests {
             seen.values().any(|&c| c > 1),
             "100 draws over 5 answers must repeat"
         );
-        let mut gm = g.clone();
-        let truth = answer_set(&q, &mut gm);
+        let gm = g.clone();
+        let truth = answer_set(&q, &gm);
         assert!(seen.keys().all(|t| truth.contains(t)));
     }
 

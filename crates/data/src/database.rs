@@ -50,10 +50,25 @@ impl Database {
         &self.relations[id.index()]
     }
 
-    /// Mutable access to a relation (needed by the engine to probe lazy
-    /// indexes).
+    /// Mutable access to a relation (edits only; the engine's read path
+    /// probes indexes through shared borrows).
     pub fn relation_mut(&mut self, id: RelId) -> &mut Relation {
         &mut self.relations[id.index()]
+    }
+
+    /// Eagerly build every relation's sorted-id list and column indexes.
+    /// Optional warm-up: probes build lazily anyway, but warming before a
+    /// parallel evaluation avoids redundant racing index builds.
+    pub fn ensure_indexes(&self) {
+        for rel in &self.relations {
+            rel.ensure_indexes();
+        }
+    }
+
+    /// A database-wide edit version: the sum of all relation epochs. Moves
+    /// whenever any relation is effectively mutated.
+    pub fn epoch(&self) -> u64 {
+        self.relations.iter().map(Relation::epoch).sum()
     }
 
     /// Insert a fact after validating arity. Returns whether the database

@@ -33,7 +33,7 @@ pub use diff::{cleanliness, diff, distance, noise_skewness, result_cleanliness, 
 pub use edit::{Edit, EditKind, EditLog};
 pub use error::DataError;
 pub use io::{load_dir, save_dir, IoError};
-pub use relation::Relation;
+pub use relation::{Relation, TupleId};
 pub use schema::{AttrId, RelId, RelationSchema, Schema, SchemaBuilder};
 pub use tuple::{Fact, Tuple};
 pub use value::Value;

@@ -1,24 +1,58 @@
 //! Indexed in-memory relations.
 //!
-//! A [`Relation`] stores a set of [`Tuple`]s plus lazily-built per-column
-//! hash indexes. The query engine's backtracking join probes these indexes
-//! with `(column, value)` keys; the cleaning algorithms mutate relations
-//! through edits, which invalidates the indexes (they are rebuilt on the
-//! next probe). At the paper's scale (2 k–5 k tuples) a full rebuild is
-//! microseconds, and correctness under interleaved reads/edits stays simple.
+//! A [`Relation`] stores its tuples in an append-only **arena** and serves
+//! the query engine through per-column **posting lists** of [`TupleId`]s.
+//! Posting lists are kept *pre-sorted by tuple order*, so the engine's
+//! backtracking join consumes them directly — no per-probe clone, no
+//! per-descend sort. Indexes are built lazily behind [`std::sync::OnceLock`]
+//! cells, which makes [`Relation::probe`] a shared-borrow (`&self`)
+//! operation that is safe to call from many evaluation threads at once.
+//!
+//! Every mutation bumps an **edit epoch** and resets the index cells; the
+//! next read rebuilds them from the live tuple set. Deletions tombstone
+//! arena slots; when tombstones outnumber live tuples the arena compacts
+//! (safe because `TupleId`s are only meaningful between mutations — the
+//! engine never holds them across an edit).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use crate::tuple::Tuple;
 use crate::value::Value;
 
-/// A set of tuples of a fixed arity with lazy per-column indexes.
+/// A handle to a tuple slot in a relation's arena.
+///
+/// Valid only until the next mutation of the owning relation: edits may
+/// tombstone or compact slots. Resolve with [`Relation::tuple`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TupleId(u32);
+
+impl TupleId {
+    /// The arena slot index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A set of tuples of a fixed arity backed by a tuple arena with pre-sorted
+/// per-column posting lists.
 #[derive(Debug, Default, Clone)]
 pub struct Relation {
-    tuples: HashSet<Tuple>,
-    /// `indexes[col][value]` = tuples whose `col`-th value equals `value`.
-    /// Rebuilt lazily; `None` means stale.
-    indexes: Vec<Option<HashMap<Value, Vec<Tuple>>>>,
+    /// Tuple arena; `live[i]` distinguishes live slots from tombstones.
+    arena: Vec<Tuple>,
+    live: Vec<bool>,
+    /// Membership and dedup: tuple → its live arena slot. `Tuple` clones are
+    /// O(1) (`Arc` payload), so the key adds no deep copy.
+    ids: HashMap<Tuple, TupleId>,
+    live_count: usize,
+    /// Bumped on every effective mutation; see [`Relation::epoch`].
+    epoch: u64,
+    /// Live ids sorted by tuple order; rebuilt lazily after mutations.
+    sorted_ids: OnceLock<Vec<TupleId>>,
+    /// `indexes[col][value]` = ids of live tuples whose `col`-th value is
+    /// `value`, in tuple-sorted order. Rebuilt lazily after mutations.
+    indexes: Vec<OnceLock<HashMap<Value, Vec<TupleId>>>>,
     arity: usize,
 }
 
@@ -26,8 +60,13 @@ impl Relation {
     /// Create an empty relation of the given arity.
     pub fn new(arity: usize) -> Self {
         Relation {
-            tuples: HashSet::new(),
-            indexes: vec![None; arity],
+            arena: Vec::new(),
+            live: Vec::new(),
+            ids: HashMap::new(),
+            live_count: 0,
+            epoch: 0,
+            sorted_ids: OnceLock::new(),
+            indexes: (0..arity).map(|_| OnceLock::new()).collect(),
             arity,
         }
     }
@@ -37,19 +76,26 @@ impl Relation {
         self.arity
     }
 
-    /// Number of tuples.
+    /// Number of (live) tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.live_count
     }
 
     /// True if the relation holds no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.live_count == 0
     }
 
     /// Membership test.
     pub fn contains(&self, t: &Tuple) -> bool {
-        self.tuples.contains(t)
+        self.ids.contains_key(t)
+    }
+
+    /// The edit epoch: bumped on every effective insert/remove. Readers can
+    /// cache derived state keyed by `(relation, epoch)` and know it is
+    /// stale exactly when the epoch moved.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Insert a tuple. Returns `true` if the relation changed
@@ -65,69 +111,169 @@ impl Relation {
             self.arity,
             "tuple arity must match relation arity"
         );
-        let changed = self.tuples.insert(t);
-        if changed {
-            self.invalidate();
+        if self.ids.contains_key(&t) {
+            return false;
         }
-        changed
+        let id = TupleId(u32::try_from(self.arena.len()).expect("relation exceeds u32 slots"));
+        self.arena.push(t.clone());
+        self.live.push(true);
+        self.ids.insert(t, id);
+        self.live_count += 1;
+        self.touch();
+        true
     }
 
     /// Remove a tuple. Returns `true` if the relation changed.
     pub fn remove(&mut self, t: &Tuple) -> bool {
-        let changed = self.tuples.remove(t);
-        if changed {
-            self.invalidate();
-        }
-        changed
+        let Some(id) = self.ids.remove(t) else {
+            return false;
+        };
+        self.live[id.index()] = false;
+        self.live_count -= 1;
+        self.touch();
+        self.maybe_compact();
+        true
     }
 
-    /// Iterate over all tuples (arbitrary order).
+    /// Iterate over all live tuples in arena (insertion) order.
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
-        self.tuples.iter()
+        self.arena
+            .iter()
+            .zip(self.live.iter())
+            .filter_map(|(t, &alive)| alive.then_some(t))
     }
 
     /// All tuples, sorted, for deterministic output.
     pub fn sorted(&self) -> Vec<Tuple> {
-        let mut v: Vec<Tuple> = self.tuples.iter().cloned().collect();
-        v.sort();
-        v
+        self.sorted_ids()
+            .iter()
+            .map(|&id| self.arena[id.index()].clone())
+            .collect()
     }
 
-    /// Tuples whose `col`-th value equals `value`, via the (lazily rebuilt)
-    /// column index. Returns an empty slice if no tuple matches.
-    pub fn probe(&mut self, col: usize, value: &Value) -> &[Tuple] {
+    /// Resolve a [`TupleId`] returned by [`probe`](Relation::probe) or
+    /// [`sorted_ids`](Relation::sorted_ids).
+    ///
+    /// # Panics
+    /// Panics if the id does not refer to a live slot (stale ids across
+    /// mutations are a logic error).
+    #[inline]
+    pub fn tuple(&self, id: TupleId) -> &Tuple {
+        debug_assert!(self.live[id.index()], "stale TupleId used after an edit");
+        &self.arena[id.index()]
+    }
+
+    /// All live tuple ids in tuple-sorted order (lazily rebuilt after
+    /// mutations). The backbone of every posting list, and the engine's
+    /// full-scan path.
+    pub fn sorted_ids(&self) -> &[TupleId] {
+        self.sorted_ids.get_or_init(|| {
+            let mut ids: Vec<TupleId> = self
+                .live
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &alive)| alive.then_some(TupleId(i as u32)))
+                .collect();
+            ids.sort_unstable_by(|a, b| self.arena[a.index()].cmp(&self.arena[b.index()]));
+            ids
+        })
+    }
+
+    /// Ids of tuples whose `col`-th value equals `value`, in tuple-sorted
+    /// order, via the (lazily rebuilt) posting list. Returns an empty slice
+    /// if no tuple matches. Shared borrow: safe to call concurrently from
+    /// parallel evaluation threads.
+    pub fn probe(&self, col: usize, value: &Value) -> &[TupleId] {
         assert!(
             col < self.arity,
             "column {col} out of range for arity {}",
             self.arity
         );
-        if self.indexes[col].is_none() {
-            let mut idx: HashMap<Value, Vec<Tuple>> = HashMap::new();
-            for t in &self.tuples {
-                idx.entry(t.values()[col].clone())
-                    .or_default()
-                    .push(t.clone());
-            }
-            self.indexes[col] = Some(idx);
-        }
-        self.indexes[col]
-            .as_ref()
-            .expect("just built")
+        let posting = self
+            .index(col)
             .get(value)
             .map(|v| v.as_slice())
-            .unwrap_or(&[])
-    }
-
-    /// Estimated number of distinct values in a column (builds the index).
-    pub fn distinct_in_column(&mut self, col: usize) -> usize {
-        self.probe(col, &Value::int(i64::MIN)); // force index build
-        self.indexes[col].as_ref().map(|m| m.len()).unwrap_or(0)
-    }
-
-    fn invalidate(&mut self) {
-        for idx in &mut self.indexes {
-            *idx = None;
+            .unwrap_or(&[]);
+        if !posting.is_empty() {
+            qoco_telemetry::counter_add("eval.probe_hits", 1);
         }
+        posting
+    }
+
+    /// Like [`probe`](Relation::probe), but resolving ids to tuples.
+    pub fn probe_tuples<'a>(
+        &'a self,
+        col: usize,
+        value: &Value,
+    ) -> impl Iterator<Item = &'a Tuple> {
+        self.probe(col, value).iter().map(|&id| self.tuple(id))
+    }
+
+    /// Number of distinct values in a column (builds that column's index
+    /// directly — no sentinel probe).
+    pub fn distinct_in_column(&self, col: usize) -> usize {
+        assert!(
+            col < self.arity,
+            "column {col} out of range for arity {}",
+            self.arity
+        );
+        self.index(col).len()
+    }
+
+    /// Eagerly build the sorted-id list and every column index. Called
+    /// before fanning evaluation out across threads so workers don't race
+    /// to (redundantly) initialize the same `OnceLock` cells.
+    pub fn ensure_indexes(&self) {
+        self.sorted_ids();
+        for col in 0..self.arity {
+            self.index(col);
+        }
+    }
+
+    fn index(&self, col: usize) -> &HashMap<Value, Vec<TupleId>> {
+        self.indexes[col].get_or_init(|| {
+            qoco_telemetry::counter_add("eval.index_rebuilds", 1);
+            let mut idx: HashMap<Value, Vec<TupleId>> = HashMap::new();
+            // Iterating ids in tuple-sorted order makes every posting list
+            // sorted by construction.
+            for &id in self.sorted_ids() {
+                idx.entry(self.arena[id.index()].values()[col].clone())
+                    .or_default()
+                    .push(id);
+            }
+            idx
+        })
+    }
+
+    /// Invalidate derived state after a mutation.
+    fn touch(&mut self) {
+        self.epoch += 1;
+        self.sorted_ids = OnceLock::new();
+        for cell in &mut self.indexes {
+            *cell = OnceLock::new();
+        }
+    }
+
+    /// Reclaim tombstoned slots once they outnumber live tuples. Ids are
+    /// reassigned; callers never hold ids across a `&mut` operation.
+    fn maybe_compact(&mut self) {
+        let dead = self.arena.len() - self.live_count;
+        if dead <= 64 || dead <= self.live_count {
+            return;
+        }
+        let mut arena = Vec::with_capacity(self.live_count);
+        for (t, &alive) in self.arena.iter().zip(self.live.iter()) {
+            if alive {
+                arena.push(t.clone());
+            }
+        }
+        self.ids = arena
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), TupleId(i as u32)))
+            .collect();
+        self.live = vec![true; arena.len()];
+        self.arena = arena;
     }
 }
 
@@ -173,11 +319,11 @@ mod tests {
         r.insert(tup!["GER", "EU"]);
         r.insert(tup!["ESP", "EU"]);
         r.insert(tup!["BRA", "SA"]);
-        let eu = r.probe(1, &Value::text("EU"));
+        let eu: Vec<&Tuple> = r.probe_tuples(1, &Value::text("EU")).collect();
         assert_eq!(eu.len(), 2);
-        let sa = r.probe(1, &Value::text("SA"));
+        let sa: Vec<&Tuple> = r.probe_tuples(1, &Value::text("SA")).collect();
         assert_eq!(sa.len(), 1);
-        assert_eq!(sa[0], tup!["BRA", "SA"]);
+        assert_eq!(*sa[0], tup!["BRA", "SA"]);
         assert!(r.probe(0, &Value::text("ITA")).is_empty());
     }
 
@@ -190,6 +336,32 @@ mod tests {
         assert_eq!(r.probe(1, &Value::text("EU")).len(), 2);
         r.remove(&tup!["GER", "EU"]);
         assert_eq!(r.probe(1, &Value::text("EU")).len(), 1);
+    }
+
+    #[test]
+    fn posting_lists_are_tuple_sorted() {
+        let mut r = Relation::new(2);
+        r.insert(tup!["c", "k"]);
+        r.insert(tup!["a", "k"]);
+        r.insert(tup!["b", "k"]);
+        let tuples: Vec<Tuple> = r.probe_tuples(1, &Value::text("k")).cloned().collect();
+        assert_eq!(tuples, vec![tup!["a", "k"], tup!["b", "k"], tup!["c", "k"]]);
+        assert_eq!(r.sorted(), tuples);
+    }
+
+    #[test]
+    fn epoch_moves_on_effective_mutations_only() {
+        let mut r = Relation::new(1);
+        let e0 = r.epoch();
+        r.insert(tup!["x"]);
+        let e1 = r.epoch();
+        assert!(e1 > e0);
+        r.insert(tup!["x"]); // no-op
+        assert_eq!(r.epoch(), e1);
+        r.remove(&tup!["missing"]); // no-op
+        assert_eq!(r.epoch(), e1);
+        r.remove(&tup!["x"]);
+        assert!(r.epoch() > e1);
     }
 
     #[test]
@@ -208,6 +380,27 @@ mod tests {
         r.insert(tup!["b"]);
         r.insert(tup!["a"]);
         assert_eq!(r.sorted(), vec![tup!["a"], tup!["b"]]);
+    }
+
+    #[test]
+    fn compaction_preserves_contents() {
+        let mut r = Relation::new(1);
+        for i in 0..200i64 {
+            r.insert(tup![i]);
+        }
+        for i in 0..150i64 {
+            r.remove(&tup![i]);
+        }
+        assert_eq!(r.len(), 50);
+        let expected: Vec<Tuple> = (150..200i64).map(|i| tup![i]).collect();
+        assert_eq!(r.sorted(), expected);
+        for i in 150..200i64 {
+            assert!(r.contains(&tup![i]));
+            assert_eq!(r.probe(0, &Value::int(i)).len(), 1);
+        }
+        // re-inserting a removed tuple works after compaction
+        assert!(r.insert(tup![0i64]));
+        assert_eq!(r.len(), 51);
     }
 
     #[test]

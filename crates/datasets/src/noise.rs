@@ -161,8 +161,8 @@ pub fn plant_wrong_answers_excluding(
     let mut db = ground.clone();
     let mut rng = StdRng::seed_from_u64(seed);
     let templates = {
-        let mut gm = ground.clone();
-        qoco_engine::evaluate(q, &mut gm).assignments
+        let gm = ground.clone();
+        qoco_engine::evaluate(q, &gm).assignments
     };
     assert!(
         !templates.is_empty(),
@@ -187,8 +187,8 @@ pub fn plant_wrong_answers_excluding(
     }
 
     let truth: BTreeSet<Tuple> = {
-        let mut gm = ground.clone();
-        answer_set(q, &mut gm).into_iter().collect()
+        let gm = ground.clone();
+        answer_set(q, &gm).into_iter().collect()
     };
     let mut planted: BTreeSet<Tuple> = BTreeSet::new();
     let mut wrong = Vec::with_capacity(k);
@@ -250,16 +250,12 @@ pub fn plant_wrong_answers_excluding(
             let n_atoms = q_v.atoms().len();
             let mut sat_atoms: Vec<usize> = Vec::new();
             {
-                let mut gm = ground.clone();
+                let gm = ground.clone();
                 for a in 0..n_atoms {
                     let mut trial = sat_atoms.clone();
                     trial.push(a);
                     if let Ok(sub) = qoco_query::split_subset(&q_v, &trial) {
-                        if qoco_engine::is_satisfiable(
-                            &sub,
-                            &mut gm,
-                            &qoco_engine::Assignment::new(),
-                        ) {
+                        if qoco_engine::is_satisfiable(&sub, &gm, &qoco_engine::Assignment::new()) {
                             sat_atoms = trial;
                         }
                     }
@@ -285,13 +281,14 @@ pub fn plant_wrong_answers_excluding(
             } else {
                 let sub = qoco_query::split_subset(&q_v, &sat_atoms)
                     .expect("sat_atoms indexes are valid");
-                let mut gm = ground.clone();
+                let gm = ground.clone();
                 qoco_engine::all_assignments(
                     &sub,
-                    &mut gm,
+                    &gm,
                     &qoco_engine::Assignment::new(),
                     qoco_engine::EvalOptions {
                         max_assignments: witnesses_per_answer.max(1) * 4,
+                        ..qoco_engine::EvalOptions::default()
                     },
                 )
                 .assignments
@@ -350,7 +347,7 @@ pub fn plant_wrong_answers_excluding(
                 continue;
             }
             // verify: exactly this one new answer appeared
-            let now: BTreeSet<Tuple> = answer_set(q, &mut db).into_iter().collect();
+            let now: BTreeSet<Tuple> = answer_set(q, &db).into_iter().collect();
             let mut want: BTreeSet<Tuple> = truth.union(&planted).cloned().collect();
             want.insert(head.clone());
             if now == want {
@@ -390,19 +387,19 @@ pub fn plant_missing_answers(
 ) -> PlantOutcome {
     let mut db = ground.clone();
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut answers = answer_set(q, &mut db);
+    let mut answers = answer_set(q, &db);
     // shuffle deterministically so different seeds kill different answers
     for i in (1..answers.len()).rev() {
         answers.swap(i, rng.random_range(0..=i));
     }
     let mut missing = Vec::new();
-    let mut expected: BTreeSet<Tuple> = answer_set(q, &mut db).into_iter().collect();
+    let mut expected: BTreeSet<Tuple> = answer_set(q, &db).into_iter().collect();
     for t in answers {
         if missing.len() >= k {
             break;
         }
         // greedy hitting set over the answer's witnesses
-        let mut sets: Vec<BTreeSet<Fact>> = assignments_for_answer(q, &mut db, &t)
+        let mut sets: Vec<BTreeSet<Fact>> = assignments_for_answer(q, &db, &t)
             .iter()
             .map(|a| witness_of(q, a).expect("valid assignments are total"))
             .collect();
@@ -429,7 +426,7 @@ pub fn plant_missing_answers(
             removed.push(fact);
         }
         // verify: exactly t disappeared
-        let now: BTreeSet<Tuple> = answer_set(q, &mut db).into_iter().collect();
+        let now: BTreeSet<Tuple> = answer_set(q, &db).into_iter().collect();
         let mut want = expected.clone();
         want.remove(&t);
         if now == want {
@@ -558,10 +555,10 @@ mod tests {
         for (qi, k) in [(1usize, 3usize), (3, 5)] {
             let q = soccer_query(g.schema(), qi);
             let outcome = plant_wrong_answers(&q, &g, k, 2, 17);
-            let mut d = outcome.db.clone();
-            let mut gm = g.clone();
-            let dirty: BTreeSet<Tuple> = answer_set(&q, &mut d).into_iter().collect();
-            let truth: BTreeSet<Tuple> = answer_set(&q, &mut gm).into_iter().collect();
+            let d = outcome.db.clone();
+            let gm = g.clone();
+            let dirty: BTreeSet<Tuple> = answer_set(&q, &d).into_iter().collect();
+            let truth: BTreeSet<Tuple> = answer_set(&q, &gm).into_iter().collect();
             let extra: Vec<&Tuple> = dirty.difference(&truth).collect();
             assert_eq!(extra.len(), k, "Q{qi}: wrong answers planted");
             assert_eq!(outcome.wrong.len(), k);
@@ -576,13 +573,13 @@ mod tests {
         let g = ground();
         let q = soccer_query(g.schema(), 3);
         let outcome = plant_wrong_answers(&q, &g, 2, 3, 23);
-        let mut d = outcome.db.clone();
+        let d = outcome.db.clone();
         for w in &outcome.wrong {
             // fabricated facts cross-combine (any fabricated game joins any
             // compatible Teams fact), so the requested count is a lower
             // bound on the combinatorial witness count — exactly as the
             // paper's ESP example turns 3 false finals into 6 witnesses.
-            let n = qoco_engine::witnesses_for_answer(&q, &mut d, w).len();
+            let n = qoco_engine::witnesses_for_answer(&q, &d, w).len();
             assert!(n >= 1, "planted answer must have a witness");
             assert!(n <= 100, "witness count {n} exploded");
         }
@@ -595,10 +592,10 @@ mod tests {
             let q = soccer_query(g.schema(), qi);
             let outcome = plant_missing_answers(&q, &g, k, 31);
             assert_eq!(outcome.missing.len(), k, "Q{qi}");
-            let mut d = outcome.db.clone();
-            let mut gm = g.clone();
-            let dirty: BTreeSet<Tuple> = answer_set(&q, &mut d).into_iter().collect();
-            let truth: BTreeSet<Tuple> = answer_set(&q, &mut gm).into_iter().collect();
+            let d = outcome.db.clone();
+            let gm = g.clone();
+            let dirty: BTreeSet<Tuple> = answer_set(&q, &d).into_iter().collect();
+            let truth: BTreeSet<Tuple> = answer_set(&q, &gm).into_iter().collect();
             let missing: Vec<Tuple> = truth.difference(&dirty).cloned().collect();
             assert_eq!(
                 missing, outcome.missing,
@@ -626,10 +623,10 @@ mod tests {
         let outcome = plant_mixed(&q, &g, 3, 2, 12);
         assert_eq!(outcome.wrong.len(), 3);
         assert_eq!(outcome.missing.len(), 2);
-        let mut d = outcome.db.clone();
-        let mut gm = g.clone();
-        let dirty: BTreeSet<Tuple> = answer_set(&q, &mut d).into_iter().collect();
-        let truth: BTreeSet<Tuple> = answer_set(&q, &mut gm).into_iter().collect();
+        let d = outcome.db.clone();
+        let gm = g.clone();
+        let dirty: BTreeSet<Tuple> = answer_set(&q, &d).into_iter().collect();
+        let truth: BTreeSet<Tuple> = answer_set(&q, &gm).into_iter().collect();
         for w in &outcome.wrong {
             assert!(dirty.contains(w) && !truth.contains(w));
         }

@@ -101,11 +101,11 @@ mod tests {
 
     #[test]
     fn soccer_queries_parse_and_have_answers() {
-        let mut db = generate_soccer(SoccerConfig::default());
+        let db = generate_soccer(SoccerConfig::default());
         let queries = soccer_queries(db.schema());
         assert_eq!(queries.len(), 5);
         for q in &queries {
-            let answers = answer_set(q, &mut db);
+            let answers = answer_set(q, &db);
             assert!(
                 !answers.is_empty(),
                 "{} has no answers on the ground truth",
@@ -116,9 +116,9 @@ mod tests {
 
     #[test]
     fn q1_losers_of_two_finals() {
-        let mut db = generate_soccer(SoccerConfig::default());
+        let db = generate_soccer(SoccerConfig::default());
         let q1 = soccer_query(db.schema(), 1);
-        let answers = answer_set(&q1, &mut db);
+        let answers = answer_set(&q1, &db);
         // GER lost the 1966, 1982, 1986, 2002 finals; NED lost 1974, 1978,
         // 2010; ITA lost 1970, 1994; HUN lost 1938, 1954 — all European.
         for team in ["GER", "NED", "ITA", "HUN"] {
@@ -133,9 +133,9 @@ mod tests {
 
     #[test]
     fn q3_excludes_asian_teams() {
-        let mut db = generate_soccer(SoccerConfig::default());
+        let db = generate_soccer(SoccerConfig::default());
         let q3 = soccer_query(db.schema(), 3);
-        let answers = answer_set(&q3, &mut db);
+        let answers = answer_set(&q3, &db);
         for t in &answers {
             let country = t.values()[0].as_text().unwrap();
             assert!(
@@ -148,9 +148,9 @@ mod tests {
 
     #[test]
     fn q2_same_continent_rematches() {
-        let mut db = generate_soccer(SoccerConfig::default());
+        let db = generate_soccer(SoccerConfig::default());
         let q2 = soccer_query(db.schema(), 2);
-        let answers = answer_set(&q2, &mut db);
+        let answers = answer_set(&q2, &db);
         // the planted rivalry: ESP beat POR in 2010 and 2014, both EU
         assert!(answers.contains(&tup!["ESP", "POR"]), "{answers:?}");
     }
@@ -164,11 +164,11 @@ mod tests {
 
     #[test]
     fn dbgroup_queries_parse_and_have_answers() {
-        let mut db = generate_dbgroup(DbGroupConfig::default());
+        let db = generate_dbgroup(DbGroupConfig::default());
         let queries = dbgroup_queries(db.schema());
         assert_eq!(queries.len(), 4);
         for q in &queries {
-            let answers = answer_set(q, &mut db);
+            let answers = answer_set(q, &db);
             assert!(
                 !answers.is_empty(),
                 "{} has no answers on the ground truth",
@@ -179,7 +179,7 @@ mod tests {
 
     #[test]
     fn dq3_only_returns_students() {
-        let mut db = generate_dbgroup(DbGroupConfig::default());
+        let db = generate_dbgroup(DbGroupConfig::default());
         let q = dbgroup_queries(db.schema()).remove(2);
         let members = db.schema().rel_id("Members").unwrap();
         let roles: std::collections::HashMap<qoco_data::Value, String> = db
@@ -192,7 +192,7 @@ mod tests {
                 )
             })
             .collect();
-        for t in answer_set(&q, &mut db) {
+        for t in answer_set(&q, &db) {
             let role = &roles[&t.values()[0]];
             assert!(role == "PhD" || role == "MSc", "non-student {role} in DQ3");
         }

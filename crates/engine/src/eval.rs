@@ -2,21 +2,44 @@
 //!
 //! The engine runs a backtracking *generic join*: atoms are ordered greedily
 //! (most-bound-variables first, ties broken by smaller relation), candidate
-//! tuples are fetched through the per-column hash indexes of
-//! [`qoco_data::Relation`], and inequalities are checked as soon as both
-//! sides are ground. Enumeration is exhaustive because the deletion
-//! algorithm needs *every* witness of a wrong answer, not just one.
+//! tuples come straight from the pre-sorted posting lists of
+//! [`qoco_data::Relation`] (zero-copy `&[TupleId]` slices), and inequalities
+//! are checked as soon as both sides are ground. Enumeration is exhaustive
+//! because the deletion algorithm needs *every* witness of a wrong answer,
+//! not just one.
 //!
-//! Candidate lists are sorted, so evaluation order — and everything
-//! downstream: witness order, crowd-question order, figures — is
-//! deterministic.
+//! The whole read path takes `&Database`: indexes build lazily behind
+//! `OnceLock` cells inside each relation, so evaluation never needs a
+//! mutable borrow and can fan out across threads.
+//!
+//! ## Parallelism and determinism
+//!
+//! When more than one thread is available (see [`EvalOptions::threads`] and
+//! `RAYON_NUM_THREADS`), the top-level candidate loop is split into
+//! contiguous chunks evaluated in parallel; the per-chunk result vectors
+//! are concatenated **in chunk order**, which equals sequential discovery
+//! order. Truncation via [`EvalOptions::max_assignments`] uses a shared
+//! array of atomic counters: a branch withholds a push only when the
+//! already-recorded assignments *preceding it in merge order* reach the
+//! cap, so the retained prefix — and the `truncated` flag — are
+//! bit-identical to a sequential run. Candidate lists are pre-sorted, so
+//! evaluation order — and everything downstream: witness order,
+//! crowd-question order, figures — is deterministic regardless of thread
+//! count.
 
+use std::cmp::Reverse;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-use qoco_data::{Database, Tuple, Value};
+use qoco_data::{Database, Relation, Tuple, TupleId};
 use qoco_query::{ConjunctiveQuery, Term};
+use rayon::prelude::*;
 
 use crate::assignment::Assignment;
+
+/// Below this many top-level candidates a parallel fan-out costs more in
+/// thread spawns than it saves; evaluate sequentially.
+const PAR_MIN_CANDIDATES: usize = 16;
 
 /// Options controlling evaluation.
 #[derive(Debug, Clone, Copy)]
@@ -24,18 +47,24 @@ pub struct EvalOptions {
     /// Stop after this many valid assignments (safety valve for pathological
     /// joins; `usize::MAX` = unlimited).
     pub max_assignments: usize,
+    /// Worker threads for the top-level candidate loop. `None` = use
+    /// `rayon::current_num_threads()` (which honours `RAYON_NUM_THREADS`);
+    /// `Some(1)` forces sequential evaluation. Results are identical for
+    /// every setting.
+    pub threads: Option<usize>,
 }
 
 impl Default for EvalOptions {
     fn default() -> Self {
         EvalOptions {
             max_assignments: usize::MAX,
+            threads: None,
         }
     }
 }
 
 /// The result of evaluating a query.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EvalResult {
     /// All valid assignments, in deterministic order.
     pub assignments: Vec<Assignment>,
@@ -57,10 +86,55 @@ impl EvalResult {
     }
 }
 
+/// Shared truncation budget for one parallel evaluation: `found[i]` counts
+/// assignments already retained by chunk `i`. A branch consults only the
+/// counters of chunks at or before its own position — those assignments
+/// all precede its future finds in merge order, so stopping on them can
+/// never drop an assignment a sequential run would have kept.
+struct Budget<'a> {
+    chunk: usize,
+    found: &'a [AtomicUsize],
+    limit: usize,
+}
+
+impl Budget<'_> {
+    /// Lower bound on the number of retained assignments that precede this
+    /// branch's next find in merge order.
+    fn preceding(&self) -> usize {
+        self.found[..=self.chunk]
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn record(&self) {
+        self.found[self.chunk].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The candidate list for `order[depth]` under `current`: the posting list
+/// of the first bound column, else the full (sorted) live-id list.
+fn candidates_for<'d>(
+    q: &ConjunctiveQuery,
+    db: &'d Database,
+    order: &[usize],
+    depth: usize,
+    current: &Assignment,
+) -> (&'d Relation, &'d [TupleId]) {
+    let atom = &q.atoms()[order[depth]];
+    let rel = db.relation(atom.rel);
+    for (col, term) in atom.terms.iter().enumerate() {
+        if let Some(v) = current.ground_term(term) {
+            return (rel, rel.probe(col, &v));
+        }
+    }
+    (rel, rel.sorted_ids())
+}
+
 struct Search<'a> {
     q: &'a ConjunctiveQuery,
-    db: &'a mut Database,
-    order: Vec<usize>,
+    db: &'a Database,
+    order: &'a [usize],
     opts: EvalOptions,
     early_exit: bool,
     out: Vec<Assignment>,
@@ -68,9 +142,32 @@ struct Search<'a> {
     /// Candidate tuples examined across the whole search; flushed to the
     /// `eval.assignments_tried` counter by the public entry points.
     tried: u64,
+    /// Present only on parallel branches with a finite `max_assignments`.
+    budget: Option<Budget<'a>>,
 }
 
 impl<'a> Search<'a> {
+    fn new(
+        q: &'a ConjunctiveQuery,
+        db: &'a Database,
+        order: &'a [usize],
+        opts: EvalOptions,
+        early_exit: bool,
+        budget: Option<Budget<'a>>,
+    ) -> Self {
+        Search {
+            q,
+            db,
+            order,
+            opts,
+            early_exit,
+            out: Vec::new(),
+            truncated: false,
+            tried: 0,
+            budget,
+        }
+    }
+
     /// Greedy atom order: at each step pick the atom maximizing the number
     /// of bound terms (constants + already-bound variables), breaking ties
     /// by smaller relation cardinality, then by index for determinism.
@@ -96,7 +193,7 @@ impl<'a> Search<'a> {
                         .count();
                     let size = db.relation(a.rel).len();
                     // minimize (-bound, size, i)
-                    (usize::MAX - bound, size, i)
+                    (Reverse(bound), size, i)
                 })
                 .expect("remaining is non-empty");
             order.push(best);
@@ -108,124 +205,209 @@ impl<'a> Search<'a> {
         order
     }
 
-    fn run(&mut self, seed: Assignment) {
-        self.descend(0, seed);
+    fn should_stop(&self) -> bool {
+        self.truncated || (self.early_exit && !self.out.is_empty())
     }
 
     fn descend(&mut self, depth: usize, current: Assignment) {
-        if self.truncated || (self.early_exit && !self.out.is_empty()) {
+        if self.should_stop() {
             return;
         }
         if depth == self.order.len() {
-            // all atoms matched; all inequalities must be ground and true
-            let ok = self
-                .q
-                .inequalities()
-                .iter()
-                .all(|e| current.check_inequality(e) == Some(true));
-            if ok {
-                if self.out.len() >= self.opts.max_assignments {
-                    self.truncated = true;
-                } else {
-                    self.out.push(current);
-                }
-            }
+            self.finalize(current);
             return;
         }
-        let atom = &self.q.atoms()[self.order[depth]];
-        // choose the probe column: prefer a bound column with an index
-        let mut probe_col: Option<(usize, Value)> = None;
-        for (col, term) in atom.terms.iter().enumerate() {
-            if let Some(v) = current.ground_term(term) {
-                probe_col = Some((col, v));
-                break;
-            }
-        }
-        let mut candidates: Vec<Tuple> = match &probe_col {
-            Some((col, v)) => self.db.relation_mut(atom.rel).probe(*col, v).to_vec(),
-            None => self.db.relation(atom.rel).iter().cloned().collect(),
-        };
-        candidates.sort();
-        'cand: for tuple in candidates {
-            if self.truncated || (self.early_exit && !self.out.is_empty()) {
+        let (rel, cands) = candidates_for(self.q, self.db, self.order, depth, &current);
+        for &tid in cands {
+            if self.should_stop() {
                 return;
             }
-            self.tried += 1;
-            let mut next = current.clone();
-            for (term, value) in atom.terms.iter().zip(tuple.values()) {
-                match term {
-                    Term::Const(c) => {
-                        if c != value {
-                            continue 'cand;
-                        }
-                    }
-                    Term::Var(v) => {
-                        if !next.bind(v.clone(), value.clone()) {
-                            continue 'cand;
-                        }
-                    }
-                }
-            }
-            // prune on any inequality already violated
-            for e in self.q.inequalities() {
-                if next.check_inequality(e) == Some(false) {
-                    continue 'cand;
-                }
-            }
-            self.descend(depth + 1, next);
+            self.expand(depth, rel, &current, tid);
         }
     }
+
+    /// Try to extend `current` with the tuple `tid` of atom `order[depth]`,
+    /// descending on success.
+    fn expand(&mut self, depth: usize, rel: &Relation, current: &Assignment, tid: TupleId) {
+        self.tried += 1;
+        let atom = &self.q.atoms()[self.order[depth]];
+        let tuple = rel.tuple(tid);
+        // reject on constants and already-bound variables before paying for
+        // an assignment clone — on selective probes most candidates die here
+        for (term, value) in atom.terms.iter().zip(tuple.values()) {
+            match term {
+                Term::Const(c) => {
+                    if c != value {
+                        return;
+                    }
+                }
+                Term::Var(v) => {
+                    if current.get(v).is_some_and(|bound| bound != value) {
+                        return;
+                    }
+                }
+            }
+        }
+        let mut next = current.clone();
+        for (term, value) in atom.terms.iter().zip(tuple.values()) {
+            if let Term::Var(v) = term {
+                if !next.bind(v.clone(), value.clone()) {
+                    // a repeated fresh variable can still clash here
+                    return;
+                }
+            }
+        }
+        // prune on any inequality already violated
+        for e in self.q.inequalities() {
+            if next.check_inequality(e) == Some(false) {
+                return;
+            }
+        }
+        self.descend(depth + 1, next);
+    }
+
+    /// All atoms matched: check the (now ground) inequalities and retain
+    /// the assignment, subject to the truncation budget.
+    fn finalize(&mut self, current: Assignment) {
+        let ok = self
+            .q
+            .inequalities()
+            .iter()
+            .all(|e| current.check_inequality(e) == Some(true));
+        if !ok {
+            return;
+        }
+        let exhausted = match &self.budget {
+            Some(b) => b.preceding() >= b.limit,
+            None => self.out.len() >= self.opts.max_assignments,
+        };
+        if exhausted {
+            self.truncated = true;
+            return;
+        }
+        self.out.push(current);
+        if let Some(b) = &self.budget {
+            b.record();
+        }
+    }
+}
+
+/// Run the search over `seed`, fanning the top-level candidate loop out
+/// across threads when worthwhile. Returns `(assignments, truncated,
+/// tried)` with assignments in sequential discovery order.
+fn run_search(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    order: &[usize],
+    seed: &Assignment,
+    opts: EvalOptions,
+    early_exit: bool,
+) -> (Vec<Assignment>, bool, u64) {
+    let threads = opts
+        .threads
+        .unwrap_or_else(rayon::current_num_threads)
+        .max(1);
+    if !order.is_empty() && threads > 1 && !early_exit {
+        let (rel, cands) = candidates_for(q, db, order, 0, seed);
+        if cands.len() >= PAR_MIN_CANDIDATES.max(threads) {
+            return run_parallel(q, db, order, seed, opts, threads, rel, cands);
+        }
+    }
+    let mut s = Search::new(q, db, order, opts, early_exit, None);
+    s.descend(0, seed.clone());
+    (s.out, s.truncated, s.tried)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_parallel(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    order: &[usize],
+    seed: &Assignment,
+    opts: EvalOptions,
+    threads: usize,
+    rel: &Relation,
+    cands: &[TupleId],
+) -> (Vec<Assignment>, bool, u64) {
+    // Warm every index the workers could touch so they don't race to
+    // build (and then discard duplicate copies of) the same OnceLock cells.
+    for atom in q.atoms() {
+        db.relation(atom.rel).ensure_indexes();
+    }
+    let chunk_size = cands.len().div_ceil(threads);
+    let n_chunks = cands.len().div_ceil(chunk_size);
+    let found: Vec<AtomicUsize> = (0..n_chunks).map(|_| AtomicUsize::new(0)).collect();
+    let limited = opts.max_assignments != usize::MAX;
+
+    let results: Vec<(Vec<Assignment>, bool, u64)> = cands
+        .par_chunks(chunk_size)
+        .enumerate()
+        .map(|(ci, chunk)| {
+            let budget = limited.then(|| Budget {
+                chunk: ci,
+                found: &found,
+                limit: opts.max_assignments,
+            });
+            let mut s = Search::new(q, db, order, opts, false, budget);
+            for &tid in chunk {
+                if s.should_stop() {
+                    break;
+                }
+                s.expand(0, rel, seed, tid);
+            }
+            (s.out, s.truncated, s.tried)
+        })
+        .collect();
+
+    let mut merged = Vec::new();
+    let mut truncated = false;
+    let mut tried = 0u64;
+    for (out, branch_truncated, branch_tried) in results {
+        merged.extend(out);
+        truncated |= branch_truncated;
+        tried += branch_tried;
+    }
+    if merged.len() > opts.max_assignments {
+        merged.truncate(opts.max_assignments);
+        truncated = true;
+    }
+    (merged, truncated, tried)
 }
 
 /// Enumerate all valid assignments of `q` over `db` extending `seed`
 /// (pass [`Assignment::new`] for `A(Q, D)` itself).
 pub fn all_assignments(
     q: &ConjunctiveQuery,
-    db: &mut Database,
+    db: &Database,
     seed: &Assignment,
     opts: EvalOptions,
 ) -> EvalResult {
     let span = qoco_telemetry::span("eval.assignments").field("atoms", q.atoms().len());
     let order = Search::plan(q, db, seed);
-    let mut s = Search {
-        q,
-        db,
-        order,
-        opts,
-        early_exit: false,
-        out: Vec::new(),
-        truncated: false,
-        tried: 0,
-    };
-    s.run(seed.clone());
-    qoco_telemetry::counter_add("eval.assignments_tried", s.tried);
-    let mut assignments = s.out;
+    let (mut assignments, truncated, tried) = run_search(q, db, &order, seed, opts, false);
+    qoco_telemetry::counter_add("eval.assignments_tried", tried);
     assignments.sort();
     assignments.dedup();
     span.field("valid", assignments.len()).finish();
     EvalResult {
         assignments,
-        truncated: s.truncated,
+        truncated,
     }
 }
 
 /// Evaluate `q` over `db`: all valid assignments, default options.
-pub fn evaluate(q: &ConjunctiveQuery, db: &mut Database) -> EvalResult {
+pub fn evaluate(q: &ConjunctiveQuery, db: &Database) -> EvalResult {
     all_assignments(q, db, &Assignment::new(), EvalOptions::default())
 }
 
 /// The answer set `Q(D)`, sorted and deduplicated.
-pub fn answer_set(q: &ConjunctiveQuery, db: &mut Database) -> Vec<Tuple> {
+pub fn answer_set(q: &ConjunctiveQuery, db: &Database) -> Vec<Tuple> {
     evaluate(q, db).answers(q)
 }
 
 /// `A(t, Q, D)`: the valid assignments yielding answer `t`. Empty if `t` is
 /// not an answer (including arity mismatches).
-pub fn assignments_for_answer(
-    q: &ConjunctiveQuery,
-    db: &mut Database,
-    t: &Tuple,
-) -> Vec<Assignment> {
+pub fn assignments_for_answer(q: &ConjunctiveQuery, db: &Database, t: &Tuple) -> Vec<Assignment> {
     let Some(seed) = Assignment::from_answer(q, t) else {
         return Vec::new();
     };
@@ -234,20 +416,20 @@ pub fn assignments_for_answer(
 
 /// Is the partial assignment `seed` *satisfiable* w.r.t. `q` and `db`
 /// (extends to a valid total assignment, paper Section 2)? Short-circuits
-/// on the first witness.
-pub fn is_satisfiable(q: &ConjunctiveQuery, db: &mut Database, seed: &Assignment) -> bool {
+/// on the first witness. Always sequential: the short-circuit usually wins
+/// after a handful of probes, and this runs inside tight per-answer loops
+/// where a thread fan-out would cost more than the whole search.
+pub fn is_satisfiable(q: &ConjunctiveQuery, db: &Database, seed: &Assignment) -> bool {
     let order = Search::plan(q, db, seed);
-    let mut s = Search {
+    let mut s = Search::new(
         q,
         db,
-        order,
-        opts: EvalOptions::default(),
-        early_exit: true,
-        out: Vec::new(),
-        truncated: false,
-        tried: 0,
-    };
-    s.run(seed.clone());
+        &order,
+        EvalOptions::default(),
+        /* early_exit */ true,
+        None,
+    );
+    s.descend(0, seed.clone());
     qoco_telemetry::counter_add("eval.assignments_tried", s.tried);
     !s.out.is_empty()
 }
@@ -299,7 +481,7 @@ pub fn explain(q: &ConjunctiveQuery, db: &Database) -> String {
 /// Group all valid assignments by the answer they produce.
 pub fn assignments_by_answer(
     q: &ConjunctiveQuery,
-    db: &mut Database,
+    db: &Database,
 ) -> HashMap<Tuple, Vec<Assignment>> {
     let res = evaluate(q, db);
     let mut map: HashMap<Tuple, Vec<Assignment>> = HashMap::new();
@@ -371,19 +553,44 @@ mod tests {
         .unwrap()
     }
 
+    /// A larger database whose top-level candidate list clears
+    /// `PAR_MIN_CANDIDATES`, so multi-thread options actually take the
+    /// parallel path.
+    fn wide_db() -> (Arc<Schema>, Database, ConjunctiveQuery) {
+        let s = Schema::builder()
+            .relation("A", &["a", "g"])
+            .relation("B", &["b", "g"])
+            .build()
+            .unwrap();
+        let mut db = Database::empty(s.clone());
+        for i in 0..60i64 {
+            db.insert_named("A", tup![i, i % 3]).unwrap();
+            db.insert_named("B", tup![i, i % 3]).unwrap();
+        }
+        let q = parse_query(&s, "(x, y) :- A(x, g), B(y, g)").unwrap();
+        (s, db, q)
+    }
+
+    fn with_threads(n: usize) -> EvalOptions {
+        EvalOptions {
+            threads: Some(n),
+            ..EvalOptions::default()
+        }
+    }
+
     #[test]
     fn q1_on_figure_1_returns_ger_and_esp() {
-        let (s, mut db) = world_cup();
+        let (s, db) = world_cup();
         let q = q1(&s);
-        let answers = answer_set(&q, &mut db);
+        let answers = answer_set(&q, &db);
         assert_eq!(answers, vec![tup!["ESP"], tup!["GER"]]);
     }
 
     #[test]
     fn ger_has_two_assignments_as_in_example_2_2() {
-        let (s, mut db) = world_cup();
+        let (s, db) = world_cup();
         let q = q1(&s);
-        let a = assignments_for_answer(&q, &mut db, &tup!["GER"]);
+        let a = assignments_for_answer(&q, &db, &tup!["GER"]);
         // α1 and α2: the two orderings of 13.07.14 / 08.07.90.
         assert_eq!(a.len(), 2);
         for asg in &a {
@@ -396,26 +603,26 @@ mod tests {
 
     #[test]
     fn esp_has_many_assignments() {
-        let (s, mut db) = world_cup();
+        let (s, db) = world_cup();
         let q = q1(&s);
         // ESP won 4 finals in D → ordered pairs of distinct dates: 4·3 = 12.
-        let a = assignments_for_answer(&q, &mut db, &tup!["ESP"]);
+        let a = assignments_for_answer(&q, &db, &tup!["ESP"]);
         assert_eq!(a.len(), 12);
     }
 
     #[test]
     fn inequality_excludes_single_win_teams() {
-        let (s, mut db) = world_cup();
+        let (s, db) = world_cup();
         let q = q1(&s);
         // BRA is (wrongly) in Teams as EU but won only once → the d1 != d2
         // inequality must exclude it.
-        let answers = answer_set(&q, &mut db);
+        let answers = answer_set(&q, &db);
         assert!(!answers.contains(&tup!["BRA"]));
     }
 
     #[test]
     fn non_satisfiable_partial_assignment_example_2_2() {
-        let (s, mut db) = world_cup();
+        let (s, db) = world_cup();
         let q = q1(&s);
         // β = {x ↦ ITA, y ↦ FRA} is non-satisfiable w.r.t. D (ITA missing
         // from Teams).
@@ -423,18 +630,18 @@ mod tests {
             (qoco_query::Var::new("x"), qoco_data::Value::text("ITA")),
             (qoco_query::Var::new("y"), qoco_data::Value::text("FRA")),
         ]);
-        assert!(!is_satisfiable(&q, &mut db, &beta));
+        assert!(!is_satisfiable(&q, &db, &beta));
         // but {x ↦ GER} is satisfiable
         let ger =
             Assignment::from_pairs([(qoco_query::Var::new("x"), qoco_data::Value::text("GER"))]);
-        assert!(is_satisfiable(&q, &mut db, &ger));
+        assert!(is_satisfiable(&q, &db, &ger));
     }
 
     #[test]
     fn constants_filter_candidates() {
-        let (s, mut db) = world_cup();
+        let (s, db) = world_cup();
         let q = parse_query(&s, r#"(x) :- Games(d, x, y, "Semi", u)"#).unwrap();
-        assert!(answer_set(&q, &mut db).is_empty());
+        assert!(answer_set(&q, &db).is_empty());
     }
 
     #[test]
@@ -447,7 +654,7 @@ mod tests {
         db.insert_named("E", tup!["x", "x"]).unwrap();
         db.insert_named("E", tup!["x", "y"]).unwrap();
         let q = parse_query(&s, "(v) :- E(v, v)").unwrap();
-        assert_eq!(answer_set(&q, &mut db), vec![tup!["x"]]);
+        assert_eq!(answer_set(&q, &db), vec![tup!["x"]]);
     }
 
     #[test]
@@ -463,16 +670,16 @@ mod tests {
             db.insert_named("B", tup![v]).unwrap();
         }
         let q = parse_query(&s, "(x, y) :- A(x), B(y)").unwrap();
-        assert_eq!(answer_set(&q, &mut db).len(), 4);
+        assert_eq!(answer_set(&q, &db).len(), 4);
     }
 
     #[test]
     fn empty_relation_gives_empty_result() {
         let s = Schema::builder().relation("A", &["a"]).build().unwrap();
-        let mut db = Database::empty(s.clone());
+        let db = Database::empty(s.clone());
         let q = parse_query(&s, "(x) :- A(x)").unwrap();
-        assert!(answer_set(&q, &mut db).is_empty());
-        assert!(!is_satisfiable(&q, &mut db, &Assignment::new()));
+        assert!(answer_set(&q, &db).is_empty());
+        assert!(!is_satisfiable(&q, &db, &Assignment::new()));
     }
 
     #[test]
@@ -490,15 +697,104 @@ mod tests {
         let q = parse_query(&s, "(x, y) :- A(x), B(y)").unwrap();
         let res = all_assignments(
             &q,
-            &mut db,
+            &db,
             &Assignment::new(),
-            EvalOptions { max_assignments: 5 },
+            EvalOptions {
+                max_assignments: 5,
+                ..EvalOptions::default()
+            },
         );
         assert!(res.truncated);
         assert_eq!(res.assignments.len(), 5);
-        let full = evaluate(&q, &mut db);
+        let full = evaluate(&q, &db);
         assert!(!full.truncated);
         assert_eq!(full.assignments.len(), 100);
+    }
+
+    #[test]
+    fn truncation_is_identical_across_thread_counts() {
+        let (_s, db, q) = wide_db();
+        // 60 candidates at the top level with 3-way fan-in: plenty of valid
+        // assignments, so every max hits the budget.
+        for max in [0usize, 1, 7, 50, 10_000] {
+            let base = all_assignments(
+                &q,
+                &db,
+                &Assignment::new(),
+                EvalOptions {
+                    max_assignments: max,
+                    threads: Some(1),
+                },
+            );
+            for threads in [2usize, 4, 8] {
+                let par = all_assignments(
+                    &q,
+                    &db,
+                    &Assignment::new(),
+                    EvalOptions {
+                        max_assignments: max,
+                        threads: Some(threads),
+                    },
+                );
+                assert_eq!(par, base, "max={max} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_capacity_sets_no_truncated_flag_in_parallel() {
+        let (_s, db, q) = wide_db();
+        let total = evaluate(&q, &db).assignments.len();
+        // budget exactly equal to the result size must not report truncation
+        for threads in [1usize, 4] {
+            let res = all_assignments(
+                &q,
+                &db,
+                &Assignment::new(),
+                EvalOptions {
+                    max_assignments: total,
+                    threads: Some(threads),
+                },
+            );
+            assert!(!res.truncated, "threads={threads}");
+            assert_eq!(res.assignments.len(), total);
+        }
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_sequential() {
+        let (_s, db, q) = wide_db();
+        let seq = all_assignments(&q, &db, &Assignment::new(), with_threads(1));
+        for threads in [2usize, 3, 8, 64] {
+            let par = all_assignments(&q, &db, &Assignment::new(), with_threads(threads));
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn early_exit_stops_at_first_witness() {
+        let s = Schema::builder().relation("A", &["a"]).build().unwrap();
+        let mut db = Database::empty(s.clone());
+        for i in 0..100i64 {
+            db.insert_named("A", tup![i]).unwrap();
+        }
+        let q = parse_query(&s, "(x) :- A(x)").unwrap();
+        let order = Search::plan(&q, &db, &Assignment::new());
+        let mut s = Search::new(
+            &q,
+            &db,
+            &order,
+            EvalOptions::default(),
+            /* early_exit */ true,
+            None,
+        );
+        s.descend(0, Assignment::new());
+        assert_eq!(s.out.len(), 1, "early exit keeps exactly one witness");
+        assert!(
+            s.tried < 100,
+            "early exit must not scan all candidates (tried {})",
+            s.tried
+        );
     }
 
     #[test]
@@ -511,14 +807,14 @@ mod tests {
         db.insert_named("T", tup!["GER", "EU"]).unwrap();
         db.insert_named("T", tup!["BRA", "SA"]).unwrap();
         let q = parse_query(&s, r#"(x) :- T(x, k), k != "EU""#).unwrap();
-        assert_eq!(answer_set(&q, &mut db), vec![tup!["BRA"]]);
+        assert_eq!(answer_set(&q, &db), vec![tup!["BRA"]]);
     }
 
     #[test]
     fn assignments_by_answer_groups() {
-        let (s, mut db) = world_cup();
+        let (s, db) = world_cup();
         let q = q1(&s);
-        let map = assignments_by_answer(&q, &mut db);
+        let map = assignments_by_answer(&q, &db);
         assert_eq!(map.len(), 2);
         assert_eq!(map[&tup!["GER"]].len(), 2);
         assert_eq!(map[&tup!["ESP"]].len(), 12);
@@ -526,10 +822,10 @@ mod tests {
 
     #[test]
     fn evaluation_is_deterministic() {
-        let (s, mut db) = world_cup();
+        let (s, db) = world_cup();
         let q = q1(&s);
-        let r1 = evaluate(&q, &mut db).assignments;
-        let r2 = evaluate(&q, &mut db).assignments;
+        let r1 = evaluate(&q, &db).assignments;
+        let r2 = evaluate(&q, &db).assignments;
         assert_eq!(r1, r2);
     }
 
@@ -560,8 +856,58 @@ mod tests {
 
     #[test]
     fn seed_conflicting_with_head_constant_yields_nothing() {
-        let (s, mut db) = world_cup();
+        let (s, db) = world_cup();
         let q = q1(&s);
-        assert!(assignments_for_answer(&q, &mut db, &tup!["GER", "extra"]).is_empty());
+        assert!(assignments_for_answer(&q, &db, &tup!["GER", "extra"]).is_empty());
+    }
+
+    proptest::proptest! {
+        /// On random databases, the full `EvalResult` — assignment list,
+        /// order, and truncation flag — is identical whether evaluation
+        /// runs sequentially or across any number of threads, with and
+        /// without a `max_assignments` budget.
+        #[test]
+        fn parallel_eval_is_deterministic_on_random_databases(
+            a_rows in proptest::collection::vec((0i64..8, 0i64..5), 0..60),
+            b_rows in proptest::collection::vec((0i64..8, 0i64..5), 0..60),
+            max in 1usize..30,
+        ) {
+            let s = Schema::builder()
+                .relation("A", &["a", "g"])
+                .relation("B", &["b", "g"])
+                .build()
+                .unwrap();
+            let mut db = Database::empty(s.clone());
+            for (v, g) in a_rows {
+                db.insert_named("A", tup![v, g]).unwrap();
+            }
+            for (v, g) in b_rows {
+                db.insert_named("B", tup![v, g]).unwrap();
+            }
+            let q = parse_query(&s, "(x, y) :- A(x, g), B(y, g), x != y").unwrap();
+            for limit in [usize::MAX, max] {
+                let reference = all_assignments(
+                    &q,
+                    &db,
+                    &Assignment::new(),
+                    EvalOptions { max_assignments: limit, threads: Some(1) },
+                );
+                for threads in [2usize, 8] {
+                    let parallel = all_assignments(
+                        &q,
+                        &db,
+                        &Assignment::new(),
+                        EvalOptions { max_assignments: limit, threads: Some(threads) },
+                    );
+                    proptest::prop_assert_eq!(
+                        &parallel,
+                        &reference,
+                        "threads={} limit={}",
+                        threads,
+                        limit
+                    );
+                }
+            }
+        }
     }
 }

@@ -47,7 +47,7 @@ pub struct ViewMonitor {
 
 impl ViewMonitor {
     /// Materialize `q` over `db`.
-    pub fn new(query: ConjunctiveQuery, db: &mut Database) -> Self {
+    pub fn new(query: ConjunctiveQuery, db: &Database) -> Self {
         let answers = answer_set(&query, db).into_iter().collect();
         ViewMonitor { query, answers }
     }
@@ -69,7 +69,7 @@ impl ViewMonitor {
 
     /// Update the materialization after `edit` was applied to `db`
     /// (`db` must already reflect the edit). Returns the delta.
-    pub fn apply_edit(&mut self, db: &mut Database, edit: &Edit) -> ViewDelta {
+    pub fn apply_edit(&mut self, db: &Database, edit: &Edit) -> ViewDelta {
         if !self.is_relevant(&edit.fact) {
             return ViewDelta::default();
         }
@@ -93,7 +93,7 @@ impl ViewMonitor {
 
     /// Full re-materialization (used as a fallback and by tests as the
     /// correctness oracle).
-    pub fn refresh(&mut self, db: &mut Database) -> ViewDelta {
+    pub fn refresh(&mut self, db: &Database) -> ViewDelta {
         let fresh: BTreeSet<Tuple> = answer_set(&self.query, db).into_iter().collect();
         let added = fresh.difference(&self.answers).cloned().collect();
         let removed = self.answers.difference(&fresh).cloned().collect();
@@ -101,7 +101,7 @@ impl ViewMonitor {
         ViewDelta { added, removed }
     }
 
-    fn delta_insert(&mut self, db: &mut Database, fact: &Fact) -> ViewDelta {
+    fn delta_insert(&mut self, db: &Database, fact: &Fact) -> ViewDelta {
         let mut added = Vec::new();
         for atom in self.query.atoms().to_vec() {
             if atom.rel != fact.rel {
@@ -128,7 +128,7 @@ impl ViewMonitor {
         }
     }
 
-    fn delta_delete(&mut self, db: &mut Database) -> ViewDelta {
+    fn delta_delete(&mut self, db: &Database) -> ViewDelta {
         let mut removed = Vec::new();
         for t in self.answers.iter().cloned().collect::<Vec<_>>() {
             let Some(seed) = Assignment::from_answer(&self.query, &t) else {
@@ -199,8 +199,8 @@ mod tests {
 
     #[test]
     fn initial_materialization() {
-        let (_, mut db, q) = setup();
-        let m = ViewMonitor::new(q, &mut db);
+        let (_, db, q) = setup();
+        let m = ViewMonitor::new(q, &db);
         assert_eq!(m.answers(), vec![tup!["GER"]]);
     }
 
@@ -208,10 +208,10 @@ mod tests {
     fn irrelevant_edits_are_free() {
         let (schema, mut db, q) = setup();
         let clubs = schema.rel_id("Clubs").unwrap();
-        let mut m = ViewMonitor::new(q, &mut db);
+        let mut m = ViewMonitor::new(q, &db);
         let e = Edit::insert(Fact::new(clubs, tup!["X", "Bayern"]));
         db.apply(&e).unwrap();
-        let delta = m.apply_edit(&mut db, &e);
+        let delta = m.apply_edit(&db, &e);
         assert!(delta.is_empty());
         assert!(!m.is_relevant(&e.fact));
     }
@@ -219,7 +219,7 @@ mod tests {
     #[test]
     fn insertion_delta_detects_new_answer() {
         let (schema, mut db, q) = setup();
-        let mut m = ViewMonitor::new(q, &mut db);
+        let mut m = ViewMonitor::new(q, &db);
         // ESP needs two finals and a Teams row; add them one by one
         let games = schema.rel_id("Games").unwrap();
         let teams = schema.rel_id("Teams").unwrap();
@@ -237,7 +237,7 @@ mod tests {
         let mut last = ViewDelta::default();
         for e in &edits {
             db.apply(e).unwrap();
-            last = m.apply_edit(&mut db, e);
+            last = m.apply_edit(&db, e);
         }
         assert_eq!(last.added, vec![tup!["ESP"]]);
         assert_eq!(m.answers(), vec![tup!["ESP"], tup!["GER"]]);
@@ -247,13 +247,13 @@ mod tests {
     fn deletion_delta_detects_removed_answer() {
         let (schema, mut db, q) = setup();
         let games = schema.rel_id("Games").unwrap();
-        let mut m = ViewMonitor::new(q, &mut db);
+        let mut m = ViewMonitor::new(q, &db);
         let e = Edit::delete(Fact::new(
             games,
             tup!["08.07.90", "GER", "ARG", "Final", "1:0"],
         ));
         db.apply(&e).unwrap();
-        let delta = m.apply_edit(&mut db, &e);
+        let delta = m.apply_edit(&db, &e);
         assert_eq!(delta.removed, vec![tup!["GER"]]);
         assert!(m.answers().is_empty());
     }
@@ -265,10 +265,10 @@ mod tests {
         // a third GER final: deleting one still leaves two
         let extra = Fact::new(games, tup!["30.06.02", "GER", "BRA", "Final", "2:0"]);
         db.insert(extra.clone()).unwrap();
-        let mut m = ViewMonitor::new(q, &mut db);
+        let mut m = ViewMonitor::new(q, &db);
         let e = Edit::delete(extra);
         db.apply(&e).unwrap();
-        let delta = m.apply_edit(&mut db, &e);
+        let delta = m.apply_edit(&db, &e);
         assert!(delta.is_empty());
         assert_eq!(m.answers(), vec![tup!["GER"]]);
     }
@@ -289,7 +289,7 @@ mod tests {
         let countries = ["GER", "ESP", "ITA", "BRA"];
         let dates = ["01.01.01", "02.02.02", "03.03.03", "04.04.04"];
         let mut db = db0.clone();
-        let mut m = ViewMonitor::new(q.clone(), &mut db);
+        let mut m = ViewMonitor::new(q.clone(), &db);
         for step in 0..200 {
             let c = countries[(next() % 4) as usize];
             let e = if next() % 3 == 0 {
@@ -309,8 +309,8 @@ mod tests {
                 }
             };
             db.apply(&e).unwrap();
-            m.apply_edit(&mut db, &e);
-            let expected: Vec<Tuple> = answer_set(&q, &mut db);
+            m.apply_edit(&db, &e);
+            let expected: Vec<Tuple> = answer_set(&q, &db);
             assert_eq!(
                 m.answers(),
                 expected,
@@ -348,10 +348,10 @@ mod tests {
     fn refresh_resynchronizes() {
         let (schema, mut db, q) = setup();
         let teams = schema.rel_id("Teams").unwrap();
-        let mut m = ViewMonitor::new(q, &mut db);
+        let mut m = ViewMonitor::new(q, &db);
         // mutate behind the monitor's back
         db.remove(&Fact::new(teams, tup!["GER", "EU"])).unwrap();
-        let delta = m.refresh(&mut db);
+        let delta = m.refresh(&db);
         assert_eq!(delta.removed, vec![tup!["GER"]]);
         assert!(m.answers().is_empty());
     }

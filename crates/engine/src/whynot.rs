@@ -23,7 +23,7 @@ use crate::eval::is_satisfiable;
 
 /// Build the subquery of `q` on the atom subset `keep` (all-variables head,
 /// inequalities kept when covered) and test its satisfiability in `db`.
-fn subset_satisfiable(q: &ConjunctiveQuery, db: &mut Database, keep: &[usize]) -> bool {
+fn subset_satisfiable(q: &ConjunctiveQuery, db: &Database, keep: &[usize]) -> bool {
     match qoco_query::split_subset(q, keep) {
         Ok(sub) => is_satisfiable(&sub, db, &Assignment::new()),
         Err(_) => false,
@@ -72,7 +72,7 @@ fn frontier_order(q: &ConjunctiveQuery) -> Vec<usize> {
 ///
 /// Returns `None` when the whole query is satisfiable (nothing is missing)
 /// or when the query has fewer than two atoms (no join to blame).
-pub fn frontier_split(q: &ConjunctiveQuery, db: &mut Database) -> Option<Vec<bool>> {
+pub fn frontier_split(q: &ConjunctiveQuery, db: &Database) -> Option<Vec<bool>> {
     let n = q.atoms().len();
     if n < 2 {
         return None;
@@ -124,7 +124,7 @@ pub struct WhyNot {
 
 /// Produce a why-not explanation for an unsatisfiable query (see
 /// [`frontier_split`]).
-pub fn why_not(q: &ConjunctiveQuery, db: &mut Database) -> Option<WhyNot> {
+pub fn why_not(q: &ConjunctiveQuery, db: &Database) -> Option<WhyNot> {
     let mask = frontier_split(q, db)?;
     let satisfiable = (0..mask.len()).filter(|&i| mask[i]).collect();
     let excluded = (0..mask.len()).filter(|&i| !mask[i]).collect();
@@ -170,9 +170,9 @@ mod tests {
 
     #[test]
     fn pirlo_split_isolates_teams() {
-        let (_, mut db, q) = setup();
+        let (_, db, q) = setup();
         let q_t = embed_answer(&q, &[Value::text("Pirlo")]).unwrap();
-        let mask = frontier_split(&q_t, &mut db).unwrap();
+        let mask = frontier_split(&q_t, &db).unwrap();
         // Atoms: 0 Players, 1 Goals, 2 Games, 3 Teams. The first three are
         // jointly satisfiable; Teams(y := ITA, EU) is not.
         assert_eq!(mask, vec![true, true, true, false]);
@@ -186,27 +186,27 @@ mod tests {
         // is unsatisfiable too. Make it satisfiable by adding data:
         db.insert_named("Teams", tup!["ITA", "EU"]).unwrap();
         let q_t = embed_answer(&q, &[Value::text("Pirlo")]).unwrap();
-        assert!(frontier_split(&q_t, &mut db).is_none());
-        assert!(why_not(&q_t, &mut db).is_none());
+        assert!(frontier_split(&q_t, &db).is_none());
+        assert!(why_not(&q_t, &db).is_none());
     }
 
     #[test]
     fn single_atom_query_has_no_split() {
-        let (schema, mut db, _) = setup();
+        let (schema, db, _) = setup();
         let q = parse_query(&schema, r#"(x) :- Teams(x, "AF")"#).unwrap();
-        assert!(frontier_split(&q, &mut db).is_none());
+        assert!(frontier_split(&q, &db).is_none());
     }
 
     #[test]
     fn dead_constant_atom_is_isolated() {
-        let (schema, mut db, _) = setup();
+        let (schema, db, _) = setup();
         // Games with stage "Quarter" matches nothing; Teams side matches.
         let q = parse_query(
             &schema,
             r#"(x) :- Teams(x, "EU"), Games(d, x, y, "Quarter", u)"#,
         )
         .unwrap();
-        let mask = frontier_split(&q, &mut db).unwrap();
+        let mask = frontier_split(&q, &db).unwrap();
         // The satisfiable side must contain Teams (atom 0), the excluded
         // side the Games atom (atom 1).
         assert_eq!(mask, vec![true, false]);
@@ -214,9 +214,9 @@ mod tests {
 
     #[test]
     fn why_not_reports_both_sides() {
-        let (_, mut db, q) = setup();
+        let (_, db, q) = setup();
         let q_t = embed_answer(&q, &[Value::text("Pirlo")]).unwrap();
-        let wn = why_not(&q_t, &mut db).unwrap();
+        let wn = why_not(&q_t, &db).unwrap();
         assert_eq!(wn.satisfiable, vec![0, 1, 2]);
         assert_eq!(wn.excluded, vec![3]);
     }
@@ -242,14 +242,14 @@ mod tests {
             "(x, y, z, w) :- R1(x, y), R2(y, z), R3(z, w), R4(z, v)",
         )
         .unwrap();
-        let mask = frontier_split(&q, &mut db).unwrap();
+        let mask = frontier_split(&q, &db).unwrap();
         let sat: Vec<usize> = (0..4).filter(|&i| mask[i]).collect();
         let exc: Vec<usize> = (0..4).filter(|&i| !mask[i]).collect();
         assert!(!sat.is_empty() && !exc.is_empty());
         // the satisfiable side must indeed be satisfiable
-        assert!(subset_satisfiable(&q, &mut db, &sat));
+        assert!(subset_satisfiable(&q, &db, &sat));
         // and splitting it off blames a real join frontier: the two sides
         // joined are unsatisfiable
-        assert!(!is_satisfiable(&q, &mut db, &Assignment::new()));
+        assert!(!is_satisfiable(&q, &db, &Assignment::new()));
     }
 }

@@ -34,7 +34,7 @@ pub fn witness_of(q: &ConjunctiveQuery, alpha: &Assignment) -> Option<Witness> {
 /// of Example 2.2 give different assignments but the same witness only when
 /// the body is symmetric; we keep set semantics as the hitting-set structure
 /// requires).
-pub fn witnesses_for_answer(q: &ConjunctiveQuery, db: &mut Database, t: &Tuple) -> Vec<Witness> {
+pub fn witnesses_for_answer(q: &ConjunctiveQuery, db: &Database, t: &Tuple) -> Vec<Witness> {
     let span = qoco_telemetry::span("engine.witnesses");
     let mut out: Vec<Witness> = assignments_for_answer(q, db, t)
         .iter()
@@ -81,8 +81,8 @@ mod tests {
     fn example_4_6_esp_has_six_witnesses() {
         // ESP won 4 finals in D; unordered pairs of distinct dates = C(4,2)
         // = 6 witnesses (the paper's w1…w6), each of 3 facts.
-        let (_, mut db, q) = setup();
-        let ws = witnesses_for_answer(&q, &mut db, &tup!["ESP"]);
+        let (_, db, q) = setup();
+        let ws = witnesses_for_answer(&q, &db, &tup!["ESP"]);
         assert_eq!(ws.len(), 6);
         for w in &ws {
             assert_eq!(
@@ -95,10 +95,10 @@ mod tests {
 
     #[test]
     fn teams_fact_occurs_in_every_witness() {
-        let (schema, mut db, q) = setup();
+        let (schema, db, q) = setup();
         let teams = schema.rel_id("Teams").unwrap();
         let t3 = Fact::new(teams, tup!["ESP", "EU"]);
-        let ws = witnesses_for_answer(&q, &mut db, &tup!["ESP"]);
+        let ws = witnesses_for_answer(&q, &db, &tup!["ESP"]);
         assert!(ws.iter().all(|w| w.contains(&t3)));
     }
 
@@ -111,8 +111,8 @@ mod tests {
 
     #[test]
     fn witness_of_total_assignment_collects_ground_atoms() {
-        let (schema, mut db, q) = setup();
-        let asgs = assignments_for_answer(&q, &mut db, &tup!["ESP"]);
+        let (schema, db, q) = setup();
+        let asgs = assignments_for_answer(&q, &db, &tup!["ESP"]);
         let w = witness_of(&q, &asgs[0]).unwrap();
         assert_eq!(w.len(), 3);
         let games = schema.rel_id("Games").unwrap();
@@ -121,7 +121,7 @@ mod tests {
 
     #[test]
     fn no_witnesses_for_non_answer() {
-        let (_, mut db, q) = setup();
-        assert!(witnesses_for_answer(&q, &mut db, &tup!["ITA"]).is_empty());
+        let (_, db, q) = setup();
+        assert!(witnesses_for_answer(&q, &db, &tup!["ITA"]).is_empty());
     }
 }

@@ -47,11 +47,11 @@ fn main() {
         let report = clean_view(q, &mut dirty, &mut crowd, CleaningConfig::default())
             .expect("cleaning converges");
         let truth = {
-            let mut gm = ground.clone();
-            answer_set(q, &mut gm)
+            let gm = ground.clone();
+            answer_set(q, &gm)
         };
         assert_eq!(
-            answer_set(q, &mut dirty),
+            answer_set(q, &dirty),
             truth,
             "{} must match the truth",
             q.name()

@@ -26,8 +26,8 @@ fn main() {
         planted.missing.len()
     );
     let truth = {
-        let mut gm = ground.clone();
-        answer_set(&q, &mut gm)
+        let gm = ground.clone();
+        answer_set(&q, &gm)
     };
 
     // ---- a single perfect expert, for reference ----
@@ -36,7 +36,7 @@ fn main() {
         let mut crowd = SingleExpert::new(PerfectOracle::new(ground.clone()));
         let report =
             qoco::core::clean_view(&q, &mut d, &mut crowd, CleaningConfig::default()).unwrap();
-        assert_eq!(answer_set(&q, &mut d), truth);
+        assert_eq!(answer_set(&q, &d), truth);
         println!(
             "single perfect expert: {} total crowd answers ({} closed, {} open-answer variables)",
             report.total_stats.total_crowd_answers(),
@@ -58,7 +58,7 @@ fn main() {
         };
         match clean_view_parallel(&q, &mut d, &mut crowd, config) {
             Ok(report) => {
-                let converged = answer_set(&q, &mut d) == truth;
+                let converged = answer_set(&q, &d) == truth;
                 println!(
                     "3 experts at {:.0}% error: {} total crowd answers, {} iterations, converged: {}",
                     error_rate * 100.0,

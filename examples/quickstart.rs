@@ -75,10 +75,10 @@ fn main() {
     .unwrap();
 
     println!("query: {}", q.display());
-    println!("Q1(D)  before cleaning: {:?}", answer_set(&q, &mut d));
+    println!("Q1(D)  before cleaning: {:?}", answer_set(&q, &d));
     {
-        let mut gm = g.clone();
-        println!("Q1(D_G) (the truth):    {:?}", answer_set(&q, &mut gm));
+        let gm = g.clone();
+        println!("Q1(D_G) (the truth):    {:?}", answer_set(&q, &gm));
     }
 
     // ---- clean with a simulated perfect oracle ----
@@ -86,7 +86,7 @@ fn main() {
     let report = clean_view(&q, &mut d, &mut crowd, CleaningConfig::default())
         .expect("perfect-oracle cleaning converges");
 
-    println!("\nQ1(D') after cleaning:  {:?}", answer_set(&q, &mut d));
+    println!("\nQ1(D') after cleaning:  {:?}", answer_set(&q, &d));
     println!("\n{report}");
     println!("edits applied:");
     for e in report.edits.edits() {

@@ -25,7 +25,7 @@ fn main() {
     let planted = plant_mixed(&q, &ground, 3, 3, 7);
     let mut d = planted.db;
     println!("query: {}", q.display());
-    println!("{} answers before cleaning\n", answer_set(&q, &mut d).len());
+    println!("{} answers before cleaning\n", answer_set(&q, &d).len());
 
     // ---- clean under a telemetry session ----
     let collector = Arc::new(InMemoryCollector::new());
@@ -42,7 +42,7 @@ fn main() {
         (timeline, report)
     };
 
-    println!("{} answers after cleaning", answer_set(&q, &mut d).len());
+    println!("{} answers after cleaning", answer_set(&q, &d).len());
     println!(
         "{} wrong removed, {} missing added, {} edits, {} iterations\n",
         report.wrong_answers,

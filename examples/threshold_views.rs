@@ -45,17 +45,17 @@ fn main() {
         dirty = planted.db;
     }
 
-    let before = union_answer_set(&union, &mut dirty);
+    let before = union_answer_set(&union, &dirty);
     println!("\nanswers before cleaning: {}", before.len());
 
     let mut crowd = SingleExpert::new(PerfectOracle::new(ground.clone()));
     let report = clean_union_view(&union, &mut dirty, &mut crowd, CleaningConfig::default())
         .expect("cleaning converges");
 
-    let after = union_answer_set(&union, &mut dirty);
+    let after = union_answer_set(&union, &dirty);
     let truth = {
-        let mut gm = ground.clone();
-        union_answer_set(&union, &mut gm)
+        let gm = ground.clone();
+        union_answer_set(&union, &gm)
     };
     assert_eq!(after, truth, "the union view must equal the truth");
     println!(

@@ -24,7 +24,7 @@ fn main() {
     let q = soccer_query(db.schema(), 1);
     println!("monitoring view: {}\n", q.display());
 
-    let mut monitor = ViewMonitor::new(q.clone(), &mut db);
+    let mut monitor = ViewMonitor::new(q.clone(), &db);
     println!("initial answers: {:?}\n", monitor.answers());
 
     // a scraper pushes updates; the middle one is bogus (Switzerland never
@@ -46,7 +46,7 @@ fn main() {
     let mut crowd = SingleExpert::new(PerfectOracle::new(ground.clone()));
     for edit in updates {
         db.apply(&edit).expect("updates fit the schema");
-        let delta = monitor.apply_edit(&mut db, &edit);
+        let delta = monitor.apply_edit(&db, &edit);
         if !monitor.is_relevant(&edit.fact) {
             println!("update {edit:?} — irrelevant to the view, no work");
             continue;
@@ -62,7 +62,7 @@ fn main() {
         println!("  new answer surfaced; QOCO takes over…");
         let report = clean_view(&q, &mut db, &mut crowd, CleaningConfig::default())
             .expect("cleaning converges");
-        let refreshed = monitor.refresh(&mut db);
+        let refreshed = monitor.refresh(&db);
         println!(
             "  cleaning removed {} wrong answer(s) with {} tuple questions; view delta after repair: -{:?}",
             report.wrong_answers,
@@ -73,8 +73,8 @@ fn main() {
 
     println!("\nfinal answers: {:?}", monitor.answers());
     assert_eq!(monitor.answers(), {
-        let mut gm = ground.clone();
-        qoco::engine::answer_set(&q, &mut gm)
+        let gm = ground.clone();
+        qoco::engine::answer_set(&q, &gm)
     });
     println!("view matches the ground truth again ✓");
 }

@@ -31,8 +31,8 @@ fn main() {
     );
 
     let true_answers = {
-        let mut gm = ground.clone();
-        answer_set(&q, &mut gm)
+        let gm = ground.clone();
+        answer_set(&q, &gm)
     };
 
     for deletion in [
@@ -49,7 +49,7 @@ fn main() {
         };
         let report = clean_view(&q, &mut d, &mut crowd, config).expect("cleaning converges");
         assert_eq!(
-            answer_set(&q, &mut d),
+            answer_set(&q, &d),
             true_answers,
             "view must equal the truth"
         );

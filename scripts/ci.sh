@@ -14,6 +14,12 @@ cargo test -q
 echo "== cargo test -q --workspace =="
 cargo test -q --workspace
 
+echo "== RAYON_NUM_THREADS=1 cargo test -q --workspace (sequential eval) =="
+RAYON_NUM_THREADS=1 cargo test -q --workspace
+
+echo "== cargo bench --workspace --no-run =="
+cargo bench --workspace --no-run
+
 echo "== cargo clippy --workspace --all-targets -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 

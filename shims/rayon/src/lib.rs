@@ -1,0 +1,210 @@
+//! Offline stand-in for `rayon` (1.x API subset).
+//!
+//! The workspace's evaluation engine fans its top-level candidate loop out
+//! over contiguous slice chunks and merges the per-chunk results in chunk
+//! order. This shim provides exactly that surface — [`ParallelSlice::par_chunks`]
+//! followed by `.enumerate().map(f).collect::<Vec<_>>()` plus
+//! [`current_num_threads`] — on top of `std::thread::scope`, spawning one OS
+//! thread per chunk. `collect` preserves chunk order, which the engine's
+//! determinism guarantee relies on.
+//!
+//! [`current_num_threads`] honours `RAYON_NUM_THREADS` (like real rayon's
+//! default pool) and falls back to `std::thread::available_parallelism`.
+//! The variable is re-read on every call so tests can vary it per-process
+//! without a pool rebuild.
+
+#![forbid(unsafe_code)]
+
+/// The number of threads the (implicit) pool would use: `RAYON_NUM_THREADS`
+/// if set to a positive integer, otherwise the machine's available
+/// parallelism.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The commonly-glob-imported names; mirrors `rayon::prelude`.
+pub mod prelude {
+    pub use crate::slice::ParallelSlice;
+}
+
+/// Parallel operations over slices.
+pub mod slice {
+    /// Extension trait adding `par_chunks` to slices, as in
+    /// `rayon::slice::ParallelSlice`.
+    pub trait ParallelSlice<T: Sync> {
+        /// Split the slice into contiguous chunks of at most `chunk_size`
+        /// elements, to be processed in parallel. Chunk order is the slice
+        /// order.
+        fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+            assert!(chunk_size > 0, "chunk_size must be positive");
+            ParChunks {
+                slice: self,
+                chunk_size,
+            }
+        }
+    }
+
+    /// Parallel iterator over contiguous chunks of a slice.
+    pub struct ParChunks<'a, T> {
+        slice: &'a [T],
+        chunk_size: usize,
+    }
+
+    impl<'a, T: Sync> ParChunks<'a, T> {
+        /// Pair each chunk with its index (chunk order = slice order).
+        pub fn enumerate(self) -> ParEnumChunks<'a, T> {
+            ParEnumChunks { chunks: self }
+        }
+
+        /// Map each chunk through `f` in parallel.
+        pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+        where
+            R: Send,
+            F: Fn(&'a [T]) -> R + Sync,
+        {
+            ParMap { chunks: self, f }
+        }
+
+        fn chunk_list(&self) -> Vec<&'a [T]> {
+            if self.slice.is_empty() {
+                return Vec::new();
+            }
+            self.slice.chunks(self.chunk_size).collect()
+        }
+    }
+
+    /// `par_chunks(..).enumerate()` adapter.
+    pub struct ParEnumChunks<'a, T> {
+        chunks: ParChunks<'a, T>,
+    }
+
+    impl<'a, T: Sync> ParEnumChunks<'a, T> {
+        /// Map each `(chunk_index, chunk)` pair through `f` in parallel.
+        pub fn map<R, F>(self, f: F) -> ParEnumMap<'a, T, F>
+        where
+            R: Send,
+            F: Fn((usize, &'a [T])) -> R + Sync,
+        {
+            ParEnumMap {
+                chunks: self.chunks,
+                f,
+            }
+        }
+    }
+
+    /// `par_chunks(..).map(..)` adapter.
+    pub struct ParMap<'a, T, F> {
+        chunks: ParChunks<'a, T>,
+        f: F,
+    }
+
+    impl<'a, T, R, F> ParMap<'a, T, F>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'a [T]) -> R + Sync,
+    {
+        /// Execute and gather the per-chunk results in chunk order.
+        pub fn collect<C: FromIterator<R>>(self) -> C {
+            let items = self.chunks.chunk_list();
+            run_ordered(items, &self.f).into_iter().collect()
+        }
+    }
+
+    /// `par_chunks(..).enumerate().map(..)` adapter.
+    pub struct ParEnumMap<'a, T, F> {
+        chunks: ParChunks<'a, T>,
+        f: F,
+    }
+
+    impl<'a, T, R, F> ParEnumMap<'a, T, F>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn((usize, &'a [T])) -> R + Sync,
+    {
+        /// Execute and gather the per-chunk results in chunk order.
+        pub fn collect<C: FromIterator<R>>(self) -> C {
+            let items: Vec<(usize, &'a [T])> =
+                self.chunks.chunk_list().into_iter().enumerate().collect();
+            run_ordered(items, &self.f).into_iter().collect()
+        }
+    }
+
+    /// Run `f` over `items` on scoped threads (one per item) and return the
+    /// results in input order. A panic in any closure propagates.
+    fn run_ordered<I, R, F>(items: Vec<I>, f: F) -> Vec<R>
+    where
+        I: Send,
+        R: Send,
+        F: Fn(I) -> R + Sync,
+    {
+        match items.len() {
+            0 => Vec::new(),
+            // Run the single chunk inline: no thread spawn, same result.
+            1 => items.into_iter().map(&f).collect(),
+            _ => std::thread::scope(|scope| {
+                let handles: Vec<_> = items
+                    .into_iter()
+                    .map(|item| {
+                        let f = &f;
+                        scope.spawn(move || f(item))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("parallel chunk worker panicked"))
+                    .collect()
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_map_preserves_order() {
+        let data: Vec<u64> = (0..100).collect();
+        let sums: Vec<u64> = data.par_chunks(7).map(|c| c.iter().sum::<u64>()).collect();
+        let expected: Vec<u64> = data.chunks(7).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, expected);
+    }
+
+    #[test]
+    fn enumerate_indexes_chunks_in_slice_order() {
+        let data: Vec<u32> = (0..40).collect();
+        let got: Vec<(usize, u32)> = data
+            .par_chunks(16)
+            .enumerate()
+            .map(|(i, c)| (i, c[0]))
+            .collect();
+        assert_eq!(got, vec![(0, 0), (1, 16), (2, 32)]);
+    }
+
+    #[test]
+    fn empty_slice_yields_no_chunks() {
+        let data: Vec<u8> = Vec::new();
+        let got: Vec<usize> = data.par_chunks(4).map(|c| c.len()).collect();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}

@@ -102,13 +102,13 @@ fn full_session_cleans_and_saves() {
 
     // the saved database reloads and matches the cleaned view
     let s = schema();
-    let mut cleaned = load_dir(s.clone(), &out_dir).unwrap();
+    let cleaned = load_dir(s.clone(), &out_dir).unwrap();
     let q = parse_query(
         &s,
         r#"Q1(x) :- Games(d1, x, y, "Final", u1), Games(d2, x, z, "Final", u2), Teams(x, "EU"), d1 != d2."#,
     )
     .unwrap();
-    assert_eq!(answer_set(&q, &mut cleaned), vec![tup!["GER"]]);
+    assert_eq!(answer_set(&q, &cleaned), vec![tup!["GER"]]);
 
     for d in [dirty, ground, out_dir] {
         let _ = std::fs::remove_dir_all(d);

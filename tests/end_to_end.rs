@@ -14,8 +14,8 @@ use qoco::engine::answer_set;
 use qoco::query::ConjunctiveQuery;
 
 fn true_answers(ground: &Database, q: &ConjunctiveQuery) -> Vec<Tuple> {
-    let mut gm = ground.clone();
-    answer_set(q, &mut gm)
+    let gm = ground.clone();
+    answer_set(q, &gm)
 }
 
 #[test]
@@ -30,7 +30,7 @@ fn every_soccer_query_converges_after_planted_noise() {
         let report = clean_view(q, &mut d, &mut crowd, CleaningConfig::default())
             .unwrap_or_else(|e| panic!("{} failed: {e}", q.name()));
         assert_eq!(
-            answer_set(q, &mut d),
+            answer_set(q, &d),
             true_answers(&ground, q),
             "{} did not converge to the true result",
             q.name()
@@ -53,12 +53,7 @@ fn every_dbgroup_query_converges_after_planted_noise() {
         let mut crowd = SingleExpert::new(PerfectOracle::new(ground.clone()));
         clean_view(q, &mut d, &mut crowd, CleaningConfig::default())
             .unwrap_or_else(|e| panic!("{} failed: {e}", q.name()));
-        assert_eq!(
-            answer_set(q, &mut d),
-            true_answers(&ground, q),
-            "{}",
-            q.name()
-        );
+        assert_eq!(answer_set(q, &d), true_answers(&ground, q), "{}", q.name());
     }
 }
 
@@ -81,7 +76,7 @@ fn cleanliness_noise_cleans_up_on_q1() {
         ..Default::default()
     };
     clean_view(q, &mut d, &mut crowd, config).expect("perfect-oracle cleaning converges");
-    assert_eq!(answer_set(q, &mut d), true_answers(&ground, q));
+    assert_eq!(answer_set(q, &d), true_answers(&ground, q));
 }
 
 #[test]
@@ -130,7 +125,7 @@ fn all_strategy_combinations_converge_on_q4() {
             };
             clean_view(q, &mut d, &mut crowd, config)
                 .unwrap_or_else(|e| panic!("{deletion:?}/{split:?}: {e}"));
-            assert_eq!(answer_set(q, &mut d), truth, "{deletion:?}/{split:?}");
+            assert_eq!(answer_set(q, &d), truth, "{deletion:?}/{split:?}");
         }
     }
 }
@@ -187,7 +182,7 @@ fn statistical_stopping_rule_with_a_sampling_crowd() {
     // the statistical rule can stop marginally early, but with only 2
     // planted missing answers and repeated sampling the repaired view must
     // reach the truth
-    assert_eq!(answer_set(q, &mut d), true_answers(&ground, q));
+    assert_eq!(answer_set(q, &d), true_answers(&ground, q));
     assert!(
         report.total_stats.complete_result_tasks >= 2,
         "sampling asks repeatedly"
@@ -231,7 +226,7 @@ fn cleaning_one_view_may_leave_the_database_dirty() {
         0,
         "D' is still not D_G"
     );
-    assert_eq!(answer_set(q, &mut d), true_answers(&ground, q));
+    assert_eq!(answer_set(q, &d), true_answers(&ground, q));
 }
 
 #[test]
@@ -239,8 +234,8 @@ fn planted_answer_sets_are_disjoint_from_truth() {
     let ground = generate_soccer(SoccerConfig::default());
     let q = &soccer_queries(ground.schema())[4]; // Q5
     let planted = plant_mixed(q, &ground, 3, 2, 21);
-    let mut d = planted.db.clone();
-    let dirty: BTreeSet<Tuple> = answer_set(q, &mut d).into_iter().collect();
+    let d = planted.db.clone();
+    let dirty: BTreeSet<Tuple> = answer_set(q, &d).into_iter().collect();
     let truth: BTreeSet<Tuple> = true_answers(&ground, q).into_iter().collect();
     for w in &planted.wrong {
         assert!(dirty.contains(w) && !truth.contains(w));
@@ -281,8 +276,8 @@ fn count_threshold_unfolding_matches_aggregate_semantics() {
     }
     for k in 1..=4usize {
         let q = unfold_at_least(&template, &Var::new("d"), k).unwrap();
-        let mut db = ground.clone();
-        let got: BTreeSet<qoco::data::Value> = answer_set(&q, &mut db)
+        let db = ground.clone();
+        let got: BTreeSet<qoco::data::Value> = answer_set(&q, &db)
             .into_iter()
             .map(|t| t.values()[0].clone())
             .collect();
@@ -310,5 +305,5 @@ fn count_threshold_view_cleans_like_any_other() {
     let mut d = planted.db;
     let mut crowd = SingleExpert::new(PerfectOracle::new(ground.clone()));
     clean_view(&q, &mut d, &mut crowd, CleaningConfig::default()).unwrap();
-    assert_eq!(answer_set(&q, &mut d), true_answers(&ground, &q));
+    assert_eq!(answer_set(&q, &d), true_answers(&ground, &q));
 }

@@ -119,9 +119,9 @@ proptest! {
         db in db_strategy(10),
     ) {
         let reparsed = parse_query(q.schema(), &q.display()).unwrap();
-        let mut d1 = db.clone();
-        let mut d2 = db.clone();
-        prop_assert_eq!(answer_set(&q, &mut d1), answer_set(&reparsed, &mut d2));
+        let d1 = db.clone();
+        let d2 = db.clone();
+        prop_assert_eq!(answer_set(&q, &d1), answer_set(&reparsed, &d2));
     }
 
     #[test]
@@ -168,7 +168,7 @@ proptest! {
         ];
         let q = &queries[qi];
         let mut live = db.clone();
-        let mut monitor = ViewMonitor::new(q.clone(), &mut live);
+        let mut monitor = ViewMonitor::new(q.clone(), &live);
         for (del, rel_choice, a, b) in edits {
             let fact = if rel_choice == 0 {
                 Fact::new(s.rel_id("E").unwrap(), tup![DOMAIN[a], DOMAIN[b]])
@@ -177,8 +177,8 @@ proptest! {
             };
             let e = if del { Edit::delete(fact) } else { Edit::insert(fact) };
             live.apply(&e).unwrap();
-            let delta = monitor.apply_edit(&mut live, &e);
-            let expected = answer_set(q, &mut live);
+            let delta = monitor.apply_edit(&live, &e);
+            let expected = answer_set(q, &live);
             prop_assert_eq!(monitor.answers(), expected, "after {:?}", e);
             // deltas are consistent: added ∩ removed = ∅
             for t in &delta.added {
@@ -207,9 +207,9 @@ proptest! {
         ];
         let q = &queries[qi];
         let mut live = db.clone();
-        let mut monitor = ViewMonitor::new(q.clone(), &mut live);
+        let mut monitor = ViewMonitor::new(q.clone(), &live);
         let mut previous: BTreeSet<qoco::data::Tuple> =
-            answer_set(q, &mut live).into_iter().collect();
+            answer_set(q, &live).into_iter().collect();
         for (del, rel_choice, a, b) in edits {
             let fact = if rel_choice == 0 {
                 Fact::new(s.rel_id("E").unwrap(), tup![DOMAIN[a], DOMAIN[b]])
@@ -218,9 +218,9 @@ proptest! {
             };
             let e = if del { Edit::delete(fact) } else { Edit::insert(fact) };
             live.apply(&e).unwrap();
-            let delta = monitor.apply_edit(&mut live, &e);
+            let delta = monitor.apply_edit(&live, &e);
             let expected: BTreeSet<qoco::data::Tuple> =
-                answer_set(q, &mut live).into_iter().collect();
+                answer_set(q, &live).into_iter().collect();
             let added: BTreeSet<qoco::data::Tuple> =
                 expected.difference(&previous).cloned().collect();
             let removed: BTreeSet<qoco::data::Tuple> =
@@ -259,10 +259,10 @@ proptest! {
         prop_assert!(m.disjuncts().len() <= u.disjuncts().len());
         prop_assert!(!m.disjuncts().is_empty());
         let answers = |uq: &UnionQuery| -> BTreeSet<qoco::data::Tuple> {
-            let mut d = db.clone();
+            let d = db.clone();
             uq.disjuncts()
                 .iter()
-                .flat_map(|q| answer_set(q, &mut d))
+                .flat_map(|q| answer_set(q, &d))
                 .collect()
         };
         prop_assert_eq!(answers(&u), answers(&m));

@@ -77,13 +77,13 @@ fn hitting_set_gadget(
 fn theorem_4_2_gadget_shape() {
     // the proof's example instance
     let sets = vec![BTreeSet::from([2usize, 3, 4]), BTreeSet::from([1usize, 2])];
-    let (mut db, mut ground, q) = hitting_set_gadget(4, &sets);
+    let (db, ground, q) = hitting_set_gadget(4, &sets);
     // Q(D) = {(d)}, Q(D_G) = ∅ — exactly as the proof states
     assert_eq!(
-        answer_set(&q, &mut db),
+        answer_set(&q, &db),
         vec![Tuple::new(vec![Value::text("d")])]
     );
-    assert!(answer_set(&q, &mut ground).is_empty());
+    assert!(answer_set(&q, &ground).is_empty());
 }
 
 #[test]
@@ -109,7 +109,7 @@ fn theorem_4_2_deletions_form_a_hitting_set() {
             crowd_remove_wrong_answer(&q, &mut db, &target, &mut crowd, DeletionStrategy::Qoco)
                 .unwrap();
         assert!(
-            answer_set(&q, &mut db).is_empty(),
+            answer_set(&q, &db).is_empty(),
             "the wrong answer must be gone"
         );
         // the deleted facts, projected to the elements u_i, must hit every
@@ -197,13 +197,10 @@ fn theorem_5_2_gadget_shape() {
         [(1, true), (2, true), (3, false)],
         [(1, false), (3, true), (4, true)],
     ];
-    let (mut db, mut ground, q) = one_3sat_gadget(4, &clauses);
-    assert!(
-        answer_set(&q, &mut db).is_empty(),
-        "Q(D) = ∅ on the empty DB"
-    );
+    let (db, ground, q) = one_3sat_gadget(4, &clauses);
+    assert!(answer_set(&q, &db).is_empty(), "Q(D) = ∅ on the empty DB");
     assert_eq!(
-        answer_set(&q, &mut ground),
+        answer_set(&q, &ground),
         vec![Tuple::new(vec![Value::text("d")])],
         "Q(D_G) = {{(d)}} for a satisfiable formula"
     );
@@ -229,7 +226,7 @@ fn theorem_5_2_insertion_encodes_a_satisfying_assignment() {
     )
     .unwrap();
     assert!(out.achieved);
-    assert!(answer_set(&q, &mut db).contains(&target));
+    assert!(answer_set(&q, &db).contains(&target));
     // reconstruct the boolean assignment from the inserted facts: since the
     // query shares variables across clauses, the inserted rows must agree —
     // and must satisfy every clause
@@ -260,9 +257,9 @@ fn theorem_5_2_unsatisfiable_formula_cannot_be_inserted() {
         [(1, true), (1, true), (1, true)],
         [(1, false), (1, false), (1, false)],
     ];
-    let (mut db, mut ground, q) = one_3sat_gadget(1, &clauses);
+    let (mut db, ground, q) = one_3sat_gadget(1, &clauses);
     assert!(
-        answer_set(&q, &mut ground).is_empty(),
+        answer_set(&q, &ground).is_empty(),
         "no satisfying assignment ⇒ (d) ∉ Q(D_G)"
     );
     let target = Tuple::new(vec![Value::text("d")]);
