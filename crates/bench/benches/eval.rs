@@ -3,20 +3,16 @@
 //! Two parts:
 //! 1. criterion-style micro-benchmarks on the paper-scale soccer database
 //!    (answer-set computation and witness extraction for Q1–Q5);
-//! 2. a size × thread-count scaling sweep on a synthetic two-way join,
-//!    comparing the current zero-copy engine against the preserved seed
-//!    algorithm ([`qoco_bench::seed_eval`]) and writing the measurements to
-//!    `BENCH_eval.json` at the repository root.
+//! 2. the size × thread-count scaling sweep from [`qoco_bench::scaling`]
+//!    (shared with the `qoco-bench regressions` gate), writing the
+//!    measurements to `BENCH_eval.json` at the repository root.
 
 use criterion::Criterion;
 use std::hint::black_box;
-use std::time::Instant;
 
-use qoco_bench::seed_eval::SeedEval;
-use qoco_data::{tup, Database, Schema};
+use qoco_bench::scaling::{render_json, scaling_sweep, SweepConfig};
 use qoco_datasets::{generate_soccer, soccer_queries, SoccerConfig};
-use qoco_engine::{all_assignments, answer_set, witnesses_for_answer, Assignment, EvalOptions};
-use qoco_query::{parse_query, ConjunctiveQuery};
+use qoco_engine::{answer_set, witnesses_for_answer};
 
 fn bench_answer_sets(c: &mut Criterion) {
     let ground = generate_soccer(SoccerConfig::default());
@@ -44,194 +40,11 @@ fn bench_witnesses(c: &mut Criterion) {
     group.finish();
 }
 
-// ---------------------------------------------------------------------------
-// scaling sweep
-// ---------------------------------------------------------------------------
-
-/// The *dense* workload: `n` tuples per relation, `n / 10` join groups of
-/// 10 tuples each, so `Q(x, y) :- A(x, g), B(y, g)` has `10 n` valid
-/// assignments. Output-bound: every candidate survives, so this measures
-/// shared enumeration costs, not index layout.
-fn dense_workload(n: usize) -> (Database, ConjunctiveQuery) {
-    let schema = Schema::builder()
-        .relation("A", &["x", "g"])
-        .relation("B", &["y", "g"])
-        .build()
-        .unwrap();
-    let mut db = Database::empty(schema.clone());
-    let groups = (n / 10).max(1);
-    for i in 0..n {
-        db.insert_named("A", tup![format!("a{i:06}"), format!("g{:06}", i % groups)])
-            .unwrap();
-        db.insert_named("B", tup![format!("b{i:06}"), format!("g{:06}", i % groups)])
-            .unwrap();
-    }
-    let q = parse_query(&schema, "Q(x, y) :- A(x, g), B(y, g).").unwrap();
-    (db, q)
-}
-
-/// The *selective* workload: `B` mirrors `A` with columns flipped, in join
-/// groups of 200. `Q(x) :- A(x, g), B(g, x)` probes `B` on the
-/// low-selectivity group column (the first ground column), so every descend
-/// walks a 200-tuple posting list of which exactly one candidate survives
-/// the bound-`x` check. Probe-bound: this is where the seed's per-descend
-/// `to_vec()` + sort + clone-then-check is paid 200× per survivor.
-fn selective_workload(n: usize) -> (Database, ConjunctiveQuery) {
-    let schema = Schema::builder()
-        .relation("A", &["x", "g"])
-        .relation("B", &["g", "x"])
-        .build()
-        .unwrap();
-    let mut db = Database::empty(schema.clone());
-    let groups = (n / 200).max(1);
-    for i in 0..n {
-        let x = format!("a{i:06}");
-        let g = format!("g{:06}", i % groups);
-        db.insert_named("A", tup![x.clone(), g.clone()]).unwrap();
-        db.insert_named("B", tup![g, x]).unwrap();
-    }
-    let q = parse_query(&schema, "Q(x) :- A(x, g), B(g, x).").unwrap();
-    (db, q)
-}
-
-/// Wall-clock mean over an adaptively chosen iteration count: at least 3
-/// iterations, stopping once 300 ms of measurement have accumulated.
-fn measure(mut f: impl FnMut() -> usize) -> (f64, usize) {
-    f(); // warm-up (also builds lazy indexes)
-    let mut total_ns: u128 = 0;
-    let mut iters = 0usize;
-    while iters < 3 || (total_ns < 300_000_000 && iters < 50) {
-        let start = Instant::now();
-        black_box(f());
-        total_ns += start.elapsed().as_nanos();
-        iters += 1;
-    }
-    (total_ns as f64 / iters as f64, iters)
-}
-
-struct Sample {
-    workload: &'static str,
-    size: usize,
-    engine: &'static str,
-    threads: usize,
-    mean_ns: f64,
-    iters: usize,
-    assignments: usize,
-}
-
-type WorkloadFn = fn(usize) -> (Database, ConjunctiveQuery);
-
-fn scaling_sweep() -> Vec<Sample> {
-    let sizes = [1_000usize, 4_000, 16_000];
-    let threads = [1usize, 2, 4, 8];
-    let workloads: [(&'static str, WorkloadFn); 2] =
-        [("selective", selective_workload), ("dense", dense_workload)];
-    let mut samples = Vec::new();
-    for (workload, build) in workloads {
-        for &n in &sizes {
-            let (db, q) = build(n);
-            let expected = {
-                let mut seed = SeedEval::new(&db);
-                let baseline = seed.all_assignments(&q);
-                let (mean_ns, iters) = {
-                    let mut seed = SeedEval::new(&db);
-                    measure(|| seed.all_assignments(&q).len())
-                };
-                samples.push(Sample {
-                    workload,
-                    size: n,
-                    engine: "seed",
-                    threads: 1,
-                    mean_ns,
-                    iters,
-                    assignments: baseline.len(),
-                });
-                baseline
-            };
-            for &t in &threads {
-                let opts = EvalOptions {
-                    threads: Some(t),
-                    ..EvalOptions::default()
-                };
-                let res = all_assignments(&q, &db, &Assignment::new(), opts);
-                assert_eq!(
-                    res.assignments, expected,
-                    "engines disagree on {workload} at n={n}, threads={t}"
-                );
-                let (mean_ns, iters) = measure(|| {
-                    all_assignments(&q, &db, &Assignment::new(), opts)
-                        .assignments
-                        .len()
-                });
-                samples.push(Sample {
-                    workload,
-                    size: n,
-                    engine: "current",
-                    threads: t,
-                    mean_ns,
-                    iters,
-                    assignments: expected.len(),
-                });
-            }
-        }
-    }
-    samples
-}
-
-fn write_json(samples: &[Sample]) {
-    let host_parallelism = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"eval_scaling\",\n");
-    out.push_str(
-        "  \"workloads\": {\n    \"selective\": \"Q(x) :- A(x, g), B(g, x); groups of 200, one survivor per probe\",\n    \"dense\": \"Q(x, y) :- A(x, g), B(y, g); groups of 10, every candidate survives\"\n  },\n",
-    );
-    out.push_str(&format!(
-        "  \"host_parallelism\": {host_parallelism},\n  \"note\": \"threads > host_parallelism measure determinism-preserving overhead, not speedup\",\n"
-    ));
-    out.push_str("  \"results\": [\n");
-    for (i, s) in samples.iter().enumerate() {
-        let sep = if i + 1 == samples.len() { "" } else { "," };
-        out.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"size\": {}, \"engine\": \"{}\", \"threads\": {}, \"mean_ns\": {:.0}, \"iters\": {}, \"assignments\": {}}}{sep}\n",
-            s.workload, s.size, s.engine, s.threads, s.mean_ns, s.iters, s.assignments
-        ));
-    }
-    out.push_str("  ],\n  \"speedup_vs_seed_single_thread\": {\n");
-    let keys: Vec<(&'static str, usize)> = {
-        let mut v: Vec<(&'static str, usize)> =
-            samples.iter().map(|s| (s.workload, s.size)).collect();
-        v.sort_unstable();
-        v.dedup();
-        v
-    };
-    for (i, &(w, n)) in keys.iter().enumerate() {
-        let seed = samples
-            .iter()
-            .find(|s| s.workload == w && s.size == n && s.engine == "seed")
-            .expect("seed sample");
-        let cur = samples
-            .iter()
-            .find(|s| s.workload == w && s.size == n && s.engine == "current" && s.threads == 1)
-            .expect("current t=1 sample");
-        let sep = if i + 1 == keys.len() { "" } else { "," };
-        out.push_str(&format!(
-            "    \"{w}/{n}\": {:.2}{sep}\n",
-            seed.mean_ns / cur.mean_ns
-        ));
-    }
-    out.push_str("  }\n}\n");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json");
-    std::fs::write(path, &out).expect("write BENCH_eval.json");
-    println!("wrote {path}");
-}
-
 fn main() {
     let mut c = Criterion::default();
     bench_answer_sets(&mut c);
     bench_witnesses(&mut c);
-    let samples = scaling_sweep();
+    let samples = scaling_sweep(&SweepConfig::full());
     for s in &samples {
         println!(
             "eval_scaling/{}/n={}/{}{}  {:>12.0} ns/iter  ({} iters, {} assignments)",
@@ -248,5 +61,7 @@ fn main() {
             s.assignments
         );
     }
-    write_json(&samples);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json");
+    std::fs::write(path, render_json(&samples)).expect("write BENCH_eval.json");
+    println!("wrote {path}");
 }

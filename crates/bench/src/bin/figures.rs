@@ -7,6 +7,13 @@
 //!
 //! Targets: fig3a fig3b fig3c fig3d fig3e fig3f fig4 dbgroup
 //!          ablation-hs ablation-umhs ablation-heur sweep-clean phases all
+//!
+//! `--telemetry <path>` (or the `QOCO_TELEMETRY` environment variable)
+//! streams a JSON-lines telemetry export of the whole run — every figure's
+//! cleaning sessions, spans and the final metrics snapshot — so slow
+//! figure regenerations can be profiled offline.
+
+use std::sync::Arc;
 
 use qoco_bench::{
     ablation_composite, ablation_heuristics, ablation_hitting_set, ablation_umhs, dbgroup_case,
@@ -26,6 +33,31 @@ fn main() {
         out_dir = Some(std::path::PathBuf::from(args.remove(pos + 1)));
         args.remove(pos);
     }
+    // --telemetry <path> (flag wins over the QOCO_TELEMETRY env variable)
+    let mut telemetry_path: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--telemetry") {
+        if pos + 1 >= args.len() {
+            eprintln!("--telemetry needs a file argument");
+            std::process::exit(2);
+        }
+        telemetry_path = Some(args.remove(pos + 1));
+        args.remove(pos);
+    }
+    if telemetry_path.is_none() {
+        telemetry_path = std::env::var("QOCO_TELEMETRY")
+            .ok()
+            .filter(|p| !p.is_empty());
+    }
+    let telemetry = telemetry_path.map(|path| {
+        let collector = Arc::new(
+            qoco_telemetry::JsonlCollector::create(&path).unwrap_or_else(|e| {
+                eprintln!("cannot create telemetry export {path}: {e}");
+                std::process::exit(2);
+            }),
+        );
+        eprintln!("streaming telemetry to {path}");
+        (qoco_telemetry::session(collector.clone()), collector)
+    });
     let targets: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "fig3a",
@@ -81,5 +113,10 @@ fn main() {
             let path = dir.join(format!("{target}.tsv"));
             std::fs::write(&path, table.to_tsv()).expect("write TSV table");
         }
+    }
+
+    if let Some((_guard, collector)) = &telemetry {
+        collector.write_metrics(&qoco_telemetry::metrics().snapshot());
+        collector.flush();
     }
 }

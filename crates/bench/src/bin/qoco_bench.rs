@@ -1,0 +1,198 @@
+//! `qoco-bench` — operational entry points for the bench harness.
+//!
+//! Subcommands:
+//!
+//! * `regressions` — re-run the eval scaling sweep and gate it against the
+//!   committed `BENCH_eval.json` baseline (exit 1 on any regressed cell).
+//!   `--quick` measures the CI-sized subset; `--check` suppresses all file
+//!   writes; otherwise a summary line is appended to
+//!   `BENCH_trajectory.jsonl`. `--inject-slowdown CELL=FACTOR` multiplies
+//!   one measured cell after the fact — CI uses it to prove the gate trips.
+//! * `validate-trace FILE` — structurally validate an exported Chrome
+//!   trace (array or object form), requiring `--min-tracks N` distinct
+//!   thread tracks (default 2) and any `--require-span NAME` spans.
+
+use std::process::ExitCode;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use qoco_bench::regressions::{compare, load_baseline, DEFAULT_THRESHOLD};
+use qoco_bench::scaling::{scaling_sweep, SweepConfig};
+use qoco_bench::trace_check::validate_trace;
+
+fn repo_path(file: &str) -> String {
+    format!("{}/../../{file}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: qoco-bench regressions [--quick] [--check] [--threshold X] \
+         [--baseline FILE] [--inject-slowdown workload/size/engine/threads=FACTOR]\n       \
+         qoco-bench validate-trace FILE [--min-tracks N] [--require-span NAME]..."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("regressions") => run_regressions(&args[1..]),
+        Some("validate-trace") => run_validate_trace(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn run_regressions(args: &[String]) -> ExitCode {
+    let mut quick = false;
+    let mut check = false;
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut baseline_path = repo_path("BENCH_eval.json");
+    let mut injections: Vec<(String, f64)> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--check" => check = true,
+            "--threshold" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => threshold = v,
+                None => return usage(),
+            },
+            "--baseline" => match it.next() {
+                Some(v) => baseline_path = v.clone(),
+                None => return usage(),
+            },
+            "--inject-slowdown" => {
+                let Some((cell, factor)) = it
+                    .next()
+                    .and_then(|v| v.split_once('='))
+                    .and_then(|(c, f)| f.parse::<f64>().ok().map(|f| (c.to_string(), f)))
+                else {
+                    return usage();
+                };
+                injections.push((cell, factor));
+            }
+            _ => return usage(),
+        }
+    }
+
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read baseline {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match load_baseline(&baseline_text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let config = if quick {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::full()
+    };
+    let mode = if quick { "quick" } else { "full" };
+    eprintln!(
+        "measuring {mode} sweep ({} sizes × {} thread counts, 2 workloads)…",
+        config.sizes.len(),
+        config.threads.len()
+    );
+    let mut samples = scaling_sweep(&config);
+    for (cell, factor) in &injections {
+        let Some(s) = samples.iter_mut().find(|s| s.key() == *cell) else {
+            eprintln!("error: --inject-slowdown cell {cell} was not measured in this sweep");
+            return ExitCode::FAILURE;
+        };
+        eprintln!("injecting ×{factor} slowdown into {cell}");
+        s.mean_ns *= factor;
+    }
+
+    let report = compare(&samples, &baseline, threshold);
+    print!("{}", report.render());
+
+    if !check {
+        let at_epoch_s = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let line = report.trajectory_line(at_epoch_s, mode);
+        let path = repo_path("BENCH_trajectory.jsonl");
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| {
+                use std::io::Write;
+                writeln!(f, "{line}")
+            });
+        match appended {
+            Ok(()) => eprintln!("appended trajectory entry to {path}"),
+            Err(e) => eprintln!("warning: could not append to {path}: {e}"),
+        }
+    }
+
+    if report.pass() {
+        println!(
+            "regression gate: PASS ({} cells compared)",
+            report.cells.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "regression gate: FAIL ({} of {} cells regressed)",
+            report.cells.iter().filter(|c| c.regressed).count(),
+            report.cells.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn run_validate_trace(args: &[String]) -> ExitCode {
+    let mut file = None;
+    let mut min_tracks = 2usize;
+    let mut require_spans = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--min-tracks" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => min_tracks = v,
+                None => return usage(),
+            },
+            "--require-span" => match it.next() {
+                Some(v) => require_spans.push(v.clone()),
+                None => return usage(),
+            },
+            _ if file.is_none() && !arg.starts_with('-') => file = Some(arg.clone()),
+            _ => return usage(),
+        }
+    }
+    let Some(file) = file else { return usage() };
+
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate_trace(&text, min_tracks, &require_spans) {
+        Ok(summary) => {
+            println!(
+                "{file}: valid Chrome trace — {} complete events on {} thread tracks, {} span names",
+                summary.complete_events,
+                summary.thread_tracks,
+                summary.span_names.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{file}: INVALID — {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

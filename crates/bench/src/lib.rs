@@ -11,8 +11,12 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
+pub mod regressions;
+pub mod scaling;
 pub mod seed_eval;
 pub mod table;
+pub mod trace_check;
 
 pub use experiments::*;
 pub use table::Table;

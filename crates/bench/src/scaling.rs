@@ -1,0 +1,272 @@
+//! The size × thread-count eval scaling sweep.
+//!
+//! Shared by `cargo bench --bench eval` (which writes `BENCH_eval.json` at
+//! the repository root) and by the `qoco-bench regressions` gate (which
+//! re-runs the sweep and compares it against that committed baseline). Both
+//! must measure the exact same cells the same way, which is why the
+//! workloads, the adaptive measurement loop, and the JSON rendering live
+//! here rather than in the bench binary.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use qoco_data::{tup, Database, Schema};
+use qoco_engine::{all_assignments, Assignment, EvalOptions};
+use qoco_query::{parse_query, ConjunctiveQuery};
+
+use crate::seed_eval::SeedEval;
+
+/// One measured cell of the sweep.
+pub struct Sample {
+    /// Workload name (`"selective"` or `"dense"`).
+    pub workload: &'static str,
+    /// Tuples per relation.
+    pub size: usize,
+    /// `"seed"` (preserved PR 2 baseline algorithm) or `"current"`.
+    pub engine: &'static str,
+    /// Thread count the engine was asked for (always 1 for seed).
+    pub threads: usize,
+    /// Mean wall-clock nanoseconds per evaluation.
+    pub mean_ns: f64,
+    /// Iterations the adaptive loop settled on.
+    pub iters: usize,
+    /// Valid assignments the evaluation produced (sanity anchor).
+    pub assignments: usize,
+}
+
+impl Sample {
+    /// `workload/size/engine/threads` — the cell's identity, used to match
+    /// measurements against baseline entries.
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}/{}/{}",
+            self.workload, self.size, self.engine, self.threads
+        )
+    }
+}
+
+/// Which cells to measure and how long to measure each.
+pub struct SweepConfig {
+    /// Tuples per relation, per cell.
+    pub sizes: Vec<usize>,
+    /// Thread counts for the current engine.
+    pub threads: Vec<usize>,
+    /// Measurement budget per cell (the adaptive loop stops once this much
+    /// measured time has accumulated).
+    pub budget_ns: u128,
+}
+
+impl SweepConfig {
+    /// The full grid `cargo bench --bench eval` runs: sizes 1k/4k/16k,
+    /// threads 1/2/4/8, 300 ms per cell.
+    pub fn full() -> Self {
+        SweepConfig {
+            sizes: vec![1_000, 4_000, 16_000],
+            threads: vec![1, 2, 4, 8],
+            budget_ns: 300_000_000,
+        }
+    }
+
+    /// The CI-sized subset the regression gate runs with `--quick`:
+    /// size 1k, threads 1/2, 60 ms per cell.
+    pub fn quick() -> Self {
+        SweepConfig {
+            sizes: vec![1_000],
+            threads: vec![1, 2],
+            budget_ns: 60_000_000,
+        }
+    }
+}
+
+/// The *dense* workload: `n` tuples per relation, `n / 10` join groups of
+/// 10 tuples each, so `Q(x, y) :- A(x, g), B(y, g)` has `10 n` valid
+/// assignments. Output-bound: every candidate survives, so this measures
+/// shared enumeration costs, not index layout.
+pub fn dense_workload(n: usize) -> (Database, ConjunctiveQuery) {
+    let schema = Schema::builder()
+        .relation("A", &["x", "g"])
+        .relation("B", &["y", "g"])
+        .build()
+        .unwrap();
+    let mut db = Database::empty(schema.clone());
+    let groups = (n / 10).max(1);
+    for i in 0..n {
+        db.insert_named("A", tup![format!("a{i:06}"), format!("g{:06}", i % groups)])
+            .unwrap();
+        db.insert_named("B", tup![format!("b{i:06}"), format!("g{:06}", i % groups)])
+            .unwrap();
+    }
+    let q = parse_query(&schema, "Q(x, y) :- A(x, g), B(y, g).").unwrap();
+    (db, q)
+}
+
+/// The *selective* workload: `B` mirrors `A` with columns flipped, in join
+/// groups of 200. `Q(x) :- A(x, g), B(g, x)` probes `B` on the
+/// low-selectivity group column (the first ground column), so every descend
+/// walks a 200-tuple posting list of which exactly one candidate survives
+/// the bound-`x` check. Probe-bound: this is where the seed's per-descend
+/// `to_vec()` + sort + clone-then-check is paid 200× per survivor.
+pub fn selective_workload(n: usize) -> (Database, ConjunctiveQuery) {
+    let schema = Schema::builder()
+        .relation("A", &["x", "g"])
+        .relation("B", &["g", "x"])
+        .build()
+        .unwrap();
+    let mut db = Database::empty(schema.clone());
+    let groups = (n / 200).max(1);
+    for i in 0..n {
+        let x = format!("a{i:06}");
+        let g = format!("g{:06}", i % groups);
+        db.insert_named("A", tup![x.clone(), g.clone()]).unwrap();
+        db.insert_named("B", tup![g, x]).unwrap();
+    }
+    let q = parse_query(&schema, "Q(x) :- A(x, g), B(g, x).").unwrap();
+    (db, q)
+}
+
+/// Wall-clock mean over an adaptively chosen iteration count: at least 3
+/// iterations, stopping once `budget_ns` of measurement have accumulated
+/// (capped at 50 iterations).
+pub fn measure(budget_ns: u128, mut f: impl FnMut() -> usize) -> (f64, usize) {
+    f(); // warm-up (also builds lazy indexes)
+    let mut total_ns: u128 = 0;
+    let mut iters = 0usize;
+    while iters < 3 || (total_ns < budget_ns && iters < 50) {
+        let start = Instant::now();
+        black_box(f());
+        total_ns += start.elapsed().as_nanos();
+        iters += 1;
+    }
+    (total_ns as f64 / iters as f64, iters)
+}
+
+type WorkloadFn = fn(usize) -> (Database, ConjunctiveQuery);
+
+/// Run the sweep: for every workload × size, measure the seed engine once
+/// (single-threaded — its algorithm predates the parallel path) and the
+/// current engine at every configured thread count, asserting both produce
+/// identical assignments.
+pub fn scaling_sweep(config: &SweepConfig) -> Vec<Sample> {
+    let workloads: [(&'static str, WorkloadFn); 2] =
+        [("selective", selective_workload), ("dense", dense_workload)];
+    let mut samples = Vec::new();
+    for (workload, build) in workloads {
+        for &n in &config.sizes {
+            let (db, q) = build(n);
+            let expected = {
+                let mut seed = SeedEval::new(&db);
+                let baseline = seed.all_assignments(&q);
+                let (mean_ns, iters) = {
+                    let mut seed = SeedEval::new(&db);
+                    measure(config.budget_ns, || seed.all_assignments(&q).len())
+                };
+                samples.push(Sample {
+                    workload,
+                    size: n,
+                    engine: "seed",
+                    threads: 1,
+                    mean_ns,
+                    iters,
+                    assignments: baseline.len(),
+                });
+                baseline
+            };
+            for &t in &config.threads {
+                let opts = EvalOptions {
+                    threads: Some(t),
+                    ..EvalOptions::default()
+                };
+                let res = all_assignments(&q, &db, &Assignment::new(), opts);
+                assert_eq!(
+                    res.assignments, expected,
+                    "engines disagree on {workload} at n={n}, threads={t}"
+                );
+                let (mean_ns, iters) = measure(config.budget_ns, || {
+                    all_assignments(&q, &db, &Assignment::new(), opts)
+                        .assignments
+                        .len()
+                });
+                samples.push(Sample {
+                    workload,
+                    size: n,
+                    engine: "current",
+                    threads: t,
+                    mean_ns,
+                    iters,
+                    assignments: expected.len(),
+                });
+            }
+        }
+    }
+    samples
+}
+
+/// Render the sweep in the `BENCH_eval.json` document format.
+pub fn render_json(samples: &[Sample]) -> String {
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"eval_scaling\",\n");
+    out.push_str(
+        "  \"workloads\": {\n    \"selective\": \"Q(x) :- A(x, g), B(g, x); groups of 200, one survivor per probe\",\n    \"dense\": \"Q(x, y) :- A(x, g), B(y, g); groups of 10, every candidate survives\"\n  },\n",
+    );
+    out.push_str(&format!(
+        "  \"host_parallelism\": {host_parallelism},\n  \"note\": \"threads > host_parallelism measure determinism-preserving overhead, not speedup\",\n"
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let sep = if i + 1 == samples.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"size\": {}, \"engine\": \"{}\", \"threads\": {}, \"mean_ns\": {:.0}, \"iters\": {}, \"assignments\": {}}}{sep}\n",
+            s.workload, s.size, s.engine, s.threads, s.mean_ns, s.iters, s.assignments
+        ));
+    }
+    out.push_str("  ],\n  \"speedup_vs_seed_single_thread\": {\n");
+    let keys: Vec<(&'static str, usize)> = {
+        let mut v: Vec<(&'static str, usize)> =
+            samples.iter().map(|s| (s.workload, s.size)).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    for (i, &(w, n)) in keys.iter().enumerate() {
+        let seed = samples
+            .iter()
+            .find(|s| s.workload == w && s.size == n && s.engine == "seed")
+            .expect("seed sample");
+        let cur = samples
+            .iter()
+            .find(|s| s.workload == w && s.size == n && s.engine == "current" && s.threads == 1)
+            .expect("current t=1 sample");
+        let sep = if i + 1 == keys.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    \"{w}/{n}\": {:.2}{sep}\n",
+            seed.mean_ns / cur.mean_ns
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_covers_both_workloads_and_renders() {
+        let config = SweepConfig {
+            sizes: vec![200],
+            threads: vec![1],
+            budget_ns: 1_000_000,
+        };
+        let samples = scaling_sweep(&config);
+        // 2 workloads × (1 seed + 1 current)
+        assert_eq!(samples.len(), 4);
+        assert!(samples.iter().all(|s| s.mean_ns > 0.0));
+        assert_eq!(samples[0].key(), "selective/200/seed/1");
+        let json = render_json(&samples);
+        assert!(json.contains("\"bench\": \"eval_scaling\""));
+        assert!(json.contains("\"speedup_vs_seed_single_thread\""));
+    }
+}

@@ -1,0 +1,99 @@
+//! The enabled-telemetry overhead budget.
+//!
+//! DESIGN.md §9 documents the budget: telemetry must cost **zero when
+//! disabled** (covered by `telemetry_noop_guard`) and **under 5% of
+//! end-to-end evaluation wall clock when enabled**. This test enforces the
+//! enabled half against a real workload. The assertion threshold is looser
+//! than the documented budget (1.20× vs 1.05×) because tier-1 tests run on
+//! loaded, single-core CI machines under debug builds, where run-to-run
+//! noise alone exceeds 5%; a telemetry path that regressed to per-span
+//! locking or allocation storms shows up as 2–10×, which this still
+//! catches. Min-of-N with interleaved measurement order keeps a one-off
+//! scheduler stall on either side from deciding the verdict.
+//!
+//! Lives in its own integration-test binary: sessions are process-global.
+
+use std::hint::black_box;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use qoco_bench::scaling::dense_workload;
+use qoco_engine::{all_assignments, Assignment, EvalOptions};
+use qoco_telemetry::InMemoryCollector;
+
+const ROUNDS: usize = 7;
+const NOISE_HEADROOM: f64 = 1.20;
+
+/// Serializes the two tests: the budget test measures with telemetry
+/// *disabled* part of the time, which the sibling test's session would
+/// corrupt (the telemetry session lock only serializes sessions).
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn eval_once(db: &qoco_data::Database, q: &qoco_query::ConjunctiveQuery) -> usize {
+    all_assignments(q, db, &Assignment::new(), EvalOptions::default())
+        .assignments
+        .len()
+}
+
+fn time_ns(mut f: impl FnMut() -> usize) -> u64 {
+    let start = Instant::now();
+    black_box(f());
+    start.elapsed().as_nanos() as u64
+}
+
+#[test]
+fn enabled_telemetry_stays_within_the_documented_overhead_budget() {
+    let _serial = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let (db, q) = dense_workload(500);
+    // warm lazy indexes and page in both paths before any measurement
+    assert!(eval_once(&db, &q) > 0);
+
+    let mut disabled_min = u64::MAX;
+    let mut enabled_min = u64::MAX;
+    for _ in 0..ROUNDS {
+        assert!(
+            !qoco_telemetry::enabled(),
+            "no session may be active in this binary"
+        );
+        disabled_min = disabled_min.min(time_ns(|| eval_once(&db, &q)));
+
+        let collector = Arc::new(InMemoryCollector::new());
+        let session = qoco_telemetry::session(collector);
+        enabled_min = enabled_min.min(time_ns(|| eval_once(&db, &q)));
+        drop(session);
+    }
+
+    let ratio = enabled_min as f64 / disabled_min as f64;
+    assert!(
+        ratio < NOISE_HEADROOM,
+        "enabled telemetry costs {ratio:.2}× over disabled \
+         (min-of-{ROUNDS}: {enabled_min}ns vs {disabled_min}ns) — \
+         the documented budget is <5%; something expensive is on the enabled path"
+    );
+}
+
+#[test]
+fn per_span_enabled_cost_is_bounded() {
+    // The enabled per-span cost is one atomic id, a thread-local stack
+    // push/pop, two clock reads and one collector call. Budget: 4µs/op
+    // average even on a loaded debug-build CI machine (release is ~100×
+    // under this); a mutex-contended or allocating hot path blows through.
+    const OPS: u64 = 100_000;
+    let _serial = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let collector = Arc::new(InMemoryCollector::new());
+    let session = qoco_telemetry::session(collector.clone());
+    let start = Instant::now();
+    for i in 0..OPS {
+        let span = qoco_telemetry::span(black_box("budget.op"));
+        qoco_telemetry::counter_add("budget.ops", black_box(i) & 1);
+        span.finish();
+    }
+    let elapsed = start.elapsed();
+    drop(session);
+    assert_eq!(collector.spans().len(), OPS as usize);
+    let per_op_ns = elapsed.as_nanos() as f64 / OPS as f64;
+    assert!(
+        per_op_ns < 4_000.0,
+        "enabled span+counter op costs {per_op_ns:.0}ns on average (budget 4000ns)"
+    );
+}

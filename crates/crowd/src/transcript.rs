@@ -162,6 +162,7 @@ impl<C: CrowdAccess> RecordingCrowd<C> {
             .zip(&self.timestamps)
             .map(|(e, &at_ns)| qoco_telemetry::TimelineEvent {
                 at_ns,
+                span: None,
                 label: e.label().to_string(),
                 detail: e.to_string(),
             })

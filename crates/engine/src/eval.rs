@@ -113,22 +113,24 @@ impl Budget<'_> {
 }
 
 /// The candidate list for `order[depth]` under `current`: the posting list
-/// of the first bound column, else the full (sorted) live-id list.
+/// of the first bound column, else the full (sorted) live-id list. The
+/// final `bool` reports whether an index probe was issued (false on the
+/// full-scan fallback), so callers can charge probe hits to their span.
 fn candidates_for<'d>(
     q: &ConjunctiveQuery,
     db: &'d Database,
     order: &[usize],
     depth: usize,
     current: &Assignment,
-) -> (&'d Relation, &'d [TupleId]) {
+) -> (&'d Relation, &'d [TupleId], bool) {
     let atom = &q.atoms()[order[depth]];
     let rel = db.relation(atom.rel);
     for (col, term) in atom.terms.iter().enumerate() {
         if let Some(v) = current.ground_term(term) {
-            return (rel, rel.probe(col, &v));
+            return (rel, rel.probe(col, &v), true);
         }
     }
-    (rel, rel.sorted_ids())
+    (rel, rel.sorted_ids(), false)
 }
 
 struct Search<'a> {
@@ -142,6 +144,10 @@ struct Search<'a> {
     /// Candidate tuples examined across the whole search; flushed to the
     /// `eval.assignments_tried` counter by the public entry points.
     tried: u64,
+    /// Index probes issued across the whole search; recorded as a
+    /// `probes=` span field so the phase-attribution report can show where
+    /// probe work happens.
+    probes: u64,
     /// Present only on parallel branches with a finite `max_assignments`.
     budget: Option<Budget<'a>>,
 }
@@ -164,6 +170,7 @@ impl<'a> Search<'a> {
             out: Vec::new(),
             truncated: false,
             tried: 0,
+            probes: 0,
             budget,
         }
     }
@@ -217,7 +224,8 @@ impl<'a> Search<'a> {
             self.finalize(current);
             return;
         }
-        let (rel, cands) = candidates_for(self.q, self.db, self.order, depth, &current);
+        let (rel, cands, probed) = candidates_for(self.q, self.db, self.order, depth, &current);
+        self.probes += probed as u64;
         for &tid in cands {
             if self.should_stop() {
                 return;
@@ -294,7 +302,7 @@ impl<'a> Search<'a> {
 
 /// Run the search over `seed`, fanning the top-level candidate loop out
 /// across threads when worthwhile. Returns `(assignments, truncated,
-/// tried)` with assignments in sequential discovery order.
+/// tried, probes)` with assignments in sequential discovery order.
 fn run_search(
     q: &ConjunctiveQuery,
     db: &Database,
@@ -302,20 +310,22 @@ fn run_search(
     seed: &Assignment,
     opts: EvalOptions,
     early_exit: bool,
-) -> (Vec<Assignment>, bool, u64) {
+) -> (Vec<Assignment>, bool, u64, u64) {
     let threads = opts
         .threads
         .unwrap_or_else(rayon::current_num_threads)
         .max(1);
     if !order.is_empty() && threads > 1 && !early_exit {
-        let (rel, cands) = candidates_for(q, db, order, 0, seed);
+        let (rel, cands, root_probed) = candidates_for(q, db, order, 0, seed);
         if cands.len() >= PAR_MIN_CANDIDATES.max(threads) {
-            return run_parallel(q, db, order, seed, opts, threads, rel, cands);
+            let (out, truncated, tried, probes) =
+                run_parallel(q, db, order, seed, opts, threads, rel, cands);
+            return (out, truncated, tried, probes + root_probed as u64);
         }
     }
     let mut s = Search::new(q, db, order, opts, early_exit, None);
     s.descend(0, seed.clone());
-    (s.out, s.truncated, s.tried)
+    (s.out, s.truncated, s.tried, s.probes)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -328,7 +338,7 @@ fn run_parallel(
     threads: usize,
     rel: &Relation,
     cands: &[TupleId],
-) -> (Vec<Assignment>, bool, u64) {
+) -> (Vec<Assignment>, bool, u64, u64) {
     // Warm every index the workers could touch so they don't race to
     // build (and then discard duplicate copies of) the same OnceLock cells.
     for atom in q.atoms() {
@@ -338,11 +348,18 @@ fn run_parallel(
     let n_chunks = cands.len().div_ceil(chunk_size);
     let found: Vec<AtomicUsize> = (0..n_chunks).map(|_| AtomicUsize::new(0)).collect();
     let limited = opts.max_assignments != usize::MAX;
+    // Chunk spans land on the worker threads' own trace tracks; the
+    // explicit parent keeps them linked to the evaluation span opened on
+    // this (coordinating) thread.
+    let parent_span = qoco_telemetry::current_span_id();
 
-    let results: Vec<(Vec<Assignment>, bool, u64)> = cands
+    let results: Vec<(Vec<Assignment>, bool, u64, u64)> = cands
         .par_chunks(chunk_size)
         .enumerate()
         .map(|(ci, chunk)| {
+            let mut chunk_span = qoco_telemetry::span_child_of("eval.par_chunk", parent_span);
+            chunk_span.record("chunk", ci);
+            chunk_span.record("candidates", chunk.len());
             let budget = limited.then(|| Budget {
                 chunk: ci,
                 found: &found,
@@ -355,23 +372,27 @@ fn run_parallel(
                 }
                 s.expand(0, rel, seed, tid);
             }
-            (s.out, s.truncated, s.tried)
+            chunk_span.record("valid", s.out.len());
+            chunk_span.record("probes", s.probes);
+            (s.out, s.truncated, s.tried, s.probes)
         })
         .collect();
 
     let mut merged = Vec::new();
     let mut truncated = false;
     let mut tried = 0u64;
-    for (out, branch_truncated, branch_tried) in results {
+    let mut probes = 0u64;
+    for (out, branch_truncated, branch_tried, branch_probes) in results {
         merged.extend(out);
         truncated |= branch_truncated;
         tried += branch_tried;
+        probes += branch_probes;
     }
     if merged.len() > opts.max_assignments {
         merged.truncate(opts.max_assignments);
         truncated = true;
     }
-    (merged, truncated, tried)
+    (merged, truncated, tried, probes)
 }
 
 /// Enumerate all valid assignments of `q` over `db` extending `seed`
@@ -384,11 +405,13 @@ pub fn all_assignments(
 ) -> EvalResult {
     let span = qoco_telemetry::span("eval.assignments").field("atoms", q.atoms().len());
     let order = Search::plan(q, db, seed);
-    let (mut assignments, truncated, tried) = run_search(q, db, &order, seed, opts, false);
+    let (mut assignments, truncated, tried, probes) = run_search(q, db, &order, seed, opts, false);
     qoco_telemetry::counter_add("eval.assignments_tried", tried);
     assignments.sort();
     assignments.dedup();
-    span.field("valid", assignments.len()).finish();
+    span.field("valid", assignments.len())
+        .field("probes", probes)
+        .finish();
     EvalResult {
         assignments,
         truncated,

@@ -1,0 +1,107 @@
+//! Telemetry correctness under the parallel eval path.
+//!
+//! These live in their own integration-test binary: a telemetry session is
+//! process-global, and unit tests running concurrently in another binary
+//! would bleed counter increments into an active session.
+
+use std::sync::Arc;
+
+use qoco_data::{tup, Database, Schema};
+use qoco_engine::{all_assignments, Assignment, EvalOptions};
+use qoco_query::{parse_query, ConjunctiveQuery};
+use qoco_telemetry::InMemoryCollector;
+
+/// A join whose top-level candidate list clears the engine's parallel
+/// threshold, so `threads > 1` actually fans out.
+fn wide_workload() -> (Database, ConjunctiveQuery) {
+    let s = Schema::builder()
+        .relation("A", &["a", "g"])
+        .relation("B", &["b", "g"])
+        .build()
+        .unwrap();
+    let mut db = Database::empty(s.clone());
+    for i in 0..60i64 {
+        db.insert_named("A", tup![i, i % 3]).unwrap();
+        db.insert_named("B", tup![i, i % 3]).unwrap();
+    }
+    let q = parse_query(&s, "(x, y) :- A(x, g), B(y, g)").unwrap();
+    (db, q)
+}
+
+fn opts(threads: usize) -> EvalOptions {
+    EvalOptions {
+        threads: Some(threads),
+        ..EvalOptions::default()
+    }
+}
+
+/// Run the workload under a fresh session, returning (assignments_tried,
+/// answer count, recorded spans).
+fn run_session(threads: usize) -> (u64, usize, Vec<qoco_telemetry::SpanRecord>) {
+    let (db, q) = wide_workload();
+    let collector = Arc::new(InMemoryCollector::new());
+    let session = qoco_telemetry::session(collector.clone());
+    let result = all_assignments(&q, &db, &Assignment::new(), opts(threads));
+    let tried = qoco_telemetry::metrics()
+        .snapshot()
+        .counter("eval.assignments_tried");
+    drop(session);
+    (tried, result.assignments.len(), collector.spans())
+}
+
+#[test]
+fn no_counter_increments_lost_with_eight_parallel_workers() {
+    let (tried_seq, n_seq, _) = run_session(1);
+    let (tried_par, n_par, _) = run_session(8);
+    assert_eq!(n_seq, n_par, "parallel eval changed the answer set");
+    assert!(tried_seq > 0, "workload exercised the counter");
+    // Every worker's `tried` tally is merged and added exactly once; a racy
+    // accumulation would drop increments at threads=8.
+    assert_eq!(
+        tried_par, tried_seq,
+        "assignments_tried diverged between threads=1 and threads=8"
+    );
+}
+
+#[test]
+fn parallel_chunks_land_on_distinct_tracks_under_the_eval_span() {
+    let (_, _, spans) = run_session(4);
+    let eval = spans
+        .iter()
+        .find(|s| s.name == "eval.assignments")
+        .expect("eval.assignments span recorded");
+    let chunks: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name == "eval.par_chunk")
+        .collect();
+    assert!(
+        chunks.len() >= 2,
+        "expected a fan-out, got {} chunk spans",
+        chunks.len()
+    );
+    let mut threads: Vec<u64> = chunks.iter().map(|c| c.thread).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    assert!(
+        threads.len() >= 2,
+        "chunk spans all landed on one thread track: {threads:?}"
+    );
+    for c in &chunks {
+        assert_eq!(c.parent, Some(eval.id), "chunk linked to the eval span");
+        assert!(c.field("candidates").is_some());
+        assert!(c.field("valid").is_some());
+        let probes: u64 = c.field("probes").and_then(|v| v.parse().ok()).unwrap();
+        assert!(probes > 0, "each chunk issues index probes on the join");
+    }
+    // the eval span carries the session-wide probe tally for attribution
+    let eval_probes: u64 = eval.field("probes").and_then(|v| v.parse().ok()).unwrap();
+    let chunk_probes: u64 = chunks
+        .iter()
+        .map(|c| {
+            c.field("probes")
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap()
+        })
+        .sum();
+    assert!(eval_probes >= chunk_probes, "parent tally includes chunks");
+}

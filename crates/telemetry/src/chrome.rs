@@ -1,0 +1,172 @@
+//! Chrome trace-event exporter.
+//!
+//! Serializes collected [`SpanRecord`]s and [`EventRecord`]s into the
+//! [Chrome trace-event format], the JSON dialect understood by
+//! `chrome://tracing` and [Perfetto] (ui.perfetto.dev → "Open trace
+//! file"). Spans become `"ph":"X"` complete events and point events become
+//! `"ph":"i"` instants; each telemetry thread ordinal (see
+//! [`crate::thread_ordinal`]) maps to its own track, so the parallel eval
+//! path's fan-out across rayon-shim worker threads is visible as stacked
+//! per-worker lanes under the coordinator's track.
+//!
+//! The output uses the *object* form (`{"traceEvents":[…]}`), which both
+//! viewers accept and which leaves room for top-level metadata. Timestamps
+//! are microseconds (the format's unit) with nanosecond precision kept in
+//! the fractional part.
+//!
+//! [Chrome trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//! [Perfetto]: https://perfetto.dev
+
+use std::collections::BTreeSet;
+
+use crate::json::push_json_str;
+use crate::span::{EventRecord, SpanRecord};
+
+/// Microseconds with the sub-µs remainder preserved (trace-event `ts`/`dur`
+/// are µs doubles).
+fn push_us(out: &mut String, ns: u64) {
+    out.push_str(&format!("{}.{:03}", ns / 1_000, ns % 1_000));
+}
+
+fn push_common(out: &mut String, name: &str, ph: char, tid: u64, ts_ns: u64) {
+    out.push_str("{\"name\":");
+    push_json_str(out, name);
+    out.push_str(&format!(
+        ",\"cat\":\"qoco\",\"ph\":\"{ph}\",\"pid\":1,\"tid\":{tid},\"ts\":"
+    ));
+    push_us(out, ts_ns);
+}
+
+/// Render `spans` and `events` as one Chrome trace-event JSON document
+/// (object form). Includes `thread_name` metadata so viewers label each
+/// track: the track hosting only `eval.par_chunk` spans is an eval worker,
+/// everything else is a generic qoco thread.
+pub fn chrome_trace_json(spans: &[SpanRecord], events: &[EventRecord]) -> String {
+    let mut out = String::with_capacity(256 + 160 * (spans.len() + events.len()));
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('\n');
+    };
+
+    // One process_name + one thread_name metadata record per track.
+    sep(&mut out);
+    out.push_str("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"qoco\"}}");
+    let tids: BTreeSet<u64> = spans
+        .iter()
+        .map(|s| s.thread)
+        .chain(events.iter().map(|e| e.thread))
+        .collect();
+    for &tid in &tids {
+        let mut names = spans.iter().filter(|s| s.thread == tid).map(|s| s.name);
+        let worker = names.clone().next().is_some() && names.all(|n| n == "eval.par_chunk");
+        let label = if worker {
+            format!("eval worker {tid}")
+        } else {
+            format!("thread {tid}")
+        };
+        sep(&mut out);
+        out.push_str(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":"
+        ));
+        push_json_str(&mut out, &label);
+        out.push_str(&format!("}}}},\n{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"sort_index\":{tid}}}}}"));
+    }
+
+    for s in spans {
+        sep(&mut out);
+        push_common(&mut out, s.name, 'X', s.thread, s.start_ns);
+        out.push_str(",\"dur\":");
+        push_us(&mut out, s.duration_ns);
+        out.push_str(&format!(",\"args\":{{\"span_id\":\"{}\"", s.id));
+        if let Some(p) = s.parent {
+            out.push_str(&format!(",\"parent\":\"{p}\""));
+        }
+        for (k, v) in &s.fields {
+            out.push(',');
+            push_json_str(&mut out, k);
+            out.push(':');
+            push_json_str(&mut out, v);
+        }
+        out.push_str("}}");
+    }
+
+    for e in events {
+        sep(&mut out);
+        push_common(&mut out, e.name, 'i', e.thread, e.at_ns);
+        // "t": thread-scoped instant (a tick on the emitting track)
+        out.push_str(",\"s\":\"t\",\"args\":{\"detail\":");
+        push_json_str(&mut out, &e.detail);
+        if let Some(span) = e.span {
+            out.push_str(&format!(",\"span_id\":\"{span}\""));
+        }
+        out.push_str("}}");
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, name: &'static str, thread: u64, start: u64, dur: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent: if id > 1 { Some(1) } else { None },
+            name,
+            thread,
+            start_ns: start,
+            duration_ns: dur,
+            fields: vec![("k", "v\"q".to_string())],
+        }
+    }
+
+    #[test]
+    fn object_form_with_spans_and_instants() {
+        let spans = vec![
+            span(1, "clean.session", 0, 0, 2_500),
+            span(2, "eval.par_chunk", 1, 500, 1_000),
+        ];
+        let events = vec![EventRecord {
+            at_ns: 700,
+            span: Some(1),
+            thread: 0,
+            name: "crowd.verify_fact",
+            detail: "Teams(BRA, EU)".to_string(),
+        }];
+        let json = chrome_trace_json(&spans, &events);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("]}"));
+        assert!(json.contains(r#""ph":"X""#));
+        assert!(json.contains(r#""ph":"i""#));
+        assert!(json.contains(r#""ts":0.500,"dur":1.000"#));
+        assert!(json.contains(r#""tid":1"#));
+        assert!(json.contains(r#""name":"eval worker 1""#));
+        assert!(json.contains(r#""name":"thread 0""#));
+        assert!(json.contains(r#""parent":"1""#));
+        assert!(json.contains(r#""k":"v\"q""#));
+    }
+
+    #[test]
+    fn empty_input_is_still_valid() {
+        let json = chrome_trace_json(&[], &[]);
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("process_name"));
+    }
+
+    #[test]
+    fn sub_microsecond_precision_is_kept() {
+        let mut s = String::new();
+        push_us(&mut s, 1_234_567);
+        assert_eq!(s, "1234.567");
+        let mut s = String::new();
+        push_us(&mut s, 7);
+        assert_eq!(s, "0.007");
+    }
+}

@@ -3,7 +3,7 @@
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::json::push_json_str;
 use crate::metrics::MetricsSnapshot;
@@ -71,6 +71,46 @@ impl InMemoryCollector {
             .collect();
         events.extend(extra_events);
         SessionTimeline::new(self.spans(), events, metrics)
+    }
+
+    /// Render everything recorded so far as a Chrome trace-event JSON
+    /// document (see [`crate::chrome_trace_json`]).
+    pub fn chrome_trace(&self) -> String {
+        crate::chrome_trace_json(&self.spans(), &self.events())
+    }
+
+    /// Write the Chrome trace to `path` (Perfetto / `chrome://tracing`
+    /// loadable).
+    pub fn write_chrome_trace(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.chrome_trace())
+    }
+}
+
+/// Fan records out to several collectors — e.g. an [`InMemoryCollector`]
+/// (for the Chrome trace and timeline) and a [`JsonlCollector`] (for the
+/// streaming export) in one session.
+pub struct FanoutCollector {
+    sinks: Vec<Arc<dyn Collector>>,
+}
+
+impl FanoutCollector {
+    /// A collector forwarding every record to each of `sinks`, in order.
+    pub fn new(sinks: Vec<Arc<dyn Collector>>) -> Self {
+        FanoutCollector { sinks }
+    }
+}
+
+impl Collector for FanoutCollector {
+    fn record_span(&self, span: &SpanRecord) {
+        for sink in &self.sinks {
+            sink.record_span(span);
+        }
+    }
+
+    fn record_event(&self, event: &EventRecord) {
+        for sink in &self.sinks {
+            sink.record_event(event);
+        }
     }
 }
 
@@ -142,6 +182,8 @@ impl Collector for JsonlCollector {
         }
         line.push_str(",\"name\":");
         push_json_str(&mut line, span.name);
+        line.push_str(",\"tid\":");
+        line.push_str(&span.thread.to_string());
         line.push_str(",\"start_ns\":");
         line.push_str(&span.start_ns.to_string());
         line.push_str(",\"dur_ns\":");
@@ -172,6 +214,8 @@ impl Collector for JsonlCollector {
         }
         line.push_str(",\"name\":");
         push_json_str(&mut line, event.name);
+        line.push_str(",\"tid\":");
+        line.push_str(&event.thread.to_string());
         line.push_str(",\"detail\":");
         push_json_str(&mut line, &event.detail);
         line.push('}');
@@ -202,6 +246,7 @@ mod tests {
             id: 2,
             parent: Some(1),
             name: "clean.deletion_phase",
+            thread: 0,
             start_ns: 100,
             duration_ns: 250,
             fields: vec![("answer", "(\"BRA\")".to_string())],
@@ -215,6 +260,7 @@ mod tests {
         c.record_event(&EventRecord {
             at_ns: 120,
             span: Some(2),
+            thread: 0,
             name: "crowd.verify_fact",
             detail: "Teams(BRA, EU)".to_string(),
         });
@@ -233,6 +279,7 @@ mod tests {
         c.record_event(&EventRecord {
             at_ns: 120,
             span: None,
+            thread: 3,
             name: "crowd.complete",
             detail: "tab\there".to_string(),
         });
@@ -242,11 +289,30 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert_eq!(
             lines[0],
-            r#"{"type":"span","id":2,"parent":1,"name":"clean.deletion_phase","start_ns":100,"dur_ns":250,"fields":{"answer":"(\"BRA\")"}}"#
+            r#"{"type":"span","id":2,"parent":1,"name":"clean.deletion_phase","tid":0,"start_ns":100,"dur_ns":250,"fields":{"answer":"(\"BRA\")"}}"#
         );
         assert_eq!(
             lines[1],
-            r#"{"type":"event","at_ns":120,"name":"crowd.complete","detail":"tab\there"}"#
+            r#"{"type":"event","at_ns":120,"name":"crowd.complete","tid":3,"detail":"tab\there"}"#
         );
+    }
+
+    #[test]
+    fn fanout_forwards_to_every_sink() {
+        let a = Arc::new(InMemoryCollector::new());
+        let b = Arc::new(InMemoryCollector::new());
+        let fanout = FanoutCollector::new(vec![a.clone(), b.clone()]);
+        fanout.record_span(&sample_span());
+        assert_eq!(a.spans().len(), 1);
+        assert_eq!(b.spans().len(), 1);
+    }
+
+    #[test]
+    fn in_memory_chrome_trace_covers_recorded_spans() {
+        let c = InMemoryCollector::new();
+        c.record_span(&sample_span());
+        let trace = c.chrome_trace();
+        assert!(trace.contains("clean.deletion_phase"));
+        assert!(trace.contains("\"traceEvents\""));
     }
 }

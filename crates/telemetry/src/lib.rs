@@ -53,16 +53,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chrome;
 mod collector;
 mod json;
 mod metrics;
+mod prometheus;
+mod server;
 mod span;
 mod timeline;
 
-pub use collector::{Collector, InMemoryCollector, JsonlCollector};
+pub use chrome::chrome_trace_json;
+pub use collector::{Collector, FanoutCollector, InMemoryCollector, JsonlCollector};
 pub use metrics::{HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use server::MetricsServer;
 pub use span::{EventRecord, SpanGuard, SpanRecord};
-pub use timeline::{fmt_ns, PhaseTotal, SessionTimeline, TimelineEvent};
+pub use timeline::{fmt_ns, PhaseAttribution, PhaseTotal, SessionTimeline, TimelineEvent};
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -74,18 +79,37 @@ use span::ActiveSpan;
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static COLLECTOR: RwLock<Option<Arc<dyn Collector>>> = RwLock::new(None);
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ORD: AtomicU64 = AtomicU64::new(0);
 static GLOBAL_METRICS: MetricsRegistry = MetricsRegistry::new();
 static SESSION_LOCK: Mutex<()> = Mutex::new(());
+/// Nanoseconds between the process epoch and the most recent install;
+/// subtracting it makes every record session-relative, so a second
+/// `session()` in the same process starts again from (near) zero.
+static SESSION_EPOCH_NS: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
     static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static THREAD_ORD: u64 = NEXT_THREAD_ORD.fetch_add(1, Ordering::Relaxed);
 }
 
-/// Monotonic epoch shared by all sessions in this process; set once on the
-/// first install so offsets stay comparable across a session's records.
+/// Monotonic process epoch, pinned on first use. Record timestamps subtract
+/// the per-session offset ([`SESSION_EPOCH_NS`]) from time measured against
+/// this instant.
 fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     *EPOCH.get_or_init(Instant::now)
+}
+
+/// Convert a process-epoch offset into a session-relative offset.
+fn session_ns(since_process_epoch_ns: u64) -> u64 {
+    since_process_epoch_ns.saturating_sub(SESSION_EPOCH_NS.load(Ordering::Relaxed))
+}
+
+/// A small dense ordinal identifying the current OS thread (0, 1, 2, … in
+/// first-use order). Stable for the thread's lifetime; stamped on every
+/// span and event so exporters can reconstruct per-thread tracks.
+pub fn thread_ordinal() -> u64 {
+    THREAD_ORD.with(|t| *t)
 }
 
 /// Whether a collector is currently installed. One relaxed atomic load:
@@ -95,18 +119,21 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// Nanoseconds since the telemetry epoch (0 before any install).
+/// Nanoseconds since the current session's epoch (0 before any install).
 pub fn now_ns() -> u64 {
     if !enabled() {
         return 0;
     }
-    epoch().elapsed().as_nanos() as u64
+    session_ns(epoch().elapsed().as_nanos() as u64)
 }
 
 /// Install `collector` as the process-global sink and enable telemetry.
-/// Prefer [`session`], which also resets metrics and serializes sessions.
+/// Re-bases the session epoch so timestamps start from zero for this
+/// install. Prefer [`session`], which also resets metrics and serializes
+/// sessions.
 pub fn install(collector: Arc<dyn Collector>) {
-    epoch(); // pin the epoch before any record is stamped
+    let offset = epoch().elapsed().as_nanos() as u64;
+    SESSION_EPOCH_NS.store(offset, Ordering::Relaxed);
     let mut slot = COLLECTOR.write().unwrap_or_else(|p| p.into_inner());
     *slot = Some(collector);
     ENABLED.store(true, Ordering::Relaxed);
@@ -151,13 +178,22 @@ impl Drop for SessionGuard {
 /// disabled; otherwise the guard records a [`SpanRecord`] on drop, parented
 /// to the innermost live span on this thread.
 pub fn span(name: &'static str) -> SpanGuard {
+    span_child_of(name, None)
+}
+
+/// Open a span with an explicit fallback parent: if this thread has a live
+/// span, that wins (same as [`span`]); otherwise the span is parented to
+/// `parent`. This is how work fanned out to worker threads stays linked to
+/// the span that spawned it — capture [`current_span_id`] on the
+/// coordinating thread and pass it into each worker.
+pub fn span_child_of(name: &'static str, parent: Option<u64>) -> SpanGuard {
     if !enabled() {
         return SpanGuard::noop();
     }
     let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
     let parent = SPAN_STACK.with(|s| {
         let mut stack = s.borrow_mut();
-        let parent = stack.last().copied();
+        let parent = stack.last().copied().or(parent);
         stack.push(id);
         parent
     });
@@ -167,11 +203,22 @@ pub fn span(name: &'static str) -> SpanGuard {
             id,
             parent,
             name,
+            thread: thread_ordinal(),
             start,
-            start_ns: start.duration_since(epoch()).as_nanos() as u64,
+            start_ns: session_ns(start.duration_since(epoch()).as_nanos() as u64),
             fields: Vec::new(),
         }),
     }
+}
+
+/// The id of the innermost live span on this thread (`None` when telemetry
+/// is disabled or no span is open). Pass it to [`span_child_of`] on a
+/// worker thread to keep cross-thread spans in one tree.
+pub fn current_span_id() -> Option<u64> {
+    if !enabled() {
+        return None;
+    }
+    SPAN_STACK.with(|s| s.borrow().last().copied())
 }
 
 pub(crate) fn finish_span(active: ActiveSpan) {
@@ -185,6 +232,7 @@ pub(crate) fn finish_span(active: ActiveSpan) {
         id: active.id,
         parent: active.parent,
         name: active.name,
+        thread: active.thread,
         start_ns: active.start_ns,
         duration_ns: active.start.elapsed().as_nanos() as u64,
         fields: active.fields,
@@ -201,6 +249,7 @@ pub fn event(name: &'static str, detail: impl FnOnce() -> String) {
     let record = EventRecord {
         at_ns: now_ns(),
         span: SPAN_STACK.with(|s| s.borrow().last().copied()),
+        thread: thread_ordinal(),
         name,
         detail: detail(),
     };
@@ -337,6 +386,101 @@ mod tests {
             let s = spans.iter().find(|s| s.name == name).unwrap();
             assert_eq!(s.parent, Some(root_id), "span {name} parented to root");
         }
+    }
+
+    #[test]
+    fn second_session_restarts_the_epoch() {
+        // First session: do a little work so wall time passes.
+        let first = Arc::new(InMemoryCollector::new());
+        {
+            let _session = session(first.clone());
+            span("first.work").finish();
+        }
+        // Dead time between the sessions: without a per-session epoch this
+        // gap (plus the whole first session) would leak into the second
+        // session's offsets.
+        let gap = std::time::Duration::from_millis(60);
+        std::thread::sleep(gap);
+        let second = Arc::new(InMemoryCollector::new());
+        let started = Instant::now();
+        {
+            let _session = session(second.clone());
+            span("second.work").finish();
+        }
+        let session_len = started.elapsed().as_nanos() as u64;
+        let spans = second.spans();
+        assert_eq!(spans.len(), 1);
+        // Session-relative: the span started within the second session's
+        // own extent, not `gap` (or more) after it.
+        assert!(
+            spans[0].start_ns <= session_len,
+            "second session span starts at {}ns but the session only ran {}ns — \
+             the epoch leaked from the first install",
+            spans[0].start_ns,
+            session_len
+        );
+        assert!(spans[0].start_ns < gap.as_nanos() as u64);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        // Eight workers (the parallel eval path's RAYON_NUM_THREADS=8
+        // shape) hammer the same counter and histogram simultaneously;
+        // every increment must land.
+        const WORKERS: usize = 8;
+        const OPS: u64 = 10_000;
+        let collector = Arc::new(InMemoryCollector::new());
+        let session = session(collector);
+        std::thread::scope(|scope| {
+            for w in 0..WORKERS as u64 {
+                scope.spawn(move || {
+                    for i in 0..OPS {
+                        counter_add("stress.counter", 1);
+                        histogram_record("stress.histo", w * OPS + i);
+                    }
+                });
+            }
+        });
+        let snap = metrics().snapshot();
+        drop(session);
+        assert_eq!(snap.counter("stress.counter"), WORKERS as u64 * OPS);
+        let h = snap.histograms["stress.histo"];
+        assert_eq!(h.count, WORKERS as u64 * OPS);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, WORKERS as u64 * OPS - 1);
+        // sum of 0..WORKERS*OPS
+        let n = WORKERS as u64 * OPS;
+        assert_eq!(h.sum, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn cross_thread_spans_carry_distinct_thread_ordinals_and_parent() {
+        let collector = Arc::new(InMemoryCollector::new());
+        let session = session(collector.clone());
+        {
+            let root = span("fanout.root");
+            let parent = current_span_id();
+            assert!(parent.is_some());
+            std::thread::scope(|scope| {
+                for _ in 0..2 {
+                    scope.spawn(move || {
+                        span_child_of("fanout.worker", parent).finish();
+                    });
+                }
+            });
+            drop(root);
+        }
+        drop(session);
+        let spans = collector.spans();
+        assert_eq!(spans.len(), 3);
+        let root = spans.iter().find(|s| s.name == "fanout.root").unwrap();
+        let workers: Vec<_> = spans.iter().filter(|s| s.name == "fanout.worker").collect();
+        assert_eq!(workers.len(), 2);
+        for w in &workers {
+            assert_eq!(w.parent, Some(root.id), "worker linked to coordinator");
+            assert_ne!(w.thread, root.thread, "worker has its own thread track");
+        }
+        assert_ne!(workers[0].thread, workers[1].thread);
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Prometheus text-format exposition of a [`MetricsSnapshot`].
+//!
+//! Dependency-free rendering of the [text exposition format] (version
+//! 0.0.4, the format every Prometheus-compatible scraper accepts):
+//! counters become `qoco_<name>_total`, gauges `qoco_<name>`, and each
+//! histogram is exposed as a quantile-less summary (`_sum` + `_count`)
+//! plus `_min`/`_max` gauges — the registry keeps count/sum/min/max
+//! rather than buckets, so that is exactly what goes on the wire.
+//!
+//! Dotted metric names are sanitized to the `[a-zA-Z0-9_]` charset the
+//! format requires (`crowd.questions_asked` → `qoco_crowd_questions_asked`).
+//!
+//! [text exposition format]: https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use crate::metrics::MetricsSnapshot;
+
+/// `qoco_` + the name with every character outside `[a-zA-Z0-9_]` replaced
+/// by `_`.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(5 + name.len());
+    out.push_str("qoco_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// A float in the format's number syntax (`Display` for f64 already emits
+/// `inf`/`NaN`-free decimals for finite values; map the specials).
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+impl MetricsSnapshot {
+    /// Render every metric in the Prometheus text exposition format.
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let san = sanitize(name);
+            out.push_str(&format!("# HELP {san}_total qoco counter {name}\n"));
+            out.push_str(&format!("# TYPE {san}_total counter\n"));
+            out.push_str(&format!("{san}_total {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            let san = sanitize(name);
+            out.push_str(&format!("# HELP {san} qoco gauge {name}\n"));
+            out.push_str(&format!("# TYPE {san} gauge\n"));
+            out.push_str(&format!("{san} {}\n", fmt_f64(*value)));
+        }
+        for (name, h) in &self.histograms {
+            let san = sanitize(name);
+            out.push_str(&format!("# HELP {san} qoco histogram {name}\n"));
+            out.push_str(&format!("# TYPE {san} summary\n"));
+            out.push_str(&format!("{san}_sum {}\n", h.sum));
+            out.push_str(&format!("{san}_count {}\n", h.count));
+            for (suffix, value) in [("min", h.min), ("max", h.max)] {
+                out.push_str(&format!("# TYPE {san}_{suffix} gauge\n"));
+                out.push_str(&format!("{san}_{suffix} {value}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn all_metric_kinds_are_exposed() {
+        let r = MetricsRegistry::new();
+        r.counter_add("crowd.questions_asked", 53);
+        r.gauge_set("clean.progress", 0.75);
+        r.histogram_record("split.compute_ns", 100);
+        r.histogram_record("split.compute_ns", 300);
+        let text = r.snapshot().to_prometheus_text();
+        assert!(text.contains("# TYPE qoco_crowd_questions_asked_total counter\n"));
+        assert!(text.contains("qoco_crowd_questions_asked_total 53\n"));
+        assert!(text.contains("# TYPE qoco_clean_progress gauge\n"));
+        assert!(text.contains("qoco_clean_progress 0.75\n"));
+        assert!(text.contains("# TYPE qoco_split_compute_ns summary\n"));
+        assert!(text.contains("qoco_split_compute_ns_sum 400\n"));
+        assert!(text.contains("qoco_split_compute_ns_count 2\n"));
+        assert!(text.contains("qoco_split_compute_ns_min 100\n"));
+        assert!(text.contains("qoco_split_compute_ns_max 300\n"));
+    }
+
+    #[test]
+    fn names_are_sanitized_to_the_legal_charset() {
+        let r = MetricsRegistry::new();
+        r.counter_add("weird-name.with/chars", 1);
+        let text = r.snapshot().to_prometheus_text();
+        assert!(text.contains("qoco_weird_name_with_chars_total 1\n"));
+    }
+
+    #[test]
+    fn non_finite_gauges_use_prometheus_spellings() {
+        let r = MetricsRegistry::new();
+        r.gauge_set("g.inf", f64::INFINITY);
+        r.gauge_set("g.nan", f64::NAN);
+        let text = r.snapshot().to_prometheus_text();
+        assert!(text.contains("qoco_g_inf +Inf\n"));
+        assert!(text.contains("qoco_g_nan NaN\n"));
+    }
+}

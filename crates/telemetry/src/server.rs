@@ -1,0 +1,175 @@
+//! A dependency-free `/metrics` HTTP endpoint.
+//!
+//! [`MetricsServer`] binds a `std::net::TcpListener`, answers
+//! `GET /metrics` with the current global registry rendered in the
+//! Prometheus text format (see [`crate::MetricsSnapshot::to_prometheus_text`])
+//! and everything else with `404`. One accept-loop thread, one connection
+//! at a time — the payload is a few KB of text for a scraper that polls
+//! every few seconds, so there is nothing to pipeline.
+//!
+//! The server reads the *global* registry directly, so it reflects live
+//! values mid-session (unlike exporters that consume an end-of-session
+//! snapshot). Dropping the guard shuts the listener down.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running metrics endpoint; see the module docs. Dropping it stops the
+/// accept loop and joins the serving thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:9184"`; port 0 picks an ephemeral
+    /// port — read it back with [`MetricsServer::local_addr`]) and start
+    /// serving `GET /metrics`.
+    pub fn start(addr: &str) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = shutdown.clone();
+        let handle = std::thread::Builder::new()
+            .name("qoco-metrics".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if flag.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        // A misbehaving client must not wedge the endpoint.
+                        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+                        let _ = serve_one(stream);
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address the listener actually bound.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        // Unblock the accept() the serving thread is parked in.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Handle one connection: parse the request line, answer, close.
+fn serve_one(mut stream: TcpStream) -> std::io::Result<()> {
+    // Read until the end of the request head (or 4 KB, whichever first);
+    // only the request line matters.
+    let mut buf = [0u8; 4096];
+    let mut len = 0;
+    while len < buf.len() {
+        let n = stream.read(&mut buf[len..])?;
+        if n == 0 {
+            break;
+        }
+        len += n;
+        if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let mut request_line = head.lines().next().unwrap_or("").split_whitespace();
+    let method = request_line.next().unwrap_or("");
+    let path = request_line.next().unwrap_or("");
+
+    let (status, body) = match (method, path) {
+        ("GET", "/metrics") => ("200 OK", crate::metrics().snapshot().to_prometheus_text()),
+        ("GET", _) => ("404 Not Found", "only /metrics lives here\n".to_string()),
+        _ => ("405 Method Not Allowed", "GET only\n".to_string()),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InMemoryCollector;
+
+    fn http_get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect to metrics server");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: qoco\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn scrapes_live_global_metrics() {
+        let collector = Arc::new(InMemoryCollector::new());
+        let session = crate::session(collector);
+        crate::counter_add("server.test_counter", 7);
+        let server = MetricsServer::start("127.0.0.1:0").expect("bind ephemeral port");
+        let response = http_get(server.local_addr(), "/metrics");
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        assert!(response.contains("text/plain; version=0.0.4"));
+        assert!(response.contains("qoco_server_test_counter_total 7\n"));
+        // live, not end-of-session: bump again and re-scrape
+        crate::counter_add("server.test_counter", 3);
+        let response = http_get(server.local_addr(), "/metrics");
+        assert!(response.contains("qoco_server_test_counter_total 10\n"));
+        drop(server);
+        drop(session);
+    }
+
+    #[test]
+    fn unknown_paths_get_404() {
+        let server = MetricsServer::start("127.0.0.1:0").expect("bind ephemeral port");
+        let response = http_get(server.local_addr(), "/other");
+        assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+    }
+
+    #[test]
+    fn shutdown_is_clean_and_port_is_released() {
+        let server = MetricsServer::start("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = server.local_addr();
+        drop(server);
+        // the listener is gone: either refused outright or accepted by the
+        // OS backlog and immediately closed without a response
+        let mut ok = false;
+        for _ in 0..10 {
+            match TcpStream::connect(addr) {
+                Err(_) => {
+                    ok = true;
+                    break;
+                }
+                Ok(mut stream) => {
+                    let _ = write!(stream, "GET /metrics HTTP/1.1\r\n\r\n");
+                    let mut out = String::new();
+                    if stream.read_to_string(&mut out).is_err() || out.is_empty() {
+                        ok = true;
+                        break;
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(ok, "listener still serving after drop");
+    }
+}

@@ -15,11 +15,17 @@ use std::time::Instant;
 pub struct SpanRecord {
     /// Process-unique id (monotonically increasing from 1).
     pub id: u64,
-    /// Id of the enclosing span on the opening thread, if any.
+    /// Id of the enclosing span, if any: the innermost live span on the
+    /// opening thread, or an explicit cross-thread parent (see
+    /// [`crate::span_child_of`]).
     pub parent: Option<u64>,
     /// Static span name, e.g. `"clean.deletion_phase"`.
     pub name: &'static str,
-    /// Start offset in nanoseconds since the collector was installed.
+    /// Ordinal of the OS thread that opened the span (see
+    /// [`crate::thread_ordinal`]); the Chrome trace exporter maps each
+    /// ordinal to its own track.
+    pub thread: u64,
+    /// Start offset in nanoseconds since the session epoch.
     pub start_ns: u64,
     /// Measured duration in nanoseconds.
     pub duration_ns: u64,
@@ -45,10 +51,12 @@ impl SpanRecord {
 /// A point-in-time occurrence as delivered to collectors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EventRecord {
-    /// Offset in nanoseconds since the collector was installed.
+    /// Offset in nanoseconds since the session epoch.
     pub at_ns: u64,
     /// The span live on the emitting thread, if any.
     pub span: Option<u64>,
+    /// Ordinal of the OS thread that emitted the event.
+    pub thread: u64,
     /// Static event name, e.g. `"crowd.verify_fact"`.
     pub name: &'static str,
     /// Free-form payload rendered by the emitter.
@@ -59,6 +67,7 @@ pub(crate) struct ActiveSpan {
     pub(crate) id: u64,
     pub(crate) parent: Option<u64>,
     pub(crate) name: &'static str,
+    pub(crate) thread: u64,
     pub(crate) start: Instant,
     pub(crate) start_ns: u64,
     pub(crate) fields: Vec<(&'static str, String)>,

@@ -1,5 +1,6 @@
 //! Session timelines: spans + events + metrics in one renderable report.
 
+use std::cmp::Reverse;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -13,6 +14,9 @@ use crate::span::{EventRecord, SpanRecord};
 pub struct TimelineEvent {
     /// Offset in nanoseconds since the session epoch.
     pub at_ns: u64,
+    /// The span live when the event fired, if known (collector events
+    /// carry it; bridged sources like crowd transcripts usually don't).
+    pub span: Option<u64>,
     /// Short category label, e.g. `crowd.verify_fact`.
     pub label: String,
     /// Human-readable payload.
@@ -24,6 +28,7 @@ impl TimelineEvent {
     pub fn from_record(e: EventRecord) -> Self {
         TimelineEvent {
             at_ns: e.at_ns,
+            span: e.span,
             label: e.name.to_string(),
             detail: e.detail,
         }
@@ -37,6 +42,24 @@ pub struct PhaseTotal {
     pub count: usize,
     /// Summed duration across them, in nanoseconds.
     pub total_ns: u64,
+}
+
+/// Wall/self-time and question/event attribution for all spans sharing a
+/// name; see [`SessionTimeline::attribution`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseAttribution {
+    /// Number of spans with this name.
+    pub count: usize,
+    /// Summed span durations (wall time), in nanoseconds.
+    pub wall_ns: u64,
+    /// Wall time not covered by direct child spans, in nanoseconds.
+    pub self_ns: u64,
+    /// Crowd questions charged to these spans (their `questions=` fields).
+    pub questions: u64,
+    /// Index probe hits charged to these spans (their `probes=` fields).
+    pub probes: u64,
+    /// Collector events emitted while a span of this name was innermost.
+    pub events: usize,
 }
 
 /// An ordered, renderable record of one cleaning session: the span tree,
@@ -96,6 +119,71 @@ impl SessionTimeline {
             let e = out.entry(s.name).or_default();
             e.count += 1;
             e.total_ns += s.duration_ns;
+        }
+        out
+    }
+
+    /// Per-phase attribution: for every span name, the wall time (summed
+    /// durations), **self time** (wall minus the time covered by direct
+    /// child spans — where the phase itself burned CPU rather than
+    /// delegating), crowd questions and index probe hits (summed from the
+    /// `questions=` / `probes=` span fields) and collector events
+    /// attributed to spans of that name.
+    ///
+    /// Children evaluated on worker threads may overlap in wall-clock time
+    /// (the parallel eval fan-out), so a parent's summed child time can
+    /// exceed its own duration; self time saturates at zero there.
+    pub fn attribution(&self) -> BTreeMap<&'static str, PhaseAttribution> {
+        let mut child_ns: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut name_of: BTreeMap<u64, &'static str> = BTreeMap::new();
+        for s in &self.spans {
+            name_of.insert(s.id, s.name);
+            if let Some(p) = s.parent {
+                *child_ns.entry(p).or_insert(0) += s.duration_ns;
+            }
+        }
+        let mut out: BTreeMap<&'static str, PhaseAttribution> = BTreeMap::new();
+        for s in &self.spans {
+            let e = out.entry(s.name).or_default();
+            e.count += 1;
+            e.wall_ns += s.duration_ns;
+            e.self_ns += s
+                .duration_ns
+                .saturating_sub(child_ns.get(&s.id).copied().unwrap_or(0));
+            if let Some(q) = s.field("questions").and_then(|v| v.parse::<u64>().ok()) {
+                e.questions += q;
+            }
+            if let Some(p) = s.field("probes").and_then(|v| v.parse::<u64>().ok()) {
+                e.probes += p;
+            }
+        }
+        for ev in &self.events {
+            if let Some(name) = ev.span.and_then(|id| name_of.get(&id)) {
+                out.entry(name).or_default().events += 1;
+            }
+        }
+        out
+    }
+
+    /// Render [`SessionTimeline::attribution`] as an aligned text table,
+    /// phases sorted by descending self time.
+    pub fn render_attribution(&self) -> String {
+        let attribution = self.attribution();
+        let mut rows: Vec<(&str, PhaseAttribution)> = attribution.into_iter().collect();
+        rows.sort_by_key(|(name, a)| (Reverse(a.self_ns), *name));
+        let mut out = String::from(
+            "phase                          count        wall        self   questions     probes   events\n",
+        );
+        for (name, a) in rows {
+            out.push_str(&format!(
+                "{name:<30} {:>5} {:>11} {:>11} {:>11} {:>10} {:>8}\n",
+                a.count,
+                fmt_ns(a.wall_ns),
+                fmt_ns(a.self_ns),
+                a.questions,
+                a.probes,
+                a.events
+            ));
         }
         out
     }
@@ -196,6 +284,7 @@ mod tests {
             id,
             parent,
             name,
+            thread: 0,
             start_ns: start,
             duration_ns: dur,
             fields: Vec::new(),
@@ -211,6 +300,7 @@ mod tests {
             ],
             vec![TimelineEvent {
                 at_ns: 150,
+                span: Some(2),
                 label: "crowd.verify_fact".to_string(),
                 detail: "Goals(...)".to_string(),
             }],
@@ -249,6 +339,75 @@ mod tests {
         assert!(text.contains("\n  - clean.session"));
         assert!(text.contains("\n    - clean.deletion_phase"));
         assert!(text.contains("crowd.verify_fact"));
+    }
+
+    #[test]
+    fn attribution_computes_self_time_questions_and_events() {
+        let mut remove = span(2, Some(1), "deletion.remove_answer", 100, 400);
+        remove.fields.push(("questions", "3".to_string()));
+        let mut remove2 = span(4, Some(1), "deletion.remove_answer", 700, 100);
+        remove2.fields.push(("questions", "2".to_string()));
+        let mut eval = span(3, Some(2), "eval.assignments", 150, 250);
+        eval.fields.push(("probes", "17".to_string()));
+        let t = SessionTimeline::new(
+            vec![
+                span(1, None, "clean.session", 0, 1_000),
+                remove,
+                eval,
+                remove2,
+            ],
+            vec![
+                TimelineEvent {
+                    at_ns: 160,
+                    span: Some(2),
+                    label: "crowd.verify_fact".to_string(),
+                    detail: String::new(),
+                },
+                TimelineEvent {
+                    at_ns: 170,
+                    span: None, // bridged event with no span attribution
+                    label: "crowd.complete".to_string(),
+                    detail: String::new(),
+                },
+            ],
+            MetricsSnapshot::default(),
+        );
+        let a = t.attribution();
+        // session: 1000 wall, children (400 + 100) → 500 self
+        assert_eq!(a["clean.session"].wall_ns, 1_000);
+        assert_eq!(a["clean.session"].self_ns, 500);
+        // remove_answer: 500 wall across 2 spans, eval child takes 250
+        let removal = a["deletion.remove_answer"];
+        assert_eq!(removal.count, 2);
+        assert_eq!(removal.wall_ns, 500);
+        assert_eq!(removal.self_ns, 250);
+        assert_eq!(removal.questions, 5);
+        assert_eq!(removal.events, 1);
+        // leaf: self == wall, probe hits summed from its `probes=` field
+        assert_eq!(a["eval.assignments"].self_ns, 250);
+        assert_eq!(a["eval.assignments"].probes, 17);
+        assert_eq!(removal.probes, 0);
+        let rendered = t.render_attribution();
+        assert!(rendered.contains("deletion.remove_answer"), "{rendered}");
+        assert!(rendered.lines().count() >= 4);
+    }
+
+    #[test]
+    fn overlapping_parallel_children_saturate_self_time() {
+        // two children on worker threads fully overlap the parent: summed
+        // child time (800) exceeds the parent duration (500)
+        let t = SessionTimeline::new(
+            vec![
+                span(1, None, "eval.assignments", 0, 500),
+                span(2, Some(1), "eval.par_chunk", 50, 400),
+                span(3, Some(1), "eval.par_chunk", 60, 400),
+            ],
+            Vec::new(),
+            MetricsSnapshot::default(),
+        );
+        let a = t.attribution();
+        assert_eq!(a["eval.assignments"].self_ns, 0);
+        assert_eq!(a["eval.par_chunk"].wall_ns, 800);
     }
 
     #[test]

@@ -64,6 +64,9 @@ fn main() {
             fmt_ns(total.total_ns)
         );
     }
+    // self-time attribution: where wall-clock actually goes once the time
+    // spent in child phases is subtracted out
+    println!("\n{}", timeline.render_attribution());
     println!(
         "  crowd questions asked: {questions} ({} verification events, {} completion events)",
         timeline

@@ -29,17 +29,31 @@ cargo fmt --all --check
 echo "== telemetry smoke-run =="
 # the quickstart example must run clean...
 cargo run --release --example quickstart > /dev/null
-# ...and the same Figure 1 scenario through qoco-cli --telemetry must emit
-# a non-trivial JSONL trace covering the cleaning phases
+# ...and the same Figure 1 scenario through qoco-cli must emit both a
+# non-trivial JSONL export covering the cleaning phases and a
+# Perfetto-loadable Chrome trace showing the parallel eval fan-out
 work="$(mktemp -d -t qoco-ci-XXXXXX)"
 trap 'rm -rf "$work"' EXIT
 trace="$work/trace.jsonl"
+chrome_trace="$work/trace.json"
 mkdir -p "$work/dirty" "$work/ground"
 
 printf 'date\twinner\trunner_up\tstage\tresult\n11.07.10\tESP\tNED\tFinal\t1:0\n12.07.98\tESP\tNED\tFinal\t4:2\n13.07.14\tGER\tARG\tFinal\t1:0\n08.07.90\tGER\tARG\tFinal\t1:0\n' > "$work/dirty/Games.tsv"
 printf 'country\tcontinent\nESP\tEU\nGER\tEU\n' > "$work/dirty/Teams.tsv"
 printf 'date\twinner\trunner_up\tstage\tresult\n11.07.10\tESP\tNED\tFinal\t1:0\n13.07.14\tGER\tARG\tFinal\t1:0\n08.07.90\tGER\tARG\tFinal\t1:0\n' > "$work/ground/Games.tsv"
 printf 'country\tcontinent\nESP\tEU\nGER\tEU\n' > "$work/ground/Teams.tsv"
+
+# Pad the fixture (identically in dirty and ground, so the cleaning outcome
+# is untouched) until the planner's first atom has enough top-level
+# candidates to clear the engine's parallel threshold:
+#  - 16 extra EU teams with no Final games → 18 Teams candidates;
+#  - 16 extra Semi-stage games keep Games the *larger* relation, so the
+#    planner still leads with Teams (most-bound, then smaller-relation).
+for i in $(seq -w 1 16); do
+  printf 'T%s\tEU\n' "$i" | tee -a "$work/dirty/Teams.tsv" >> "$work/ground/Teams.tsv"
+  printf '01.01.%s\tT%s\tT%s\tSemi\t1:0\n' "$i" "$i" "$i" \
+    | tee -a "$work/dirty/Games.tsv" >> "$work/ground/Games.tsv"
+done
 
 printf '%s\n' \
   'relation Games date winner runner_up stage result' \
@@ -49,11 +63,27 @@ printf '%s\n' \
   'query Q1(x) :- Games(d1, x, y, "Final", u1), Games(d2, x, z, "Final", u2), Teams(x, "EU"), d1 != d2.' \
   'clean Q1 qoco provenance' \
   'quit' \
-  | ./target/release/qoco-cli --telemetry "$trace" > /dev/null
+  | RAYON_NUM_THREADS=2 ./target/release/qoco-cli --telemetry "$trace" --trace "$chrome_trace" > /dev/null
 
-for needle in clean.session clean.deletion_phase clean.insertion_phase eval.assignments crowd.questions_asked; do
+for needle in clean.session clean.deletion_phase clean.insertion_phase eval.assignments eval.par_chunk crowd.questions_asked; do
   grep -q "$needle" "$trace" || { echo "telemetry smoke-run: missing $needle in trace" >&2; exit 1; }
 done
 echo "telemetry trace OK ($(wc -l < "$trace") JSONL lines)"
+
+# the Chrome trace must parse as valid trace-event JSON with spans on at
+# least two thread tracks (coordinator + parallel eval workers)
+cargo run -q --release -p qoco-bench --bin qoco-bench -- \
+  validate-trace "$chrome_trace" --min-tracks 2 \
+  --require-span clean.session --require-span eval.par_chunk
+
+echo "== perf regression gate (quick) =="
+cargo run -q --release -p qoco-bench --bin qoco-bench -- regressions --check --quick
+# ...and the gate must actually trip when a cell regresses
+if cargo run -q --release -p qoco-bench --bin qoco-bench -- \
+    regressions --check --quick --inject-slowdown selective/1000/current/1=3.0 > /dev/null 2>&1; then
+  echo "regression gate failed to flag an injected 3x slowdown" >&2
+  exit 1
+fi
+echo "regression gate trips on injected slowdown: OK"
 
 echo "== all CI gates passed =="

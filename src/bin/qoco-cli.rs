@@ -17,9 +17,15 @@
 //! quit
 //! ```
 //!
-//! Run with `--telemetry <path>` to export a JSON-lines trace of the
-//! session (spans, events and a final metrics snapshot) for offline
-//! inspection.
+//! Observability flags (combinable):
+//!
+//! * `--telemetry <path>` — stream a JSON-lines export of the session
+//!   (spans, events and a final metrics snapshot) for offline inspection.
+//! * `--trace <path>` — write a Chrome trace-event file at exit; open it
+//!   in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//! * `--metrics-port <port>` — serve the live metrics registry in
+//!   Prometheus text format on `127.0.0.1:<port>/metrics` (port 0 picks
+//!   an ephemeral port; the bound address is printed to stderr).
 //!
 //! Commands: `relation <name> <attrs…>`, `load <dir>`, `ground <dir>`,
 //! `query <datalog>`, `show <name>`, `witnesses <name> <v1> [v2 …]`,
@@ -345,30 +351,79 @@ impl Session {
 
 fn main() -> io::Result<()> {
     let mut telemetry_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut metrics_port: Option<u16> = None;
     let mut args = std::env::args().skip(1);
+    let missing = |flag: &str, what: &str| {
+        io::Error::new(io::ErrorKind::InvalidInput, format!("{flag} needs {what}"))
+    };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--telemetry" => {
-                telemetry_path = Some(args.next().ok_or_else(|| {
-                    io::Error::new(io::ErrorKind::InvalidInput, "--telemetry needs a file path")
-                })?);
+                telemetry_path = Some(
+                    args.next()
+                        .ok_or_else(|| missing("--telemetry", "a file path"))?,
+                );
+            }
+            "--trace" => {
+                trace_path = Some(
+                    args.next()
+                        .ok_or_else(|| missing("--trace", "a file path"))?,
+                );
+            }
+            "--metrics-port" => {
+                let port = args
+                    .next()
+                    .and_then(|p| p.parse().ok())
+                    .ok_or_else(|| missing("--metrics-port", "a port number"))?;
+                metrics_port = Some(port);
             }
             other => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidInput,
-                    format!("unknown argument `{other}` (supported: --telemetry <path>)"),
+                    format!(
+                        "unknown argument `{other}` (supported: --telemetry <path>, \
+                         --trace <path>, --metrics-port <port>)"
+                    ),
                 ));
             }
         }
     }
-    let telemetry = match &telemetry_path {
-        Some(path) => {
-            let collector = Arc::new(qoco::telemetry::JsonlCollector::create(path)?);
-            let guard = qoco::telemetry::session(collector.clone());
-            Some((guard, collector))
+
+    // Assemble the collector pipeline: each requested exporter is one sink,
+    // fanned out when there is more than one. The metrics endpoint reads
+    // the live global registry, which only records under an installed
+    // session — so asking for it alone still installs a (discarded)
+    // in-memory sink.
+    let jsonl = match &telemetry_path {
+        Some(path) => Some(Arc::new(qoco::telemetry::JsonlCollector::create(path)?)),
+        None => None,
+    };
+    let in_memory = (trace_path.is_some() || (metrics_port.is_some() && jsonl.is_none()))
+        .then(|| Arc::new(qoco::telemetry::InMemoryCollector::new()));
+    let mut sinks: Vec<Arc<dyn qoco::telemetry::Collector>> = Vec::new();
+    if let Some(c) = &jsonl {
+        sinks.push(c.clone());
+    }
+    if let Some(c) = &in_memory {
+        sinks.push(c.clone());
+    }
+    let _session_guard = match sinks.len() {
+        0 => None,
+        1 => Some(qoco::telemetry::session(sinks.pop().expect("one sink"))),
+        _ => Some(qoco::telemetry::session(Arc::new(
+            qoco::telemetry::FanoutCollector::new(sinks),
+        ))),
+    };
+    let _metrics_server = match metrics_port {
+        Some(port) => {
+            let server = qoco::telemetry::MetricsServer::start(&format!("127.0.0.1:{port}"))?;
+            eprintln!("serving metrics on http://{}/metrics", server.local_addr());
+            Some(server)
         }
         None => None,
     };
+
     let stdin = io::stdin();
     let stdout = io::stdout();
     let mut out = stdout.lock();
@@ -380,9 +435,12 @@ fn main() -> io::Result<()> {
         }
         out.flush()?;
     }
-    if let Some((_guard, collector)) = &telemetry {
+    if let Some(collector) = &jsonl {
         collector.write_metrics(&qoco::telemetry::metrics().snapshot());
         collector.flush();
+    }
+    if let (Some(path), Some(collector)) = (&trace_path, &in_memory) {
+        collector.write_chrome_trace(path)?;
     }
     Ok(())
 }
