@@ -20,6 +20,7 @@ use crate::deletion::{crowd_remove_wrong_answer, DeletionStrategy};
 use crate::error::CleanError;
 use crate::insertion::{crowd_add_missing_answer, InsertionOptions};
 pub use crate::report::CleaningReport;
+use crate::report::{UnresolvedItem, UnresolvedPhase};
 use crate::split::SplitStrategyKind;
 
 /// Configuration for a full cleaning session.
@@ -69,13 +70,16 @@ pub fn clean_view_with_estimator<C: CrowdAccess + ?Sized>(
         .field("split", format!("{:?}", config.split));
     let mut report = CleaningReport::new();
     let mut verified: BTreeSet<Tuple> = BTreeSet::new();
+    // Answers the crowd could not be reached about: excluded from further
+    // sweeps so the outer loop still terminates when the crowd dies.
+    let mut skipped: BTreeSet<Tuple> = BTreeSet::new();
     let mut split = config.split.build();
     let mut first = true;
 
     loop {
         let unverified: Vec<Tuple> = answer_set(q, db)
             .into_iter()
-            .filter(|t| !verified.contains(t))
+            .filter(|t| !verified.contains(t) && !skipped.contains(t))
             .collect();
         if !first && unverified.is_empty() {
             break;
@@ -99,15 +103,40 @@ pub fn clean_view_with_estimator<C: CrowdAccess + ?Sized>(
             if !answer_set(q, db).contains(&t) {
                 continue;
             }
-            if crowd.verify_answer(q, &t) {
-                verified.insert(t);
-            } else {
-                report.wrong_answers += 1;
-                qoco_telemetry::event("clean.wrong_answer", || format!("{t}"));
-                let out = crowd_remove_wrong_answer(q, db, &t, crowd, config.deletion)?;
-                report.deletion_upper_bound += out.upper_bound;
-                report.anomalies += out.anomalies;
-                report.edits.extend(out.edits);
+            match crowd.verify_answer(q, &t) {
+                Ok(true) => {
+                    verified.insert(t);
+                }
+                Ok(false) => {
+                    qoco_telemetry::event("clean.wrong_answer", || format!("{t}"));
+                    let out = crowd_remove_wrong_answer(q, db, &t, crowd, config.deletion)?;
+                    report.deletion_upper_bound += out.upper_bound;
+                    report.anomalies += out.anomalies;
+                    report.edits.extend(out.edits);
+                    if let Some(e) = out.failure {
+                        qoco_telemetry::event("clean.unresolved", || format!("{t}: {e}"));
+                        report.unresolved.push(UnresolvedItem {
+                            phase: UnresolvedPhase::Delete,
+                            answer: Some(t.clone()),
+                            reason: e.to_string(),
+                        });
+                        skipped.insert(t);
+                    } else {
+                        // counted only when the removal actually completed —
+                        // a crowd failure mid-removal leaves the answer in
+                        // the view and is reported as unresolved instead
+                        report.wrong_answers += 1;
+                    }
+                }
+                Err(e) => {
+                    qoco_telemetry::event("clean.unresolved", || format!("{t}: {e}"));
+                    report.unresolved.push(UnresolvedItem {
+                        phase: UnresolvedPhase::Verify,
+                        answer: Some(t.clone()),
+                        reason: e.to_string(),
+                    });
+                    skipped.insert(t);
+                }
             }
         }
         report
@@ -123,20 +152,40 @@ pub fn clean_view_with_estimator<C: CrowdAccess + ?Sized>(
             if estimator.likely_complete(known.len()) {
                 break;
             }
-            let Some(t) = crowd.next_missing_answer(q, &known) else {
-                break;
+            let t = match crowd.next_missing_answer(q, &known) {
+                Ok(Some(t)) => t,
+                Ok(None) => break,
+                Err(e) => {
+                    qoco_telemetry::event("clean.unresolved", || format!("{e}"));
+                    report.unresolved.push(UnresolvedItem {
+                        phase: UnresolvedPhase::Insert,
+                        answer: None,
+                        reason: e.to_string(),
+                    });
+                    break;
+                }
             };
             estimator.observe(&t);
-            report.missing_answers += 1;
             qoco_telemetry::event("clean.missing_answer", || format!("{t}"));
             let out = crowd_add_missing_answer(q, db, &t, crowd, &mut *split, config.insertion)?;
             report.insertion_upper_bound += out.upper_bound;
+            report.edits.extend(out.edits);
+            if let Some(e) = out.failure {
+                qoco_telemetry::event("clean.unresolved", || format!("{t}: {e}"));
+                report.unresolved.push(UnresolvedItem {
+                    phase: UnresolvedPhase::Insert,
+                    answer: Some(t.clone()),
+                    reason: e.to_string(),
+                });
+                skipped.insert(t);
+                break;
+            }
+            report.missing_answers += 1;
             if out.achieved {
                 verified.insert(t);
             } else {
                 report.anomalies += 1;
             }
-            report.edits.extend(out.edits);
         }
         report
             .insertion_stats

@@ -24,44 +24,48 @@ use crate::hitting_set::HittingSetInstance;
 
 /// Identify the false facts in `facts` using composite questions
 /// (binary-splitting group testing). Returns the false subset and the
-/// number of composite questions asked.
+/// number of composite questions asked. A crowd failure aborts the whole
+/// group test ([`CleanError::CrowdUnavailable`]) — partial knowledge about
+/// which *groups* are contaminated does not identify any individual fact.
 pub fn find_false_facts<C: CrowdAccess + ?Sized>(
     crowd: &mut C,
     facts: &[Fact],
-) -> (Vec<Fact>, usize) {
+) -> Result<(Vec<Fact>, usize), CleanError> {
     let mut false_facts = Vec::new();
     let mut questions = 0usize;
     if facts.is_empty() {
-        return (false_facts, questions);
+        return Ok((false_facts, questions));
     }
     questions += 1;
-    if crowd.verify_facts_all(facts) {
-        return (false_facts, questions);
+    if crowd.verify_facts_all(facts)? {
+        return Ok((false_facts, questions));
     }
     // stack of groups KNOWN to contain at least one false fact
     let mut stack: Vec<Vec<Fact>> = vec![facts.to_vec()];
     while let Some(group) = stack.pop() {
         if group.len() == 1 {
-            false_facts.push(group.into_iter().next().expect("single element"));
+            if let Some(f) = group.into_iter().next() {
+                false_facts.push(f);
+            }
             continue;
         }
         let mid = group.len() / 2;
         let (left, right) = group.split_at(mid);
         questions += 1;
-        if crowd.verify_facts_all(left) {
+        if crowd.verify_facts_all(left)? {
             // left clean ⇒ the contamination is in the right half
             stack.push(right.to_vec());
         } else {
             stack.push(left.to_vec());
             // the right half may or may not also be contaminated
             questions += 1;
-            if !crowd.verify_facts_all(right) {
+            if !crowd.verify_facts_all(right)? {
                 stack.push(right.to_vec());
             }
         }
     }
     false_facts.sort();
-    (false_facts, questions)
+    Ok((false_facts, questions))
 }
 
 /// Remove a wrong answer using composite questions: group-test the witness
@@ -80,7 +84,7 @@ pub fn crowd_remove_wrong_answer_composite<C: CrowdAccess + ?Sized>(
     let instance = HittingSetInstance::new(witnesses);
     let universe: Vec<Fact> = instance.universe().into_iter().collect();
     let upper_bound = universe.len();
-    let (false_facts, questions) = find_false_facts(crowd, &universe);
+    let (false_facts, questions) = find_false_facts(crowd, &universe)?;
     let mut edits = EditLog::new();
     let mut check = instance.clone();
     for f in &false_facts {
@@ -96,6 +100,7 @@ pub fn crowd_remove_wrong_answer_composite<C: CrowdAccess + ?Sized>(
         questions,
         upper_bound,
         anomalies,
+        failure: None,
     })
 }
 
@@ -149,7 +154,7 @@ mod tests {
             .map(|t| Fact::new(games, t))
             .collect();
         let mut crowd = SingleExpert::new(PerfectOracle::new(g.clone()));
-        let (false_facts, questions) = find_false_facts(&mut crowd, &facts);
+        let (false_facts, questions) = find_false_facts(&mut crowd, &facts).unwrap();
         assert_eq!(false_facts.len(), 3);
         assert!(false_facts.iter().all(|f| !g.contains(f)));
         assert!(questions >= 1);
@@ -165,7 +170,7 @@ mod tests {
             tup!["11.07.10", "ESP", "NED", "Final", "1:0"],
         )];
         let mut crowd = SingleExpert::new(PerfectOracle::new(g));
-        let (false_facts, questions) = find_false_facts(&mut crowd, &facts);
+        let (false_facts, questions) = find_false_facts(&mut crowd, &facts).unwrap();
         assert!(false_facts.is_empty());
         assert_eq!(questions, 1);
     }
@@ -174,7 +179,7 @@ mod tests {
     fn empty_group_is_free() {
         let (_, _, g, _) = setup();
         let mut crowd = SingleExpert::new(PerfectOracle::new(g));
-        let (false_facts, questions) = find_false_facts(&mut crowd, &[]);
+        let (false_facts, questions) = find_false_facts(&mut crowd, &[]).unwrap();
         assert!(false_facts.is_empty());
         assert_eq!(questions, 0);
     }

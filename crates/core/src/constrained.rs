@@ -75,21 +75,39 @@ fn apply_rec<C: CrowdAccess + ?Sized>(
     for v in violations {
         match v {
             Violation::KeyConflict { existing, .. } => {
-                if crowd.verify_fact(&existing) {
-                    // existing is true; is the new fact also claimed true?
-                    if edit.kind == EditKind::Insert && crowd.verify_fact(&edit.fact) {
-                        // both true: impossible under the key — keep the
-                        // existing fact, report, and skip the insert
+                match crowd.verify_fact(&existing) {
+                    Ok(true) => {
+                        // existing is true; is the new fact also claimed
+                        // true? (A crowd failure here counts as "not
+                        // confirmed": the conflict stays on record.)
+                        let both = edit.kind == EditKind::Insert
+                            && crowd.verify_fact(&edit.fact).unwrap_or(true);
+                        if both {
+                            // both true (or unverifiable): impossible under
+                            // the key — keep the existing fact, report, and
+                            // skip the insert
+                            outcome.unresolved.push(Violation::KeyConflict {
+                                rel: existing.rel,
+                                fact: edit.fact.clone(),
+                                existing,
+                            });
+                        }
+                        admit = false;
+                    }
+                    Ok(false) => {
+                        let repair = Edit::delete(existing);
+                        apply_rec(db, &repair, constraints, crowd, outcome, depth - 1)?;
+                    }
+                    Err(_) => {
+                        // crowd unavailable: keep the existing fact, leave
+                        // the conflict unresolved, refuse the new one
                         outcome.unresolved.push(Violation::KeyConflict {
                             rel: existing.rel,
                             fact: edit.fact.clone(),
                             existing,
                         });
+                        admit = false;
                     }
-                    admit = false;
-                } else {
-                    let repair = Edit::delete(existing);
-                    apply_rec(db, &repair, constraints, crowd, outcome, depth - 1)?;
                 }
             }
             Violation::DanglingReference {
@@ -106,17 +124,19 @@ fn apply_rec<C: CrowdAccess + ?Sized>(
                             .find(|f| f.to_rel == to_rel && f.from_rel == fact.rel)
                             .expect("violation stems from a declared FK");
                         let q = reference_query(db, fk.to_rel, &fk.to_cols, &missing_key);
-                        match crowd.complete(&q, &Assignment::new()) {
-                            Some(total) => {
-                                let referenced = total
-                                    .ground_atom(&q.atoms()[0])
-                                    .expect("completion is total");
+                        // Treat a crowd failure and a non-total completion
+                        // like "no true referenced tuple found": leave the
+                        // violation unresolved and refuse the insert.
+                        let referenced = match crowd.complete(&q, &Assignment::new()) {
+                            Ok(Some(total)) => total.ground_atom(&q.atoms()[0]),
+                            Ok(None) | Err(_) => None,
+                        };
+                        match referenced {
+                            Some(referenced) => {
                                 let repair = Edit::insert(referenced);
                                 apply_rec(db, &repair, constraints, crowd, outcome, depth - 1)?;
                             }
                             None => {
-                                // no true referenced tuple exists: the
-                                // insert itself must be false
                                 outcome.unresolved.push(Violation::DanglingReference {
                                     fact,
                                     to_rel,
@@ -127,8 +147,9 @@ fn apply_rec<C: CrowdAccess + ?Sized>(
                         }
                     }
                     EditKind::Delete => {
-                        // stranded referencing fact: false → cascade delete
-                        if crowd.verify_fact(&fact) {
+                        // stranded referencing fact: false → cascade delete;
+                        // unverifiable (crowd gone) → keep it and report
+                        if crowd.verify_fact(&fact).unwrap_or(true) {
                             outcome.unresolved.push(Violation::DanglingReference {
                                 fact,
                                 to_rel,

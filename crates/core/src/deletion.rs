@@ -12,7 +12,7 @@
 //!    edit and destroys the witnesses containing it;
 //! 4. repeat until no witnesses remain, then apply the deletion edits.
 
-use qoco_crowd::CrowdAccess;
+use qoco_crowd::{CrowdAccess, CrowdError};
 use qoco_data::{Database, Edit, EditLog, Fact, Tuple};
 use qoco_engine::witnesses_for_answer;
 use qoco_query::ConjunctiveQuery;
@@ -61,6 +61,11 @@ pub struct DeletionOutcome {
     /// crowd-confirmed false tuple — zero with a truthful oracle, positive
     /// only when an imperfect crowd mislabels facts.
     pub anomalies: usize,
+    /// Set when the crowd became unavailable mid-run. The edits derived
+    /// *before* the failure are confirmed-false deletions and were still
+    /// applied (each moves `D` towards `D_G`); the answer itself may remain
+    /// in `Q(D)` and should be reported unresolved.
+    pub failure: Option<CrowdError>,
 }
 
 /// Run Algorithm 1 (or a baseline) to remove `t` from `Q(D)`.
@@ -104,6 +109,7 @@ pub fn crowd_remove_wrong_answer_with<C: CrowdAccess + ?Sized>(
     let mut edits = EditLog::new();
     let mut questions = 0usize;
     let mut anomalies = 0usize;
+    let mut failure: Option<CrowdError> = None;
     // never ask twice about the same fact (known-true facts in particular)
     let mut known_true: std::collections::BTreeSet<Fact> = Default::default();
 
@@ -132,12 +138,19 @@ pub fn crowd_remove_wrong_answer_with<C: CrowdAccess + ?Sized>(
             break;
         };
         questions += 1;
-        if crowd.verify_fact(&fact) {
-            known_true.insert(fact.clone());
-            anomalies += instance.confirm_true(&fact);
-        } else {
-            instance.confirm_false(&fact);
-            edits.push(Edit::delete(fact));
+        match crowd.verify_fact(&fact) {
+            Ok(true) => {
+                known_true.insert(fact.clone());
+                anomalies += instance.confirm_true(&fact);
+            }
+            Ok(false) => {
+                instance.confirm_false(&fact);
+                edits.push(Edit::delete(fact));
+            }
+            Err(e) => {
+                failure = Some(e);
+                break;
+            }
         }
     }
 
@@ -150,6 +163,7 @@ pub fn crowd_remove_wrong_answer_with<C: CrowdAccess + ?Sized>(
         questions,
         upper_bound,
         anomalies,
+        failure,
     })
 }
 

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use qoco_crowd::CrowdError;
 use qoco_data::DataError;
 use qoco_query::QueryError;
 
@@ -26,6 +27,11 @@ pub enum CleanError {
         /// The configured budget.
         budget: usize,
     },
+    /// The crowd failed to answer a question even after the session's
+    /// retry/escalation policy was exhausted. Top-level cleaners catch
+    /// this per question and record it in the report's `unresolved`
+    /// section; it only escapes from low-level helpers.
+    CrowdUnavailable(CrowdError),
 }
 
 impl fmt::Display for CleanError {
@@ -42,6 +48,7 @@ impl fmt::Display for CleanError {
             CleanError::QuestionBudget { budget } => {
                 write!(f, "enumeration exceeded the {budget}-question budget")
             }
+            CleanError::CrowdUnavailable(e) => write!(f, "{e}"),
         }
     }
 }
@@ -57,6 +64,12 @@ impl From<DataError> for CleanError {
 impl From<QueryError> for CleanError {
     fn from(e: QueryError) -> Self {
         CleanError::Query(e)
+    }
+}
+
+impl From<CrowdError> for CleanError {
+    fn from(e: CrowdError) -> Self {
+        CleanError::CrowdUnavailable(e)
     }
 }
 
@@ -79,5 +92,12 @@ mod tests {
         assert!(d.to_string().contains("schema"));
         let q: CleanError = QueryError::EmptyBody.into();
         assert!(q.to_string().contains("query"));
+        let c = CrowdError {
+            question: "TRUE(F)?".into(),
+            attempts: 3,
+            last: qoco_crowd::OracleError::Timeout,
+        };
+        let c: CleanError = c.into();
+        assert!(c.to_string().contains("crowd unavailable"));
     }
 }

@@ -15,7 +15,7 @@
 
 use std::collections::{BTreeSet, VecDeque};
 
-use qoco_crowd::CrowdAccess;
+use qoco_crowd::{CrowdAccess, CrowdError};
 use qoco_data::{Database, Edit, EditLog, Tuple};
 use qoco_engine::{evaluate, is_satisfiable, Assignment};
 use qoco_query::{embed_answer, ConjunctiveQuery};
@@ -54,6 +54,10 @@ pub struct InsertionOutcome {
     /// Whether the answer now appears in `Q(D)` (always true with a perfect
     /// oracle; can be false if an imperfect crowd fails to complete).
     pub achieved: bool,
+    /// Set when the crowd became unavailable mid-run. Facts inserted
+    /// *before* the failure were individually confirmed and stay applied;
+    /// the answer may still be missing and should be reported unresolved.
+    pub failure: Option<CrowdError>,
 }
 
 /// Run Algorithm 2 to add the missing answer `t` to `Q(D)` using the given
@@ -97,9 +101,11 @@ pub fn crowd_add_missing_answer<C: CrowdAccess + ?Sized>(
         }
     }
 
+    let mut failure: Option<CrowdError> = None;
+
     // Main loop (lines 4–17).
-    'outer: while !achieved && !queue.is_empty() {
-        let curr = queue.pop_front().expect("queue is non-empty");
+    'outer: while !achieved && failure.is_none() {
+        let Some(curr) = queue.pop_front() else { break };
         let result = evaluate(&curr, db);
         let mut assignments = result.assignments;
         assignments.truncate(opts.max_assignments_per_subquery);
@@ -108,14 +114,25 @@ pub fn crowd_add_missing_answer<C: CrowdAccess + ?Sized>(
                 continue; // already examined this partial assignment
             }
             // CrowdVerify(α(body(Q|t))): is α satisfiable w.r.t. Q|t, D_G?
-            if !crowd.verify_satisfiable(&q_t, &alpha) {
-                continue;
+            match crowd.verify_satisfiable(&q_t, &alpha) {
+                Ok(true) => {}
+                Ok(false) => continue,
+                Err(e) => {
+                    failure = Some(e);
+                    break 'outer;
+                }
             }
             let total = if alpha.is_total_for(&q_t) {
                 Some(alpha.clone())
             } else {
                 // COMPL(α, Q|t)
-                crowd.complete(&q_t, &alpha)
+                match crowd.complete(&q_t, &alpha) {
+                    Ok(total) => total,
+                    Err(e) => {
+                        failure = Some(e);
+                        break 'outer;
+                    }
+                }
             };
             if let Some(total) = total {
                 apply_witness_insertions(&q_t, db, &total, &mut edits)?;
@@ -135,10 +152,14 @@ pub fn crowd_add_missing_answer<C: CrowdAccess + ?Sized>(
     }
 
     // Line 18: fall back to a full witness request.
-    if !achieved {
-        if let Some(total) = crowd.complete(&q_t, &Assignment::new()) {
-            apply_witness_insertions(&q_t, db, &total, &mut edits)?;
-            achieved = !qt_missing(&q_t, db);
+    if !achieved && failure.is_none() {
+        match crowd.complete(&q_t, &Assignment::new()) {
+            Ok(Some(total)) => {
+                apply_witness_insertions(&q_t, db, &total, &mut edits)?;
+                achieved = !qt_missing(&q_t, db);
+            }
+            Ok(None) => {}
+            Err(e) => failure = Some(e),
         }
     }
 
@@ -152,6 +173,7 @@ pub fn crowd_add_missing_answer<C: CrowdAccess + ?Sized>(
         filled_variables: stats.filled_variables,
         upper_bound,
         achieved,
+        failure,
     })
 }
 

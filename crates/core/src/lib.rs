@@ -54,8 +54,9 @@ pub use heuristics::{
 };
 pub use hitting_set::HittingSetInstance;
 pub use insertion::{crowd_add_missing_answer, InsertionOptions, InsertionOutcome};
-pub use multi::ParallelMajorityCrowd;
+pub use multi::{clean_view_parallel, ParallelMajorityCrowd};
 pub use naive::{naive_enumeration, TargetAction};
+pub use report::{UnresolvedItem, UnresolvedPhase};
 pub use split::{
     InstrumentedSplit, MinCutSplit, NaiveSplit, ProvenanceSplit, RandomSplit, SplitStrategy,
     SplitStrategyKind,

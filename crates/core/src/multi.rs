@@ -14,11 +14,13 @@
 //!   verification sweep while edits stay sequential (edits mutate `D`, and
 //!   Proposition 3.3's monotonicity argument is per-edit).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
-use qoco_crowd::{CrowdAccess, CrowdStats, Oracle, Question};
+use qoco_crowd::{
+    Answer, CrowdAccess, CrowdError, CrowdStats, Oracle, OracleError, Question, RetryPolicy,
+};
 use qoco_data::{Database, Fact, Tuple};
 use qoco_engine::{answer_set, Assignment};
 use qoco_query::ConjunctiveQuery;
@@ -27,27 +29,44 @@ use crate::cleaner::{CleaningConfig, CleaningReport};
 use crate::deletion::crowd_remove_wrong_answer;
 use crate::error::CleanError;
 use crate::insertion::crowd_add_missing_answer;
+use crate::report::{UnresolvedItem, UnresolvedPhase};
 
 /// A panel of experts usable from multiple threads: each expert sits behind
 /// its own lock, so distinct questions proceed concurrently on distinct
 /// experts.
 pub struct ParallelMajorityCrowd<O: Oracle + Send> {
     experts: Vec<Mutex<O>>,
+    /// Per-expert permanent-failure latches: an expert that returns
+    /// [`OracleError::Dropped`] is excluded from every later question and
+    /// the quorum shrinks to the experts still alive.
+    dead: Vec<AtomicBool>,
     stats: Mutex<CrowdStats>,
     rotation: AtomicUsize,
+    policy: RetryPolicy,
 }
 
 impl<O: Oracle + Send> ParallelMajorityCrowd<O> {
-    /// Build from a panel (odd-sized panels make every majority decisive).
+    /// Build from a panel (odd-sized panels make every majority decisive),
+    /// with the default [`RetryPolicy`].
     ///
     /// # Panics
     /// Panics on an empty panel.
     pub fn new(experts: Vec<O>) -> Self {
+        Self::with_policy(experts, RetryPolicy::default())
+    }
+
+    /// [`ParallelMajorityCrowd::new`] with an explicit retry policy.
+    ///
+    /// # Panics
+    /// Panics on an empty panel.
+    pub fn with_policy(experts: Vec<O>, policy: RetryPolicy) -> Self {
         assert!(!experts.is_empty(), "the crowd needs at least one expert");
         ParallelMajorityCrowd {
+            dead: experts.iter().map(|_| AtomicBool::new(false)).collect(),
             experts: experts.into_iter().map(Mutex::new).collect(),
             stats: Mutex::new(CrowdStats::new()),
             rotation: AtomicUsize::new(0),
+            policy,
         }
     }
 
@@ -56,45 +75,139 @@ impl<O: Oracle + Send> ParallelMajorityCrowd<O> {
         self.experts.len()
     }
 
+    /// Experts still alive (not permanently dropped).
+    pub fn alive(&self) -> usize {
+        self.dead
+            .iter()
+            .filter(|d| !d.load(Ordering::SeqCst))
+            .count()
+    }
+
     /// The interaction ledger so far.
     pub fn current_stats(&self) -> CrowdStats {
         *self.stats.lock()
     }
 
-    /// Majority-vote one closed question (early stop at a strict majority).
-    fn majority_bool(&self, q: &Question) -> bool {
-        let need = self.experts.len() / 2 + 1;
-        let mut yes = 0usize;
-        let mut no = 0usize;
-        for expert in &self.experts {
-            let b = expert.lock().answer(q).expect_bool();
-            {
-                let mut s = self.stats.lock();
-                s.closed_answers += 1;
-                match q {
-                    Question::VerifyAnswer { .. } => s.verify_answer_crowd_answers += 1,
-                    Question::VerifyFact(_) => s.verify_fact_crowd_answers += 1,
-                    Question::VerifySatisfiable { .. } => s.satisfiable_crowd_answers += 1,
-                    _ => {}
+    fn alive_indices(&self) -> Vec<usize> {
+        (0..self.experts.len())
+            .filter(|&i| !self.dead[i].load(Ordering::SeqCst))
+            .collect()
+    }
+
+    fn quorum_err(&self, q: &Question) -> CrowdError {
+        CrowdError {
+            question: format!("{q:?}"),
+            attempts: 0,
+            last: OracleError::Dropped,
+        }
+    }
+
+    /// Ask one expert one question under the retry policy — the
+    /// thread-safe sibling of the sequential session's `ask_with_retry`
+    /// (same fault/retry/backoff accounting, stats behind the shared lock).
+    fn ask_one(&self, idx: usize, q: &Question) -> Result<Answer, OracleError> {
+        if self.dead[idx].load(Ordering::SeqCst) {
+            return Err(OracleError::Dropped);
+        }
+        let mut attempts = 0usize;
+        loop {
+            attempts += 1;
+            let reply = self.experts[idx].lock().answer(q);
+            match reply {
+                Ok(a) => return Ok(a),
+                Err(e) => {
+                    self.stats.lock().faults += 1;
+                    qoco_telemetry::counter_add("crowd.faults", 1);
+                    qoco_telemetry::event("crowd.fault", || format!("{} on {q:?}", e.as_str()));
+                    match e {
+                        OracleError::Timeout if attempts <= self.policy.max_retries => {
+                            let backoff = self
+                                .policy
+                                .backoff_base_ms
+                                .saturating_mul(1usize << (attempts - 1).min(16));
+                            let mut s = self.stats.lock();
+                            s.simulated_backoff_ms = s.simulated_backoff_ms.saturating_add(backoff);
+                            s.retries += 1;
+                            drop(s);
+                            qoco_telemetry::counter_add("crowd.retries", 1);
+                        }
+                        OracleError::Dropped => {
+                            self.dead[idx].store(true, Ordering::SeqCst);
+                            return Err(e);
+                        }
+                        _ => return Err(e),
+                    }
                 }
             }
-            if b {
-                yes += 1;
-            } else {
-                no += 1;
-            }
-            if yes >= need || no >= need {
-                break;
+        }
+    }
+
+    /// Majority-vote one closed question over the alive panel (early stop
+    /// at a strict majority; failing experts escalate to the rest).
+    fn majority_bool(&self, q: &Question) -> Result<bool, CrowdError> {
+        let alive = self.alive_indices();
+        if alive.is_empty() || alive.len() < self.policy.min_quorum {
+            return Err(self.quorum_err(q));
+        }
+        let need = alive.len() / 2 + 1;
+        let mut yes = 0usize;
+        let mut no = 0usize;
+        let mut answered = 0usize;
+        let mut last = OracleError::Dropped;
+        for (pos, &idx) in alive.iter().enumerate() {
+            match self.ask_one(idx, q) {
+                Ok(a) => {
+                    let b = a.expect_bool();
+                    answered += 1;
+                    {
+                        let mut s = self.stats.lock();
+                        s.closed_answers += 1;
+                        match q {
+                            Question::VerifyAnswer { .. } => s.verify_answer_crowd_answers += 1,
+                            Question::VerifyFact(_) => s.verify_fact_crowd_answers += 1,
+                            Question::VerifySatisfiable { .. } => s.satisfiable_crowd_answers += 1,
+                            _ => {}
+                        }
+                    }
+                    if b {
+                        yes += 1;
+                    } else {
+                        no += 1;
+                    }
+                    if yes >= need || no >= need {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    last = e;
+                    if pos + 1 < alive.len() {
+                        self.stats.lock().escalations += 1;
+                        qoco_telemetry::counter_add("crowd.escalations", 1);
+                    }
+                }
             }
         }
-        yes >= need
+        if answered == 0 {
+            return Err(CrowdError {
+                question: format!("{q:?}"),
+                attempts: 0,
+                last,
+            });
+        }
+        // Same verdict rule as the sequential MajorityCrowd: majority of
+        // the answers actually delivered, ties → NO.
+        Ok(yes > no)
     }
 
     /// Verify a whole batch of `TRUE(Q, t)?` questions concurrently — the
     /// "parallel foreach" of Section 6.2. Order of results matches the
     /// input order. Worker count is `min(batch, experts)`, so each worker
     /// tends to have an uncontended expert available.
-    pub fn verify_answers_parallel(&self, q: &ConjunctiveQuery, answers: &[Tuple]) -> Vec<bool> {
+    pub fn verify_answers_parallel(
+        &self,
+        q: &ConjunctiveQuery,
+        answers: &[Tuple],
+    ) -> Vec<Result<bool, CrowdError>> {
         if answers.is_empty() {
             return Vec::new();
         }
@@ -102,7 +215,8 @@ impl<O: Oracle + Send> ParallelMajorityCrowd<O> {
             let mut s = self.stats.lock();
             s.verify_answer_questions += answers.len();
         }
-        let verdicts: Vec<Mutex<bool>> = answers.iter().map(|_| Mutex::new(false)).collect();
+        let verdicts: Vec<Mutex<Option<Result<bool, CrowdError>>>> =
+            answers.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let workers = self.experts.len().min(answers.len()).max(1);
         crossbeam::thread::scope(|scope| {
@@ -117,22 +231,28 @@ impl<O: Oracle + Send> ParallelMajorityCrowd<O> {
                         answer: answers[i].clone(),
                     };
                     let verdict = self.majority_bool(&question);
-                    *verdicts[i].lock() = verdict;
+                    *verdicts[i].lock() = Some(verdict);
                 });
             }
         })
         .expect("verification workers do not panic");
-        verdicts.into_iter().map(|m| m.into_inner()).collect()
+        verdicts
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("every answer index is claimed by exactly one worker")
+            })
+            .collect()
     }
 }
 
 impl<O: Oracle + Send> CrowdAccess for ParallelMajorityCrowd<O> {
-    fn verify_fact(&mut self, f: &Fact) -> bool {
+    fn verify_fact(&mut self, f: &Fact) -> Result<bool, CrowdError> {
         self.stats.lock().verify_fact_questions += 1;
         self.majority_bool(&Question::VerifyFact(f.clone()))
     }
 
-    fn verify_answer(&mut self, q: &ConjunctiveQuery, t: &Tuple) -> bool {
+    fn verify_answer(&mut self, q: &ConjunctiveQuery, t: &Tuple) -> Result<bool, CrowdError> {
         self.stats.lock().verify_answer_questions += 1;
         self.majority_bool(&Question::VerifyAnswer {
             query: q.clone(),
@@ -140,7 +260,11 @@ impl<O: Oracle + Send> CrowdAccess for ParallelMajorityCrowd<O> {
         })
     }
 
-    fn verify_satisfiable(&mut self, q: &ConjunctiveQuery, partial: &Assignment) -> bool {
+    fn verify_satisfiable(
+        &mut self,
+        q: &ConjunctiveQuery,
+        partial: &Assignment,
+    ) -> Result<bool, CrowdError> {
         self.stats.lock().satisfiable_questions += 1;
         self.majority_bool(&Question::VerifySatisfiable {
             query: q.clone(),
@@ -148,19 +272,38 @@ impl<O: Oracle + Send> CrowdAccess for ParallelMajorityCrowd<O> {
         })
     }
 
-    fn complete(&mut self, q: &ConjunctiveQuery, partial: &Assignment) -> Option<Assignment> {
-        let n = self.experts.len();
+    fn complete(
+        &mut self,
+        q: &ConjunctiveQuery,
+        partial: &Assignment,
+    ) -> Result<Option<Assignment>, CrowdError> {
+        let question = Question::Complete {
+            query: q.clone(),
+            partial: partial.clone(),
+        };
+        let alive = self.alive_indices();
+        if alive.is_empty() || alive.len() < self.policy.min_quorum {
+            return Err(self.quorum_err(&question));
+        }
+        let n = alive.len();
         let start = self.rotation.fetch_add(1, Ordering::Relaxed);
+        let mut any_reply = false;
+        let mut last = OracleError::Dropped;
         for i in 0..n {
-            let idx = (start + i) % n;
+            let idx = alive[(start + i) % n];
             self.stats.lock().complete_tasks += 1;
-            let reply = self.experts[idx]
-                .lock()
-                .answer(&Question::Complete {
-                    query: q.clone(),
-                    partial: partial.clone(),
-                })
-                .expect_completion();
+            let reply = match self.ask_one(idx, &question) {
+                Ok(a) => {
+                    any_reply = true;
+                    a.expect_completion()
+                }
+                Err(e) => {
+                    last = e;
+                    self.stats.lock().escalations += 1;
+                    qoco_telemetry::counter_add("crowd.escalations", 1);
+                    continue;
+                }
+            };
             let Some(total) = reply else { continue };
             let filled = total.len().saturating_sub(partial.len());
             {
@@ -176,7 +319,7 @@ impl<O: Oracle + Send> CrowdAccess for ParallelMajorityCrowd<O> {
                     break;
                 };
                 self.stats.lock().verify_fact_questions += 1;
-                if !self.majority_bool(&Question::VerifyFact(fact)) {
+                if !self.majority_bool(&Question::VerifyFact(fact))? {
                     ok = false;
                     break;
                 }
@@ -186,25 +329,51 @@ impl<O: Oracle + Send> CrowdAccess for ParallelMajorityCrowd<O> {
                     .iter()
                     .all(|e| total.check_inequality(e) == Some(true))
             {
-                return Some(total);
+                return Ok(Some(total));
             }
         }
-        None
+        if !any_reply {
+            return Err(CrowdError {
+                question: format!("{question:?}"),
+                attempts: n,
+                last,
+            });
+        }
+        Ok(None)
     }
 
-    fn next_missing_answer(&mut self, q: &ConjunctiveQuery, known: &[Tuple]) -> Option<Tuple> {
-        let n = self.experts.len();
+    fn next_missing_answer(
+        &mut self,
+        q: &ConjunctiveQuery,
+        known: &[Tuple],
+    ) -> Result<Option<Tuple>, CrowdError> {
+        let question = Question::CompleteResult {
+            query: q.clone(),
+            known: known.to_vec(),
+        };
+        let alive = self.alive_indices();
+        if alive.is_empty() || alive.len() < self.policy.min_quorum {
+            return Err(self.quorum_err(&question));
+        }
+        let n = alive.len();
         let start = self.rotation.fetch_add(1, Ordering::Relaxed);
+        let mut any_reply = false;
+        let mut last = OracleError::Dropped;
         for i in 0..n {
-            let idx = (start + i) % n;
+            let idx = alive[(start + i) % n];
             self.stats.lock().complete_result_tasks += 1;
-            let reply = self.experts[idx]
-                .lock()
-                .answer(&Question::CompleteResult {
-                    query: q.clone(),
-                    known: known.to_vec(),
-                })
-                .expect_missing();
+            let reply = match self.ask_one(idx, &question) {
+                Ok(a) => {
+                    any_reply = true;
+                    a.expect_missing()
+                }
+                Err(e) => {
+                    last = e;
+                    self.stats.lock().escalations += 1;
+                    qoco_telemetry::counter_add("crowd.escalations", 1);
+                    continue;
+                }
+            };
             let Some(t) = reply else { continue };
             {
                 let mut s = self.stats.lock();
@@ -214,12 +383,19 @@ impl<O: Oracle + Send> CrowdAccess for ParallelMajorityCrowd<O> {
             if self.majority_bool(&Question::VerifyAnswer {
                 query: q.clone(),
                 answer: t.clone(),
-            }) {
+            })? {
                 self.stats.lock().missing_answers_provided += 1;
-                return Some(t);
+                return Ok(Some(t));
             }
         }
-        None
+        if !any_reply {
+            return Err(CrowdError {
+                question: format!("{question:?}"),
+                attempts: n,
+                last,
+            });
+        }
+        Ok(None)
     }
 
     fn stats(&self) -> CrowdStats {
@@ -228,35 +404,63 @@ impl<O: Oracle + Send> CrowdAccess for ParallelMajorityCrowd<O> {
 }
 
 impl<O: Oracle + Send> ParallelMajorityCrowd<O> {
-    /// Post `COMPL(Q(D))` to every expert concurrently ("post together
-    /// multiple completion questions", Section 6.2), deduplicate the
-    /// replies and majority-verify each candidate. Returns the verified
-    /// missing answers.
-    pub fn missing_answers_parallel(&self, q: &ConjunctiveQuery, known: &[Tuple]) -> Vec<Tuple> {
-        let replies: Vec<Mutex<Option<Tuple>>> =
-            self.experts.iter().map(|_| Mutex::new(None)).collect();
+    /// Post `COMPL(Q(D))` to every alive expert concurrently ("post
+    /// together multiple completion questions", Section 6.2), deduplicate
+    /// the replies and majority-verify each candidate. Returns the
+    /// verified missing answers plus the crowd failure that cut the batch
+    /// short, if any (no alive expert replied, or verification lost its
+    /// quorum mid-batch).
+    pub fn missing_answers_parallel(
+        &self,
+        q: &ConjunctiveQuery,
+        known: &[Tuple],
+    ) -> (Vec<Tuple>, Option<CrowdError>) {
+        let question = Question::CompleteResult {
+            query: q.clone(),
+            known: known.to_vec(),
+        };
+        let alive = self.alive_indices();
+        if alive.is_empty() || alive.len() < self.policy.min_quorum {
+            return (Vec::new(), Some(self.quorum_err(&question)));
+        }
+        let replies: Vec<Mutex<Result<Option<Tuple>, OracleError>>> = alive
+            .iter()
+            .map(|_| Mutex::new(Err(OracleError::Dropped)))
+            .collect();
         crossbeam::thread::scope(|scope| {
-            for (i, expert) in self.experts.iter().enumerate() {
-                let slot = &replies[i];
+            for (slot, &idx) in replies.iter().zip(&alive) {
+                let question = &question;
                 scope.spawn(move |_| {
-                    let reply = expert
-                        .lock()
-                        .answer(&Question::CompleteResult {
-                            query: q.clone(),
-                            known: known.to_vec(),
-                        })
-                        .expect_missing();
-                    *slot.lock() = reply;
+                    *slot.lock() = self.ask_one(idx, question).map(|a| a.expect_missing());
                 });
             }
         })
         .expect("completion workers do not panic");
         {
             let mut s = self.stats.lock();
-            s.complete_result_tasks += self.experts.len();
+            s.complete_result_tasks += alive.len();
         }
-        let mut candidates: Vec<Tuple> =
-            replies.into_iter().filter_map(|m| m.into_inner()).collect();
+        let outcomes: Vec<Result<Option<Tuple>, OracleError>> =
+            replies.into_iter().map(|m| m.into_inner()).collect();
+        if outcomes.iter().all(|r| r.is_err()) {
+            let last = outcomes
+                .into_iter()
+                .filter_map(|r| r.err())
+                .next_back()
+                .unwrap_or(OracleError::Dropped);
+            return (
+                Vec::new(),
+                Some(CrowdError {
+                    question: format!("{question:?}"),
+                    attempts: alive.len(),
+                    last,
+                }),
+            );
+        }
+        let mut candidates: Vec<Tuple> = outcomes
+            .into_iter()
+            .filter_map(|r| r.ok().flatten())
+            .collect();
         candidates.sort();
         candidates.dedup();
         let mut verified = Vec::new();
@@ -266,15 +470,19 @@ impl<O: Oracle + Send> ParallelMajorityCrowd<O> {
                 s.open_answer_variables += q.head().len();
                 s.verify_answer_questions += 1;
             }
-            if self.majority_bool(&Question::VerifyAnswer {
+            match self.majority_bool(&Question::VerifyAnswer {
                 query: q.clone(),
                 answer: t.clone(),
             }) {
-                self.stats.lock().missing_answers_provided += 1;
-                verified.push(t);
+                Ok(true) => {
+                    self.stats.lock().missing_answers_provided += 1;
+                    verified.push(t);
+                }
+                Ok(false) => {}
+                Err(e) => return (verified, Some(e)),
             }
         }
-        verified
+        (verified, None)
     }
 }
 
@@ -289,13 +497,14 @@ pub fn clean_view_parallel<O: Oracle + Send>(
 ) -> Result<CleaningReport, CleanError> {
     let mut report = CleaningReport::new();
     let mut verified: std::collections::BTreeSet<Tuple> = Default::default();
+    let mut skipped: std::collections::BTreeSet<Tuple> = Default::default();
     let mut split = config.split.build();
     let mut first = true;
 
     loop {
         let unverified: Vec<Tuple> = answer_set(q, db)
             .into_iter()
-            .filter(|t| !verified.contains(t))
+            .filter(|t| !verified.contains(t) && !skipped.contains(t))
             .collect();
         if !first && unverified.is_empty() {
             break;
@@ -311,15 +520,40 @@ pub fn clean_view_parallel<O: Oracle + Send>(
         // ---- parallel verification sweep + sequential deletions ----
         let del_before = crowd.stats();
         let verdicts = crowd.verify_answers_parallel(q, &unverified);
-        for (t, ok) in unverified.into_iter().zip(verdicts) {
-            if ok {
-                verified.insert(t);
-            } else if answer_set(q, db).contains(&t) {
-                report.wrong_answers += 1;
-                let out = crowd_remove_wrong_answer(q, db, &t, crowd, config.deletion)?;
-                report.deletion_upper_bound += out.upper_bound;
-                report.anomalies += out.anomalies;
-                report.edits.extend(out.edits);
+        for (t, verdict) in unverified.into_iter().zip(verdicts) {
+            match verdict {
+                Ok(true) => {
+                    verified.insert(t);
+                }
+                Ok(false) => {
+                    if answer_set(q, db).contains(&t) {
+                        let out = crowd_remove_wrong_answer(q, db, &t, crowd, config.deletion)?;
+                        report.deletion_upper_bound += out.upper_bound;
+                        report.anomalies += out.anomalies;
+                        report.edits.extend(out.edits);
+                        if let Some(e) = out.failure {
+                            report.unresolved.push(UnresolvedItem {
+                                phase: UnresolvedPhase::Delete,
+                                answer: Some(t.clone()),
+                                reason: e.to_string(),
+                            });
+                            skipped.insert(t);
+                        } else {
+                            // counted only when the removal completed — a
+                            // crowd failure mid-removal is unresolved, not
+                            // a removed answer
+                            report.wrong_answers += 1;
+                        }
+                    }
+                }
+                Err(e) => {
+                    report.unresolved.push(UnresolvedItem {
+                        phase: UnresolvedPhase::Verify,
+                        answer: Some(t.clone()),
+                        reason: e.to_string(),
+                    });
+                    skipped.insert(t);
+                }
             }
         }
         report
@@ -328,10 +562,10 @@ pub fn clean_view_parallel<O: Oracle + Send>(
 
         // ---- insertion phase: batch-post completion questions ----
         let ins_before = crowd.stats();
-        loop {
+        'insertion: loop {
             let known = answer_set(q, db);
-            let batch = crowd.missing_answers_parallel(q, &known);
-            if batch.is_empty() {
+            let (batch, batch_failure) = crowd.missing_answers_parallel(q, &known);
+            if batch.is_empty() && batch_failure.is_none() {
                 break;
             }
             for t in batch {
@@ -340,16 +574,33 @@ pub fn clean_view_parallel<O: Oracle + Send>(
                     verified.insert(t);
                     continue;
                 }
-                report.missing_answers += 1;
                 let out =
                     crowd_add_missing_answer(q, db, &t, crowd, &mut *split, config.insertion)?;
                 report.insertion_upper_bound += out.upper_bound;
+                report.edits.extend(out.edits);
+                if let Some(e) = out.failure {
+                    report.unresolved.push(UnresolvedItem {
+                        phase: UnresolvedPhase::Insert,
+                        answer: Some(t.clone()),
+                        reason: e.to_string(),
+                    });
+                    skipped.insert(t);
+                    break 'insertion;
+                }
+                report.missing_answers += 1;
                 if out.achieved {
                     verified.insert(t);
                 } else {
                     report.anomalies += 1;
                 }
-                report.edits.extend(out.edits);
+            }
+            if let Some(e) = batch_failure {
+                report.unresolved.push(UnresolvedItem {
+                    phase: UnresolvedPhase::Insert,
+                    answer: None,
+                    reason: e.to_string(),
+                });
+                break;
             }
         }
         report
@@ -365,10 +616,19 @@ pub fn clean_view_parallel<O: Oracle + Send>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qoco_crowd::{ImperfectOracle, PerfectOracle};
+    use qoco_crowd::{FaultPlan, FaultyOracle, ImperfectOracle, PerfectOracle};
     use qoco_data::{tup, Schema};
     use qoco_query::parse_query;
     use std::sync::Arc;
+
+    fn faulty(g: &Database, spec: &str) -> FaultyOracle<PerfectOracle> {
+        let plan = if spec.is_empty() {
+            FaultPlan::none()
+        } else {
+            spec.parse().unwrap()
+        };
+        FaultyOracle::new(PerfectOracle::new(g.clone()), plan)
+    }
 
     fn setup() -> (Arc<Schema>, Database, Database, ConjunctiveQuery) {
         let schema = Schema::builder()
@@ -427,7 +687,7 @@ mod tests {
         assert_eq!(verdicts.len(), answers.len());
         let truth = true_answers(&g, &q);
         for (t, v) in answers.iter().zip(&verdicts) {
-            assert_eq!(*v, truth.contains(t), "verdict for {t}");
+            assert_eq!(*v.as_ref().unwrap(), truth.contains(t), "verdict for {t}");
         }
         // early stop: 2 answers per question with unanimous experts
         assert_eq!(crowd.current_stats().closed_answers, 2 * answers.len());
@@ -496,7 +756,8 @@ mod tests {
                 .collect::<Vec<_>>(),
         );
         let known = answer_set(&q, &d);
-        let batch = crowd.missing_answers_parallel(&q, &known);
+        let (batch, failure) = crowd.missing_answers_parallel(&q, &known);
+        assert!(failure.is_none());
         // ITA is missing from the view; all experts report it, deduped
         assert_eq!(batch, vec![tup!["ITA"]]);
         let st = crowd.current_stats();
@@ -516,5 +777,46 @@ mod tests {
     #[should_panic(expected = "at least one expert")]
     fn empty_panel_panics() {
         let _ = ParallelMajorityCrowd::<PerfectOracle>::new(vec![]);
+    }
+
+    #[test]
+    fn parallel_crowd_degrades_quorum_when_an_expert_drops() {
+        let (_, mut d, g, q) = setup();
+        // one expert drops on its very first question, the other two stay
+        let experts = vec![faulty(&g, "drop@0"), faulty(&g, ""), faulty(&g, "")];
+        let mut crowd = ParallelMajorityCrowd::new(experts);
+        let report =
+            clean_view_parallel(&q, &mut d, &mut crowd, CleaningConfig::default()).unwrap();
+        assert_eq!(answer_set(&q, &d), true_answers(&g, &q));
+        assert!(!report.is_partial(), "two alive experts still answer");
+        assert_eq!(crowd.alive(), 2);
+        assert!(crowd.current_stats().faults >= 1);
+    }
+
+    #[test]
+    fn fully_dropped_parallel_panel_yields_a_partial_report() {
+        let (_, mut d, g, q) = setup();
+        let experts = vec![
+            faulty(&g, "drop@0"),
+            faulty(&g, "drop@0"),
+            faulty(&g, "drop@0"),
+        ];
+        let mut crowd = ParallelMajorityCrowd::new(experts);
+        let report = clean_view_parallel(&q, &mut d, &mut crowd, CleaningConfig::default())
+            .expect("a dead crowd must yield a partial report, not an error");
+        assert!(report.is_partial());
+        assert!(report
+            .unresolved
+            .iter()
+            .any(|u| u.phase == UnresolvedPhase::Verify));
+        assert!(report
+            .unresolved
+            .iter()
+            .any(|u| u.phase == UnresolvedPhase::Insert));
+        assert_eq!(crowd.alive(), 0);
+        assert!(
+            report.edits.is_empty(),
+            "nothing was confirmed, nothing edited"
+        );
     }
 }

@@ -79,7 +79,7 @@ pub fn naive_enumeration<C: CrowdAccess + ?Sized>(
             }
             questions += 1;
             let in_db = db.contains(&fact);
-            let truth = crowd.verify_fact(&fact);
+            let truth = crowd.verify_fact(&fact)?;
             let edit = if truth && !in_db {
                 Some(Edit::insert(fact))
             } else if !truth && in_db {

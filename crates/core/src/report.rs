@@ -3,7 +3,49 @@
 use std::fmt;
 
 use qoco_crowd::CrowdStats;
-use qoco_data::EditLog;
+use qoco_data::{EditLog, Tuple};
+
+/// Which phase of the cleaning loop a question belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnresolvedPhase {
+    /// Verifying whether a current answer is correct (`TRUE(Q, t)?`).
+    Verify,
+    /// Removing a confirmed wrong answer (Algorithm 1).
+    Delete,
+    /// Finding or adding a missing answer (Algorithm 2 / `COMPL(Q(D))`).
+    Insert,
+}
+
+impl fmt::Display for UnresolvedPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            UnresolvedPhase::Verify => "verify",
+            UnresolvedPhase::Delete => "delete",
+            UnresolvedPhase::Insert => "insert",
+        })
+    }
+}
+
+/// A piece of cleaning work the session had to abandon because the crowd
+/// became unavailable (after retries and escalation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnresolvedItem {
+    /// Where in the loop the crowd failed.
+    pub phase: UnresolvedPhase,
+    /// The answer tuple being worked on, when one was in hand.
+    pub answer: Option<Tuple>,
+    /// Why the work was abandoned (the crowd error, rendered).
+    pub reason: String,
+}
+
+impl fmt::Display for UnresolvedItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.answer {
+            Some(t) => write!(f, "[{}] {t}: {}", self.phase, self.reason),
+            None => write!(f, "[{}] {}", self.phase, self.reason),
+        }
+    }
+}
 
 /// Everything a cleaning session did, for auditing and for the figures.
 #[derive(Debug, Clone)]
@@ -30,6 +72,9 @@ pub struct CleaningReport {
     pub insertion_upper_bound: usize,
     /// Oracle inconsistencies observed (always 0 with a perfect oracle).
     pub anomalies: usize,
+    /// Work abandoned because the crowd became unavailable. Empty for a
+    /// complete report; see [`CleaningReport::is_partial`].
+    pub unresolved: Vec<UnresolvedItem>,
 }
 
 impl CleaningReport {
@@ -46,7 +91,17 @@ impl CleaningReport {
             deletion_upper_bound: 0,
             insertion_upper_bound: 0,
             anomalies: 0,
+            unresolved: Vec::new(),
         }
+    }
+
+    /// Whether this is a *partial* report: some answers could not be
+    /// verified or repaired because the crowd became unavailable. The
+    /// edits that were applied are still individually correct (each was
+    /// confirmed before application); partiality means coverage, not
+    /// validity, was lost.
+    pub fn is_partial(&self) -> bool {
+        !self.unresolved.is_empty()
     }
 
     /// The paper's three Figure 3f categories:
@@ -85,6 +140,16 @@ impl fmt::Display for CleaningReport {
         if self.anomalies > 0 {
             writeln!(f, "anomalies (oracle inconsistencies): {}", self.anomalies)?;
         }
+        if self.is_partial() {
+            writeln!(
+                f,
+                "PARTIAL REPORT — {} item(s) unresolved (crowd unavailable):",
+                self.unresolved.len()
+            )?;
+            for item in &self.unresolved {
+                writeln!(f, "  {item}")?;
+            }
+        }
         Ok(())
     }
 }
@@ -106,6 +171,28 @@ mod tests {
         assert!(!out.contains("anomalies"));
         r.anomalies = 1;
         assert!(r.to_string().contains("anomalies"));
+    }
+
+    #[test]
+    fn partial_reports_render_their_unresolved_section() {
+        let mut r = CleaningReport::new();
+        assert!(!r.is_partial());
+        assert!(!r.to_string().contains("PARTIAL"));
+        r.unresolved.push(UnresolvedItem {
+            phase: UnresolvedPhase::Verify,
+            answer: Some(qoco_data::tup!["GER"]),
+            reason: "the worker dropped out of the panel".into(),
+        });
+        r.unresolved.push(UnresolvedItem {
+            phase: UnresolvedPhase::Insert,
+            answer: None,
+            reason: "the worker timed out".into(),
+        });
+        assert!(r.is_partial());
+        let out = r.to_string();
+        assert!(out.contains("PARTIAL REPORT — 2 item(s)"), "{out}");
+        assert!(out.contains("[verify] (GER)"), "{out}");
+        assert!(out.contains("[insert] the worker timed out"), "{out}");
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use std::collections::BTreeSet;
 
-use qoco_crowd::CrowdAccess;
+use qoco_crowd::{CrowdAccess, CrowdError};
 use qoco_data::{Database, Tuple};
 use qoco_engine::{answer_set, Assignment};
 use qoco_query::{embed_answer, UnionQuery};
@@ -23,6 +23,7 @@ use crate::cleaner::{CleaningConfig, CleaningReport};
 use crate::deletion::crowd_remove_wrong_answer;
 use crate::error::CleanError;
 use crate::insertion::crowd_add_missing_answer;
+use crate::report::{UnresolvedItem, UnresolvedPhase};
 
 /// The union's answer set over `db`: the union of the disjuncts' answers.
 pub fn union_answer_set(uq: &UnionQuery, db: &Database) -> Vec<Tuple> {
@@ -38,8 +39,17 @@ pub fn union_answer_set(uq: &UnionQuery, db: &Database) -> Vec<Tuple> {
 
 /// Verify a union answer: true iff some disjunct certifies it. Asks the
 /// crowd per disjunct, stopping at the first YES.
-fn verify_union_answer<C: CrowdAccess + ?Sized>(uq: &UnionQuery, crowd: &mut C, t: &Tuple) -> bool {
-    uq.disjuncts().iter().any(|q| crowd.verify_answer(q, t))
+fn verify_union_answer<C: CrowdAccess + ?Sized>(
+    uq: &UnionQuery,
+    crowd: &mut C,
+    t: &Tuple,
+) -> Result<bool, CrowdError> {
+    for q in uq.disjuncts() {
+        if crowd.verify_answer(q, t)? {
+            return Ok(true);
+        }
+    }
+    Ok(false)
 }
 
 /// Clean a union view until `U(D′) = U(D_G)` as certified by the crowd —
@@ -52,13 +62,14 @@ pub fn clean_union_view<C: CrowdAccess + ?Sized>(
 ) -> Result<CleaningReport, CleanError> {
     let mut report = CleaningReport::new();
     let mut verified: BTreeSet<Tuple> = BTreeSet::new();
+    let mut skipped: BTreeSet<Tuple> = BTreeSet::new();
     let mut split = config.split.build();
     let mut first = true;
 
     loop {
         let unverified: Vec<Tuple> = union_answer_set(uq, db)
             .into_iter()
-            .filter(|t| !verified.contains(t))
+            .filter(|t| !verified.contains(t) && !skipped.contains(t))
             .collect();
         if !first && unverified.is_empty() {
             break;
@@ -77,18 +88,45 @@ pub fn clean_union_view<C: CrowdAccess + ?Sized>(
             if !union_answer_set(uq, db).contains(&t) {
                 continue;
             }
-            if verify_union_answer(uq, crowd, &t) {
-                verified.insert(t);
-                continue;
+            match verify_union_answer(uq, crowd, &t) {
+                Ok(true) => {
+                    verified.insert(t);
+                    continue;
+                }
+                Ok(false) => {}
+                Err(e) => {
+                    report.unresolved.push(UnresolvedItem {
+                        phase: UnresolvedPhase::Verify,
+                        answer: Some(t.clone()),
+                        reason: e.to_string(),
+                    });
+                    skipped.insert(t);
+                    continue;
+                }
             }
-            report.wrong_answers += 1;
+            let mut removal_failed = false;
             for q in uq.disjuncts() {
                 if answer_set(q, db).contains(&t) {
                     let out = crowd_remove_wrong_answer(q, db, &t, crowd, config.deletion)?;
                     report.deletion_upper_bound += out.upper_bound;
                     report.anomalies += out.anomalies;
                     report.edits.extend(out.edits);
+                    if let Some(e) = out.failure {
+                        report.unresolved.push(UnresolvedItem {
+                            phase: UnresolvedPhase::Delete,
+                            answer: Some(t.clone()),
+                            reason: e.to_string(),
+                        });
+                        skipped.insert(t.clone());
+                        removal_failed = true;
+                        break;
+                    }
                 }
+            }
+            if !removal_failed {
+                // counted only when every hosting disjunct finished its
+                // removal — a crowd failure leaves the answer in the view
+                report.wrong_answers += 1;
             }
         }
         report
@@ -97,38 +135,74 @@ pub fn clean_union_view<C: CrowdAccess + ?Sized>(
 
         // ---- insertion: find missing answers via any disjunct
         let ins_before = crowd.stats();
-        loop {
+        'insertion: loop {
             let known = union_answer_set(uq, db);
             // ask each disjunct's oracle view for a missing answer
             let mut found = None;
             for q in uq.disjuncts() {
-                if let Some(t) = crowd.next_missing_answer(q, &known) {
-                    found = Some(t);
-                    break;
+                match crowd.next_missing_answer(q, &known) {
+                    Ok(Some(t)) => {
+                        found = Some(t);
+                        break;
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        report.unresolved.push(UnresolvedItem {
+                            phase: UnresolvedPhase::Insert,
+                            answer: None,
+                            reason: e.to_string(),
+                        });
+                        break 'insertion;
+                    }
                 }
             }
             let Some(t) = found else { break };
-            report.missing_answers += 1;
             // pick the disjunct that can host a witness: the embedded
             // query must be satisfiable w.r.t. the ground truth
             let mut achieved = false;
+            let mut failed = false;
             for q in uq.disjuncts() {
                 let Ok(q_t) = embed_answer(q, t.values()) else {
                     continue;
                 };
-                if !crowd.verify_satisfiable(&q_t, &Assignment::new()) {
-                    continue;
+                match crowd.verify_satisfiable(&q_t, &Assignment::new()) {
+                    Ok(true) => {}
+                    Ok(false) => continue,
+                    Err(e) => {
+                        report.unresolved.push(UnresolvedItem {
+                            phase: UnresolvedPhase::Insert,
+                            answer: Some(t.clone()),
+                            reason: e.to_string(),
+                        });
+                        skipped.insert(t.clone());
+                        failed = true;
+                        break;
+                    }
                 }
                 let out =
                     crowd_add_missing_answer(q, db, &t, crowd, &mut *split, config.insertion)?;
                 report.insertion_upper_bound += out.upper_bound;
                 report.edits.extend(out.edits);
+                if let Some(e) = out.failure {
+                    report.unresolved.push(UnresolvedItem {
+                        phase: UnresolvedPhase::Insert,
+                        answer: Some(t.clone()),
+                        reason: e.to_string(),
+                    });
+                    skipped.insert(t.clone());
+                    failed = true;
+                    break;
+                }
                 if out.achieved {
                     achieved = true;
                     verified.insert(t.clone());
                     break;
                 }
             }
+            if failed {
+                break 'insertion;
+            }
+            report.missing_answers += 1;
             if !achieved {
                 report.anomalies += 1;
             }

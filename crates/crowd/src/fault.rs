@@ -1,0 +1,456 @@
+//! Fault injection: a fallible-crowd model and deterministic chaos plans.
+//!
+//! Real crowds do not just answer wrongly (that is [`crate::ImperfectOracle`]'s
+//! Bernoulli model) — they time out, abstain, and disappear mid-session.
+//! [`OracleError`] is the taxonomy; [`FaultyOracle`] is a decorator that
+//! injects those failures according to a [`FaultPlan`], deterministically:
+//! the fault decision for question *n* is a pure function of
+//! `(plan.seed, n, question kind)`, so a chaos run replays bit-identically
+//! and a journal replay (see [`crate::journal`]) re-derives the same faults.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::oracle::Oracle;
+use crate::question::{Answer, Question, QuestionKind};
+
+/// Why an oracle failed to answer a question.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OracleError {
+    /// The worker did not answer in time. Transient: retrying the same
+    /// worker may succeed.
+    Timeout,
+    /// The worker declined this particular question. Sticky per question:
+    /// re-asking the same worker the same question is pointless, but the
+    /// worker stays available for other questions.
+    Abstain,
+    /// The worker left the panel. Permanent: every later question to this
+    /// worker fails the same way.
+    Dropped,
+}
+
+impl OracleError {
+    /// The snake_case tag used in journals and fault-plan specs.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            OracleError::Timeout => "timeout",
+            OracleError::Abstain => "abstain",
+            OracleError::Dropped => "dropped",
+        }
+    }
+
+    /// Parse the [`as_str`](Self::as_str) tag back.
+    pub fn parse(s: &str) -> Option<OracleError> {
+        Some(match s {
+            "timeout" => OracleError::Timeout,
+            "abstain" => OracleError::Abstain,
+            "dropped" | "drop" => OracleError::Dropped,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleError::Timeout => f.write_str("the worker timed out"),
+            OracleError::Abstain => f.write_str("the worker abstained"),
+            OracleError::Dropped => f.write_str("the worker dropped out of the panel"),
+        }
+    }
+}
+
+/// The kind of fault a plan injects at a given point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Inject [`OracleError::Timeout`].
+    Timeout,
+    /// Inject [`OracleError::Abstain`].
+    Abstain,
+    /// Inject [`OracleError::Dropped`] (and every question after it).
+    Drop,
+}
+
+impl FaultKind {
+    /// The error this fault kind surfaces as.
+    pub fn to_error(self) -> OracleError {
+        match self {
+            FaultKind::Timeout => OracleError::Timeout,
+            FaultKind::Abstain => OracleError::Abstain,
+            FaultKind::Drop => OracleError::Dropped,
+        }
+    }
+
+    fn parse(s: &str) -> Result<FaultKind, String> {
+        match s {
+            "timeout" => Ok(FaultKind::Timeout),
+            "abstain" => Ok(FaultKind::Abstain),
+            "drop" | "dropped" => Ok(FaultKind::Drop),
+            other => Err(format!(
+                "unknown fault kind {other:?} (expected timeout, abstain or drop)"
+            )),
+        }
+    }
+}
+
+/// A deterministic burst window: questions `start ..= start + len - 1`
+/// (1-based) all fail with `kind`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Burst {
+    /// First failing question (1-based).
+    pub start: u64,
+    /// Number of consecutive failing questions.
+    pub len: u64,
+    /// The fault injected throughout the window.
+    pub kind: FaultKind,
+}
+
+/// A reproducible chaos schedule for one oracle.
+///
+/// Deterministic triggers (`fail_at`, `bursts`, `drop_after`) are checked
+/// first, in that order; otherwise a per-question RNG derived from
+/// `(seed, question index)` draws against the stochastic rates. Rates can
+/// be overridden per [`QuestionKind`] — e.g. completions time out more
+/// often than boolean checks.
+///
+/// Parse one from a spec string (the `--faults` CLI flag):
+///
+/// ```text
+/// seed=42,timeout=0.1,abstain=0.05,timeout.complete=0.5,fail@7=timeout,burst@50+10=abstain,drop@120
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the stochastic draws. Same seed ⇒ same faults.
+    pub seed: u64,
+    /// Baseline probability of a timeout per question.
+    pub timeout_rate: f64,
+    /// Baseline probability of an abstention per question.
+    pub abstain_rate: f64,
+    /// Per-question-kind timeout-rate overrides.
+    pub timeout_by_kind: BTreeMap<QuestionKind, f64>,
+    /// Per-question-kind abstain-rate overrides.
+    pub abstain_by_kind: BTreeMap<QuestionKind, f64>,
+    /// "Fail question N exactly": 1-based question index → fault.
+    pub fail_at: BTreeMap<u64, FaultKind>,
+    /// Burst windows of consecutive failures.
+    pub bursts: Vec<Burst>,
+    /// The worker drops permanently after answering this many questions:
+    /// every question with 1-based index `> drop_after` returns
+    /// [`OracleError::Dropped`].
+    pub drop_after: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that never injects anything (the `Default`).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// The fault (if any) this plan injects for 1-based question `n` of
+    /// kind `kind`. Pure: same inputs, same answer.
+    pub fn fault_for(&self, n: u64, kind: QuestionKind) -> Option<OracleError> {
+        if let Some(after) = self.drop_after {
+            if n > after {
+                return Some(OracleError::Dropped);
+            }
+        }
+        if let Some(k) = self.fail_at.get(&n) {
+            return Some(k.to_error());
+        }
+        for b in &self.bursts {
+            if n >= b.start && n < b.start.saturating_add(b.len) {
+                return Some(b.kind.to_error());
+            }
+        }
+        let timeout = self
+            .timeout_by_kind
+            .get(&kind)
+            .copied()
+            .unwrap_or(self.timeout_rate);
+        let abstain = self
+            .abstain_by_kind
+            .get(&kind)
+            .copied()
+            .unwrap_or(self.abstain_rate);
+        if timeout <= 0.0 && abstain <= 0.0 {
+            return None;
+        }
+        // One RNG per question, derived from (seed, n): stateless, so a
+        // replayed session re-derives identical faults without replaying
+        // the draw sequence.
+        let mut rng = StdRng::seed_from_u64(self.seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let u: f64 = rng.random();
+        if u < timeout {
+            Some(OracleError::Timeout)
+        } else if u < timeout + abstain {
+            Some(OracleError::Abstain)
+        } else {
+            None
+        }
+    }
+}
+
+fn parse_rate(key: &str, value: &str) -> Result<f64, String> {
+    let rate: f64 = value
+        .parse()
+        .map_err(|_| format!("{key}: {value:?} is not a number"))?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("{key}: rate {rate} is outside [0, 1]"));
+    }
+    Ok(rate)
+}
+
+fn parse_kind_suffix(key: &str) -> Result<Option<QuestionKind>, String> {
+    match key.split_once('.') {
+        None => Ok(None),
+        Some((_, kind)) => QuestionKind::parse(kind)
+            .map(Some)
+            .ok_or_else(|| format!("{key}: unknown question kind {kind:?}")),
+    }
+}
+
+impl FromStr for FaultPlan {
+    type Err = String;
+
+    /// Parse a comma-separated spec; see the type-level docs for the
+    /// grammar. Unknown keys are errors so typos do not silently disable
+    /// chaos.
+    fn from_str(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            if let Some(rest) = token.strip_prefix("fail@") {
+                let (n, kind) = rest
+                    .split_once('=')
+                    .ok_or_else(|| format!("{token}: expected fail@N=<kind>"))?;
+                let n: u64 = n
+                    .parse()
+                    .map_err(|_| format!("{token}: {n:?} is not a question index"))?;
+                plan.fail_at.insert(n, FaultKind::parse(kind)?);
+            } else if let Some(rest) = token.strip_prefix("burst@") {
+                let (window, kind) = rest
+                    .split_once('=')
+                    .ok_or_else(|| format!("{token}: expected burst@START+LEN=<kind>"))?;
+                let (start, len) = window
+                    .split_once('+')
+                    .ok_or_else(|| format!("{token}: expected burst@START+LEN=<kind>"))?;
+                let start: u64 = start
+                    .parse()
+                    .map_err(|_| format!("{token}: bad burst start {start:?}"))?;
+                let len: u64 = len
+                    .parse()
+                    .map_err(|_| format!("{token}: bad burst length {len:?}"))?;
+                plan.bursts.push(Burst {
+                    start,
+                    len,
+                    kind: FaultKind::parse(kind)?,
+                });
+            } else if let Some(n) = token.strip_prefix("drop@") {
+                let n: u64 = n
+                    .parse()
+                    .map_err(|_| format!("{token}: {n:?} is not a question index"))?;
+                plan.drop_after = Some(n);
+            } else {
+                let (key, value) = token
+                    .split_once('=')
+                    .ok_or_else(|| format!("{token}: expected key=value"))?;
+                if key == "seed" {
+                    plan.seed = value
+                        .parse()
+                        .map_err(|_| format!("seed: {value:?} is not a u64"))?;
+                } else if key == "timeout" || key.starts_with("timeout.") {
+                    let rate = parse_rate(key, value)?;
+                    match parse_kind_suffix(key)? {
+                        Some(kind) => {
+                            plan.timeout_by_kind.insert(kind, rate);
+                        }
+                        None => plan.timeout_rate = rate,
+                    }
+                } else if key == "abstain" || key.starts_with("abstain.") {
+                    let rate = parse_rate(key, value)?;
+                    match parse_kind_suffix(key)? {
+                        Some(kind) => {
+                            plan.abstain_by_kind.insert(kind, rate);
+                        }
+                        None => plan.abstain_rate = rate,
+                    }
+                } else {
+                    return Err(format!(
+                        "unknown fault-plan key {key:?} (expected seed, timeout[.kind], \
+                         abstain[.kind], fail@N=<kind>, burst@START+LEN=<kind>, drop@N)"
+                    ));
+                }
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// Decorates any [`Oracle`] with deterministic fault injection.
+///
+/// The decorator counts the questions this worker has been asked (retries
+/// count — each retry is a fresh ask) and consults the [`FaultPlan`] before
+/// forwarding to the inner oracle. A question that faults never reaches the
+/// inner oracle, so the inner oracle's own RNG stream (e.g.
+/// [`crate::ImperfectOracle`]'s) only advances on delivered answers — which
+/// is exactly what journal replay reproduces.
+#[derive(Debug, Clone)]
+pub struct FaultyOracle<O: Oracle> {
+    inner: O,
+    plan: FaultPlan,
+    asked: u64,
+}
+
+impl<O: Oracle> FaultyOracle<O> {
+    /// Wrap `inner` with `plan`.
+    pub fn new(inner: O, plan: FaultPlan) -> FaultyOracle<O> {
+        FaultyOracle {
+            inner,
+            plan,
+            asked: 0,
+        }
+    }
+
+    /// How many questions this worker has been asked so far.
+    pub fn asked(&self) -> u64 {
+        self.asked
+    }
+
+    /// The plan driving the chaos.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+impl<O: Oracle> Oracle for FaultyOracle<O> {
+    fn answer(&mut self, q: &Question) -> Result<Answer, OracleError> {
+        self.asked += 1;
+        if let Some(err) = self.plan.fault_for(self.asked, q.kind()) {
+            return Err(err);
+        }
+        self.inner.answer(q)
+    }
+
+    fn label(&self) -> String {
+        format!("faulty({})", self.inner.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perfect::PerfectOracle;
+    use qoco_data::{tup, Database, RelId, Schema};
+
+    fn ground() -> Database {
+        let schema = Schema::builder().relation("T", &["a"]).build().unwrap();
+        let mut db = Database::empty(schema);
+        db.insert_named("T", tup!["x"]).unwrap();
+        db
+    }
+
+    fn verify_q() -> Question {
+        Question::VerifyFact(qoco_data::Fact::new(RelId::from_index(0), tup!["x"]))
+    }
+
+    #[test]
+    fn spec_round_trip_covers_every_clause() {
+        let plan: FaultPlan = "seed=42, timeout=0.1, abstain=0.05, timeout.complete=0.5, \
+             fail@7=timeout, burst@50+10=abstain, drop@120"
+            .parse()
+            .unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.timeout_rate, 0.1);
+        assert_eq!(plan.abstain_rate, 0.05);
+        assert_eq!(
+            plan.timeout_by_kind.get(&QuestionKind::Complete),
+            Some(&0.5)
+        );
+        assert_eq!(plan.fail_at.get(&7), Some(&FaultKind::Timeout));
+        assert_eq!(
+            plan.bursts,
+            vec![Burst {
+                start: 50,
+                len: 10,
+                kind: FaultKind::Abstain
+            }]
+        );
+        assert_eq!(plan.drop_after, Some(120));
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!("frobnicate=1".parse::<FaultPlan>().is_err());
+        assert!("timeout=1.5".parse::<FaultPlan>().is_err());
+        assert!("timeout.nonsense=0.5".parse::<FaultPlan>().is_err());
+        assert!("fail@x=timeout".parse::<FaultPlan>().is_err());
+        assert!("fail@3=explode".parse::<FaultPlan>().is_err());
+        assert!("burst@5=timeout".parse::<FaultPlan>().is_err());
+    }
+
+    #[test]
+    fn deterministic_triggers_fire_exactly_where_scheduled() {
+        let plan: FaultPlan = "fail@3=abstain,burst@5+2=timeout,drop@8".parse().unwrap();
+        let mut oracle = FaultyOracle::new(PerfectOracle::new(ground()), plan);
+        let q = verify_q();
+        let outcomes: Vec<_> = (1..=10).map(|_| oracle.answer(&q)).collect();
+        assert!(outcomes[0].is_ok()); // q1
+        assert!(outcomes[1].is_ok()); // q2
+        assert_eq!(outcomes[2], Err(OracleError::Abstain)); // q3: fail@3
+        assert!(outcomes[3].is_ok()); // q4
+        assert_eq!(outcomes[4], Err(OracleError::Timeout)); // q5: burst
+        assert_eq!(outcomes[5], Err(OracleError::Timeout)); // q6: burst
+        assert!(outcomes[6].is_ok()); // q7
+        assert!(outcomes[7].is_ok()); // q8: last answered question
+        assert_eq!(outcomes[8], Err(OracleError::Dropped)); // q9
+        assert_eq!(outcomes[9], Err(OracleError::Dropped)); // q10
+    }
+
+    #[test]
+    fn stochastic_faults_replay_bit_identically() {
+        let plan: FaultPlan = "seed=7,timeout=0.4,abstain=0.2".parse().unwrap();
+        let q = verify_q();
+        let run = || -> Vec<Result<Answer, OracleError>> {
+            let mut oracle = FaultyOracle::new(PerfectOracle::new(ground()), plan.clone());
+            (0..200).map(|_| oracle.answer(&q)).collect()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        let timeouts = a
+            .iter()
+            .filter(|r| **r == Err(OracleError::Timeout))
+            .count();
+        let abstains = a
+            .iter()
+            .filter(|r| **r == Err(OracleError::Abstain))
+            .count();
+        // Rates are rough over 200 draws, but both faults must occur.
+        assert!(timeouts > 40, "{timeouts} timeouts in 200 draws");
+        assert!(abstains > 10, "{abstains} abstains in 200 draws");
+    }
+
+    #[test]
+    fn per_kind_override_shadows_the_baseline() {
+        let plan: FaultPlan = "seed=1,timeout=1.0,timeout.verify_fact=0.0"
+            .parse()
+            .unwrap();
+        assert_eq!(plan.fault_for(1, QuestionKind::VerifyFact), None);
+        assert_eq!(
+            plan.fault_for(1, QuestionKind::Complete),
+            Some(OracleError::Timeout)
+        );
+    }
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let plan = FaultPlan::none();
+        let mut oracle = FaultyOracle::new(PerfectOracle::new(ground()), plan);
+        for _ in 0..50 {
+            assert_eq!(oracle.answer(&verify_q()), Ok(Answer::Bool(true)));
+        }
+    }
+}

@@ -17,6 +17,7 @@ use rand::{Rng, SeedableRng};
 use qoco_data::{Database, Tuple, Value};
 use qoco_engine::Assignment;
 
+use crate::fault::OracleError;
 use crate::oracle::Oracle;
 use crate::perfect::PerfectOracle;
 use crate::question::{Answer, Question};
@@ -102,12 +103,12 @@ impl ImperfectOracle {
 }
 
 impl Oracle for ImperfectOracle {
-    fn answer(&mut self, q: &Question) -> Answer {
-        let truth = self.inner.answer(q);
+    fn answer(&mut self, q: &Question) -> Result<Answer, OracleError> {
+        let truth = self.inner.answer(q)?;
         if !self.errs() {
-            return truth;
+            return Ok(truth);
         }
-        match truth {
+        Ok(match truth {
             Answer::Bool(b) => Answer::Bool(!b),
             Answer::Completion(Some(a)) => {
                 if self.rng.random::<bool>() {
@@ -126,7 +127,7 @@ impl Oracle for ImperfectOracle {
                 }
             }
             Answer::MissingAnswer(None) => Answer::MissingAnswer(None),
-        }
+        })
     }
 
     fn label(&self) -> String {
@@ -164,8 +165,8 @@ mod tests {
         let q_no = a_fact(&g, false);
         let mut o = ImperfectOracle::new(g, 0.0, 7);
         for _ in 0..50 {
-            assert!(o.answer(&q_yes).expect_bool());
-            assert!(!o.answer(&q_no).expect_bool());
+            assert!(o.answer(&q_yes).unwrap().expect_bool());
+            assert!(!o.answer(&q_no).unwrap().expect_bool());
         }
     }
 
@@ -175,7 +176,7 @@ mod tests {
         let q_yes = a_fact(&g, true);
         let mut o = ImperfectOracle::new(g, 1.0, 7);
         for _ in 0..20 {
-            assert!(!o.answer(&q_yes).expect_bool());
+            assert!(!o.answer(&q_yes).unwrap().expect_bool());
         }
     }
 
@@ -184,7 +185,9 @@ mod tests {
         let g = ground();
         let q_yes = a_fact(&g, true);
         let mut o = ImperfectOracle::new(g, 0.3, 42);
-        let wrong = (0..500).filter(|_| !o.answer(&q_yes).expect_bool()).count();
+        let wrong = (0..500)
+            .filter(|_| !o.answer(&q_yes).unwrap().expect_bool())
+            .count();
         // ~150 expected; accept a broad band
         assert!((75..=225).contains(&wrong), "observed {wrong} errors");
     }
@@ -196,7 +199,7 @@ mod tests {
         let run = |seed| {
             let mut o = ImperfectOracle::new(ground(), 0.5, seed);
             (0..50)
-                .map(|_| o.answer(&q_yes).expect_bool())
+                .map(|_| o.answer(&q_yes).unwrap().expect_bool())
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(9), run(9));
@@ -223,10 +226,119 @@ mod tests {
                     query: q.clone(),
                     partial: Assignment::new(),
                 })
+                .unwrap()
                 .expect_completion()
             {
                 assert_eq!(a.len(), 2);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod completion_branch_tests {
+    use super::*;
+    use qoco_data::{tup, Schema};
+    use qoco_engine::{all_assignments, EvalOptions};
+    use qoco_query::parse_query;
+
+    fn ground() -> Database {
+        let s = Schema::builder()
+            .relation("T", &["a", "b"])
+            .build()
+            .unwrap();
+        let mut g = Database::empty(s);
+        for i in 0..20i64 {
+            g.insert_named("T", tup![i, i + 100]).unwrap();
+        }
+        g
+    }
+
+    // The two error branches of the completion path (withhold vs corrupt)
+    // are chosen by a coin flip after the error draw; at error rate 1.0 the
+    // first question's branch is a pure function of the seed. Seeds 1 and 2
+    // are pinned to one branch each, so both stay covered forever.
+    const WITHHOLD_SEED: u64 = 1;
+    const CORRUPT_SEED: u64 = 2;
+
+    #[test]
+    fn pinned_seed_withholds_the_completion() {
+        let g = ground();
+        let q = parse_query(g.schema(), "(x, y) :- T(x, y)").unwrap();
+        let mut o = ImperfectOracle::new(g, 1.0, WITHHOLD_SEED);
+        let reply = o
+            .answer(&Question::Complete {
+                query: q,
+                partial: Assignment::new(),
+            })
+            .unwrap()
+            .expect_completion();
+        assert_eq!(
+            reply, None,
+            "seed {WITHHOLD_SEED} must take the withhold branch"
+        );
+    }
+
+    #[test]
+    fn pinned_seed_corrupts_the_completion() {
+        let g = ground();
+        let q = parse_query(g.schema(), "(x, y) :- T(x, y)").unwrap();
+        let truth = all_assignments(&q, &g, &Assignment::new(), EvalOptions::default())
+            .assignments
+            .into_iter()
+            .next()
+            .unwrap();
+        let mut o = ImperfectOracle::new(g, 1.0, CORRUPT_SEED);
+        let reply = o
+            .answer(&Question::Complete {
+                query: q,
+                partial: Assignment::new(),
+            })
+            .unwrap()
+            .expect_completion()
+            .expect("seed 2 must take the corrupt branch, not withhold");
+        // corrupt, not fabricated: still total, still over the domain —
+        // exactly one binding was rewritten to a (possibly equal) domain
+        // value, so at most one differs from the truthful completion
+        assert_eq!(reply.len(), truth.len());
+        let differing = truth
+            .iter()
+            .filter(|(v, val)| reply.get(v) != Some(val))
+            .count();
+        assert!(differing <= 1, "one binding corrupted, {differing} differ");
+    }
+
+    #[test]
+    fn pinned_seed_withholds_the_missing_answer() {
+        let g = ground();
+        let q = parse_query(g.schema(), "(x, y) :- T(x, y)").unwrap();
+        let mut o = ImperfectOracle::new(g, 1.0, WITHHOLD_SEED);
+        let reply = o
+            .answer(&Question::CompleteResult {
+                query: q,
+                known: vec![],
+            })
+            .unwrap()
+            .expect_missing();
+        assert_eq!(
+            reply, None,
+            "seed {WITHHOLD_SEED} must withhold the missing answer"
+        );
+    }
+
+    #[test]
+    fn pinned_seed_perturbs_the_missing_answer() {
+        let g = ground();
+        let q = parse_query(g.schema(), "(x, y) :- T(x, y)").unwrap();
+        let mut o = ImperfectOracle::new(g, 1.0, CORRUPT_SEED);
+        let reply = o
+            .answer(&Question::CompleteResult {
+                query: q,
+                known: vec![],
+            })
+            .unwrap()
+            .expect_missing()
+            .expect("seed 2 must perturb, not withhold");
+        assert_eq!(reply.arity(), 2, "perturbation preserves arity");
     }
 }

@@ -21,12 +21,22 @@
 //! per-question-type cost ledger ([`stats::CrowdStats`]), and the
 //! enumeration black-box (Trushkowsky et al. \[61\]) deciding when a result
 //! is complete ([`enumeration`]).
+//!
+//! Crowds are *fallible*: oracles can time out, abstain, or drop out
+//! ([`fault::OracleError`]), chaos is injected reproducibly by a
+//! [`fault::FaultyOracle`] driven by a [`fault::FaultPlan`], sessions absorb
+//! faults through a [`session::RetryPolicy`] (surfacing
+//! [`session::CrowdError`] only on exhaustion), and every outcome can be
+//! written ahead to a [`journal::Journal`] so a killed session resumes
+//! bit-identically ([`journal`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod enumeration;
+pub mod fault;
 pub mod imperfect;
+pub mod journal;
 pub mod oracle;
 pub mod perfect;
 pub mod question;
@@ -36,11 +46,13 @@ pub mod stats;
 pub mod transcript;
 
 pub use enumeration::{Chao92Estimator, CompletenessEstimator, GroundTruthEstimator};
+pub use fault::{Burst, FaultKind, FaultPlan, FaultyOracle, OracleError};
 pub use imperfect::ImperfectOracle;
+pub use journal::{Journal, JournalOracle, JournalRecord};
 pub use oracle::Oracle;
 pub use perfect::PerfectOracle;
-pub use question::{Answer, Question};
+pub use question::{Answer, Question, QuestionKind};
 pub use sampling::SamplingOracle;
-pub use session::{CrowdAccess, MajorityCrowd, SingleExpert};
+pub use session::{CrowdAccess, CrowdError, MajorityCrowd, RetryPolicy, SingleExpert};
 pub use stats::CrowdStats;
 pub use transcript::{RecordingCrowd, TranscriptEntry};

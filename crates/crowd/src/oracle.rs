@@ -1,15 +1,19 @@
 //! The oracle trait.
 
+use crate::fault::OracleError;
 use crate::question::{Answer, Question};
 
 /// A crowd member that can be asked QOCO's question types.
 ///
 /// A *perfect* oracle "always speaks the truth and knows about `D_G`"
-/// (Section 3.2); imperfect experts may err. Implementations must answer
-/// every question variant with the matching [`Answer`] variant.
+/// (Section 3.2); imperfect experts may err, and a real crowd also fails to
+/// answer at all — hence the `Result`: `Err` means *no answer was produced*
+/// ([`OracleError`] says why), while a wrong-but-delivered answer is still
+/// `Ok`. Implementations must answer every question variant with the
+/// matching [`Answer`] variant.
 pub trait Oracle {
-    /// Answer one question.
-    fn answer(&mut self, q: &Question) -> Answer;
+    /// Answer one question, or report why no answer could be produced.
+    fn answer(&mut self, q: &Question) -> Result<Answer, OracleError>;
 
     /// A short label for reports ("oracle", "expert-2", …).
     fn label(&self) -> String {
@@ -18,7 +22,7 @@ pub trait Oracle {
 }
 
 impl<T: Oracle + ?Sized> Oracle for Box<T> {
-    fn answer(&mut self, q: &Question) -> Answer {
+    fn answer(&mut self, q: &Question) -> Result<Answer, OracleError> {
         (**self).answer(q)
     }
     fn label(&self) -> String {

@@ -8,6 +8,7 @@
 use qoco_data::Database;
 use qoco_engine::{all_assignments, answer_set, is_satisfiable, EvalOptions};
 
+use crate::fault::OracleError;
 use crate::oracle::Oracle;
 use crate::question::{Answer, Question};
 
@@ -42,8 +43,8 @@ impl PerfectOracle {
 }
 
 impl Oracle for PerfectOracle {
-    fn answer(&mut self, q: &Question) -> Answer {
-        match q {
+    fn answer(&mut self, q: &Question) -> Result<Answer, OracleError> {
+        Ok(match q {
             Question::VerifyFact(f) => Answer::Bool(self.ground.contains(f)),
             Question::VerifyAllFacts(facts) => {
                 Answer::Bool(facts.iter().all(|f| self.ground.contains(f)))
@@ -66,7 +67,7 @@ impl Oracle for PerfectOracle {
                 let missing = answers.into_iter().find(|t| !known.contains(t));
                 Answer::MissingAnswer(missing)
             }
-        }
+        })
     }
 
     fn label(&self) -> String {
@@ -100,11 +101,11 @@ mod tests {
         let mut o = PerfectOracle::new(g);
         assert_eq!(
             o.answer(&Question::VerifyFact(Fact::new(teams, tup!["GER", "EU"]))),
-            Answer::Bool(true)
+            Ok(Answer::Bool(true))
         );
         assert_eq!(
             o.answer(&Question::VerifyFact(Fact::new(teams, tup!["BRA", "EU"]))),
-            Answer::Bool(false)
+            Ok(Answer::Bool(false))
         );
     }
 
@@ -118,12 +119,14 @@ mod tests {
                 query: q.clone(),
                 answer: tup!["ITA"]
             })
+            .unwrap()
             .expect_bool());
         assert!(!o
             .answer(&Question::VerifyAnswer {
                 query: q,
                 answer: tup!["BRA"]
             })
+            .unwrap()
             .expect_bool());
     }
 
@@ -139,12 +142,14 @@ mod tests {
                 query: q.clone(),
                 partial: partial.clone()
             })
+            .unwrap()
             .expect_bool());
         let completion = o
             .answer(&Question::Complete {
                 query: q.clone(),
                 partial,
             })
+            .unwrap()
             .expect_completion()
             .unwrap();
         assert_eq!(
@@ -159,12 +164,14 @@ mod tests {
                 query: q.clone(),
                 partial: bad.clone()
             })
+            .unwrap()
             .expect_bool());
         assert_eq!(
             o.answer(&Question::Complete {
                 query: q,
                 partial: bad
             })
+            .unwrap()
             .expect_completion(),
             None
         );
@@ -181,6 +188,7 @@ mod tests {
                 query: q.clone(),
                 known,
             })
+            .unwrap()
             .expect_missing();
         assert_eq!(miss, Some(tup!["ITA"]));
         let all_known = vec![tup!["GER"], tup!["ITA"]];
@@ -189,6 +197,7 @@ mod tests {
                 query: q,
                 known: all_known,
             })
+            .unwrap()
             .expect_missing();
         assert_eq!(done, None);
     }
@@ -203,12 +212,14 @@ mod tests {
                 query: q.clone(),
                 partial: Assignment::new(),
             })
+            .unwrap()
             .expect_completion();
         let c2 = o
             .answer(&Question::Complete {
                 query: q,
                 partial: Assignment::new(),
             })
+            .unwrap()
             .expect_completion();
         assert_eq!(c1, c2);
     }

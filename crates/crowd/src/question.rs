@@ -49,6 +49,72 @@ pub enum Question {
     },
 }
 
+/// The flat tag of a [`Question`] variant — the unit of per-question-type
+/// configuration in fault plans, journal records and telemetry labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QuestionKind {
+    /// `TRUE(R(ā))?`
+    VerifyFact,
+    /// Composite `TRUE-ALL`?
+    VerifyAllFacts,
+    /// `TRUE(Q, t)?`
+    VerifyAnswer,
+    /// Satisfiability check on a partial assignment.
+    VerifySatisfiable,
+    /// `COMPL(α, Q)`
+    Complete,
+    /// `COMPL(Q(D))`
+    CompleteResult,
+}
+
+impl QuestionKind {
+    /// The snake_case name used in telemetry labels, fault-plan specs and
+    /// journal records.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            QuestionKind::VerifyFact => "verify_fact",
+            QuestionKind::VerifyAllFacts => "verify_facts_all",
+            QuestionKind::VerifyAnswer => "verify_answer",
+            QuestionKind::VerifySatisfiable => "verify_satisfiable",
+            QuestionKind::Complete => "complete",
+            QuestionKind::CompleteResult => "complete_result",
+        }
+    }
+
+    /// Parse the [`as_str`](Self::as_str) name back.
+    pub fn parse(s: &str) -> Option<QuestionKind> {
+        Some(match s {
+            "verify_fact" => QuestionKind::VerifyFact,
+            "verify_facts_all" => QuestionKind::VerifyAllFacts,
+            "verify_answer" => QuestionKind::VerifyAnswer,
+            "verify_satisfiable" => QuestionKind::VerifySatisfiable,
+            "complete" => QuestionKind::Complete,
+            "complete_result" => QuestionKind::CompleteResult,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for QuestionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl Question {
+    /// This question's [`QuestionKind`] tag.
+    pub fn kind(&self) -> QuestionKind {
+        match self {
+            Question::VerifyFact(_) => QuestionKind::VerifyFact,
+            Question::VerifyAllFacts(_) => QuestionKind::VerifyAllFacts,
+            Question::VerifyAnswer { .. } => QuestionKind::VerifyAnswer,
+            Question::VerifySatisfiable { .. } => QuestionKind::VerifySatisfiable,
+            Question::Complete { .. } => QuestionKind::Complete,
+            Question::CompleteResult { .. } => QuestionKind::CompleteResult,
+        }
+    }
+}
+
 impl fmt::Debug for Question {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -17,6 +17,7 @@ use rand::{Rng, SeedableRng};
 use qoco_data::Database;
 use qoco_engine::answer_set;
 
+use crate::fault::OracleError;
 use crate::oracle::Oracle;
 use crate::perfect::PerfectOracle;
 use crate::question::{Answer, Question};
@@ -45,21 +46,21 @@ impl SamplingOracle {
 }
 
 impl Oracle for SamplingOracle {
-    fn answer(&mut self, q: &Question) -> Answer {
+    fn answer(&mut self, q: &Question) -> Result<Answer, OracleError> {
         match q {
             Question::CompleteResult { query, .. } => {
                 // sample from the full true answer set, ignoring `known` —
                 // a worker names an answer they know, possibly a duplicate
                 let answers = answer_set(query, self.inner.ground());
                 if answers.is_empty() {
-                    return Answer::MissingAnswer(None);
+                    return Ok(Answer::MissingAnswer(None));
                 }
                 // skewed index: squashing the uniform draw toward 0 makes
                 // low-index answers more popular
                 let u: f64 = self.rng.random();
                 let skewed = u.powf(1.0 + 3.0 * self.skew);
                 let idx = ((skewed * answers.len() as f64) as usize).min(answers.len() - 1);
-                Answer::MissingAnswer(Some(answers[idx].clone()))
+                Ok(Answer::MissingAnswer(Some(answers[idx].clone())))
             }
             other => self.inner.answer(other),
         }
@@ -99,6 +100,7 @@ mod tests {
                     query: q.clone(),
                     known: vec![],
                 })
+                .unwrap()
                 .expect_missing()
                 .expect("non-empty answer set");
             *seen.entry(t).or_insert(0usize) += 1;
@@ -128,6 +130,7 @@ mod tests {
                     query: q.clone(),
                     known: vec![],
                 })
+                .unwrap()
                 .expect_missing()
                 .expect("answers exist");
             est.observe(&t);
@@ -153,9 +156,11 @@ mod tests {
                 rel,
                 tup!["t00"]
             )))
+            .unwrap()
             .expect_bool());
         assert!(!o
             .answer(&Question::VerifyFact(qoco_data::Fact::new(rel, tup!["zz"])))
+            .unwrap()
             .expect_bool());
         assert_eq!(o.label(), "sampling-oracle");
     }
@@ -177,6 +182,7 @@ mod tests {
                 query: q,
                 known: vec![]
             })
+            .unwrap()
             .expect_missing(),
             None
         );

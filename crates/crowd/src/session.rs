@@ -11,11 +11,24 @@
 //!   each question is posed to a fixed-size sample of the crowd members"
 //!   with majority aggregation; any other black-box aggregator could be
 //!   slotted in the same way.
+//!
+//! Oracles are fallible (see [`crate::fault`]): every ask-method returns
+//! `Result<_, CrowdError>`. Failures are absorbed by a [`RetryPolicy`] —
+//! transient timeouts are retried with a deterministic *simulated* backoff
+//! (a counter, not a sleep), abstentions escalate to other panel members,
+//! and permanently dropped experts shrink [`MajorityCrowd`]'s quorum. Only
+//! when the policy is exhausted does a [`CrowdError`] surface, which the
+//! cleaners turn into an `unresolved` entry of a partial report. With an
+//! infallible oracle none of this machinery runs: the ask order, early-stop
+//! points and stat counts are identical to the pre-fault implementation.
+
+use std::fmt;
 
 use qoco_data::{Fact, Tuple};
 use qoco_engine::Assignment;
 use qoco_query::ConjunctiveQuery;
 
+use crate::fault::OracleError;
 use crate::oracle::Oracle;
 use crate::question::Question;
 use crate::stats::CrowdStats;
@@ -28,136 +41,293 @@ fn tel_question(name: &'static str, detail: impl FnOnce() -> String) {
     qoco_telemetry::event(name, detail);
 }
 
+/// A question the crowd could not answer even after the retry policy was
+/// exhausted. Carries enough context for a report's `unresolved` section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrowdError {
+    /// The question that went unanswered (its `Debug` rendering).
+    pub question: String,
+    /// Individual asks spent before giving up (across retries and panel
+    /// members).
+    pub attempts: usize,
+    /// The final fault observed.
+    pub last: OracleError,
+}
+
+impl CrowdError {
+    fn new(q: &Question, attempts: usize, last: OracleError) -> CrowdError {
+        CrowdError {
+            question: format!("{q:?}"),
+            attempts,
+            last,
+        }
+    }
+}
+
+impl fmt::Display for CrowdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "crowd unavailable for {} after {} attempt(s): {}",
+            self.question, self.attempts, self.last
+        )
+    }
+}
+
+/// How a session absorbs oracle faults before surfacing a [`CrowdError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries (beyond the first ask) for a *transient* fault (timeout) on
+    /// the same expert. Abstentions and drops are never retried: an
+    /// abstention is sticky per question, a drop is permanent.
+    pub max_retries: usize,
+    /// Base of the simulated exponential backoff schedule: retry *k* adds
+    /// `backoff_base_ms << (k-1)` to [`CrowdStats::simulated_backoff_ms`].
+    /// Nothing sleeps — the schedule is a deterministic, auditable counter.
+    pub backoff_base_ms: usize,
+    /// [`MajorityCrowd`] refuses to answer (rather than degrade further)
+    /// once fewer than this many experts remain alive.
+    pub min_quorum: usize,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 2,
+            backoff_base_ms: 100,
+            min_quorum: 1,
+        }
+    }
+}
+
+/// Ask one expert one question under a retry policy. `dead` is the
+/// expert's permanent-failure latch: set when the expert drops, checked so
+/// later questions fail fast without bothering the oracle.
+fn ask_with_retry<O: Oracle>(
+    oracle: &mut O,
+    q: &Question,
+    policy: &RetryPolicy,
+    dead: &mut bool,
+    stats: &mut CrowdStats,
+) -> Result<Answer, CrowdError> {
+    if *dead {
+        return Err(CrowdError::new(q, 0, OracleError::Dropped));
+    }
+    let mut attempts = 0usize;
+    loop {
+        attempts += 1;
+        match oracle.answer(q) {
+            Ok(a) => return Ok(a),
+            Err(e) => {
+                stats.faults += 1;
+                qoco_telemetry::counter_add("crowd.faults", 1);
+                qoco_telemetry::event("crowd.fault", || format!("{} on {q:?}", e.as_str()));
+                match e {
+                    OracleError::Timeout if attempts <= policy.max_retries => {
+                        let backoff = policy
+                            .backoff_base_ms
+                            .saturating_mul(1usize << (attempts - 1).min(16));
+                        stats.simulated_backoff_ms =
+                            stats.simulated_backoff_ms.saturating_add(backoff);
+                        stats.retries += 1;
+                        qoco_telemetry::counter_add("crowd.retries", 1);
+                    }
+                    OracleError::Dropped => {
+                        *dead = true;
+                        return Err(CrowdError::new(q, attempts, e));
+                    }
+                    _ => return Err(CrowdError::new(q, attempts, e)),
+                }
+            }
+        }
+    }
+}
+
+use crate::question::Answer;
+
 /// The typed crowd interface used by the cleaning algorithms.
+///
+/// Every method returns `Err(CrowdError)` when the crowd could not produce
+/// an answer at all (after retries/escalation); the cleaners record such
+/// questions as `unresolved` instead of aborting the whole session.
 pub trait CrowdAccess {
     /// `TRUE(R(ā))?`
-    fn verify_fact(&mut self, f: &Fact) -> bool;
+    fn verify_fact(&mut self, f: &Fact) -> Result<bool, CrowdError>;
     /// `TRUE(Q, t)?`
-    fn verify_answer(&mut self, q: &ConjunctiveQuery, t: &Tuple) -> bool;
+    fn verify_answer(&mut self, q: &ConjunctiveQuery, t: &Tuple) -> Result<bool, CrowdError>;
     /// Is `α` satisfiable w.r.t. `q` and the ground truth?
-    fn verify_satisfiable(&mut self, q: &ConjunctiveQuery, partial: &Assignment) -> bool;
+    fn verify_satisfiable(
+        &mut self,
+        q: &ConjunctiveQuery,
+        partial: &Assignment,
+    ) -> Result<bool, CrowdError>;
     /// Composite question (Section 9 extension): are ALL of these facts
     /// true? The default asks each fact individually; sessions that support
     /// composite questions override it with a single interaction.
-    fn verify_facts_all(&mut self, facts: &[Fact]) -> bool {
-        facts.iter().all(|f| self.verify_fact(f))
+    fn verify_facts_all(&mut self, facts: &[Fact]) -> Result<bool, CrowdError> {
+        for f in facts {
+            if !self.verify_fact(f)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
     }
     /// `COMPL(α, Q)`: extend `α` into a total valid assignment, if possible.
-    fn complete(&mut self, q: &ConjunctiveQuery, partial: &Assignment) -> Option<Assignment>;
+    fn complete(
+        &mut self,
+        q: &ConjunctiveQuery,
+        partial: &Assignment,
+    ) -> Result<Option<Assignment>, CrowdError>;
     /// `COMPL(Q(D))`: one answer missing from `known`, or `None`.
-    fn next_missing_answer(&mut self, q: &ConjunctiveQuery, known: &[Tuple]) -> Option<Tuple>;
+    fn next_missing_answer(
+        &mut self,
+        q: &ConjunctiveQuery,
+        known: &[Tuple],
+    ) -> Result<Option<Tuple>, CrowdError>;
     /// The interaction ledger so far.
     fn stats(&self) -> CrowdStats;
 }
 
-/// One oracle; every question asked exactly once.
+/// One oracle; every question asked exactly once (plus policy retries).
 pub struct SingleExpert<O: Oracle> {
     oracle: O,
     stats: CrowdStats,
+    policy: RetryPolicy,
+    dead: bool,
 }
 
 impl<O: Oracle> SingleExpert<O> {
-    /// Wrap an oracle.
+    /// Wrap an oracle with the default [`RetryPolicy`].
     pub fn new(oracle: O) -> Self {
         SingleExpert {
             oracle,
             stats: CrowdStats::new(),
+            policy: RetryPolicy::default(),
+            dead: false,
         }
+    }
+
+    /// Replace the retry policy.
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// The wrapped oracle.
     pub fn oracle(&self) -> &O {
         &self.oracle
     }
+
+    fn ask(&mut self, q: &Question) -> Result<Answer, CrowdError> {
+        ask_with_retry(
+            &mut self.oracle,
+            q,
+            &self.policy,
+            &mut self.dead,
+            &mut self.stats,
+        )
+    }
 }
 
 impl<O: Oracle> CrowdAccess for SingleExpert<O> {
-    fn verify_fact(&mut self, f: &Fact) -> bool {
+    fn verify_fact(&mut self, f: &Fact) -> Result<bool, CrowdError> {
         self.stats.verify_fact_questions += 1;
+        tel_question("crowd.verify_fact", || format!("{f:?}"));
+        let b = self.ask(&Question::VerifyFact(f.clone()))?.expect_bool();
         self.stats.closed_answers += 1;
         self.stats.verify_fact_crowd_answers += 1;
-        tel_question("crowd.verify_fact", || format!("{f:?}"));
-        self.oracle
-            .answer(&Question::VerifyFact(f.clone()))
-            .expect_bool()
+        Ok(b)
     }
 
-    fn verify_answer(&mut self, q: &ConjunctiveQuery, t: &Tuple) -> bool {
+    fn verify_answer(&mut self, q: &ConjunctiveQuery, t: &Tuple) -> Result<bool, CrowdError> {
         self.stats.verify_answer_questions += 1;
-        self.stats.closed_answers += 1;
-        self.stats.verify_answer_crowd_answers += 1;
         tel_question("crowd.verify_answer", || format!("{}({t})", q.name()));
-        self.oracle
-            .answer(&Question::VerifyAnswer {
+        let b = self
+            .ask(&Question::VerifyAnswer {
                 query: q.clone(),
                 answer: t.clone(),
-            })
-            .expect_bool()
+            })?
+            .expect_bool();
+        self.stats.closed_answers += 1;
+        self.stats.verify_answer_crowd_answers += 1;
+        Ok(b)
     }
 
-    fn verify_satisfiable(&mut self, q: &ConjunctiveQuery, partial: &Assignment) -> bool {
+    fn verify_satisfiable(
+        &mut self,
+        q: &ConjunctiveQuery,
+        partial: &Assignment,
+    ) -> Result<bool, CrowdError> {
         self.stats.satisfiable_questions += 1;
-        self.stats.closed_answers += 1;
-        self.stats.satisfiable_crowd_answers += 1;
         tel_question("crowd.verify_satisfiable", || {
             format!("{} with {} bound vars", q.name(), partial.len())
         });
-        self.oracle
-            .answer(&Question::VerifySatisfiable {
+        let b = self
+            .ask(&Question::VerifySatisfiable {
                 query: q.clone(),
                 partial: partial.clone(),
-            })
-            .expect_bool()
+            })?
+            .expect_bool();
+        self.stats.closed_answers += 1;
+        self.stats.satisfiable_crowd_answers += 1;
+        Ok(b)
     }
 
-    fn verify_facts_all(&mut self, facts: &[Fact]) -> bool {
+    fn verify_facts_all(&mut self, facts: &[Fact]) -> Result<bool, CrowdError> {
         self.stats.composite_questions += 1;
-        self.stats.closed_answers += 1;
         tel_question("crowd.verify_facts_all", || {
             format!("{} facts", facts.len())
         });
-        self.oracle
-            .answer(&Question::VerifyAllFacts(facts.to_vec()))
-            .expect_bool()
+        let b = self
+            .ask(&Question::VerifyAllFacts(facts.to_vec()))?
+            .expect_bool();
+        self.stats.closed_answers += 1;
+        Ok(b)
     }
 
-    fn complete(&mut self, q: &ConjunctiveQuery, partial: &Assignment) -> Option<Assignment> {
+    fn complete(
+        &mut self,
+        q: &ConjunctiveQuery,
+        partial: &Assignment,
+    ) -> Result<Option<Assignment>, CrowdError> {
         self.stats.complete_tasks += 1;
         tel_question("crowd.complete", || {
             format!("{} from {} bound vars", q.name(), partial.len())
         });
         let reply = self
-            .oracle
-            .answer(&Question::Complete {
+            .ask(&Question::Complete {
                 query: q.clone(),
                 partial: partial.clone(),
-            })
+            })?
             .expect_completion();
         if let Some(total) = &reply {
             let filled = total.len().saturating_sub(partial.len());
             self.stats.filled_variables += filled;
             self.stats.open_answer_variables += filled;
         }
-        reply
+        Ok(reply)
     }
 
-    fn next_missing_answer(&mut self, q: &ConjunctiveQuery, known: &[Tuple]) -> Option<Tuple> {
+    fn next_missing_answer(
+        &mut self,
+        q: &ConjunctiveQuery,
+        known: &[Tuple],
+    ) -> Result<Option<Tuple>, CrowdError> {
         self.stats.complete_result_tasks += 1;
         tel_question("crowd.complete_result", || {
             format!("{} with {} known answers", q.name(), known.len())
         });
         let reply = self
-            .oracle
-            .answer(&Question::CompleteResult {
+            .ask(&Question::CompleteResult {
                 query: q.clone(),
                 known: known.to_vec(),
-            })
+            })?
             .expect_missing();
         if reply.is_some() {
             self.stats.missing_answers_provided += 1;
             self.stats.open_answer_variables += q.head().len();
         }
-        reply
+        Ok(reply)
     }
 
     fn stats(&self) -> CrowdStats {
@@ -166,9 +336,19 @@ impl<O: Oracle> CrowdAccess for SingleExpert<O> {
 }
 
 /// A fixed-size panel of experts with majority voting and early stop.
+///
+/// When experts drop out permanently, the panel *degrades its quorum*: the
+/// majority threshold is recomputed over the experts still alive at each
+/// question, so a 5-member panel that lost two experts behaves like a
+/// 3-member panel. The panel only errors once fewer than
+/// [`RetryPolicy::min_quorum`] experts remain (or nobody answers a given
+/// question at all).
 pub struct MajorityCrowd<O: Oracle> {
     experts: Vec<O>,
+    /// Permanent-failure latch per expert; `dead[i]` ⇒ skip expert `i`.
+    dead: Vec<bool>,
     stats: CrowdStats,
+    policy: RetryPolicy,
     /// round-robin cursor for open questions
     next_open: usize,
 }
@@ -181,11 +361,20 @@ impl<O: Oracle> MajorityCrowd<O> {
     /// Panics on an empty panel.
     pub fn new(experts: Vec<O>) -> Self {
         assert!(!experts.is_empty(), "the crowd needs at least one expert");
+        let dead = vec![false; experts.len()];
         MajorityCrowd {
             experts,
+            dead,
             stats: CrowdStats::new(),
+            policy: RetryPolicy::default(),
             next_open: 0,
         }
+    }
+
+    /// Replace the retry policy.
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// Number of experts on the panel.
@@ -193,71 +382,116 @@ impl<O: Oracle> MajorityCrowd<O> {
         self.experts.len()
     }
 
-    /// Ask a closed question to experts until a majority of the full panel
-    /// agrees (e.g. 2 of 3), counting each individual answer.
-    fn majority_bool(&mut self, q: &Question) -> bool {
-        tel_question("crowd.majority_question", || {
-            let kind = match q {
-                Question::VerifyFact(_) => "verify_fact",
-                Question::VerifyAllFacts(_) => "verify_facts_all",
-                Question::VerifyAnswer { .. } => "verify_answer",
-                Question::VerifySatisfiable { .. } => "verify_satisfiable",
-                Question::Complete { .. } => "complete",
-                Question::CompleteResult { .. } => "complete_result",
-            };
-            kind.to_string()
-        });
-        let need = self.experts.len() / 2 + 1;
-        let mut yes = 0usize;
-        let mut no = 0usize;
-        for expert in self.experts.iter_mut() {
-            let b = expert.answer(q).expect_bool();
-            self.stats.closed_answers += 1;
-            match q {
-                Question::VerifyAnswer { .. } => self.stats.verify_answer_crowd_answers += 1,
-                Question::VerifyFact(_) => self.stats.verify_fact_crowd_answers += 1,
-                Question::VerifySatisfiable { .. } => self.stats.satisfiable_crowd_answers += 1,
-                _ => {}
-            }
-            if b {
-                yes += 1;
-            } else {
-                no += 1;
-            }
-            if yes >= need || no >= need {
-                break;
-            }
-        }
-        yes >= need
+    /// Number of experts still alive (not permanently dropped).
+    pub fn alive(&self) -> usize {
+        self.dead.iter().filter(|d| !**d).count()
     }
 
-    fn verify_completion(&mut self, q: &ConjunctiveQuery, total: &Assignment) -> bool {
+    fn quorum_err(&self, q: &Question) -> CrowdError {
+        CrowdError::new(q, 0, OracleError::Dropped)
+    }
+
+    /// Ask a closed question to the alive experts until a majority of them
+    /// agrees (e.g. 2 of 3), counting each individual answer. An expert
+    /// that fails the question is skipped (an *escalation* to the rest of
+    /// the panel); the verdict is the majority of the answers actually
+    /// delivered. Errors only when nobody answers.
+    fn majority_bool(&mut self, q: &Question) -> Result<bool, CrowdError> {
+        tel_question("crowd.majority_question", || q.kind().as_str().to_string());
+        let alive: Vec<usize> = (0..self.experts.len()).filter(|&i| !self.dead[i]).collect();
+        if alive.is_empty() || alive.len() < self.policy.min_quorum {
+            return Err(self.quorum_err(q));
+        }
+        // Quorum degradation: the majority threshold tracks the panel that
+        // is actually alive at this question, not the original size.
+        let need = alive.len() / 2 + 1;
+        let mut yes = 0usize;
+        let mut no = 0usize;
+        let mut answered = 0usize;
+        let mut attempts = 0usize;
+        let mut last = OracleError::Dropped;
+        for (pos, &idx) in alive.iter().enumerate() {
+            match ask_with_retry(
+                &mut self.experts[idx],
+                q,
+                &self.policy,
+                &mut self.dead[idx],
+                &mut self.stats,
+            ) {
+                Ok(answer) => {
+                    let b = answer.expect_bool();
+                    answered += 1;
+                    self.stats.closed_answers += 1;
+                    match q {
+                        Question::VerifyAnswer { .. } => {
+                            self.stats.verify_answer_crowd_answers += 1
+                        }
+                        Question::VerifyFact(_) => self.stats.verify_fact_crowd_answers += 1,
+                        Question::VerifySatisfiable { .. } => {
+                            self.stats.satisfiable_crowd_answers += 1
+                        }
+                        _ => {}
+                    }
+                    if b {
+                        yes += 1;
+                    } else {
+                        no += 1;
+                    }
+                    if yes >= need || no >= need {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    attempts += e.attempts;
+                    last = e.last;
+                    if pos + 1 < alive.len() {
+                        self.stats.escalations += 1;
+                        qoco_telemetry::counter_add("crowd.escalations", 1);
+                    }
+                }
+            }
+        }
+        if answered == 0 {
+            return Err(CrowdError::new(q, attempts, last));
+        }
+        // On a fully-answering panel this is the classic `yes >= need`
+        // (early stop at `yes >= need` implies `yes > no`, and a full poll
+        // reaches a strict majority iff `yes > no`); when experts failed
+        // mid-question it is the majority of delivered answers, ties → NO.
+        Ok(yes > no)
+    }
+
+    fn verify_completion(
+        &mut self,
+        q: &ConjunctiveQuery,
+        total: &Assignment,
+    ) -> Result<bool, CrowdError> {
         // Section 6.2: "if a set of tuples S is the answer to some question
         // COMPL(α,Q), the system poses the question TRUE(R(ā))? for each
         // tuple R(ā) ∈ S."
         for atom in q.atoms() {
             let Some(fact) = total.ground_atom(atom) else {
-                return false;
+                return Ok(false);
             };
             self.stats.verify_fact_questions += 1;
-            if !self.majority_bool(&Question::VerifyFact(fact)) {
-                return false;
+            if !self.majority_bool(&Question::VerifyFact(fact))? {
+                return Ok(false);
             }
         }
         // inequalities must hold on a valid assignment
-        q.inequalities()
+        Ok(q.inequalities()
             .iter()
-            .all(|e| total.check_inequality(e) == Some(true))
+            .all(|e| total.check_inequality(e) == Some(true)))
     }
 }
 
 impl<O: Oracle> CrowdAccess for MajorityCrowd<O> {
-    fn verify_fact(&mut self, f: &Fact) -> bool {
+    fn verify_fact(&mut self, f: &Fact) -> Result<bool, CrowdError> {
         self.stats.verify_fact_questions += 1;
         self.majority_bool(&Question::VerifyFact(f.clone()))
     }
 
-    fn verify_answer(&mut self, q: &ConjunctiveQuery, t: &Tuple) -> bool {
+    fn verify_answer(&mut self, q: &ConjunctiveQuery, t: &Tuple) -> Result<bool, CrowdError> {
         self.stats.verify_answer_questions += 1;
         self.majority_bool(&Question::VerifyAnswer {
             query: q.clone(),
@@ -265,7 +499,11 @@ impl<O: Oracle> CrowdAccess for MajorityCrowd<O> {
         })
     }
 
-    fn verify_satisfiable(&mut self, q: &ConjunctiveQuery, partial: &Assignment) -> bool {
+    fn verify_satisfiable(
+        &mut self,
+        q: &ConjunctiveQuery,
+        partial: &Assignment,
+    ) -> Result<bool, CrowdError> {
         self.stats.satisfiable_questions += 1;
         self.majority_bool(&Question::VerifySatisfiable {
             query: q.clone(),
@@ -273,52 +511,121 @@ impl<O: Oracle> CrowdAccess for MajorityCrowd<O> {
         })
     }
 
-    fn verify_facts_all(&mut self, facts: &[Fact]) -> bool {
+    fn verify_facts_all(&mut self, facts: &[Fact]) -> Result<bool, CrowdError> {
         self.stats.composite_questions += 1;
         self.majority_bool(&Question::VerifyAllFacts(facts.to_vec()))
     }
 
-    fn complete(&mut self, q: &ConjunctiveQuery, partial: &Assignment) -> Option<Assignment> {
+    fn complete(
+        &mut self,
+        q: &ConjunctiveQuery,
+        partial: &Assignment,
+    ) -> Result<Option<Assignment>, CrowdError> {
         // Ask experts in rotation; accept the first completion whose facts
-        // survive closed-question verification.
-        for i in 0..self.experts.len() {
-            let idx = (self.next_open + i) % self.experts.len();
+        // survive closed-question verification. An expert that fails the
+        // task escalates to the next one in the rotation.
+        let n = self.experts.len();
+        if self.alive() == 0 || self.alive() < self.policy.min_quorum {
+            return Err(self.quorum_err(&Question::Complete {
+                query: q.clone(),
+                partial: partial.clone(),
+            }));
+        }
+        let mut any_reply = false;
+        let mut attempts = 0usize;
+        let mut last = OracleError::Dropped;
+        let question = Question::Complete {
+            query: q.clone(),
+            partial: partial.clone(),
+        };
+        for i in 0..n {
+            let idx = (self.next_open + i) % n;
+            if self.dead[idx] {
+                continue;
+            }
             self.stats.complete_tasks += 1;
             tel_question("crowd.complete", || {
                 format!("{} from {} bound vars", q.name(), partial.len())
             });
-            let reply = self.experts[idx]
-                .answer(&Question::Complete {
-                    query: q.clone(),
-                    partial: partial.clone(),
-                })
-                .expect_completion();
+            let reply = match ask_with_retry(
+                &mut self.experts[idx],
+                &question,
+                &self.policy,
+                &mut self.dead[idx],
+                &mut self.stats,
+            ) {
+                Ok(answer) => {
+                    any_reply = true;
+                    answer.expect_completion()
+                }
+                Err(e) => {
+                    attempts += e.attempts;
+                    last = e.last;
+                    self.stats.escalations += 1;
+                    qoco_telemetry::counter_add("crowd.escalations", 1);
+                    continue;
+                }
+            };
             let Some(total) = reply else { continue };
             let filled = total.len().saturating_sub(partial.len());
             self.stats.open_answer_variables += filled;
             self.stats.filled_variables += filled;
-            if self.verify_completion(q, &total) {
-                self.next_open = (idx + 1) % self.experts.len();
-                return Some(total);
+            if self.verify_completion(q, &total)? {
+                self.next_open = (idx + 1) % n;
+                return Ok(Some(total));
             }
         }
-        self.next_open = (self.next_open + 1) % self.experts.len();
-        None
+        if !any_reply {
+            return Err(CrowdError::new(&question, attempts, last));
+        }
+        self.next_open = (self.next_open + 1) % n;
+        Ok(None)
     }
 
-    fn next_missing_answer(&mut self, q: &ConjunctiveQuery, known: &[Tuple]) -> Option<Tuple> {
-        for i in 0..self.experts.len() {
-            let idx = (self.next_open + i) % self.experts.len();
+    fn next_missing_answer(
+        &mut self,
+        q: &ConjunctiveQuery,
+        known: &[Tuple],
+    ) -> Result<Option<Tuple>, CrowdError> {
+        let n = self.experts.len();
+        let question = Question::CompleteResult {
+            query: q.clone(),
+            known: known.to_vec(),
+        };
+        if self.alive() == 0 || self.alive() < self.policy.min_quorum {
+            return Err(self.quorum_err(&question));
+        }
+        let mut any_reply = false;
+        let mut attempts = 0usize;
+        let mut last = OracleError::Dropped;
+        for i in 0..n {
+            let idx = (self.next_open + i) % n;
+            if self.dead[idx] {
+                continue;
+            }
             self.stats.complete_result_tasks += 1;
             tel_question("crowd.complete_result", || {
                 format!("{} with {} known answers", q.name(), known.len())
             });
-            let reply = self.experts[idx]
-                .answer(&Question::CompleteResult {
-                    query: q.clone(),
-                    known: known.to_vec(),
-                })
-                .expect_missing();
+            let reply = match ask_with_retry(
+                &mut self.experts[idx],
+                &question,
+                &self.policy,
+                &mut self.dead[idx],
+                &mut self.stats,
+            ) {
+                Ok(answer) => {
+                    any_reply = true;
+                    answer.expect_missing()
+                }
+                Err(e) => {
+                    attempts += e.attempts;
+                    last = e.last;
+                    self.stats.escalations += 1;
+                    qoco_telemetry::counter_add("crowd.escalations", 1);
+                    continue;
+                }
+            };
             let Some(t) = reply else { continue };
             self.stats.open_answer_variables += q.head().len();
             // Section 6.2: verify with the closed question TRUE(Q, t)?
@@ -326,14 +633,17 @@ impl<O: Oracle> CrowdAccess for MajorityCrowd<O> {
             if self.majority_bool(&Question::VerifyAnswer {
                 query: q.clone(),
                 answer: t.clone(),
-            }) {
+            })? {
                 self.stats.missing_answers_provided += 1;
-                self.next_open = (idx + 1) % self.experts.len();
-                return Some(t);
+                self.next_open = (idx + 1) % n;
+                return Ok(Some(t));
             }
         }
-        self.next_open = (self.next_open + 1) % self.experts.len();
-        None
+        if !any_reply {
+            return Err(CrowdError::new(&question, attempts, last));
+        }
+        self.next_open = (self.next_open + 1) % n;
+        Ok(None)
     }
 
     fn stats(&self) -> CrowdStats {
@@ -344,6 +654,7 @@ impl<O: Oracle> CrowdAccess for MajorityCrowd<O> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultyOracle;
     use crate::imperfect::ImperfectOracle;
     use crate::perfect::PerfectOracle;
     use qoco_data::{tup, Database, Schema};
@@ -366,13 +677,21 @@ mod tests {
         ground().schema().clone()
     }
 
+    fn faulty(spec: &str) -> FaultyOracle<PerfectOracle> {
+        FaultyOracle::new(PerfectOracle::new(ground()), spec.parse().unwrap())
+    }
+
     #[test]
     fn single_expert_counts_closed_questions() {
         let g = ground();
         let teams = g.schema().rel_id("Teams").unwrap();
         let mut crowd = SingleExpert::new(PerfectOracle::new(g));
-        assert!(crowd.verify_fact(&Fact::new(teams, tup!["GER", "EU"])));
-        assert!(!crowd.verify_fact(&Fact::new(teams, tup!["GER", "SA"])));
+        assert!(crowd
+            .verify_fact(&Fact::new(teams, tup!["GER", "EU"]))
+            .unwrap());
+        assert!(!crowd
+            .verify_fact(&Fact::new(teams, tup!["GER", "SA"]))
+            .unwrap());
         let st = crowd.stats();
         assert_eq!(st.verify_fact_questions, 2);
         assert_eq!(st.closed_answers, 2);
@@ -385,7 +704,7 @@ mod tests {
         let mut crowd = SingleExpert::new(PerfectOracle::new(g));
         let partial =
             Assignment::from_pairs([(qoco_query::Var::new("x"), qoco_data::Value::text("ITA"))]);
-        let total = crowd.complete(&q, &partial).unwrap();
+        let total = crowd.complete(&q, &partial).unwrap().unwrap();
         assert_eq!(total.len(), 2);
         let st = crowd.stats();
         assert_eq!(st.complete_tasks, 1);
@@ -398,14 +717,84 @@ mod tests {
         let g = ground();
         let q = parse_query(g.schema(), r#"(x) :- Teams(x, "EU")"#).unwrap();
         let mut crowd = SingleExpert::new(PerfectOracle::new(g));
-        let t = crowd.next_missing_answer(&q, &[tup!["GER"]]).unwrap();
+        let t = crowd
+            .next_missing_answer(&q, &[tup!["GER"]])
+            .unwrap()
+            .unwrap();
         assert_eq!(t, tup!["ITA"]);
         assert_eq!(crowd.stats().missing_answers_provided, 1);
         assert_eq!(crowd.stats().open_answer_variables, 1);
         assert_eq!(
-            crowd.next_missing_answer(&q, &[tup!["GER"], tup!["ITA"]]),
+            crowd
+                .next_missing_answer(&q, &[tup!["GER"], tup!["ITA"]])
+                .unwrap(),
             None
         );
+    }
+
+    #[test]
+    fn single_expert_retries_through_transient_timeouts() {
+        let g = ground();
+        let teams = g.schema().rel_id("Teams").unwrap();
+        // first two asks time out, the third succeeds — within the default
+        // budget of 2 retries
+        let mut crowd = SingleExpert::new(faulty("fail@1=timeout,fail@2=timeout"));
+        assert!(crowd
+            .verify_fact(&Fact::new(teams, tup!["GER", "EU"]))
+            .unwrap());
+        let st = crowd.stats();
+        assert_eq!(st.faults, 2);
+        assert_eq!(st.retries, 2);
+        assert_eq!(st.simulated_backoff_ms, 100 + 200);
+        assert_eq!(st.verify_fact_questions, 1);
+        assert_eq!(st.closed_answers, 1);
+    }
+
+    #[test]
+    fn single_expert_surfaces_exhaustion() {
+        let g = ground();
+        let teams = g.schema().rel_id("Teams").unwrap();
+        // three timeouts exhaust 1 ask + 2 retries
+        let mut crowd = SingleExpert::new(faulty("burst@1+3=timeout"));
+        let err = crowd
+            .verify_fact(&Fact::new(teams, tup!["GER", "EU"]))
+            .unwrap_err();
+        assert_eq!(err.last, OracleError::Timeout);
+        assert_eq!(err.attempts, 3);
+        // the question after the burst succeeds again
+        assert!(crowd
+            .verify_fact(&Fact::new(teams, tup!["GER", "EU"]))
+            .unwrap());
+    }
+
+    #[test]
+    fn abstentions_are_not_retried() {
+        let g = ground();
+        let teams = g.schema().rel_id("Teams").unwrap();
+        let mut crowd = SingleExpert::new(faulty("fail@1=abstain"));
+        let err = crowd
+            .verify_fact(&Fact::new(teams, tup!["GER", "EU"]))
+            .unwrap_err();
+        assert_eq!(err.last, OracleError::Abstain);
+        assert_eq!(err.attempts, 1);
+        assert_eq!(crowd.stats().retries, 0);
+    }
+
+    #[test]
+    fn dropped_single_expert_fails_fast_forever() {
+        let g = ground();
+        let teams = g.schema().rel_id("Teams").unwrap();
+        let mut crowd = SingleExpert::new(faulty("drop@1"));
+        let f = Fact::new(teams, tup!["GER", "EU"]);
+        assert!(crowd.verify_fact(&f).unwrap()); // question 1 still answered
+        assert_eq!(
+            crowd.verify_fact(&f).unwrap_err().last,
+            OracleError::Dropped
+        );
+        let faults_after_drop = crowd.stats().faults;
+        // fail-fast: the latch answers, not the oracle
+        assert_eq!(crowd.verify_fact(&f).unwrap_err().attempts, 0);
+        assert_eq!(crowd.stats().faults, faults_after_drop);
     }
 
     #[test]
@@ -413,7 +802,9 @@ mod tests {
         let experts: Vec<PerfectOracle> = (0..3).map(|_| PerfectOracle::new(ground())).collect();
         let mut crowd = MajorityCrowd::new(experts);
         let teams = schema().rel_id("Teams").unwrap();
-        assert!(crowd.verify_fact(&Fact::new(teams, tup!["GER", "EU"])));
+        assert!(crowd
+            .verify_fact(&Fact::new(teams, tup!["GER", "EU"]))
+            .unwrap());
         // early stop: only 2 of 3 experts answered
         assert_eq!(crowd.stats().closed_answers, 2);
         assert_eq!(crowd.stats().verify_fact_questions, 1);
@@ -429,9 +820,85 @@ mod tests {
         ];
         let mut crowd = MajorityCrowd::new(experts);
         let teams = schema().rel_id("Teams").unwrap();
-        assert!(crowd.verify_fact(&Fact::new(teams, tup!["GER", "EU"])));
+        assert!(crowd
+            .verify_fact(&Fact::new(teams, tup!["GER", "EU"]))
+            .unwrap());
         // liar disagreed, so all 3 answered
         assert_eq!(crowd.stats().closed_answers, 3);
+    }
+
+    #[test]
+    fn majority_degrades_quorum_when_an_expert_drops() {
+        // expert 0 drops before answering anything; the panel of 3 must
+        // keep working as a panel of 2
+        let experts: Vec<Box<dyn Oracle>> = vec![
+            Box::new(faulty("drop@0")),
+            Box::new(faulty("")),
+            Box::new(faulty("")),
+        ];
+        let mut crowd = MajorityCrowd::new(experts);
+        let teams = schema().rel_id("Teams").unwrap();
+        let f = Fact::new(teams, tup!["GER", "EU"]);
+        assert!(crowd.verify_fact(&f).unwrap());
+        assert_eq!(crowd.alive(), 2);
+        assert!(crowd.stats().escalations >= 1);
+        assert!(crowd.stats().faults >= 1);
+        // degraded need = 2 of 2: both survivors answer
+        let before = crowd.stats().closed_answers;
+        assert!(crowd.verify_fact(&f).unwrap());
+        assert_eq!(crowd.stats().closed_answers, before + 2);
+    }
+
+    #[test]
+    fn fully_dropped_panel_surfaces_a_crowd_error() {
+        let experts: Vec<FaultyOracle<PerfectOracle>> = (0..3).map(|_| faulty("drop@0")).collect();
+        let mut crowd = MajorityCrowd::new(experts);
+        let teams = schema().rel_id("Teams").unwrap();
+        let f = Fact::new(teams, tup!["GER", "EU"]);
+        let err = crowd.verify_fact(&f).unwrap_err();
+        assert_eq!(err.last, OracleError::Dropped);
+        assert_eq!(crowd.alive(), 0);
+        // later questions fail fast via the quorum check
+        assert!(crowd.verify_fact(&f).is_err());
+        let q = parse_query(&schema(), "(x, k) :- Teams(x, k)").unwrap();
+        assert!(crowd.complete(&q, &Assignment::new()).is_err());
+        assert!(crowd.next_missing_answer(&q, &[]).is_err());
+    }
+
+    #[test]
+    fn open_questions_escalate_past_failing_experts() {
+        // the rotation starts at expert 0, which drops immediately; the
+        // completion must come from a surviving panel member
+        let experts: Vec<Box<dyn Oracle>> = vec![
+            Box::new(faulty("drop@0")),
+            Box::new(faulty("")),
+            Box::new(faulty("")),
+        ];
+        let mut crowd = MajorityCrowd::new(experts);
+        let q = parse_query(&schema(), "(x, k) :- Teams(x, k)").unwrap();
+        let total = crowd.complete(&q, &Assignment::new()).unwrap().unwrap();
+        assert_eq!(total.len(), 2);
+        assert!(crowd.stats().escalations >= 1);
+    }
+
+    #[test]
+    fn min_quorum_refuses_to_degrade_below_threshold() {
+        let experts: Vec<Box<dyn Oracle>> = vec![
+            Box::new(faulty("drop@0")),
+            Box::new(faulty("drop@0")),
+            Box::new(faulty("")),
+        ];
+        let mut crowd = MajorityCrowd::new(experts).with_policy(RetryPolicy {
+            min_quorum: 2,
+            ..RetryPolicy::default()
+        });
+        let teams = schema().rel_id("Teams").unwrap();
+        let f = Fact::new(teams, tup!["GER", "EU"]);
+        // first question: two experts drop, the third still answers
+        assert!(crowd.verify_fact(&f).unwrap());
+        assert_eq!(crowd.alive(), 1);
+        // now below min_quorum=2 → refuse outright
+        assert!(crowd.verify_fact(&f).is_err());
     }
 
     #[test]
@@ -439,7 +906,7 @@ mod tests {
         let experts: Vec<PerfectOracle> = (0..3).map(|_| PerfectOracle::new(ground())).collect();
         let mut crowd = MajorityCrowd::new(experts);
         let q = parse_query(&schema(), "(x, k) :- Teams(x, k)").unwrap();
-        let total = crowd.complete(&q, &Assignment::new()).unwrap();
+        let total = crowd.complete(&q, &Assignment::new()).unwrap().unwrap();
         assert_eq!(total.len(), 2);
         let st = crowd.stats();
         // one atom in the body → 1 verification fact question
@@ -462,7 +929,7 @@ mod tests {
         ];
         let mut crowd = MajorityCrowd::new(experts);
         let q = parse_query(&schema(), "(x, k) :- Teams(x, k)").unwrap();
-        let total = crowd.complete(&q, &Assignment::new());
+        let total = crowd.complete(&q, &Assignment::new()).unwrap();
         let total = total.expect("a perfect expert is on the panel");
         // the accepted completion grounds to a true fact
         let fact = total.ground_atom(&q.atoms()[0]).unwrap();
@@ -474,7 +941,7 @@ mod tests {
         let experts: Vec<PerfectOracle> = (0..3).map(|_| PerfectOracle::new(ground())).collect();
         let mut crowd = MajorityCrowd::new(experts);
         let q = parse_query(&schema(), r#"(x) :- Teams(x, "EU")"#).unwrap();
-        let t = crowd.next_missing_answer(&q, &[]).unwrap();
+        let t = crowd.next_missing_answer(&q, &[]).unwrap().unwrap();
         assert!(t == tup!["GER"] || t == tup!["ITA"]);
         assert_eq!(crowd.stats().verify_answer_questions, 1);
         assert_eq!(crowd.stats().missing_answers_provided, 1);

@@ -41,6 +41,18 @@ pub struct CrowdStats {
     /// Total individual crowd answers to open questions, counted in filled
     /// variables (Figure 4's counting).
     pub open_answer_variables: usize,
+    /// Oracle faults observed (timeouts, abstentions, drops), including the
+    /// ones later recovered by a retry.
+    pub faults: usize,
+    /// Retries issued after a transient fault (timeouts only).
+    pub retries: usize,
+    /// Escalations: a question moved to another panel member after one
+    /// expert failed to answer it.
+    pub escalations: usize,
+    /// Simulated backoff accumulated across retries, in milliseconds. No
+    /// wall-clock time is spent — the counter makes the schedule auditable
+    /// and deterministic.
+    pub simulated_backoff_ms: usize,
 }
 
 impl CrowdStats {
@@ -97,6 +109,10 @@ impl CrowdStats {
         self.verify_fact_crowd_answers += other.verify_fact_crowd_answers;
         self.satisfiable_crowd_answers += other.satisfiable_crowd_answers;
         self.open_answer_variables += other.open_answer_variables;
+        self.faults += other.faults;
+        self.retries += other.retries;
+        self.escalations += other.escalations;
+        self.simulated_backoff_ms += other.simulated_backoff_ms;
     }
 
     /// The difference `self − baseline` (used to isolate one phase of a
@@ -138,6 +154,12 @@ impl CrowdStats {
             open_answer_variables: self
                 .open_answer_variables
                 .saturating_sub(baseline.open_answer_variables),
+            faults: self.faults.saturating_sub(baseline.faults),
+            retries: self.retries.saturating_sub(baseline.retries),
+            escalations: self.escalations.saturating_sub(baseline.escalations),
+            simulated_backoff_ms: self
+                .simulated_backoff_ms
+                .saturating_sub(baseline.simulated_backoff_ms),
         }
     }
 }
@@ -154,7 +176,15 @@ impl fmt::Display for CrowdStats {
             self.filled_variables,
             self.complete_result_tasks,
             self.missing_answers_provided,
-        )
+        )?;
+        if self.faults > 0 {
+            write!(
+                f,
+                ", faults: {} ({} retries, {} escalations)",
+                self.faults, self.retries, self.escalations
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -178,6 +208,26 @@ mod tests {
         assert_eq!(a.verify_fact_questions, 3);
         assert_eq!(a.filled_variables, 3);
         assert_eq!(a.closed_answers, 5);
+    }
+
+    #[test]
+    fn fault_counters_absorb_and_subtract() {
+        let mut a = CrowdStats {
+            faults: 3,
+            retries: 2,
+            escalations: 1,
+            simulated_backoff_ms: 300,
+            ..Default::default()
+        };
+        let b = a;
+        a.absorb(&b);
+        assert_eq!(a.faults, 6);
+        assert_eq!(a.retries, 4);
+        assert_eq!(a.simulated_backoff_ms, 600);
+        let d = a.since(&b);
+        assert_eq!(d.faults, 3);
+        assert_eq!(d.escalations, 1);
+        assert!(a.to_string().contains("faults: 6"));
     }
 
     #[test]

@@ -12,7 +12,7 @@ use qoco_data::{Fact, Tuple};
 use qoco_engine::Assignment;
 use qoco_query::ConjunctiveQuery;
 
-use crate::session::CrowdAccess;
+use crate::session::{CrowdAccess, CrowdError};
 use crate::stats::CrowdStats;
 
 /// One recorded interaction.
@@ -66,6 +66,13 @@ pub enum TranscriptEntry {
         /// The missing answer, if one was provided.
         missing: Option<Tuple>,
     },
+    /// A question the crowd failed to answer (after retries/escalation).
+    Failed {
+        /// The question, rendered.
+        question: String,
+        /// Why the crowd gave up.
+        reason: String,
+    },
 }
 
 impl TranscriptEntry {
@@ -78,6 +85,7 @@ impl TranscriptEntry {
             TranscriptEntry::VerifySatisfiable { .. } => "crowd.verify_satisfiable",
             TranscriptEntry::Complete { .. } => "crowd.complete",
             TranscriptEntry::CompleteResult { .. } => "crowd.complete_result",
+            TranscriptEntry::Failed { .. } => "crowd.failed",
         }
     }
 }
@@ -119,6 +127,9 @@ impl fmt::Display for TranscriptEntry {
                 Some(t) => write!(f, "COMPL({query}(D)) → {t}"),
                 None => write!(f, "COMPL({query}(D)) → complete"),
             },
+            TranscriptEntry::Failed { question, reason } => {
+                write!(f, "{question} → UNANSWERED ({reason})")
+            }
         }
     }
 }
@@ -151,6 +162,15 @@ impl<C: CrowdAccess> RecordingCrowd<C> {
         self.transcript.push(entry);
     }
 
+    /// Record a failed interaction and pass the error through.
+    fn record_err<T>(&mut self, question: String, err: CrowdError) -> Result<T, CrowdError> {
+        self.record(TranscriptEntry::Failed {
+            question,
+            reason: err.last.to_string(),
+        });
+        Err(err)
+    }
+
     /// Bridge the transcript into [`qoco_telemetry::TimelineEvent`]s so a
     /// [`qoco_telemetry::SessionTimeline`] can merge crowd interactions with
     /// spans and metrics. Timestamps are meaningful only for interactions
@@ -176,46 +196,71 @@ impl<C: CrowdAccess> RecordingCrowd<C> {
 }
 
 impl<C: CrowdAccess> CrowdAccess for RecordingCrowd<C> {
-    fn verify_fact(&mut self, f: &Fact) -> bool {
-        let answer = self.inner.verify_fact(f);
+    fn verify_fact(&mut self, f: &Fact) -> Result<bool, CrowdError> {
+        let answer = match self.inner.verify_fact(f) {
+            Ok(a) => a,
+            Err(e) => return self.record_err(format!("TRUE({f:?})?"), e),
+        };
         self.record(TranscriptEntry::VerifyFact {
             fact: f.clone(),
             answer,
         });
-        answer
+        Ok(answer)
     }
 
-    fn verify_facts_all(&mut self, facts: &[Fact]) -> bool {
-        let answer = self.inner.verify_facts_all(facts);
+    fn verify_facts_all(&mut self, facts: &[Fact]) -> Result<bool, CrowdError> {
+        let answer = match self.inner.verify_facts_all(facts) {
+            Ok(a) => a,
+            Err(e) => return self.record_err(format!("TRUE-ALL({} facts)?", facts.len()), e),
+        };
         self.record(TranscriptEntry::VerifyAllFacts {
             group_size: facts.len(),
             answer,
         });
-        answer
+        Ok(answer)
     }
 
-    fn verify_answer(&mut self, q: &ConjunctiveQuery, t: &Tuple) -> bool {
-        let answer = self.inner.verify_answer(q, t);
+    fn verify_answer(&mut self, q: &ConjunctiveQuery, t: &Tuple) -> Result<bool, CrowdError> {
+        let answer = match self.inner.verify_answer(q, t) {
+            Ok(a) => a,
+            Err(e) => return self.record_err(format!("TRUE({}, {t})?", q.name()), e),
+        };
         self.record(TranscriptEntry::VerifyAnswer {
             query: q.name().to_string(),
             tuple: t.clone(),
             answer,
         });
-        answer
+        Ok(answer)
     }
 
-    fn verify_satisfiable(&mut self, q: &ConjunctiveQuery, partial: &Assignment) -> bool {
-        let answer = self.inner.verify_satisfiable(q, partial);
+    fn verify_satisfiable(
+        &mut self,
+        q: &ConjunctiveQuery,
+        partial: &Assignment,
+    ) -> Result<bool, CrowdError> {
+        let answer = match self.inner.verify_satisfiable(q, partial) {
+            Ok(a) => a,
+            Err(e) => {
+                return self.record_err(format!("SAT({}, {} bound)?", q.name(), partial.len()), e)
+            }
+        };
         self.record(TranscriptEntry::VerifySatisfiable {
             query: q.name().to_string(),
             bound_vars: partial.len(),
             answer,
         });
-        answer
+        Ok(answer)
     }
 
-    fn complete(&mut self, q: &ConjunctiveQuery, partial: &Assignment) -> Option<Assignment> {
-        let reply = self.inner.complete(q, partial);
+    fn complete(
+        &mut self,
+        q: &ConjunctiveQuery,
+        partial: &Assignment,
+    ) -> Result<Option<Assignment>, CrowdError> {
+        let reply = match self.inner.complete(q, partial) {
+            Ok(r) => r,
+            Err(e) => return self.record_err(format!("COMPL(α, {})", q.name()), e),
+        };
         let filled = reply
             .as_ref()
             .map(|r| r.len().saturating_sub(partial.len()))
@@ -225,16 +270,23 @@ impl<C: CrowdAccess> CrowdAccess for RecordingCrowd<C> {
             filled,
             completed: reply.is_some(),
         });
-        reply
+        Ok(reply)
     }
 
-    fn next_missing_answer(&mut self, q: &ConjunctiveQuery, known: &[Tuple]) -> Option<Tuple> {
-        let reply = self.inner.next_missing_answer(q, known);
+    fn next_missing_answer(
+        &mut self,
+        q: &ConjunctiveQuery,
+        known: &[Tuple],
+    ) -> Result<Option<Tuple>, CrowdError> {
+        let reply = match self.inner.next_missing_answer(q, known) {
+            Ok(r) => r,
+            Err(e) => return self.record_err(format!("COMPL({}(D))", q.name()), e),
+        };
         self.record(TranscriptEntry::CompleteResult {
             query: q.name().to_string(),
             missing: reply.clone(),
         });
-        reply
+        Ok(reply)
     }
 
     fn stats(&self) -> CrowdStats {
@@ -245,6 +297,7 @@ impl<C: CrowdAccess> CrowdAccess for RecordingCrowd<C> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultyOracle;
     use crate::perfect::PerfectOracle;
     use crate::session::SingleExpert;
     use qoco_data::{tup, Database, Schema};
@@ -267,10 +320,14 @@ mod tests {
         let teams = g.schema().rel_id("Teams").unwrap();
         let q = parse_query(g.schema(), r#"(x) :- Teams(x, "EU")"#).unwrap();
         let mut crowd = RecordingCrowd::new(SingleExpert::new(PerfectOracle::new(g)));
-        assert!(crowd.verify_fact(&Fact::new(teams, tup!["GER", "EU"])));
-        assert!(crowd.verify_answer(&q, &tup!["ITA"]));
+        assert!(crowd
+            .verify_fact(&Fact::new(teams, tup!["GER", "EU"]))
+            .unwrap());
+        assert!(crowd.verify_answer(&q, &tup!["ITA"]).unwrap());
         assert_eq!(
-            crowd.next_missing_answer(&q, &[tup!["GER"], tup!["ITA"]]),
+            crowd
+                .next_missing_answer(&q, &[tup!["GER"], tup!["ITA"]])
+                .unwrap(),
             None
         );
         let t = crowd.transcript();
@@ -302,6 +359,26 @@ mod tests {
         let rendered: Vec<String> = crowd.transcript().iter().map(|e| e.to_string()).collect();
         assert!(rendered[0].starts_with("COMPL(Q(D))"), "{rendered:?}");
         assert!(rendered[1].contains("completed=true"), "{rendered:?}");
+    }
+
+    #[test]
+    fn failed_interactions_are_recorded_then_propagated() {
+        let g = ground();
+        let teams = g.schema().rel_id("Teams").unwrap();
+        let oracle = FaultyOracle::new(PerfectOracle::new(g), "fail@1=abstain".parse().unwrap());
+        let mut crowd = RecordingCrowd::new(SingleExpert::new(oracle));
+        let f = Fact::new(teams, tup!["GER", "EU"]);
+        assert!(crowd.verify_fact(&f).is_err());
+        assert!(crowd.verify_fact(&f).unwrap());
+        let t = crowd.transcript();
+        assert_eq!(t.len(), 2);
+        assert!(matches!(t[0], TranscriptEntry::Failed { .. }));
+        assert_eq!(t[0].label(), "crowd.failed");
+        assert!(t[0].to_string().contains("UNANSWERED"), "{}", t[0]);
+        assert!(matches!(
+            t[1],
+            TranscriptEntry::VerifyFact { answer: true, .. }
+        ));
     }
 
     #[test]

@@ -74,10 +74,16 @@ impl Drop for MetricsServer {
     }
 }
 
+/// A request line longer than this (with no line break in sight) is cut
+/// off with `414` instead of being buffered further. Real scrapers send
+/// `GET /metrics HTTP/1.1` — anything approaching this bound is garbage.
+const MAX_REQUEST_LINE: usize = 1024;
+
 /// Handle one connection: parse the request line, answer, close.
 fn serve_one(mut stream: TcpStream) -> std::io::Result<()> {
     // Read until the end of the request head (or 4 KB, whichever first);
-    // only the request line matters.
+    // only the request line matters, so stop early if a client streams
+    // that much without ever finishing its first line.
     let mut buf = [0u8; 4096];
     let mut len = 0;
     while len < buf.len() {
@@ -89,16 +95,24 @@ fn serve_one(mut stream: TcpStream) -> std::io::Result<()> {
         if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
             break;
         }
+        if len >= MAX_REQUEST_LINE && !buf[..len].contains(&b'\n') {
+            break;
+        }
     }
     let head = String::from_utf8_lossy(&buf[..len]);
     let mut request_line = head.lines().next().unwrap_or("").split_whitespace();
     let method = request_line.next().unwrap_or("");
     let path = request_line.next().unwrap_or("");
 
-    let (status, body) = match (method, path) {
-        ("GET", "/metrics") => ("200 OK", crate::metrics().snapshot().to_prometheus_text()),
-        ("GET", _) => ("404 Not Found", "only /metrics lives here\n".to_string()),
-        _ => ("405 Method Not Allowed", "GET only\n".to_string()),
+    let overlong = len >= MAX_REQUEST_LINE && !buf[..len].contains(&b'\n');
+    let (status, body) = if overlong {
+        ("414 URI Too Long", "request line too long\n".to_string())
+    } else {
+        match (method, path) {
+            ("GET", "/metrics") => ("200 OK", crate::metrics().snapshot().to_prometheus_text()),
+            ("GET", _) => ("404 Not Found", "only /metrics lives here\n".to_string()),
+            _ => ("405 Method Not Allowed", "GET only\n".to_string()),
+        }
     };
     let response = format!(
         "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
@@ -143,6 +157,29 @@ mod tests {
         let server = MetricsServer::start("127.0.0.1:0").expect("bind ephemeral port");
         let response = http_get(server.local_addr(), "/other");
         assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+    }
+
+    #[test]
+    fn slow_or_malformed_clients_cannot_wedge_the_endpoint() {
+        let server = MetricsServer::start("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = server.local_addr();
+        // a client streaming an endless request line is cut off with 414
+        // instead of being buffered until the head limit
+        let mut hostile = TcpStream::connect(addr).unwrap();
+        hostile
+            .write_all(&vec![b'A'; 2 * MAX_REQUEST_LINE])
+            .unwrap();
+        let mut response = String::new();
+        let _ = hostile.read_to_string(&mut response);
+        assert!(response.starts_with("HTTP/1.1 414"), "{response}");
+        // a client that connects and then goes silent mid-head is dropped
+        // by the read timeout rather than parking the accept loop forever…
+        let mut stalled = TcpStream::connect(addr).unwrap();
+        stalled.write_all(b"GET /metr").unwrap();
+        // …so a well-formed scrape queued behind it is still served
+        let response = http_get(addr, "/metrics");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        drop(stalled);
     }
 
     #[test]

@@ -76,6 +76,50 @@ cargo run -q --release -p qoco-bench --bin qoco-bench -- \
   validate-trace "$chrome_trace" --min-tracks 2 \
   --require-span clean.session --require-span eval.par_chunk
 
+echo "== chaos / crash-recovery smoke-run =="
+# the same Figure 1 scenario again, now under injected crowd faults and a
+# mid-session kill; emits the session script with a parameterised save dir
+chaos_script() {
+  printf '%s\n' \
+    'relation Games date winner runner_up stage result' \
+    'relation Teams country continent' \
+    "load $work/dirty" \
+    "ground $work/ground" \
+    'query Q1(x) :- Games(d1, x, y, "Final", u1), Games(d2, x, z, "Final", u2), Teams(x, "EU"), d1 != d2.' \
+    'clean Q1 qoco provenance' \
+    "save $1" \
+    'quit'
+}
+
+# faults off: the uninterrupted baseline the recovery run must reproduce
+chaos_script "$work/clean-base" | ./target/release/qoco-cli > /dev/null
+
+# a permanently dropped expert must yield an explicit partial report
+# (exit 0 with an unresolved section), never a panic
+chaos_out="$work/chaos.out"
+chaos_script "$work/clean-chaos" | ./target/release/qoco-cli --faults drop@2 > "$chaos_out"
+grep -q "PARTIAL REPORT" "$chaos_out" || { echo "chaos run: no partial report" >&2; exit 1; }
+grep -q "unresolved" "$chaos_out" || { echo "chaos run: no unresolved section" >&2; exit 1; }
+echo "fault injection degrades to a partial report: OK"
+
+# kill the session after its 4th crowd answer with a write-ahead journal…
+journal="$work/session.journal"
+code=0
+chaos_script "$work/clean-killed" \
+  | ./target/release/qoco-cli --journal "$journal" --kill-after 4 > /dev/null 2>&1 || code=$?
+if [ "$code" -ne 86 ]; then
+  echo "kill switch: expected exit 86, got $code" >&2
+  exit 1
+fi
+# …then resume from the journal: zero replay divergences and a final
+# database identical to the uninterrupted baseline
+resume_out="$work/resume.out"
+chaos_script "$work/clean-resumed" | ./target/release/qoco-cli --resume "$journal" > "$resume_out"
+grep -q "0 divergence(s)" "$resume_out" || { echo "resume diverged" >&2; cat "$resume_out" >&2; exit 1; }
+diff -r "$work/clean-base" "$work/clean-resumed" \
+  || { echo "resumed database differs from the uninterrupted run" >&2; exit 1; }
+echo "kill/resume reproduces the uninterrupted session: OK"
+
 echo "== perf regression gate (quick) =="
 cargo run -q --release -p qoco-bench --bin qoco-bench -- regressions --check --quick
 # ...and the gate must actually trip when a cell regresses

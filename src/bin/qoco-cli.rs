@@ -27,6 +27,20 @@
 //!   Prometheus text format on `127.0.0.1:<port>/metrics` (port 0 picks
 //!   an ephemeral port; the bound address is printed to stderr).
 //!
+//! Robustness flags (combinable with the above):
+//!
+//! * `--faults <spec>` — inject deterministic crowd faults into the
+//!   simulated oracle (e.g. `seed=42,timeout=0.1,drop@120`; see
+//!   `FaultPlan` for the grammar).
+//! * `--journal <path>` — write-ahead journal every oracle outcome to a
+//!   fresh file, so a killed session can be resumed.
+//! * `--resume <path>` — replay a journal written by a previous (killed)
+//!   run, then continue the session appending to the same file. Mutually
+//!   exclusive with `--journal`.
+//! * `--kill-after <n>` — chaos harness: exit the process (code 86) after
+//!   the n-th crowd answer, *after* its journal record is flushed. Pair
+//!   with `--journal`, then `--resume` to exercise crash recovery.
+//!
 //! Commands: `relation <name> <attrs…>`, `load <dir>`, `ground <dir>`,
 //! `query <datalog>`, `show <name>`, `witnesses <name> <v1> [v2 …]`,
 //! `explain <name>` (the evaluation plan), `minimize <name>` (the query
@@ -37,13 +51,74 @@
 use std::collections::BTreeMap;
 use std::io::{self, BufRead, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use qoco::core::{clean_view, CleaningConfig, DeletionStrategy, SplitStrategyKind};
-use qoco::crowd::{PerfectOracle, RecordingCrowd, SingleExpert, TranscriptEntry};
+use qoco::crowd::{
+    Answer, CrowdAccess, FaultPlan, FaultyOracle, Journal, Oracle, OracleError, PerfectOracle,
+    Question, RecordingCrowd, SingleExpert, TranscriptEntry,
+};
 use qoco::data::{diff, load_dir, save_dir, Database, Schema, SchemaBuilder, Value};
 use qoco::engine::{answer_set, explain, witnesses_for_answer};
 use qoco::query::{parse_query, ConjunctiveQuery};
+
+/// Exit code of a `--kill-after` abort, distinct from ordinary failures so
+/// scripts (and `scripts/ci.sh`) can assert the death was the deliberate one.
+const KILL_EXIT: i32 = 86;
+
+/// How `clean` assembles its simulated crowd: fault injection, write-ahead
+/// journaling, and the chaos kill switch. All `clean` commands of one
+/// process share the journal sequence and the answer budget.
+struct CrowdOptions {
+    faults: FaultPlan,
+    journal: Option<Journal>,
+    kill_after: Option<u64>,
+    answered: Arc<AtomicU64>,
+}
+
+impl CrowdOptions {
+    fn build_oracle(&self, ground: Database) -> KillSwitch<Box<dyn Oracle>> {
+        let faulty = FaultyOracle::new(PerfectOracle::new(ground), self.faults.clone());
+        let inner: Box<dyn Oracle> = match &self.journal {
+            Some(j) => Box::new(j.wrap(faulty)),
+            None => Box::new(faulty),
+        };
+        KillSwitch {
+            inner,
+            kill_after: self.kill_after,
+            answered: self.answered.clone(),
+        }
+    }
+}
+
+/// Counts answers process-wide and aborts once the budget is spent. Sits
+/// *outside* the journal in the oracle stack, so the write-ahead record of
+/// the final answer is flushed before death — exactly the crash point the
+/// journal is designed to survive.
+struct KillSwitch<O: Oracle> {
+    inner: O,
+    kill_after: Option<u64>,
+    answered: Arc<AtomicU64>,
+}
+
+impl<O: Oracle> Oracle for KillSwitch<O> {
+    fn answer(&mut self, q: &Question) -> Result<Answer, OracleError> {
+        let out = self.inner.answer(q);
+        let n = self.answered.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(limit) = self.kill_after {
+            if n >= limit {
+                eprintln!("kill switch: exiting after {n} crowd answer(s)");
+                std::process::exit(KILL_EXIT);
+            }
+        }
+        out
+    }
+
+    fn label(&self) -> String {
+        self.inner.label()
+    }
+}
 
 struct Session {
     builder: Option<SchemaBuilder>,
@@ -52,10 +127,11 @@ struct Session {
     ground: Option<Database>,
     queries: BTreeMap<String, ConjunctiveQuery>,
     last_transcript: Vec<TranscriptEntry>,
+    crowd_opts: CrowdOptions,
 }
 
 impl Session {
-    fn new() -> Self {
+    fn new(crowd_opts: CrowdOptions) -> Self {
         Session {
             builder: Some(Schema::builder()),
             schema: None,
@@ -63,6 +139,7 @@ impl Session {
             ground: None,
             queries: BTreeMap::new(),
             last_transcript: Vec::new(),
+            crowd_opts,
         }
     }
 
@@ -279,22 +356,40 @@ impl Session {
                 "no ground truth loaded (the oracle needs `ground <dir>`)".into(),
             ));
         };
+        let oracle = self.crowd_opts.build_oracle(ground);
         let db = match self.db() {
             Ok(d) => d,
             Err(e) => return Ok(Err(e)),
         };
-        let mut crowd = RecordingCrowd::new(SingleExpert::new(PerfectOracle::new(ground)));
+        let mut crowd = RecordingCrowd::new(SingleExpert::new(oracle));
         let config = CleaningConfig {
             deletion,
             split,
             ..Default::default()
         };
         let result = clean_view(&q, db, &mut crowd, config);
+        let stats = crowd.stats();
         let (_, transcript) = crowd.into_parts();
         self.last_transcript = transcript;
         match result {
             Ok(report) => {
                 write!(out, "{report}")?;
+                if stats.faults > 0 {
+                    writeln!(
+                        out,
+                        "crowd faults: {} ({} retried, {} escalation(s), {}ms simulated backoff)",
+                        stats.faults, stats.retries, stats.escalations, stats.simulated_backoff_ms
+                    )?;
+                }
+                if let Some(j) = &self.crowd_opts.journal {
+                    writeln!(
+                        out,
+                        "journal: {} record(s) ({} replayed, {} divergence(s))",
+                        j.seq(),
+                        j.replayed(),
+                        j.divergences()
+                    )?;
+                }
                 Ok(Ok(()))
             }
             Err(e) => Ok(Err(e.to_string())),
@@ -353,10 +448,15 @@ fn main() -> io::Result<()> {
     let mut telemetry_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut metrics_port: Option<u16> = None;
+    let mut faults: Option<FaultPlan> = None;
+    let mut journal_path: Option<String> = None;
+    let mut resume_path: Option<String> = None;
+    let mut kill_after: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     let missing = |flag: &str, what: &str| {
         io::Error::new(io::ErrorKind::InvalidInput, format!("{flag} needs {what}"))
     };
+    let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidInput, msg);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--telemetry" => {
@@ -378,17 +478,69 @@ fn main() -> io::Result<()> {
                     .ok_or_else(|| missing("--metrics-port", "a port number"))?;
                 metrics_port = Some(port);
             }
+            "--faults" => {
+                let spec = args.next().ok_or_else(|| {
+                    missing("--faults", "a fault plan (e.g. seed=42,timeout=0.1)")
+                })?;
+                faults = Some(
+                    spec.parse()
+                        .map_err(|e| invalid(format!("--faults {spec}: {e}")))?,
+                );
+            }
+            "--journal" => {
+                journal_path = Some(
+                    args.next()
+                        .ok_or_else(|| missing("--journal", "a file path"))?,
+                );
+            }
+            "--resume" => {
+                resume_path = Some(
+                    args.next()
+                        .ok_or_else(|| missing("--resume", "a journal file path"))?,
+                );
+            }
+            "--kill-after" => {
+                let n = args
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .ok_or_else(|| missing("--kill-after", "an answer count"))?;
+                kill_after = Some(n);
+            }
             other => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidInput,
-                    format!(
-                        "unknown argument `{other}` (supported: --telemetry <path>, \
-                         --trace <path>, --metrics-port <port>)"
-                    ),
-                ));
+                return Err(invalid(format!(
+                    "unknown argument `{other}` (supported: --telemetry <path>, \
+                     --trace <path>, --metrics-port <port>, --faults <spec>, \
+                     --journal <path>, --resume <path>, --kill-after <n>)"
+                )));
             }
         }
     }
+
+    let journal = match (journal_path, resume_path) {
+        (Some(_), Some(_)) => {
+            return Err(invalid(
+                "--journal and --resume are mutually exclusive \
+                 (--resume appends to the journal it replays)"
+                    .into(),
+            ));
+        }
+        (Some(p), None) => Some(Journal::create(&p)?),
+        (None, Some(p)) => {
+            let j = Journal::resume(&p)?;
+            eprintln!(
+                "resuming: {} journaled record(s) to replay",
+                j.pending_replay()
+            );
+            Some(j)
+        }
+        (None, None) => None,
+    };
+    let crowd_opts = CrowdOptions {
+        faults: faults.unwrap_or_else(FaultPlan::none),
+        journal,
+        kill_after,
+        answered: Arc::new(AtomicU64::new(0)),
+    };
 
     // Assemble the collector pipeline: each requested exporter is one sink,
     // fanned out when there is more than one. The metrics endpoint reads
@@ -427,7 +579,7 @@ fn main() -> io::Result<()> {
     let stdin = io::stdin();
     let stdout = io::stdout();
     let mut out = stdout.lock();
-    let mut session = Session::new();
+    let mut session = Session::new(crowd_opts);
     for line in stdin.lock().lines() {
         let line = line?;
         if !session.run(&line, &mut out)? {

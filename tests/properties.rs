@@ -5,7 +5,9 @@
 //! * every edit weakly decreases `|D − D_G|` (Proposition 3.3);
 //! * edits are idempotent (Section 3.1);
 //! * hitting-set machinery agrees with exhaustive search (Theorem 4.5);
-//! * noise injection hits its cleanliness target.
+//! * noise injection hits its cleanliness target;
+//! * a session killed at any point and resumed from its write-ahead
+//!   journal converges bit-identically to the uninterrupted run.
 
 use std::collections::BTreeSet;
 
@@ -13,7 +15,7 @@ use proptest::prelude::*;
 
 use qoco::core::hitting_set::HittingSetInstance;
 use qoco::core::{clean_view, CleaningConfig};
-use qoco::crowd::{PerfectOracle, SingleExpert};
+use qoco::crowd::{CrowdAccess, FaultPlan, FaultyOracle, Journal, PerfectOracle, SingleExpert};
 use qoco::data::{diff, tup, Database, Edit, Fact, Schema, Value};
 use qoco::datasets::{inject_noise, NoiseSpec};
 use qoco::engine::{answer_set, evaluate, Assignment};
@@ -235,6 +237,51 @@ proptest! {
         let r = diff(&d, &ground).unwrap();
         prop_assert!((r.cleanliness() - spec.cleanliness).abs() < 0.08,
             "target {} got {}", spec.cleanliness, r.cleanliness());
+    }
+
+    #[test]
+    fn killed_and_resumed_sessions_converge_identically(
+        dirty in db_strategy(8),
+        ground in db_strategy(8),
+        qi in 0..8usize,
+        seed in 0u64..20,
+    ) {
+        // Run one journaled session to completion (under a transiently
+        // faulty crowd), then simulate killing it at the ¼, ½ and ¾ marks
+        // of its answer stream: resuming from each journal prefix must
+        // reproduce the same edits, the same final database, the same
+        // question counts — with zero replay divergences.
+        let q = &query_pool()[qi];
+        let plan: FaultPlan = format!("seed={seed},timeout=0.15").parse().unwrap();
+        let config = CleaningConfig { max_iterations: 200, ..Default::default() };
+
+        let full_journal = Journal::recording();
+        let mut full_db = dirty.clone();
+        let mut full_crowd = SingleExpert::new(full_journal.wrap(FaultyOracle::new(
+            PerfectOracle::new(ground.clone()),
+            plan.clone(),
+        )));
+        let full_report = clean_view(q, &mut full_db, &mut full_crowd, config).unwrap();
+        let full_stats = full_crowd.stats();
+        let records = full_journal.records();
+
+        for frac in [1usize, 2, 3] {
+            let k = records.len() * frac / 4;
+            let journal = Journal::replaying(records[..k].to_vec());
+            let mut db = dirty.clone();
+            let mut crowd = SingleExpert::new(journal.wrap(FaultyOracle::new(
+                PerfectOracle::new(ground.clone()),
+                plan.clone(),
+            )));
+            let report = clean_view(q, &mut db, &mut crowd, config).unwrap();
+            prop_assert_eq!(journal.divergences(), 0, "kill point {k}: inputs diverged");
+            prop_assert_eq!(journal.replayed(), k as u64);
+            prop_assert_eq!(journal.seq(), records.len() as u64,
+                "kill point {k}: different question count");
+            prop_assert_eq!(report.edits.edits(), full_report.edits.edits());
+            prop_assert_eq!(db.sorted_facts(), full_db.sorted_facts());
+            prop_assert_eq!(crowd.stats(), full_stats);
+        }
     }
 
     #[test]

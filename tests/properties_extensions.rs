@@ -145,7 +145,7 @@ proptest! {
             }
         }
         let mut crowd = SingleExpert::new(PerfectOracle::new(ground));
-        let (found, questions) = find_false_facts(&mut crowd, &all);
+        let (found, questions) = find_false_facts(&mut crowd, &all).unwrap();
         let found: BTreeSet<Fact> = found.into_iter().collect();
         prop_assert_eq!(found, expected_false);
         prop_assert!(questions <= 2 * all.len() + 1, "group testing asked {questions} about {} facts", all.len());
