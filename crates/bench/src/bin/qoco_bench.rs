@@ -11,10 +11,14 @@
 //! * `validate-trace FILE` — structurally validate an exported Chrome
 //!   trace (array or object form), requiring `--min-tracks N` distinct
 //!   thread tracks (default 2) and any `--require-span NAME` spans.
+//! * `validate-decisions FILE` — structurally validate the decision-
+//!   provenance lines of a `--telemetry` JSONL export (unique positive
+//!   ids, string evidence), requiring any `--require-kind NAME` kinds.
 
 use std::process::ExitCode;
 use std::time::{SystemTime, UNIX_EPOCH};
 
+use qoco_bench::decision_check::validate_decisions;
 use qoco_bench::regressions::{compare, load_baseline, DEFAULT_THRESHOLD};
 use qoco_bench::scaling::{scaling_sweep, SweepConfig};
 use qoco_bench::trace_check::validate_trace;
@@ -27,7 +31,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: qoco-bench regressions [--quick] [--check] [--threshold X] \
          [--baseline FILE] [--inject-slowdown workload/size/engine/threads=FACTOR]\n       \
-         qoco-bench validate-trace FILE [--min-tracks N] [--require-span NAME]..."
+         qoco-bench validate-trace FILE [--min-tracks N] [--require-span NAME]...\n       \
+         qoco-bench validate-decisions FILE [--require-kind NAME]..."
     );
     ExitCode::from(2)
 }
@@ -37,6 +42,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("regressions") => run_regressions(&args[1..]),
         Some("validate-trace") => run_validate_trace(&args[1..]),
+        Some("validate-decisions") => run_validate_decisions(&args[1..]),
         _ => usage(),
     }
 }
@@ -187,6 +193,46 @@ fn run_validate_trace(args: &[String]) -> ExitCode {
                 summary.complete_events,
                 summary.thread_tracks,
                 summary.span_names.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{file}: INVALID — {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_validate_decisions(args: &[String]) -> ExitCode {
+    let mut file = None;
+    let mut require_kinds = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--require-kind" => match it.next() {
+                Some(v) => require_kinds.push(v.clone()),
+                None => return usage(),
+            },
+            _ if file.is_none() && !arg.starts_with('-') => file = Some(arg.clone()),
+            _ => return usage(),
+        }
+    }
+    let Some(file) = file else { return usage() };
+
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate_decisions(&text, &require_kinds) {
+        Ok(summary) => {
+            println!(
+                "{file}: valid decision log — {} decision(s) across {} kind(s)",
+                summary.decisions,
+                summary.kinds.len()
             );
             ExitCode::SUCCESS
         }

@@ -1,0 +1,148 @@
+//! Structural validation of decision-provenance JSONL exports.
+//!
+//! `qoco-cli --telemetry <path>` streams one JSON object per line; the
+//! `"type":"decision"` lines are the decision-provenance record stream
+//! (see `qoco-telemetry`'s `DecisionRecord`). CI runs
+//! `qoco-bench validate-decisions FILE` over a real session export to gate
+//! on the stream staying machine-readable: every decision must carry a
+//! positive, unique integer id, non-empty `kind`/`question`/`outcome`
+//! strings, and a string-valued `evidence` object. Parsing uses the
+//! workspace's dependency-free [`crate::json`] parser.
+
+use std::collections::BTreeSet;
+
+use crate::json::Json;
+
+/// What [`validate_decisions`] found in a valid export.
+#[derive(Debug)]
+pub struct DecisionSummary {
+    /// Number of `"type":"decision"` lines.
+    pub decisions: usize,
+    /// Distinct decision kinds seen, sorted.
+    pub kinds: BTreeSet<String>,
+}
+
+/// Validate every decision line of a telemetry JSONL export. Non-decision
+/// lines (spans, events, metrics) are parsed but otherwise ignored.
+/// `require_kinds` lists decision kinds that must appear at least once.
+pub fn validate_decisions(text: &str, require_kinds: &[String]) -> Result<DecisionSummary, String> {
+    let mut seen_ids: BTreeSet<u64> = BTreeSet::new();
+    let mut kinds: BTreeSet<String> = BTreeSet::new();
+    let mut decisions = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = i + 1;
+        let v = Json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        if v.get("type").and_then(Json::as_str) != Some("decision") {
+            continue;
+        }
+        decisions += 1;
+        let id = v
+            .get("id")
+            .and_then(Json::as_f64)
+            .filter(|n| *n >= 1.0 && n.fract() == 0.0)
+            .ok_or_else(|| format!("line {lineno}: decision id must be a positive integer"))?;
+        if !seen_ids.insert(id as u64) {
+            return Err(format!(
+                "line {lineno}: duplicate decision id {}",
+                id as u64
+            ));
+        }
+        for key in ["kind", "question", "outcome"] {
+            match v.get(key).and_then(Json::as_str) {
+                Some(s) if key != "kind" || !s.is_empty() => {}
+                Some(_) => return Err(format!("line {lineno}: empty decision kind")),
+                None => return Err(format!("line {lineno}: decision is missing string `{key}`")),
+            }
+        }
+        kinds.insert(
+            v.get("kind")
+                .and_then(Json::as_str)
+                .expect("checked above")
+                .to_string(),
+        );
+        match v.get("evidence") {
+            Some(Json::Object(map)) => {
+                for (k, val) in map {
+                    if val.as_str().is_none() {
+                        return Err(format!("line {lineno}: evidence `{k}` is not a string"));
+                    }
+                }
+            }
+            _ => {
+                return Err(format!(
+                    "line {lineno}: decision is missing its evidence object"
+                ))
+            }
+        }
+    }
+    for k in require_kinds {
+        if !kinds.contains(k) {
+            return Err(format!(
+                "no `{k}` decision in the log (kinds seen: {kinds:?})"
+            ));
+        }
+    }
+    Ok(DecisionSummary { decisions, kinds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = concat!(
+        r#"{"type":"span","name":"clean.session","start_ns":0,"end_ns":9}"#,
+        "\n",
+        r#"{"type":"decision","id":1,"at_ns":5,"tid":0,"kind":"deletion.plan","question":"q","outcome":"o","evidence":{"witnesses":"{a}"}}"#,
+        "\n",
+        r#"{"type":"decision","id":2,"at_ns":7,"span":3,"tid":0,"kind":"deletion.verify_fact","question":"TRUE(a)?","outcome":"false","evidence":{}}"#,
+        "\n",
+    );
+
+    #[test]
+    fn accepts_a_well_formed_export() {
+        let s = validate_decisions(GOOD, &["deletion.plan".to_string()]).unwrap();
+        assert_eq!(s.decisions, 2);
+        assert!(s.kinds.contains("deletion.verify_fact"));
+    }
+
+    #[test]
+    fn missing_required_kind_is_an_error() {
+        let err = validate_decisions(GOOD, &["deletion.certificate".to_string()]).unwrap_err();
+        assert!(err.contains("deletion.certificate"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected() {
+        let dup = GOOD.replace("\"id\":2", "\"id\":1");
+        let err = validate_decisions(&dup, &[]).unwrap_err();
+        assert!(err.contains("duplicate decision id 1"), "{err}");
+    }
+
+    #[test]
+    fn malformed_decisions_are_rejected() {
+        for (broken, want) in [
+            (GOOD.replace("\"id\":1", "\"id\":0"), "positive integer"),
+            (GOOD.replace("\"question\":\"q\",", ""), "missing string"),
+            (
+                GOOD.replace(r#""evidence":{"witnesses":"{a}"}"#, r#""evidence":7"#),
+                "evidence object",
+            ),
+            (
+                GOOD.replace(r#""witnesses":"{a}""#, r#""witnesses":12"#),
+                "not a string",
+            ),
+        ] {
+            let err = validate_decisions(&broken, &[]).unwrap_err();
+            assert!(err.contains(want), "expected {want:?} in {err}");
+        }
+    }
+
+    #[test]
+    fn non_json_line_is_an_error() {
+        assert!(validate_decisions("not json\n", &[]).is_err());
+    }
+}

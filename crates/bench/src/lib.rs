@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod decision_check;
 pub mod experiments;
 pub mod json;
 pub mod regressions;

@@ -25,17 +25,29 @@ fn disabled_telemetry_is_a_noop_fast_path() {
     for i in 0..ITERATIONS {
         let span = qoco_telemetry::span(black_box("guard.noop"));
         qoco_telemetry::counter_add("guard.noop", black_box(i));
+        qoco_telemetry::gauge_add("guard.noop_gauge", black_box(1.0));
         qoco_telemetry::event("guard.noop", || unreachable!("lazy detail must not run"));
+        // decision provenance: begin must return the disabled sentinel and
+        // the detail closures must never run
+        let decision = qoco_telemetry::begin_decision();
+        assert_eq!(decision, 0, "disabled begin_decision must return 0");
+        qoco_telemetry::finish_decision(decision, "guard.noop", || {
+            unreachable!("lazy decision detail must not run")
+        });
+        qoco_telemetry::record_decision("guard.noop", || {
+            unreachable!("lazy decision detail must not run")
+        });
         span.finish();
     }
     let elapsed = start.elapsed();
     assert!(
         elapsed < BUDGET,
-        "{ITERATIONS} disabled span+counter+event ops took {elapsed:?} (budget {BUDGET:?}) — \
-         something expensive crept onto the disabled path"
+        "{ITERATIONS} disabled span+counter+event+decision ops took {elapsed:?} \
+         (budget {BUDGET:?}) — something expensive crept onto the disabled path"
     );
     // and the disabled ops must leave no trace
     assert_eq!(qoco_telemetry::now_ns(), 0);
+    assert_eq!(qoco_telemetry::current_decision_id(), None);
     assert_eq!(
         qoco_telemetry::metrics().snapshot().counter("guard.noop"),
         0

@@ -103,7 +103,22 @@ pub fn clean_view_with_estimator<C: CrowdAccess + ?Sized>(
             if !answer_set(q, db).contains(&t) {
                 continue;
             }
-            match crowd.verify_answer(q, &t) {
+            let decision = qoco_telemetry::begin_decision();
+            let verdict = crowd.verify_answer(q, &t);
+            qoco_telemetry::finish_decision(decision, "clean.verify_answer", || {
+                qoco_telemetry::DecisionDetail {
+                    question: format!("TRUE({}, {t})?", q.name()),
+                    outcome: match &verdict {
+                        Ok(v) => v.to_string(),
+                        Err(e) => format!("error: {e}"),
+                    },
+                    evidence: vec![
+                        ("phase", "deletion-sweep".to_string()),
+                        ("iteration", report.iterations.to_string()),
+                    ],
+                }
+            });
+            match verdict {
                 Ok(true) => {
                     verified.insert(t);
                 }
@@ -152,7 +167,24 @@ pub fn clean_view_with_estimator<C: CrowdAccess + ?Sized>(
             if estimator.likely_complete(known.len()) {
                 break;
             }
-            let t = match crowd.next_missing_answer(q, &known) {
+            let decision = qoco_telemetry::begin_decision();
+            let reply = crowd.next_missing_answer(q, &known);
+            qoco_telemetry::finish_decision(decision, "clean.complete_result", || {
+                qoco_telemetry::DecisionDetail {
+                    question: format!("COMPL({}(D))?", q.name()),
+                    outcome: match &reply {
+                        Ok(Some(t)) => format!("missing: {t}"),
+                        Ok(None) => "complete".to_string(),
+                        Err(e) => format!("error: {e}"),
+                    },
+                    evidence: vec![
+                        ("phase", "insertion-sweep".to_string()),
+                        ("iteration", report.iterations.to_string()),
+                        ("known_answers", known.len().to_string()),
+                    ],
+                }
+            });
+            let t = match reply {
                 Ok(Some(t)) => t,
                 Ok(None) => break,
                 Err(e) => {

@@ -75,13 +75,54 @@ fn apply_rec<C: CrowdAccess + ?Sized>(
     for v in violations {
         match v {
             Violation::KeyConflict { existing, .. } => {
-                match crowd.verify_fact(&existing) {
+                let decision = qoco_telemetry::begin_decision();
+                let verdict = crowd.verify_fact(&existing);
+                qoco_telemetry::finish_decision(decision, "constrained.key_conflict", || {
+                    qoco_telemetry::DecisionDetail {
+                        question: format!("TRUE({existing:?})?"),
+                        outcome: match &verdict {
+                            Ok(v) => v.to_string(),
+                            Err(e) => format!("error: {e}"),
+                        },
+                        evidence: vec![
+                            ("conflicting_insert", format!("{:?}", edit.fact)),
+                            (
+                                "rationale",
+                                "two facts conflicting on a key cannot both be true".to_string(),
+                            ),
+                        ],
+                    }
+                });
+                match verdict {
                     Ok(true) => {
                         // existing is true; is the new fact also claimed
                         // true? (A crowd failure here counts as "not
                         // confirmed": the conflict stays on record.)
-                        let both = edit.kind == EditKind::Insert
-                            && crowd.verify_fact(&edit.fact).unwrap_or(true);
+                        let both = edit.kind == EditKind::Insert && {
+                            let decision = qoco_telemetry::begin_decision();
+                            let recheck = crowd.verify_fact(&edit.fact);
+                            qoco_telemetry::finish_decision(
+                                decision,
+                                "constrained.key_conflict",
+                                || qoco_telemetry::DecisionDetail {
+                                    question: format!("TRUE({:?})?", edit.fact),
+                                    outcome: match &recheck {
+                                        Ok(v) => v.to_string(),
+                                        Err(e) => format!("error: {e}"),
+                                    },
+                                    evidence: vec![
+                                        ("conflicting_existing", format!("{existing:?}")),
+                                        (
+                                            "rationale",
+                                            "existing fact confirmed true; recheck the \
+                                             insert before declaring an anomaly"
+                                                .to_string(),
+                                        ),
+                                    ],
+                                },
+                            );
+                            recheck.unwrap_or(true)
+                        };
                         if both {
                             // both true (or unverifiable): impossible under
                             // the key — keep the existing fact, report, and
@@ -127,7 +168,30 @@ fn apply_rec<C: CrowdAccess + ?Sized>(
                         // Treat a crowd failure and a non-total completion
                         // like "no true referenced tuple found": leave the
                         // violation unresolved and refuse the insert.
-                        let referenced = match crowd.complete(&q, &Assignment::new()) {
+                        let decision = qoco_telemetry::begin_decision();
+                        let completion = crowd.complete(&q, &Assignment::new());
+                        qoco_telemetry::finish_decision(
+                            decision,
+                            "constrained.dangling_reference",
+                            || qoco_telemetry::DecisionDetail {
+                                question: format!("COMPL(∅, {})?", q.display()),
+                                outcome: match &completion {
+                                    Ok(Some(total)) => format!("completed: {total:?}"),
+                                    Ok(None) => "no true referenced tuple".to_string(),
+                                    Err(e) => format!("error: {e}"),
+                                },
+                                evidence: vec![
+                                    ("referencing_insert", format!("{:?}", edit.fact)),
+                                    (
+                                        "rationale",
+                                        "a referencing fact needs its referenced tuple; \
+                                         fetch it before admitting the insert"
+                                            .to_string(),
+                                    ),
+                                ],
+                            },
+                        );
+                        let referenced = match completion {
                             Ok(Some(total)) => total.ground_atom(&q.atoms()[0]),
                             Ok(None) | Err(_) => None,
                         };
@@ -149,7 +213,29 @@ fn apply_rec<C: CrowdAccess + ?Sized>(
                     EditKind::Delete => {
                         // stranded referencing fact: false → cascade delete;
                         // unverifiable (crowd gone) → keep it and report
-                        if crowd.verify_fact(&fact).unwrap_or(true) {
+                        let decision = qoco_telemetry::begin_decision();
+                        let verdict = crowd.verify_fact(&fact);
+                        qoco_telemetry::finish_decision(
+                            decision,
+                            "constrained.stranding_delete",
+                            || qoco_telemetry::DecisionDetail {
+                                question: format!("TRUE({fact:?})?"),
+                                outcome: match &verdict {
+                                    Ok(v) => v.to_string(),
+                                    Err(e) => format!("error: {e}"),
+                                },
+                                evidence: vec![
+                                    ("deleted_referenced", format!("{:?}", edit.fact)),
+                                    (
+                                        "rationale",
+                                        "delete strands this referencing fact: false ones \
+                                         cascade, true ones are kept and reported"
+                                            .to_string(),
+                                    ),
+                                ],
+                            },
+                        );
+                        if verdict.unwrap_or(true) {
                             outcome.unresolved.push(Violation::DanglingReference {
                                 fact,
                                 to_rel,

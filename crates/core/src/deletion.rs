@@ -16,6 +16,7 @@ use qoco_crowd::{CrowdAccess, CrowdError};
 use qoco_data::{Database, Edit, EditLog, Fact, Tuple};
 use qoco_engine::witnesses_for_answer;
 use qoco_query::ConjunctiveQuery;
+use qoco_telemetry::DecisionDetail;
 
 use crate::error::CleanError;
 use crate::heuristics::{MostFrequentSelector, RandomSelector, TupleSelector};
@@ -106,6 +107,29 @@ pub fn crowd_remove_wrong_answer_with<C: CrowdAccess + ?Sized>(
     let mut instance = HittingSetInstance::new(witnesses);
     let upper_bound = instance.universe().len();
 
+    if !instance.is_done() {
+        // Provenance: record the plan — the witness system, the naïve
+        // upper bound, and the exact hitting-set lower bound the budget
+        // report compares against. Closure runs only when telemetry is on.
+        qoco_telemetry::record_decision("deletion.plan", || DecisionDetail {
+            question: format!("remove wrong answer {t} from Q(D)"),
+            outcome: format!("{} witness set(s) to hit", instance.sets().len()),
+            evidence: vec![
+                ("witnesses", render_witnesses(&instance)),
+                ("upper_bound", upper_bound.to_string()),
+                (
+                    "lower_bound",
+                    instance.minimum_hitting_set().len().to_string(),
+                ),
+                ("selector", selector.name().to_string()),
+                (
+                    "shortcut",
+                    if use_singleton_shortcut { "on" } else { "off" }.to_string(),
+                ),
+            ],
+        });
+    }
+
     let mut edits = EditLog::new();
     let mut questions = 0usize;
     let mut anomalies = 0usize;
@@ -114,6 +138,7 @@ pub fn crowd_remove_wrong_answer_with<C: CrowdAccess + ?Sized>(
     let mut known_true: std::collections::BTreeSet<Fact> = Default::default();
 
     while !instance.is_done() {
+        qoco_telemetry::gauge_set("session.witnesses_open", instance.sets().len() as f64);
         if use_singleton_shortcut {
             // Lines 2–4: tuples in singleton sets are deletable without
             // questions (Theorem 4.5).
@@ -122,6 +147,37 @@ pub fn crowd_remove_wrong_answer_with<C: CrowdAccess + ?Sized>(
                 if singles.is_empty() {
                     break;
                 }
+                qoco_telemetry::record_decision("deletion.certificate", || {
+                    let certificate = instance.unique_minimal_hitting_set();
+                    DecisionDetail {
+                        question: format!(
+                            "delete {} singleton witness tuple(s) without asking",
+                            singles.len()
+                        ),
+                        outcome: match &certificate {
+                            Some(m) => format!(
+                                "theorem-4.5 certificate fired: unique minimal hitting set {}",
+                                render_set(m)
+                            ),
+                            None => "singletons (members of every hitting set) deleted; \
+                                 witnesses remain"
+                                .to_string(),
+                        },
+                        evidence: vec![
+                            (
+                                "theorem_4_5",
+                                if certificate.is_some() {
+                                    "fired"
+                                } else {
+                                    "partial"
+                                }
+                                .to_string(),
+                            ),
+                            ("singletons", render_set(&singles)),
+                            ("witnesses", render_witnesses(&instance)),
+                        ],
+                    }
+                });
                 for f in singles {
                     instance.confirm_false(&f);
                     edits.push(Edit::delete(f));
@@ -137,8 +193,30 @@ pub fn crowd_remove_wrong_answer_with<C: CrowdAccess + ?Sized>(
             anomalies += instance.sets().len();
             break;
         };
+        // Provenance: capture why *this* tuple is asked about — the live
+        // witness state and the frequency ranking that makes it greedy-best
+        // — before the oracle mutates anything. `decision != 0` only when
+        // telemetry is enabled, so the disabled path allocates nothing
+        // (an empty Vec::new is allocation-free).
+        let decision = qoco_telemetry::begin_decision();
+        let mut evidence: Vec<(&'static str, String)> = Vec::new();
+        if decision != 0 {
+            evidence.push(("selector", selector.name().to_string()));
+            evidence.push(("frequency", instance.frequency(&fact).to_string()));
+            evidence.push(("ranking", render_ranking(&instance)));
+            evidence.push(("witnesses", render_witnesses(&instance)));
+        }
         questions += 1;
-        match crowd.verify_fact(&fact) {
+        let verdict = crowd.verify_fact(&fact);
+        qoco_telemetry::finish_decision(decision, "deletion.verify_fact", || DecisionDetail {
+            question: format!("TRUE({fact:?})?"),
+            outcome: match &verdict {
+                Ok(v) => v.to_string(),
+                Err(e) => format!("error: {e}"),
+            },
+            evidence,
+        });
+        match verdict {
             Ok(true) => {
                 known_true.insert(fact.clone());
                 anomalies += instance.confirm_true(&fact);
@@ -153,6 +231,7 @@ pub fn crowd_remove_wrong_answer_with<C: CrowdAccess + ?Sized>(
             }
         }
     }
+    qoco_telemetry::gauge_set("session.witnesses_open", instance.sets().len() as f64);
 
     db.apply_all(edits.edits())?;
     span.field("questions", questions)
@@ -184,6 +263,44 @@ fn pick_unasked(
         .universe()
         .into_iter()
         .find(|candidate| !known_true.contains(candidate))
+}
+
+/// `{A, B}` — one witness set as evidence text.
+fn render_set(s: &std::collections::BTreeSet<Fact>) -> String {
+    let inner = s
+        .iter()
+        .map(|f| format!("{f:?}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("{{{inner}}}")
+}
+
+/// The live witness system, `{..} | {..}`, in the instance's canonical
+/// (sorted, deduplicated) order.
+fn render_witnesses(instance: &HittingSetInstance<Fact>) -> String {
+    instance
+        .sets()
+        .iter()
+        .map(render_set)
+        .collect::<Vec<_>>()
+        .join(" | ")
+}
+
+/// Candidate tuples ranked by witness frequency — descending count, ties
+/// by fact order, mirroring [`HittingSetInstance::most_frequent`]'s
+/// tie-break so the head of the ranking is exactly the greedy pick.
+fn render_ranking(instance: &HittingSetInstance<Fact>) -> String {
+    let mut ranked: Vec<(usize, Fact)> = instance
+        .universe()
+        .into_iter()
+        .map(|f| (instance.frequency(&f), f))
+        .collect();
+    ranked.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    ranked
+        .into_iter()
+        .map(|(n, f)| format!("{f:?}={n}"))
+        .collect::<Vec<_>>()
+        .join(" > ")
 }
 
 #[cfg(test)]

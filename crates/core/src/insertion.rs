@@ -19,6 +19,7 @@ use qoco_crowd::{CrowdAccess, CrowdError};
 use qoco_data::{Database, Edit, EditLog, Tuple};
 use qoco_engine::{evaluate, is_satisfiable, Assignment};
 use qoco_query::{embed_answer, ConjunctiveQuery};
+use qoco_telemetry::DecisionDetail;
 
 use crate::error::CleanError;
 use crate::split::SplitStrategy;
@@ -93,11 +94,24 @@ pub fn crowd_add_missing_answer<C: CrowdAccess + ?Sized>(
 
     let mut achieved = !qt_missing(&q_t, db);
     let mut asked: BTreeSet<Assignment> = BTreeSet::new();
-    let mut queue: VecDeque<ConjunctiveQuery> = VecDeque::new();
+    // The queue pairs each subquery with its split-tree path ("Q|t.L.R"
+    // = right child of the left child of the root), so every question's
+    // provenance names where in the split tree it arose. Paths are only
+    // materialized while telemetry is on; otherwise they stay empty
+    // (allocation-free) strings.
+    let provenance_on = qoco_telemetry::enabled();
+    let child_path = |parent: &str, side: &str| {
+        if provenance_on {
+            format!("{parent}.{side}")
+        } else {
+            String::new()
+        }
+    };
+    let mut queue: VecDeque<(ConjunctiveQuery, String)> = VecDeque::new();
     if !achieved {
         if let Some((a, b)) = split.split(&q_t, db) {
-            queue.push_back(a);
-            queue.push_back(b);
+            queue.push_back((a, child_path("Q|t", "L")));
+            queue.push_back((b, child_path("Q|t", "R")));
         }
     }
 
@@ -105,7 +119,9 @@ pub fn crowd_add_missing_answer<C: CrowdAccess + ?Sized>(
 
     // Main loop (lines 4–17).
     'outer: while !achieved && failure.is_none() {
-        let Some(curr) = queue.pop_front() else { break };
+        let Some((curr, path)) = queue.pop_front() else {
+            break;
+        };
         let result = evaluate(&curr, db);
         let mut assignments = result.assignments;
         assignments.truncate(opts.max_assignments_per_subquery);
@@ -114,7 +130,23 @@ pub fn crowd_add_missing_answer<C: CrowdAccess + ?Sized>(
                 continue; // already examined this partial assignment
             }
             // CrowdVerify(α(body(Q|t))): is α satisfiable w.r.t. Q|t, D_G?
-            match crowd.verify_satisfiable(&q_t, &alpha) {
+            let decision = qoco_telemetry::begin_decision();
+            let verdict = crowd.verify_satisfiable(&q_t, &alpha);
+            qoco_telemetry::finish_decision(decision, "insertion.verify_satisfiable", || {
+                DecisionDetail {
+                    question: format!("SAT({alpha:?}, {})?", q_t.name()),
+                    outcome: match &verdict {
+                        Ok(v) => v.to_string(),
+                        Err(e) => format!("error: {e}"),
+                    },
+                    evidence: vec![
+                        ("split_path", path.clone()),
+                        ("subquery", curr.display().to_string()),
+                        ("assignment", format!("{alpha:?}")),
+                    ],
+                }
+            });
+            match verdict {
                 Ok(true) => {}
                 Ok(false) => continue,
                 Err(e) => {
@@ -126,7 +158,24 @@ pub fn crowd_add_missing_answer<C: CrowdAccess + ?Sized>(
                 Some(alpha.clone())
             } else {
                 // COMPL(α, Q|t)
-                match crowd.complete(&q_t, &alpha) {
+                let decision = qoco_telemetry::begin_decision();
+                let completion = crowd.complete(&q_t, &alpha);
+                qoco_telemetry::finish_decision(decision, "insertion.complete", || {
+                    DecisionDetail {
+                        question: format!("COMPL({alpha:?}, {})", q_t.name()),
+                        outcome: match &completion {
+                            Ok(Some(total)) => format!("completed: {total:?}"),
+                            Ok(None) => "unsatisfiable".to_string(),
+                            Err(e) => format!("error: {e}"),
+                        },
+                        evidence: vec![
+                            ("split_path", path.clone()),
+                            ("subquery", curr.display().to_string()),
+                            ("assignment", format!("{alpha:?}")),
+                        ],
+                    }
+                });
+                match completion {
                     Ok(total) => total,
                     Err(e) => {
                         failure = Some(e);
@@ -145,15 +194,29 @@ pub fn crowd_add_missing_answer<C: CrowdAccess + ?Sized>(
         // Line 16–17: recurse into smaller subqueries.
         if curr.atoms().len() > 1 {
             if let Some((a, b)) = split.split(&curr, db) {
-                queue.push_back(a);
-                queue.push_back(b);
+                queue.push_back((a, child_path(&path, "L")));
+                queue.push_back((b, child_path(&path, "R")));
             }
         }
     }
 
     // Line 18: fall back to a full witness request.
     if !achieved && failure.is_none() {
-        match crowd.complete(&q_t, &Assignment::new()) {
+        let decision = qoco_telemetry::begin_decision();
+        let completion = crowd.complete(&q_t, &Assignment::new());
+        qoco_telemetry::finish_decision(decision, "insertion.complete", || DecisionDetail {
+            question: format!("COMPL(∅, {})", q_t.name()),
+            outcome: match &completion {
+                Ok(Some(total)) => format!("completed: {total:?}"),
+                Ok(None) => "unsatisfiable".to_string(),
+                Err(e) => format!("error: {e}"),
+            },
+            evidence: vec![
+                ("split_path", "naive-fallback".to_string()),
+                ("subquery", q_t.display().to_string()),
+            ],
+        });
+        match completion {
             Ok(Some(total)) => {
                 apply_witness_insertions(&q_t, db, &total, &mut edits)?;
                 achieved = !qt_missing(&q_t, db);

@@ -130,6 +130,27 @@ impl<O: Oracle + Send> ParallelMajorityCrowd<O> {
                             s.retries += 1;
                             drop(s);
                             qoco_telemetry::counter_add("crowd.retries", 1);
+                            qoco_telemetry::record_decision("crowd.retry", || {
+                                qoco_telemetry::DecisionDetail {
+                                    question: format!("{q:?}"),
+                                    outcome: format!(
+                                        "retry {attempts}/{} after {backoff}ms backoff",
+                                        self.policy.max_retries
+                                    ),
+                                    evidence: vec![
+                                        ("fault", e.as_str().to_string()),
+                                        ("expert", idx.to_string()),
+                                        (
+                                            "policy",
+                                            format!(
+                                                "max_retries={} backoff_base_ms={}",
+                                                self.policy.max_retries,
+                                                self.policy.backoff_base_ms
+                                            ),
+                                        ),
+                                    ],
+                                }
+                            });
                         }
                         OracleError::Dropped => {
                             self.dead[idx].store(true, Ordering::SeqCst);
@@ -183,6 +204,20 @@ impl<O: Oracle + Send> ParallelMajorityCrowd<O> {
                     if pos + 1 < alive.len() {
                         self.stats.lock().escalations += 1;
                         qoco_telemetry::counter_add("crowd.escalations", 1);
+                        qoco_telemetry::record_decision("crowd.escalation", || {
+                            qoco_telemetry::DecisionDetail {
+                                question: format!("{q:?}"),
+                                outcome: format!(
+                                    "expert {idx} failed ({}); escalating to the next panelist",
+                                    last.as_str()
+                                ),
+                                evidence: vec![
+                                    ("expert", idx.to_string()),
+                                    ("answered_so_far", answered.to_string()),
+                                    ("panel", alive.len().to_string()),
+                                ],
+                            }
+                        });
                     }
                 }
             }

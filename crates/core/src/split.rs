@@ -190,9 +190,10 @@ impl SplitStrategy for ProvenanceSplit {
 }
 
 /// Decorator that reports each split to the telemetry layer: a
-/// `split.compute_ns` histogram observation per call and one
-/// `insertion.splits_generated` count per successful split. Inert (two
-/// atomic loads) while telemetry is disabled.
+/// `split.compute_ns` histogram observation per call, one
+/// `insertion.splits_generated` count per successful split, and an
+/// `insertion.split` decision record naming the strategy and both halves.
+/// Inert (two atomic loads) while telemetry is disabled.
 pub struct InstrumentedSplit {
     inner: Box<dyn SplitStrategy>,
 }
@@ -222,6 +223,14 @@ impl SplitStrategy for InstrumentedSplit {
         if out.is_some() {
             qoco_telemetry::counter_add("insertion.splits_generated", 1);
         }
+        qoco_telemetry::record_decision("insertion.split", || qoco_telemetry::DecisionDetail {
+            question: format!("Split({})?", q.display()),
+            outcome: match &out {
+                Some((a, b)) => format!("{} | {}", a.display(), b.display()),
+                None => "no split (whole-witness completion)".to_string(),
+            },
+            evidence: vec![("strategy", self.inner.name().to_string())],
+        });
         out
     }
 

@@ -44,8 +44,26 @@ fn verify_union_answer<C: CrowdAccess + ?Sized>(
     crowd: &mut C,
     t: &Tuple,
 ) -> Result<bool, CrowdError> {
-    for q in uq.disjuncts() {
-        if crowd.verify_answer(q, t)? {
+    for (i, q) in uq.disjuncts().iter().enumerate() {
+        let decision = qoco_telemetry::begin_decision();
+        let verdict = crowd.verify_answer(q, t);
+        qoco_telemetry::finish_decision(decision, "union.verify_answer", || {
+            qoco_telemetry::DecisionDetail {
+                question: format!("TRUE({}, {t})?", q.name()),
+                outcome: match &verdict {
+                    Ok(v) => v.to_string(),
+                    Err(e) => format!("error: {e}"),
+                },
+                evidence: vec![
+                    ("disjunct", format!("{}/{}", i + 1, uq.disjuncts().len())),
+                    (
+                        "rationale",
+                        "a union answer is true iff some disjunct certifies it".to_string(),
+                    ),
+                ],
+            }
+        });
+        if verdict? {
             return Ok(true);
         }
     }
@@ -161,11 +179,32 @@ pub fn clean_union_view<C: CrowdAccess + ?Sized>(
             // query must be satisfiable w.r.t. the ground truth
             let mut achieved = false;
             let mut failed = false;
-            for q in uq.disjuncts() {
+            for (i, q) in uq.disjuncts().iter().enumerate() {
                 let Ok(q_t) = embed_answer(q, t.values()) else {
                     continue;
                 };
-                match crowd.verify_satisfiable(&q_t, &Assignment::new()) {
+                let decision = qoco_telemetry::begin_decision();
+                let hostable = crowd.verify_satisfiable(&q_t, &Assignment::new());
+                qoco_telemetry::finish_decision(decision, "union.pick_host_disjunct", || {
+                    qoco_telemetry::DecisionDetail {
+                        question: format!("SAT(∅, {})?", q_t.name()),
+                        outcome: match &hostable {
+                            Ok(v) => v.to_string(),
+                            Err(e) => format!("error: {e}"),
+                        },
+                        evidence: vec![
+                            ("disjunct", format!("{}/{}", i + 1, uq.disjuncts().len())),
+                            ("missing_answer", t.to_string()),
+                            (
+                                "rationale",
+                                "a missing union answer needs one hosting disjunct; \
+                                 insertion runs on the first satisfiable embedding"
+                                    .to_string(),
+                            ),
+                        ],
+                    }
+                });
+                match hostable {
                     Ok(true) => {}
                     Ok(false) => continue,
                     Err(e) => {

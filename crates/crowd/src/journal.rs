@@ -35,6 +35,11 @@
 //!
 //! Values carry an `s:`/`i:` type tag; names and values are percent-escaped
 //! so tabs, newlines and the separator characters cannot corrupt a record.
+//! When telemetry is on, a fourth tab-separated field `d=<id>` tags the
+//! record with the decision id that caused the question — older readers
+//! split on the first three tabs and never see it, and replay ignores it
+//! when checking for divergence, so journals written with and without
+//! provenance interoperate.
 //! A truncated final line (the crash happened mid-write) is ignored on
 //! load. The journal records one oracle's global answer sequence — wrap
 //! each panel member of a sequential session with [`Journal::wrap`] so they
@@ -64,6 +69,12 @@ pub struct JournalRecord {
     pub kind: QuestionKind,
     /// What the oracle produced: an answer or a fault.
     pub outcome: Result<Answer, OracleError>,
+    /// The telemetry decision id active when the question was asked (an
+    /// optional fourth `d=<id>` field on the wire — absent when telemetry
+    /// was off, ignored by older readers, and *excluded* from the lockstep
+    /// divergence comparison so journals with and without provenance
+    /// interoperate).
+    pub decision: Option<u64>,
 }
 
 struct JournalInner {
@@ -222,11 +233,17 @@ impl<O: Oracle> Oracle for JournalOracle<O> {
         // Lockstep: always ask the inner oracle, even during replay, so
         // stateful oracles advance exactly as in the original run.
         let live = self.inner.answer(q);
+        // Provenance: the core algorithms open a decision before asking,
+        // so the thread-local id is still set here. Replay re-tags with
+        // the *current* decision id (the resumed run re-derives identical
+        // ids), keeping the in-memory log consistent with a fresh run.
+        let decision = qoco_telemetry::current_decision_id();
         let mut inner = self.journal.lock();
         inner.seq += 1;
         let seq = inner.seq;
         if let Some(rec) = inner.replay.pop_front() {
             inner.replayed += 1;
+            // decision ids are provenance metadata, not part of lockstep
             if rec.kind != q.kind() || rec.outcome != live {
                 inner.divergences += 1;
                 qoco_telemetry::counter_add("journal.divergences", 1);
@@ -238,6 +255,7 @@ impl<O: Oracle> Oracle for JournalOracle<O> {
                 seq,
                 kind: rec.kind,
                 outcome: outcome.clone(),
+                decision,
             });
             return outcome;
         }
@@ -245,6 +263,7 @@ impl<O: Oracle> Oracle for JournalOracle<O> {
             seq,
             kind: q.kind(),
             outcome: live.clone(),
+            decision,
         };
         // Write-ahead: append + flush before the caller consumes the
         // outcome, so a crash at any question boundary leaves the journal
@@ -355,12 +374,15 @@ fn serialize_record(r: &JournalRecord) -> String {
             }
         }
     }
+    if let Some(d) = r.decision {
+        let _ = write!(out, "\td={d}");
+    }
     out.push('\n');
     out
 }
 
 fn parse_record(line: &str) -> Result<JournalRecord, String> {
-    let mut parts = line.splitn(3, '\t');
+    let mut parts = line.splitn(4, '\t');
     let seq: u64 = parts
         .next()
         .and_then(|s| s.parse().ok())
@@ -401,7 +423,21 @@ fn parse_record(line: &str) -> Result<JournalRecord, String> {
     } else {
         return Err(format!("unknown outcome {outcome:?}"));
     };
-    Ok(JournalRecord { seq, kind, outcome })
+    let decision = match parts.next() {
+        None => None,
+        Some(extra) => Some(
+            extra
+                .strip_prefix("d=")
+                .and_then(|d| d.parse::<u64>().ok())
+                .ok_or_else(|| format!("bad decision field {extra:?}"))?,
+        ),
+    };
+    Ok(JournalRecord {
+        seq,
+        kind,
+        outcome,
+        decision,
+    })
 }
 
 #[cfg(test)]
@@ -454,21 +490,25 @@ mod tests {
             seq: 4,
             kind: QuestionKind::Complete,
             outcome: Ok(Answer::Completion(None)),
+            decision: None,
         });
         records.push(JournalRecord {
             seq: 5,
             kind: QuestionKind::CompleteResult,
             outcome: Ok(Answer::MissingAnswer(None)),
+            decision: None,
         });
         records.push(JournalRecord {
             seq: 6,
             kind: QuestionKind::VerifyFact,
             outcome: Err(OracleError::Timeout),
+            decision: None,
         });
         records.push(JournalRecord {
             seq: 7,
             kind: QuestionKind::VerifyAnswer,
             outcome: Ok(Answer::Bool(false)),
+            decision: Some(42),
         });
         let text: String = records.iter().map(serialize_record).collect();
         let parsed = Journal::parse(&text).unwrap();
@@ -484,6 +524,7 @@ mod tests {
                 Value::text("a|b,c=d:e\tf\ng%h"),
                 Value::int(-7),
             ])))),
+            decision: None,
         };
         let text = serialize_record(&rec);
         assert_eq!(text.matches('\n').count(), 1, "payload newline escaped");
@@ -505,6 +546,8 @@ mod tests {
     fn corrupt_interior_line_is_an_error() {
         assert!(Journal::parse("1\tverify_fact\tok:nonsense\n").is_err());
         assert!(Journal::parse("x\tverify_fact\tok:bool:true\n").is_err());
+        assert!(Journal::parse("1\tverify_fact\tok:bool:true\td=\n").is_err());
+        assert!(Journal::parse("1\tverify_fact\tok:bool:true\tjunk\n").is_err());
     }
 
     #[test]
@@ -549,6 +592,7 @@ mod tests {
             seq: 1,
             kind: QuestionKind::VerifyFact,
             outcome: Ok(Answer::Bool(false)), // the live oracle will say true
+            decision: None,
         }];
         let journal = Journal::replaying(records);
         let mut oracle = journal.wrap(PerfectOracle::new(ground()));

@@ -34,10 +34,12 @@ use crate::question::Question;
 use crate::stats::CrowdStats;
 
 /// Report one crowd interaction to the telemetry layer: bump the
-/// `crowd.questions_asked` counter and emit a timeline event. Inert (one
-/// atomic load each) while telemetry is disabled.
+/// `crowd.questions_asked` counter, the live `session.questions_asked`
+/// gauge, and emit a timeline event. Inert (one atomic load each) while
+/// telemetry is disabled.
 fn tel_question(name: &'static str, detail: impl FnOnce() -> String) {
     qoco_telemetry::counter_add("crowd.questions_asked", 1);
+    qoco_telemetry::gauge_add("session.questions_asked", 1.0);
     qoco_telemetry::event(name, detail);
 }
 
@@ -131,6 +133,25 @@ fn ask_with_retry<O: Oracle>(
                             stats.simulated_backoff_ms.saturating_add(backoff);
                         stats.retries += 1;
                         qoco_telemetry::counter_add("crowd.retries", 1);
+                        qoco_telemetry::record_decision("crowd.retry", || {
+                            qoco_telemetry::DecisionDetail {
+                                question: format!("{q:?}"),
+                                outcome: format!(
+                                    "retry {attempts}/{} after {backoff}ms backoff",
+                                    policy.max_retries
+                                ),
+                                evidence: vec![
+                                    ("fault", e.as_str().to_string()),
+                                    (
+                                        "policy",
+                                        format!(
+                                            "max_retries={} backoff_base_ms={}",
+                                            policy.max_retries, policy.backoff_base_ms
+                                        ),
+                                    ),
+                                ],
+                            }
+                        });
                     }
                     OracleError::Dropped => {
                         *dead = true;

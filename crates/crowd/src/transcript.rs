@@ -140,6 +140,9 @@ pub struct RecordingCrowd<C: CrowdAccess> {
     transcript: Vec<TranscriptEntry>,
     /// Session-epoch timestamp (ns) per entry; 0 while telemetry is off.
     timestamps: Vec<u64>,
+    /// Telemetry decision id active per entry; `None` while telemetry is
+    /// off or the interaction happened outside any decision.
+    decision_ids: Vec<Option<u64>>,
 }
 
 impl<C: CrowdAccess> RecordingCrowd<C> {
@@ -149,6 +152,7 @@ impl<C: CrowdAccess> RecordingCrowd<C> {
             inner,
             transcript: Vec::new(),
             timestamps: Vec::new(),
+            decision_ids: Vec::new(),
         }
     }
 
@@ -157,8 +161,18 @@ impl<C: CrowdAccess> RecordingCrowd<C> {
         &self.transcript
     }
 
+    /// The decision id active when each interaction was recorded (parallel
+    /// to [`RecordingCrowd::transcript`]) — ties each transcript entry back
+    /// to the [`qoco_telemetry::DecisionRecord`] explaining *why* it was
+    /// asked.
+    pub fn decision_ids(&self) -> &[Option<u64>] {
+        &self.decision_ids
+    }
+
     fn record(&mut self, entry: TranscriptEntry) {
         self.timestamps.push(qoco_telemetry::now_ns());
+        self.decision_ids
+            .push(qoco_telemetry::current_decision_id());
         self.transcript.push(entry);
     }
 
@@ -180,11 +194,15 @@ impl<C: CrowdAccess> RecordingCrowd<C> {
         self.transcript
             .iter()
             .zip(&self.timestamps)
-            .map(|(e, &at_ns)| qoco_telemetry::TimelineEvent {
+            .zip(&self.decision_ids)
+            .map(|((e, &at_ns), decision)| qoco_telemetry::TimelineEvent {
                 at_ns,
                 span: None,
                 label: e.label().to_string(),
-                detail: e.to_string(),
+                detail: match decision {
+                    Some(id) => format!("{e} [decision {id}]"),
+                    None => e.to_string(),
+                },
             })
             .collect()
     }

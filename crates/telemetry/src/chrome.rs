@@ -19,6 +19,7 @@
 
 use std::collections::BTreeSet;
 
+use crate::decision::DecisionRecord;
 use crate::json::push_json_str;
 use crate::span::{EventRecord, SpanRecord};
 
@@ -42,7 +43,19 @@ fn push_common(out: &mut String, name: &str, ph: char, tid: u64, ts_ns: u64) {
 /// track: the track hosting only `eval.par_chunk` spans is an eval worker,
 /// everything else is a generic qoco thread.
 pub fn chrome_trace_json(spans: &[SpanRecord], events: &[EventRecord]) -> String {
-    let mut out = String::with_capacity(256 + 160 * (spans.len() + events.len()));
+    chrome_trace_json_full(spans, events, &[])
+}
+
+/// [`chrome_trace_json`] plus decision provenance: each [`DecisionRecord`]
+/// becomes a `"ph":"i"` instant whose `args` carry the full structured
+/// cause (decision id, question, outcome, and every evidence pair), so the
+/// "why was this question asked" answer is one click away in Perfetto.
+pub fn chrome_trace_json_full(
+    spans: &[SpanRecord],
+    events: &[EventRecord],
+    decisions: &[DecisionRecord],
+) -> String {
+    let mut out = String::with_capacity(256 + 160 * (spans.len() + events.len() + decisions.len()));
     out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
     let mut first = true;
     let mut sep = |out: &mut String| {
@@ -60,6 +73,7 @@ pub fn chrome_trace_json(spans: &[SpanRecord], events: &[EventRecord]) -> String
         .iter()
         .map(|s| s.thread)
         .chain(events.iter().map(|e| e.thread))
+        .chain(decisions.iter().map(|d| d.thread))
         .collect();
     for &tid in &tids {
         let mut names = spans.iter().filter(|s| s.thread == tid).map(|s| s.name);
@@ -103,6 +117,28 @@ pub fn chrome_trace_json(spans: &[SpanRecord], events: &[EventRecord]) -> String
         push_json_str(&mut out, &e.detail);
         if let Some(span) = e.span {
             out.push_str(&format!(",\"span_id\":\"{span}\""));
+        }
+        out.push_str("}}");
+    }
+
+    for d in decisions {
+        sep(&mut out);
+        push_common(&mut out, d.kind, 'i', d.thread, d.at_ns);
+        out.push_str(&format!(
+            ",\"s\":\"t\",\"args\":{{\"decision_id\":\"{}\",\"question\":",
+            d.id
+        ));
+        push_json_str(&mut out, &d.question);
+        out.push_str(",\"outcome\":");
+        push_json_str(&mut out, &d.outcome);
+        if let Some(span) = d.span {
+            out.push_str(&format!(",\"span_id\":\"{span}\""));
+        }
+        for (k, v) in &d.evidence {
+            out.push(',');
+            push_json_str(&mut out, k);
+            out.push(':');
+            push_json_str(&mut out, v);
         }
         out.push_str("}}");
     }
@@ -158,6 +194,27 @@ mod tests {
         let json = chrome_trace_json(&[], &[]);
         assert!(json.contains("\"traceEvents\":["));
         assert!(json.contains("process_name"));
+    }
+
+    #[test]
+    fn decisions_become_instants_with_structured_args() {
+        let decisions = vec![DecisionRecord {
+            id: 4,
+            at_ns: 900,
+            span: Some(1),
+            thread: 0,
+            kind: "deletion.verify_fact",
+            question: "TRUE(g98)?".to_string(),
+            outcome: "false".to_string(),
+            evidence: vec![("ranking", "g98=2 > g10=2".to_string())],
+        }];
+        let json =
+            chrome_trace_json_full(&[span(1, "clean.session", 0, 0, 2_000)], &[], &decisions);
+        assert!(json.contains(r#""name":"deletion.verify_fact""#));
+        assert!(json.contains(r#""decision_id":"4""#));
+        assert!(json.contains(r#""question":"TRUE(g98)?""#));
+        assert!(json.contains(r#""outcome":"false""#));
+        assert!(json.contains(r#""ranking":"g98=2 > g10=2""#));
     }
 
     #[test]

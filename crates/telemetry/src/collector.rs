@@ -5,6 +5,7 @@ use std::io::{self, BufWriter, Write};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
+use crate::decision::DecisionRecord;
 use crate::json::push_json_str;
 use crate::metrics::MetricsSnapshot;
 use crate::span::{EventRecord, SpanRecord};
@@ -17,6 +18,11 @@ pub trait Collector: Send + Sync {
     fn record_span(&self, span: &SpanRecord);
     /// Accept a point event.
     fn record_event(&self, event: &EventRecord);
+    /// Accept a finished decision. Defaulted to a no-op so collectors that
+    /// predate decision provenance keep compiling unchanged.
+    fn record_decision(&self, decision: &DecisionRecord) {
+        let _ = decision;
+    }
 }
 
 fn unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -32,6 +38,7 @@ fn unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 pub struct InMemoryCollector {
     spans: Mutex<Vec<SpanRecord>>,
     events: Mutex<Vec<EventRecord>>,
+    decisions: Mutex<Vec<DecisionRecord>>,
 }
 
 impl InMemoryCollector {
@@ -50,10 +57,16 @@ impl InMemoryCollector {
         unpoisoned(&self.events).clone()
     }
 
+    /// Snapshot of all decisions recorded so far.
+    pub fn decisions(&self) -> Vec<DecisionRecord> {
+        unpoisoned(&self.decisions).clone()
+    }
+
     /// Drop everything recorded so far.
     pub fn clear(&self) {
         unpoisoned(&self.spans).clear();
         unpoisoned(&self.events).clear();
+        unpoisoned(&self.decisions).clear();
     }
 
     /// Assemble a [`SessionTimeline`] from the recorded spans and events,
@@ -76,7 +89,7 @@ impl InMemoryCollector {
     /// Render everything recorded so far as a Chrome trace-event JSON
     /// document (see [`crate::chrome_trace_json`]).
     pub fn chrome_trace(&self) -> String {
-        crate::chrome_trace_json(&self.spans(), &self.events())
+        crate::chrome_trace_json_full(&self.spans(), &self.events(), &self.decisions())
     }
 
     /// Write the Chrome trace to `path` (Perfetto / `chrome://tracing`
@@ -112,6 +125,12 @@ impl Collector for FanoutCollector {
             sink.record_event(event);
         }
     }
+
+    fn record_decision(&self, decision: &DecisionRecord) {
+        for sink in &self.sinks {
+            sink.record_decision(decision);
+        }
+    }
 }
 
 impl Collector for InMemoryCollector {
@@ -121,6 +140,10 @@ impl Collector for InMemoryCollector {
 
     fn record_event(&self, event: &EventRecord) {
         unpoisoned(&self.events).push(event.clone());
+    }
+
+    fn record_decision(&self, decision: &DecisionRecord) {
+        unpoisoned(&self.decisions).push(decision.clone());
     }
 }
 
@@ -221,6 +244,37 @@ impl Collector for JsonlCollector {
         line.push('}');
         self.write_line(&line);
     }
+
+    fn record_decision(&self, decision: &DecisionRecord) {
+        let mut line = String::with_capacity(192);
+        line.push_str("{\"type\":\"decision\",\"id\":");
+        line.push_str(&decision.id.to_string());
+        line.push_str(",\"at_ns\":");
+        line.push_str(&decision.at_ns.to_string());
+        if let Some(span) = decision.span {
+            line.push_str(",\"span\":");
+            line.push_str(&span.to_string());
+        }
+        line.push_str(",\"tid\":");
+        line.push_str(&decision.thread.to_string());
+        line.push_str(",\"kind\":");
+        push_json_str(&mut line, decision.kind);
+        line.push_str(",\"question\":");
+        push_json_str(&mut line, &decision.question);
+        line.push_str(",\"outcome\":");
+        push_json_str(&mut line, &decision.outcome);
+        line.push_str(",\"evidence\":{");
+        for (i, (k, v)) in decision.evidence.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            push_json_str(&mut line, k);
+            line.push(':');
+            push_json_str(&mut line, v);
+        }
+        line.push_str("}}");
+        self.write_line(&line);
+    }
 }
 
 #[cfg(test)]
@@ -303,8 +357,40 @@ mod tests {
         let b = Arc::new(InMemoryCollector::new());
         let fanout = FanoutCollector::new(vec![a.clone(), b.clone()]);
         fanout.record_span(&sample_span());
+        fanout.record_decision(&sample_decision());
         assert_eq!(a.spans().len(), 1);
         assert_eq!(b.spans().len(), 1);
+        assert_eq!(a.decisions().len(), 1);
+        assert_eq!(b.decisions().len(), 1);
+    }
+
+    fn sample_decision() -> DecisionRecord {
+        DecisionRecord {
+            id: 3,
+            at_ns: 140,
+            span: Some(2),
+            thread: 0,
+            kind: "deletion.verify_fact",
+            question: "TRUE(Games(\"12.07.98\"))?".to_string(),
+            outcome: "false".to_string(),
+            evidence: vec![
+                ("selector", "most-frequent".to_string()),
+                ("ranking", "g98=2 > g10=2".to_string()),
+            ],
+        }
+    }
+
+    #[test]
+    fn jsonl_decision_lines_are_well_formed() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let c = JsonlCollector::from_writer(Box::new(SharedBuf(buf.clone())));
+        c.record_decision(&sample_decision());
+        c.flush();
+        let text = String::from_utf8(unpoisoned(&buf).clone()).unwrap();
+        assert_eq!(
+            text.lines().next().unwrap(),
+            r#"{"type":"decision","id":3,"at_ns":140,"span":2,"tid":0,"kind":"deletion.verify_fact","question":"TRUE(Games(\"12.07.98\"))?","outcome":"false","evidence":{"selector":"most-frequent","ranking":"g98=2 > g10=2"}}"#
+        );
     }
 
     #[test]

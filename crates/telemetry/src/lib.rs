@@ -55,6 +55,7 @@
 
 mod chrome;
 mod collector;
+mod decision;
 mod json;
 mod metrics;
 mod prometheus;
@@ -62,9 +63,13 @@ mod server;
 mod span;
 mod timeline;
 
-pub use chrome::chrome_trace_json;
+pub use chrome::{chrome_trace_json, chrome_trace_json_full};
 pub use collector::{Collector, FanoutCollector, InMemoryCollector, JsonlCollector};
-pub use metrics::{HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use decision::{
+    begin_decision, current_decision_id, finish_decision, record_decision, DecisionDetail,
+    DecisionRecord,
+};
+pub use metrics::{HistogramSummary, MetricsRegistry, MetricsSnapshot, BUCKET_BOUNDS};
 pub use server::MetricsServer;
 pub use span::{EventRecord, SpanGuard, SpanRecord};
 pub use timeline::{fmt_ns, PhaseAttribution, PhaseTotal, SessionTimeline, TimelineEvent};
@@ -134,6 +139,9 @@ pub fn now_ns() -> u64 {
 pub fn install(collector: Arc<dyn Collector>) {
     let offset = epoch().elapsed().as_nanos() as u64;
     SESSION_EPOCH_NS.store(offset, Ordering::Relaxed);
+    // Decision ids are session-scoped so a resumed session replaying the
+    // same questions reproduces the same ids.
+    decision::NEXT_DECISION_ID.store(1, Ordering::Relaxed);
     let mut slot = COLLECTOR.write().unwrap_or_else(|p| p.into_inner());
     *slot = Some(collector);
     ENABLED.store(true, Ordering::Relaxed);
@@ -274,6 +282,14 @@ pub fn counter_add(name: &'static str, delta: u64) {
 pub fn gauge_set(name: &'static str, value: f64) {
     if enabled() {
         GLOBAL_METRICS.gauge_set(name, value);
+    }
+}
+
+/// Add to a global gauge; no-op while telemetry is disabled.
+#[inline]
+pub fn gauge_add(name: &'static str, delta: f64) {
+    if enabled() {
+        GLOBAL_METRICS.gauge_add(name, delta);
     }
 }
 

@@ -19,12 +19,31 @@ fn unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     }
 }
 
+/// Fixed histogram bucket upper bounds (inclusive), shared by every
+/// histogram in the registry. Decade-spaced over the nanosecond range the
+/// timing histograms actually occupy (100ns .. 1s); observations above the
+/// last bound land only in the implicit `+Inf` bucket.
+pub const BUCKET_BOUNDS: [u64; 8] = [
+    100,
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+];
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Histo {
     count: u64,
     sum: u64,
     min: u64,
     max: u64,
+    /// Per-decade observation counts: `buckets[i]` holds observations `v`
+    /// with `BUCKET_BOUNDS[i-1] < v <= BUCKET_BOUNDS[i]` (non-cumulative;
+    /// the exposition layer accumulates).
+    buckets: [u64; BUCKET_BOUNDS.len()],
 }
 
 /// A registry of named metrics. Names are expected to be dotted paths like
@@ -56,6 +75,12 @@ impl MetricsRegistry {
         unpoisoned(&self.gauges).insert(name, value);
     }
 
+    /// Add `delta` to the named gauge (starting from 0) — for live
+    /// session-progress gauges that accumulate across call sites.
+    pub fn gauge_add(&self, name: &'static str, delta: f64) {
+        *unpoisoned(&self.gauges).entry(name).or_insert(0.0) += delta;
+    }
+
     /// Record one observation into the named histogram.
     pub fn histogram_record(&self, name: &'static str, value: u64) {
         let mut h = unpoisoned(&self.histograms);
@@ -64,11 +89,15 @@ impl MetricsRegistry {
             sum: 0,
             min: u64::MAX,
             max: 0,
+            buckets: [0; BUCKET_BOUNDS.len()],
         });
         e.count += 1;
         e.sum += value;
         e.min = e.min.min(value);
         e.max = e.max.max(value);
+        if let Some(i) = BUCKET_BOUNDS.iter().position(|&b| value <= b) {
+            e.buckets[i] += 1;
+        }
     }
 
     /// Clear every metric (start of a fresh session).
@@ -99,6 +128,7 @@ impl MetricsRegistry {
                             sum: h.sum,
                             min: if h.count == 0 { 0 } else { h.min },
                             max: h.max,
+                            buckets: h.buckets,
                         },
                     )
                 })
@@ -124,6 +154,8 @@ pub struct HistogramSummary {
     pub min: u64,
     /// Largest observation (0 when empty).
     pub max: u64,
+    /// Non-cumulative per-bucket counts over [`BUCKET_BOUNDS`].
+    pub buckets: [u64; BUCKET_BOUNDS.len()],
 }
 
 impl HistogramSummary {
@@ -134,6 +166,19 @@ impl HistogramSummary {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Cumulative `(upper_bound, count)` pairs over [`BUCKET_BOUNDS`] in
+    /// Prometheus `le` semantics: each count covers every observation
+    /// `<= upper_bound`. The implicit `+Inf` bucket equals [`Self::count`].
+    pub fn cumulative_buckets(&self) -> [(u64, u64); BUCKET_BOUNDS.len()] {
+        let mut out = [(0, 0); BUCKET_BOUNDS.len()];
+        let mut running = 0;
+        for (i, (&bound, &n)) in BUCKET_BOUNDS.iter().zip(&self.buckets).enumerate() {
+            running += n;
+            out[i] = (bound, running);
+        }
+        out
     }
 }
 
@@ -223,8 +268,11 @@ mod tests {
         r.counter_add("a.b", 2);
         r.counter_add("a.b", 3);
         r.gauge_set("g", 1.5);
+        r.gauge_add("g2", 1.0);
+        r.gauge_add("g2", 2.5);
         assert_eq!(r.snapshot().counter("a.b"), 5);
         assert_eq!(r.snapshot().gauges["g"], 1.5);
+        assert_eq!(r.snapshot().gauges["g2"], 3.5);
         r.reset();
         assert!(r.snapshot().is_empty());
     }
@@ -242,6 +290,28 @@ mod tests {
         assert_eq!(h.min, 10);
         assert_eq!(h.max, 30);
         assert!((h.mean() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_counts_partition_the_observations() {
+        let r = MetricsRegistry::new();
+        // one per decade bucket, plus one past the last bound (+Inf only)
+        for v in [50, 500, 5_000, 2_000_000_000] {
+            r.histogram_record("h.ns", v);
+        }
+        let h = r.snapshot().histograms["h.ns"];
+        assert_eq!(h.buckets[0], 1, "50 <= 100");
+        assert_eq!(h.buckets[1], 1, "500 <= 1000");
+        assert_eq!(h.buckets[2], 1, "5000 <= 10000");
+        assert_eq!(h.buckets.iter().sum::<u64>(), 3, "2s exceeds every bound");
+        let cumulative = h.cumulative_buckets();
+        // cumulative counts are monotone and end at count minus overflow
+        for w in cumulative.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+            assert!(w[0].0 < w[1].0);
+        }
+        assert_eq!(cumulative.last().unwrap().1, 3);
+        assert_eq!(h.count, 4);
     }
 
     #[test]

@@ -3,9 +3,10 @@
 //! Dependency-free rendering of the [text exposition format] (version
 //! 0.0.4, the format every Prometheus-compatible scraper accepts):
 //! counters become `qoco_<name>_total`, gauges `qoco_<name>`, and each
-//! histogram is exposed as a quantile-less summary (`_sum` + `_count`)
-//! plus `_min`/`_max` gauges — the registry keeps count/sum/min/max
-//! rather than buckets, so that is exactly what goes on the wire.
+//! histogram is exposed as a native Prometheus histogram: cumulative
+//! `_bucket{le="..."}` lines over the registry's fixed decade bounds
+//! ([`crate::BUCKET_BOUNDS`]) ending in `le="+Inf"`, plus `_sum`/`_count`
+//! and `_min`/`_max` gauges.
 //!
 //! Dotted metric names are sanitized to the `[a-zA-Z0-9_]` charset the
 //! format requires (`crowd.questions_asked` → `qoco_crowd_questions_asked`).
@@ -60,7 +61,11 @@ impl MetricsSnapshot {
         for (name, h) in &self.histograms {
             let san = sanitize(name);
             out.push_str(&format!("# HELP {san} qoco histogram {name}\n"));
-            out.push_str(&format!("# TYPE {san} summary\n"));
+            out.push_str(&format!("# TYPE {san} histogram\n"));
+            for (bound, cumulative) in h.cumulative_buckets() {
+                out.push_str(&format!("{san}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("{san}_bucket{{le=\"+Inf\"}} {}\n", h.count));
             out.push_str(&format!("{san}_sum {}\n", h.sum));
             out.push_str(&format!("{san}_count {}\n", h.count));
             for (suffix, value) in [("min", h.min), ("max", h.max)] {
@@ -88,11 +93,41 @@ mod tests {
         assert!(text.contains("qoco_crowd_questions_asked_total 53\n"));
         assert!(text.contains("# TYPE qoco_clean_progress gauge\n"));
         assert!(text.contains("qoco_clean_progress 0.75\n"));
-        assert!(text.contains("# TYPE qoco_split_compute_ns summary\n"));
+        assert!(text.contains("# TYPE qoco_split_compute_ns histogram\n"));
+        assert!(text.contains("qoco_split_compute_ns_bucket{le=\"100\"} 1\n"));
+        assert!(text.contains("qoco_split_compute_ns_bucket{le=\"1000\"} 2\n"));
+        assert!(text.contains("qoco_split_compute_ns_bucket{le=\"+Inf\"} 2\n"));
         assert!(text.contains("qoco_split_compute_ns_sum 400\n"));
         assert!(text.contains("qoco_split_compute_ns_count 2\n"));
         assert!(text.contains("qoco_split_compute_ns_min 100\n"));
         assert!(text.contains("qoco_split_compute_ns_max 300\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_plus_inf() {
+        let r = MetricsRegistry::new();
+        // spread across decades, with one observation past the last bound
+        for v in [50, 50, 900, 5_000_000, 3_000_000_000] {
+            r.histogram_record("h.ns", v);
+        }
+        let text = r.snapshot().to_prometheus_text();
+        let mut last = 0u64;
+        let mut bucket_lines = 0;
+        for line in text.lines().filter(|l| l.starts_with("qoco_h_ns_bucket")) {
+            bucket_lines += 1;
+            let count: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(
+                count >= last,
+                "cumulative bucket counts must be monotone: {line}"
+            );
+            last = count;
+        }
+        assert_eq!(bucket_lines, crate::BUCKET_BOUNDS.len() + 1);
+        // the +Inf bucket is last and equals the total observation count,
+        // even when observations exceed every finite bound
+        assert!(text.contains("qoco_h_ns_bucket{le=\"+Inf\"} 5\n"));
+        assert_eq!(last, 5);
+        assert!(text.contains("qoco_h_ns_count 5\n"));
     }
 
     #[test]

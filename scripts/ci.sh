@@ -120,6 +120,63 @@ diff -r "$work/clean-base" "$work/clean-resumed" \
   || { echo "resumed database differs from the uninterrupted run" >&2; exit 1; }
 echo "kill/resume reproduces the uninterrupted session: OK"
 
+echo "== decision provenance / explain smoke-run =="
+# the Figure 1 fixture again, extended with one wrong singleton-witness
+# tuple (BRA marked EU in dirty only) so both provenance shapes appear:
+# a greedy frequency ranking (multi-fact witnesses behind Q1) and a fired
+# Theorem 4.5 certificate (the singleton behind Q2)
+cp -r "$work/dirty" "$work/dirty-prov"
+printf 'BRA\tEU\n' >> "$work/dirty-prov/Teams.tsv"
+prov_script() {
+  printf '%s\n' \
+    'relation Games date winner runner_up stage result' \
+    'relation Teams country continent' \
+    "load $work/dirty-prov" \
+    "ground $work/ground" \
+    'query Q1(x) :- Games(d1, x, y, "Final", u1), Games(d2, x, z, "Final", u2), Teams(x, "EU"), d1 != d2.' \
+    'query Q2(x) :- Teams(x, "EU")' \
+    'clean Q1 qoco provenance' \
+    'clean Q2 qoco provenance' \
+    'quit'
+}
+
+# fresh run: decision JSONL + tagged journal
+prov_script | ./target/release/qoco-cli \
+  --telemetry "$work/decisions.jsonl" --journal "$work/prov.journal" > /dev/null
+cargo run -q --release -p qoco-bench --bin qoco-bench -- \
+  validate-decisions "$work/decisions.jsonl" \
+  --require-kind deletion.plan --require-kind deletion.verify_fact \
+  --require-kind deletion.certificate --require-kind clean.verify_answer \
+  --require-kind clean.complete_result
+
+# the audit report must name the greedy ranking and the fired certificate
+./target/release/qoco-cli explain "$work/decisions.jsonl" > "$work/explain-fresh.txt"
+grep -q "ranking: " "$work/explain-fresh.txt" \
+  || { echo "explain: no frequency ranking" >&2; exit 1; }
+grep -q "theorem-4.5 certificate fired" "$work/explain-fresh.txt" \
+  || { echo "explain: no fired theorem-4.5 certificate" >&2; exit 1; }
+grep -q "^budget: " "$work/explain-fresh.txt" \
+  || { echo "explain: no budget summary" >&2; exit 1; }
+# every journaled question carries its decision tag
+[ "$(grep -c $'\td=' "$work/prov.journal")" -eq "$(wc -l < "$work/prov.journal")" ] \
+  || { echo "journal: untagged records" >&2; exit 1; }
+./target/release/qoco-cli explain "$work/prov.journal" > "$work/explain-journal.txt"
+grep -q "tagged with decision ids" "$work/explain-journal.txt" \
+  || { echo "journal explain failed" >&2; exit 1; }
+
+# kill the same session mid-run, resume it, and require a byte-identical
+# audit report — --resume replays provenance losslessly
+code=0
+prov_script | ./target/release/qoco-cli \
+  --journal "$work/prov-killed.journal" --kill-after 3 > /dev/null 2>&1 || code=$?
+[ "$code" -eq 86 ] || { echo "provenance kill: expected exit 86, got $code" >&2; exit 1; }
+prov_script | ./target/release/qoco-cli \
+  --telemetry "$work/decisions-resumed.jsonl" --resume "$work/prov-killed.journal" > /dev/null
+./target/release/qoco-cli explain "$work/decisions-resumed.jsonl" > "$work/explain-resumed.txt"
+diff "$work/explain-fresh.txt" "$work/explain-resumed.txt" \
+  || { echo "explain: fresh and resumed reports differ" >&2; exit 1; }
+echo "decision provenance explains fresh and resumed sessions identically: OK"
+
 echo "== perf regression gate (quick) =="
 cargo run -q --release -p qoco-bench --bin qoco-bench -- regressions --check --quick
 # ...and the gate must actually trip when a cell regresses

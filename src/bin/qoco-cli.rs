@@ -47,6 +47,24 @@
 //! core), `clean <name> [qoco|qoco-|random]
 //! [provenance|mincut|random|naive]`, `transcript` (the crowd Q/A log of
 //! the last clean), `diff`, `facts`, `save <dir>`, `help`, `quit`.
+//!
+//! ## `qoco-cli explain <file>`
+//!
+//! A separate top-level subcommand (no stdin session): render a
+//! human-readable audit report of *why* every oracle question of a past
+//! cleaning session was asked. The input is either
+//!
+//! * a decision log — the JSONL written by `--telemetry <path>`, whose
+//!   `"type":"decision"` lines carry the question, its structured evidence
+//!   (witness sets, frequency rankings, Theorem 4.5 certificates, split
+//!   paths, retry policies) and the outcome; or
+//! * a journal file written by `--journal <path>`, whose records are
+//!   rendered with their `d=<id>` decision tags (outcomes only — the
+//!   evidence lives in the decision log).
+//!
+//! The report is deterministic and timestamp-free, so a fresh run and a
+//! `--kill-after` + `--resume` run of the same session produce
+//! byte-identical reports.
 
 use std::collections::BTreeMap;
 use std::io::{self, BufRead, Write};
@@ -56,12 +74,13 @@ use std::sync::Arc;
 
 use qoco::core::{clean_view, CleaningConfig, DeletionStrategy, SplitStrategyKind};
 use qoco::crowd::{
-    Answer, CrowdAccess, FaultPlan, FaultyOracle, Journal, Oracle, OracleError, PerfectOracle,
-    Question, RecordingCrowd, SingleExpert, TranscriptEntry,
+    Answer, CrowdAccess, FaultPlan, FaultyOracle, Journal, JournalRecord, Oracle, OracleError,
+    PerfectOracle, Question, RecordingCrowd, SingleExpert, TranscriptEntry,
 };
 use qoco::data::{diff, load_dir, save_dir, Database, Schema, SchemaBuilder, Value};
 use qoco::engine::{answer_set, explain, witnesses_for_answer};
 use qoco::query::{parse_query, ConjunctiveQuery};
+use qoco_bench::json::Json;
 
 /// Exit code of a `--kill-after` abort, distinct from ordinary failures so
 /// scripts (and `scripts/ci.sh`) can assert the death was the deliberate one.
@@ -445,6 +464,10 @@ impl Session {
 }
 
 fn main() -> io::Result<()> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("explain") {
+        return run_explain(&argv[1..]);
+    }
     let mut telemetry_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut metrics_port: Option<u16> = None;
@@ -452,7 +475,7 @@ fn main() -> io::Result<()> {
     let mut journal_path: Option<String> = None;
     let mut resume_path: Option<String> = None;
     let mut kill_after: Option<u64> = None;
-    let mut args = std::env::args().skip(1);
+    let mut args = argv.into_iter();
     let missing = |flag: &str, what: &str| {
         io::Error::new(io::ErrorKind::InvalidInput, format!("{flag} needs {what}"))
     };
@@ -594,5 +617,216 @@ fn main() -> io::Result<()> {
     if let (Some(path), Some(collector)) = (&trace_path, &in_memory) {
         collector.write_chrome_trace(path)?;
     }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// `qoco-cli explain` — the per-session audit report
+
+/// Decision kinds that do *not* correspond to an oracle question: plans,
+/// certificates, splits and fault handling are recorded for provenance but
+/// cost no crowd interaction, so the budget summary excludes them.
+const NON_QUESTION_KINDS: &[&str] = &[
+    "deletion.plan",
+    "deletion.certificate",
+    "insertion.split",
+    "crowd.retry",
+    "crowd.escalation",
+];
+
+/// One `"type":"decision"` line of a telemetry JSONL export, flattened.
+struct DecisionLine {
+    id: u64,
+    kind: String,
+    question: String,
+    outcome: String,
+    /// Sorted by key (the exporter writes a JSON object; `Json` parses it
+    /// into a `BTreeMap`), which keeps the report deterministic.
+    evidence: Vec<(String, String)>,
+}
+
+fn run_explain(args: &[String]) -> io::Result<()> {
+    let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidInput, msg);
+    let [path] = args else {
+        return Err(invalid(
+            "usage: qoco-cli explain <decisions.jsonl | session.journal>".into(),
+        ));
+    };
+    let text = std::fs::read_to_string(path)?;
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+    // A telemetry export is JSON object lines; a journal line starts with
+    // its decimal sequence number.
+    let looks_like_jsonl = text
+        .lines()
+        .find(|l| !l.trim().is_empty())
+        .map(|l| l.trim_start().starts_with('{'))
+        .unwrap_or(false);
+    if looks_like_jsonl {
+        let decisions = parse_decision_log(&text).map_err(invalid)?;
+        render_decision_report(&decisions, &mut out)
+    } else {
+        let records = Journal::parse(&text).map_err(invalid)?;
+        render_journal_report(&records, &mut out)
+    }
+}
+
+fn parse_decision_log(text: &str) -> Result<Vec<DecisionLine>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = Json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if v.get("type").and_then(Json::as_str) != Some("decision") {
+            continue;
+        }
+        let field = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("line {}: decision is missing `{k}`", i + 1))
+        };
+        let id = v
+            .get("id")
+            .and_then(Json::as_f64)
+            .filter(|n| *n >= 1.0)
+            .ok_or_else(|| format!("line {}: decision is missing a positive `id`", i + 1))?
+            as u64;
+        let mut evidence = Vec::new();
+        if let Some(Json::Object(map)) = v.get("evidence") {
+            for (k, val) in map {
+                let rendered = val
+                    .as_str()
+                    .map(str::to_string)
+                    .unwrap_or_else(|| format!("{val:?}"));
+                evidence.push((k.clone(), rendered));
+            }
+        }
+        out.push(DecisionLine {
+            id,
+            kind: field("kind")?,
+            question: field("question")?,
+            outcome: field("outcome")?,
+            evidence,
+        });
+    }
+    Ok(out)
+}
+
+/// Edits follow deterministically from outcomes (the cleaning algorithms
+/// are pure functions of the answer sequence), so the report can annotate
+/// the clear-cut cases.
+fn inferred_edit(d: &DecisionLine) -> Option<String> {
+    match d.kind.as_str() {
+        "deletion.verify_fact" if d.outcome == "false" => Some("fact deleted from D".into()),
+        "deletion.certificate" => Some("singleton witness tuple(s) deleted without asking".into()),
+        "insertion.complete" if d.outcome.starts_with("completed:") => {
+            Some("witness fact(s) inserted into D".into())
+        }
+        "clean.complete_result" => d
+            .outcome
+            .strip_prefix("missing: ")
+            .map(|t| format!("insertion phase scheduled for {t}")),
+        "constrained.key_conflict" if d.outcome == "false" => {
+            Some("conflicting fact deleted (key repair)".into())
+        }
+        _ => None,
+    }
+}
+
+fn render_decision_report(decisions: &[DecisionLine], out: &mut impl Write) -> io::Result<()> {
+    let questions = decisions
+        .iter()
+        .filter(|d| !NON_QUESTION_KINDS.contains(&d.kind.as_str()))
+        .count();
+    writeln!(out, "QOCO decision audit")?;
+    writeln!(
+        out,
+        "{} decision(s), {} oracle question(s)",
+        decisions.len(),
+        questions
+    )?;
+    for d in decisions {
+        writeln!(out)?;
+        writeln!(out, "[d={}] {}", d.id, d.kind)?;
+        writeln!(out, "  question: {}", d.question)?;
+        if !d.evidence.is_empty() {
+            writeln!(out, "  evidence:")?;
+            for (k, v) in &d.evidence {
+                writeln!(out, "    {k}: {v}")?;
+            }
+        }
+        writeln!(out, "  outcome: {}", d.outcome)?;
+        if let Some(edit) = inferred_edit(d) {
+            writeln!(out, "  edit: {edit}")?;
+        }
+    }
+    // Budget summary: Algorithm 1's optimality yardstick — every question
+    // count is bounded below by the minimum hitting set of the live
+    // witness structure (summed across deletion plans).
+    let mut lower_bound = 0u64;
+    let mut plans = 0u64;
+    let mut certificates = 0u64;
+    for d in decisions {
+        match d.kind.as_str() {
+            "deletion.plan" => {
+                plans += 1;
+                if let Some((_, v)) = d.evidence.iter().find(|(k, _)| k == "lower_bound") {
+                    lower_bound += v.parse::<u64>().unwrap_or(0);
+                }
+            }
+            "deletion.certificate"
+                if d.evidence
+                    .iter()
+                    .any(|(k, v)| k == "theorem_4_5" && v == "fired") =>
+            {
+                certificates += 1;
+            }
+            _ => {}
+        }
+    }
+    writeln!(out)?;
+    writeln!(
+        out,
+        "budget: {questions} oracle question(s) asked; hitting-set lower bound \
+         {lower_bound} across {plans} deletion plan(s); {certificates} \
+         theorem-4.5 certificate(s) fired"
+    )?;
+    Ok(())
+}
+
+fn render_journal_report(records: &[JournalRecord], out: &mut impl Write) -> io::Result<()> {
+    let tagged = records.iter().filter(|r| r.decision.is_some()).count();
+    writeln!(out, "QOCO journal audit")?;
+    writeln!(
+        out,
+        "{} oracle question(s), {} tagged with decision ids",
+        records.len(),
+        tagged
+    )?;
+    writeln!(out)?;
+    for r in records {
+        let outcome = match &r.outcome {
+            Err(e) => format!("error: {}", e.as_str()),
+            Ok(Answer::Bool(b)) => b.to_string(),
+            Ok(Answer::Completion(None)) => "unsatisfiable".into(),
+            Ok(Answer::Completion(Some(a))) => format!("completed {a:?}"),
+            Ok(Answer::MissingAnswer(None)) => "complete".into(),
+            Ok(Answer::MissingAnswer(Some(t))) => format!("missing {t}"),
+        };
+        match r.decision {
+            Some(d) => writeln!(out, "  #{} {} → {outcome} [d={d}]", r.seq, r.kind.as_str())?,
+            None => writeln!(out, "  #{} {} → {outcome}", r.seq, r.kind.as_str())?,
+        }
+    }
+    writeln!(out)?;
+    writeln!(
+        out,
+        "budget: {} oracle question(s) asked (pair with a --telemetry \
+         decision log for the evidence behind each one)",
+        records.len()
+    )?;
     Ok(())
 }
