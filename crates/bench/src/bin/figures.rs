@@ -12,6 +12,10 @@
 //! streams a JSON-lines telemetry export of the whole run — every figure's
 //! cleaning sessions, spans and the final metrics snapshot — so slow
 //! figure regenerations can be profiled offline.
+//!
+//! `--profile <path>` runs the whole regeneration under the in-process
+//! sampling profiler: a flamegraph SVG when the path ends in `.svg`,
+//! folded stack lines otherwise.
 
 use std::sync::Arc;
 
@@ -48,6 +52,16 @@ fn main() {
             .ok()
             .filter(|p| !p.is_empty());
     }
+    // --profile <path>: run everything under the sampling profiler
+    let mut profile_path: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--profile") {
+        if pos + 1 >= args.len() {
+            eprintln!("--profile needs an output path (.svg or .folded)");
+            std::process::exit(2);
+        }
+        profile_path = Some(args.remove(pos + 1));
+        args.remove(pos);
+    }
     let telemetry = telemetry_path.map(|path| {
         let collector = Arc::new(
             qoco_telemetry::JsonlCollector::create(&path).unwrap_or_else(|e| {
@@ -58,6 +72,13 @@ fn main() {
         eprintln!("streaming telemetry to {path}");
         (qoco_telemetry::session(collector.clone()), collector)
     });
+    // The sampler only sees spans under an installed session; when profiling
+    // without --telemetry, install a discarded in-memory sink to enable one.
+    let _profile_session = (profile_path.is_some() && telemetry.is_none())
+        .then(|| qoco_telemetry::session(Arc::new(qoco_telemetry::InMemoryCollector::new())));
+    let profiler = profile_path
+        .as_ref()
+        .map(|_| qoco_telemetry::Profiler::start(qoco_telemetry::DEFAULT_SAMPLE_INTERVAL));
     let targets: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "fig3a",
@@ -115,6 +136,19 @@ fn main() {
         }
     }
 
+    if let (Some(path), Some(profiler)) = (&profile_path, profiler) {
+        let profile = profiler.stop();
+        let rendered = if path.ends_with(".svg") {
+            profile.flamegraph_svg("qoco figures regeneration")
+        } else {
+            profile.to_folded()
+        };
+        std::fs::write(path, rendered).expect("write profile output");
+        eprintln!(
+            "profile: {} sample(s), {} dropped → {path}",
+            profile.samples, profile.dropped
+        );
+    }
     if let Some((_guard, collector)) = &telemetry {
         collector.write_metrics(&qoco_telemetry::metrics().snapshot());
         collector.flush();

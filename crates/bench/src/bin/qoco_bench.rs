@@ -8,20 +8,32 @@
 //!   writes; otherwise a summary line is appended to
 //!   `BENCH_trajectory.jsonl`. `--inject-slowdown CELL=FACTOR` multiplies
 //!   one measured cell after the fact — CI uses it to prove the gate trips.
+//!   `--attribute` re-runs each regressed cell under the sampling profiler
+//!   and names the top frames in the failure message (and the trajectory
+//!   line), turning "a cell regressed" into "this phase regressed".
+//! * `profile CELL` — run one sweep cell under the sampling profiler and
+//!   write folded stacks (or a flamegraph SVG with an `.svg` `--out`).
+//!   `profile --diff BASE HEAD` compares two folded files frame by frame.
 //! * `validate-trace FILE` — structurally validate an exported Chrome
 //!   trace (array or object form), requiring `--min-tracks N` distinct
 //!   thread tracks (default 2) and any `--require-span NAME` spans.
+//! * `validate-flamegraph FILE` — structurally validate a flamegraph SVG
+//!   (frame groups, tooltips, in-canvas rects), requiring any
+//!   `--require-frame NAME` frames.
 //! * `validate-decisions FILE` — structurally validate the decision-
 //!   provenance lines of a `--telemetry` JSONL export (unique positive
 //!   ids, string evidence), requiring any `--require-kind NAME` kinds.
 
 use std::process::ExitCode;
-use std::time::{SystemTime, UNIX_EPOCH};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 use qoco_bench::decision_check::validate_decisions;
+use qoco_bench::flame_check::validate_flamegraph;
+use qoco_bench::profile_cmd::{profile_cell, render_diff, top_frames_line};
 use qoco_bench::regressions::{compare, load_baseline, DEFAULT_THRESHOLD};
 use qoco_bench::scaling::{scaling_sweep, SweepConfig};
 use qoco_bench::trace_check::validate_trace;
+use qoco_telemetry::Profile;
 
 fn repo_path(file: &str) -> String {
     format!("{}/../../{file}", env!("CARGO_MANIFEST_DIR"))
@@ -29,9 +41,13 @@ fn repo_path(file: &str) -> String {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: qoco-bench regressions [--quick] [--check] [--threshold X] \
+        "usage: qoco-bench regressions [--quick] [--check] [--attribute] [--threshold X] \
          [--baseline FILE] [--inject-slowdown workload/size/engine/threads=FACTOR]\n       \
+         qoco-bench profile workload/size/current/threads [--out FILE.folded|FILE.svg] \
+         [--interval-us N] [--budget-ms N]\n       \
+         qoco-bench profile --diff BASE.folded HEAD.folded [--min-delta PCT]\n       \
          qoco-bench validate-trace FILE [--min-tracks N] [--require-span NAME]...\n       \
+         qoco-bench validate-flamegraph FILE [--require-frame NAME]...\n       \
          qoco-bench validate-decisions FILE [--require-kind NAME]..."
     );
     ExitCode::from(2)
@@ -41,15 +57,24 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("regressions") => run_regressions(&args[1..]),
+        Some("profile") => run_profile(&args[1..]),
         Some("validate-trace") => run_validate_trace(&args[1..]),
+        Some("validate-flamegraph") => run_validate_flamegraph(&args[1..]),
         Some("validate-decisions") => run_validate_decisions(&args[1..]),
         _ => usage(),
     }
 }
 
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 fn run_regressions(args: &[String]) -> ExitCode {
     let mut quick = false;
     let mut check = false;
+    let mut attribute = false;
     let mut threshold = DEFAULT_THRESHOLD;
     let mut baseline_path = repo_path("BENCH_eval.json");
     let mut injections: Vec<(String, f64)> = Vec::new();
@@ -59,6 +84,7 @@ fn run_regressions(args: &[String]) -> ExitCode {
         match arg.as_str() {
             "--quick" => quick = true,
             "--check" => check = true,
+            "--attribute" => attribute = true,
             "--threshold" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(v) => threshold = v,
                 None => return usage(),
@@ -120,12 +146,47 @@ fn run_regressions(args: &[String]) -> ExitCode {
     let report = compare(&samples, &baseline, threshold);
     print!("{}", report.render());
 
+    // Per-phase attribution: re-run each regressed cell under the sampler
+    // and name its hottest frames. An injected slowdown only multiplied a
+    // recorded mean, so the re-run materializes it as real busy-wait time
+    // inside an `inject.slowdown` span — the profile then names the
+    // injected phase, which is what CI asserts.
+    let mut attribution: Vec<(String, String)> = Vec::new();
+    if attribute && !report.pass() {
+        for cell in report.regressed_cells() {
+            let inject_factor = injections
+                .iter()
+                .find(|(c, _)| *c == cell.key)
+                .map(|(_, f)| *f);
+            eprintln!(
+                "attributing regression in {} (re-run under sampler)…",
+                cell.key
+            );
+            match profile_cell(
+                &cell.key,
+                Duration::from_micros(200),
+                Duration::from_millis(150),
+                inject_factor,
+            ) {
+                Ok(profile) => {
+                    let frames = top_frames_line(&profile, 3);
+                    println!(
+                        "attribution for {}: top regressed frames: {frames} ({} samples)",
+                        cell.key, profile.samples
+                    );
+                    attribution.push((cell.key.clone(), frames));
+                }
+                Err(e) => eprintln!("warning: could not attribute {}: {e}", cell.key),
+            }
+        }
+    }
+
     if !check {
         let at_epoch_s = SystemTime::now()
             .duration_since(UNIX_EPOCH)
             .map(|d| d.as_secs())
             .unwrap_or(0);
-        let line = report.trajectory_line(at_epoch_s, mode);
+        let line = report.trajectory_line(at_epoch_s, mode, host_parallelism(), &attribution);
         let path = repo_path("BENCH_trajectory.jsonl");
         let appended = std::fs::OpenOptions::new()
             .create(true)
@@ -154,6 +215,139 @@ fn run_regressions(args: &[String]) -> ExitCode {
             report.cells.len()
         );
         ExitCode::FAILURE
+    }
+}
+
+fn run_profile(args: &[String]) -> ExitCode {
+    // diff mode: compare two folded files, no measurement
+    if args.first().map(String::as_str) == Some("--diff") {
+        let mut min_delta = 0.02f64;
+        let mut files: Vec<String> = Vec::new();
+        let mut it = args[1..].iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--min-delta" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                    Some(v) => min_delta = v / 100.0,
+                    None => return usage(),
+                },
+                _ if !arg.starts_with('-') => files.push(arg.clone()),
+                _ => return usage(),
+            }
+        }
+        let [base_path, head_path] = files.as_slice() else {
+            return usage();
+        };
+        let load = |path: &str| -> Result<Profile, String> {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            Profile::parse_folded(&text).map_err(|e| format!("{path}: {e}"))
+        };
+        match (load(base_path), load(head_path)) {
+            (Ok(base), Ok(head)) => {
+                print!("{}", render_diff(&base, &head, min_delta));
+                ExitCode::SUCCESS
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        let mut cell = None;
+        let mut out = None;
+        let mut interval = Duration::from_micros(200);
+        let mut budget = Duration::from_millis(500);
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--out" => match it.next() {
+                    Some(v) => out = Some(v.clone()),
+                    None => return usage(),
+                },
+                "--interval-us" => match it.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => interval = Duration::from_micros(v),
+                    None => return usage(),
+                },
+                "--budget-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => budget = Duration::from_millis(v),
+                    None => return usage(),
+                },
+                _ if cell.is_none() && !arg.starts_with('-') => cell = Some(arg.clone()),
+                _ => return usage(),
+            }
+        }
+        let Some(cell) = cell else { return usage() };
+
+        eprintln!("profiling {cell} for {budget:?} (sampling every {interval:?})…");
+        let profile = match profile_cell(&cell, interval, budget, None) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!(
+            "captured {} samples ({} dropped); top frames: {}",
+            profile.samples,
+            profile.dropped,
+            top_frames_line(&profile, 3)
+        );
+        match out {
+            Some(path) => {
+                let rendered = if path.ends_with(".svg") {
+                    profile.flamegraph_svg(&format!("qoco eval cell {cell}"))
+                } else {
+                    profile.to_folded()
+                };
+                if let Err(e) = std::fs::write(&path, rendered) {
+                    eprintln!("error: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {path}");
+            }
+            None => print!("{}", profile.to_folded()),
+        }
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_validate_flamegraph(args: &[String]) -> ExitCode {
+    let mut file = None;
+    let mut require_frames = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--require-frame" => match it.next() {
+                Some(v) => require_frames.push(v.clone()),
+                None => return usage(),
+            },
+            _ if file.is_none() && !arg.starts_with('-') => file = Some(arg.clone()),
+            _ => return usage(),
+        }
+    }
+    let Some(file) = file else { return usage() };
+
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate_flamegraph(&text, &require_frames) {
+        Ok(summary) => {
+            println!(
+                "{file}: valid flamegraph — {} frames, {} distinct names",
+                summary.frames,
+                summary.frame_names.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{file}: INVALID — {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 

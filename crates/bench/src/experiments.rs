@@ -768,7 +768,12 @@ pub fn phase_breakdown(ex: &Experiments) -> Table {
     let mut d = planted.db;
     let collector = std::sync::Arc::new(qoco_telemetry::InMemoryCollector::new());
     let timeline = {
-        let _session = qoco_telemetry::session(collector.clone());
+        // The figures binary may already hold a session guard around all
+        // targets (--telemetry / --profile); `session()` would deadlock on
+        // the non-reentrant session lock, so nest inside it instead.
+        let nested = qoco_telemetry::enabled();
+        let _nested_guard = nested.then(|| qoco_telemetry::nested_session(collector.clone()));
+        let _session_guard = (!nested).then(|| qoco_telemetry::session(collector.clone()));
         let mut crowd = SingleExpert::new(PerfectOracle::new(ex.ground.clone()));
         let report = clean_view(q, &mut d, &mut crowd, CleaningConfig::default())
             .expect("perfect oracle converges");

@@ -12,7 +12,9 @@
 
 pub mod decision_check;
 pub mod experiments;
+pub mod flame_check;
 pub mod json;
+pub mod profile_cmd;
 pub mod regressions;
 pub mod scaling;
 pub mod seed_eval;

@@ -1,0 +1,251 @@
+//! Profiling one scaling-sweep cell under the sampling profiler.
+//!
+//! `qoco-bench profile CELL` and `qoco-bench regressions --attribute` both
+//! need the same thing: run a named cell of the eval sweep (see
+//! [`crate::scaling`]) in a loop under [`qoco_telemetry::Profiler`] and
+//! fold the samples, so a ±25% gate failure can be localized to a phase
+//! (`eval.par_chunk`, `eval.assignments`, …) instead of a whole cell.
+//!
+//! The `--inject-slowdown` plumbing multiplies a *recorded mean* after
+//! measurement — a number, not work, so a profile would never see it. For
+//! attribution runs the injection is re-materialized as real CPU time: a
+//! busy-wait inside a span named `inject.slowdown`, sized so the iteration
+//! slows by the injected factor. The profile then names `inject.slowdown`
+//! as the top frame, which is exactly the property CI asserts.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use qoco_engine::{all_assignments, Assignment, EvalOptions};
+use qoco_telemetry::{diff_profiles, InMemoryCollector, Profile, Profiler};
+
+use crate::scaling::{dense_workload, selective_workload};
+
+/// A parsed `workload/size/engine/threads` cell key.
+pub struct CellSpec {
+    /// `"selective"` or `"dense"`.
+    pub workload: &'static str,
+    /// Tuples per relation.
+    pub size: usize,
+    /// Thread count for the eval.
+    pub threads: usize,
+}
+
+/// Parse a sweep cell key (e.g. `selective/1000/current/2`). Only
+/// `current`-engine cells can be profiled: the seed engine is a frozen
+/// calibration artifact with no span instrumentation, so its profile would
+/// be empty.
+pub fn parse_cell(key: &str) -> Result<CellSpec, String> {
+    let parts: Vec<&str> = key.split('/').collect();
+    let [workload, size, engine, threads] = parts[..] else {
+        return Err(format!(
+            "cell `{key}` is not of the form workload/size/engine/threads"
+        ));
+    };
+    let workload = match workload {
+        "selective" => "selective",
+        "dense" => "dense",
+        other => return Err(format!("unknown workload `{other}` (selective|dense)")),
+    };
+    if engine != "current" {
+        return Err(format!(
+            "only `current` engine cells can be profiled (got `{engine}`): \
+             the seed engine carries no span instrumentation"
+        ));
+    }
+    let size: usize = size
+        .parse()
+        .map_err(|_| format!("cell size `{size}` is not a number"))?;
+    let threads: usize = threads
+        .parse()
+        .map_err(|_| format!("cell threads `{threads}` is not a number"))?;
+    if size == 0 || threads == 0 {
+        return Err("cell size and threads must be positive".to_string());
+    }
+    Ok(CellSpec {
+        workload,
+        size,
+        threads,
+    })
+}
+
+/// Run `cell` in a loop for `budget` under the sampler at `interval` and
+/// return the folded profile. `inject_factor` re-materializes an injected
+/// slowdown as real busy-wait time inside an `inject.slowdown` span (see
+/// the module docs); pass `None` for an honest profile.
+pub fn profile_cell(
+    cell: &str,
+    interval: Duration,
+    budget: Duration,
+    inject_factor: Option<f64>,
+) -> Result<Profile, String> {
+    let spec = parse_cell(cell)?;
+    let (db, q) = match spec.workload {
+        "selective" => selective_workload(spec.size),
+        _ => dense_workload(spec.size),
+    };
+    let opts = EvalOptions {
+        threads: Some(spec.threads),
+        ..EvalOptions::default()
+    };
+    // The profiler needs a live session; the collector's span records are
+    // irrelevant here (the profile is the output), so an in-memory sink
+    // that is dropped on exit is the cheapest thing that enables telemetry.
+    let session = qoco_telemetry::session(Arc::new(InMemoryCollector::new()));
+    let profiler = Profiler::start(interval);
+    // Warm-up outside the profiled region: lazy index builds would
+    // otherwise smear one-time setup over the first iteration's samples.
+    all_assignments(&q, &db, &Assignment::new(), opts);
+    {
+        let _root = qoco_telemetry::span("profile.cell");
+        let started = Instant::now();
+        while started.elapsed() < budget {
+            let iter_started = Instant::now();
+            all_assignments(&q, &db, &Assignment::new(), opts);
+            if let Some(factor) = inject_factor.filter(|f| *f > 1.0) {
+                let spin = iter_started.elapsed().mul_f64(factor - 1.0);
+                let _injected = qoco_telemetry::span("inject.slowdown");
+                let spin_started = Instant::now();
+                while spin_started.elapsed() < spin {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+    let profile = profiler.stop();
+    drop(session);
+    if profile.is_empty() {
+        return Err(format!(
+            "profiling {cell} captured no samples (budget {budget:?}, interval {interval:?})"
+        ));
+    }
+    Ok(profile)
+}
+
+/// `name pct%` pairs for the `n` frames with the most self samples —
+/// the one-line attribution used in gate-failure messages.
+pub fn top_frames_line(profile: &Profile, n: usize) -> String {
+    let total = profile.samples.max(1) as f64;
+    profile
+        .top_self(n)
+        .into_iter()
+        .map(|(frame, count)| format!("{frame} {:.1}%", 100.0 * count as f64 / total))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Human-readable frame-share diff of two folded profiles: every frame
+/// whose share moved at least `min_delta` (fraction of samples), grown
+/// frames first.
+pub fn render_diff(base: &Profile, head: &Profile, min_delta: f64) -> String {
+    let deltas = diff_profiles(base, head);
+    let mut out = format!(
+        "frame share diff (base {} samples, head {} samples; showing |Δ| ≥ {:.0}%):\n",
+        base.samples,
+        head.samples,
+        min_delta * 100.0
+    );
+    out.push_str(&format!(
+        "{:<40} {:>8} {:>8} {:>8}\n",
+        "frame", "base", "head", "delta"
+    ));
+    let mut shown = 0;
+    for d in &deltas {
+        if d.delta.abs() < min_delta {
+            continue;
+        }
+        shown += 1;
+        out.push_str(&format!(
+            "{:<40} {:>7.1}% {:>7.1}% {:>+7.1}%\n",
+            d.frame,
+            d.base_share * 100.0,
+            d.head_share * 100.0,
+            d.delta * 100.0
+        ));
+    }
+    if shown == 0 {
+        out.push_str("(no frame moved that much — the profiles agree)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_keys_parse_and_reject() {
+        let c = parse_cell("selective/1000/current/2").unwrap();
+        assert_eq!(c.workload, "selective");
+        assert_eq!(c.size, 1000);
+        assert_eq!(c.threads, 2);
+        assert!(parse_cell("selective/1000/current").is_err());
+        assert!(parse_cell("mystery/1000/current/1").is_err());
+        assert!(
+            parse_cell("dense/1000/seed/1").is_err(),
+            "seed not profilable"
+        );
+        assert!(parse_cell("dense/x/current/1").is_err());
+        assert!(parse_cell("dense/0/current/1").is_err());
+    }
+
+    #[test]
+    fn profiling_a_small_cell_yields_eval_frames() {
+        let profile = profile_cell(
+            "dense/300/current/1",
+            Duration::from_micros(100),
+            Duration::from_millis(80),
+            None,
+        )
+        .unwrap();
+        assert!(profile.samples > 0);
+        let totals = profile.total_by_frame();
+        assert!(
+            totals.contains_key("eval.assignments"),
+            "eval frames missing from {:?}",
+            profile.counts()
+        );
+        assert!(totals.contains_key("profile.cell"));
+    }
+
+    #[test]
+    fn injected_slowdown_dominates_the_profile() {
+        let profile = profile_cell(
+            "dense/300/current/1",
+            Duration::from_micros(100),
+            Duration::from_millis(80),
+            Some(4.0),
+        )
+        .unwrap();
+        let top = profile.top_self(1);
+        assert_eq!(
+            top[0].0,
+            "inject.slowdown",
+            "a ×4 injection must own the top self frame: {:?}",
+            profile.top_self(5)
+        );
+    }
+
+    #[test]
+    fn top_frames_line_formats_shares() {
+        let mut p = Profile::default();
+        p.record("a;b", 75);
+        p.record("a;c", 25);
+        assert_eq!(top_frames_line(&p, 2), "b 75.0%, c 25.0%");
+    }
+
+    #[test]
+    fn diff_rendering_flags_grown_frames() {
+        let mut base = Profile::default();
+        base.record("cell;eval", 80);
+        base.record("cell;probe", 20);
+        let mut head = Profile::default();
+        head.record("cell;eval", 40);
+        head.record("cell;probe", 60);
+        let text = render_diff(&base, &head, 0.05);
+        let probe_line = text.lines().find(|l| l.starts_with("probe")).unwrap();
+        assert!(probe_line.contains("+40.0%"), "{text}");
+        let flat = render_diff(&base, &base, 0.05);
+        assert!(flat.contains("profiles agree"), "{flat}");
+    }
+}

@@ -110,6 +110,11 @@ impl RegressionReport {
         self.cells.iter().all(|c| !c.regressed)
     }
 
+    /// The cells that breached the threshold (empty on a passing run).
+    pub fn regressed_cells(&self) -> Vec<&CellVerdict> {
+        self.cells.iter().filter(|c| c.regressed).collect()
+    }
+
     /// The worst (largest) calibrated ratio across compared cells.
     pub fn worst_ratio(&self) -> f64 {
         self.cells.iter().map(|c| c.ratio).fold(0.0, f64::max)
@@ -141,16 +146,57 @@ impl RegressionReport {
         out
     }
 
-    /// One JSON line for `BENCH_trajectory.jsonl`.
-    pub fn trajectory_line(&self, at_epoch_s: u64, mode: &str) -> String {
-        format!(
-            "{{\"at_epoch_s\":{at_epoch_s},\"mode\":\"{mode}\",\"cells\":{},\"calibration\":{:.4},\"worst_ratio\":{:.4},\"pass\":{}}}",
+    /// One JSON line for `BENCH_trajectory.jsonl`. `host_parallelism` is
+    /// recorded on every line so 1-core CI results are never mistaken for
+    /// multi-core ones; `attribution` (cell key → top-frame summary from
+    /// an `--attribute` re-run) is included only when non-empty.
+    pub fn trajectory_line(
+        &self,
+        at_epoch_s: u64,
+        mode: &str,
+        host_parallelism: usize,
+        attribution: &[(String, String)],
+    ) -> String {
+        let mut line = format!(
+            "{{\"at_epoch_s\":{at_epoch_s},\"mode\":\"{mode}\",\"host_parallelism\":{host_parallelism},\"cells\":{},\"calibration\":{:.4},\"worst_ratio\":{:.4},\"pass\":{}",
             self.cells.len(),
             self.calibration,
             self.worst_ratio(),
             self.pass()
-        )
+        );
+        if !attribution.is_empty() {
+            line.push_str(",\"attribution\":{");
+            for (i, (cell, frames)) in attribution.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                line.push_str(&format!(
+                    "\"{}\":\"{}\"",
+                    escape_json(cell),
+                    escape_json(frames)
+                ));
+            }
+            line.push('}');
+        }
+        line.push('}');
+        line
     }
+}
+
+/// Minimal JSON string escaping for the trajectory line (cell keys and
+/// frame names are plain identifiers, but a defensive escape is cheap).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Compare a fresh sweep against the baseline. Cells measured in this run
@@ -273,9 +319,41 @@ mod tests {
         assert!(cell.regressed);
         assert!((cell.ratio - 3.0).abs() < 1e-9);
         assert!(report.render().contains("REGRESSED"));
+        assert_eq!(report.regressed_cells().len(), 1);
         assert!(report
-            .trajectory_line(123, "quick")
+            .trajectory_line(123, "quick", 4, &[])
             .contains("\"pass\":false"));
+    }
+
+    #[test]
+    fn trajectory_line_records_host_parallelism_and_attribution() {
+        let samples = vec![
+            sample("selective", "seed", 1, 10_000_000.0),
+            sample("selective", "current", 1, 6_000_000.0),
+        ];
+        let report = compare(&samples, &baseline(), DEFAULT_THRESHOLD);
+        let bare = report.trajectory_line(123, "quick", 8, &[]);
+        assert!(bare.contains("\"host_parallelism\":8"), "{bare}");
+        assert!(!bare.contains("attribution"), "{bare}");
+        let attributed = report.trajectory_line(
+            123,
+            "quick",
+            8,
+            &[(
+                "selective/1000/current/1".to_string(),
+                "inject.slowdown 61.0%, eval.par_chunk 22.1%".to_string(),
+            )],
+        );
+        assert!(
+            attributed
+                .contains("\"attribution\":{\"selective/1000/current/1\":\"inject.slowdown 61.0%"),
+            "{attributed}"
+        );
+        // still a single well-formed JSON object
+        assert!(
+            crate::json::Json::parse(&attributed).is_ok(),
+            "{attributed}"
+        );
     }
 
     #[test]

@@ -1,0 +1,17 @@
+use std::sync::Arc;
+use std::time::Duration;
+
+use qoco_bench::{phase_breakdown, Experiments};
+use qoco_telemetry::{session, InMemoryCollector, Profiler};
+
+#[test]
+fn phase_breakdown_completes_under_outer_session_and_sampler() {
+    // Same order as the figures binary: session and sampler first, then
+    // the soccer context, then the target.
+    let _outer = session(Arc::new(InMemoryCollector::new()));
+    let profiler = Profiler::start(Duration::from_micros(200));
+    let ex = Experiments::soccer();
+    let t = phase_breakdown(&ex);
+    let _ = profiler.stop();
+    assert!(format!("{t}").contains("clean.session"));
+}

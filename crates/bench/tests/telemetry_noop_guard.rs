@@ -53,3 +53,38 @@ fn disabled_telemetry_is_a_noop_fast_path() {
         0
     );
 }
+
+/// With telemetry disabled, starting the profiler must be inert: no sampler
+/// thread, no samples, and `stop` returns an empty profile instantly rather
+/// than blocking on a join. (The zero-*allocation* claim is structural —
+/// `Profiler::start` returns `inner: None` before any `Vec`/`Box`/thread is
+/// touched — and this test pins the observable half of it.)
+#[test]
+fn disabled_profiler_spawns_nothing_and_captures_nothing() {
+    assert!(
+        !qoco_telemetry::enabled(),
+        "no collector must be installed in this process"
+    );
+    let (samples_before, dropped_before) = qoco_telemetry::sample_totals();
+    let profiler = qoco_telemetry::Profiler::start(Duration::from_micros(50));
+    assert!(
+        !profiler.is_live(),
+        "a disabled profiler must not spawn a sampler thread"
+    );
+    // Give a hypothetical runaway sampler time to produce something.
+    std::thread::sleep(Duration::from_millis(5));
+    let stopped_at = Instant::now();
+    let profile = profiler.stop();
+    assert!(
+        stopped_at.elapsed() < Duration::from_millis(50),
+        "stop() of an inert profiler must not block on a thread join"
+    );
+    assert!(profile.is_empty(), "inert profiler must capture no stacks");
+    assert_eq!(profile.samples, 0);
+    assert_eq!(profile.dropped, 0);
+    assert_eq!(
+        qoco_telemetry::sample_totals(),
+        (samples_before, dropped_before),
+        "disabled profiler must not touch the process-wide sample totals"
+    );
+}

@@ -15,11 +15,11 @@
 
 use std::hint::black_box;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use qoco_bench::scaling::dense_workload;
 use qoco_engine::{all_assignments, Assignment, EvalOptions};
-use qoco_telemetry::InMemoryCollector;
+use qoco_telemetry::{InMemoryCollector, Profiler};
 
 const ROUNDS: usize = 7;
 const NOISE_HEADROOM: f64 = 1.20;
@@ -95,5 +95,48 @@ fn per_span_enabled_cost_is_bounded() {
     assert!(
         per_op_ns < 4_000.0,
         "enabled span+counter op costs {per_op_ns:.0}ns on average (budget 4000ns)"
+    );
+}
+
+/// A running sampler must not slow the mutators it observes. The sampler
+/// never blocks span open/close — it `try_lock`s the stack registry and
+/// counts a dropped sample on contention — so the with-sampler eval time
+/// should match the without-sampler time up to scheduler noise. Same
+/// min-of-N interleaved scheme and the same rationale for a loose bound as
+/// the enabled-telemetry test above: a regression that makes the sampler
+/// *block* mutators (a `lock()` instead of `try_lock()`, say) shows up as
+/// multiples, not percentages.
+#[test]
+fn sampling_profiler_overhead_stays_within_budget() {
+    let _serial = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let (db, q) = dense_workload(500);
+    let collector = Arc::new(InMemoryCollector::new());
+    let session = qoco_telemetry::session(collector);
+    assert!(eval_once(&db, &q) > 0); // warm-up under the session
+
+    let mut plain_min = u64::MAX;
+    let mut sampled_min = u64::MAX;
+    let mut ticks = 0u64;
+    for _ in 0..ROUNDS {
+        plain_min = plain_min.min(time_ns(|| eval_once(&db, &q)));
+
+        let profiler = Profiler::start(Duration::from_micros(200));
+        assert!(profiler.is_live(), "sampler must run under a live session");
+        sampled_min = sampled_min.min(time_ns(|| eval_once(&db, &q)));
+        let profile = profiler.stop();
+        ticks += profile.samples + profile.dropped;
+    }
+    drop(session);
+    assert!(
+        ticks > 0,
+        "across {ROUNDS} rounds the sampler never ticked — it was not running"
+    );
+
+    let ratio = sampled_min as f64 / plain_min as f64;
+    assert!(
+        ratio < NOISE_HEADROOM,
+        "a 200µs sampler costs {ratio:.2}× over unprofiled eval \
+         (min-of-{ROUNDS}: {sampled_min}ns vs {plain_min}ns) — \
+         the sampler must never block mutators"
     );
 }

@@ -443,6 +443,7 @@ pub fn assignments_for_answer(q: &ConjunctiveQuery, db: &Database, t: &Tuple) ->
 /// after a handful of probes, and this runs inside tight per-answer loops
 /// where a thread fan-out would cost more than the whole search.
 pub fn is_satisfiable(q: &ConjunctiveQuery, db: &Database, seed: &Assignment) -> bool {
+    let span = qoco_telemetry::span("eval.satisfiable");
     let order = Search::plan(q, db, seed);
     let mut s = Search::new(
         q,
@@ -454,6 +455,9 @@ pub fn is_satisfiable(q: &ConjunctiveQuery, db: &Database, seed: &Assignment) ->
     );
     s.descend(0, seed.clone());
     qoco_telemetry::counter_add("eval.assignments_tried", s.tried);
+    span.field("probes", s.probes)
+        .field("satisfiable", !s.out.is_empty())
+        .finish();
     !s.out.is_empty()
 }
 

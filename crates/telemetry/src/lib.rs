@@ -56,8 +56,10 @@
 mod chrome;
 mod collector;
 mod decision;
+mod flame;
 mod json;
 mod metrics;
+mod profiler;
 mod prometheus;
 mod server;
 mod span;
@@ -69,7 +71,11 @@ pub use decision::{
     begin_decision, current_decision_id, finish_decision, record_decision, DecisionDetail,
     DecisionRecord,
 };
+pub use flame::flamegraph_svg;
 pub use metrics::{HistogramSummary, MetricsRegistry, MetricsSnapshot, BUCKET_BOUNDS};
+pub use profiler::{
+    diff_profiles, sample_totals, FrameDelta, Profile, Profiler, DEFAULT_SAMPLE_INTERVAL,
+};
 pub use server::MetricsServer;
 pub use span::{EventRecord, SpanGuard, SpanRecord};
 pub use timeline::{fmt_ns, PhaseAttribution, PhaseTotal, SessionTimeline, TimelineEvent};
@@ -87,6 +93,9 @@ static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 static NEXT_THREAD_ORD: AtomicU64 = AtomicU64::new(0);
 static GLOBAL_METRICS: MetricsRegistry = MetricsRegistry::new();
 static SESSION_LOCK: Mutex<()> = Mutex::new(());
+/// Live span stacks, updated on the enabled span path and sampled by the
+/// profiler; see [`profiler::StackRegistry`].
+static STACK_REGISTRY: profiler::StackRegistry = profiler::StackRegistry::new();
 /// Nanoseconds between the process epoch and the most recent install;
 /// subtracting it makes every record session-relative, so a second
 /// `session()` in the same process starts again from (near) zero.
@@ -142,6 +151,8 @@ pub fn install(collector: Arc<dyn Collector>) {
     // Decision ids are session-scoped so a resumed session replaying the
     // same questions reproduces the same ids.
     decision::NEXT_DECISION_ID.store(1, Ordering::Relaxed);
+    // A span guard leaked across sessions must not haunt the profiler.
+    STACK_REGISTRY.clear();
     let mut slot = COLLECTOR.write().unwrap_or_else(|p| p.into_inner());
     *slot = Some(collector);
     ENABLED.store(true, Ordering::Relaxed);
@@ -152,6 +163,10 @@ pub fn uninstall() -> Option<Arc<dyn Collector>> {
     ENABLED.store(false, Ordering::Relaxed);
     let mut slot = COLLECTOR.write().unwrap_or_else(|p| p.into_inner());
     slot.take()
+}
+
+pub(crate) fn stack_registry() -> &'static profiler::StackRegistry {
+    &STACK_REGISTRY
 }
 
 fn with_collector(f: impl FnOnce(&dyn Collector)) {
@@ -182,6 +197,36 @@ impl Drop for SessionGuard {
     }
 }
 
+/// Guard for a nested collector scope; see [`nested_session`].
+pub struct NestedSessionGuard {
+    prev: Option<Arc<dyn Collector>>,
+}
+
+/// Temporarily redirect the record stream to `collector` *inside* an
+/// already-active session. [`session`] self-deadlocks when called while
+/// its guard is alive on the same thread — the session lock is not
+/// reentrant — so a harness that owns the outer session (e.g. `figures
+/// --profile`, whose `phases` target captures its own timeline) nests
+/// with this instead. Only the collector slot is swapped: the session
+/// lock, epoch, metrics, and the profiler's stack registry are untouched,
+/// so a running sampler keeps seeing the live span stacks. Dropping the
+/// guard restores the outer collector (and the disabled state, if there
+/// was no outer session).
+pub fn nested_session(collector: Arc<dyn Collector>) -> NestedSessionGuard {
+    let mut slot = COLLECTOR.write().unwrap_or_else(|p| p.into_inner());
+    let prev = slot.replace(collector);
+    ENABLED.store(true, Ordering::Relaxed);
+    NestedSessionGuard { prev }
+}
+
+impl Drop for NestedSessionGuard {
+    fn drop(&mut self) {
+        let mut slot = COLLECTOR.write().unwrap_or_else(|p| p.into_inner());
+        *slot = self.prev.take();
+        ENABLED.store(slot.is_some(), Ordering::Relaxed);
+    }
+}
+
 /// Open a span named `name`. Returns an inert guard when telemetry is
 /// disabled; otherwise the guard records a [`SpanRecord`] on drop, parented
 /// to the innermost live span on this thread.
@@ -205,13 +250,15 @@ pub fn span_child_of(name: &'static str, parent: Option<u64>) -> SpanGuard {
         stack.push(id);
         parent
     });
+    let thread = thread_ordinal();
+    STACK_REGISTRY.span_opened(id, parent, name, thread);
     let start = Instant::now();
     SpanGuard {
         inner: Some(ActiveSpan {
             id,
             parent,
             name,
-            thread: thread_ordinal(),
+            thread,
             start,
             start_ns: session_ns(start.duration_since(epoch()).as_nanos() as u64),
             fields: Vec::new(),
@@ -230,12 +277,14 @@ pub fn current_span_id() -> Option<u64> {
 }
 
 pub(crate) fn finish_span(active: ActiveSpan) {
-    SPAN_STACK.with(|s| {
+    let new_leaf = SPAN_STACK.with(|s| {
         let mut stack = s.borrow_mut();
         if let Some(pos) = stack.iter().rposition(|id| *id == active.id) {
             stack.remove(pos);
         }
+        stack.last().copied()
     });
+    STACK_REGISTRY.span_closed(active.id, active.thread, new_leaf);
     let record = SpanRecord {
         id: active.id,
         parent: active.parent,
@@ -368,6 +417,42 @@ mod tests {
         assert_eq!(snapshot.counter("crowd.questions_asked"), 2);
         // the session guard reset metrics on entry and uninstalled on drop
         assert!(!enabled());
+    }
+
+    #[test]
+    fn nested_session_redirects_records_and_restores_the_outer_collector() {
+        let outer = Arc::new(InMemoryCollector::new());
+        let session = session(outer.clone());
+        span("before.nest").finish();
+        let inner = Arc::new(InMemoryCollector::new());
+        {
+            // `session()` here would deadlock on the non-reentrant session
+            // lock — the exact figures `--profile phases` shape.
+            let _nested = nested_session(inner.clone());
+            assert!(enabled(), "nesting keeps telemetry enabled");
+            span("inside.nest").finish();
+        }
+        span("after.nest").finish();
+        drop(session);
+        assert!(!enabled(), "outer guard drop still uninstalls");
+        let outer_names: Vec<_> = outer.spans().iter().map(|s| s.name).collect();
+        assert_eq!(outer_names, ["before.nest", "after.nest"]);
+        let inner_names: Vec<_> = inner.spans().iter().map(|s| s.name).collect();
+        assert_eq!(inner_names, ["inside.nest"]);
+    }
+
+    #[test]
+    fn nested_session_without_an_outer_one_disables_on_drop() {
+        let _serial = SESSION_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        assert!(!enabled());
+        let inner = Arc::new(InMemoryCollector::new());
+        {
+            let _nested = nested_session(inner.clone());
+            assert!(enabled());
+            span("nested.solo").finish();
+        }
+        assert!(!enabled(), "no outer session to restore → disabled");
+        assert_eq!(inner.spans().len(), 1);
     }
 
     #[test]

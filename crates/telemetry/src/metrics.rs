@@ -21,9 +21,11 @@ fn unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 
 /// Fixed histogram bucket upper bounds (inclusive), shared by every
 /// histogram in the registry. Decade-spaced over the nanosecond range the
-/// timing histograms actually occupy (100ns .. 1s); observations above the
-/// last bound land only in the implicit `+Inf` bucket.
-pub const BUCKET_BOUNDS: [u64; 8] = [
+/// timing histograms actually occupy (100ns .. 10s); observations above
+/// the last bound land only in the implicit `+Inf` bucket *and* are
+/// tallied in a per-histogram overflow counter, so a long cleaning sweep
+/// saturating the ladder is visible rather than silent.
+pub const BUCKET_BOUNDS: [u64; 9] = [
     100,
     1_000,
     10_000,
@@ -32,6 +34,7 @@ pub const BUCKET_BOUNDS: [u64; 8] = [
     10_000_000,
     100_000_000,
     1_000_000_000,
+    10_000_000_000,
 ];
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +47,9 @@ struct Histo {
     /// with `BUCKET_BOUNDS[i-1] < v <= BUCKET_BOUNDS[i]` (non-cumulative;
     /// the exposition layer accumulates).
     buckets: [u64; BUCKET_BOUNDS.len()],
+    /// Observations above the last bound (counted in `count`/`sum` and the
+    /// implicit `+Inf` bucket, but in no finite bucket).
+    overflow: u64,
 }
 
 /// A registry of named metrics. Names are expected to be dotted paths like
@@ -90,13 +96,15 @@ impl MetricsRegistry {
             min: u64::MAX,
             max: 0,
             buckets: [0; BUCKET_BOUNDS.len()],
+            overflow: 0,
         });
         e.count += 1;
         e.sum += value;
         e.min = e.min.min(value);
         e.max = e.max.max(value);
-        if let Some(i) = BUCKET_BOUNDS.iter().position(|&b| value <= b) {
-            e.buckets[i] += 1;
+        match BUCKET_BOUNDS.iter().position(|&b| value <= b) {
+            Some(i) => e.buckets[i] += 1,
+            None => e.overflow += 1,
         }
     }
 
@@ -129,6 +137,7 @@ impl MetricsRegistry {
                             min: if h.count == 0 { 0 } else { h.min },
                             max: h.max,
                             buckets: h.buckets,
+                            overflow: h.overflow,
                         },
                     )
                 })
@@ -156,6 +165,9 @@ pub struct HistogramSummary {
     pub max: u64,
     /// Non-cumulative per-bucket counts over [`BUCKET_BOUNDS`].
     pub buckets: [u64; BUCKET_BOUNDS.len()],
+    /// Observations above the last bound: in `count` and the implicit
+    /// `+Inf` bucket, but in no finite one.
+    pub overflow: u64,
 }
 
 impl HistogramSummary {
@@ -295,23 +307,35 @@ mod tests {
     #[test]
     fn bucket_counts_partition_the_observations() {
         let r = MetricsRegistry::new();
-        // one per decade bucket, plus one past the last bound (+Inf only)
-        for v in [50, 500, 5_000, 2_000_000_000] {
+        // one per decade bucket — 2s lands in the 10s bucket now that the
+        // ladder reaches it — plus one past the last bound (+Inf only)
+        for v in [50, 500, 5_000, 2_000_000_000, 20_000_000_000] {
             r.histogram_record("h.ns", v);
         }
         let h = r.snapshot().histograms["h.ns"];
         assert_eq!(h.buckets[0], 1, "50 <= 100");
         assert_eq!(h.buckets[1], 1, "500 <= 1000");
         assert_eq!(h.buckets[2], 1, "5000 <= 10000");
-        assert_eq!(h.buckets.iter().sum::<u64>(), 3, "2s exceeds every bound");
+        assert_eq!(h.buckets[8], 1, "2s <= 10s — no longer saturated at 1s");
+        assert_eq!(h.buckets.iter().sum::<u64>(), 4, "20s exceeds every bound");
+        assert_eq!(h.overflow, 1, "the 20s observation is counted, not lost");
         let cumulative = h.cumulative_buckets();
         // cumulative counts are monotone and end at count minus overflow
         for w in cumulative.windows(2) {
             assert!(w[0].1 <= w[1].1);
             assert!(w[0].0 < w[1].0);
         }
-        assert_eq!(cumulative.last().unwrap().1, 3);
-        assert_eq!(h.count, 4);
+        assert_eq!(cumulative.last().unwrap().1, 4);
+        assert_eq!(h.count, 5);
+    }
+
+    #[test]
+    fn overflow_is_zero_for_in_range_observations() {
+        let r = MetricsRegistry::new();
+        r.histogram_record("h.ns", 10_000_000_000); // exactly the last bound
+        let h = r.snapshot().histograms["h.ns"];
+        assert_eq!(h.overflow, 0);
+        assert_eq!(h.buckets[8], 1);
     }
 
     #[test]

@@ -72,6 +72,10 @@ impl MetricsSnapshot {
                 out.push_str(&format!("# TYPE {san}_{suffix} gauge\n"));
                 out.push_str(&format!("{san}_{suffix} {value}\n"));
             }
+            // Observations above the last finite bound: visible as their
+            // own counter so dashboards can alert on a saturated ladder.
+            out.push_str(&format!("# TYPE {san}_overflow_total counter\n"));
+            out.push_str(&format!("{san}_overflow_total {}\n", h.overflow));
         }
         out
     }
@@ -107,7 +111,7 @@ mod tests {
     fn histogram_buckets_are_cumulative_and_end_at_plus_inf() {
         let r = MetricsRegistry::new();
         // spread across decades, with one observation past the last bound
-        for v in [50, 50, 900, 5_000_000, 3_000_000_000] {
+        for v in [50, 50, 900, 5_000_000, 30_000_000_000] {
             r.histogram_record("h.ns", v);
         }
         let text = r.snapshot().to_prometheus_text();
@@ -128,6 +132,9 @@ mod tests {
         assert!(text.contains("qoco_h_ns_bucket{le=\"+Inf\"} 5\n"));
         assert_eq!(last, 5);
         assert!(text.contains("qoco_h_ns_count 5\n"));
+        // the over-ladder observation is named, not silently clamped
+        assert!(text.contains("# TYPE qoco_h_ns_overflow_total counter\n"));
+        assert!(text.contains("qoco_h_ns_overflow_total 1\n"));
     }
 
     #[test]

@@ -1,11 +1,14 @@
-//! A dependency-free `/metrics` HTTP endpoint.
+//! A dependency-free `/metrics` + `/health` HTTP endpoint.
 //!
 //! [`MetricsServer`] binds a `std::net::TcpListener`, answers
 //! `GET /metrics` with the current global registry rendered in the
-//! Prometheus text format (see [`crate::MetricsSnapshot::to_prometheus_text`])
-//! and everything else with `404`. One accept-loop thread, one connection
-//! at a time — the payload is a few KB of text for a scraper that polls
-//! every few seconds, so there is nothing to pipeline.
+//! Prometheus text format (see [`crate::MetricsSnapshot::to_prometheus_text`]),
+//! `GET /health` with a one-object JSON liveness summary (uptime, the live
+//! session-progress gauges, profiler sample totals), and everything else
+//! with a `404` that lists the routes that do exist. One accept-loop
+//! thread, one connection at a time — the payload is a few KB of text for
+//! a scraper that polls every few seconds, so there is nothing to
+//! pipeline.
 //!
 //! The server reads the *global* registry directly, so it reflects live
 //! values mid-session (unlike exporters that consume an end-of-session
@@ -16,7 +19,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A running metrics endpoint; see the module docs. Dropping it stops the
 /// accept loop and joins the serving thread.
@@ -35,6 +38,7 @@ impl MetricsServer {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = shutdown.clone();
+        let started = Instant::now();
         let handle = std::thread::Builder::new()
             .name("qoco-metrics".to_string())
             .spawn(move || {
@@ -46,7 +50,7 @@ impl MetricsServer {
                         // A misbehaving client must not wedge the endpoint.
                         let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
                         let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-                        let _ = serve_one(stream);
+                        let _ = serve_one(stream, started);
                     }
                 }
             })?;
@@ -79,8 +83,30 @@ impl Drop for MetricsServer {
 /// `GET /metrics HTTP/1.1` — anything approaching this bound is garbage.
 const MAX_REQUEST_LINE: usize = 1024;
 
+/// The `GET /health` body: a single JSON object with server uptime, the
+/// live session-progress gauges (0 when no session has set them), and the
+/// profiler's process-lifetime sample totals.
+fn health_body(started: Instant) -> String {
+    let snapshot = crate::metrics().snapshot();
+    let gauge = |name: &str| snapshot.gauges.get(name).copied().unwrap_or(0.0);
+    let (samples, dropped) = crate::sample_totals();
+    format!(
+        concat!(
+            "{{\"status\":\"ok\",\"uptime_s\":{:.3},\"session_active\":{},",
+            "\"questions_asked\":{},\"witnesses_open\":{},",
+            "\"profile\":{{\"samples\":{},\"dropped\":{}}}}}\n"
+        ),
+        started.elapsed().as_secs_f64(),
+        crate::enabled(),
+        gauge("session.questions_asked"),
+        gauge("session.witnesses_open"),
+        samples,
+        dropped,
+    )
+}
+
 /// Handle one connection: parse the request line, answer, close.
-fn serve_one(mut stream: TcpStream) -> std::io::Result<()> {
+fn serve_one(mut stream: TcpStream, started: Instant) -> std::io::Result<()> {
     // Read until the end of the request head (or 4 KB, whichever first);
     // only the request line matters, so stop early if a client streams
     // that much without ever finishing its first line.
@@ -104,18 +130,36 @@ fn serve_one(mut stream: TcpStream) -> std::io::Result<()> {
     let method = request_line.next().unwrap_or("");
     let path = request_line.next().unwrap_or("");
 
+    const PROM_TEXT: &str = "text/plain; version=0.0.4; charset=utf-8";
     let overlong = len >= MAX_REQUEST_LINE && !buf[..len].contains(&b'\n');
-    let (status, body) = if overlong {
-        ("414 URI Too Long", "request line too long\n".to_string())
+    let (status, content_type, body) = if overlong {
+        (
+            "414 URI Too Long",
+            PROM_TEXT,
+            "request line too long\n".to_string(),
+        )
     } else {
         match (method, path) {
-            ("GET", "/metrics") => ("200 OK", crate::metrics().snapshot().to_prometheus_text()),
-            ("GET", _) => ("404 Not Found", "only /metrics lives here\n".to_string()),
-            _ => ("405 Method Not Allowed", "GET only\n".to_string()),
+            ("GET", "/metrics") => (
+                "200 OK",
+                PROM_TEXT,
+                crate::metrics().snapshot().to_prometheus_text(),
+            ),
+            ("GET", "/health") => ("200 OK", "application/json", health_body(started)),
+            ("GET", _) => (
+                "404 Not Found",
+                PROM_TEXT,
+                format!("no such route: {path}\nroutes: GET /metrics, GET /health\n"),
+            ),
+            _ => (
+                "405 Method Not Allowed",
+                PROM_TEXT,
+                "GET only\n".to_string(),
+            ),
         }
     };
     let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(response.as_bytes())
@@ -153,10 +197,35 @@ mod tests {
     }
 
     #[test]
-    fn unknown_paths_get_404() {
+    fn unknown_paths_get_404_naming_the_real_routes() {
         let server = MetricsServer::start("127.0.0.1:0").expect("bind ephemeral port");
         let response = http_get(server.local_addr(), "/other");
         assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+        assert!(
+            response.contains("routes: GET /metrics, GET /health"),
+            "404 must enumerate the routes that exist: {response}"
+        );
+        assert!(response.contains("no such route: /other"), "{response}");
+    }
+
+    #[test]
+    fn health_reports_uptime_session_gauges_and_sample_totals() {
+        let collector = Arc::new(InMemoryCollector::new());
+        let session = crate::session(collector);
+        crate::gauge_add("session.questions_asked", 5.0);
+        crate::gauge_set("session.witnesses_open", 2.0);
+        let server = MetricsServer::start("127.0.0.1:0").expect("bind ephemeral port");
+        let response = http_get(server.local_addr(), "/health");
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        assert!(response.contains("Content-Type: application/json"));
+        assert!(response.contains("\"status\":\"ok\""));
+        assert!(response.contains("\"session_active\":true"));
+        assert!(response.contains("\"questions_asked\":5"));
+        assert!(response.contains("\"witnesses_open\":2"));
+        assert!(response.contains("\"uptime_s\":"));
+        assert!(response.contains("\"profile\":{\"samples\":"));
+        drop(server);
+        drop(session);
     }
 
     #[test]

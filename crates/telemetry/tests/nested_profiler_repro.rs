@@ -1,0 +1,35 @@
+use qoco_telemetry::{
+    current_span_id, nested_session, session, span, span_child_of, InMemoryCollector, Profiler,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn nested_session_under_a_running_sampler_does_not_hang() {
+    let outer = Arc::new(InMemoryCollector::new());
+    let guard = session(outer);
+    let profiler = Profiler::start(Duration::from_micros(100));
+    for _round in 0..50 {
+        let inner = Arc::new(InMemoryCollector::new());
+        let _nested = nested_session(inner);
+        let root = span("repro.root");
+        let parent = current_span_id();
+        // cross-thread children, like eval.par_chunk workers
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    for _ in 0..20 {
+                        span_child_of("repro.chunk", parent).finish();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        root.finish();
+    }
+    let profile = profiler.stop();
+    assert!(profile.samples + profile.dropped > 0);
+    drop(guard);
+}

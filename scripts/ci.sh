@@ -177,14 +177,47 @@ diff "$work/explain-fresh.txt" "$work/explain-resumed.txt" \
   || { echo "explain: fresh and resumed reports differ" >&2; exit 1; }
 echo "decision provenance explains fresh and resumed sessions identically: OK"
 
+echo "== profiling smoke-run =="
+# the padded Figure 1 session again, now under the sampling profiler: the
+# flamegraph must be structurally valid and must contain the cleaning
+# phases as frames
+flame="$work/session.svg"
+printf '%s\n' \
+  'relation Games date winner runner_up stage result' \
+  'relation Teams country continent' \
+  "load $work/dirty" \
+  "ground $work/ground" \
+  'query Q1(x) :- Games(d1, x, y, "Final", u1), Games(d2, x, z, "Final", u2), Teams(x, "EU"), d1 != d2.' \
+  'clean Q1 qoco provenance' \
+  'quit' \
+  | RAYON_NUM_THREADS=2 ./target/release/qoco-cli --profile "$flame" > /dev/null
+cargo run -q --release -p qoco-bench --bin qoco-bench -- \
+  validate-flamegraph "$flame" --require-frame clean.session
+# folded stacks of one sweep cell must name the eval phases, and the
+# folded → diff pipeline must round-trip
+folded="$work/cell.folded"
+cargo run -q --release -p qoco-bench --bin qoco-bench -- \
+  profile dense/500/current/2 --out "$folded" --budget-ms 300
+grep -q "eval.assignments" "$folded" \
+  || { echo "profile: no eval.assignments frame in $folded" >&2; exit 1; }
+cargo run -q --release -p qoco-bench --bin qoco-bench -- \
+  profile --diff "$folded" "$folded" | grep -q "profiles agree" \
+  || { echo "profile --diff: self-diff must agree" >&2; exit 1; }
+echo "profiling smoke-run: OK"
+
 echo "== perf regression gate (quick) =="
 cargo run -q --release -p qoco-bench --bin qoco-bench -- regressions --check --quick
-# ...and the gate must actually trip when a cell regresses
+# ...and the gate must actually trip when a cell regresses, with the
+# attribution re-run naming the injected phase as the regressed frame
+gate_out="$work/gate.out"
 if cargo run -q --release -p qoco-bench --bin qoco-bench -- \
-    regressions --check --quick --inject-slowdown selective/1000/current/1=3.0 > /dev/null 2>&1; then
+    regressions --check --quick --attribute \
+    --inject-slowdown selective/1000/current/1=3.0 > "$gate_out" 2>&1; then
   echo "regression gate failed to flag an injected 3x slowdown" >&2
   exit 1
 fi
-echo "regression gate trips on injected slowdown: OK"
+grep -q "inject.slowdown" "$gate_out" \
+  || { echo "gate attribution did not name inject.slowdown:" >&2; cat "$gate_out" >&2; exit 1; }
+echo "regression gate trips on injected slowdown and names the phase: OK"
 
 echo "== all CI gates passed =="

@@ -26,6 +26,10 @@
 //! * `--metrics-port <port>` — serve the live metrics registry in
 //!   Prometheus text format on `127.0.0.1:<port>/metrics` (port 0 picks
 //!   an ephemeral port; the bound address is printed to stderr).
+//! * `--profile <path>` — run the whole session under the in-process
+//!   sampling profiler and write the capture at exit: a self-contained
+//!   flamegraph SVG when the path ends in `.svg`, folded stack lines
+//!   (`clean.session;eval.assignments 412`) otherwise.
 //!
 //! Robustness flags (combinable with the above):
 //!
@@ -471,6 +475,7 @@ fn main() -> io::Result<()> {
     let mut telemetry_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut metrics_port: Option<u16> = None;
+    let mut profile_path: Option<String> = None;
     let mut faults: Option<FaultPlan> = None;
     let mut journal_path: Option<String> = None;
     let mut resume_path: Option<String> = None;
@@ -500,6 +505,12 @@ fn main() -> io::Result<()> {
                     .and_then(|p| p.parse().ok())
                     .ok_or_else(|| missing("--metrics-port", "a port number"))?;
                 metrics_port = Some(port);
+            }
+            "--profile" => {
+                profile_path = Some(
+                    args.next()
+                        .ok_or_else(|| missing("--profile", "an output path (.svg or .folded)"))?,
+                );
             }
             "--faults" => {
                 let spec = args.next().ok_or_else(|| {
@@ -532,8 +543,9 @@ fn main() -> io::Result<()> {
             other => {
                 return Err(invalid(format!(
                     "unknown argument `{other}` (supported: --telemetry <path>, \
-                     --trace <path>, --metrics-port <port>, --faults <spec>, \
-                     --journal <path>, --resume <path>, --kill-after <n>)"
+                     --trace <path>, --metrics-port <port>, --profile <path>, \
+                     --faults <spec>, --journal <path>, --resume <path>, \
+                     --kill-after <n>)"
                 )));
             }
         }
@@ -566,15 +578,16 @@ fn main() -> io::Result<()> {
     };
 
     // Assemble the collector pipeline: each requested exporter is one sink,
-    // fanned out when there is more than one. The metrics endpoint reads
-    // the live global registry, which only records under an installed
-    // session — so asking for it alone still installs a (discarded)
-    // in-memory sink.
+    // fanned out when there is more than one. The metrics endpoint and the
+    // sampling profiler read the live global registry / span stacks, which
+    // only record under an installed session — so asking for either alone
+    // still installs a (discarded) in-memory sink.
     let jsonl = match &telemetry_path {
         Some(path) => Some(Arc::new(qoco::telemetry::JsonlCollector::create(path)?)),
         None => None,
     };
-    let in_memory = (trace_path.is_some() || (metrics_port.is_some() && jsonl.is_none()))
+    let needs_fallback_sink = (metrics_port.is_some() || profile_path.is_some()) && jsonl.is_none();
+    let in_memory = (trace_path.is_some() || needs_fallback_sink)
         .then(|| Arc::new(qoco::telemetry::InMemoryCollector::new()));
     let mut sinks: Vec<Arc<dyn qoco::telemetry::Collector>> = Vec::new();
     if let Some(c) = &jsonl {
@@ -590,6 +603,9 @@ fn main() -> io::Result<()> {
             qoco::telemetry::FanoutCollector::new(sinks),
         ))),
     };
+    let profiler = profile_path
+        .as_ref()
+        .map(|_| qoco::telemetry::Profiler::start(qoco::telemetry::DEFAULT_SAMPLE_INTERVAL));
     let _metrics_server = match metrics_port {
         Some(port) => {
             let server = qoco::telemetry::MetricsServer::start(&format!("127.0.0.1:{port}"))?;
@@ -609,6 +625,19 @@ fn main() -> io::Result<()> {
             break;
         }
         out.flush()?;
+    }
+    if let (Some(path), Some(profiler)) = (&profile_path, profiler) {
+        let profile = profiler.stop();
+        let rendered = if path.ends_with(".svg") {
+            profile.flamegraph_svg("qoco-cli session")
+        } else {
+            profile.to_folded()
+        };
+        std::fs::write(path, rendered)?;
+        eprintln!(
+            "profile: {} sample(s), {} dropped → {path}",
+            profile.samples, profile.dropped
+        );
     }
     if let Some(collector) = &jsonl {
         collector.write_metrics(&qoco::telemetry::metrics().snapshot());
