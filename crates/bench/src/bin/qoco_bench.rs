@@ -30,7 +30,9 @@ use std::time::{Duration, SystemTime, UNIX_EPOCH};
 use qoco_bench::decision_check::validate_decisions;
 use qoco_bench::flame_check::validate_flamegraph;
 use qoco_bench::profile_cmd::{profile_cell, render_diff, top_frames_line};
-use qoco_bench::regressions::{compare, load_baseline, DEFAULT_THRESHOLD};
+use qoco_bench::regressions::{
+    baseline_host_parallelism, compare, load_baseline, DEFAULT_THRESHOLD,
+};
 use qoco_bench::scaling::{scaling_sweep, SweepConfig};
 use qoco_bench::trace_check::validate_trace;
 use qoco_telemetry::Profile;
@@ -121,6 +123,18 @@ fn run_regressions(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // A warning, not a gate: the ±25% threshold absorbs scheduler noise,
+    // but not a baseline recorded on a machine with a different core
+    // count — flag that so a surprising verdict is interpretable.
+    if let Some(recorded) = baseline_host_parallelism(&baseline_text) {
+        let local = host_parallelism() as u64;
+        if recorded != local {
+            eprintln!(
+                "warning: baseline was recorded with host_parallelism={recorded}, \
+                 this machine has {local}; thread-scaling cells may not be comparable"
+            );
+        }
+    }
 
     let config = if quick {
         SweepConfig::quick()
@@ -129,9 +143,11 @@ fn run_regressions(args: &[String]) -> ExitCode {
     };
     let mode = if quick { "quick" } else { "full" };
     eprintln!(
-        "measuring {mode} sweep ({} sizes × {} thread counts, 2 workloads)…",
+        "measuring {mode} sweep ({} eval sizes × {} thread counts, 2 eval workloads \
+         + cleaning_sweep at {} sizes)…",
         config.sizes.len(),
-        config.threads.len()
+        config.threads.len(),
+        config.cleaning_sizes.len()
     );
     let mut samples = scaling_sweep(&config);
     for (cell, factor) in &injections {

@@ -16,25 +16,29 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use qoco_engine::{all_assignments, Assignment, EvalOptions};
+use qoco_data::Edit;
+use qoco_engine::{all_assignments, answer_set, Assignment, EvalOptions, MaterializedView};
 use qoco_telemetry::{diff_profiles, InMemoryCollector, Profile, Profiler};
 
-use crate::scaling::{dense_workload, selective_workload};
+use crate::scaling::{cleaning_cycle_facts, dense_workload, selective_workload};
 
 /// A parsed `workload/size/engine/threads` cell key.
 pub struct CellSpec {
-    /// `"selective"` or `"dense"`.
+    /// `"selective"`, `"dense"` or `"cleaning_sweep"`.
     pub workload: &'static str,
     /// Tuples per relation.
     pub size: usize,
+    /// `"current"` for the eval workloads, `"view"` or `"fullre"` for
+    /// `cleaning_sweep`.
+    pub engine: &'static str,
     /// Thread count for the eval.
     pub threads: usize,
 }
 
-/// Parse a sweep cell key (e.g. `selective/1000/current/2`). Only
-/// `current`-engine cells can be profiled: the seed engine is a frozen
-/// calibration artifact with no span instrumentation, so its profile would
-/// be empty.
+/// Parse a sweep cell key (e.g. `selective/1000/current/2` or
+/// `cleaning_sweep/1000/view/1`). The seed engine cannot be profiled: it
+/// is a frozen calibration artifact with no span instrumentation, so its
+/// profile would be empty.
 pub fn parse_cell(key: &str) -> Result<CellSpec, String> {
     let parts: Vec<&str> = key.split('/').collect();
     let [workload, size, engine, threads] = parts[..] else {
@@ -42,17 +46,28 @@ pub fn parse_cell(key: &str) -> Result<CellSpec, String> {
             "cell `{key}` is not of the form workload/size/engine/threads"
         ));
     };
-    let workload = match workload {
-        "selective" => "selective",
-        "dense" => "dense",
-        other => return Err(format!("unknown workload `{other}` (selective|dense)")),
+    let (workload, engine) = match (workload, engine) {
+        ("selective", "current") => ("selective", "current"),
+        ("dense", "current") => ("dense", "current"),
+        ("cleaning_sweep", "view") => ("cleaning_sweep", "view"),
+        ("cleaning_sweep", "fullre") => ("cleaning_sweep", "fullre"),
+        ("selective" | "dense", other) => {
+            return Err(format!(
+                "only `current` engine cells can be profiled (got `{other}`): \
+                 the seed engine carries no span instrumentation"
+            ));
+        }
+        ("cleaning_sweep", other) => {
+            return Err(format!(
+                "cleaning_sweep engine must be `view` or `fullre` (got `{other}`)"
+            ));
+        }
+        (other, _) => {
+            return Err(format!(
+                "unknown workload `{other}` (selective|dense|cleaning_sweep)"
+            ));
+        }
     };
-    if engine != "current" {
-        return Err(format!(
-            "only `current` engine cells can be profiled (got `{engine}`): \
-             the seed engine carries no span instrumentation"
-        ));
-    }
     let size: usize = size
         .parse()
         .map_err(|_| format!("cell size `{size}` is not a number"))?;
@@ -65,6 +80,7 @@ pub fn parse_cell(key: &str) -> Result<CellSpec, String> {
     Ok(CellSpec {
         workload,
         size,
+        engine,
         threads,
     })
 }
@@ -80,28 +96,71 @@ pub fn profile_cell(
     inject_factor: Option<f64>,
 ) -> Result<Profile, String> {
     let spec = parse_cell(cell)?;
-    let (db, q) = match spec.workload {
-        "selective" => selective_workload(spec.size),
-        _ => dense_workload(spec.size),
-    };
-    let opts = EvalOptions {
-        threads: Some(spec.threads),
-        ..EvalOptions::default()
-    };
     // The profiler needs a live session; the collector's span records are
     // irrelevant here (the profile is the output), so an in-memory sink
     // that is dropped on exit is the cheapest thing that enables telemetry.
     let session = qoco_telemetry::session(Arc::new(InMemoryCollector::new()));
+    // One iteration of the cell's measured unit: a full evaluation for the
+    // eval workloads, a single edit (+ answer-set maintenance) for
+    // `cleaning_sweep`.
+    let mut iteration: Box<dyn FnMut()> = match spec.workload {
+        "cleaning_sweep" => {
+            let (mut db, q) = selective_workload(spec.size);
+            // match the sweep's measurement: steady-state edits, with the
+            // one-time lazy index builds paid before profiling starts
+            db.ensure_indexes();
+            let cycle = cleaning_cycle_facts(&q, spec.size);
+            let mut step = 0usize;
+            let mut next_edit = move || {
+                let f = &cycle[(step / 2) % cycle.len()];
+                let e = if step.is_multiple_of(2) {
+                    Edit::delete(f.clone())
+                } else {
+                    Edit::insert(f.clone())
+                };
+                step += 1;
+                e
+            };
+            if spec.engine == "view" {
+                let mut view = MaterializedView::new(q.clone(), &db);
+                Box::new(move || {
+                    let e = next_edit();
+                    db.apply(&e).expect("valid edit");
+                    view.apply_edit(&db, &e);
+                })
+            } else {
+                Box::new(move || {
+                    let e = next_edit();
+                    db.apply(&e).expect("valid edit");
+                    answer_set(&q, &db);
+                })
+            }
+        }
+        _ => {
+            let (db, q) = match spec.workload {
+                "selective" => selective_workload(spec.size),
+                _ => dense_workload(spec.size),
+            };
+            let opts = EvalOptions {
+                threads: Some(spec.threads),
+                ..EvalOptions::default()
+            };
+            Box::new(move || {
+                all_assignments(&q, &db, &Assignment::new(), opts);
+            })
+        }
+    };
+    // Warm-up outside the profiled region: lazy index builds (and the
+    // initial view materialization) would otherwise smear one-time setup
+    // over the first iteration's samples.
+    iteration();
     let profiler = Profiler::start(interval);
-    // Warm-up outside the profiled region: lazy index builds would
-    // otherwise smear one-time setup over the first iteration's samples.
-    all_assignments(&q, &db, &Assignment::new(), opts);
     {
         let _root = qoco_telemetry::span("profile.cell");
         let started = Instant::now();
         while started.elapsed() < budget {
             let iter_started = Instant::now();
-            all_assignments(&q, &db, &Assignment::new(), opts);
+            iteration();
             if let Some(factor) = inject_factor.filter(|f| *f > 1.0) {
                 let spin = iter_started.elapsed().mul_f64(factor - 1.0);
                 let _injected = qoco_telemetry::span("inject.slowdown");
@@ -187,6 +246,45 @@ mod tests {
         );
         assert!(parse_cell("dense/x/current/1").is_err());
         assert!(parse_cell("dense/0/current/1").is_err());
+        let c = parse_cell("cleaning_sweep/1000/view/1").unwrap();
+        assert_eq!(c.workload, "cleaning_sweep");
+        assert_eq!(c.engine, "view");
+        assert_eq!(
+            parse_cell("cleaning_sweep/1000/fullre/1").unwrap().engine,
+            "fullre"
+        );
+        assert!(
+            parse_cell("cleaning_sweep/1000/current/1").is_err(),
+            "cleaning cells have no `current` engine"
+        );
+    }
+
+    #[test]
+    fn profiling_a_cleaning_cell_yields_view_frames() {
+        let profile = profile_cell(
+            "cleaning_sweep/300/view/1",
+            Duration::from_micros(100),
+            Duration::from_millis(80),
+            None,
+        )
+        .unwrap();
+        let totals = profile.total_by_frame();
+        assert!(totals.contains_key("profile.cell"));
+        assert!(
+            totals.contains_key("view.apply_edit"),
+            "view sweep time should be under view.apply_edit: {:?}",
+            profile.counts()
+        );
+        // delta maintenance runs small *seeded* evaluations nested under
+        // view.apply_edit; what must vanish is the top-level full
+        // re-evaluation the fullre engine pays per edit
+        assert!(
+            !profile
+                .counts()
+                .contains_key("profile.cell;eval.assignments"),
+            "view sweep should not re-evaluate from scratch: {:?}",
+            profile.counts()
+        );
     }
 
     #[test]

@@ -32,6 +32,18 @@ pub struct BaselineCell {
     pub mean_ns: f64,
 }
 
+/// The `host_parallelism` recorded in a baseline document, if present.
+/// The gate's calibration corrects single-thread machine speed only, so a
+/// comparison across hosts with different core counts should *warn* (the
+/// thread-scaling cells may diverge for machine reasons) without gating.
+pub fn baseline_host_parallelism(text: &str) -> Option<u64> {
+    Json::parse(text)
+        .ok()?
+        .get("host_parallelism")?
+        .as_f64()
+        .map(|v| v as u64)
+}
+
 /// Parse `BENCH_eval.json` into comparable cells.
 pub fn load_baseline(text: &str) -> Result<Vec<BaselineCell>, String> {
     let doc = Json::parse(text).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
@@ -97,8 +109,9 @@ pub struct RegressionReport {
     pub calibration: f64,
     /// How many seed cells fed the calibration.
     pub calibration_cells: usize,
-    /// Per-cell verdicts for every *current*-engine cell measured in this
-    /// run that also exists in the baseline.
+    /// Per-cell verdicts for every non-seed cell measured in this run
+    /// that also exists in the baseline (`current` eval cells plus both
+    /// `cleaning_sweep` engines).
     pub cells: Vec<CellVerdict>,
     /// The threshold the verdicts were judged against.
     pub threshold: f64,
@@ -220,8 +233,11 @@ pub fn compare(samples: &[Sample], baseline: &[BaselineCell], threshold: f64) ->
         1.0
     };
 
+    // Every non-seed cell is gated: "current" eval cells and both
+    // cleaning_sweep engines ("view", "fullre"). Seed cells are the
+    // calibration instrument, never judged.
     let mut cells = Vec::new();
-    for s in samples.iter().filter(|s| s.engine == "current") {
+    for s in samples.iter().filter(|s| s.engine != "seed") {
         let Some(b) = find(&s.key()) else { continue };
         let scaled = b.mean_ns * calibration;
         let ratio = s.mean_ns / scaled;
@@ -365,6 +381,49 @@ mod tests {
         let report = compare(&samples, &baseline(), DEFAULT_THRESHOLD);
         assert!(report.cells.is_empty());
         assert!(report.pass());
+    }
+
+    #[test]
+    fn cleaning_sweep_engines_are_gated_like_current() {
+        let baseline = load_baseline(
+            r#"{"results": [
+                {"workload": "selective", "size": 1000, "engine": "seed", "threads": 1, "mean_ns": 10000000},
+                {"workload": "cleaning_sweep", "size": 1000, "engine": "view", "threads": 1, "mean_ns": 5000},
+                {"workload": "cleaning_sweep", "size": 1000, "engine": "fullre", "threads": 1, "mean_ns": 2000000}
+            ]}"#,
+        )
+        .unwrap();
+        // the incremental path regressed 400× (fell back to refresh-per-
+        // edit): the gate must catch it even though the engine is "view"
+        let samples = vec![
+            sample("selective", "seed", 1, 10_000_000.0),
+            sample("cleaning_sweep", "view", 1, 2_000_000.0),
+            sample("cleaning_sweep", "fullre", 1, 2_050_000.0),
+        ];
+        let report = compare(&samples, &baseline, DEFAULT_THRESHOLD);
+        assert_eq!(report.cells.len(), 2, "{}", report.render());
+        let view_cell = report
+            .cells
+            .iter()
+            .find(|c| c.key == "cleaning_sweep/1000/view/1")
+            .unwrap();
+        assert!(view_cell.regressed, "{}", report.render());
+        let fullre_cell = report
+            .cells
+            .iter()
+            .find(|c| c.key == "cleaning_sweep/1000/fullre/1")
+            .unwrap();
+        assert!(!fullre_cell.regressed, "{}", report.render());
+    }
+
+    #[test]
+    fn baseline_host_parallelism_is_surfaced_when_recorded() {
+        assert_eq!(
+            baseline_host_parallelism(r#"{"host_parallelism": 8, "results": []}"#),
+            Some(8)
+        );
+        assert_eq!(baseline_host_parallelism(r#"{"results": []}"#), None);
+        assert_eq!(baseline_host_parallelism("not json"), None);
     }
 
     #[test]

@@ -6,23 +6,33 @@
 //! must measure the exact same cells the same way, which is why the
 //! workloads, the adaptive measurement loop, and the JSON rendering live
 //! here rather than in the bench binary.
+//!
+//! Three workloads: `selective` and `dense` measure one full evaluation;
+//! `cleaning_sweep` measures edits — a delete/re-insert cycle over a
+//! selective-shaped database, with the answer set maintained either
+//! incrementally (`view` engine, [`MaterializedView::apply_edit`] per
+//! edit) or by full re-evaluation (`fullre` engine, the pre-view cleaning
+//! loop's behaviour). Its `mean_ns` is per *edit*, so `1e9 / mean_ns` is
+//! the edits-per-second figure the README quotes.
 
 use std::hint::black_box;
 use std::time::Instant;
 
-use qoco_data::{tup, Database, Schema};
-use qoco_engine::{all_assignments, Assignment, EvalOptions};
+use qoco_data::{tup, Database, Edit, Fact, Schema};
+use qoco_engine::{all_assignments, answer_set, Assignment, EvalOptions, MaterializedView};
 use qoco_query::{parse_query, ConjunctiveQuery};
 
 use crate::seed_eval::SeedEval;
 
 /// One measured cell of the sweep.
 pub struct Sample {
-    /// Workload name (`"selective"` or `"dense"`).
+    /// Workload name (`"selective"`, `"dense"` or `"cleaning_sweep"`).
     pub workload: &'static str,
     /// Tuples per relation.
     pub size: usize,
-    /// `"seed"` (preserved PR 2 baseline algorithm) or `"current"`.
+    /// `"seed"` (preserved PR 2 baseline algorithm) or `"current"` for the
+    /// eval workloads; `"view"` (incremental) or `"fullre"` (re-evaluate
+    /// after every edit) for `cleaning_sweep`.
     pub engine: &'static str,
     /// Thread count the engine was asked for (always 1 for seed).
     pub threads: usize,
@@ -47,8 +57,12 @@ impl Sample {
 
 /// Which cells to measure and how long to measure each.
 pub struct SweepConfig {
-    /// Tuples per relation, per cell.
+    /// Tuples per relation, per eval-workload cell.
     pub sizes: Vec<usize>,
+    /// Tuples per relation for the `cleaning_sweep` cells (kept separate:
+    /// the edit cycle scales to 10⁶ tuples, where the seed eval engine —
+    /// measured per full evaluation — would dominate the sweep's runtime).
+    pub cleaning_sizes: Vec<usize>,
     /// Thread counts for the current engine.
     pub threads: Vec<usize>,
     /// Measurement budget per cell (the adaptive loop stops once this much
@@ -57,21 +71,26 @@ pub struct SweepConfig {
 }
 
 impl SweepConfig {
-    /// The full grid `cargo bench --bench eval` runs: sizes 1k/4k/16k,
-    /// threads 1/2/4/8, 300 ms per cell.
+    /// The full grid `cargo bench --bench eval` runs: eval sizes
+    /// 1k/4k/16k/100k at threads 1/2/4/8, cleaning sizes 1k/100k/1M,
+    /// 300 ms per cell.
     pub fn full() -> Self {
         SweepConfig {
-            sizes: vec![1_000, 4_000, 16_000],
+            sizes: vec![1_000, 4_000, 16_000, 100_000],
+            cleaning_sizes: vec![1_000, 100_000, 1_000_000],
             threads: vec![1, 2, 4, 8],
             budget_ns: 300_000_000,
         }
     }
 
     /// The CI-sized subset the regression gate runs with `--quick`:
-    /// size 1k, threads 1/2, 60 ms per cell.
+    /// size 1k, threads 1/2, 60 ms per cell. The cleaning size (1k) is
+    /// also part of the full grid, so quick cells always have baseline
+    /// counterparts.
     pub fn quick() -> Self {
         SweepConfig {
             sizes: vec![1_000],
+            cleaning_sizes: vec![1_000],
             threads: vec![1, 2],
             budget_ns: 60_000_000,
         }
@@ -140,6 +159,98 @@ pub fn measure(budget_ns: u128, mut f: impl FnMut() -> usize) -> (f64, usize) {
     (total_ns as f64 / iters as f64, iters)
 }
 
+/// The facts the `cleaning_sweep` edit cycle touches: the first
+/// `min(n, 64)` `A`-facts of the selective workload. Deleting one removes
+/// its answer from the view; re-inserting restores it, so every edit is
+/// *relevant* — the worst case for incremental maintenance.
+pub fn cleaning_cycle_facts(q: &ConjunctiveQuery, n: usize) -> Vec<Fact> {
+    let groups = (n / 200).max(1);
+    let a = q.schema().rel_id("A").expect("selective workload has A");
+    (0..n.min(64))
+        .map(|i| Fact::new(a, tup![format!("a{i:06}"), format!("g{:06}", i % groups)]))
+        .collect()
+}
+
+/// Measure the `cleaning_sweep` cells for one size: a delete/re-insert
+/// cycle over [`cleaning_cycle_facts`], timed per edit. The `view` engine
+/// pays one [`MaterializedView::apply_edit`] per edit; the `fullre` engine
+/// re-runs `answer_set` after every edit (what the cleaning loop did
+/// before views). Both engines are checked against a fresh evaluation at
+/// the end of their run.
+pub fn cleaning_sweep_cells(n: usize, budget_ns: u128) -> Vec<Sample> {
+    let (db0, q) = selective_workload(n);
+    // Build every index up front (clones inherit them): the first seeded
+    // delta otherwise pays a one-time O(n) lazy index build for a column
+    // the initial materialization never probed, which at 10⁶ tuples would
+    // dominate a 3-iteration mean and misreport the steady-state edit cost.
+    db0.ensure_indexes();
+    let cycle = cleaning_cycle_facts(&q, n);
+    let mut samples = Vec::new();
+
+    // incremental engine: the view absorbs each edit as a delta
+    {
+        let mut db = db0.clone();
+        let mut view = MaterializedView::new(q.clone(), &db);
+        let mut step = 0usize;
+        let (mean_ns, iters) = measure(budget_ns, || {
+            let f = &cycle[(step / 2) % cycle.len()];
+            let e = if step.is_multiple_of(2) {
+                Edit::delete(f.clone())
+            } else {
+                Edit::insert(f.clone())
+            };
+            step += 1;
+            db.apply(&e).expect("valid edit");
+            view.apply_edit(&db, &e);
+            view.len()
+        });
+        assert_eq!(
+            view.answers(),
+            answer_set(&q, &db),
+            "view diverged from full re-evaluation at n={n}"
+        );
+        samples.push(Sample {
+            workload: "cleaning_sweep",
+            size: n,
+            engine: "view",
+            threads: 1,
+            mean_ns,
+            iters,
+            assignments: view.len(),
+        });
+    }
+
+    // full re-evaluation engine: the pre-view cleaning loop's behaviour
+    {
+        let mut db = db0.clone();
+        let mut step = 0usize;
+        let mut answers = 0usize;
+        let (mean_ns, iters) = measure(budget_ns, || {
+            let f = &cycle[(step / 2) % cycle.len()];
+            let e = if step.is_multiple_of(2) {
+                Edit::delete(f.clone())
+            } else {
+                Edit::insert(f.clone())
+            };
+            step += 1;
+            db.apply(&e).expect("valid edit");
+            answers = answer_set(&q, &db).len();
+            answers
+        });
+        samples.push(Sample {
+            workload: "cleaning_sweep",
+            size: n,
+            engine: "fullre",
+            threads: 1,
+            mean_ns,
+            iters,
+            assignments: answers,
+        });
+    }
+
+    samples
+}
+
 type WorkloadFn = fn(usize) -> (Database, ConjunctiveQuery);
 
 /// Run the sweep: for every workload × size, measure the seed engine once
@@ -198,6 +309,9 @@ pub fn scaling_sweep(config: &SweepConfig) -> Vec<Sample> {
             }
         }
     }
+    for &n in &config.cleaning_sizes {
+        samples.extend(cleaning_sweep_cells(n, config.budget_ns));
+    }
     samples
 }
 
@@ -209,7 +323,7 @@ pub fn render_json(samples: &[Sample]) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"eval_scaling\",\n");
     out.push_str(
-        "  \"workloads\": {\n    \"selective\": \"Q(x) :- A(x, g), B(g, x); groups of 200, one survivor per probe\",\n    \"dense\": \"Q(x, y) :- A(x, g), B(y, g); groups of 10, every candidate survives\"\n  },\n",
+        "  \"workloads\": {\n    \"selective\": \"Q(x) :- A(x, g), B(g, x); groups of 200, one survivor per probe\",\n    \"dense\": \"Q(x, y) :- A(x, g), B(y, g); groups of 10, every candidate survives\",\n    \"cleaning_sweep\": \"delete/re-insert cycle over the selective DB; mean_ns is per edit (view = incremental MaterializedView, fullre = full re-evaluation per edit)\"\n  },\n",
     );
     out.push_str(&format!(
         "  \"host_parallelism\": {host_parallelism},\n  \"note\": \"threads > host_parallelism measure determinism-preserving overhead, not speedup\",\n"
@@ -223,9 +337,14 @@ pub fn render_json(samples: &[Sample]) -> String {
         ));
     }
     out.push_str("  ],\n  \"speedup_vs_seed_single_thread\": {\n");
+    // keyed off the seed cells: cleaning_sweep has no seed engine, so its
+    // (workload, size) pairs never appear here
     let keys: Vec<(&'static str, usize)> = {
-        let mut v: Vec<(&'static str, usize)> =
-            samples.iter().map(|s| (s.workload, s.size)).collect();
+        let mut v: Vec<(&'static str, usize)> = samples
+            .iter()
+            .filter(|s| s.engine == "seed")
+            .map(|s| (s.workload, s.size))
+            .collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -245,7 +364,42 @@ pub fn render_json(samples: &[Sample]) -> String {
             seed.mean_ns / cur.mean_ns
         ));
     }
-    out.push_str("  }\n}\n");
+    out.push_str("  }");
+    // edits/sec advantage of the incremental view per cleaning size
+    let cleaning_sizes: Vec<usize> = {
+        let mut v: Vec<usize> = samples
+            .iter()
+            .filter(|s| s.workload == "cleaning_sweep")
+            .map(|s| s.size)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    if !cleaning_sizes.is_empty() {
+        out.push_str(",\n  \"cleaning_sweep_speedup_view_vs_fullre\": {\n");
+        for (i, &n) in cleaning_sizes.iter().enumerate() {
+            let cell = |engine: &str| {
+                samples
+                    .iter()
+                    .find(|s| s.workload == "cleaning_sweep" && s.size == n && s.engine == engine)
+            };
+            let (Some(view), Some(fullre)) = (cell("view"), cell("fullre")) else {
+                continue;
+            };
+            let sep = if i + 1 == cleaning_sizes.len() {
+                ""
+            } else {
+                ","
+            };
+            out.push_str(&format!(
+                "    \"{n}\": {:.2}{sep}\n",
+                fullre.mean_ns / view.mean_ns
+            ));
+        }
+        out.push_str("  }");
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -254,19 +408,46 @@ mod tests {
     use super::*;
 
     #[test]
-    fn quick_sweep_covers_both_workloads_and_renders() {
+    fn quick_sweep_covers_all_workloads_and_renders() {
         let config = SweepConfig {
             sizes: vec![200],
+            cleaning_sizes: vec![200],
             threads: vec![1],
             budget_ns: 1_000_000,
         };
         let samples = scaling_sweep(&config);
-        // 2 workloads × (1 seed + 1 current)
-        assert_eq!(samples.len(), 4);
+        // 2 eval workloads × (1 seed + 1 current) + cleaning (view + fullre)
+        assert_eq!(samples.len(), 6);
         assert!(samples.iter().all(|s| s.mean_ns > 0.0));
         assert_eq!(samples[0].key(), "selective/200/seed/1");
+        assert!(samples
+            .iter()
+            .any(|s| s.key() == "cleaning_sweep/200/view/1"));
+        assert!(samples
+            .iter()
+            .any(|s| s.key() == "cleaning_sweep/200/fullre/1"));
         let json = render_json(&samples);
         assert!(json.contains("\"bench\": \"eval_scaling\""));
         assert!(json.contains("\"speedup_vs_seed_single_thread\""));
+        assert!(json.contains("\"cleaning_sweep_speedup_view_vs_fullre\""));
+        // the speedup-vs-seed map must not try to key off cleaning cells
+        assert!(!json.contains("\"cleaning_sweep/200\":"));
+        assert!(crate::json::Json::parse(&json).is_ok(), "{json}");
+    }
+
+    #[test]
+    fn cleaning_sweep_cycle_edits_are_relevant_and_checked() {
+        let samples = cleaning_sweep_cells(400, 500_000);
+        assert_eq!(samples.len(), 2);
+        let view = &samples[0];
+        let fullre = &samples[1];
+        assert_eq!(view.key(), "cleaning_sweep/400/view/1");
+        assert_eq!(fullre.key(), "cleaning_sweep/400/fullre/1");
+        assert!(view.mean_ns > 0.0 && fullre.mean_ns > 0.0);
+        // the cycle facts really are A-facts of the selective workload
+        let (db, q) = selective_workload(400);
+        for f in cleaning_cycle_facts(&q, 400) {
+            assert!(db.contains(&f), "{f:?} not in the workload DB");
+        }
     }
 }

@@ -13,12 +13,12 @@ use std::collections::BTreeSet;
 
 use qoco_crowd::{CompletenessEstimator, CrowdAccess, GroundTruthEstimator};
 use qoco_data::{Database, Tuple};
-use qoco_engine::answer_set;
+use qoco_engine::MaterializedView;
 use qoco_query::ConjunctiveQuery;
 
-use crate::deletion::{crowd_remove_wrong_answer, DeletionStrategy};
+use crate::deletion::{crowd_remove_wrong_answer_tracked, DeletionStrategy};
 use crate::error::CleanError;
-use crate::insertion::{crowd_add_missing_answer, InsertionOptions};
+use crate::insertion::{crowd_add_missing_answer_tracked, InsertionOptions};
 pub use crate::report::CleaningReport;
 use crate::report::{UnresolvedItem, UnresolvedPhase};
 use crate::split::SplitStrategyKind;
@@ -75,9 +75,16 @@ pub fn clean_view_with_estimator<C: CrowdAccess + ?Sized>(
     let mut skipped: BTreeSet<Tuple> = BTreeSet::new();
     let mut split = config.split.build();
     let mut first = true;
+    // The answer set is maintained incrementally: every edit derived by the
+    // tracked Algorithm 1/2 runs notifies the view, so the sweeps below
+    // read cached answers instead of re-evaluating Q per membership check.
+    let mut view = MaterializedView::new(q.clone(), db);
 
     loop {
-        let unverified: Vec<Tuple> = answer_set(q, db)
+        // resynchronize if the caller's database moved out of band
+        view.sync(db);
+        let unverified: Vec<Tuple> = view
+            .answers()
             .into_iter()
             .filter(|t| !verified.contains(t) && !skipped.contains(t))
             .collect();
@@ -100,7 +107,7 @@ pub fn clean_view_with_estimator<C: CrowdAccess + ?Sized>(
         let del_before = crowd.stats();
         for t in unverified {
             // the answer may already have disappeared through earlier edits
-            if !answer_set(q, db).contains(&t) {
+            if !view.contains(&t) {
                 continue;
             }
             let decision = qoco_telemetry::begin_decision();
@@ -124,7 +131,14 @@ pub fn clean_view_with_estimator<C: CrowdAccess + ?Sized>(
                 }
                 Ok(false) => {
                     qoco_telemetry::event("clean.wrong_answer", || format!("{t}"));
-                    let out = crowd_remove_wrong_answer(q, db, &t, crowd, config.deletion)?;
+                    let out = crowd_remove_wrong_answer_tracked(
+                        q,
+                        db,
+                        &t,
+                        crowd,
+                        config.deletion,
+                        std::slice::from_mut(&mut view),
+                    )?;
                     report.deletion_upper_bound += out.upper_bound;
                     report.anomalies += out.anomalies;
                     report.edits.extend(out.edits);
@@ -163,7 +177,7 @@ pub fn clean_view_with_estimator<C: CrowdAccess + ?Sized>(
         let ins_span = qoco_telemetry::span("clean.insertion_phase");
         let ins_before = crowd.stats();
         loop {
-            let known = answer_set(q, db);
+            let known = view.answers();
             if estimator.likely_complete(known.len()) {
                 break;
             }
@@ -199,7 +213,15 @@ pub fn clean_view_with_estimator<C: CrowdAccess + ?Sized>(
             };
             estimator.observe(&t);
             qoco_telemetry::event("clean.missing_answer", || format!("{t}"));
-            let out = crowd_add_missing_answer(q, db, &t, crowd, &mut *split, config.insertion)?;
+            let out = crowd_add_missing_answer_tracked(
+                q,
+                db,
+                &t,
+                crowd,
+                &mut *split,
+                config.insertion,
+                std::slice::from_mut(&mut view),
+            )?;
             report.insertion_upper_bound += out.upper_bound;
             report.edits.extend(out.edits);
             if let Some(e) = out.failure {
@@ -255,6 +277,7 @@ mod tests {
     use super::*;
     use qoco_crowd::{PerfectOracle, SingleExpert};
     use qoco_data::{diff, tup, Schema};
+    use qoco_engine::answer_set;
     use qoco_query::parse_query;
     use std::sync::Arc;
 

@@ -8,19 +8,21 @@
 //!    Theorem 4.5 they belong to every hitting set (QOCO only);
 //! 2. otherwise the selection heuristic picks a tuple (most frequent by
 //!    default) and the crowd is asked `TRUE(R(ā))?`;
-//! 3. a YES strips the tuple from every witness; a NO records a deletion
-//!    edit and destroys the witnesses containing it;
-//! 4. repeat until no witnesses remain, then apply the deletion edits.
+//! 3. a YES strips the tuple from every witness; a NO applies a deletion
+//!    edit (notifying any tracked materialized views) and destroys the
+//!    witnesses containing it;
+//! 4. repeat until no witnesses remain.
 
 use qoco_crowd::{CrowdAccess, CrowdError};
 use qoco_data::{Database, Edit, EditLog, Fact, Tuple};
-use qoco_engine::witnesses_for_answer;
+use qoco_engine::{witnesses_for_answer, MaterializedView};
 use qoco_query::ConjunctiveQuery;
 use qoco_telemetry::DecisionDetail;
 
 use crate::error::CleanError;
 use crate::heuristics::{MostFrequentSelector, RandomSelector, TupleSelector};
 use crate::hitting_set::HittingSetInstance;
+use crate::tracked::apply_tracked;
 
 /// Which deletion algorithm to run (Section 7.2's competitors).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,12 +84,36 @@ pub fn crowd_remove_wrong_answer<C: CrowdAccess + ?Sized>(
     crowd: &mut C,
     strategy: DeletionStrategy,
 ) -> Result<DeletionOutcome, CleanError> {
+    crowd_remove_wrong_answer_tracked(q, db, t, crowd, strategy, &mut [])
+}
+
+/// [`crowd_remove_wrong_answer`] that also keeps materialized `views`
+/// current: each deletion edit is applied to `db` as soon as it is derived
+/// (the witness sets are enumerated once up front, so early application is
+/// safe) and every view is notified, letting callers reuse cached answer
+/// sets between removals instead of re-evaluating the query.
+pub fn crowd_remove_wrong_answer_tracked<C: CrowdAccess + ?Sized>(
+    q: &ConjunctiveQuery,
+    db: &mut Database,
+    t: &Tuple,
+    crowd: &mut C,
+    strategy: DeletionStrategy,
+    views: &mut [MaterializedView],
+) -> Result<DeletionOutcome, CleanError> {
     let mut selector: Box<dyn TupleSelector> = match strategy {
         DeletionStrategy::Qoco | DeletionStrategy::QocoMinus => Box::new(MostFrequentSelector),
         DeletionStrategy::Random(seed) => Box::new(RandomSelector::new(seed)),
     };
     let use_singleton_shortcut = matches!(strategy, DeletionStrategy::Qoco);
-    crowd_remove_wrong_answer_with(q, db, t, crowd, &mut *selector, use_singleton_shortcut)
+    crowd_remove_wrong_answer_with_tracked(
+        q,
+        db,
+        t,
+        crowd,
+        &mut *selector,
+        use_singleton_shortcut,
+        views,
+    )
 }
 
 /// [`crowd_remove_wrong_answer`] with an explicit selection heuristic —
@@ -100,6 +126,28 @@ pub fn crowd_remove_wrong_answer_with<C: CrowdAccess + ?Sized>(
     crowd: &mut C,
     selector: &mut dyn TupleSelector,
     use_singleton_shortcut: bool,
+) -> Result<DeletionOutcome, CleanError> {
+    crowd_remove_wrong_answer_with_tracked(
+        q,
+        db,
+        t,
+        crowd,
+        selector,
+        use_singleton_shortcut,
+        &mut [],
+    )
+}
+
+/// [`crowd_remove_wrong_answer_with`], additionally maintaining `views`
+/// per derived edit (see [`crowd_remove_wrong_answer_tracked`]).
+pub fn crowd_remove_wrong_answer_with_tracked<C: CrowdAccess + ?Sized>(
+    q: &ConjunctiveQuery,
+    db: &mut Database,
+    t: &Tuple,
+    crowd: &mut C,
+    selector: &mut dyn TupleSelector,
+    use_singleton_shortcut: bool,
+    views: &mut [MaterializedView],
 ) -> Result<DeletionOutcome, CleanError> {
     let span = qoco_telemetry::span("deletion.remove_answer").field("answer", t.to_string());
     let witnesses = witnesses_for_answer(q, db, t);
@@ -180,7 +228,9 @@ pub fn crowd_remove_wrong_answer_with<C: CrowdAccess + ?Sized>(
                 });
                 for f in singles {
                     instance.confirm_false(&f);
-                    edits.push(Edit::delete(f));
+                    let e = Edit::delete(f);
+                    apply_tracked(db, views, &e)?;
+                    edits.push(e);
                 }
             }
             if instance.is_done() {
@@ -223,7 +273,9 @@ pub fn crowd_remove_wrong_answer_with<C: CrowdAccess + ?Sized>(
             }
             Ok(false) => {
                 instance.confirm_false(&fact);
-                edits.push(Edit::delete(fact));
+                let e = Edit::delete(fact);
+                apply_tracked(db, views, &e)?;
+                edits.push(e);
             }
             Err(e) => {
                 failure = Some(e);
@@ -233,7 +285,6 @@ pub fn crowd_remove_wrong_answer_with<C: CrowdAccess + ?Sized>(
     }
     qoco_telemetry::gauge_set("session.witnesses_open", instance.sets().len() as f64);
 
-    db.apply_all(edits.edits())?;
     span.field("questions", questions)
         .field("deletions", edits.deletions())
         .finish();

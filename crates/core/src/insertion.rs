@@ -16,13 +16,14 @@
 use std::collections::{BTreeSet, VecDeque};
 
 use qoco_crowd::{CrowdAccess, CrowdError};
-use qoco_data::{Database, Edit, EditLog, Tuple};
-use qoco_engine::{evaluate, is_satisfiable, Assignment};
+use qoco_data::{Database, Edit, EditLog, Fact, Tuple};
+use qoco_engine::{delta_satisfiable, evaluate, is_satisfiable, Assignment, MaterializedView};
 use qoco_query::{embed_answer, ConjunctiveQuery};
 use qoco_telemetry::DecisionDetail;
 
 use crate::error::CleanError;
 use crate::split::SplitStrategy;
+use crate::tracked::apply_tracked;
 
 /// Options for the insertion algorithm.
 #[derive(Debug, Clone, Copy)]
@@ -71,6 +72,24 @@ pub fn crowd_add_missing_answer<C: CrowdAccess + ?Sized>(
     split: &mut dyn SplitStrategy,
     opts: InsertionOptions,
 ) -> Result<InsertionOutcome, CleanError> {
+    crowd_add_missing_answer_tracked(q, db, t, crowd, split, opts, &mut [])
+}
+
+/// [`crowd_add_missing_answer`] that also keeps materialized `views`
+/// current: every insertion edit notifies the views incrementally. The
+/// post-insertion "is `t` now an answer?" recheck uses seeded delta
+/// satisfiability probes over the facts just inserted rather than a full
+/// `Q|t` evaluation — sound because the answer was missing beforehand, so
+/// any new witness must use at least one newly inserted fact.
+pub fn crowd_add_missing_answer_tracked<C: CrowdAccess + ?Sized>(
+    q: &ConjunctiveQuery,
+    db: &mut Database,
+    t: &Tuple,
+    crowd: &mut C,
+    split: &mut dyn SplitStrategy,
+    opts: InsertionOptions,
+    views: &mut [MaterializedView],
+) -> Result<InsertionOutcome, CleanError> {
     let span = qoco_telemetry::span("insertion.add_answer")
         .field("answer", t.to_string())
         .field("split", split.name());
@@ -86,7 +105,7 @@ pub fn crowd_add_missing_answer<C: CrowdAccess + ?Sized>(
             let fact = Assignment::new().ground_atom(atom).expect("ground atom");
             if !db.contains(&fact) {
                 let e = Edit::insert(fact);
-                db.apply(&e)?;
+                apply_tracked(db, views, &e)?;
                 edits.push(e);
             }
         }
@@ -184,8 +203,12 @@ pub fn crowd_add_missing_answer<C: CrowdAccess + ?Sized>(
                 }
             };
             if let Some(total) = total {
-                apply_witness_insertions(&q_t, db, &total, &mut edits)?;
-                achieved = !qt_missing(&q_t, db);
+                let fresh = apply_witness_insertions(&q_t, db, views, &total, &mut edits)?;
+                // The answer was missing before these insertions, so a new
+                // witness must use one of the fresh facts: seeded probes
+                // replace the full `Q|t` evaluation. No fresh facts ⇒ the
+                // database is unchanged and the answer is still missing.
+                achieved = fresh.iter().any(|f| delta_satisfiable(&q_t, db, f));
                 if achieved {
                     break 'outer;
                 }
@@ -218,8 +241,8 @@ pub fn crowd_add_missing_answer<C: CrowdAccess + ?Sized>(
         });
         match completion {
             Ok(Some(total)) => {
-                apply_witness_insertions(&q_t, db, &total, &mut edits)?;
-                achieved = !qt_missing(&q_t, db);
+                let fresh = apply_witness_insertions(&q_t, db, views, &total, &mut edits)?;
+                achieved = fresh.iter().any(|f| delta_satisfiable(&q_t, db, f));
             }
             Ok(None) => {}
             Err(e) => failure = Some(e),
@@ -245,25 +268,30 @@ fn qt_missing(q_t: &ConjunctiveQuery, db: &Database) -> bool {
     !is_satisfiable(q_t, db, &Assignment::new())
 }
 
-/// Insert the facts of `total(body(Q|t))` that are absent from `db`.
+/// Insert the facts of `total(body(Q|t))` that are absent from `db`,
+/// notifying `views` per edit. Returns the newly inserted facts (the seeds
+/// for the delta satisfiability recheck).
 fn apply_witness_insertions(
     q_t: &ConjunctiveQuery,
     db: &mut Database,
+    views: &mut [MaterializedView],
     total: &Assignment,
     edits: &mut EditLog,
-) -> Result<(), CleanError> {
+) -> Result<Vec<Fact>, CleanError> {
+    let mut fresh = Vec::new();
     for atom in q_t.atoms() {
         let Some(fact) = total.ground_atom(atom) else {
             // A lying crowd can return a non-total "completion"; skip it.
-            return Ok(());
+            return Ok(fresh);
         };
         if !db.contains(&fact) {
-            let e = Edit::insert(fact);
-            db.apply(&e)?;
+            let e = Edit::insert(fact.clone());
+            apply_tracked(db, views, &e)?;
             edits.push(e);
+            fresh.push(fact);
         }
     }
-    Ok(())
+    Ok(fresh)
 }
 
 #[cfg(test)]

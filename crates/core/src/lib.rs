@@ -38,6 +38,7 @@ pub mod multi;
 pub mod naive;
 pub mod report;
 pub mod split;
+mod tracked;
 pub mod ucq_clean;
 
 pub use cleaner::{clean_view, clean_view_with_estimator, CleaningConfig, CleaningReport};
@@ -46,14 +47,17 @@ pub use constrained::{
     apply_all_with_constraints, apply_edit_with_constraints, ConstrainedOutcome,
 };
 pub use deletion::{
-    crowd_remove_wrong_answer, crowd_remove_wrong_answer_with, DeletionOutcome, DeletionStrategy,
+    crowd_remove_wrong_answer, crowd_remove_wrong_answer_tracked, crowd_remove_wrong_answer_with,
+    crowd_remove_wrong_answer_with_tracked, DeletionOutcome, DeletionStrategy,
 };
 pub use error::CleanError;
 pub use heuristics::{
     MostFrequentSelector, RandomSelector, ResponsibilitySelector, TrustSelector, TupleSelector,
 };
 pub use hitting_set::HittingSetInstance;
-pub use insertion::{crowd_add_missing_answer, InsertionOptions, InsertionOutcome};
+pub use insertion::{
+    crowd_add_missing_answer, crowd_add_missing_answer_tracked, InsertionOptions, InsertionOutcome,
+};
 pub use multi::{clean_view_parallel, ParallelMajorityCrowd};
 pub use naive::{naive_enumeration, TargetAction};
 pub use report::{UnresolvedItem, UnresolvedPhase};

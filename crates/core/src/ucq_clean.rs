@@ -16,13 +16,13 @@ use std::collections::BTreeSet;
 
 use qoco_crowd::{CrowdAccess, CrowdError};
 use qoco_data::{Database, Tuple};
-use qoco_engine::{answer_set, Assignment};
+use qoco_engine::{answer_set, Assignment, MaterializedView};
 use qoco_query::{embed_answer, UnionQuery};
 
 use crate::cleaner::{CleaningConfig, CleaningReport};
-use crate::deletion::crowd_remove_wrong_answer;
+use crate::deletion::crowd_remove_wrong_answer_tracked;
 use crate::error::CleanError;
-use crate::insertion::crowd_add_missing_answer;
+use crate::insertion::crowd_add_missing_answer_tracked;
 use crate::report::{UnresolvedItem, UnresolvedPhase};
 
 /// The union's answer set over `db`: the union of the disjuncts' answers.
@@ -32,6 +32,15 @@ pub fn union_answer_set(uq: &UnionQuery, db: &Database) -> Vec<Tuple> {
         .iter()
         .flat_map(|q| answer_set(q, db))
         .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// The union of the views' cached answers — [`union_answer_set`] without
+/// re-evaluating any disjunct.
+fn union_cached_answers(views: &[MaterializedView]) -> Vec<Tuple> {
+    let mut out: Vec<Tuple> = views.iter().flat_map(|v| v.answers()).collect();
     out.sort();
     out.dedup();
     out
@@ -83,9 +92,20 @@ pub fn clean_union_view<C: CrowdAccess + ?Sized>(
     let mut skipped: BTreeSet<Tuple> = BTreeSet::new();
     let mut split = config.split.build();
     let mut first = true;
+    // One materialized view per disjunct; every edit from the tracked
+    // Algorithm 1/2 runs notifies all of them, so each disjunct's answer
+    // set stays cached across the whole session.
+    let mut views: Vec<MaterializedView> = uq
+        .disjuncts()
+        .iter()
+        .map(|q| MaterializedView::new(q.clone(), db))
+        .collect();
 
     loop {
-        let unverified: Vec<Tuple> = union_answer_set(uq, db)
+        for v in views.iter_mut() {
+            v.sync(db);
+        }
+        let unverified: Vec<Tuple> = union_cached_answers(&views)
             .into_iter()
             .filter(|t| !verified.contains(t) && !skipped.contains(t))
             .collect();
@@ -103,7 +123,7 @@ pub fn clean_union_view<C: CrowdAccess + ?Sized>(
         // ---- deletion: purge a wrong answer from every producing disjunct
         let del_before = crowd.stats();
         for t in unverified {
-            if !union_answer_set(uq, db).contains(&t) {
+            if !views.iter().any(|v| v.contains(&t)) {
                 continue;
             }
             match verify_union_answer(uq, crowd, &t) {
@@ -123,9 +143,16 @@ pub fn clean_union_view<C: CrowdAccess + ?Sized>(
                 }
             }
             let mut removal_failed = false;
-            for q in uq.disjuncts() {
-                if answer_set(q, db).contains(&t) {
-                    let out = crowd_remove_wrong_answer(q, db, &t, crowd, config.deletion)?;
+            for (i, q) in uq.disjuncts().iter().enumerate() {
+                if views[i].contains(&t) {
+                    let out = crowd_remove_wrong_answer_tracked(
+                        q,
+                        db,
+                        &t,
+                        crowd,
+                        config.deletion,
+                        &mut views,
+                    )?;
                     report.deletion_upper_bound += out.upper_bound;
                     report.anomalies += out.anomalies;
                     report.edits.extend(out.edits);
@@ -154,7 +181,7 @@ pub fn clean_union_view<C: CrowdAccess + ?Sized>(
         // ---- insertion: find missing answers via any disjunct
         let ins_before = crowd.stats();
         'insertion: loop {
-            let known = union_answer_set(uq, db);
+            let known = union_cached_answers(&views);
             // ask each disjunct's oracle view for a missing answer
             let mut found = None;
             for q in uq.disjuncts() {
@@ -218,8 +245,15 @@ pub fn clean_union_view<C: CrowdAccess + ?Sized>(
                         break;
                     }
                 }
-                let out =
-                    crowd_add_missing_answer(q, db, &t, crowd, &mut *split, config.insertion)?;
+                let out = crowd_add_missing_answer_tracked(
+                    q,
+                    db,
+                    &t,
+                    crowd,
+                    &mut *split,
+                    config.insertion,
+                    &mut views,
+                )?;
                 report.insertion_upper_bound += out.upper_bound;
                 report.edits.extend(out.edits);
                 if let Some(e) = out.failure {

@@ -1,12 +1,22 @@
 //! Query evaluation: enumerate the valid assignments `A(Q, D)`.
 //!
 //! The engine runs a backtracking *generic join*: atoms are ordered greedily
-//! (most-bound-variables first, ties broken by smaller relation), candidate
-//! tuples come straight from the pre-sorted posting lists of
-//! [`qoco_data::Relation`] (zero-copy `&[TupleId]` slices), and inequalities
-//! are checked as soon as both sides are ground. Enumeration is exhaustive
-//! because the deletion algorithm needs *every* witness of a wrong answer,
-//! not just one.
+//! by **estimated cardinality** — the exact posting-list length when a term's
+//! value is known at plan time (constants and seed bindings), `len/distinct`
+//! for variables bound by earlier plan steps, ties broken by bound-term
+//! count then atom index. Candidate tuples come straight from the pre-sorted
+//! posting lists of [`qoco_data::Relation`] (zero-copy `&[TupleId]` slices) —
+//! probing the *shortest* posting among the bound columns — and inequalities
+//! are checked as soon as both sides are ground. When the root atom is an
+//! unavoidable full scan, a semi-join pre-filter drops candidates whose
+//! join-variable values have empty postings in a partner atom before any
+//! descent happens. Enumeration is exhaustive because the deletion algorithm
+//! needs *every* witness of a wrong answer, not just one.
+//!
+//! All three choices (atom order, probe column, pre-filter) are pure
+//! functions of the database contents, and postings share one global tuple
+//! order — so the assignment stream is bit-identical across thread counts
+//! and to the pre-optimization engine.
 //!
 //! The whole read path takes `&Database`: indexes build lazily behind
 //! `OnceLock` cells inside each relation, so evaluation never needs a
@@ -31,7 +41,7 @@ use std::cmp::Reverse;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use qoco_data::{Database, Relation, Tuple, TupleId};
+use qoco_data::{Database, Relation, Tuple, TupleId, Value};
 use qoco_query::{ConjunctiveQuery, Term};
 use rayon::prelude::*;
 
@@ -40,6 +50,14 @@ use crate::assignment::Assignment;
 /// Below this many top-level candidates a parallel fan-out costs more in
 /// thread spawns than it saves; evaluate sequentially.
 const PAR_MIN_CANDIDATES: usize = 16;
+
+/// Below this many root candidates the semi-join pre-filter cannot pay for
+/// its per-candidate hash lookups; descend directly.
+const SEMIJOIN_MIN_CANDIDATES: usize = 64;
+
+/// Candidates inspected by the pre-filter's deterministic prefix sample;
+/// if fewer than 1/8 of them are prunable the filter is abandoned.
+const SEMIJOIN_SAMPLE: usize = 128;
 
 /// Options controlling evaluation.
 #[derive(Debug, Clone, Copy)]
@@ -112,10 +130,16 @@ impl Budget<'_> {
     }
 }
 
-/// The candidate list for `order[depth]` under `current`: the posting list
-/// of the first bound column, else the full (sorted) live-id list. The
-/// final `bool` reports whether an index probe was issued (false on the
-/// full-scan fallback), so callers can charge probe hits to their span.
+/// The candidate list for `order[depth]` under `current`: the **shortest**
+/// posting list among the bound columns, else the full (sorted) live-id
+/// list. Choosing the shortest posting instead of the first bound column is
+/// free (column selection reads posting lengths without issuing probes) and
+/// collapses candidate lists on atoms where a selective variable coexists
+/// with a low-selectivity one. Every posting shares the relation's global
+/// tuple order, so the surviving candidates are enumerated in the same
+/// order whichever column is probed — the assignment stream is unchanged.
+/// The final `bool` reports whether an index probe was issued (false on
+/// the full-scan fallback), so callers can charge probe hits to their span.
 fn candidates_for<'d>(
     q: &ConjunctiveQuery,
     db: &'d Database,
@@ -125,12 +149,19 @@ fn candidates_for<'d>(
 ) -> (&'d Relation, &'d [TupleId], bool) {
     let atom = &q.atoms()[order[depth]];
     let rel = db.relation(atom.rel);
+    let mut best: Option<(usize, usize, Value)> = None;
     for (col, term) in atom.terms.iter().enumerate() {
         if let Some(v) = current.ground_term(term) {
-            return (rel, rel.probe(col, &v), true);
+            let len = rel.posting_len(col, &v);
+            if best.as_ref().is_none_or(|(shortest, _, _)| len < *shortest) {
+                best = Some((len, col, v));
+            }
         }
     }
-    (rel, rel.sorted_ids(), false)
+    match best {
+        Some((_, col, v)) => (rel, rel.probe(col, &v), true),
+        None => (rel, rel.sorted_ids(), false),
+    }
 }
 
 struct Search<'a> {
@@ -175,9 +206,15 @@ impl<'a> Search<'a> {
         }
     }
 
-    /// Greedy atom order: at each step pick the atom maximizing the number
-    /// of bound terms (constants + already-bound variables), breaking ties
-    /// by smaller relation cardinality, then by index for determinism.
+    /// Greedy atom order by estimated candidate cardinality: at each step
+    /// pick the atom whose candidate list is expected to be smallest. The
+    /// estimate uses the posting lists the relations already materialize —
+    /// the *exact* posting length when a term's value is known at plan time
+    /// (constants and seed bindings, read via `posting_len` so planning
+    /// issues no counted probes), and `len/distinct` for variables bound by
+    /// an earlier plan step (value unknown until execution). Ties break by
+    /// more bound terms, then atom index, so the order is deterministic and
+    /// independent of thread count.
     fn plan(q: &ConjunctiveQuery, db: &Database, seed: &Assignment) -> Vec<usize> {
         let n = q.atoms().len();
         let mut bound_vars: std::collections::BTreeSet<qoco_query::Var> =
@@ -190,17 +227,29 @@ impl<'a> Search<'a> {
                 .copied()
                 .min_by_key(|&i| {
                     let a = &q.atoms()[i];
-                    let bound = a
-                        .terms
-                        .iter()
-                        .filter(|t| match t {
-                            Term::Const(_) => true,
-                            Term::Var(v) => bound_vars.contains(v),
-                        })
-                        .count();
-                    let size = db.relation(a.rel).len();
-                    // minimize (-bound, size, i)
-                    (Reverse(bound), size, i)
+                    let rel = db.relation(a.rel);
+                    let mut estimate = rel.len();
+                    let mut bound = 0usize;
+                    for (col, term) in a.terms.iter().enumerate() {
+                        match term {
+                            Term::Const(c) => {
+                                bound += 1;
+                                estimate = estimate.min(rel.posting_len(col, c));
+                            }
+                            Term::Var(v) => {
+                                if let Some(value) = seed.get(v) {
+                                    bound += 1;
+                                    estimate = estimate.min(rel.posting_len(col, value));
+                                } else if bound_vars.contains(v) {
+                                    bound += 1;
+                                    let distinct = rel.distinct_in_column(col).max(1);
+                                    estimate = estimate.min(rel.len().div_ceil(distinct));
+                                }
+                            }
+                        }
+                    }
+                    // minimize (estimate, -bound, i)
+                    (estimate, Reverse(bound), i)
                 })
                 .expect("remaining is non-empty");
             order.push(best);
@@ -300,6 +349,84 @@ impl<'a> Search<'a> {
     }
 }
 
+/// Semi-join pre-filter for a full-scan root atom: drop candidates whose
+/// value for a join variable has an **empty** posting list in a partner
+/// atom — no assignment can extend such a candidate, so pruning is sound
+/// and the surviving enumeration order is untouched. One partner (the
+/// smallest relation mentioning the variable) is checked per root
+/// variable, one hash lookup each. A deterministic prefix sample bounds
+/// the overhead: when almost nothing in the sample is prunable the filter
+/// abandons and the scan proceeds unfiltered. Everything here is a pure
+/// function of the database, so sequential and parallel runs see the same
+/// candidate list.
+fn semijoin_prefilter(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    order: &[usize],
+    seed: &Assignment,
+    rel: &Relation,
+    cands: &[TupleId],
+) -> Option<Vec<TupleId>> {
+    if cands.len() < SEMIJOIN_MIN_CANDIDATES {
+        return None;
+    }
+    let root_idx = order[0];
+    let root = &q.atoms()[root_idx];
+    // (root column, partner relation, partner column) per join variable
+    let mut checks: Vec<(usize, &Relation, usize)> = Vec::new();
+    for (col, term) in root.terms.iter().enumerate() {
+        let Term::Var(v) = term else { continue };
+        if seed.get(v).is_some() {
+            continue; // ground under the seed: the root scan is already odd
+        }
+        // consider each variable once, at its first column
+        if root.terms[..col]
+            .iter()
+            .any(|t| matches!(t, Term::Var(u) if u == v))
+        {
+            continue;
+        }
+        let mut partner: Option<(usize, &Relation, usize)> = None;
+        for (j, atom) in q.atoms().iter().enumerate() {
+            if j == root_idx {
+                continue;
+            }
+            for (pcol, pterm) in atom.terms.iter().enumerate() {
+                if matches!(pterm, Term::Var(u) if u == v) {
+                    let prel = db.relation(atom.rel);
+                    if partner.is_none_or(|(plen, _, _)| prel.len() < plen) {
+                        partner = Some((prel.len(), prel, pcol));
+                    }
+                    break;
+                }
+            }
+        }
+        if let Some((_, prel, pcol)) = partner {
+            checks.push((col, prel, pcol));
+        }
+    }
+    if checks.is_empty() {
+        return None;
+    }
+    let keep = |tid: TupleId| {
+        let t = rel.tuple(tid);
+        checks
+            .iter()
+            .all(|(col, prel, pcol)| prel.posting_len(*pcol, &t.values()[*col]) > 0)
+    };
+    let sample = &cands[..cands.len().min(SEMIJOIN_SAMPLE)];
+    let sample_pruned = sample.iter().filter(|&&tid| !keep(tid)).count();
+    if sample_pruned * 8 < sample.len() {
+        return None;
+    }
+    let filtered: Vec<TupleId> = cands.iter().copied().filter(|&tid| keep(tid)).collect();
+    qoco_telemetry::counter_add(
+        "eval.semijoin_pruned",
+        (cands.len() - filtered.len()) as u64,
+    );
+    Some(filtered)
+}
+
 /// Run the search over `seed`, fanning the top-level candidate loop out
 /// across threads when worthwhile. Returns `(assignments, truncated,
 /// tried, probes)` with assignments in sequential discovery order.
@@ -315,16 +442,29 @@ fn run_search(
         .threads
         .unwrap_or_else(rayon::current_num_threads)
         .max(1);
-    if !order.is_empty() && threads > 1 && !early_exit {
-        let (rel, cands, root_probed) = candidates_for(q, db, order, 0, seed);
-        if cands.len() >= PAR_MIN_CANDIDATES.max(threads) {
-            let (out, truncated, tried, probes) =
-                run_parallel(q, db, order, seed, opts, threads, rel, cands);
-            return (out, truncated, tried, probes + root_probed as u64);
-        }
+    let (rel, cands, root_probed) = candidates_for(q, db, order, 0, seed);
+    // A probed root is already selective, and an early-exit search wants
+    // its first witness, not a pass over every candidate — pre-filter only
+    // exhaustive scans.
+    let filtered = if !root_probed && !early_exit {
+        semijoin_prefilter(q, db, order, seed, rel, cands)
+    } else {
+        None
+    };
+    let cands: &[TupleId] = filtered.as_deref().unwrap_or(cands);
+    if threads > 1 && !early_exit && cands.len() >= PAR_MIN_CANDIDATES.max(threads) {
+        let (out, truncated, tried, probes) =
+            run_parallel(q, db, order, seed, opts, threads, rel, cands);
+        return (out, truncated, tried, probes + root_probed as u64);
     }
     let mut s = Search::new(q, db, order, opts, early_exit, None);
-    s.descend(0, seed.clone());
+    s.probes += root_probed as u64;
+    for &tid in cands {
+        if s.should_stop() {
+            break;
+        }
+        s.expand(0, rel, seed, tid);
+    }
     (s.out, s.truncated, s.tried, s.probes)
 }
 

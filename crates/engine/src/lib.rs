@@ -11,6 +11,8 @@
 //! * [`eval`] — index-backed backtracking join enumeration and
 //!   satisfiability checks;
 //! * [`witness`] — witnesses `α(body(Q))` and the witness sets of answers;
+//! * [`view`] — materialized views with per-answer witness counts,
+//!   single-edit deltas and the edit-epoch refresh fallback;
 //! * [`whynot`] — the picky-operator analysis standing in for the WhyNot?
 //!   system \[60\], used by the Provenance split strategy (Section 5.2).
 
@@ -20,6 +22,7 @@
 pub mod assignment;
 pub mod eval;
 pub mod monitor;
+pub mod view;
 pub mod whynot;
 pub mod witness;
 
@@ -28,6 +31,7 @@ pub use eval::{
     all_assignments, answer_set, assignments_for_answer, evaluate, explain, is_satisfiable,
     EvalOptions, EvalResult,
 };
-pub use monitor::{ViewDelta, ViewMonitor};
+pub use monitor::ViewMonitor;
+pub use view::{delta_satisfiable, MaterializedView, ViewDelta};
 pub use whynot::{frontier_split, why_not};
 pub use witness::{witness_of, witnesses_for_answer, Witness};

@@ -4,81 +4,58 @@
 //! with traditional techniques, QOCO can be activated to *monitor the
 //! views* that are served to users/applications. Whenever an error is
 //! reported in a view, QOCO can take over." A [`ViewMonitor`] keeps the
-//! materialized answers of one query and updates them per edit without full
-//! re-evaluation:
+//! materialized answers of one query and updates them per edit without
+//! full re-evaluation.
 //!
-//! * an **insertion** can only create answers whose witness uses the new
-//!   fact, so the monitor evaluates the query seeded by unifying each
-//!   matching body atom with the new fact (semi-naïve delta);
-//! * a **deletion** can only remove answers, so the monitor re-checks the
-//!   satisfiability of each cached answer (fast per-answer probes);
-//! * edits on relations the query never mentions are free.
+//! The monitor is a thin façade over [`MaterializedView`], which holds the
+//! real machinery: per-answer witness counts, seeded insert/delete deltas,
+//! and the edit-epoch fallback to a full refresh (see [`crate::view`]).
+//! Earlier revisions re-checked `is_satisfiable` for every cached answer
+//! on each deletion and cloned the query's atom list on each insertion;
+//! witness counting removed both the per-answer probes and the per-edit
+//! allocations.
 
-use std::collections::BTreeSet;
+use qoco_data::{Database, Edit, Fact, Tuple};
+use qoco_query::ConjunctiveQuery;
 
-use qoco_data::{Database, Edit, EditKind, Fact, Tuple};
-use qoco_query::{Atom, ConjunctiveQuery, Term};
-
-use crate::assignment::Assignment;
-use crate::eval::{all_assignments, answer_set, is_satisfiable, EvalOptions};
-
-/// Answers that appeared and disappeared after an edit.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct ViewDelta {
-    /// Answers newly present.
-    pub added: Vec<Tuple>,
-    /// Answers no longer present.
-    pub removed: Vec<Tuple>,
-}
-
-impl ViewDelta {
-    /// True if the view did not change.
-    pub fn is_empty(&self) -> bool {
-        self.added.is_empty() && self.removed.is_empty()
-    }
-}
+use crate::view::MaterializedView;
+pub use crate::view::ViewDelta;
 
 /// A monitored materialized view.
 #[derive(Debug, Clone)]
 pub struct ViewMonitor {
-    query: ConjunctiveQuery,
-    answers: BTreeSet<Tuple>,
+    view: MaterializedView,
 }
 
 impl ViewMonitor {
     /// Materialize `q` over `db`.
     pub fn new(query: ConjunctiveQuery, db: &Database) -> Self {
-        let answers = answer_set(&query, db).into_iter().collect();
-        ViewMonitor { query, answers }
+        ViewMonitor {
+            view: MaterializedView::new(query, db),
+        }
     }
 
     /// The monitored query.
     pub fn query(&self) -> &ConjunctiveQuery {
-        &self.query
+        self.view.query()
     }
 
     /// The current materialized answers, sorted.
     pub fn answers(&self) -> Vec<Tuple> {
-        self.answers.iter().cloned().collect()
+        self.view.answers()
     }
 
     /// Does the query mention the relation of this fact?
     pub fn is_relevant(&self, fact: &Fact) -> bool {
-        self.query.atoms().iter().any(|a| a.rel == fact.rel)
+        self.view.is_relevant(fact)
     }
 
     /// Update the materialization after `edit` was applied to `db`
     /// (`db` must already reflect the edit). Returns the delta.
     pub fn apply_edit(&mut self, db: &Database, edit: &Edit) -> ViewDelta {
-        if !self.is_relevant(&edit.fact) {
-            return ViewDelta::default();
-        }
         let span = qoco_telemetry::span("monitor.apply_edit");
         let probe_start = qoco_telemetry::now_ns();
-        let delta = match edit.kind {
-            EditKind::Insert => self.delta_insert(db, &edit.fact),
-            EditKind::Delete => self.delta_delete(db),
-        };
+        let delta = self.view.apply_edit(db, edit);
         if qoco_telemetry::enabled() {
             qoco_telemetry::histogram_record(
                 "monitor.delta_probe_ns",
@@ -94,84 +71,15 @@ impl ViewMonitor {
     /// Full re-materialization (used as a fallback and by tests as the
     /// correctness oracle).
     pub fn refresh(&mut self, db: &Database) -> ViewDelta {
-        let fresh: BTreeSet<Tuple> = answer_set(&self.query, db).into_iter().collect();
-        let added = fresh.difference(&self.answers).cloned().collect();
-        let removed = self.answers.difference(&fresh).cloned().collect();
-        self.answers = fresh;
-        ViewDelta { added, removed }
+        self.view.refresh(db)
     }
-
-    fn delta_insert(&mut self, db: &Database, fact: &Fact) -> ViewDelta {
-        let mut added = Vec::new();
-        for atom in self.query.atoms().to_vec() {
-            if atom.rel != fact.rel {
-                continue;
-            }
-            let Some(seed) = unify(&atom, fact) else {
-                continue;
-            };
-            let result = all_assignments(&self.query, db, &seed, EvalOptions::default());
-            for a in result.assignments {
-                let head = a
-                    .ground_head(&self.query)
-                    .expect("valid assignments are total");
-                if self.answers.insert(head.clone()) {
-                    added.push(head);
-                }
-            }
-        }
-        added.sort();
-        added.dedup();
-        ViewDelta {
-            added,
-            removed: Vec::new(),
-        }
-    }
-
-    fn delta_delete(&mut self, db: &Database) -> ViewDelta {
-        let mut removed = Vec::new();
-        for t in self.answers.iter().cloned().collect::<Vec<_>>() {
-            let Some(seed) = Assignment::from_answer(&self.query, &t) else {
-                // cannot happen for cached answers, but degrade gracefully
-                continue;
-            };
-            if !is_satisfiable(&self.query, db, &seed) {
-                self.answers.remove(&t);
-                removed.push(t);
-            }
-        }
-        removed.sort();
-        ViewDelta {
-            added: Vec::new(),
-            removed,
-        }
-    }
-}
-
-/// Unify an atom with a fact: constants must match, variables bind
-/// consistently. Returns the induced partial assignment.
-fn unify(atom: &Atom, fact: &Fact) -> Option<Assignment> {
-    let mut seed = Assignment::new();
-    for (term, value) in atom.terms.iter().zip(fact.tuple.values()) {
-        match term {
-            Term::Const(c) => {
-                if c != value {
-                    return None;
-                }
-            }
-            Term::Var(v) => {
-                if !seed.bind(v.clone(), value.clone()) {
-                    return None;
-                }
-            }
-        }
-    }
-    Some(seed)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::eval::answer_set;
+    use crate::view::unify;
     use qoco_data::{tup, Schema, Value};
     use qoco_query::parse_query;
     use std::sync::Arc;

@@ -16,6 +16,9 @@ cargo test -q --workspace
 
 echo "== RAYON_NUM_THREADS=1 cargo test -q --workspace (sequential eval) =="
 RAYON_NUM_THREADS=1 cargo test -q --workspace
+# the view/answer-set equivalence property must hold under a sequential
+# pool too (its threads=2/8 cases then exercise the fallback path)
+RAYON_NUM_THREADS=1 cargo test -q -p qoco-engine --test view_property
 
 echo "== cargo bench --workspace --no-run =="
 cargo bench --workspace --no-run
@@ -46,12 +49,18 @@ printf 'country\tcontinent\nESP\tEU\nGER\tEU\n' > "$work/ground/Teams.tsv"
 # Pad the fixture (identically in dirty and ground, so the cleaning outcome
 # is untouched) until the planner's first atom has enough top-level
 # candidates to clear the engine's parallel threshold:
-#  - 16 extra EU teams with no Final games → 18 Teams candidates;
-#  - 16 extra Semi-stage games keep Games the *larger* relation, so the
-#    planner still leads with Teams (most-bound, then smaller-relation).
+#  - 16 extra EU teams → 18 Teams candidates;
+#  - 16 extra Semi-stage games keep Games the larger relation;
+#  - one Final win per fake team (single final each, so the d1 != d2 pair
+#    never forms and no new Q1 answers appear) keeps the "Final" posting
+#    *longer* than the EU posting, so the cardinality-ordered planner
+#    (posting-list estimates, smallest first) still roots at the Teams
+#    atom with all 18 candidates.
 for i in $(seq -w 1 16); do
   printf 'T%s\tEU\n' "$i" | tee -a "$work/dirty/Teams.tsv" >> "$work/ground/Teams.tsv"
   printf '01.01.%s\tT%s\tT%s\tSemi\t1:0\n' "$i" "$i" "$i" \
+    | tee -a "$work/dirty/Games.tsv" >> "$work/ground/Games.tsv"
+  printf '02.02.%s\tT%s\tT%s\tFinal\t1:0\n' "$i" "$i" "$i" \
     | tee -a "$work/dirty/Games.tsv" >> "$work/ground/Games.tsv"
 done
 
@@ -206,7 +215,14 @@ cargo run -q --release -p qoco-bench --bin qoco-bench -- \
 echo "profiling smoke-run: OK"
 
 echo "== perf regression gate (quick) =="
-cargo run -q --release -p qoco-bench --bin qoco-bench -- regressions --check --quick
+gate_quick="$work/gate-quick.out"
+cargo run -q --release -p qoco-bench --bin qoco-bench -- regressions --check --quick \
+  | tee "$gate_quick"
+# the quick gate must cover the incremental-cleaning cells, not just eval
+for cell in cleaning_sweep/1000/view/1 cleaning_sweep/1000/fullre/1; do
+  grep -q "$cell" "$gate_quick" \
+    || { echo "quick gate did not compare $cell" >&2; exit 1; }
+done
 # ...and the gate must actually trip when a cell regresses, with the
 # attribution re-run naming the injected phase as the regressed frame
 gate_out="$work/gate.out"

@@ -390,13 +390,28 @@ impl Session {
             split,
             ..Default::default()
         };
+        let before = qoco_telemetry::metrics().snapshot();
         let result = clean_view(&q, db, &mut crowd, config);
+        let after = qoco_telemetry::metrics().snapshot();
         let stats = crowd.stats();
         let (_, transcript) = crowd.into_parts();
         self.last_transcript = transcript;
         match result {
             Ok(report) => {
                 write!(out, "{report}")?;
+                // view-maintenance counters only tick while telemetry is on;
+                // stay silent otherwise so plain sessions are unchanged
+                let d = |name: &str| after.counter(name).saturating_sub(before.counter(name));
+                let (delta_edits, refreshes) = (d("view.delta_edits"), d("view.full_refreshes"));
+                if delta_edits + refreshes > 0 {
+                    writeln!(
+                        out,
+                        "view maintenance: {delta_edits} delta edit(s), {refreshes} full refresh(es), \
+                         {} delta probe hit(s), {} semi-join pruned",
+                        d("eval.delta_probe_hits"),
+                        d("eval.semijoin_pruned")
+                    )?;
+                }
                 if stats.faults > 0 {
                     writeln!(
                         out,
