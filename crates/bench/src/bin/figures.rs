@@ -6,7 +6,8 @@
 //! ```
 //!
 //! Targets: fig3a fig3b fig3c fig3d fig3e fig3f fig4 dbgroup
-//!          ablation-hs ablation-umhs ablation-heur sweep-clean phases all
+//!          ablation-hs ablation-umhs ablation-heur sweep-clean phases
+//!          watch all
 //!
 //! `--telemetry <path>` (or the `QOCO_TELEMETRY` environment variable)
 //! streams a JSON-lines telemetry export of the whole run — every figure's
@@ -22,7 +23,7 @@ use std::sync::Arc;
 use qoco_bench::{
     ablation_composite, ablation_heuristics, ablation_hitting_set, ablation_umhs, dbgroup_case,
     fig3a, fig3b, fig3c, fig3d, fig3e, fig3f, fig4, phase_breakdown, sweep_cleanliness,
-    sweep_error_rate, Experiments,
+    sweep_error_rate, watch_optimality, Experiments,
 };
 
 fn main() {
@@ -96,6 +97,7 @@ fn main() {
             "sweep-clean",
             "sweep-error",
             "phases",
+            "watch",
         ]
     } else {
         args.iter().map(|s| s.as_str()).collect()
@@ -122,6 +124,7 @@ fn main() {
             "sweep-clean" => sweep_cleanliness(ex.as_ref().expect("soccer context")),
             "sweep-error" => sweep_error_rate(ex.as_ref().expect("soccer context")),
             "phases" => phase_breakdown(ex.as_ref().expect("soccer context")),
+            "watch" => watch_optimality(ex.as_ref().expect("soccer context")),
             other => {
                 eprintln!("unknown target `{other}`; see --help text in the source header");
                 std::process::exit(2);

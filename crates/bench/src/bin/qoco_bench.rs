@@ -23,6 +23,11 @@
 //! * `validate-decisions FILE` — structurally validate the decision-
 //!   provenance lines of a `--telemetry` JSONL export (unique positive
 //!   ids, string evidence), requiring any `--require-kind NAME` kinds.
+//! * `watch-replay SERIES --rules FILE` — re-evaluate qoco-watch alert
+//!   rules offline over the `"type":"sample"` lines of a `--telemetry`
+//!   export and print the deterministic alert timeline. `--expect-fire
+//!   RULE` / `--expect-resolve RULE` turn it into a CI gate (exit 1 when
+//!   the named rule never fired / never resolved).
 
 use std::process::ExitCode;
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
@@ -35,6 +40,7 @@ use qoco_bench::regressions::{
 };
 use qoco_bench::scaling::{scaling_sweep, SweepConfig};
 use qoco_bench::trace_check::validate_trace;
+use qoco_bench::watch_replay::replay;
 use qoco_telemetry::Profile;
 
 fn repo_path(file: &str) -> String {
@@ -50,7 +56,9 @@ fn usage() -> ExitCode {
          qoco-bench profile --diff BASE.folded HEAD.folded [--min-delta PCT]\n       \
          qoco-bench validate-trace FILE [--min-tracks N] [--require-span NAME]...\n       \
          qoco-bench validate-flamegraph FILE [--require-frame NAME]...\n       \
-         qoco-bench validate-decisions FILE [--require-kind NAME]..."
+         qoco-bench validate-decisions FILE [--require-kind NAME]...\n       \
+         qoco-bench watch-replay SERIES --rules FILE [--expect-fire RULE]... \
+         [--expect-resolve RULE]..."
     );
     ExitCode::from(2)
 }
@@ -63,7 +71,81 @@ fn main() -> ExitCode {
         Some("validate-trace") => run_validate_trace(&args[1..]),
         Some("validate-flamegraph") => run_validate_flamegraph(&args[1..]),
         Some("validate-decisions") => run_validate_decisions(&args[1..]),
+        Some("watch-replay") => run_watch_replay(&args[1..]),
         _ => usage(),
+    }
+}
+
+fn run_watch_replay(args: &[String]) -> ExitCode {
+    let mut series = None;
+    let mut rules_path = None;
+    let mut expect_fire: Vec<String> = Vec::new();
+    let mut expect_resolve: Vec<String> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--rules" => match it.next() {
+                Some(v) => rules_path = Some(v.clone()),
+                None => return usage(),
+            },
+            "--expect-fire" => match it.next() {
+                Some(v) => expect_fire.push(v.clone()),
+                None => return usage(),
+            },
+            "--expect-resolve" => match it.next() {
+                Some(v) => expect_resolve.push(v.clone()),
+                None => return usage(),
+            },
+            _ if series.is_none() && !arg.starts_with('-') => series = Some(arg.clone()),
+            _ => return usage(),
+        }
+    }
+    let (Some(series), Some(rules_path)) = (series, rules_path) else {
+        return usage();
+    };
+
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let outcome = read(&series)
+        .and_then(|series_text| Ok((series_text, read(&rules_path)?)))
+        .and_then(|(series_text, rules_text)| replay(&series_text, &rules_text));
+    let outcome = match outcome {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", outcome.report);
+
+    let mut failed = false;
+    for (expectation, rules, pick) in [
+        ("fire", &expect_fire, 0usize),
+        ("resolve", &expect_resolve, 1usize),
+    ] {
+        for rule in rules {
+            match outcome.rule_counts(rule) {
+                None => {
+                    eprintln!("error: --expect-{expectation} names unknown rule `{rule}`");
+                    failed = true;
+                }
+                Some(counts) => {
+                    let n = [counts.0, counts.1][pick];
+                    if n == 0 {
+                        eprintln!(
+                            "error: rule `{rule}` was expected to {expectation} but never did"
+                        );
+                        failed = true;
+                    }
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

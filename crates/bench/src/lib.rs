@@ -20,6 +20,7 @@ pub mod scaling;
 pub mod seed_eval;
 pub mod table;
 pub mod trace_check;
+pub mod watch_replay;
 
 pub use experiments::*;
 pub use table::Table;

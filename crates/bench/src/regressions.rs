@@ -170,8 +170,13 @@ impl RegressionReport {
         host_parallelism: usize,
         attribution: &[(String, String)],
     ) -> String {
+        // Build identity first, so `head -c` on a trajectory line already
+        // says which binary produced it.
+        let build = qoco_telemetry::build_info();
         let mut line = format!(
-            "{{\"at_epoch_s\":{at_epoch_s},\"mode\":\"{mode}\",\"host_parallelism\":{host_parallelism},\"cells\":{},\"calibration\":{:.4},\"worst_ratio\":{:.4},\"pass\":{}",
+            "{{\"at_epoch_s\":{at_epoch_s},\"version\":\"{}\",\"git\":\"{}\",\"mode\":\"{mode}\",\"host_parallelism\":{host_parallelism},\"cells\":{},\"calibration\":{:.4},\"worst_ratio\":{:.4},\"pass\":{}",
+            escape_json(build.version),
+            escape_json(build.git),
             self.cells.len(),
             self.calibration,
             self.worst_ratio(),

@@ -1,0 +1,257 @@
+//! Offline, deterministic re-evaluation of qoco-watch alert rules over an
+//! exported sample series (`qoco-bench watch-replay`).
+//!
+//! A live session exports its [`SeriesStore`] ring as
+//! `{"type":"sample","metric":…,"tick":…,"at_ns":…,"value":…}` JSONL lines
+//! inside the `--telemetry` file. This module replays those lines tick by
+//! tick through a fresh [`AlertEngine`] — the same store and engine the
+//! live watch used — so the alert timeline is a pure function of the
+//! recorded series. That is what CI gates on: a fresh session and a
+//! killed-and-resumed one export identical sample lines (the logical tick
+//! is the crowd-answer boundary, which journal lockstep replay reproduces
+//! exactly), so their replay reports must be byte-identical.
+//!
+//! The report deliberately contains only replay-determined facts — rule
+//! count, tick count, lifecycle transitions, per-rule summaries. It never
+//! mentions how many series the export carried: a resumed session grows
+//! extra counters (e.g. `journal.divergences`) that a fresh one lacks, and
+//! those must not break byte-equality on the *alert* timeline.
+
+use qoco_telemetry::{parse_rules, AlertEngine, SeriesStore, Transition, DEFAULT_SERIES_CAPACITY};
+
+use crate::json::Json;
+
+/// One parsed `"type":"sample"` line.
+#[derive(Debug, Clone, PartialEq)]
+struct SampleLine {
+    tick: u64,
+    at_ns: u64,
+    metric: String,
+    value: f64,
+}
+
+/// What a replay produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayOutcome {
+    /// Distinct ticks replayed.
+    pub ticks: u64,
+    /// Rules evaluated.
+    pub rules: usize,
+    /// Every lifecycle edge, in (tick, rule) order.
+    pub transitions: Vec<Transition>,
+    /// Per-rule `(name, fired, resolved, final_state)` rows, in rule order.
+    pub rule_summaries: Vec<(String, u64, u64, &'static str)>,
+    /// The deterministic human-readable report (see module docs).
+    pub report: String,
+}
+
+impl ReplayOutcome {
+    /// `(fired, resolved)` counts for `rule`, if it exists.
+    pub fn rule_counts(&self, rule: &str) -> Option<(u64, u64)> {
+        self.rule_summaries
+            .iter()
+            .find(|(name, ..)| name == rule)
+            .map(|&(_, fired, resolved, _)| (fired, resolved))
+    }
+}
+
+/// Parse the sample lines out of a `--telemetry` JSONL export, ignoring
+/// every other record type. Errors carry the 1-based line number.
+fn parse_samples(series_text: &str) -> Result<Vec<SampleLine>, String> {
+    let mut samples = Vec::new();
+    for (i, line) in series_text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let doc = Json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if doc.get("type").and_then(Json::as_str) != Some("sample") {
+            continue;
+        }
+        let field = |key: &str| -> Result<f64, String> {
+            doc.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("line {}: sample is missing numeric `{key}`", i + 1))
+        };
+        let metric = doc
+            .get("metric")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: sample is missing `metric`", i + 1))?
+            .to_string();
+        samples.push(SampleLine {
+            tick: field("tick")? as u64,
+            at_ns: field("at_ns")? as u64,
+            metric,
+            value: field("value")?,
+        });
+    }
+    if samples.is_empty() {
+        return Err("no \"type\":\"sample\" lines in the series file \
+                    (was the session run with --watch-rules?)"
+            .to_string());
+    }
+    // The exporter already writes (tick, metric) order; re-sort defensively
+    // (stable, so equal keys keep input order) — replay must not depend on
+    // how the file was concatenated.
+    samples.sort_by(|a, b| (a.tick, &a.metric).cmp(&(b.tick, &b.metric)));
+    Ok(samples)
+}
+
+/// Replay `rules_text` over the sample lines in `series_text`: feed each
+/// tick's samples into a fresh store, evaluate every rule at that tick,
+/// and render the deterministic report.
+pub fn replay(series_text: &str, rules_text: &str) -> Result<ReplayOutcome, String> {
+    let rules = parse_rules(rules_text)?;
+    if rules.is_empty() {
+        return Err("rules file defines no rules".to_string());
+    }
+    let samples = parse_samples(series_text)?;
+
+    let store = SeriesStore::new(DEFAULT_SERIES_CAPACITY);
+    let mut engine = AlertEngine::new(rules);
+    let mut transitions: Vec<Transition> = Vec::new();
+    let mut ticks = 0u64;
+
+    let mut i = 0;
+    while i < samples.len() {
+        let tick = samples[i].tick;
+        let mut at_ns = 0;
+        while i < samples.len() && samples[i].tick == tick {
+            let s = &samples[i];
+            store.record(&s.metric, s.tick, s.at_ns, s.value);
+            at_ns = at_ns.max(s.at_ns);
+            i += 1;
+        }
+        ticks += 1;
+        let outcome = engine.evaluate(tick, at_ns, &store);
+        transitions.extend(outcome.transitions);
+    }
+
+    let states = engine.states();
+    let rule_summaries: Vec<(String, u64, u64, &'static str)> = states
+        .iter()
+        .map(|s| (s.name.clone(), s.fired, s.resolved, s.state))
+        .collect();
+
+    let mut report = format!(
+        "watch-replay: {} rule(s) over {} tick(s)\n",
+        states.len(),
+        ticks
+    );
+    for t in &transitions {
+        report.push_str(&format!(
+            "tick {} ({:.3}s): {}\n",
+            t.tick,
+            t.at_ns as f64 / 1e9,
+            t.log_line()
+        ));
+    }
+    for (name, fired, resolved, state) in &rule_summaries {
+        report.push_str(&format!(
+            "rule {name}: fired {fired}, resolved {resolved}, final state {state}\n"
+        ));
+    }
+    report.push_str(&engine.summary_line());
+    report.push('\n');
+
+    Ok(ReplayOutcome {
+        ticks,
+        rules: states.len(),
+        transitions,
+        rule_summaries,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: u64 = 1_000_000_000;
+
+    fn series(values: &[(u64, &str, f64)]) -> String {
+        values
+            .iter()
+            .map(|(tick, metric, value)| {
+                format!(
+                    "{{\"type\":\"sample\",\"metric\":\"{metric}\",\"tick\":{tick},\
+                     \"at_ns\":{},\"value\":{value}}}",
+                    tick * S
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn replays_a_burst_through_fire_and_resolve() {
+        // faults counter: quiet, then a burst of 3/tick, then quiet again
+        let rows: Vec<(u64, &str, f64)> = (1..=10)
+            .map(|t| {
+                let v = match t {
+                    1..=3 => 0.0,
+                    4..=6 => (t - 3) as f64 * 3.0,
+                    _ => 9.0,
+                };
+                (t, "crowd.faults", v)
+            })
+            .collect();
+        let text = series(&rows);
+        let out = replay(&text, "rule burst: rate(crowd.faults, 3s) > 1/s => warn")
+            .expect("replay succeeds");
+        assert_eq!(out.ticks, 10);
+        assert_eq!(out.rules, 1);
+        let (fired, resolved) = out.rule_counts("burst").unwrap();
+        assert_eq!((fired, resolved), (1, 1), "report:\n{}", out.report);
+        assert!(out.report.contains("burst -> firing"));
+        assert!(out.report.contains("burst -> resolved"));
+        assert!(out.report.contains("final state idle"));
+    }
+
+    #[test]
+    fn replay_is_deterministic_and_ignores_extra_series() {
+        let mut rows = vec![
+            (1u64, "crowd.faults", 0.0),
+            (2, "crowd.faults", 5.0),
+            (3, "crowd.faults", 10.0),
+        ];
+        let base = replay(
+            &series(&rows),
+            "rule hot: rate(crowd.faults, 2s) > 1/s => page",
+        )
+        .unwrap();
+        // a resumed session carries extra counters the fresh one lacks —
+        // the alert timeline must not notice
+        rows.push((2, "journal.divergences", 0.0));
+        rows.push((3, "journal.divergences", 0.0));
+        let resumed = replay(
+            &series(&rows),
+            "rule hot: rate(crowd.faults, 2s) > 1/s => page",
+        )
+        .unwrap();
+        assert_eq!(base.report, resumed.report, "byte-identical reports");
+        assert_eq!(base.transitions, resumed.transitions);
+    }
+
+    #[test]
+    fn non_sample_lines_are_skipped_and_bad_json_is_an_error() {
+        let text = format!(
+            "{}\n{{\"type\":\"metric\",\"kind\":\"counter\",\"name\":\"x\",\"value\":1}}\n",
+            series(&[(1, "m", 1.0), (2, "m", 2.0)])
+        );
+        let out = replay(&text, "rule r: value(m) > 10 => info").unwrap();
+        assert_eq!(out.ticks, 2);
+        let err = replay("not json\n", "rule r: value(m) > 10 => info").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+        let err = replay("{\"type\":\"metric\"}\n", "rule r: value(m) > 10 => info").unwrap_err();
+        assert!(err.contains("no \"type\":\"sample\" lines"), "{err}");
+    }
+
+    #[test]
+    fn bad_rules_are_reported_with_context() {
+        let err = replay(&series(&[(1, "m", 1.0)]), "rule broken").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        let err = replay(&series(&[(1, "m", 1.0)]), "# only comments\n").unwrap_err();
+        assert!(err.contains("no rules"), "{err}");
+    }
+}

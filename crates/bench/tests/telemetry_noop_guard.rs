@@ -37,6 +37,8 @@ fn disabled_telemetry_is_a_noop_fast_path() {
         qoco_telemetry::record_decision("guard.noop", || {
             unreachable!("lazy decision detail must not run")
         });
+        // qoco-watch: with no watch installed this is one relaxed load
+        qoco_telemetry::watch_tick();
         span.finish();
     }
     let elapsed = start.elapsed();
@@ -86,5 +88,40 @@ fn disabled_profiler_spawns_nothing_and_captures_nothing() {
         qoco_telemetry::sample_totals(),
         (samples_before, dropped_before),
         "disabled profiler must not touch the process-wide sample totals"
+    );
+}
+
+/// With telemetry disabled, starting a watch must be inert: no sampler
+/// thread, no global installation, and `watch_tick` stays the bare
+/// relaxed-load fast path (exercised above inside the hot loop).
+#[test]
+fn disabled_watch_spawns_nothing_and_installs_nothing() {
+    assert!(
+        !qoco_telemetry::enabled(),
+        "no collector must be installed in this process"
+    );
+    let rules = vec![
+        qoco_telemetry::parse_rule("rule guard: rate(guard.noop, 5s) > 1/s => warn")
+            .expect("valid rule"),
+    ];
+    let guard = qoco_telemetry::start_watch(
+        rules,
+        qoco_telemetry::WatchTick::Wall(Duration::from_millis(1)),
+    );
+    assert!(!guard.is_live(), "a disabled watch must not start");
+    assert!(guard.watch().is_none(), "inert guard must hold no watch");
+    assert!(
+        qoco_telemetry::watch().is_none(),
+        "a disabled watch must not install globally"
+    );
+    // Give a hypothetical runaway sampler thread time to tick, then make
+    // sure ticking by hand is still a no-op.
+    std::thread::sleep(Duration::from_millis(5));
+    qoco_telemetry::watch_tick();
+    let dropped_at = Instant::now();
+    drop(guard);
+    assert!(
+        dropped_at.elapsed() < Duration::from_millis(50),
+        "dropping an inert watch guard must not block on a thread join"
     );
 }

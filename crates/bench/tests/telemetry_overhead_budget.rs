@@ -140,3 +140,54 @@ fn sampling_profiler_overhead_stays_within_budget() {
          the sampler must never block mutators"
     );
 }
+
+/// A running qoco-watch must not slow the mutators it observes. Each wall
+/// tick snapshots the metrics registry and evaluates rules off the mutator
+/// threads; mutators only pay the registry's existing sharded counter path
+/// plus the `watch_tick` relaxed load. Same min-of-N interleaved scheme and
+/// loose bound as the profiler test above: a watch that put locking or
+/// evaluation onto the mutator path would show up as multiples.
+#[test]
+fn watch_sampler_overhead_stays_within_budget() {
+    let _serial = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let (db, q) = dense_workload(500);
+    let collector = Arc::new(InMemoryCollector::new());
+    let session = qoco_telemetry::session(collector);
+    assert!(eval_once(&db, &q) > 0); // warm-up under the session
+
+    let rules = qoco_telemetry::parse_rules(
+        "rule budget_assignments: rate(eval.assignments_tried, 1s) > 1/s => info\n\
+         rule budget_p95: p95(eval.assignments) > 10000000000 => warn\n",
+    )
+    .expect("valid budget rules");
+
+    let mut plain_min = u64::MAX;
+    let mut watched_min = u64::MAX;
+    let mut ticks = 0u64;
+    for _ in 0..ROUNDS {
+        plain_min = plain_min.min(time_ns(|| eval_once(&db, &q)));
+
+        let guard = qoco_telemetry::start_watch(
+            rules.clone(),
+            qoco_telemetry::WatchTick::Wall(Duration::from_millis(1)),
+        );
+        assert!(guard.is_live(), "watch must run under a live session");
+        watched_min = watched_min.min(time_ns(|| eval_once(&db, &q)));
+        let watch = guard.watch().expect("live guard holds a watch");
+        drop(guard);
+        ticks += watch.ticks();
+    }
+    drop(session);
+    assert!(
+        ticks > 0,
+        "across {ROUNDS} rounds the watch sampler never ticked — it was not running"
+    );
+
+    let ratio = watched_min as f64 / plain_min as f64;
+    assert!(
+        ratio < NOISE_HEADROOM,
+        "a 1ms watch sampler costs {ratio:.2}× over unwatched eval \
+         (min-of-{ROUNDS}: {watched_min}ns vs {plain_min}ns) — \
+         sampling and rule evaluation must stay off the mutator path"
+    );
+}

@@ -155,20 +155,23 @@ pub fn crowd_remove_wrong_answer_with_tracked<C: CrowdAccess + ?Sized>(
     let mut instance = HittingSetInstance::new(witnesses);
     let upper_bound = instance.universe().len();
 
-    if !instance.is_done() {
+    if !instance.is_done() && qoco_telemetry::enabled() {
         // Provenance: record the plan — the witness system, the naïve
         // upper bound, and the exact hitting-set lower bound the budget
-        // report compares against. Closure runs only when telemetry is on.
+        // report compares against. Guarded on enabled() so the exact
+        // hitting-set solve never runs on the disabled fast path; the
+        // bound also accumulates into the session.lower_bound gauge, which
+        // qoco-watch samples for the live optimality-ratio panel (ratio
+        // rules divide session.questions_asked by it).
+        let lower_bound = instance.minimum_hitting_set().len();
+        qoco_telemetry::gauge_add("session.lower_bound", lower_bound as f64);
         qoco_telemetry::record_decision("deletion.plan", || DecisionDetail {
             question: format!("remove wrong answer {t} from Q(D)"),
             outcome: format!("{} witness set(s) to hit", instance.sets().len()),
             evidence: vec![
                 ("witnesses", render_witnesses(&instance)),
                 ("upper_bound", upper_bound.to_string()),
-                (
-                    "lower_bound",
-                    instance.minimum_hitting_set().len().to_string(),
-                ),
+                ("lower_bound", lower_bound.to_string()),
                 ("selector", selector.name().to_string()),
                 (
                     "shortcut",

@@ -35,12 +35,15 @@ use crate::stats::CrowdStats;
 
 /// Report one crowd interaction to the telemetry layer: bump the
 /// `crowd.questions_asked` counter, the live `session.questions_asked`
-/// gauge, and emit a timeline event. Inert (one atomic load each) while
-/// telemetry is disabled.
+/// gauge, and emit a timeline event, then advance the qoco-watch logical
+/// clock — crowd-answer boundaries *are* the deterministic tick, so a
+/// journal-resumed session replays the identical sample series. Inert
+/// (one atomic load each) while telemetry is disabled or no watch runs.
 fn tel_question(name: &'static str, detail: impl FnOnce() -> String) {
     qoco_telemetry::counter_add("crowd.questions_asked", 1);
     qoco_telemetry::gauge_add("session.questions_asked", 1.0);
     qoco_telemetry::event(name, detail);
+    qoco_telemetry::watch_tick();
 }
 
 /// A question the crowd could not answer even after the retry policy was

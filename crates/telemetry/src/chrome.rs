@@ -30,10 +30,17 @@ fn push_us(out: &mut String, ns: u64) {
 }
 
 fn push_common(out: &mut String, name: &str, ph: char, tid: u64, ts_ns: u64) {
+    // Alert lifecycle instants get their own category so Perfetto's
+    // category filter can isolate the SLO story from the span soup.
+    let cat = if name.starts_with("alert.") {
+        "alert"
+    } else {
+        "qoco"
+    };
     out.push_str("{\"name\":");
     push_json_str(out, name);
     out.push_str(&format!(
-        ",\"cat\":\"qoco\",\"ph\":\"{ph}\",\"pid\":1,\"tid\":{tid},\"ts\":"
+        ",\"cat\":\"{cat}\",\"ph\":\"{ph}\",\"pid\":1,\"tid\":{tid},\"ts\":"
     ));
     push_us(out, ts_ns);
 }
@@ -187,6 +194,23 @@ mod tests {
         assert!(json.contains(r#""name":"thread 0""#));
         assert!(json.contains(r#""parent":"1""#));
         assert!(json.contains(r#""k":"v\"q""#));
+    }
+
+    #[test]
+    fn alert_instants_carry_their_own_category() {
+        let events = vec![EventRecord {
+            at_ns: 42,
+            span: None,
+            thread: 0,
+            name: "alert.firing",
+            detail: "crowd_errors -> firing (value 6.000)".to_string(),
+        }];
+        let json = chrome_trace_json(&[], &events);
+        assert!(
+            json.contains(r#""name":"alert.firing","cat":"alert""#),
+            "{json}"
+        );
+        assert!(json.contains(r#""ph":"i""#));
     }
 
     #[test]

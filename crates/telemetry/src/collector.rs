@@ -182,6 +182,15 @@ impl JsonlCollector {
         }
     }
 
+    /// Append pre-rendered JSONL lines verbatim — how the qoco-watch
+    /// sample series (`SeriesStore::to_jsonl_lines`) rides in the same
+    /// export as spans/events/metrics.
+    pub fn write_raw_lines<'a>(&self, lines: impl IntoIterator<Item = &'a str>) {
+        for line in lines {
+            self.write_line(line);
+        }
+    }
+
     /// Flush buffered output.
     pub fn flush(&self) {
         let _ = unpoisoned(&self.out).flush();

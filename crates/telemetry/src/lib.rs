@@ -53,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod alerts;
 mod chrome;
 mod collector;
 mod decision;
@@ -64,7 +65,12 @@ mod prometheus;
 mod server;
 mod span;
 mod timeline;
+mod timeseries;
 
+pub use alerts::{
+    parse_rule, parse_rules, AlertEngine, AlertStateView, Cmp, EvalOutcome, Expr, Rule, Severity,
+    Transition,
+};
 pub use chrome::{chrome_trace_json, chrome_trace_json_full};
 pub use collector::{Collector, FanoutCollector, InMemoryCollector, JsonlCollector};
 pub use decision::{
@@ -79,6 +85,10 @@ pub use profiler::{
 pub use server::MetricsServer;
 pub use span::{EventRecord, SpanGuard, SpanRecord};
 pub use timeline::{fmt_ns, PhaseAttribution, PhaseTotal, SessionTimeline, TimelineEvent};
+pub use timeseries::{
+    dashboard_html, histogram_quantile, start_watch, watch, watch_tick, Sample, SeriesStore, Watch,
+    WatchGuard, WatchTick, WindowStats, DEFAULT_SERIES_CAPACITY, LOGICAL_TICK_NS,
+};
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -316,6 +326,31 @@ pub fn event(name: &'static str, detail: impl FnOnce() -> String) {
 /// The global metrics registry (live values; snapshot to read them out).
 pub fn metrics() -> &'static MetricsRegistry {
     &GLOBAL_METRICS
+}
+
+/// Identity of this build, attached to metrics exposition and trajectory
+/// lines so dashboards and bench history are attributable to a binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildInfo {
+    /// `qoco-telemetry` crate version (the workspace moves in lockstep).
+    pub version: &'static str,
+    /// Short git hash baked in via `QOCO_GIT_HASH` at compile time,
+    /// `"unknown"` for builds outside the repo scripts.
+    pub git: &'static str,
+    /// `std::thread::available_parallelism()` on this host.
+    pub host_parallelism: usize,
+}
+
+/// The running build's identity; see [`BuildInfo`]. Always available —
+/// not gated on [`enabled`], since it never touches session state.
+pub fn build_info() -> BuildInfo {
+    BuildInfo {
+        version: env!("CARGO_PKG_VERSION"),
+        git: option_env!("QOCO_GIT_HASH").unwrap_or("unknown"),
+        host_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
 }
 
 /// Add to a global counter; no-op while telemetry is disabled.

@@ -81,10 +81,16 @@ impl MetricsRegistry {
         unpoisoned(&self.gauges).insert(name, value);
     }
 
-    /// Add `delta` to the named gauge (starting from 0) — for live
-    /// session-progress gauges that accumulate across call sites.
+    /// Add `delta` to the named gauge (starting from 0), clamping the
+    /// result at zero — for live session-progress gauges that accumulate
+    /// across call sites. These gauges count open work items, which can
+    /// transiently go negative when decrements race a bulk reset (e.g.
+    /// `session.witnesses_open` during a view full-refresh fallback);
+    /// clamping keeps the exposition sane instead of wrapping below zero.
     pub fn gauge_add(&self, name: &'static str, delta: f64) {
-        *unpoisoned(&self.gauges).entry(name).or_insert(0.0) += delta;
+        let mut gauges = unpoisoned(&self.gauges);
+        let e = gauges.entry(name).or_insert(0.0);
+        *e = (*e + delta).max(0.0);
     }
 
     /// Record one observation into the named histogram.
@@ -287,6 +293,22 @@ mod tests {
         assert_eq!(r.snapshot().gauges["g2"], 3.5);
         r.reset();
         assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn gauge_add_clamps_underflow_at_zero() {
+        // session.witnesses_open can transiently go negative during the
+        // view full-refresh fallback; it must clamp, not wrap.
+        let r = MetricsRegistry::new();
+        r.gauge_add("session.witnesses_open", 3.0);
+        r.gauge_add("session.witnesses_open", -5.0);
+        assert_eq!(r.snapshot().gauges["session.witnesses_open"], 0.0);
+        // recovers normally after the clamp
+        r.gauge_add("session.witnesses_open", 2.0);
+        assert_eq!(r.snapshot().gauges["session.witnesses_open"], 2.0);
+        // a decrement on a fresh gauge starts at the floor, not below it
+        r.gauge_add("fresh", -1.0);
+        assert_eq!(r.snapshot().gauges["fresh"], 0.0);
     }
 
     #[test]

@@ -1,18 +1,28 @@
-//! A dependency-free `/metrics` + `/health` HTTP endpoint.
+//! A dependency-free operational HTTP endpoint.
 //!
-//! [`MetricsServer`] binds a `std::net::TcpListener`, answers
-//! `GET /metrics` with the current global registry rendered in the
-//! Prometheus text format (see [`crate::MetricsSnapshot::to_prometheus_text`]),
-//! `GET /health` with a one-object JSON liveness summary (uptime, the live
-//! session-progress gauges, profiler sample totals), and everything else
-//! with a `404` that lists the routes that do exist. One accept-loop
-//! thread, one connection at a time — the payload is a few KB of text for
-//! a scraper that polls every few seconds, so there is nothing to
-//! pipeline.
+//! [`MetricsServer`] binds a `std::net::TcpListener` and answers:
 //!
-//! The server reads the *global* registry directly, so it reflects live
-//! values mid-session (unlike exporters that consume an end-of-session
-//! snapshot). Dropping the guard shuts the listener down.
+//! * `GET /metrics` — the current global registry in Prometheus text
+//!   format (see [`crate::MetricsSnapshot::to_prometheus_text`]) plus a
+//!   constant `qoco_build_info` gauge identifying the binary.
+//! * `GET /health` — a one-object JSON liveness summary (uptime, the live
+//!   session-progress gauges, profiler sample totals).
+//! * `GET /alerts` — the qoco-watch rule states and recent lifecycle
+//!   transitions as JSON.
+//! * `GET /api/timeseries?metric=…[&window=…]` — the sampled ring of one
+//!   metric plus its windowed rate and min/max/last as JSON.
+//! * `GET /dashboard` — a self-contained HTML page with inline-SVG
+//!   sparklines and the alert table (see [`crate::dashboard_html`]).
+//!
+//! Everything else gets a `404` that lists the routes that do exist. Each
+//! route carries its correct `Content-Type` and every response closes the
+//! connection (`Connection: close`). One accept-loop thread, one
+//! connection at a time — the payload is a few KB of text for a scraper
+//! that polls every few seconds, so there is nothing to pipeline.
+//!
+//! The server reads the *global* registry and watch directly, so it
+//! reflects live values mid-session (unlike exporters that consume an
+//! end-of-session snapshot). Dropping the guard shuts the listener down.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -20,6 +30,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use crate::json::push_json_str;
 
 /// A running metrics endpoint; see the module docs. Dropping it stops the
 /// accept loop and joins the serving thread.
@@ -105,6 +117,165 @@ fn health_body(started: Instant) -> String {
     )
 }
 
+/// Push `v` as a JSON number, or `null` when absent/non-finite.
+fn push_json_f64(out: &mut String, v: Option<f64>) {
+    match v {
+        Some(v) if v.is_finite() => out.push_str(&format!("{v}")),
+        _ => out.push_str("null"),
+    }
+}
+
+/// The `GET /metrics` body: Prometheus exposition plus the constant
+/// `qoco_build_info` gauge, so every scrape is attributable to a build.
+fn metrics_body() -> String {
+    let mut text = crate::metrics().snapshot().to_prometheus_text();
+    let b = crate::build_info();
+    text.push_str("# HELP qoco_build_info Build identity (always 1; labels carry the info).\n");
+    text.push_str("# TYPE qoco_build_info gauge\n");
+    text.push_str(&format!(
+        "qoco_build_info{{version=\"{}\",git=\"{}\",host_parallelism=\"{}\"}} 1\n",
+        b.version, b.git, b.host_parallelism
+    ));
+    text
+}
+
+/// The `GET /alerts` body: watch liveness, per-rule lifecycle state, and
+/// the recent transition log.
+fn alerts_body() -> String {
+    let mut out = String::from("{\"watch\":");
+    match crate::watch() {
+        None => out.push_str("false,\"tick\":0,\"states\":[],\"transitions\":[]"),
+        Some(w) => {
+            out.push_str(&format!("true,\"tick\":{},\"states\":[", w.ticks()));
+            for (i, s) in w.alert_states().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"name\":");
+                push_json_str(&mut out, &s.name);
+                out.push_str(",\"rule\":");
+                push_json_str(&mut out, &s.rule);
+                out.push_str(&format!(
+                    ",\"severity\":\"{}\",\"state\":\"{}\",\"last_value\":",
+                    s.severity, s.state
+                ));
+                push_json_f64(&mut out, s.last_value);
+                out.push_str(&format!(
+                    ",\"fired\":{},\"resolved\":{}}}",
+                    s.fired, s.resolved
+                ));
+            }
+            out.push_str("],\"transitions\":[");
+            for (i, t) in w.recent_transitions().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"tick\":{},\"at_ns\":{},\"rule\":",
+                    t.tick, t.at_ns
+                ));
+                push_json_str(&mut out, &t.rule);
+                out.push_str(&format!(",\"to\":\"{}\",\"value\":", t.to));
+                push_json_f64(&mut out, t.value);
+                out.push('}');
+            }
+            out.push(']');
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// The `GET /api/timeseries` body (status, JSON). `metric` is required;
+/// `window` (rule-grammar duration, default 60s) bounds the rate and
+/// min/max/last derivations.
+fn timeseries_body(query: &str) -> (&'static str, String) {
+    let mut metric = None;
+    let mut window = None;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        match k {
+            "metric" => metric = Some(v.to_string()),
+            "window" => window = Some(v.to_string()),
+            _ => {}
+        }
+    }
+    let Some(metric) = metric.filter(|m| !m.is_empty()) else {
+        return (
+            "400 Bad Request",
+            "{\"error\":\"missing `metric` query parameter\"}\n".to_string(),
+        );
+    };
+    let window_ns = match window.as_deref().map(crate::alerts::parse_duration) {
+        None => 60 * crate::LOGICAL_TICK_NS,
+        Some(Ok(ns)) if ns > 0 => ns,
+        Some(other) => {
+            let mut out = String::from("{\"error\":");
+            let msg = match other {
+                Ok(_) => "window must be positive".to_string(),
+                Err(e) => e,
+            };
+            push_json_str(&mut out, &msg);
+            out.push_str("}\n");
+            return ("400 Bad Request", out);
+        }
+    };
+    let Some(w) = crate::watch() else {
+        return (
+            "503 Service Unavailable",
+            "{\"error\":\"no watch is running (start qoco-cli with --watch-rules)\"}\n".to_string(),
+        );
+    };
+    let samples = w.store().samples(&metric);
+    if samples.is_empty() {
+        let mut out = String::from("{\"error\":\"no samples for metric\",\"metric\":");
+        push_json_str(&mut out, &metric);
+        out.push_str(",\"known\":[");
+        for (i, name) in w.store().names().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, name);
+        }
+        out.push_str("]}\n");
+        return ("404 Not Found", out);
+    }
+    let now_ns = samples.last().map(|s| s.at_ns).unwrap_or(0);
+    let mut out = String::from("{\"metric\":");
+    push_json_str(&mut out, &metric);
+    out.push_str(&format!(
+        ",\"window_ns\":{window_ns},\"now_ns\":{now_ns},\"rate_per_s\":"
+    ));
+    push_json_f64(&mut out, w.store().rate(&metric, window_ns, now_ns));
+    out.push_str(",\"stats\":");
+    match w.store().window_stats(&metric, window_ns, now_ns) {
+        None => out.push_str("null"),
+        Some(st) => {
+            out.push_str("{\"min\":");
+            push_json_f64(&mut out, Some(st.min));
+            out.push_str(",\"max\":");
+            push_json_f64(&mut out, Some(st.max));
+            out.push_str(",\"last\":");
+            push_json_f64(&mut out, Some(st.last));
+            out.push_str(&format!(",\"count\":{}}}", st.count));
+        }
+    }
+    out.push_str(",\"samples\":[");
+    for (i, s) in samples.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"tick\":{},\"at_ns\":{},\"value\":",
+            s.tick, s.at_ns
+        ));
+        push_json_f64(&mut out, Some(s.value));
+        out.push('}');
+    }
+    out.push_str("]}\n");
+    ("200 OK", out)
+}
+
 /// Handle one connection: parse the request line, answer, close.
 fn serve_one(mut stream: TcpStream, started: Instant) -> std::io::Result<()> {
     // Read until the end of the request head (or 4 KB, whichever first);
@@ -131,31 +302,37 @@ fn serve_one(mut stream: TcpStream, started: Instant) -> std::io::Result<()> {
     let path = request_line.next().unwrap_or("");
 
     const PROM_TEXT: &str = "text/plain; version=0.0.4; charset=utf-8";
+    const PLAIN: &str = "text/plain; charset=utf-8";
+    const JSON: &str = "application/json";
+    const HTML: &str = "text/html; charset=utf-8";
+    let (route, query) = path.split_once('?').unwrap_or((path, ""));
     let overlong = len >= MAX_REQUEST_LINE && !buf[..len].contains(&b'\n');
     let (status, content_type, body) = if overlong {
         (
             "414 URI Too Long",
-            PROM_TEXT,
+            PLAIN,
             "request line too long\n".to_string(),
         )
     } else {
-        match (method, path) {
-            ("GET", "/metrics") => (
-                "200 OK",
-                PROM_TEXT,
-                crate::metrics().snapshot().to_prometheus_text(),
-            ),
-            ("GET", "/health") => ("200 OK", "application/json", health_body(started)),
+        match (method, route) {
+            ("GET", "/metrics") => ("200 OK", PROM_TEXT, metrics_body()),
+            ("GET", "/health") => ("200 OK", JSON, health_body(started)),
+            ("GET", "/alerts") => ("200 OK", JSON, alerts_body()),
+            ("GET", "/dashboard") => ("200 OK", HTML, crate::dashboard_html()),
+            ("GET", "/api/timeseries") => {
+                let (status, body) = timeseries_body(query);
+                (status, JSON, body)
+            }
             ("GET", _) => (
                 "404 Not Found",
-                PROM_TEXT,
-                format!("no such route: {path}\nroutes: GET /metrics, GET /health\n"),
+                PLAIN,
+                format!(
+                    "no such route: {path}\nroutes: GET /metrics, GET /health, \
+                     GET /alerts, GET /dashboard, \
+                     GET /api/timeseries?metric=<name>[&window=<dur>]\n"
+                ),
             ),
-            _ => (
-                "405 Method Not Allowed",
-                PROM_TEXT,
-                "GET only\n".to_string(),
-            ),
+            _ => ("405 Method Not Allowed", PLAIN, "GET only\n".to_string()),
         }
     };
     let response = format!(
@@ -224,6 +401,95 @@ mod tests {
         assert!(response.contains("\"witnesses_open\":2"));
         assert!(response.contains("\"uptime_s\":"));
         assert!(response.contains("\"profile\":{\"samples\":"));
+        drop(server);
+        drop(session);
+    }
+
+    #[test]
+    fn every_route_carries_its_content_type_and_connection_close() {
+        let server = MetricsServer::start("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = server.local_addr();
+        for (path, content_type) in [
+            (
+                "/metrics",
+                "Content-Type: text/plain; version=0.0.4; charset=utf-8",
+            ),
+            ("/health", "Content-Type: application/json"),
+            ("/alerts", "Content-Type: application/json"),
+            ("/api/timeseries?metric=x", "Content-Type: application/json"),
+            ("/dashboard", "Content-Type: text/html; charset=utf-8"),
+            ("/nope", "Content-Type: text/plain; charset=utf-8"),
+        ] {
+            let response = http_get(addr, path);
+            assert!(response.contains(content_type), "{path}: {response}");
+            assert!(response.contains("Connection: close"), "{path}: {response}");
+        }
+    }
+
+    #[test]
+    fn metrics_exposition_includes_build_info() {
+        let server = MetricsServer::start("127.0.0.1:0").expect("bind ephemeral port");
+        let response = http_get(server.local_addr(), "/metrics");
+        assert!(
+            response.contains("# TYPE qoco_build_info gauge"),
+            "{response}"
+        );
+        let b = crate::build_info();
+        assert!(
+            response.contains(&format!(
+                "qoco_build_info{{version=\"{}\",git=\"{}\",host_parallelism=\"{}\"}} 1",
+                b.version, b.git, b.host_parallelism
+            )),
+            "{response}"
+        );
+    }
+
+    #[test]
+    fn watch_routes_serve_alerts_timeseries_and_dashboard() {
+        let collector = Arc::new(InMemoryCollector::new());
+        let session = crate::session(collector);
+        let server = MetricsServer::start("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = server.local_addr();
+        // without a watch: /alerts degrades gracefully, /api/timeseries 503s
+        let response = http_get(addr, "/alerts");
+        assert!(response.contains("\"watch\":false"), "{response}");
+        let response = http_get(addr, "/api/timeseries?metric=crowd.faults");
+        assert!(response.starts_with("HTTP/1.1 503"), "{response}");
+        // missing metric param is the caller's error, watch or not
+        let response = http_get(addr, "/api/timeseries");
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+
+        let rules = crate::parse_rules("rule faults: rate(crowd.faults, 5s) > 1/s => warn")
+            .expect("valid rule");
+        let guard = crate::start_watch(rules, crate::WatchTick::Logical);
+        for _ in 0..3 {
+            crate::counter_add("crowd.faults", 4);
+            crate::watch_tick();
+        }
+        let response = http_get(addr, "/alerts");
+        assert!(response.contains("\"watch\":true"), "{response}");
+        assert!(response.contains("\"name\":\"faults\""), "{response}");
+        assert!(response.contains("\"state\":\"firing\""), "{response}");
+        let response = http_get(addr, "/api/timeseries?metric=crowd.faults&window=5s");
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        assert!(
+            response.contains("\"metric\":\"crowd.faults\""),
+            "{response}"
+        );
+        assert!(response.contains("\"samples\":[{\"tick\":1"), "{response}");
+        assert!(response.contains("\"rate_per_s\":"), "{response}");
+        let response = http_get(addr, "/api/timeseries?metric=unknown.metric");
+        assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+        assert!(response.contains("\"known\":["), "{response}");
+        let response = http_get(addr, "/api/timeseries?metric=crowd.faults&window=bogus");
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+        let response = http_get(addr, "/dashboard");
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        assert!(
+            response.contains("<svg"),
+            "live dashboard draws sparklines: {response}"
+        );
+        drop(guard);
         drop(server);
         drop(session);
     }

@@ -214,6 +214,98 @@ cargo run -q --release -p qoco-bench --bin qoco-bench -- \
   || { echo "profile --diff: self-diff must agree" >&2; exit 1; }
 echo "profiling smoke-run: OK"
 
+echo "== qoco-watch smoke-run =="
+# SLO rules for the chaos session: the crowd-error rule is deliberately
+# tripped by the injected timeout burst (two faulted asks land on one
+# early tick → rate 2/s > 0.5/s), then resolves once the window slides
+# past the burst; the flood rule never trips.
+watch_rules="$work/watch.rules"
+printf '%s\n' \
+  'rule crowd_errors: rate(crowd.faults, 1s) > 0.5/s => warn' \
+  'rule question_flood: rate(crowd.questions_asked, 10s) > 1000/s => info' \
+  > "$watch_rules"
+
+# fresh watched chaos run: logical ticks, series exported as JSONL samples
+watch_series="$work/watch.jsonl"
+watch_out="$work/watch.out"
+chaos_script "$work/clean-watched" | ./target/release/qoco-cli \
+  --telemetry "$watch_series" --watch-rules "$watch_rules" \
+  --faults 'burst@2+2=timeout' > "$watch_out" 2> "$work/watch.err"
+grep -q '^alerts: ' "$watch_out" \
+  || { echo "watch: no alert summary in the cleaning report" >&2; exit 1; }
+grep -q '"type":"sample"' "$watch_series" \
+  || { echo "watch: no sample series in the telemetry export" >&2; exit 1; }
+grep -q '"name":"alert.firing"' "$watch_series" \
+  || { echo "watch: no alert.firing event in the telemetry export" >&2; exit 1; }
+
+# offline replay re-derives the alert timeline from the exported series and
+# must see the burst rule fire AND resolve
+cargo run -q --release -p qoco-bench --bin qoco-bench -- \
+  watch-replay "$watch_series" --rules "$watch_rules" \
+  --expect-fire crowd_errors --expect-resolve crowd_errors \
+  > "$work/replay-fresh.txt"
+
+# determinism: kill the same watched session mid-run, resume it, and the
+# replayed alert timeline must be byte-identical to the fresh run's
+code=0
+chaos_script "$work/clean-wkilled" | ./target/release/qoco-cli \
+  --journal "$work/watch.journal" --watch-rules "$watch_rules" \
+  --faults 'burst@2+2=timeout' --kill-after 4 > /dev/null 2>&1 || code=$?
+[ "$code" -eq 86 ] || { echo "watch kill: expected exit 86, got $code" >&2; exit 1; }
+chaos_script "$work/clean-wresumed" | ./target/release/qoco-cli \
+  --telemetry "$work/watch-resumed.jsonl" --resume "$work/watch.journal" \
+  --watch-rules "$watch_rules" --faults 'burst@2+2=timeout' > /dev/null
+cargo run -q --release -p qoco-bench --bin qoco-bench -- \
+  watch-replay "$work/watch-resumed.jsonl" --rules "$watch_rules" \
+  --expect-fire crowd_errors --expect-resolve crowd_errors \
+  > "$work/replay-resumed.txt"
+diff "$work/replay-fresh.txt" "$work/replay-resumed.txt" \
+  || { echo "watch-replay: fresh and resumed alert timelines differ" >&2; exit 1; }
+echo "watch-replay reproduces the alert timeline across kill/resume: OK"
+
+# live surfaces: hold a watched session open on a FIFO and curl the
+# dashboard, the alert state and the timeseries API on an ephemeral port
+fifo="$work/cli.fifo"
+mkfifo "$fifo"
+./target/release/qoco-cli --metrics-port 0 --watch-rules "$watch_rules" \
+  < "$fifo" > "$work/watch-live.out" 2> "$work/watch-live.err" &
+cli_pid=$!
+trap 'kill "$cli_pid" 2>/dev/null || true; rm -rf "$work"' EXIT
+exec 3> "$fifo"
+printf '%s\n' \
+  'relation Games date winner runner_up stage result' \
+  'relation Teams country continent' \
+  "load $work/dirty" \
+  "ground $work/ground" \
+  'query Q1(x) :- Games(d1, x, y, "Final", u1), Games(d2, x, z, "Final", u2), Teams(x, "EU"), d1 != d2.' \
+  'clean Q1 qoco provenance' >&3
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's|serving metrics on http://\([^/]*\)/metrics|\1|p' "$work/watch-live.err")"
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "watch live: metrics server never announced its port" >&2; exit 1; }
+series_json=""
+for _ in $(seq 1 100); do
+  series_json="$(curl -sf "http://$addr/api/timeseries?metric=crowd.questions_asked&window=30s" || true)"
+  case "$series_json" in *'"samples"'*) break ;; esac
+  sleep 0.1
+done
+case "$series_json" in
+  *'"metric":"crowd.questions_asked"'*) ;;
+  *) echo "watch live: /api/timeseries returned no series: $series_json" >&2; exit 1 ;;
+esac
+curl -sf "http://$addr/dashboard" | grep -q '<svg' \
+  || { echo "watch live: /dashboard has no sparklines" >&2; exit 1; }
+curl -sf "http://$addr/alerts" | grep -q '"crowd_errors"' \
+  || { echo "watch live: /alerts does not list the rules" >&2; exit 1; }
+printf 'quit\n' >&3
+exec 3>&-
+wait "$cli_pid"
+trap 'rm -rf "$work"' EXIT
+echo "live dashboard, alerts and timeseries API: OK"
+
 echo "== perf regression gate (quick) =="
 gate_quick="$work/gate-quick.out"
 cargo run -q --release -p qoco-bench --bin qoco-bench -- regressions --check --quick \

@@ -30,6 +30,17 @@
 //!   sampling profiler and write the capture at exit: a self-contained
 //!   flamegraph SVG when the path ends in `.svg`, folded stack lines
 //!   (`clean.session;eval.assignments 412`) otherwise.
+//! * `--watch-rules <file>` — load qoco-watch SLO/alert rules (one
+//!   `rule name: expr cmp threshold [for dur] => severity` per line) and
+//!   run the time-series watch for the whole session. Alert lifecycle
+//!   edges land in the telemetry export and Chrome trace; the live state
+//!   is served on `/alerts` and `/dashboard` when `--metrics-port` is
+//!   also given, and the sampled series rides in the `--telemetry` export
+//!   as `"type":"sample"` lines for `qoco-bench watch-replay`.
+//! * `--watch-tick <ms|logical>` — how the watch samples: a wall-clock
+//!   interval in milliseconds, or `logical` (the default) ticking once per
+//!   crowd answer — deterministic, so fresh and resumed sessions export
+//!   identical series. Implies a watch even without `--watch-rules`.
 //!
 //! Robustness flags (combinable with the above):
 //!
@@ -428,6 +439,11 @@ impl Session {
                         j.divergences()
                     )?;
                 }
+                if let Some(w) = qoco_telemetry::watch() {
+                    if !w.alert_states().is_empty() {
+                        writeln!(out, "{}", w.summary_line())?;
+                    }
+                }
                 Ok(Ok(()))
             }
             Err(e) => Ok(Err(e.to_string())),
@@ -495,6 +511,8 @@ fn main() -> io::Result<()> {
     let mut journal_path: Option<String> = None;
     let mut resume_path: Option<String> = None;
     let mut kill_after: Option<u64> = None;
+    let mut watch_rules_path: Option<String> = None;
+    let mut watch_tick_spec: Option<String> = None;
     let mut args = argv.into_iter();
     let missing = |flag: &str, what: &str| {
         io::Error::new(io::ErrorKind::InvalidInput, format!("{flag} needs {what}"))
@@ -555,12 +573,24 @@ fn main() -> io::Result<()> {
                     .ok_or_else(|| missing("--kill-after", "an answer count"))?;
                 kill_after = Some(n);
             }
+            "--watch-rules" => {
+                watch_rules_path = Some(
+                    args.next()
+                        .ok_or_else(|| missing("--watch-rules", "a rules file path"))?,
+                );
+            }
+            "--watch-tick" => {
+                watch_tick_spec = Some(args.next().ok_or_else(|| {
+                    missing("--watch-tick", "`logical` or a millisecond interval")
+                })?);
+            }
             other => {
                 return Err(invalid(format!(
                     "unknown argument `{other}` (supported: --telemetry <path>, \
                      --trace <path>, --metrics-port <port>, --profile <path>, \
                      --faults <spec>, --journal <path>, --resume <path>, \
-                     --kill-after <n>)"
+                     --kill-after <n>, --watch-rules <file>, \
+                     --watch-tick <ms|logical>)"
                 )));
             }
         }
@@ -601,7 +631,11 @@ fn main() -> io::Result<()> {
         Some(path) => Some(Arc::new(qoco::telemetry::JsonlCollector::create(path)?)),
         None => None,
     };
-    let needs_fallback_sink = (metrics_port.is_some() || profile_path.is_some()) && jsonl.is_none();
+    let needs_fallback_sink = (metrics_port.is_some()
+        || profile_path.is_some()
+        || watch_rules_path.is_some()
+        || watch_tick_spec.is_some())
+        && jsonl.is_none();
     let in_memory = (trace_path.is_some() || needs_fallback_sink)
         .then(|| Arc::new(qoco::telemetry::InMemoryCollector::new()));
     let mut sinks: Vec<Arc<dyn qoco::telemetry::Collector>> = Vec::new();
@@ -629,6 +663,42 @@ fn main() -> io::Result<()> {
         }
         None => None,
     };
+    // qoco-watch: sample the metrics registry into ring-buffer series and
+    // evaluate SLO/alert rules over them. `--watch-tick` alone starts a
+    // rule-less watch (dashboard sparklines only).
+    let watch_guard = if watch_rules_path.is_some() || watch_tick_spec.is_some() {
+        let rules = match &watch_rules_path {
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| invalid(format!("--watch-rules {path}: {e}")))?;
+                qoco::telemetry::parse_rules(&text)
+                    .map_err(|e| invalid(format!("--watch-rules {path}: {e}")))?
+            }
+            None => Vec::new(),
+        };
+        let tick = match watch_tick_spec.as_deref() {
+            None | Some("logical") => qoco::telemetry::WatchTick::Logical,
+            Some(ms) => {
+                let ms: u64 = ms.parse().map_err(|_| {
+                    invalid(format!(
+                        "--watch-tick needs `logical` or a millisecond interval, got `{ms}`"
+                    ))
+                })?;
+                if ms == 0 {
+                    return Err(invalid("--watch-tick interval must be positive".into()));
+                }
+                qoco::telemetry::WatchTick::Wall(std::time::Duration::from_millis(ms))
+            }
+        };
+        let mode = match tick {
+            qoco::telemetry::WatchTick::Logical => "logical ticks".to_string(),
+            qoco::telemetry::WatchTick::Wall(d) => format!("{}ms ticks", d.as_millis()),
+        };
+        eprintln!("qoco-watch: {} rule(s), {mode}", rules.len());
+        Some(qoco::telemetry::start_watch(rules, tick))
+    } else {
+        None
+    };
 
     let stdin = io::stdin();
     let stdout = io::stdout();
@@ -653,6 +723,18 @@ fn main() -> io::Result<()> {
             "profile: {} sample(s), {} dropped → {path}",
             profile.samples, profile.dropped
         );
+    }
+    // Stop the watch before the final metrics snapshot: dropping the guard
+    // takes one last deterministic tick, so end-of-session values land in
+    // both the sample series and the `"type":"metrics"` line below.
+    let watch = watch_guard.as_ref().and_then(|g| g.watch());
+    drop(watch_guard);
+    if let Some(w) = &watch {
+        eprintln!("{}", w.summary_line());
+        if let Some(collector) = &jsonl {
+            let lines = w.store().to_jsonl_lines();
+            collector.write_raw_lines(lines.iter().map(String::as_str));
+        }
     }
     if let Some(collector) = &jsonl {
         collector.write_metrics(&qoco::telemetry::metrics().snapshot());
