@@ -23,6 +23,10 @@
 //! * `validate-decisions FILE` — structurally validate the decision-
 //!   provenance lines of a `--telemetry` JSONL export (unique positive
 //!   ids, string evidence), requiring any `--require-kind NAME` kinds.
+//! * `validate-sessions` — the serve-replay correctness gate: drive the
+//!   Figure 1 session to completion, then rehydrate from every journal
+//!   prefix (every possible `kill -9` point) and require a byte-identical
+//!   final report, plus duplicate/out-of-order submission rejection.
 //! * `watch-replay SERIES --rules FILE` — re-evaluate qoco-watch alert
 //!   rules offline over the `"type":"sample"` lines of a `--telemetry`
 //!   export and print the deterministic alert timeline. `--expect-fire
@@ -57,6 +61,7 @@ fn usage() -> ExitCode {
          qoco-bench validate-trace FILE [--min-tracks N] [--require-span NAME]...\n       \
          qoco-bench validate-flamegraph FILE [--require-frame NAME]...\n       \
          qoco-bench validate-decisions FILE [--require-kind NAME]...\n       \
+         qoco-bench validate-sessions\n       \
          qoco-bench watch-replay SERIES --rules FILE [--expect-fire RULE]... \
          [--expect-resolve RULE]..."
     );
@@ -71,8 +76,29 @@ fn main() -> ExitCode {
         Some("validate-trace") => run_validate_trace(&args[1..]),
         Some("validate-flamegraph") => run_validate_flamegraph(&args[1..]),
         Some("validate-decisions") => run_validate_decisions(&args[1..]),
+        Some("validate-sessions") => run_validate_sessions(&args[1..]),
         Some("watch-replay") => run_watch_replay(&args[1..]),
         _ => usage(),
+    }
+}
+
+fn run_validate_sessions(args: &[String]) -> ExitCode {
+    if !args.is_empty() {
+        return usage();
+    }
+    match qoco_bench::session_check::validate_sessions() {
+        Ok(summary) => {
+            println!(
+                "serve-replay gate: {} answer(s), {} journal prefix(es) replayed \
+                 byte-identically; duplicates and out-of-order submissions bounced",
+                summary.answers, summary.prefixes
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: serve-replay gate failed: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 

@@ -18,6 +18,7 @@ pub mod profile_cmd;
 pub mod regressions;
 pub mod scaling;
 pub mod seed_eval;
+pub mod session_check;
 pub mod table;
 pub mod trace_check;
 pub mod watch_replay;

@@ -1,0 +1,189 @@
+//! `validate-sessions` — the serve-replay correctness gate.
+//!
+//! The session service's crash-recovery story rests on one claim: a
+//! cleaning session is a deterministic function of (spec, answer
+//! sequence), so rehydrating a machine from any journal prefix and
+//! finishing it yields the *same* final report as the uninterrupted run.
+//! This gate proves the claim exhaustively for the Figure 1 fixture:
+//!
+//! 1. drive a fresh [`SessionMachine`] to completion with a perfect
+//!    oracle, capturing the canonical report text and the journal;
+//! 2. for **every** prefix of that journal — every point a `kill -9`
+//!    could land — rehydrate a machine from the prefix, check it parks on
+//!    exactly the next question, finish it, and byte-compare the report;
+//! 3. replay each prefix through the journal *line* round-trip
+//!    (`to_line` → `parse_line`) to cover the on-disk representation;
+//! 4. re-submit every already-consumed answer (idempotency: acknowledged
+//!    as duplicates, log unchanged) and a batch of out-of-order /
+//!    wrong-shape submissions (rejected, log unchanged).
+//!
+//! Any divergence is a gate failure: it means a crashed-and-restarted
+//! `qoco-serve` could finish a session differently than an uninterrupted
+//! one.
+
+use qoco_core::{
+    figure1_ground, figure1_spec, SessionMachine, SessionState, SubmitError, SubmitOutcome,
+};
+use qoco_crowd::{Answer, JournalRecord, Oracle, OracleError, PerfectOracle};
+
+/// What [`validate_sessions`] verified, for the success banner.
+pub struct SessionCheckSummary {
+    /// Answers the canonical run consumed.
+    pub answers: usize,
+    /// Journal prefixes replayed (= answers + 1, counting the empty one).
+    pub prefixes: usize,
+    /// The canonical report text every replay was compared against.
+    pub report: String,
+}
+
+fn finish_with_oracle(
+    m: &mut SessionMachine,
+    oracle: &mut PerfectOracle,
+) -> Result<String, String> {
+    for _ in 0..1000 {
+        match m.state() {
+            SessionState::AwaitingAnswers(p) => {
+                let seq = p.seq;
+                let answer = oracle
+                    .answer(&p.question)
+                    .map_err(|e| format!("perfect oracle failed: {e:?}"))?;
+                match m.submit(seq, Ok(answer)) {
+                    Ok(SubmitOutcome::Applied) => {}
+                    other => return Err(format!("submit(seq {seq}) returned {other:?}")),
+                }
+            }
+            SessionState::Finished(f) => return Ok(f.report.to_string()),
+            SessionState::Failed(e) => return Err(format!("session failed: {e}")),
+        }
+    }
+    Err("session did not converge within 1000 answers".to_string())
+}
+
+fn line_round_trip(log: &[JournalRecord]) -> Result<Vec<JournalRecord>, String> {
+    log.iter()
+        .map(|r| {
+            let line = r.to_line(); // newline-terminated, as written to disk
+            JournalRecord::parse_line(line.trim_end_matches('\n'))
+                .map_err(|e| format!("journal line {line:?} does not parse back: {e}"))
+        })
+        .collect()
+}
+
+/// Run the serve-replay gate; `Err` carries the first divergence found.
+pub fn validate_sessions() -> Result<SessionCheckSummary, String> {
+    // 1. the canonical, uninterrupted run
+    let mut canonical = SessionMachine::new(figure1_spec());
+    let mut oracle = PerfectOracle::new(figure1_ground());
+    let report = finish_with_oracle(&mut canonical, &mut oracle)?;
+    let log = canonical.log().to_vec();
+
+    // 2+3. every crash point: rehydrate from each on-disk prefix
+    for k in 0..=log.len() {
+        let prefix = line_round_trip(&log[..k])?;
+        let mut m = SessionMachine::rehydrate(figure1_spec(), prefix);
+        if k < log.len() {
+            match m.state() {
+                SessionState::AwaitingAnswers(p) if p.seq == (k + 1) as u64 => {}
+                other => {
+                    return Err(format!(
+                        "prefix {k}: expected to park on seq {}, got {}",
+                        k + 1,
+                        state_brief(other)
+                    ))
+                }
+            }
+        }
+        let mut oracle = PerfectOracle::new(figure1_ground());
+        let replayed = finish_with_oracle(&mut m, &mut oracle)?;
+        if replayed != report {
+            return Err(format!(
+                "prefix {k}: replayed report diverges from the canonical run\n\
+                 --- canonical ---\n{report}\n--- replayed ---\n{replayed}"
+            ));
+        }
+    }
+
+    // 4. idempotency and rejection leave a finished session untouched
+    let mut m = SessionMachine::rehydrate(figure1_spec(), log.clone());
+    let len = m.log().len();
+    for record in &log {
+        match m.submit(record.seq, record.outcome.clone()) {
+            Ok(SubmitOutcome::Duplicate) => {}
+            other => {
+                return Err(format!(
+                    "re-submitting consumed seq {} returned {other:?}, want Duplicate",
+                    record.seq
+                ))
+            }
+        }
+    }
+    if m.log().len() != len {
+        return Err("duplicate submissions grew the journal".to_string());
+    }
+    for (seq, outcome, want) in [
+        (
+            log.len() as u64 + 1,
+            Ok(Answer::Bool(true)),
+            SubmitError::NotAwaiting,
+        ),
+        (
+            log.len() as u64 + 7,
+            Err(OracleError::Timeout),
+            SubmitError::NotAwaiting,
+        ),
+    ] {
+        match m.submit(seq, outcome) {
+            Err(e) if e == want => {}
+            other => {
+                return Err(format!(
+                    "submit(seq {seq}) returned {other:?}, want {want:?}"
+                ))
+            }
+        }
+    }
+    // ...and on a half-done session, out-of-order and wrong shapes bounce
+    let mut half = SessionMachine::rehydrate(figure1_spec(), line_round_trip(&log[..1])?);
+    let half_len = half.log().len();
+    if !matches!(
+        half.submit(9_999, Ok(Answer::Bool(true))),
+        Err(SubmitError::OutOfOrder { .. })
+    ) {
+        return Err("future seq was not rejected as out-of-order".to_string());
+    }
+    if !matches!(
+        half.submit(2, Err(OracleError::Timeout)),
+        Err(SubmitError::BadFault)
+    ) {
+        return Err("a timeout submission was not rejected".to_string());
+    }
+    if half.log().len() != half_len {
+        return Err("rejected submissions grew the journal".to_string());
+    }
+
+    Ok(SessionCheckSummary {
+        answers: log.len(),
+        prefixes: log.len() + 1,
+        report,
+    })
+}
+
+fn state_brief(s: &SessionState) -> String {
+    match s {
+        SessionState::AwaitingAnswers(p) => format!("awaiting seq {}", p.seq),
+        SessionState::Finished(_) => "finished".to_string(),
+        SessionState::Failed(e) => format!("failed: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_gate_passes_on_the_current_implementation() {
+        let summary = validate_sessions().expect("serve-replay gate");
+        assert!(summary.answers >= 3, "figure 1 needs a few questions");
+        assert_eq!(summary.prefixes, summary.answers + 1);
+        assert!(summary.report.contains("1 wrong answer(s) removed"));
+    }
+}

@@ -1,0 +1,71 @@
+//! The paper's Figure 1 running example as a canonical session fixture.
+//!
+//! The dirty database holds World Cup finals with one false fact —
+//! `Games("12.07.98", "ESP", "NED", "Final", "4:2")` (France, not Spain,
+//! won that final) — which makes `(ESP)` a wrong answer of the two-time
+//! EU-winners query Q1. The ground truth is the dirty database without
+//! that fact; Q1 over it has no missing answers, so a perfectly-answered
+//! cleaning session converges after one deletion.
+//!
+//! Shared by the core machine tests, the serve API's
+//! `{"example":"figure1"}` constructor, the `qoco-serve oracle` helper,
+//! and the bench crate's `validate-sessions` replay gate — all of which
+//! rely on cleaning being a deterministic function of (this spec, the
+//! answer sequence).
+
+use qoco_data::{Database, Fact, Schema, Tuple, Value};
+use qoco_query::parse_query;
+
+use crate::{CleaningConfig, SessionSpec};
+
+fn row(cells: &[&str]) -> Tuple {
+    Tuple::new(cells.iter().map(Value::text).collect())
+}
+
+/// The Figure 1 cleaning-session spec: dirty database + query Q1.
+pub fn figure1_spec() -> SessionSpec {
+    let schema = Schema::builder()
+        .relation("Games", &["date", "winner", "runner_up", "stage", "result"])
+        .relation("Teams", &["country", "continent"])
+        .build()
+        .expect("static schema");
+    let mut dirty = Database::empty(schema.clone());
+    for r in [
+        ["13.07.14", "GER", "ARG", "Final", "1:0"],
+        ["11.07.10", "ESP", "NED", "Final", "1:0"],
+        ["12.07.98", "ESP", "NED", "Final", "4:2"],
+        ["12.07.98", "FRA", "BRA", "Final", "3:0"],
+    ] {
+        dirty.insert_named("Games", row(&r)).expect("static rows");
+    }
+    for r in [["GER", "EU"], ["ESP", "EU"]] {
+        dirty.insert_named("Teams", row(&r)).expect("static rows");
+    }
+    let query = parse_query(
+        &schema,
+        "Q1(x) :- Games(d1, x, y, \"Final\", u1), Games(d2, x, z, \"Final\", u2), \
+         Teams(x, \"EU\"), d1 != d2",
+    )
+    .expect("static query");
+    SessionSpec {
+        query,
+        dirty,
+        config: CleaningConfig::default(),
+        deadline_ms: None,
+    }
+}
+
+/// Figure 1's ground truth: the dirty database minus the false final.
+/// What a perfect crowd member consults when answering the session's
+/// questions; the server never sees it.
+pub fn figure1_ground() -> Database {
+    let spec = figure1_spec();
+    let mut g = spec.dirty;
+    let games = g.schema().rel_id("Games").expect("static schema");
+    g.remove(&Fact::new(
+        games,
+        row(&["12.07.98", "ESP", "NED", "Final", "4:2"]),
+    ))
+    .expect("fact present");
+    g
+}

@@ -31,13 +31,16 @@ pub mod composite;
 pub mod constrained;
 pub mod deletion;
 pub mod error;
+pub mod figure1;
 pub mod heuristics;
 pub mod hitting_set;
 pub mod insertion;
+pub mod machine;
 pub mod multi;
 pub mod naive;
 pub mod report;
 pub mod split;
+pub mod store;
 mod tracked;
 pub mod ucq_clean;
 
@@ -51,12 +54,16 @@ pub use deletion::{
     crowd_remove_wrong_answer_with_tracked, DeletionOutcome, DeletionStrategy,
 };
 pub use error::CleanError;
+pub use figure1::{figure1_ground, figure1_spec};
 pub use heuristics::{
     MostFrequentSelector, RandomSelector, ResponsibilitySelector, TrustSelector, TupleSelector,
 };
 pub use hitting_set::HittingSetInstance;
 pub use insertion::{
     crowd_add_missing_answer, crowd_add_missing_answer_tracked, InsertionOptions, InsertionOutcome,
+};
+pub use machine::{
+    FinishedSession, SessionMachine, SessionSpec, SessionState, SubmitError, SubmitOutcome,
 };
 pub use multi::{clean_view_parallel, ParallelMajorityCrowd};
 pub use naive::{naive_enumeration, TargetAction};
@@ -65,4 +72,5 @@ pub use split::{
     InstrumentedSplit, MinCutSplit, NaiveSplit, ProvenanceSplit, RandomSplit, SplitStrategy,
     SplitStrategyKind,
 };
+pub use store::{deletion_from_str, deletion_to_str, split_from_str, split_to_str, SessionStore};
 pub use ucq_clean::{clean_union_view, union_answer_set};

@@ -77,6 +77,21 @@ pub struct JournalRecord {
     pub decision: Option<u64>,
 }
 
+impl JournalRecord {
+    /// Serialize this record as one journal line (newline-terminated, the
+    /// exact bytes [`JournalOracle`] writes). Exposed so external writers
+    /// — the serve session store appends answer records outside any
+    /// oracle — produce journals [`Journal::parse`] reads back.
+    pub fn to_line(&self) -> String {
+        serialize_record(self)
+    }
+
+    /// Parse one journal line (without its trailing newline).
+    pub fn parse_line(line: &str) -> Result<JournalRecord, String> {
+        parse_record(line)
+    }
+}
+
 struct JournalInner {
     /// Where appended records go (`None` for a purely in-memory journal).
     writer: Option<Box<dyn Write + Send>>,
@@ -87,6 +102,7 @@ struct JournalInner {
     seq: u64,
     replayed: u64,
     divergences: u64,
+    write_errors: u64,
 }
 
 /// A shared handle to one session journal. Clone it freely: all clones
@@ -107,6 +123,7 @@ impl Journal {
                 seq: 0,
                 replayed: 0,
                 divergences: 0,
+                write_errors: 0,
             })),
         }
     }
@@ -209,6 +226,16 @@ impl Journal {
         self.lock().replay.len()
     }
 
+    /// Journal appends that failed at the I/O layer (short write, full
+    /// disk). Each one was surfaced to the session as
+    /// [`OracleError::Dropped`] — the write-ahead invariant (nothing is
+    /// consumed that is not on disk) is kept by *failing the answer*, so
+    /// the session degrades to a PARTIAL REPORT instead of silently
+    /// consuming an unjournaled outcome.
+    pub fn write_errors(&self) -> u64 {
+        self.lock().write_errors
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, JournalInner> {
         // a poisoned journal is still readable; the data is plain
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
@@ -267,11 +294,24 @@ impl<O: Oracle> Oracle for JournalOracle<O> {
         };
         // Write-ahead: append + flush before the caller consumes the
         // outcome, so a crash at any question boundary leaves the journal
-        // covering everything the session saw.
+        // covering everything the session saw. If the append itself fails
+        // (short write, full disk) the outcome must NOT be consumed — a
+        // later resume could not replay it — so the answer is dropped:
+        // the caller sees `Err(Dropped)` and the session degrades to a
+        // PARTIAL REPORT through the ordinary fault machinery.
         if let Some(w) = inner.writer.as_mut() {
             let line = serialize_record(&record);
-            let _ = w.write_all(line.as_bytes());
-            let _ = w.flush();
+            let wrote = w.write_all(line.as_bytes()).and_then(|_| w.flush());
+            if wrote.is_err() {
+                inner.write_errors += 1;
+                qoco_telemetry::counter_add("journal.write_errors", 1);
+                let failed = JournalRecord {
+                    outcome: Err(OracleError::Dropped),
+                    ..record
+                };
+                inner.log.push(failed);
+                return Err(OracleError::Dropped);
+            }
         }
         inner.log.push(record);
         live
@@ -649,6 +689,62 @@ mod tests {
         assert_eq!(full_answers, resumed_answers);
         assert_eq!(resumed_journal.divergences(), 0);
         assert_eq!(resumed_journal.replayed(), 10);
+    }
+
+    /// Succeeds for the first `good` appends, then fails every write —
+    /// an ENOSPC-style mid-session I/O fault.
+    struct FailingWriter {
+        good: usize,
+        written: Vec<u8>,
+    }
+
+    impl Write for FailingWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.good == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "no space left on device (simulated)",
+                ));
+            }
+            self.good -= 1;
+            self.written.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn failed_append_drops_the_answer_instead_of_consuming_it() {
+        let teams = ground().schema().rel_id("Teams").unwrap();
+        let q = Question::VerifyFact(Fact::new(teams, tup!["GER", "EU"]));
+        let journal = Journal::to_writer(Box::new(FailingWriter {
+            good: 2,
+            written: Vec::new(),
+        }));
+        let mut oracle = journal.wrap(PerfectOracle::new(ground()));
+        assert_eq!(oracle.answer(&q), Ok(Answer::Bool(true)));
+        assert_eq!(oracle.answer(&q), Ok(Answer::Bool(true)));
+        // the disk is now full: the live answer exists but must not be
+        // consumed, because a resume could never replay it
+        assert_eq!(oracle.answer(&q), Err(OracleError::Dropped));
+        assert_eq!(oracle.answer(&q), Err(OracleError::Dropped));
+        assert_eq!(journal.write_errors(), 2);
+        // the in-memory log records the drops, keeping it consistent with
+        // what the session consumed
+        let records = journal.records();
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[2].outcome, Err(OracleError::Dropped));
+    }
+
+    #[test]
+    fn record_lines_round_trip_through_the_public_api() {
+        for rec in sample_records() {
+            let line = rec.to_line();
+            assert!(line.ends_with('\n'));
+            assert_eq!(JournalRecord::parse_line(line.trim_end()).unwrap(), rec);
+        }
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod question;
 pub mod sampling;
 pub mod session;
 pub mod stats;
+pub mod suspend;
 pub mod transcript;
 
 pub use enumeration::{Chao92Estimator, CompletenessEstimator, GroundTruthEstimator};
@@ -55,4 +56,8 @@ pub use question::{Answer, Question, QuestionKind};
 pub use sampling::SamplingOracle;
 pub use session::{CrowdAccess, CrowdError, MajorityCrowd, RetryPolicy, SingleExpert};
 pub use stats::CrowdStats;
+pub use suspend::{
+    install_suspend_hook, parse_tagged_value, tagged_value, PendingQuestion, SuspendSignal,
+    SuspendingOracle,
+};
 pub use transcript::{RecordingCrowd, TranscriptEntry};

@@ -1,0 +1,268 @@
+//! Suspension points: the oracle that inverts the control flow.
+//!
+//! Every cleaning algorithm in `qoco-core` drives a [`crate::CrowdAccess`]
+//! synchronously — it *calls* the crowd and blocks on the reply. A served
+//! session inverts that: the crowd is an HTTP client that answers whenever
+//! it pleases (late, twice, or never), so the session must **suspend** at
+//! the question boundary instead of blocking a thread.
+//!
+//! [`SuspendingOracle`] makes any question boundary a suspension point
+//! without rewriting the (deeply recursive) cleaner loops. It holds the
+//! session's consumed-answer log and serves it back in lockstep; the first
+//! question *past* the log has no answer yet, so the oracle captures it as
+//! a [`PendingQuestion`] and unwinds the whole cleaning call stack with a
+//! typed panic payload ([`SuspendSignal`]). The driver (see
+//! `qoco_core::SessionMachine`) catches the signal with
+//! `std::panic::catch_unwind`, discards the partially-mutated scratch
+//! state, and parks the session — which is now nothing but its spec plus
+//! the answer log, durable on disk. Resuming = appending the new answer to
+//! the log and re-running the (deterministic) cleaner; it replays the
+//! prefix bit-identically and either suspends at the *next* question or
+//! finishes with the final report.
+//!
+//! The re-run makes a session of *n* questions cost O(n²) oracle replays
+//! in total; crowd latency dominates by many orders of magnitude, and the
+//! scheme buys the two robustness properties that matter: parked sessions
+//! hold no thread and no in-memory state, and a killed process rehydrates
+//! every in-flight session from its journal alone.
+//!
+//! [`install_suspend_hook`] silences the default panic printout for
+//! suspension unwinds (and only for those) so every parked question does
+//! not spam stderr with a fake crash.
+
+use std::collections::VecDeque;
+use std::sync::Once;
+
+use qoco_data::Value;
+
+use crate::fault::OracleError;
+use crate::journal::JournalRecord;
+use crate::oracle::Oracle;
+use crate::question::{Answer, Question, QuestionKind};
+
+/// A question the session is parked on, in a form that can be shipped to a
+/// remote crowd member and answered without access to the process that
+/// asked it.
+#[derive(Debug, Clone)]
+pub struct PendingQuestion {
+    /// 1-based question id — the sequence number the answer's journal
+    /// record will carry. Doubles as the idempotency key of answer
+    /// submission (together with the session epoch).
+    pub seq: u64,
+    /// The question-variant tag.
+    pub kind: QuestionKind,
+    /// Human-readable rendering (`TRUE(Q1, (ESP))?`).
+    pub prompt: String,
+    /// The full typed question, for in-process answering helpers
+    /// (simulated oracles, tests, the `qoco-serve oracle` command).
+    pub question: Question,
+    /// The telemetry decision id that caused the question, when decision
+    /// provenance is enabled — every API response carries it.
+    pub decision: Option<u64>,
+}
+
+impl PendingQuestion {
+    /// Does `answer` have the shape this question requires? (Booleans for
+    /// the closed questions, a completion for `COMPL(α,Q)`, a missing
+    /// tuple for `COMPL(Q(D))`.) Shape mismatches are rejected at the API
+    /// boundary so [`Answer::expect_bool`] & friends can never panic
+    /// inside a resumed cleaner.
+    pub fn accepts(&self, answer: &Answer) -> bool {
+        matches!(
+            (self.kind, answer),
+            (
+                QuestionKind::VerifyFact
+                    | QuestionKind::VerifyAllFacts
+                    | QuestionKind::VerifyAnswer
+                    | QuestionKind::VerifySatisfiable,
+                Answer::Bool(_)
+            ) | (QuestionKind::Complete, Answer::Completion(_))
+                | (QuestionKind::CompleteResult, Answer::MissingAnswer(_))
+        )
+    }
+}
+
+/// The typed panic payload a [`SuspendingOracle`] unwinds with. Catch it
+/// with `catch_unwind` + `downcast`; any other payload is a real crash and
+/// must be propagated with `resume_unwind`.
+pub struct SuspendSignal(pub PendingQuestion);
+
+/// Serialize a [`Value`] with the journal's type tag (`s:GER`, `i:1990`)
+/// so API payloads round-trip text/int values losslessly.
+pub fn tagged_value(v: &Value) -> String {
+    match v {
+        Value::Int(i) => format!("i:{i}"),
+        Value::Text(s) => format!("s:{s}"),
+    }
+}
+
+/// Parse a [`tagged_value`] rendering back.
+pub fn parse_tagged_value(s: &str) -> Result<Value, String> {
+    if let Some(i) = s.strip_prefix("i:") {
+        i.parse::<i64>()
+            .map(Value::int)
+            .map_err(|_| format!("bad int value {s:?}"))
+    } else if let Some(t) = s.strip_prefix("s:") {
+        Ok(Value::text(t))
+    } else {
+        Err(format!("value {s:?} is missing its `s:`/`i:` type tag"))
+    }
+}
+
+/// The oracle behind a served session: replays the consumed-answer log in
+/// lockstep, then suspends (unwinds) at the first unanswered question. See
+/// the module docs for the full protocol.
+pub struct SuspendingOracle {
+    replay: VecDeque<JournalRecord>,
+    served: u64,
+    /// Replayed records whose question kind did not match the question the
+    /// cleaner actually asked — always 0 unless the persisted spec and
+    /// journal went out of sync (e.g. a hand-edited session directory).
+    desyncs: u64,
+}
+
+impl SuspendingOracle {
+    /// An oracle that will replay `log` and suspend on question
+    /// `log.len() + 1`.
+    pub fn new(log: Vec<JournalRecord>) -> SuspendingOracle {
+        SuspendingOracle {
+            replay: log.into(),
+            served: 0,
+            desyncs: 0,
+        }
+    }
+
+    /// Questions answered from the log so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Kind mismatches between the log and the questions actually asked.
+    pub fn desyncs(&self) -> u64 {
+        self.desyncs
+    }
+}
+
+impl Oracle for SuspendingOracle {
+    fn answer(&mut self, q: &Question) -> Result<Answer, OracleError> {
+        if let Some(rec) = self.replay.pop_front() {
+            self.served += 1;
+            if rec.kind != q.kind() {
+                self.desyncs += 1;
+                qoco_telemetry::counter_add("serve.replay_desyncs", 1);
+            }
+            return rec.outcome;
+        }
+        let pending = PendingQuestion {
+            seq: self.served + 1,
+            kind: q.kind(),
+            prompt: format!("{q:?}"),
+            question: q.clone(),
+            decision: qoco_telemetry::current_decision_id(),
+        };
+        std::panic::panic_any(SuspendSignal(pending));
+    }
+
+    fn label(&self) -> String {
+        "suspending".to_string()
+    }
+}
+
+/// Install (once, process-wide) a panic hook that stays silent for
+/// [`SuspendSignal`] unwinds and delegates everything else to the
+/// previously-installed hook. Idempotent; called automatically by the
+/// session machine before its first step.
+pub fn install_suspend_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<SuspendSignal>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoco_data::{tup, Fact, RelId};
+
+    fn verify_q() -> Question {
+        Question::VerifyFact(Fact::new(RelId::from_index(0), tup!["GER", "EU"]))
+    }
+
+    fn bool_record(seq: u64, b: bool) -> JournalRecord {
+        JournalRecord {
+            seq,
+            kind: QuestionKind::VerifyFact,
+            outcome: Ok(Answer::Bool(b)),
+            decision: None,
+        }
+    }
+
+    #[test]
+    fn replays_the_log_then_suspends_with_the_next_seq() {
+        install_suspend_hook();
+        let mut oracle = SuspendingOracle::new(vec![bool_record(1, true), bool_record(2, false)]);
+        assert_eq!(oracle.answer(&verify_q()), Ok(Answer::Bool(true)));
+        assert_eq!(oracle.answer(&verify_q()), Ok(Answer::Bool(false)));
+        assert_eq!(oracle.served(), 2);
+        let unwound =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| oracle.answer(&verify_q())));
+        let payload = unwound.expect_err("the dry oracle must suspend");
+        let signal = payload
+            .downcast::<SuspendSignal>()
+            .expect("payload is a SuspendSignal");
+        assert_eq!(signal.0.seq, 3);
+        assert_eq!(signal.0.kind, QuestionKind::VerifyFact);
+        assert!(signal.0.prompt.starts_with("TRUE("), "{}", signal.0.prompt);
+    }
+
+    #[test]
+    fn faulted_outcomes_replay_as_faults() {
+        let mut oracle = SuspendingOracle::new(vec![JournalRecord {
+            seq: 1,
+            kind: QuestionKind::VerifyFact,
+            outcome: Err(OracleError::Abstain),
+            decision: None,
+        }]);
+        assert_eq!(oracle.answer(&verify_q()), Err(OracleError::Abstain));
+    }
+
+    #[test]
+    fn kind_mismatches_are_counted_not_fatal() {
+        let mut oracle = SuspendingOracle::new(vec![JournalRecord {
+            seq: 1,
+            kind: QuestionKind::VerifyAnswer,
+            outcome: Ok(Answer::Bool(true)),
+            decision: None,
+        }]);
+        assert_eq!(oracle.answer(&verify_q()), Ok(Answer::Bool(true)));
+        assert_eq!(oracle.desyncs(), 1);
+    }
+
+    #[test]
+    fn shape_acceptance_follows_the_kind() {
+        let p = PendingQuestion {
+            seq: 1,
+            kind: QuestionKind::Complete,
+            prompt: String::new(),
+            question: verify_q(),
+            decision: None,
+        };
+        assert!(p.accepts(&Answer::Completion(None)));
+        assert!(!p.accepts(&Answer::Bool(true)));
+        assert!(!p.accepts(&Answer::MissingAnswer(None)));
+    }
+
+    #[test]
+    fn tagged_values_round_trip() {
+        for v in [Value::text("GER"), Value::text("i:x"), Value::int(-7)] {
+            assert_eq!(parse_tagged_value(&tagged_value(&v)).unwrap(), v);
+        }
+        assert!(parse_tagged_value("GER").is_err());
+        assert!(parse_tagged_value("i:notanint").is_err());
+    }
+}

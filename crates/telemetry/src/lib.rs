@@ -74,15 +74,15 @@ pub use alerts::{
 pub use chrome::{chrome_trace_json, chrome_trace_json_full};
 pub use collector::{Collector, FanoutCollector, InMemoryCollector, JsonlCollector};
 pub use decision::{
-    begin_decision, current_decision_id, finish_decision, record_decision, DecisionDetail,
-    DecisionRecord,
+    begin_decision, clear_current_decision, current_decision_id, finish_decision, record_decision,
+    DecisionDetail, DecisionRecord,
 };
 pub use flame::flamegraph_svg;
 pub use metrics::{HistogramSummary, MetricsRegistry, MetricsSnapshot, BUCKET_BOUNDS};
 pub use profiler::{
     diff_profiles, sample_totals, FrameDelta, Profile, Profiler, DEFAULT_SAMPLE_INTERVAL,
 };
-pub use server::MetricsServer;
+pub use server::{HttpRequest, HttpResponse, MetricsServer, RouteHandler, ServerOptions};
 pub use span::{EventRecord, SpanGuard, SpanRecord};
 pub use timeline::{fmt_ns, PhaseAttribution, PhaseTotal, SessionTimeline, TimelineEvent};
 pub use timeseries::{

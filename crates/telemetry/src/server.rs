@@ -6,7 +6,7 @@
 //!   format (see [`crate::MetricsSnapshot::to_prometheus_text`]) plus a
 //!   constant `qoco_build_info` gauge identifying the binary.
 //! * `GET /health` — a one-object JSON liveness summary (uptime, the live
-//!   session-progress gauges, profiler sample totals).
+//!   session-progress and serve gauges, profiler sample totals).
 //! * `GET /alerts` — the qoco-watch rule states and recent lifecycle
 //!   transitions as JSON.
 //! * `GET /api/timeseries?metric=…[&window=…]` — the sampled ring of one
@@ -14,11 +14,25 @@
 //! * `GET /dashboard` — a self-contained HTML page with inline-SVG
 //!   sparklines and the alert table (see [`crate::dashboard_html`]).
 //!
-//! Everything else gets a `404` that lists the routes that do exist. Each
-//! route carries its correct `Content-Type` and every response closes the
-//! connection (`Connection: close`). One accept-loop thread, one
-//! connection at a time — the payload is a few KB of text for a scraper
-//! that polls every few seconds, so there is nothing to pipeline.
+//! Additional routes — the `/sessions` API of `qoco-serve` — plug in
+//! through [`RouteHandler`] in [`ServerOptions`]: the handler is consulted
+//! for anything the built-ins do not claim, and its route summaries join
+//! the 404 listing. Everything still unclaimed gets a `404` that lists
+//! every route that does exist. Each route carries its correct
+//! `Content-Type` and every response closes the connection
+//! (`Connection: close`).
+//!
+//! ## Robustness
+//!
+//! Connections are served one thread each, with an in-flight cap: excess
+//! connections are shed immediately with `429` (counted in
+//! `serve.rejected`) instead of queueing behind a stalled peer. Each
+//! connection gets a *wall-clock* deadline for its whole request head — a
+//! slow-loris client dripping one byte per second is cut off with `408`
+//! when the deadline lapses, even though no single `read()` ever times
+//! out. Request bodies are bounded ([`ServerOptions::max_body_bytes`],
+//! `413` beyond), and a request line longer than [`MAX_REQUEST_LINE`]
+//! with no line break in sight is cut off with `414`.
 //!
 //! The server reads the *global* registry and watch directly, so it
 //! reflects live values mid-session (unlike exporters that consume an
@@ -26,12 +40,94 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::json::push_json_str;
+
+/// One parsed HTTP request, as handed to a [`RouteHandler`].
+pub struct HttpRequest {
+    /// Request method (`GET`, `POST`, …).
+    pub method: String,
+    /// The path with the query string stripped (`/sessions/s1/answers`).
+    pub route: String,
+    /// The raw query string (no leading `?`; empty if none).
+    pub query: String,
+    /// The request body (empty unless the client sent `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// A response a [`RouteHandler`] produces.
+pub struct HttpResponse {
+    /// Full status line tail, e.g. `"200 OK"`.
+    pub status: &'static str,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// A JSON response.
+    pub fn json(status: &'static str, body: String) -> HttpResponse {
+        HttpResponse {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: &'static str, body: String) -> HttpResponse {
+        HttpResponse {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body,
+        }
+    }
+}
+
+/// Pluggable routes consulted for requests the built-in routes do not
+/// claim. Handlers run on the per-connection thread and must be
+/// `Send + Sync`; return `None` to fall through to the 404.
+pub trait RouteHandler: Send + Sync {
+    /// Answer `req`, or `None` if this handler does not own the route.
+    fn handle(&self, req: &HttpRequest) -> Option<HttpResponse>;
+
+    /// Route summaries (e.g. `"POST /sessions"`) appended to the 404
+    /// body's route list.
+    fn route_summaries(&self) -> Vec<String> {
+        Vec::new()
+    }
+}
+
+/// Tunables for [`MetricsServer::start_with`]; `Default` matches the
+/// plain [`MetricsServer::start`].
+pub struct ServerOptions {
+    /// Extra routes; `None` serves only the built-ins.
+    pub handler: Option<Arc<dyn RouteHandler>>,
+    /// In-flight connection cap; excess connections get `429` and count
+    /// into `serve.rejected`.
+    pub max_connections: usize,
+    /// Request-body cap; larger `Content-Length` gets `413`.
+    pub max_body_bytes: usize,
+    /// Wall-clock allowance for reading one complete request (head and
+    /// body); a drip-feeding client is cut off with `408` when it lapses.
+    pub read_deadline: Duration,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            handler: None,
+            max_connections: 64,
+            max_body_bytes: 1 << 20,
+            read_deadline: Duration::from_secs(5),
+        }
+    }
+}
 
 /// A running metrics endpoint; see the module docs. Dropping it stops the
 /// accept loop and joins the serving thread.
@@ -44,13 +140,21 @@ pub struct MetricsServer {
 impl MetricsServer {
     /// Bind `addr` (e.g. `"127.0.0.1:9184"`; port 0 picks an ephemeral
     /// port — read it back with [`MetricsServer::local_addr`]) and start
-    /// serving `GET /metrics`.
+    /// serving the built-in routes with default [`ServerOptions`].
     pub fn start(addr: &str) -> std::io::Result<MetricsServer> {
+        MetricsServer::start_with(addr, ServerOptions::default())
+    }
+
+    /// [`MetricsServer::start`] with explicit options (extra routes,
+    /// connection cap, body cap, read deadline).
+    pub fn start_with(addr: &str, options: ServerOptions) -> std::io::Result<MetricsServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = shutdown.clone();
         let started = Instant::now();
+        let options = Arc::new(options);
+        let in_flight = Arc::new(AtomicUsize::new(0));
         let handle = std::thread::Builder::new()
             .name("qoco-metrics".to_string())
             .spawn(move || {
@@ -58,11 +162,34 @@ impl MetricsServer {
                     if flag.load(Ordering::Relaxed) {
                         break;
                     }
-                    if let Ok(stream) = conn {
-                        // A misbehaving client must not wedge the endpoint.
-                        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                    let Ok(mut stream) = conn else { continue };
+                    // Shed before spawning: a stalled peer holds a slot,
+                    // it must not hold the accept loop.
+                    let live = in_flight.fetch_add(1, Ordering::SeqCst);
+                    if live >= options.max_connections {
+                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                        crate::counter_add("serve.rejected", 1);
                         let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-                        let _ = serve_one(stream, started);
+                        let _ = write_response(
+                            &mut stream,
+                            &HttpResponse::text(
+                                "429 Too Many Requests",
+                                "connection limit reached, retry later\n".to_string(),
+                            ),
+                        );
+                        drain_unread(&mut stream);
+                        continue;
+                    }
+                    let options = options.clone();
+                    let slot = in_flight.clone();
+                    let spawned = std::thread::Builder::new()
+                        .name("qoco-serve-conn".to_string())
+                        .spawn(move || {
+                            let _ = serve_one(stream, started, &options);
+                            slot.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    if spawned.is_err() {
+                        in_flight.fetch_sub(1, Ordering::SeqCst);
                     }
                 }
             })?;
@@ -96,8 +223,9 @@ impl Drop for MetricsServer {
 const MAX_REQUEST_LINE: usize = 1024;
 
 /// The `GET /health` body: a single JSON object with server uptime, the
-/// live session-progress gauges (0 when no session has set them), and the
-/// profiler's process-lifetime sample totals.
+/// live session-progress gauges (0 when no session has set them), the
+/// serve-layer session gauges, and the profiler's process-lifetime sample
+/// totals.
 fn health_body(started: Instant) -> String {
     let snapshot = crate::metrics().snapshot();
     let gauge = |name: &str| snapshot.gauges.get(name).copied().unwrap_or(0.0);
@@ -106,12 +234,15 @@ fn health_body(started: Instant) -> String {
         concat!(
             "{{\"status\":\"ok\",\"uptime_s\":{:.3},\"session_active\":{},",
             "\"questions_asked\":{},\"witnesses_open\":{},",
+            "\"sessions\":{{\"active\":{},\"parked\":{}}},",
             "\"profile\":{{\"samples\":{},\"dropped\":{}}}}}\n"
         ),
         started.elapsed().as_secs_f64(),
         crate::enabled(),
         gauge("session.questions_asked"),
         gauge("session.witnesses_open"),
+        gauge("sessions.active"),
+        gauge("sessions.parked"),
         samples,
         dropped,
     )
@@ -276,70 +407,201 @@ fn timeseries_body(query: &str) -> (&'static str, String) {
     ("200 OK", out)
 }
 
-/// Handle one connection: parse the request line, answer, close.
-fn serve_one(mut stream: TcpStream, started: Instant) -> std::io::Result<()> {
-    // Read until the end of the request head (or 4 KB, whichever first);
-    // only the request line matters, so stop early if a client streams
-    // that much without ever finishing its first line.
-    let mut buf = [0u8; 4096];
-    let mut len = 0;
-    while len < buf.len() {
-        let n = stream.read(&mut buf[len..])?;
-        if n == 0 {
-            break;
-        }
-        len += n;
-        if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
-            break;
-        }
-        if len >= MAX_REQUEST_LINE && !buf[..len].contains(&b'\n') {
-            break;
-        }
-    }
-    let head = String::from_utf8_lossy(&buf[..len]);
-    let mut request_line = head.lines().next().unwrap_or("").split_whitespace();
-    let method = request_line.next().unwrap_or("");
-    let path = request_line.next().unwrap_or("");
+/// How reading one request ended.
+enum ReadOutcome {
+    /// A complete request (head fully read; body as advertised).
+    Request(HttpRequest),
+    /// The client earned an early error response.
+    Reject(HttpResponse),
+}
 
-    const PROM_TEXT: &str = "text/plain; version=0.0.4; charset=utf-8";
-    const PLAIN: &str = "text/plain; charset=utf-8";
-    const JSON: &str = "application/json";
-    const HTML: &str = "text/html; charset=utf-8";
-    let (route, query) = path.split_once('?').unwrap_or((path, ""));
-    let overlong = len >= MAX_REQUEST_LINE && !buf[..len].contains(&b'\n');
-    let (status, content_type, body) = if overlong {
-        (
-            "414 URI Too Long",
-            PLAIN,
-            "request line too long\n".to_string(),
-        )
-    } else {
-        match (method, route) {
-            ("GET", "/metrics") => ("200 OK", PROM_TEXT, metrics_body()),
-            ("GET", "/health") => ("200 OK", JSON, health_body(started)),
-            ("GET", "/alerts") => ("200 OK", JSON, alerts_body()),
-            ("GET", "/dashboard") => ("200 OK", HTML, crate::dashboard_html()),
-            ("GET", "/api/timeseries") => {
-                let (status, body) = timeseries_body(query);
-                (status, JSON, body)
+/// Read one request under the wall-clock deadline; see the module docs.
+fn read_request(stream: &mut TcpStream, options: &ServerOptions) -> std::io::Result<ReadOutcome> {
+    let deadline = Instant::now() + options.read_deadline;
+    // Per-read timeout well under the deadline, so the deadline check
+    // runs even against a silent peer.
+    let slice = Duration::from_millis(250).min(options.read_deadline);
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() >= MAX_REQUEST_LINE && !buf.contains(&b'\n') {
+            return Ok(ReadOutcome::Reject(HttpResponse::text(
+                "414 URI Too Long",
+                "request line too long\n".to_string(),
+            )));
+        }
+        if buf.len() >= 64 * 1024 {
+            return Ok(ReadOutcome::Reject(HttpResponse::text(
+                "431 Request Header Fields Too Large",
+                "request head too large\n".to_string(),
+            )));
+        }
+        if Instant::now() >= deadline {
+            return Ok(ReadOutcome::Reject(HttpResponse::text(
+                "408 Request Timeout",
+                "request head deadline exceeded\n".to_string(),
+            )));
+        }
+        stream.set_read_timeout(Some(slice))?;
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                // Peer closed mid-head: nothing to answer.
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-request",
+                ));
             }
-            ("GET", _) => (
-                "404 Not Found",
-                PLAIN,
-                format!(
-                    "no such route: {path}\nroutes: GET /metrics, GET /health, \
-                     GET /alerts, GET /dashboard, \
-                     GET /api/timeseries?metric=<name>[&window=<dur>]\n"
-                ),
-            ),
-            _ => ("405 Method Not Allowed", PLAIN, "GET only\n".to_string()),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Loop: the deadline check above decides when to give up.
+            }
+            Err(e) => return Err(e),
         }
     };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut request_line = head.lines().next().unwrap_or("").split_whitespace();
+    let method = request_line.next().unwrap_or("").to_string();
+    let path = request_line.next().unwrap_or("").to_string();
+    let (route, query) = path.split_once('?').unwrap_or((path.as_str(), ""));
+    let content_length = head
+        .lines()
+        .skip(1)
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse::<usize>().ok())
+        .unwrap_or(0);
+    if content_length > options.max_body_bytes {
+        return Ok(ReadOutcome::Reject(HttpResponse::text(
+            "413 Content Too Large",
+            format!(
+                "request body of {content_length} bytes exceeds the {} byte cap\n",
+                options.max_body_bytes
+            ),
+        )));
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        if Instant::now() >= deadline {
+            return Ok(ReadOutcome::Reject(HttpResponse::text(
+                "408 Request Timeout",
+                "request body deadline exceeded\n".to_string(),
+            )));
+        }
+        stream.set_read_timeout(Some(slice))?;
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ))
+            }
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => return Err(e),
+        }
+    }
+    body.truncate(content_length);
+    Ok(ReadOutcome::Request(HttpRequest {
+        method,
+        route: route.to_string(),
+        query: query.to_string(),
+        body,
+    }))
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Pull whatever request bytes are still buffered before closing, so the
+/// close is a clean FIN instead of an RST that could destroy the error
+/// response in flight to the client. One bounded read — not a loop — so a
+/// hostile streamer cannot turn the courtesy into a stall.
+fn drain_unread(stream: &mut TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut sink = [0u8; 4096];
+    let _ = stream.read(&mut sink);
+}
+
+fn write_response(stream: &mut TcpStream, r: &HttpResponse) -> std::io::Result<()> {
     let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
+        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        r.status,
+        r.content_type,
+        r.body.len(),
+        r.body
     );
     stream.write_all(response.as_bytes())
+}
+
+/// Handle one connection: read the request, answer, close.
+fn serve_one(
+    mut stream: TcpStream,
+    started: Instant,
+    options: &ServerOptions,
+) -> std::io::Result<()> {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let req = match read_request(&mut stream, options)? {
+        ReadOutcome::Request(req) => req,
+        ReadOutcome::Reject(resp) => {
+            let out = write_response(&mut stream, &resp);
+            drain_unread(&mut stream);
+            return out;
+        }
+    };
+
+    const PROM_TEXT: &str = "text/plain; version=0.0.4; charset=utf-8";
+    const HTML: &str = "text/html; charset=utf-8";
+    let response = match (req.method.as_str(), req.route.as_str()) {
+        ("GET", "/metrics") => HttpResponse {
+            status: "200 OK",
+            content_type: PROM_TEXT,
+            body: metrics_body(),
+        },
+        ("GET", "/health") => HttpResponse::json("200 OK", health_body(started)),
+        ("GET", "/alerts") => HttpResponse::json("200 OK", alerts_body()),
+        ("GET", "/dashboard") => HttpResponse {
+            status: "200 OK",
+            content_type: HTML,
+            body: crate::dashboard_html(),
+        },
+        ("GET", "/api/timeseries") => {
+            let (status, body) = timeseries_body(&req.query);
+            HttpResponse::json(status, body)
+        }
+        _ => match options.handler.as_ref().and_then(|h| h.handle(&req)) {
+            Some(resp) => resp,
+            None if req.method == "GET" => {
+                let mut routes = String::from(
+                    "GET /metrics, GET /health, GET /alerts, GET /dashboard, \
+                     GET /api/timeseries?metric=<name>[&window=<dur>]",
+                );
+                if let Some(h) = options.handler.as_ref() {
+                    for summary in h.route_summaries() {
+                        routes.push_str(", ");
+                        routes.push_str(&summary);
+                    }
+                }
+                HttpResponse::text(
+                    "404 Not Found",
+                    format!("no such route: {}\nroutes: {routes}\n", req.route),
+                )
+            }
+            None => HttpResponse::text(
+                "405 Method Not Allowed",
+                "method not allowed on this route\n".to_string(),
+            ),
+        },
+    };
+    write_response(&mut stream, &response)
 }
 
 #[cfg(test)]
@@ -350,6 +612,19 @@ mod tests {
     fn http_get(addr: SocketAddr, path: &str) -> String {
         let mut stream = TcpStream::connect(addr).expect("connect to metrics server");
         write!(stream, "GET {path} HTTP/1.1\r\nHost: qoco\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    fn http_post(addr: SocketAddr, path: &str, body: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect to metrics server");
+        write!(
+            stream,
+            "POST {path} HTTP/1.1\r\nHost: qoco\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         response
@@ -391,6 +666,8 @@ mod tests {
         let session = crate::session(collector);
         crate::gauge_add("session.questions_asked", 5.0);
         crate::gauge_set("session.witnesses_open", 2.0);
+        crate::gauge_set("sessions.active", 3.0);
+        crate::gauge_set("sessions.parked", 2.0);
         let server = MetricsServer::start("127.0.0.1:0").expect("bind ephemeral port");
         let response = http_get(server.local_addr(), "/health");
         assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
@@ -399,6 +676,7 @@ mod tests {
         assert!(response.contains("\"session_active\":true"));
         assert!(response.contains("\"questions_asked\":5"));
         assert!(response.contains("\"witnesses_open\":2"));
+        assert!(response.contains("\"sessions\":{\"active\":3,\"parked\":2}"));
         assert!(response.contains("\"uptime_s\":"));
         assert!(response.contains("\"profile\":{\"samples\":"));
         drop(server);
@@ -508,13 +786,159 @@ mod tests {
         let _ = hostile.read_to_string(&mut response);
         assert!(response.starts_with("HTTP/1.1 414"), "{response}");
         // a client that connects and then goes silent mid-head is dropped
-        // by the read timeout rather than parking the accept loop forever…
+        // by the read deadline rather than parking the server forever…
         let mut stalled = TcpStream::connect(addr).unwrap();
         stalled.write_all(b"GET /metr").unwrap();
         // …so a well-formed scrape queued behind it is still served
         let response = http_get(addr, "/metrics");
         assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
         drop(stalled);
+    }
+
+    #[test]
+    fn slow_loris_is_cut_off_by_the_wall_clock_deadline() {
+        // drip bytes fast enough that no single read ever times out, but
+        // never finish the head: the wall-clock deadline must fire
+        let server = MetricsServer::start_with(
+            "127.0.0.1:0",
+            ServerOptions {
+                read_deadline: Duration::from_millis(600),
+                ..ServerOptions::default()
+            },
+        )
+        .expect("bind ephemeral port");
+        let addr = server.local_addr();
+        let mut loris = TcpStream::connect(addr).unwrap();
+        let started = Instant::now();
+        loris.write_all(b"GET /metrics HTTP/1.1\r\n").unwrap();
+        // drip header bytes faster than any per-read timeout, spanning
+        // most of the deadline, so only the wall clock can cut us off
+        for _ in 0..3 {
+            std::thread::sleep(Duration::from_millis(150));
+            loris.write_all(b"X").unwrap();
+        }
+        let mut deadline_response = String::new();
+        loris.read_to_string(&mut deadline_response).unwrap();
+        assert!(
+            deadline_response.starts_with("HTTP/1.1 408"),
+            "{deadline_response}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "deadline must fire promptly, took {:?}",
+            started.elapsed()
+        );
+        // the endpoint is still healthy afterwards
+        let response = http_get(addr, "/metrics");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    }
+
+    #[test]
+    fn oversized_bodies_get_413_before_being_read() {
+        let server = MetricsServer::start_with(
+            "127.0.0.1:0",
+            ServerOptions {
+                max_body_bytes: 64,
+                ..ServerOptions::default()
+            },
+        )
+        .expect("bind ephemeral port");
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // advertise a huge body; never send it — the cap must trip on the
+        // Content-Length header alone
+        write!(
+            stream,
+            "POST /sessions HTTP/1.1\r\nHost: qoco\r\nContent-Length: 10000000\r\n\r\n"
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 413"), "{response}");
+        // a small body still reaches dispatch (404: no handler installed)
+        let response = http_post(addr, "/sessions", "{}");
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+    }
+
+    #[test]
+    fn connection_cap_sheds_with_429() {
+        let collector = Arc::new(InMemoryCollector::new());
+        let session = crate::session(collector);
+        let before = crate::metrics()
+            .snapshot()
+            .counters
+            .get("serve.rejected")
+            .copied()
+            .unwrap_or(0);
+        let server = MetricsServer::start_with(
+            "127.0.0.1:0",
+            ServerOptions {
+                max_connections: 1,
+                read_deadline: Duration::from_secs(2),
+                ..ServerOptions::default()
+            },
+        )
+        .expect("bind ephemeral port");
+        let addr = server.local_addr();
+        // occupy the only slot with a connection that never completes
+        let mut stalled = TcpStream::connect(addr).unwrap();
+        stalled.write_all(b"GET /he").unwrap();
+        // give the accept loop a moment to hand the slot over
+        std::thread::sleep(Duration::from_millis(100));
+        let response = http_get(addr, "/metrics");
+        assert!(response.starts_with("HTTP/1.1 429"), "{response}");
+        let after = crate::metrics()
+            .snapshot()
+            .counters
+            .get("serve.rejected")
+            .copied()
+            .unwrap_or(0);
+        assert!(after > before, "serve.rejected must count the shed");
+        drop(stalled);
+        drop(server);
+        drop(session);
+    }
+
+    #[test]
+    fn custom_route_handlers_extend_the_server() {
+        struct Hello;
+        impl RouteHandler for Hello {
+            fn handle(&self, req: &HttpRequest) -> Option<HttpResponse> {
+                match (req.method.as_str(), req.route.as_str()) {
+                    ("POST", "/hello") => Some(HttpResponse::json(
+                        "200 OK",
+                        format!(
+                            "{{\"echo\":{}}}\n",
+                            String::from_utf8_lossy(&req.body).trim()
+                        ),
+                    )),
+                    _ => None,
+                }
+            }
+            fn route_summaries(&self) -> Vec<String> {
+                vec!["POST /hello".to_string()]
+            }
+        }
+        let server = MetricsServer::start_with(
+            "127.0.0.1:0",
+            ServerOptions {
+                handler: Some(Arc::new(Hello)),
+                ..ServerOptions::default()
+            },
+        )
+        .expect("bind ephemeral port");
+        let addr = server.local_addr();
+        let response = http_post(addr, "/hello", "42");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("{\"echo\":42}"), "{response}");
+        // built-ins still win and the 404 lists the handler's routes
+        let response = http_get(addr, "/metrics");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        let response = http_get(addr, "/nope");
+        assert!(response.contains("POST /hello"), "{response}");
+        // a non-GET the handler does not claim is still a 405
+        let response = http_post(addr, "/metrics", "x");
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
     }
 
     #[test]

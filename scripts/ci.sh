@@ -328,4 +328,73 @@ grep -q "inject.slowdown" "$gate_out" \
   || { echo "gate attribution did not name inject.slowdown:" >&2; cat "$gate_out" >&2; exit 1; }
 echo "regression gate trips on injected slowdown and names the phase: OK"
 
+echo "== qoco-serve smoke-run (kill -9 / rehydrate) =="
+# the serve-replay correctness gate first: every journal prefix of the
+# Figure 1 session must rehydrate and finish byte-identically in-process
+cargo run -q --release -p qoco-bench --bin qoco-bench -- validate-sessions
+
+# now the same guarantee across real processes: drive a session over the
+# HTTP API, kill -9 the server mid-session, restart it over the same
+# store, finish, and diff the report against an uninterrupted run's
+serve_store="$work/serve-store"
+serve_log="$work/serve.log"
+./target/release/qoco-serve serve --addr 127.0.0.1:0 --store "$serve_store" \
+  > "$serve_log" 2>/dev/null &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$work"' EXIT
+saddr=""
+for _ in $(seq 1 100); do
+  saddr="$(sed -n 's/^listening on //p' "$serve_log")"
+  [ -n "$saddr" ] && break
+  sleep 0.1
+done
+[ -n "$saddr" ] || { echo "qoco-serve never announced its port" >&2; exit 1; }
+
+report_text() { sed -n 's/.*"report_text":"\(.*\)"}$/\1/p' "$1"; }
+
+# uninterrupted baseline: s1, crowd played by the mirror oracle helper
+curl -sf -X POST "http://$saddr/sessions" -d '{"example":"figure1"}' > /dev/null
+./target/release/qoco-serve oracle --addr "$saddr" --session s1 > /dev/null
+curl -sf "http://$saddr/sessions/s1/report" > "$work/serve-base.json"
+grep -q '"partial":false' "$work/serve-base.json" \
+  || { echo "serve: baseline session ended partial" >&2; exit 1; }
+
+# chaos session: s2 gets one answer, then the server dies mid-session
+curl -sf -X POST "http://$saddr/sessions" -d '{"example":"figure1"}' > /dev/null
+curl -sf -X POST "http://$saddr/sessions/s2/answers" \
+  -d '{"epoch":1,"answers":[{"seq":1,"bool":false}]}' > /dev/null
+kill -9 "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+
+: > "$serve_log"
+./target/release/qoco-serve serve --addr 127.0.0.1:0 --store "$serve_store" \
+  > "$serve_log" 2>/dev/null &
+serve_pid=$!
+saddr=""
+for _ in $(seq 1 100); do
+  saddr="$(sed -n 's/^listening on //p' "$serve_log")"
+  [ -n "$saddr" ] && break
+  sleep 0.1
+done
+[ -n "$saddr" ] || { echo "qoco-serve never came back after kill -9" >&2; exit 1; }
+grep -q "rehydrated 2 session(s)" "$serve_log" \
+  || { echo "serve: restart did not rehydrate both sessions" >&2; exit 1; }
+# /health republishes the parked-session gauges after rehydration
+curl -sf "http://$saddr/health" | grep -q '"sessions":{"active":2,"parked":1}' \
+  || { echo "serve: /health gauges wrong after rehydration" >&2; exit 1; }
+# a pre-crash submitter retrying under the old epoch is acked, not applied
+curl -sf -X POST "http://$saddr/sessions/s2/answers" \
+  -d '{"epoch":1,"answers":[{"seq":1,"bool":false}]}' \
+  | grep -q '"status":"stale"' \
+  || { echo "serve: stale-epoch retry was not acknowledged as stale" >&2; exit 1; }
+# finish the rehydrated session and compare reports byte for byte
+./target/release/qoco-serve oracle --addr "$saddr" --session s2 > /dev/null
+curl -sf "http://$saddr/sessions/s2/report" > "$work/serve-resumed.json"
+diff <(report_text "$work/serve-base.json") <(report_text "$work/serve-resumed.json") \
+  || { echo "serve: killed+rehydrated report differs from uninterrupted run" >&2; exit 1; }
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+trap 'rm -rf "$work"' EXIT
+echo "qoco-serve kill -9 / rehydrate reproduces the uninterrupted report: OK"
+
 echo "== all CI gates passed =="

@@ -50,9 +50,12 @@
 //! | [`core`] | Algorithms 1–3, hitting sets, split strategies, baselines, the parallel multi-expert cleaner |
 //! | [`datasets`] | the Soccer and DBGroup generators, noise injection, the evaluation queries |
 //! | [`telemetry`] | spans, counters/histograms, JSONL export, session timelines (zero-cost when disabled) |
+//! | [`serve`] | parked cleaning sessions over HTTP: the `qoco-serve` session registry and JSON API |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod serve;
 
 pub use qoco_core as core;
 pub use qoco_crowd as crowd;

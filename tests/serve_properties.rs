@@ -1,0 +1,170 @@
+//! Property tests for the resumable session machinery.
+//!
+//! The serving API's idempotency contract: no schedule of duplicated,
+//! reordered, or re-sent answer submissions may change what the session
+//! consumes — the final report must be the one the clean in-order
+//! sequence produces, every duplicate must be acknowledged (never
+//! re-applied), and every out-of-order submission must bounce without
+//! touching the journal. Plus the two degradation guarantees: deadline
+//! expiry at *any* point yields a PARTIAL REPORT (never a panic or a
+//! wedge), and a session whose journal device fails mid-run degrades the
+//! same way while counting `journal.write_errors`.
+
+use std::io::Write;
+
+use proptest::prelude::*;
+use qoco::core::{
+    clean_view, figure1_ground, figure1_spec, CleaningConfig, SessionMachine, SessionState,
+    SubmitError, SubmitOutcome,
+};
+use qoco::crowd::{Journal, JournalRecord, Oracle, PerfectOracle, SingleExpert};
+use qoco::engine::answer_set;
+
+/// The canonical Figure 1 run: final report text + the journal that
+/// produced it.
+fn canonical_run() -> (String, Vec<JournalRecord>) {
+    let mut m = SessionMachine::new(figure1_spec());
+    let mut oracle = PerfectOracle::new(figure1_ground());
+    for _ in 0..100 {
+        let Some(p) = m.pending().cloned() else { break };
+        let answer = oracle.answer(&p.question).expect("perfect oracle");
+        m.submit(p.seq, Ok(answer)).expect("in-order submission");
+    }
+    let SessionState::Finished(f) = m.state() else {
+        panic!("figure 1 converges under a perfect oracle");
+    };
+    (f.report.to_string(), m.log().to_vec())
+}
+
+proptest! {
+    /// Any prefix of duplicated/reordered submissions, followed by the
+    /// clean sequence, converges to the canonical report; duplicates are
+    /// acknowledged and out-of-order attempts bounce, neither growing
+    /// the journal.
+    #[test]
+    fn noisy_submission_schedules_converge_to_the_canonical_report(
+        noise in proptest::collection::vec(0usize..6, 0..24)
+    ) {
+        let (canonical_report, log) = canonical_run();
+        let mut m = SessionMachine::new(figure1_spec());
+        let mut cursor = 0usize; // answers actually consumed so far
+        // interleave: before each in-order submission, replay some noise
+        for step in 0..log.len() {
+            for &n in noise.iter().skip(step * 3).take(3) {
+                let record = &log[n % log.len()];
+                let journal_before = m.log().len();
+                match m.submit(record.seq, record.outcome.clone()) {
+                    Ok(SubmitOutcome::Applied) => {
+                        // only legal if this noise item happened to be
+                        // exactly the next expected answer
+                        prop_assert_eq!(record.seq as usize, cursor + 1);
+                        cursor += 1;
+                    }
+                    Ok(SubmitOutcome::Duplicate) => {
+                        prop_assert!(record.seq as usize <= cursor);
+                        prop_assert_eq!(m.log().len(), journal_before);
+                    }
+                    Err(SubmitError::OutOfOrder { expected }) => {
+                        prop_assert!(record.seq as usize > cursor + 1);
+                        prop_assert_eq!(expected as usize, cursor + 1);
+                        prop_assert_eq!(m.log().len(), journal_before);
+                    }
+                    Err(e) => prop_assert!(false, "unexpected rejection: {e}"),
+                }
+            }
+            // the clean in-order submission for this step (skip if noise
+            // already applied it)
+            if cursor == step {
+                let record = &log[step];
+                prop_assert_eq!(
+                    m.submit(record.seq, record.outcome.clone()),
+                    Ok(SubmitOutcome::Applied)
+                );
+                cursor += 1;
+            }
+        }
+        let SessionState::Finished(f) = m.state() else {
+            return Err(TestCaseError::fail("session did not finish"));
+        };
+        prop_assert_eq!(f.report.to_string(), canonical_report);
+        // after finishing, every consumed seq re-acks as a duplicate
+        for record in &log {
+            prop_assert_eq!(
+                m.submit(record.seq, record.outcome.clone()),
+                Ok(SubmitOutcome::Duplicate)
+            );
+        }
+    }
+
+    /// Deadline expiry at any point of the session — including after
+    /// rehydration from that prefix — terminates in a PARTIAL REPORT,
+    /// never a panic or a wedged machine.
+    #[test]
+    fn expiry_at_any_prefix_yields_a_partial_report(k in 0usize..4) {
+        let (_, log) = canonical_run();
+        let k = k % log.len();
+        let mut m = SessionMachine::rehydrate(figure1_spec(), log[..k].to_vec());
+        prop_assert!(m.pending().is_some());
+        let record = m.expire().expect("expiring an awaiting session records a fault");
+        prop_assert_eq!(record.seq as usize, k + 1);
+        let SessionState::Finished(f) = m.state() else {
+            return Err(TestCaseError::fail("expiry must still finish the session"));
+        };
+        prop_assert!(f.report.is_partial());
+        prop_assert!(!f.report.unresolved.is_empty());
+        prop_assert!(f.report.to_string().contains("PARTIAL REPORT"));
+        // expiring again is a no-op: the session already ended
+        prop_assert!(m.expire().is_none());
+    }
+}
+
+/// A writer whose device fails permanently after `good` successful writes
+/// — the satellite fault-injection double for the session journal.
+struct FailingWriter {
+    good: usize,
+}
+
+impl Write for FailingWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.good == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                "no space left on device (simulated)",
+            ));
+        }
+        self.good -= 1;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Satellite: a cleaning session whose journal device dies mid-run must
+/// degrade to a PARTIAL REPORT — the write-ahead invariant fails the
+/// answer rather than consuming an unjournaled outcome — and count the
+/// failure, not panic.
+#[test]
+fn journal_device_failure_degrades_the_session_to_a_partial_report() {
+    let spec = figure1_spec();
+    let journal = Journal::to_writer(Box::new(FailingWriter { good: 1 }));
+    let mut crowd = SingleExpert::new(journal.wrap(PerfectOracle::new(figure1_ground())));
+    let mut db = spec.dirty.clone();
+    let report = clean_view(&spec.query, &mut db, &mut crowd, CleaningConfig::default())
+        .expect("degrade, don't error");
+    assert!(
+        report.is_partial(),
+        "lost journal writes leave items unresolved"
+    );
+    assert!(!report.unresolved.is_empty());
+    assert!(journal.write_errors() >= 1, "the failure must be counted");
+    assert_eq!(
+        journal.records().len() as u64,
+        journal.seq(),
+        "the in-memory log stays consistent with what the session consumed"
+    );
+    // the view still never contains an answer the crowd rejected
+    let view = answer_set(&spec.query, &db);
+    assert!(view.len() <= 1);
+}
