@@ -27,6 +27,12 @@
 //!   Figure 1 session to completion, then rehydrate from every journal
 //!   prefix (every possible `kill -9` point) and require a byte-identical
 //!   final report, plus duplicate/out-of-order submission rejection.
+//! * `validate-requests` — the request-provenance gate: strictly parse a
+//!   serve run's `--access-log` JSONL (a corrupted line fails), then
+//!   cross-check its request ids against the `serve.request` spans and
+//!   decision records of `--telemetry` exports and the `r=` fields of
+//!   `--journal` files. `--require-request ID` additionally demands the
+//!   named id reached every layer.
 //! * `watch-replay SERIES --rules FILE` — re-evaluate qoco-watch alert
 //!   rules offline over the `"type":"sample"` lines of a `--telemetry`
 //!   export and print the deterministic alert timeline. `--expect-fire
@@ -62,6 +68,8 @@ fn usage() -> ExitCode {
          qoco-bench validate-flamegraph FILE [--require-frame NAME]...\n       \
          qoco-bench validate-decisions FILE [--require-kind NAME]...\n       \
          qoco-bench validate-sessions\n       \
+         qoco-bench validate-requests --access-log FILE... [--telemetry FILE]... \
+         [--journal FILE]... [--require-request ID]...\n       \
          qoco-bench watch-replay SERIES --rules FILE [--expect-fire RULE]... \
          [--expect-resolve RULE]..."
     );
@@ -77,6 +85,7 @@ fn main() -> ExitCode {
         Some("validate-flamegraph") => run_validate_flamegraph(&args[1..]),
         Some("validate-decisions") => run_validate_decisions(&args[1..]),
         Some("validate-sessions") => run_validate_sessions(&args[1..]),
+        Some("validate-requests") => run_validate_requests(&args[1..]),
         Some("watch-replay") => run_watch_replay(&args[1..]),
         _ => usage(),
     }
@@ -97,6 +106,63 @@ fn run_validate_sessions(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: serve-replay gate failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_validate_requests(args: &[String]) -> ExitCode {
+    let mut access: Vec<String> = Vec::new();
+    let mut telemetry: Vec<String> = Vec::new();
+    let mut journals: Vec<String> = Vec::new();
+    let mut require: Vec<String> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let bucket = match arg.as_str() {
+            "--access-log" => &mut access,
+            "--telemetry" => &mut telemetry,
+            "--journal" => &mut journals,
+            "--require-request" => &mut require,
+            _ => return usage(),
+        };
+        match it.next() {
+            Some(v) => bucket.push(v.clone()),
+            None => return usage(),
+        }
+    }
+
+    let read_all = |paths: &[String]| -> Result<Vec<(String, String)>, String> {
+        paths
+            .iter()
+            .map(|p| {
+                std::fs::read_to_string(p)
+                    .map(|text| (p.clone(), text))
+                    .map_err(|e| format!("cannot read {p}: {e}"))
+            })
+            .collect()
+    };
+    let outcome = read_all(&access).and_then(|access| {
+        let telemetry = read_all(&telemetry)?;
+        let journals = read_all(&journals)?;
+        qoco_bench::request_check::validate_requests(&access, &telemetry, &journals, &require)
+    });
+    match outcome {
+        Ok(summary) => {
+            println!(
+                "request-provenance gate: {} access line(s) over {} request id(s); \
+                 {} serve.request span(s), {} journal record(s) and {} decision(s) \
+                 cross-checked",
+                summary.access_lines,
+                summary.distinct_ids,
+                summary.spans,
+                summary.journal_tagged,
+                summary.decisions_tagged
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: request-provenance gate failed: {e}");
             ExitCode::FAILURE
         }
     }

@@ -16,6 +16,7 @@ pub mod flame_check;
 pub mod json;
 pub mod profile_cmd;
 pub mod regressions;
+pub mod request_check;
 pub mod scaling;
 pub mod seed_eval;
 pub mod session_check;

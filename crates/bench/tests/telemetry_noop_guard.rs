@@ -39,6 +39,14 @@ fn disabled_telemetry_is_a_noop_fast_path() {
         });
         // qoco-watch: with no watch installed this is one relaxed load
         qoco_telemetry::watch_tick();
+        // request provenance (PR 10): disabled begin must return the 0
+        // sentinel and neither mark the thread nor touch the registry
+        let token = qoco_telemetry::begin_request(black_box("qr-noop"), "GET", "/health");
+        assert_eq!(token, 0, "disabled begin_request must return 0");
+        qoco_telemetry::set_request_phase("handler");
+        qoco_telemetry::set_request_session(black_box("s1"));
+        assert_eq!(qoco_telemetry::current_request_id(), None);
+        assert!(qoco_telemetry::end_request(token).is_none());
         span.finish();
     }
     let elapsed = start.elapsed();
@@ -53,6 +61,10 @@ fn disabled_telemetry_is_a_noop_fast_path() {
     assert_eq!(
         qoco_telemetry::metrics().snapshot().counter("guard.noop"),
         0
+    );
+    assert!(
+        qoco_telemetry::inflight_requests().is_empty(),
+        "disabled request marking must leave the in-flight registry empty"
     );
 }
 

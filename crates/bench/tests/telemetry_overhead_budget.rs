@@ -98,6 +98,34 @@ fn per_span_enabled_cost_is_bounded() {
     );
 }
 
+/// The serve layer's request-provenance path (PR 10) runs once per HTTP
+/// request: mark the thread, register the in-flight entry, bump the RED
+/// counters, unregister. That is a registry-mutex round trip and a few
+/// string allocations — fine per request, fatal if it ever crept into a
+/// per-span or per-tuple path. Budget: 10µs/op average under a loaded
+/// debug build (release is far under 1µs).
+#[test]
+fn per_request_enabled_cost_is_bounded() {
+    const OPS: u64 = 50_000;
+    let _serial = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    let collector = Arc::new(InMemoryCollector::new());
+    let session = qoco_telemetry::session(collector);
+    let start = Instant::now();
+    for i in 0..OPS {
+        let token = qoco_telemetry::begin_request(black_box("qr-budget"), "GET", "/health");
+        qoco_telemetry::set_request_phase("handler");
+        qoco_telemetry::counter_add("serve.requests", black_box(i) & 1);
+        assert!(qoco_telemetry::end_request(token).is_some());
+    }
+    let elapsed = start.elapsed();
+    drop(session);
+    let per_op_ns = elapsed.as_nanos() as f64 / OPS as f64;
+    assert!(
+        per_op_ns < 10_000.0,
+        "request begin/phase/end costs {per_op_ns:.0}ns on average (budget 10000ns)"
+    );
+}
+
 /// A running sampler must not slow the mutators it observes. The sampler
 /// never blocks span open/close — it `try_lock`s the stack registry and
 /// counts a dropped sample on contention — so the with-sampler eval time

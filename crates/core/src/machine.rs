@@ -163,6 +163,9 @@ impl SessionMachine {
     /// automatically after every mutation.
     fn step(&mut self) {
         install_suspend_hook();
+        // Surface the replay in the serve layer's in-flight inspector
+        // (no-op outside a request).
+        qoco_telemetry::set_request_phase("machine.step");
         let spec = &self.spec;
         let log = self.log.clone();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -281,6 +284,9 @@ impl SessionMachine {
             kind: pending.kind,
             outcome,
             decision: pending.decision,
+            // Which HTTP request supplied this answer: the serve layer
+            // marks its connection thread before dispatching into us.
+            request: qoco_telemetry::current_request_id(),
         })
     }
 

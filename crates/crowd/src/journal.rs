@@ -39,7 +39,10 @@
 //! record with the decision id that caused the question — older readers
 //! split on the first three tabs and never see it, and replay ignores it
 //! when checking for divergence, so journals written with and without
-//! provenance interoperate.
+//! provenance interoperate. A fifth field `r=<request-id>` (percent-escaped)
+//! tags the record with the HTTP request that drove the machine step, under
+//! the same rules: optional, ignored by older readers, excluded from the
+//! divergence comparison.
 //! A truncated final line (the crash happened mid-write) is ignored on
 //! load. The journal records one oracle's global answer sequence — wrap
 //! each panel member of a sequential session with [`Journal::wrap`] so they
@@ -75,6 +78,11 @@ pub struct JournalRecord {
     /// divergence comparison so journals with and without provenance
     /// interoperate).
     pub decision: Option<u64>,
+    /// The HTTP request id active when the question was asked (an optional
+    /// fifth `r=<id>` field on the wire, percent-escaped; same rules as
+    /// `decision`: absent outside the serve layer, ignored by older
+    /// readers, excluded from divergence).
+    pub request: Option<String>,
 }
 
 impl JournalRecord {
@@ -265,12 +273,16 @@ impl<O: Oracle> Oracle for JournalOracle<O> {
         // the *current* decision id (the resumed run re-derives identical
         // ids), keeping the in-memory log consistent with a fresh run.
         let decision = qoco_telemetry::current_decision_id();
+        // Same contract for the serve layer's request id: the replaying
+        // run re-tags with whatever request is driving *this* step.
+        let request = qoco_telemetry::current_request_id();
         let mut inner = self.journal.lock();
         inner.seq += 1;
         let seq = inner.seq;
         if let Some(rec) = inner.replay.pop_front() {
             inner.replayed += 1;
-            // decision ids are provenance metadata, not part of lockstep
+            // decision and request ids are provenance metadata, not part
+            // of lockstep
             if rec.kind != q.kind() || rec.outcome != live {
                 inner.divergences += 1;
                 qoco_telemetry::counter_add("journal.divergences", 1);
@@ -283,6 +295,7 @@ impl<O: Oracle> Oracle for JournalOracle<O> {
                 kind: rec.kind,
                 outcome: outcome.clone(),
                 decision,
+                request,
             });
             return outcome;
         }
@@ -291,6 +304,7 @@ impl<O: Oracle> Oracle for JournalOracle<O> {
             kind: q.kind(),
             outcome: live.clone(),
             decision,
+            request,
         };
         // Write-ahead: append + flush before the caller consumes the
         // outcome, so a crash at any question boundary leaves the journal
@@ -417,6 +431,10 @@ fn serialize_record(r: &JournalRecord) -> String {
     if let Some(d) = r.decision {
         let _ = write!(out, "\td={d}");
     }
+    if let Some(rid) = r.request.as_deref().filter(|r| !r.is_empty()) {
+        out.push_str("\tr=");
+        escape(rid, &mut out);
+    }
     out.push('\n');
     out
 }
@@ -463,20 +481,40 @@ fn parse_record(line: &str) -> Result<JournalRecord, String> {
     } else {
         return Err(format!("unknown outcome {outcome:?}"));
     };
-    let decision = match parts.next() {
-        None => None,
-        Some(extra) => Some(
-            extra
-                .strip_prefix("d=")
-                .and_then(|d| d.parse::<u64>().ok())
-                .ok_or_else(|| format!("bad decision field {extra:?}"))?,
-        ),
-    };
+    // The provenance tail: optional `d=<id>`, then optional `r=<id>`, in
+    // that order, nothing else. (`splitn(4)` leaves the whole tail in one
+    // chunk, so split it on tabs here.)
+    let mut decision = None;
+    let mut request: Option<String> = None;
+    if let Some(tail) = parts.next() {
+        for field in tail.split('\t') {
+            if let Some(d) = field.strip_prefix("d=") {
+                if decision.is_some() || request.is_some() {
+                    return Err(format!("misordered provenance field {field:?} in {line:?}"));
+                }
+                decision = Some(
+                    d.parse::<u64>()
+                        .map_err(|_| format!("bad decision field {field:?}"))?,
+                );
+            } else if let Some(rid) = field.strip_prefix("r=") {
+                if request.is_some() {
+                    return Err(format!("duplicate request field {field:?} in {line:?}"));
+                }
+                if rid.is_empty() {
+                    return Err(format!("empty request field in {line:?}"));
+                }
+                request = Some(unescape(rid)?);
+            } else {
+                return Err(format!("bad decision field {field:?}"));
+            }
+        }
+    }
     Ok(JournalRecord {
         seq,
         kind,
         outcome,
         decision,
+        request,
     })
 }
 
@@ -531,24 +569,43 @@ mod tests {
             kind: QuestionKind::Complete,
             outcome: Ok(Answer::Completion(None)),
             decision: None,
+            request: None,
         });
         records.push(JournalRecord {
             seq: 5,
             kind: QuestionKind::CompleteResult,
             outcome: Ok(Answer::MissingAnswer(None)),
             decision: None,
+            request: None,
         });
         records.push(JournalRecord {
             seq: 6,
             kind: QuestionKind::VerifyFact,
             outcome: Err(OracleError::Timeout),
             decision: None,
+            request: None,
         });
         records.push(JournalRecord {
             seq: 7,
             kind: QuestionKind::VerifyAnswer,
             outcome: Ok(Answer::Bool(false)),
             decision: Some(42),
+            request: None,
+        });
+        // request provenance alone, and together with a decision id
+        records.push(JournalRecord {
+            seq: 8,
+            kind: QuestionKind::VerifyFact,
+            outcome: Ok(Answer::Bool(true)),
+            decision: None,
+            request: Some("qr-3".to_string()),
+        });
+        records.push(JournalRecord {
+            seq: 9,
+            kind: QuestionKind::VerifyFact,
+            outcome: Ok(Answer::Bool(true)),
+            decision: Some(7),
+            request: Some("trace me=hostile\tid".to_string()),
         });
         let text: String = records.iter().map(serialize_record).collect();
         let parsed = Journal::parse(&text).unwrap();
@@ -565,6 +622,7 @@ mod tests {
                 Value::int(-7),
             ])))),
             decision: None,
+            request: Some("id%with|every:bad,char=\n".to_string()),
         };
         let text = serialize_record(&rec);
         assert_eq!(text.matches('\n').count(), 1, "payload newline escaped");
@@ -588,6 +646,15 @@ mod tests {
         assert!(Journal::parse("x\tverify_fact\tok:bool:true\n").is_err());
         assert!(Journal::parse("1\tverify_fact\tok:bool:true\td=\n").is_err());
         assert!(Journal::parse("1\tverify_fact\tok:bool:true\tjunk\n").is_err());
+        // request-field strictness: empty, duplicated, or misordered
+        // provenance fields are corruption, not extensions
+        assert!(Journal::parse("1\tverify_fact\tok:bool:true\tr=\n").is_err());
+        assert!(Journal::parse("1\tverify_fact\tok:bool:true\tr=a\tr=b\n").is_err());
+        assert!(Journal::parse("1\tverify_fact\tok:bool:true\tr=a\td=1\n").is_err());
+        assert!(Journal::parse("1\tverify_fact\tok:bool:true\td=1\tr=a\tx\n").is_err());
+        // and the well-formed shapes parse
+        assert!(Journal::parse("1\tverify_fact\tok:bool:true\td=1\tr=a\n").is_ok());
+        assert!(Journal::parse("1\tverify_fact\tok:bool:true\tr=qr-9\n").is_ok());
     }
 
     #[test]
@@ -633,6 +700,7 @@ mod tests {
             kind: QuestionKind::VerifyFact,
             outcome: Ok(Answer::Bool(false)), // the live oracle will say true
             decision: None,
+            request: None,
         }];
         let journal = Journal::replaying(records);
         let mut oracle = journal.wrap(PerfectOracle::new(ground()));

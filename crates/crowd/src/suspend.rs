@@ -199,6 +199,7 @@ mod tests {
             kind: QuestionKind::VerifyFact,
             outcome: Ok(Answer::Bool(b)),
             decision: None,
+            request: None,
         }
     }
 
@@ -227,6 +228,7 @@ mod tests {
             kind: QuestionKind::VerifyFact,
             outcome: Err(OracleError::Abstain),
             decision: None,
+            request: None,
         }]);
         assert_eq!(oracle.answer(&verify_q()), Err(OracleError::Abstain));
     }
@@ -238,6 +240,7 @@ mod tests {
             kind: QuestionKind::VerifyAnswer,
             outcome: Ok(Answer::Bool(true)),
             decision: None,
+            request: None,
         }]);
         assert_eq!(oracle.answer(&verify_q()), Ok(Answer::Bool(true)));
         assert_eq!(oracle.desyncs(), 1);

@@ -1,0 +1,347 @@
+//! Structured JSONL access log for the serve layer.
+//!
+//! One line per finished request — method, route, status, bytes, latency,
+//! request id, session id — written by a dedicated writer thread behind a
+//! bounded channel. The design constraints, in order:
+//!
+//! 1. **Never block a connection thread.** `record` uses `try_send`; when
+//!    the channel is full the line is *dropped* and the
+//!    `serve.accesslog_dropped` counter incremented. An access log is an
+//!    observability aid, not a ledger — the journal is the ledger.
+//! 2. **No torn lines.** The writer thread is the only writer and emits
+//!    each line with a single `write_all` against an unbuffered `File`, so
+//!    a `kill -9` can lose the in-flight line but never interleave two.
+//! 3. **Bounded disk.** When the live file would exceed `max_bytes` it is
+//!    rotated to `<path>.1` (replacing any previous rotation) and a fresh
+//!    file started, so the pair never holds more than one rotation beyond
+//!    the cap.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::thread::JoinHandle;
+
+use crate::json::push_json_str;
+
+/// Default bound on the writer channel: deep enough to absorb a burst of
+/// finished requests, small enough that a wedged disk cannot buffer
+/// unbounded memory.
+pub const DEFAULT_ACCESS_LOG_CAPACITY: usize = 1024;
+
+/// Default rotation threshold (bytes) for the live file.
+pub const DEFAULT_ACCESS_LOG_MAX_BYTES: u64 = 8 * 1024 * 1024;
+
+/// One finished request, ready to be serialized as an access-log line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessLogEntry {
+    /// Session-relative completion time, ns.
+    pub at_ns: u64,
+    /// The request id (inbound or listener-generated).
+    pub request_id: String,
+    /// HTTP method.
+    pub method: String,
+    /// Request path (no query string).
+    pub route: String,
+    /// Response status code (e.g. 200, 404, 429).
+    pub status: u16,
+    /// Response body size, bytes.
+    pub bytes: u64,
+    /// Wall-clock time from first byte read to response written, ns.
+    pub latency_ns: u64,
+    /// Cleaning session the request touched, if any.
+    pub session: Option<String>,
+}
+
+impl AccessLogEntry {
+    /// Render the entry as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str("{\"type\":\"access\",\"at_ns\":");
+        out.push_str(&self.at_ns.to_string());
+        out.push_str(",\"request\":");
+        push_json_str(&mut out, &self.request_id);
+        out.push_str(",\"method\":");
+        push_json_str(&mut out, &self.method);
+        out.push_str(",\"route\":");
+        push_json_str(&mut out, &self.route);
+        out.push_str(",\"status\":");
+        out.push_str(&self.status.to_string());
+        out.push_str(",\"bytes\":");
+        out.push_str(&self.bytes.to_string());
+        out.push_str(",\"latency_ns\":");
+        out.push_str(&self.latency_ns.to_string());
+        if let Some(session) = &self.session {
+            out.push_str(",\"session\":");
+            push_json_str(&mut out, session);
+        }
+        out.push('}');
+        out
+    }
+}
+
+enum Msg {
+    Line(String),
+    Flush(SyncSender<()>),
+}
+
+/// Handle to a running access log; see the module docs. Dropping it drains
+/// the channel and joins the writer thread.
+pub struct AccessLog {
+    tx: Option<SyncSender<Msg>>,
+    writer: Option<JoinHandle<()>>,
+}
+
+impl AccessLog {
+    /// Open (truncating) the log at `path` with the default channel
+    /// capacity and rotation threshold.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<AccessLog> {
+        Self::with_limits(
+            path,
+            DEFAULT_ACCESS_LOG_MAX_BYTES,
+            DEFAULT_ACCESS_LOG_CAPACITY,
+        )
+    }
+
+    /// Open (truncating) the log at `path`, rotating the live file to
+    /// `<path>.1` when it would exceed `max_bytes`, with a writer channel
+    /// holding at most `capacity` pending lines.
+    pub fn with_limits(
+        path: impl AsRef<Path>,
+        max_bytes: u64,
+        capacity: usize,
+    ) -> std::io::Result<AccessLog> {
+        let path: PathBuf = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        let (tx, rx) = sync_channel::<Msg>(capacity.max(1));
+        let writer = std::thread::Builder::new()
+            .name("qoco-access-log".to_string())
+            .spawn(move || {
+                let mut file = file;
+                let mut written: u64 = 0;
+                for msg in rx {
+                    match msg {
+                        Msg::Line(line) => {
+                            let len = line.len() as u64 + 1;
+                            if written > 0 && written + len > max_bytes {
+                                // Rotation keeps whole lines: the live file
+                                // is only ever swapped between writes.
+                                let rotated = rotation_path(&path);
+                                let _ = std::fs::rename(&path, &rotated);
+                                match File::create(&path) {
+                                    Ok(f) => file = f,
+                                    Err(_) => continue,
+                                }
+                                written = 0;
+                            }
+                            let mut buf = line.into_bytes();
+                            buf.push(b'\n');
+                            if file.write_all(&buf).is_ok() {
+                                written += len;
+                            }
+                        }
+                        Msg::Flush(ack) => {
+                            let _ = file.flush();
+                            let _ = ack.send(());
+                        }
+                    }
+                }
+                let _ = file.flush();
+            })?;
+        Ok(AccessLog {
+            tx: Some(tx),
+            writer: Some(writer),
+        })
+    }
+
+    /// Queue one entry. Lossy: when the writer is saturated the entry is
+    /// dropped and `serve.accesslog_dropped` incremented instead of
+    /// blocking the connection thread.
+    pub fn record(&self, entry: &AccessLogEntry) {
+        let Some(tx) = &self.tx else { return };
+        match tx.try_send(Msg::Line(entry.to_json())) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                crate::counter_add("serve.accesslog_dropped", 1);
+            }
+        }
+    }
+
+    /// Block until every entry queued before this call is on disk. Test
+    /// and shutdown hook; connection threads never call it.
+    pub fn flush(&self) {
+        let Some(tx) = &self.tx else { return };
+        let (ack_tx, ack_rx) = sync_channel(1);
+        if tx.send(Msg::Flush(ack_tx)).is_ok() {
+            let _ = ack_rx.recv();
+        }
+    }
+}
+
+impl Drop for AccessLog {
+    fn drop(&mut self) {
+        // Closing the channel lets the writer drain what is queued and
+        // exit; joining makes drop a durability point for tests.
+        self.tx.take();
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
+    }
+}
+
+/// Where the live file is moved on rotation: `<path>.1`.
+pub fn rotation_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".1");
+    PathBuf::from(os)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qoco-accesslog-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn entry(request_id: &str, seqno: u64) -> AccessLogEntry {
+        AccessLogEntry {
+            at_ns: seqno,
+            request_id: request_id.to_string(),
+            method: "GET".to_string(),
+            route: "/sessions/s1/report".to_string(),
+            status: 200,
+            bytes: 512,
+            latency_ns: 41_000,
+            session: Some("s1".to_string()),
+        }
+    }
+
+    #[test]
+    fn lines_are_well_formed_jsonl() {
+        let mut e = entry("qr-1", 7);
+        e.session = None;
+        assert_eq!(
+            e.to_json(),
+            "{\"type\":\"access\",\"at_ns\":7,\"request\":\"qr-1\",\"method\":\"GET\",\
+             \"route\":\"/sessions/s1/report\",\"status\":200,\"bytes\":512,\
+             \"latency_ns\":41000}"
+        );
+        let with_session = entry("a\"b", 7).to_json();
+        assert!(
+            with_session.contains("\"request\":\"a\\\"b\""),
+            "escaped id"
+        );
+        assert!(with_session.ends_with(",\"session\":\"s1\"}"));
+    }
+
+    #[test]
+    fn entries_reach_disk_in_order() {
+        let dir = tmpdir("order");
+        let path = dir.join("access.jsonl");
+        let log = AccessLog::create(&path).unwrap();
+        for i in 0..50 {
+            log.record(&entry(&format!("qr-{i}"), i));
+        }
+        log.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 50);
+        for (i, line) in lines.iter().enumerate() {
+            assert!(
+                line.contains(&format!("\"request\":\"qr-{i}\"")),
+                "line {i} out of order: {line}"
+            );
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_keeps_whole_lines_on_both_sides() {
+        let dir = tmpdir("rotate");
+        let path = dir.join("access.jsonl");
+        // Threshold of ~4 lines' worth forces several rotations over 40
+        // entries; every surviving line must still be complete JSON.
+        let line_len = entry("qr-00", 0).to_json().len() as u64 + 1;
+        let log = AccessLog::with_limits(&path, line_len * 4, 64).unwrap();
+        for i in 0..40 {
+            log.record(&entry(&format!("qr-{i:02}"), i));
+        }
+        log.flush();
+        drop(log);
+        let rotated = rotation_path(&path);
+        assert!(rotated.exists(), "rotation must have happened");
+        for p in [&path, &rotated] {
+            let text = std::fs::read_to_string(p).unwrap();
+            assert!(!text.is_empty());
+            for line in text.lines() {
+                assert!(
+                    line.starts_with("{\"type\":\"access\"") && line.ends_with('}'),
+                    "torn line in {}: {line}",
+                    p.display()
+                );
+            }
+            assert!(
+                std::fs::metadata(p).unwrap().len() <= line_len * 5,
+                "rotation failed to bound {}",
+                p.display()
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn saturation_drops_lossily_without_blocking() {
+        let dir = tmpdir("lossy");
+        let path = dir.join("access.jsonl");
+        // Capacity 1 with a flush-blocked writer: records beyond the
+        // channel must drop, not block.
+        let log = AccessLog::with_limits(&path, u64::MAX, 1).unwrap();
+        let session = crate::session(std::sync::Arc::new(crate::InMemoryCollector::new()));
+        for i in 0..200 {
+            log.record(&entry(&format!("qr-{i}"), i));
+        }
+        log.flush();
+        drop(log);
+        let written = std::fs::read_to_string(&path).unwrap().lines().count() as u64;
+        let dropped = crate::metrics()
+            .snapshot()
+            .counter("serve.accesslog_dropped");
+        drop(session);
+        assert_eq!(written + dropped, 200, "every record written or counted");
+        assert!(written >= 1, "the writer must make progress");
+    }
+
+    #[test]
+    fn concurrent_writers_never_tear_lines() {
+        let dir = tmpdir("concurrent");
+        let path = dir.join("access.jsonl");
+        let log = AccessLog::with_limits(&path, u64::MAX, 4096).unwrap();
+        std::thread::scope(|scope| {
+            for w in 0..4u64 {
+                let log = &log;
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        log.record(&entry(&format!("w{w}-{i}"), i));
+                    }
+                });
+            }
+        });
+        log.flush();
+        drop(log);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 400);
+        for line in lines {
+            assert!(
+                line.starts_with("{\"type\":\"access\"") && line.ends_with('}'),
+                "torn line: {line}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -141,6 +141,10 @@ pub fn chrome_trace_json_full(
         if let Some(span) = d.span {
             out.push_str(&format!(",\"span_id\":\"{span}\""));
         }
+        if let Some(request) = &d.request {
+            out.push_str(",\"request\":");
+            push_json_str(&mut out, request);
+        }
         for (k, v) in &d.evidence {
             out.push(',');
             push_json_str(&mut out, k);
@@ -231,6 +235,7 @@ mod tests {
             question: "TRUE(g98)?".to_string(),
             outcome: "false".to_string(),
             evidence: vec![("ranking", "g98=2 > g10=2".to_string())],
+            request: None,
         }];
         let json =
             chrome_trace_json_full(&[span(1, "clean.session", 0, 0, 2_000)], &[], &decisions);

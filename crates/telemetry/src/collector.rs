@@ -160,6 +160,16 @@ impl JsonlCollector {
         Ok(Self::from_writer(Box::new(BufWriter::new(file))))
     }
 
+    /// Create (truncate) `path` and stream records to it **write-through**:
+    /// no userspace buffer, one `write` per line. The serve layer uses this
+    /// — its export is an input to the `validate-requests` gate, which
+    /// replays the artifacts of deliberately `kill -9`ed runs, so every
+    /// line handed to the collector must already be on disk.
+    pub fn create_write_through(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self::from_writer(Box::new(file)))
+    }
+
     /// Stream records to an arbitrary writer.
     pub fn from_writer(writer: Box<dyn Write + Send>) -> Self {
         JsonlCollector {
@@ -168,10 +178,14 @@ impl JsonlCollector {
     }
 
     fn write_line(&self, line: &str) {
+        let mut buf = String::with_capacity(line.len() + 1);
+        buf.push_str(line);
+        buf.push('\n');
         let mut out = unpoisoned(&self.out);
-        // Telemetry must never take the session down: I/O errors are
-        // swallowed (the exporter is best-effort by design).
-        let _ = writeln!(out, "{line}");
+        // One write call per line so a write-through export never tears a
+        // line mid-record, and telemetry must never take the session down:
+        // I/O errors are swallowed (the exporter is best-effort by design).
+        let _ = out.write_all(buf.as_bytes());
     }
 
     /// Append every metric in `snapshot` as a `"metric"` line; call once
@@ -281,7 +295,13 @@ impl Collector for JsonlCollector {
             line.push(':');
             push_json_str(&mut line, v);
         }
-        line.push_str("}}");
+        line.push('}');
+        // emitted only when present, so serve-less exports stay byte-stable
+        if let Some(request) = &decision.request {
+            line.push_str(",\"request\":");
+            push_json_str(&mut line, request);
+        }
+        line.push('}');
         self.write_line(&line);
     }
 }
@@ -386,6 +406,7 @@ mod tests {
                 ("selector", "most-frequent".to_string()),
                 ("ranking", "g98=2 > g10=2".to_string()),
             ],
+            request: None,
         }
     }
 
@@ -394,11 +415,20 @@ mod tests {
         let buf = Arc::new(Mutex::new(Vec::new()));
         let c = JsonlCollector::from_writer(Box::new(SharedBuf(buf.clone())));
         c.record_decision(&sample_decision());
+        c.record_decision(&DecisionRecord {
+            request: Some("qr-5".to_string()),
+            ..sample_decision()
+        });
         c.flush();
         let text = String::from_utf8(unpoisoned(&buf).clone()).unwrap();
+        let mut lines = text.lines();
         assert_eq!(
-            text.lines().next().unwrap(),
+            lines.next().unwrap(),
             r#"{"type":"decision","id":3,"at_ns":140,"span":2,"tid":0,"kind":"deletion.verify_fact","question":"TRUE(Games(\"12.07.98\"))?","outcome":"false","evidence":{"selector":"most-frequent","ranking":"g98=2 > g10=2"}}"#
+        );
+        assert_eq!(
+            lines.next().unwrap(),
+            r#"{"type":"decision","id":3,"at_ns":140,"span":2,"tid":0,"kind":"deletion.verify_fact","question":"TRUE(Games(\"12.07.98\"))?","outcome":"false","evidence":{"selector":"most-frequent","ranking":"g98=2 > g10=2"},"request":"qr-5"}"#
         );
     }
 

@@ -56,6 +56,9 @@ pub struct DecisionRecord {
     /// Structured cause, as ordered key/value pairs (witness sets,
     /// frequency rankings, split paths, fault + policy steps, …).
     pub evidence: Vec<(&'static str, String)>,
+    /// The HTTP request id current on the recording thread, if the
+    /// decision was made while serving one (see [`crate::begin_request`]).
+    pub request: Option<String>,
 }
 
 impl DecisionRecord {
@@ -150,6 +153,7 @@ fn dispatch(id: u64, kind: &'static str, detail: DecisionDetail) {
         question: detail.question,
         outcome: detail.outcome,
         evidence: detail.evidence,
+        request: crate::current_request_id(),
     };
     crate::with_collector(|c| c.record_decision(&record));
 }

@@ -53,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod accesslog;
 mod alerts;
 mod chrome;
 mod collector;
@@ -62,11 +63,16 @@ mod json;
 mod metrics;
 mod profiler;
 mod prometheus;
+mod request;
 mod server;
 mod span;
 mod timeline;
 mod timeseries;
 
+pub use accesslog::{
+    rotation_path, AccessLog, AccessLogEntry, DEFAULT_ACCESS_LOG_CAPACITY,
+    DEFAULT_ACCESS_LOG_MAX_BYTES,
+};
 pub use alerts::{
     parse_rule, parse_rules, AlertEngine, AlertStateView, Cmp, EvalOutcome, Expr, Rule, Severity,
     Transition,
@@ -81,6 +87,10 @@ pub use flame::flamegraph_svg;
 pub use metrics::{HistogramSummary, MetricsRegistry, MetricsSnapshot, BUCKET_BOUNDS};
 pub use profiler::{
     diff_profiles, sample_totals, FrameDelta, Profile, Profiler, DEFAULT_SAMPLE_INTERVAL,
+};
+pub use request::{
+    begin_request, clear_current_request, current_request_id, end_request, inflight_requests,
+    intern_metric_name, set_request_phase, set_request_session, InflightRequest,
 };
 pub use server::{HttpRequest, HttpResponse, MetricsServer, RouteHandler, ServerOptions};
 pub use span::{EventRecord, SpanGuard, SpanRecord};
@@ -163,6 +173,9 @@ pub fn install(collector: Arc<dyn Collector>) {
     decision::NEXT_DECISION_ID.store(1, Ordering::Relaxed);
     // A span guard leaked across sessions must not haunt the profiler.
     STACK_REGISTRY.clear();
+    // Nor may a request leaked across sessions haunt the in-flight
+    // inspector.
+    request::clear_registry();
     let mut slot = COLLECTOR.write().unwrap_or_else(|p| p.into_inner());
     *slot = Some(collector);
     ENABLED.store(true, Ordering::Relaxed);

@@ -13,6 +13,9 @@
 //!   metric plus its windowed rate and min/max/last as JSON.
 //! * `GET /dashboard` — a self-contained HTML page with inline-SVG
 //!   sparklines and the alert table (see [`crate::dashboard_html`]).
+//! * `GET /api/requests` — the in-flight request inspector: every request
+//!   currently being served, with its id, route, session, current phase
+//!   and age (see [`crate::inflight_requests`]).
 //!
 //! Additional routes — the `/sessions` API of `qoco-serve` — plug in
 //! through [`RouteHandler`] in [`ServerOptions`]: the handler is consulted
@@ -21,6 +24,22 @@
 //! every route that does exist. Each route carries its correct
 //! `Content-Type` and every response closes the connection
 //! (`Connection: close`).
+//!
+//! ## Request observability
+//!
+//! Every request is assigned a **request id**: an inbound `X-Request-Id`
+//! header (or the trace id of a W3C `traceparent`) is honored, anything
+//! else gets a deterministic `qr-N` from a per-listener counter seeded by
+//! [`ServerOptions::request_id_seed`]. The id is echoed back as an
+//! `X-Request-Id` response header, stamped on the request's
+//! `serve.request` span, marked current on the connection thread (see
+//! [`crate::begin_request`]) so the machine step, journal and decision
+//! layers underneath can tag their records with it, and written to the
+//! structured access log ([`ServerOptions::access_log`]) together with
+//! method, route, status, bytes, latency and session. Per-route RED
+//! metrics (`serve.requests.<route>.<class>` counters,
+//! `serve.latency_ns.<route>` histograms, the `serve.inflight` gauge)
+//! flow through the ordinary registry.
 //!
 //! ## Robustness
 //!
@@ -40,7 +59,7 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -57,6 +76,10 @@ pub struct HttpRequest {
     pub query: String,
     /// The request body (empty unless the client sent `Content-Length`).
     pub body: Vec<u8>,
+    /// The request id: the sanitized inbound `X-Request-Id` (or
+    /// `traceparent` trace id), else a listener-generated `qr-N`. Never
+    /// empty by the time a [`RouteHandler`] sees the request.
+    pub request_id: String,
 }
 
 /// A response a [`RouteHandler`] produces.
@@ -116,6 +139,13 @@ pub struct ServerOptions {
     /// Wall-clock allowance for reading one complete request (head and
     /// body); a drip-feeding client is cut off with `408` when it lapses.
     pub read_deadline: Duration,
+    /// Structured JSONL access log; `None` logs nothing.
+    pub access_log: Option<Arc<crate::AccessLog>>,
+    /// First value of the per-listener counter that mints `qr-N` request
+    /// ids for requests arriving without one. Deterministic by design: a
+    /// replayed request sequence against a fresh listener reproduces the
+    /// same ids.
+    pub request_id_seed: u64,
 }
 
 impl Default for ServerOptions {
@@ -125,6 +155,8 @@ impl Default for ServerOptions {
             max_connections: 64,
             max_body_bytes: 1 << 20,
             read_deadline: Duration::from_secs(5),
+            access_log: None,
+            request_id_seed: 1,
         }
     }
 }
@@ -155,6 +187,7 @@ impl MetricsServer {
         let started = Instant::now();
         let options = Arc::new(options);
         let in_flight = Arc::new(AtomicUsize::new(0));
+        let request_ids = Arc::new(AtomicU64::new(options.request_id_seed));
         let handle = std::thread::Builder::new()
             .name("qoco-metrics".to_string())
             .spawn(move || {
@@ -169,23 +202,28 @@ impl MetricsServer {
                     if live >= options.max_connections {
                         in_flight.fetch_sub(1, Ordering::SeqCst);
                         crate::counter_add("serve.rejected", 1);
-                        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-                        let _ = write_response(
-                            &mut stream,
-                            &HttpResponse::text(
-                                "429 Too Many Requests",
-                                "connection limit reached, retry later\n".to_string(),
-                            ),
+                        crate::counter_add("serve.rejected.cap", 1);
+                        let received = Instant::now();
+                        let rid = next_request_id(&request_ids);
+                        let resp = HttpResponse::text(
+                            "429 Too Many Requests",
+                            "connection limit reached, retry later\n".to_string(),
                         );
+                        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+                        let _ = write_response(&mut stream, &resp, Some(&rid));
                         drain_unread(&mut stream);
+                        log_access(&options, received, &rid, "-", "-", &resp, None);
                         continue;
                     }
                     let options = options.clone();
                     let slot = in_flight.clone();
+                    let ids = request_ids.clone();
                     let spawned = std::thread::Builder::new()
                         .name("qoco-serve-conn".to_string())
                         .spawn(move || {
-                            let _ = serve_one(stream, started, &options);
+                            crate::gauge_add("serve.inflight", 1.0);
+                            let _ = serve_one(stream, started, &options, &ids);
+                            crate::gauge_add("serve.inflight", -1.0);
                             slot.fetch_sub(1, Ordering::SeqCst);
                         });
                     if spawned.is_err() {
@@ -412,7 +450,74 @@ enum ReadOutcome {
     /// A complete request (head fully read; body as advertised).
     Request(HttpRequest),
     /// The client earned an early error response.
-    Reject(HttpResponse),
+    Reject(Box<RejectInfo>),
+}
+
+/// Everything known about a rejected request: the error response, the
+/// labeled reason feeding `serve.rejected.<reason>`, and whatever request
+/// metadata had been parsed before the reject (`"-"` / `None` when the
+/// reject fired before the head was readable).
+struct RejectInfo {
+    response: HttpResponse,
+    reason: &'static str,
+    method: String,
+    route: String,
+    request_id: Option<String>,
+}
+
+impl RejectInfo {
+    /// A reject that fired before any of the head could be parsed.
+    fn early(response: HttpResponse, reason: &'static str) -> ReadOutcome {
+        ReadOutcome::Reject(Box::new(RejectInfo {
+            response,
+            reason,
+            method: "-".to_string(),
+            route: "-".to_string(),
+            request_id: None,
+        }))
+    }
+}
+
+/// The labeled sibling of the legacy `serve.rejected` total. Static names,
+/// because the reason vocabulary is closed: `cap` (connection/session
+/// caps), `uri` (request-line and head bounds), `deadline` (slow reads),
+/// `body` (body cap).
+fn reject_reason_counter(reason: &str) -> &'static str {
+    match reason {
+        "cap" => "serve.rejected.cap",
+        "uri" => "serve.rejected.uri",
+        "deadline" => "serve.rejected.deadline",
+        "body" => "serve.rejected.body",
+        _ => "serve.rejected.other",
+    }
+}
+
+/// Mint the next `qr-N` id from the per-listener counter.
+fn next_request_id(ids: &AtomicU64) -> String {
+    format!("qr-{}", ids.fetch_add(1, Ordering::Relaxed))
+}
+
+/// An inbound request id, made safe to echo into a response header and an
+/// access-log line: printable ASCII only (no CR/LF header injection),
+/// bounded length. `None` when nothing survives.
+fn sanitize_request_id(raw: &str) -> Option<String> {
+    let cleaned: String = raw
+        .trim()
+        .chars()
+        .filter(|c| c.is_ascii_graphic())
+        .take(128)
+        .collect();
+    (!cleaned.is_empty()).then_some(cleaned)
+}
+
+/// The trace-id component of a W3C `traceparent` header
+/// (`00-<32 hex>-<16 hex>-<2 hex>`), if well-formed.
+fn traceparent_trace_id(raw: &str) -> Option<String> {
+    raw.trim()
+        .split('-')
+        .nth(1)
+        .filter(|t| t.len() == 32 && t.chars().all(|c| c.is_ascii_hexdigit()))
+        .map(str::to_string)
 }
 
 /// Read one request under the wall-clock deadline; see the module docs.
@@ -428,22 +533,28 @@ fn read_request(stream: &mut TcpStream, options: &ServerOptions) -> std::io::Res
             break pos;
         }
         if buf.len() >= MAX_REQUEST_LINE && !buf.contains(&b'\n') {
-            return Ok(ReadOutcome::Reject(HttpResponse::text(
-                "414 URI Too Long",
-                "request line too long\n".to_string(),
-            )));
+            return Ok(RejectInfo::early(
+                HttpResponse::text("414 URI Too Long", "request line too long\n".to_string()),
+                "uri",
+            ));
         }
         if buf.len() >= 64 * 1024 {
-            return Ok(ReadOutcome::Reject(HttpResponse::text(
-                "431 Request Header Fields Too Large",
-                "request head too large\n".to_string(),
-            )));
+            return Ok(RejectInfo::early(
+                HttpResponse::text(
+                    "431 Request Header Fields Too Large",
+                    "request head too large\n".to_string(),
+                ),
+                "uri",
+            ));
         }
         if Instant::now() >= deadline {
-            return Ok(ReadOutcome::Reject(HttpResponse::text(
-                "408 Request Timeout",
-                "request head deadline exceeded\n".to_string(),
-            )));
+            return Ok(RejectInfo::early(
+                HttpResponse::text(
+                    "408 Request Timeout",
+                    "request head deadline exceeded\n".to_string(),
+                ),
+                "deadline",
+            ));
         }
         stream.set_read_timeout(Some(slice))?;
         match stream.read(&mut chunk) {
@@ -469,29 +580,48 @@ fn read_request(stream: &mut TcpStream, options: &ServerOptions) -> std::io::Res
     let method = request_line.next().unwrap_or("").to_string();
     let path = request_line.next().unwrap_or("").to_string();
     let (route, query) = path.split_once('?').unwrap_or((path.as_str(), ""));
-    let content_length = head
-        .lines()
-        .skip(1)
-        .filter_map(|l| l.split_once(':'))
-        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
-        .and_then(|(_, v)| v.trim().parse::<usize>().ok())
-        .unwrap_or(0);
+    let mut content_length = 0usize;
+    let mut inbound_id: Option<String> = None;
+    let mut trace_id: Option<String> = None;
+    for (k, v) in head.lines().skip(1).filter_map(|l| l.split_once(':')) {
+        if k.eq_ignore_ascii_case("content-length") {
+            content_length = v.trim().parse().unwrap_or(0);
+        } else if k.eq_ignore_ascii_case("x-request-id") {
+            inbound_id = sanitize_request_id(v);
+        } else if k.eq_ignore_ascii_case("traceparent") {
+            trace_id = traceparent_trace_id(v);
+        }
+    }
+    // An explicit X-Request-Id beats the traceparent's trace id.
+    let request_id = inbound_id.or(trace_id);
     if content_length > options.max_body_bytes {
-        return Ok(ReadOutcome::Reject(HttpResponse::text(
-            "413 Content Too Large",
-            format!(
-                "request body of {content_length} bytes exceeds the {} byte cap\n",
-                options.max_body_bytes
+        return Ok(ReadOutcome::Reject(Box::new(RejectInfo {
+            response: HttpResponse::text(
+                "413 Content Too Large",
+                format!(
+                    "request body of {content_length} bytes exceeds the {} byte cap\n",
+                    options.max_body_bytes
+                ),
             ),
-        )));
+            reason: "body",
+            method,
+            route: route.to_string(),
+            request_id,
+        })));
     }
     let mut body = buf[head_end + 4..].to_vec();
     while body.len() < content_length {
         if Instant::now() >= deadline {
-            return Ok(ReadOutcome::Reject(HttpResponse::text(
-                "408 Request Timeout",
-                "request body deadline exceeded\n".to_string(),
-            )));
+            return Ok(ReadOutcome::Reject(Box::new(RejectInfo {
+                response: HttpResponse::text(
+                    "408 Request Timeout",
+                    "request body deadline exceeded\n".to_string(),
+                ),
+                reason: "deadline",
+                method: method.clone(),
+                route: route.to_string(),
+                request_id: request_id.clone(),
+            })));
         }
         stream.set_read_timeout(Some(slice))?;
         match stream.read(&mut chunk) {
@@ -514,6 +644,9 @@ fn read_request(stream: &mut TcpStream, options: &ServerOptions) -> std::io::Res
         route: route.to_string(),
         query: query.to_string(),
         body,
+        // Empty means "none inbound": serve_one mints a qr-N before
+        // anything else sees the request.
+        request_id: request_id.unwrap_or_default(),
     }))
 }
 
@@ -531,32 +664,203 @@ fn drain_unread(stream: &mut TcpStream) {
     let _ = stream.read(&mut sink);
 }
 
-fn write_response(stream: &mut TcpStream, r: &HttpResponse) -> std::io::Result<()> {
-    let response = format!(
-        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+fn write_response(
+    stream: &mut TcpStream,
+    r: &HttpResponse,
+    request_id: Option<&str>,
+) -> std::io::Result<()> {
+    let mut response = format!(
+        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         r.status,
         r.content_type,
         r.body.len(),
-        r.body
     );
+    if let Some(rid) = request_id {
+        response.push_str("X-Request-Id: ");
+        response.push_str(rid);
+        response.push_str("\r\n");
+    }
+    response.push_str("\r\n");
+    response.push_str(&r.body);
     stream.write_all(response.as_bytes())
 }
 
-/// Handle one connection: read the request, answer, close.
+/// Numeric status code of a status line tail like `"200 OK"`.
+fn status_code(status: &str) -> u16 {
+    status
+        .split_whitespace()
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The `{id}` of a `/sessions/{id}/…` route, the access log's fallback
+/// when the handler never tagged a session explicitly.
+fn session_from_route(route: &str) -> Option<String> {
+    let tail = route.strip_prefix("/sessions/")?;
+    let id = tail.split('/').next().unwrap_or("");
+    (!id.is_empty()).then(|| id.to_string())
+}
+
+/// The stable per-route label used in metric names: bounded vocabulary by
+/// construction, so interning the composed names cannot leak unboundedly.
+fn route_metric_key(method: &str, route: &str) -> &'static str {
+    match (method, route) {
+        (_, "/metrics") => "metrics",
+        (_, "/health") => "health",
+        (_, "/alerts") => "alerts",
+        (_, "/dashboard") => "dashboard",
+        (_, "/api/timeseries") => "timeseries",
+        (_, "/api/requests") => "requests",
+        ("POST", "/sessions") => "sessions_create",
+        ("GET", "/sessions") => "sessions_list",
+        _ => match route.rsplit_once('/').map(|(_, leaf)| leaf) {
+            Some("pending") if route.starts_with("/sessions/") => "pending",
+            Some("answers") if route.starts_with("/sessions/") => "answers",
+            Some("report") if route.starts_with("/sessions/") => "report",
+            _ => "other",
+        },
+    }
+}
+
+/// The status class label (`2xx`, `3xx`, `4xx`, `5xx`, `other`).
+fn status_class(status: &str) -> &'static str {
+    match status_code(status) {
+        200..=299 => "2xx",
+        300..=399 => "3xx",
+        400..=499 => "4xx",
+        500..=599 => "5xx",
+        _ => "other",
+    }
+}
+
+/// Record the per-route RED metrics for one finished request. All the
+/// name-building work is gated so the disabled path stays allocation-free.
+fn record_red_metrics(method: &str, route: &str, status: &'static str, latency_ns: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let key = route_metric_key(method, route);
+    let class = status_class(status);
+    crate::counter_add("serve.requests", 1);
+    crate::counter_add(
+        crate::intern_metric_name(&format!("serve.requests.{key}.{class}")),
+        1,
+    );
+    crate::histogram_record(
+        crate::intern_metric_name(&format!("serve.latency_ns.{key}")),
+        latency_ns,
+    );
+}
+
+/// Queue one access-log line, if a log is configured.
+fn log_access(
+    options: &ServerOptions,
+    received: Instant,
+    request_id: &str,
+    method: &str,
+    route: &str,
+    response: &HttpResponse,
+    session: Option<String>,
+) {
+    let Some(log) = options.access_log.as_ref() else {
+        return;
+    };
+    log.record(&crate::AccessLogEntry {
+        at_ns: crate::now_ns(),
+        request_id: request_id.to_string(),
+        method: method.to_string(),
+        route: route.to_string(),
+        status: status_code(response.status),
+        bytes: response.body.len() as u64,
+        latency_ns: received.elapsed().as_nanos() as u64,
+        session,
+    });
+}
+
+/// The `GET /api/requests` body: every request currently in flight, with
+/// its age against the session clock.
+fn requests_body() -> String {
+    let now = crate::now_ns();
+    let mut out = String::from("{\"requests\":[");
+    for (i, r) in crate::inflight_requests().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"request\":");
+        push_json_str(&mut out, &r.id);
+        out.push_str(",\"method\":");
+        push_json_str(&mut out, &r.method);
+        out.push_str(",\"route\":");
+        push_json_str(&mut out, &r.route);
+        out.push_str(",\"session\":");
+        match &r.session {
+            Some(s) => push_json_str(&mut out, s),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"phase\":");
+        push_json_str(&mut out, r.phase);
+        out.push_str(&format!(
+            ",\"age_ns\":{}}}",
+            now.saturating_sub(r.started_ns)
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Handle one connection: read the request, answer, close. Every path —
+/// reject or dispatch — counts its RED metrics, echoes the request id,
+/// and leaves an access-log line.
 fn serve_one(
     mut stream: TcpStream,
     started: Instant,
     options: &ServerOptions,
+    ids: &AtomicU64,
 ) -> std::io::Result<()> {
+    let received = Instant::now();
     let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-    let req = match read_request(&mut stream, options)? {
+    let mut req = match read_request(&mut stream, options)? {
         ReadOutcome::Request(req) => req,
-        ReadOutcome::Reject(resp) => {
-            let out = write_response(&mut stream, &resp);
+        ReadOutcome::Reject(info) => {
+            crate::counter_add("serve.rejected", 1);
+            crate::counter_add(reject_reason_counter(info.reason), 1);
+            let rid = info
+                .request_id
+                .clone()
+                .unwrap_or_else(|| next_request_id(ids));
+            record_red_metrics(
+                &info.method,
+                &info.route,
+                info.response.status,
+                received.elapsed().as_nanos() as u64,
+            );
+            let out = write_response(&mut stream, &info.response, Some(&rid));
             drain_unread(&mut stream);
+            log_access(
+                options,
+                received,
+                &rid,
+                &info.method,
+                &info.route,
+                &info.response,
+                None,
+            );
             return out;
         }
     };
+    if req.request_id.is_empty() {
+        req.request_id = next_request_id(ids);
+    }
+    // Mark the connection thread: everything the handler does underneath —
+    // the machine step, the journal append, the decision dispatch — can
+    // now tag its records with this request id.
+    let token = crate::begin_request(&req.request_id, &req.method, &req.route);
+    let mut span = crate::span("serve.request")
+        .field("request", &req.request_id)
+        .field("method", &req.method)
+        .field("route", &req.route);
+    crate::set_request_phase("handler");
 
     const PROM_TEXT: &str = "text/plain; version=0.0.4; charset=utf-8";
     const HTML: &str = "text/html; charset=utf-8";
@@ -577,12 +881,13 @@ fn serve_one(
             let (status, body) = timeseries_body(&req.query);
             HttpResponse::json(status, body)
         }
+        ("GET", "/api/requests") => HttpResponse::json("200 OK", requests_body()),
         _ => match options.handler.as_ref().and_then(|h| h.handle(&req)) {
             Some(resp) => resp,
             None if req.method == "GET" => {
                 let mut routes = String::from(
                     "GET /metrics, GET /health, GET /alerts, GET /dashboard, \
-                     GET /api/timeseries?metric=<name>[&window=<dur>]",
+                     GET /api/timeseries?metric=<name>[&window=<dur>], GET /api/requests",
                 );
                 if let Some(h) = options.handler.as_ref() {
                     for summary in h.route_summaries() {
@@ -601,7 +906,29 @@ fn serve_one(
             ),
         },
     };
-    write_response(&mut stream, &response)
+    crate::set_request_phase("write");
+    span.record("status", response.status);
+    record_red_metrics(
+        &req.method,
+        &req.route,
+        response.status,
+        received.elapsed().as_nanos() as u64,
+    );
+    let out = write_response(&mut stream, &response, Some(&req.request_id));
+    let session = crate::end_request(token)
+        .and_then(|r| r.session)
+        .or_else(|| session_from_route(&req.route));
+    span.finish();
+    log_access(
+        options,
+        received,
+        &req.request_id,
+        &req.method,
+        &req.route,
+        &response,
+        session,
+    );
+    out
 }
 
 #[cfg(test)]
@@ -695,13 +1022,185 @@ mod tests {
             ("/health", "Content-Type: application/json"),
             ("/alerts", "Content-Type: application/json"),
             ("/api/timeseries?metric=x", "Content-Type: application/json"),
+            ("/api/requests", "Content-Type: application/json"),
             ("/dashboard", "Content-Type: text/html; charset=utf-8"),
+            // error routes answer with headers too: the 404 route table…
             ("/nope", "Content-Type: text/plain; charset=utf-8"),
         ] {
             let response = http_get(addr, path);
             assert!(response.contains(content_type), "{path}: {response}");
             assert!(response.contains("Connection: close"), "{path}: {response}");
+            assert!(response.contains("X-Request-Id: "), "{path}: {response}");
         }
+        // …the 405 for an unclaimed method…
+        let response = http_post(addr, "/metrics", "x");
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+        assert!(
+            response.contains("Content-Type: text/plain; charset=utf-8"),
+            "{response}"
+        );
+        assert!(response.contains("Connection: close"), "{response}");
+        assert!(response.contains("X-Request-Id: "), "{response}");
+        // …and a pre-dispatch reject (414).
+        let mut hostile = TcpStream::connect(addr).unwrap();
+        hostile
+            .write_all(&vec![b'A'; 2 * MAX_REQUEST_LINE])
+            .unwrap();
+        let mut response = String::new();
+        let _ = hostile.read_to_string(&mut response);
+        assert!(response.starts_with("HTTP/1.1 414"), "{response}");
+        assert!(
+            response.contains("Content-Type: text/plain; charset=utf-8"),
+            "{response}"
+        );
+        assert!(response.contains("Connection: close"), "{response}");
+        assert!(response.contains("X-Request-Id: "), "{response}");
+    }
+
+    #[test]
+    fn inbound_request_ids_pass_through_and_absent_ones_are_generated() {
+        let server = MetricsServer::start("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = server.local_addr();
+        // passthrough: an explicit X-Request-Id is echoed verbatim
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "GET /health HTTP/1.1\r\nHost: qoco\r\nX-Request-Id: trace-me-42\r\n\r\n"
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.contains("X-Request-Id: trace-me-42"), "{response}");
+        // traceparent fallback: the trace-id component is honored
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "GET /health HTTP/1.1\r\nHost: qoco\r\n\
+             traceparent: 00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01\r\n\r\n"
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(
+            response.contains("X-Request-Id: 0af7651916cd43dd8448eb211c80319c"),
+            "{response}"
+        );
+        // an X-Request-Id beats a traceparent when both are present
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "GET /health HTTP/1.1\r\nHost: qoco\r\nX-Request-Id: winner\r\n\
+             traceparent: 00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01\r\n\r\n"
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.contains("X-Request-Id: winner"), "{response}");
+        // a hostile id is sanitized, never echoed with CR/LF intact
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /health HTTP/1.1\r\nHost: qoco\r\nX-Request-Id: a\tb evil\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.contains("X-Request-Id: abevil"), "{response}");
+        // generation: no inbound id → deterministic qr-N from the listener
+        let response = http_get(addr, "/health");
+        assert!(response.contains("X-Request-Id: qr-"), "{response}");
+    }
+
+    #[test]
+    fn generated_ids_count_up_from_the_listener_seed() {
+        let server = MetricsServer::start_with(
+            "127.0.0.1:0",
+            ServerOptions {
+                request_id_seed: 70,
+                ..ServerOptions::default()
+            },
+        )
+        .expect("bind ephemeral port");
+        let addr = server.local_addr();
+        let first = http_get(addr, "/health");
+        let second = http_get(addr, "/health");
+        assert!(first.contains("X-Request-Id: qr-70"), "{first}");
+        assert!(second.contains("X-Request-Id: qr-71"), "{second}");
+    }
+
+    #[test]
+    fn rejects_are_counted_by_reason_and_red_metrics_cover_routes() {
+        let collector = Arc::new(InMemoryCollector::new());
+        let session = crate::session(collector.clone());
+        let server = MetricsServer::start_with(
+            "127.0.0.1:0",
+            ServerOptions {
+                max_body_bytes: 64,
+                ..ServerOptions::default()
+            },
+        )
+        .expect("bind ephemeral port");
+        let addr = server.local_addr();
+        // body cap → serve.rejected{reason=body} and the legacy total
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "POST /sessions HTTP/1.1\r\nHost: qoco\r\nContent-Length: 10000000\r\n\r\n"
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 413"), "{response}");
+        // request-line bound → serve.rejected{reason=uri}
+        let mut hostile = TcpStream::connect(addr).unwrap();
+        hostile
+            .write_all(&vec![b'A'; 2 * MAX_REQUEST_LINE])
+            .unwrap();
+        let mut out = String::new();
+        let _ = hostile.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 414"), "{out}");
+        // a served route records its RED counter and latency histogram
+        let response = http_get(addr, "/health");
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        drop(server);
+        let snap = crate::metrics().snapshot();
+        drop(session);
+        assert_eq!(snap.counter("serve.rejected"), 2, "legacy total");
+        assert_eq!(snap.counter("serve.rejected.body"), 1);
+        assert_eq!(snap.counter("serve.rejected.uri"), 1);
+        assert_eq!(snap.counter("serve.requests.health.2xx"), 1);
+        assert!(snap.histograms.contains_key("serve.latency_ns.health"));
+        assert!(
+            snap.counter("serve.requests") >= 1,
+            "route-blind total for cheap dashboards"
+        );
+    }
+
+    #[test]
+    fn api_requests_lists_the_in_flight_inspector() {
+        let collector = Arc::new(InMemoryCollector::new());
+        let session = crate::session(collector);
+        let server = MetricsServer::start("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "GET /api/requests HTTP/1.1\r\nHost: qoco\r\nX-Request-Id: watch-me\r\n\r\n"
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        // the inspector request observes at least itself
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        assert!(response.contains("\"request\":\"watch-me\""), "{response}");
+        assert!(
+            response.contains("\"route\":\"/api/requests\""),
+            "{response}"
+        );
+        assert!(response.contains("\"phase\":\"handler\""), "{response}");
+        assert!(response.contains("\"age_ns\":"), "{response}");
+        drop(server);
+        // nothing lingers once served
+        assert!(crate::inflight_requests().is_empty());
+        drop(session);
     }
 
     #[test]

@@ -638,6 +638,48 @@ pub fn dashboard_html() -> String {
                 &opt_reading,
             ));
 
+            // Per-route serve panels (PR 10), discovered from whatever
+            // serve.* series the run has produced — the name vocabulary
+            // is bounded by the route table, so this stays small. The
+            // aggregate request counter leads; per-route counters and
+            // derived p95 latencies follow in sorted (route) order.
+            let serve_names = store.names();
+            if serve_names.iter().any(|n| n.starts_with("serve.")) {
+                body.push_str("<h2>serve</h2>");
+                if store.last("serve.requests").is_some() {
+                    let inflight = fmt_value(store.last("serve.inflight").map(|s| s.value));
+                    let rejected = fmt_value(store.last("serve.rejected").map(|s| s.value));
+                    body.push_str(&panel(
+                        "requests (all routes)",
+                        &store.samples("serve.requests"),
+                        &format!(
+                            "{} · {inflight} in flight · {rejected} rejected",
+                            rate_reading("serve.requests")
+                        ),
+                    ));
+                }
+                for name in &serve_names {
+                    if let Some(route) = name.strip_prefix("serve.requests.") {
+                        body.push_str(&panel(
+                            &format!("route {route}"),
+                            &store.samples(name),
+                            &rate_reading(name),
+                        ));
+                    } else if name.starts_with("serve.latency_ns.") && name.ends_with(".p95") {
+                        let route = &name["serve.latency_ns.".len()..name.len() - ".p95".len()];
+                        let reading = match store.last(name) {
+                            Some(s) => format!("p95 {} ns", fmt_value(Some(s.value))),
+                            None => "no data yet".to_string(),
+                        };
+                        body.push_str(&panel(
+                            &format!("latency p95: {route}"),
+                            &store.samples(name),
+                            &reading,
+                        ));
+                    }
+                }
+            }
+
             body.push_str("<h2>alerts</h2>");
             let states = w.alert_states();
             if states.is_empty() {
@@ -903,6 +945,36 @@ mod tests {
         assert!(page.contains("eval throughput"));
         assert!(page.contains("rule q"), "alert table lists the rule");
         assert!(page.contains("idle"), "rule never breached");
+        drop(guard);
+    }
+
+    #[test]
+    fn dashboard_grows_route_panels_from_serve_series() {
+        let _serial = crate::SESSION_LOCK
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        let collector = std::sync::Arc::new(InMemoryCollector::new());
+        let _nested = crate::nested_session(collector);
+        let guard = start_watch(Vec::new(), WatchTick::Logical);
+        for i in 0..3u64 {
+            crate::counter_add("serve.requests", 1);
+            crate::counter_add("serve.requests.report.2xx", 1);
+            crate::counter_add("serve.rejected", i & 1);
+            crate::gauge_set("serve.inflight", 2.0);
+            crate::histogram_record("serve.latency_ns.report", 40_000 + i * 1_000);
+            watch_tick();
+        }
+        let page = dashboard_html();
+        assert!(page.contains("<h2>serve</h2>"), "serve section: {page}");
+        assert!(page.contains("requests (all routes)"));
+        assert!(
+            page.contains("route report.2xx"),
+            "per-route sparkline panel: {page}"
+        );
+        assert!(
+            page.contains("latency p95: report"),
+            "derived p95 latency panel: {page}"
+        );
         drop(guard);
     }
 }

@@ -338,7 +338,11 @@ cargo run -q --release -p qoco-bench --bin qoco-bench -- validate-sessions
 # store, finish, and diff the report against an uninterrupted run's
 serve_store="$work/serve-store"
 serve_log="$work/serve.log"
+# each incarnation gets its own access-log/trace files: both are created
+# with truncate, so reusing paths across the restart would erase the first
+# incarnation's artifacts that validate-requests needs
 ./target/release/qoco-serve serve --addr 127.0.0.1:0 --store "$serve_store" \
+  --access-log "$work/serve-access-1.jsonl" --telemetry "$work/serve-tele-1.jsonl" \
   > "$serve_log" 2>/dev/null &
 serve_pid=$!
 trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$work"' EXIT
@@ -359,15 +363,36 @@ curl -sf "http://$saddr/sessions/s1/report" > "$work/serve-base.json"
 grep -q '"partial":false' "$work/serve-base.json" \
   || { echo "serve: baseline session ended partial" >&2; exit 1; }
 
-# chaos session: s2 gets one answer, then the server dies mid-session
+# chaos session: s2 gets one answer — submitted under a caller-chosen
+# request id, which the server must echo — then the server dies mid-session
 curl -sf -X POST "http://$saddr/sessions" -d '{"example":"figure1"}' > /dev/null
-curl -sf -X POST "http://$saddr/sessions/s2/answers" \
+curl -sf -D "$work/serve-answer-headers.txt" \
+  -X POST "http://$saddr/sessions/s2/answers" \
+  -H 'X-Request-Id: ci-audit-7' \
   -d '{"epoch":1,"answers":[{"seq":1,"bool":false}]}' > /dev/null
+grep -qi '^x-request-id: ci-audit-7' "$work/serve-answer-headers.txt" \
+  || { echo "serve: X-Request-Id was not echoed on the response" >&2; exit 1; }
+# wait for the request's provenance to reach disk — the access line and the
+# write-through span land just after the response — then crash for real
+for _ in $(seq 1 100); do
+  grep -q 'ci-audit-7' "$work/serve-access-1.jsonl" 2>/dev/null \
+    && grep -q 'ci-audit-7' "$work/serve-tele-1.jsonl" 2>/dev/null && break
+  sleep 0.1
+done
+grep -q 'ci-audit-7' "$work/serve-access-1.jsonl" \
+  || { echo "serve: ci-audit-7 never reached the access log" >&2; exit 1; }
+grep -q 'ci-audit-7' "$work/serve-tele-1.jsonl" \
+  || { echo "serve: ci-audit-7 never reached the exported trace" >&2; exit 1; }
+sleep 0.2
 kill -9 "$serve_pid"
 wait "$serve_pid" 2>/dev/null || true
+# the id was journaled durably before the crash, on the line it caused
+grep -q 'r=ci-audit-7' "$serve_store/s2/session.journal" \
+  || { echo "serve: journal line lacks r=ci-audit-7 provenance" >&2; exit 1; }
 
 : > "$serve_log"
 ./target/release/qoco-serve serve --addr 127.0.0.1:0 --store "$serve_store" \
+  --access-log "$work/serve-access-2.jsonl" --telemetry "$work/serve-tele-2.jsonl" \
   > "$serve_log" 2>/dev/null &
 serve_pid=$!
 saddr=""
@@ -387,11 +412,63 @@ curl -sf -X POST "http://$saddr/sessions/s2/answers" \
   -d '{"epoch":1,"answers":[{"seq":1,"bool":false}]}' \
   | grep -q '"status":"stale"' \
   || { echo "serve: stale-epoch retry was not acknowledged as stale" >&2; exit 1; }
-# finish the rehydrated session and compare reports byte for byte
-./target/release/qoco-serve oracle --addr "$saddr" --session s2 > /dev/null
+# finish the rehydrated session — the mirror oracle tags every request it
+# makes with a fixed id — and compare reports byte for byte
+./target/release/qoco-serve oracle --addr "$saddr" --session s2 \
+  --request-id ci-audit-8 > /dev/null
 curl -sf "http://$saddr/sessions/s2/report" > "$work/serve-resumed.json"
 diff <(report_text "$work/serve-base.json") <(report_text "$work/serve-resumed.json") \
   || { echo "serve: killed+rehydrated report differs from uninterrupted run" >&2; exit 1; }
+
+echo "== request provenance: one id from the socket to the journal =="
+# the resumed answers were submitted under ci-audit-8; the id must appear
+# in the post-restart journal lines they caused
+grep -q 'r=ci-audit-8' "$serve_store/s2/session.journal" \
+  || { echo "serve: resumed answers did not journal r=ci-audit-8" >&2; exit 1; }
+# one sentinel request; once its lines land, everything before it has too
+# (the access writer and the trace both write in completion order)
+curl -sf -H 'X-Request-Id: ci-sentinel-9' "http://$saddr/health" > /dev/null
+for _ in $(seq 1 100); do
+  grep -q 'ci-sentinel-9' "$work/serve-access-2.jsonl" 2>/dev/null \
+    && grep -q 'ci-sentinel-9' "$work/serve-tele-2.jsonl" 2>/dev/null && break
+  sleep 0.1
+done
+sleep 0.2
+grep -q 'ci-audit-8' "$work/serve-access-2.jsonl" \
+  || { echo "serve: ci-audit-8 missing from the access log" >&2; exit 1; }
+grep -q 'ci-audit-8' "$work/serve-tele-2.jsonl" \
+  || { echo "serve: ci-audit-8 missing from the exported trace" >&2; exit 1; }
+# the in-flight inspector answers while the server is live
+curl -sf "http://$saddr/api/requests" | grep -q '"requests":' \
+  || { echo "serve: /api/requests returned no inspector body" >&2; exit 1; }
+# qoco-cli explain answers "which request caused this crowd question"
+./target/release/qoco-cli explain "$serve_store/s2/session.journal" \
+  > "$work/serve-explain.txt"
+grep -q 'with request ids' "$work/serve-explain.txt" \
+  || { echo "serve explain: no request-id tally in the header" >&2; exit 1; }
+grep -q '\[req=ci-audit-8\]' "$work/serve-explain.txt" \
+  || { echo "serve explain: no [req=ci-audit-8] provenance tag" >&2; exit 1; }
+# the cross-artifact gate, over BOTH incarnations' artifacts at once
+cargo run -q --release -p qoco-bench --bin qoco-bench -- validate-requests \
+  --access-log "$work/serve-access-1.jsonl" --access-log "$work/serve-access-2.jsonl" \
+  --telemetry "$work/serve-tele-1.jsonl" --telemetry "$work/serve-tele-2.jsonl" \
+  --journal "$serve_store/s1/session.journal" \
+  --journal "$serve_store/s2/session.journal" \
+  --require-request ci-audit-7 --require-request ci-audit-8 \
+  > "$work/serve-validate.out"
+grep -q 'cross-checked' "$work/serve-validate.out" \
+  || { echo "validate-requests printed no summary:" >&2; cat "$work/serve-validate.out" >&2; exit 1; }
+# ...and the strict parse must reject a torn access-log line
+sed '1s/.\{10\}$//' "$work/serve-access-2.jsonl" > "$work/serve-access-corrupt.jsonl"
+if cargo run -q --release -p qoco-bench --bin qoco-bench -- validate-requests \
+    --access-log "$work/serve-access-corrupt.jsonl" \
+    > "$work/serve-corrupt.out" 2>&1; then
+  echo "validate-requests accepted a corrupted access log" >&2; exit 1
+fi
+grep -q 'torn or truncated' "$work/serve-corrupt.out" \
+  || { echo "validate-requests wrong error on a torn line:" >&2; cat "$work/serve-corrupt.out" >&2; exit 1; }
+echo "request provenance: socket → access log → trace → journal → explain: OK"
+
 kill "$serve_pid" 2>/dev/null || true
 wait "$serve_pid" 2>/dev/null || true
 trap 'rm -rf "$work"' EXIT

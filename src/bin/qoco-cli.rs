@@ -769,6 +769,9 @@ struct DecisionLine {
     /// Sorted by key (the exporter writes a JSON object; `Json` parses it
     /// into a `BTreeMap`), which keeps the report deterministic.
     evidence: Vec<(String, String)>,
+    /// The HTTP request the decision was made under, when the log came
+    /// from a `qoco-serve --telemetry` run.
+    request: Option<String>,
 }
 
 fn run_explain(args: &[String]) -> io::Result<()> {
@@ -836,6 +839,7 @@ fn parse_decision_log(text: &str) -> Result<Vec<DecisionLine>, String> {
             question: field("question")?,
             outcome: field("outcome")?,
             evidence,
+            request: v.get("request").and_then(Json::as_str).map(str::to_string),
         });
     }
     Ok(out)
@@ -878,6 +882,9 @@ fn render_decision_report(decisions: &[DecisionLine], out: &mut impl Write) -> i
         writeln!(out)?;
         writeln!(out, "[d={}] {}", d.id, d.kind)?;
         writeln!(out, "  question: {}", d.question)?;
+        if let Some(request) = &d.request {
+            writeln!(out, "  request: {request}")?;
+        }
         if !d.evidence.is_empty() {
             writeln!(out, "  evidence:")?;
             for (k, v) in &d.evidence {
@@ -925,12 +932,14 @@ fn render_decision_report(decisions: &[DecisionLine], out: &mut impl Write) -> i
 
 fn render_journal_report(records: &[JournalRecord], out: &mut impl Write) -> io::Result<()> {
     let tagged = records.iter().filter(|r| r.decision.is_some()).count();
+    let requested = records.iter().filter(|r| r.request.is_some()).count();
     writeln!(out, "QOCO journal audit")?;
     writeln!(
         out,
-        "{} oracle question(s), {} tagged with decision ids",
+        "{} oracle question(s), {} tagged with decision ids, {} with request ids",
         records.len(),
-        tagged
+        tagged,
+        requested
     )?;
     writeln!(out)?;
     for r in records {
@@ -942,10 +951,14 @@ fn render_journal_report(records: &[JournalRecord], out: &mut impl Write) -> io:
             Ok(Answer::MissingAnswer(None)) => "complete".into(),
             Ok(Answer::MissingAnswer(Some(t))) => format!("missing {t}"),
         };
-        match r.decision {
-            Some(d) => writeln!(out, "  #{} {} → {outcome} [d={d}]", r.seq, r.kind.as_str())?,
-            None => writeln!(out, "  #{} {} → {outcome}", r.seq, r.kind.as_str())?,
+        let mut tags = String::new();
+        if let Some(d) = r.decision {
+            tags.push_str(&format!(" [d={d}]"));
         }
+        if let Some(rid) = &r.request {
+            tags.push_str(&format!(" [req={rid}]"));
+        }
+        writeln!(out, "  #{} {} → {outcome}{tags}", r.seq, r.kind.as_str())?;
     }
     writeln!(out)?;
     writeln!(

@@ -3,7 +3,10 @@
 //! ```text
 //! qoco-serve serve  --addr 127.0.0.1:0 --store DIR [--max-sessions N]
 //!                   [--deadline-ms N] [--reap-interval-ms N]
+//!                   [--access-log PATH] [--telemetry PATH]
+//!                   [--watch-tick MS] [--watch-rules FILE]
 //! qoco-serve oracle --addr HOST:PORT --session ID [--example figure1]
+//!                   [--request-id ID]
 //! ```
 //!
 //! `serve` binds the HTTP API (plus the usual `/metrics`, `/health`,
@@ -33,8 +36,9 @@ use qoco_telemetry::{MetricsServer, ServerOptions};
 fn usage() -> ! {
     eprintln!(
         "usage:\n  qoco-serve serve  --addr HOST:PORT --store DIR [--max-sessions N] \
-         [--deadline-ms N] [--reap-interval-ms N]\n  qoco-serve oracle --addr HOST:PORT \
-         --session ID [--example figure1]"
+         [--deadline-ms N] [--reap-interval-ms N] [--access-log PATH] [--telemetry PATH] \
+         [--watch-tick MS] [--watch-rules FILE]\n  \
+         qoco-serve oracle --addr HOST:PORT --session ID [--example figure1] [--request-id ID]"
     );
     std::process::exit(2);
 }
@@ -76,9 +80,52 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .map_err(|_| "--reap-interval-ms must be an integer")?;
 
     // Counters and gauges (sessions.parked, serve.rejected, …) only record
-    // under an installed telemetry session; sink the events in memory.
-    let _telemetry =
-        qoco_telemetry::session(std::sync::Arc::new(qoco_telemetry::InMemoryCollector::new()));
+    // under an installed telemetry session; sink the events in memory, and
+    // — with --telemetry — stream them to a JSONL file whose per-line
+    // flushes survive a kill -9.
+    let mut sinks: Vec<std::sync::Arc<dyn qoco_telemetry::Collector>> =
+        vec![std::sync::Arc::new(qoco_telemetry::InMemoryCollector::new())];
+    if let Some(path) = flag_value(args, "--telemetry") {
+        let jsonl = qoco_telemetry::JsonlCollector::create_write_through(path)
+            .map_err(|e| format!("cannot open telemetry log {path}: {e}"))?;
+        sinks.push(std::sync::Arc::new(jsonl));
+    }
+    let _telemetry = qoco_telemetry::session(std::sync::Arc::new(
+        qoco_telemetry::FanoutCollector::new(sinks),
+    ));
+
+    // A server is long-running, so the qoco-watch sampler is on by
+    // default: it is what feeds the `/dashboard` route sparklines and the
+    // `/api/timeseries` windows from the serve.* RED metrics. `--watch-rules`
+    // additionally arms SLO alerts (e.g. `p95(serve.latency_ns.report) > …`)
+    // on `/alerts`.
+    let watch_rules = match flag_value(args, "--watch-rules") {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("--watch-rules {path}: {e}"))?;
+            qoco_telemetry::parse_rules(&text).map_err(|e| format!("--watch-rules {path}: {e}"))?
+        }
+        None => Vec::new(),
+    };
+    let watch_tick_ms: u64 = flag_value(args, "--watch-tick")
+        .unwrap_or("1000")
+        .parse()
+        .map_err(|_| "--watch-tick must be a millisecond interval")?;
+    if watch_tick_ms == 0 {
+        return Err("--watch-tick interval must be positive".to_string());
+    }
+    let _watch = qoco_telemetry::start_watch(
+        watch_rules,
+        qoco_telemetry::WatchTick::Wall(Duration::from_millis(watch_tick_ms)),
+    );
+
+    let access_log = match flag_value(args, "--access-log") {
+        Some(path) => Some(std::sync::Arc::new(
+            qoco_telemetry::AccessLog::create(path)
+                .map_err(|e| format!("cannot open access log {path}: {e}"))?,
+        )),
+        None => None,
+    };
 
     let store = SessionStore::open(store_dir).map_err(|e| format!("cannot open store: {e}"))?;
     let registry =
@@ -88,6 +135,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         addr,
         ServerOptions {
             handler: Some(registry.clone()),
+            access_log,
             ..ServerOptions::default()
         },
     )
@@ -117,12 +165,25 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 // the oracle helper
 
 /// One HTTP/1.1 request over a fresh connection; returns (status, body).
-fn http(addr: &str, method: &str, path: &str, body: &str) -> Result<(String, String), String> {
+/// A non-empty `request_id` is sent as `X-Request-Id` so the server's
+/// access log, spans, and journal can be grepped for it afterwards.
+fn http(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    request_id: &str,
+) -> Result<(String, String), String> {
     let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
+    let id_header = if request_id.is_empty() {
+        String::new()
+    } else {
+        format!("X-Request-Id: {request_id}\r\n")
+    };
     let req = format!(
         "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
-         Connection: close\r\n\r\n{body}",
+         {id_header}Connection: close\r\n\r\n{body}",
         body.len()
     );
     stream
@@ -180,6 +241,7 @@ fn cmd_oracle(args: &[String]) -> Result<(), String> {
     if example != "figure1" {
         return Err(format!("unknown example {example:?} (try figure1)"));
     }
+    let request_id = flag_value(args, "--request-id").unwrap_or("");
 
     // The local mirror of the server's deterministic session, and the
     // perfect oracle that answers it against the example's ground truth.
@@ -188,7 +250,13 @@ fn cmd_oracle(args: &[String]) -> Result<(), String> {
     let mut answers: Vec<Answer> = Vec::new(); // answers[i] answered seq i+1
 
     loop {
-        let (status, body) = http(addr, "GET", &format!("/sessions/{session}/pending"), "")?;
+        let (status, body) = http(
+            addr,
+            "GET",
+            &format!("/sessions/{session}/pending"),
+            "",
+            request_id,
+        )?;
         if status != "200 OK" {
             return Err(format!("pending: {status}: {}", body.trim()));
         }
@@ -242,6 +310,7 @@ fn cmd_oracle(args: &[String]) -> Result<(), String> {
             "POST",
             &format!("/sessions/{session}/answers"),
             &payload,
+            request_id,
         )?;
         if status != "200 OK" {
             return Err(format!("answers: {status}: {}", body.trim()));

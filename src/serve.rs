@@ -506,6 +506,7 @@ impl SessionRegistry {
             .count();
         if live_count >= self.options.max_sessions {
             qoco_telemetry::counter_add("serve.rejected", 1);
+            qoco_telemetry::counter_add("serve.rejected.cap", 1);
             return HttpResponse::json(
                 "429 Too Many Requests",
                 error_body("session limit reached, retry later"),
@@ -518,6 +519,7 @@ impl SessionRegistry {
             .unwrap_or(0)
             + 1;
         let id = format!("s{next}");
+        qoco_telemetry::set_request_session(&id);
         if let Err(e) = self.store.create(&id, &spec) {
             return HttpResponse::json(
                 "500 Internal Server Error",
@@ -776,6 +778,9 @@ impl RouteHandler for SessionRegistry {
                 error_body("malformed session id"),
             ));
         }
+        // Tag the in-flight request with the session it touches, for the
+        // access log and the /api/requests inspector.
+        qoco_telemetry::set_request_session(id);
         match (req.method.as_str(), action) {
             ("GET", "pending") => Some(self.pending_body(id)),
             ("POST", "answers") => Some(self.submit_answers(id, &req.body)),
@@ -815,6 +820,7 @@ mod tests {
             route: route.to_string(),
             query: String::new(),
             body: body.as_bytes().to_vec(),
+            request_id: "qr-test".to_string(),
         })
         .expect("route handled")
     }
@@ -825,6 +831,7 @@ mod tests {
             route: route.to_string(),
             query: String::new(),
             body: Vec::new(),
+            request_id: "qr-test".to_string(),
         })
         .expect("route handled")
     }
